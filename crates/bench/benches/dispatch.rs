@@ -1,0 +1,50 @@
+//! Wall-clock dispatch costs: unchecked (cache-one) vs double-hashed
+//! (cache-all) region entry, the real-time analogue of §4.4.3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dyc::{Compiler, OptConfig, Value};
+
+const SRC: &str = r#"
+    int hashed(int key, int d) {
+        make_static(key);
+        return key * 3 + d;
+    }
+    int unchecked(int key, int d) {
+        make_static(key: cache_one_unchecked);
+        return key * 3 + d;
+    }
+"#;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let program = Compiler::with_config(OptConfig::all()).compile(SRC).unwrap();
+    let mut g = c.benchmark_group("dispatch");
+
+    let mut unchecked = program.dynamic_session();
+    unchecked.run("unchecked", &[Value::I(9), Value::I(1)]).unwrap();
+    g.bench_function("cache_one_unchecked", |b| {
+        b.iter(|| unchecked.run("unchecked", &[Value::I(9), Value::I(2)]).unwrap())
+    });
+
+    let mut hashed = program.dynamic_session();
+    hashed.run("hashed", &[Value::I(9), Value::I(1)]).unwrap();
+    g.bench_function("cache_all_hit", |b| {
+        b.iter(|| hashed.run("hashed", &[Value::I(9), Value::I(2)]).unwrap())
+    });
+
+    // Populated cache: many live specializations.
+    let mut busy = program.dynamic_session();
+    for k in 0..256 {
+        busy.run("hashed", &[Value::I(k), Value::I(1)]).unwrap();
+    }
+    let mut k = 0i64;
+    g.bench_function("cache_all_hit_256_versions", |b| {
+        b.iter(|| {
+            k = (k + 37) % 256;
+            busy.run("hashed", &[Value::I(k), Value::I(2)]).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

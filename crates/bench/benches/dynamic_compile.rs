@@ -1,0 +1,52 @@
+//! Wall-clock cost of the dynamic compiler itself: how long one
+//! specialization takes for each benchmark's region (the real-time
+//! analogue of Table 3's overhead column — our generating extension is a
+//! Rust interpreter over the staged IR, so absolute times are not the
+//! paper's, but relative costs across benchmarks track the same structure:
+//! instructions generated and static computations executed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dyc::{Compiler, OptConfig};
+use dyc_workloads::all;
+
+fn bench_specialization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("specialize");
+    g.sample_size(20);
+    for w in all() {
+        let meta = w.meta();
+        let program = Compiler::with_config(OptConfig::all())
+            .compile(&w.source())
+            .expect("workload compiles");
+        g.bench_function(meta.name, |b| {
+            b.iter_with_setup(
+                || {
+                    let mut sess = program.dynamic_session();
+                    let args = w.setup_region(&mut sess);
+                    (sess, args)
+                },
+                |(mut sess, args)| {
+                    // The first call performs the specialization.
+                    sess.run(meta.region_func, &args).unwrap();
+                    sess
+                },
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_static_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("static_compile");
+    g.sample_size(20);
+    for w in all() {
+        let meta = w.meta();
+        let src = w.source();
+        g.bench_function(meta.name, |b| {
+            b.iter(|| Compiler::new().compile(&src).expect("compiles"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_specialization, bench_static_compile);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Scratch: raw pnmconvol region numbers.
+use dyc::OptConfig;
+use dyc_workloads::{measure::measure_region, pnmconvol::Pnmconvol};
+fn main() {
+    let w = Pnmconvol::default();
+    let r = measure_region(&w, OptConfig::all(), 3);
+    println!("{r:#?}");
+}

@@ -1,0 +1,41 @@
+//! §4.2's dotproduct density observation: "dotproduct's static input
+//! vector was 90% zeroes and therefore most of the calculations were
+//! eliminated; our experiments on more dense vectors produced speedups
+//! similar to those of the other kernels, and with no zeroes the
+//! dynamically compiled version experiences a slowdown …".
+
+use dyc::OptConfig;
+use dyc_bench::cell;
+use dyc_workloads::dotproduct::DotProduct;
+use dyc_workloads::measure::measure_region;
+
+fn main() {
+    println!("dotproduct asymptotic speedup vs zero density (reproduction of §4.2)\n");
+    println!(
+        "{}{}{}{}",
+        cell("zero fraction", 15),
+        cell("speedup", 9),
+        cell("instrs generated", 18),
+        cell("note", 30)
+    );
+    for frac in [0.9, 0.75, 0.5, 0.25, 0.0] {
+        let w = DotProduct::with_density(frac);
+        let r = measure_region(&w, OptConfig::all(), 3);
+        let note = match frac {
+            0.9 => "the paper's input",
+            0.0 => "no zeroes: little to fold",
+            _ => "",
+        };
+        println!(
+            "{}{}{}{}",
+            cell(&format!("{:.0}%", frac * 100.0), 15),
+            cell(&format!("{:.2}", r.asymptotic_speedup), 9),
+            cell(&r.instrs_generated.to_string(), 18),
+            cell(note, 30)
+        );
+    }
+    println!();
+    println!("Denser vectors fold less; the residual unrolled code approaches the");
+    println!("static loop's work while still paying dispatch, so the advantage decays");
+    println!("toward (and past) break-even — the paper's reported behavior.");
+}

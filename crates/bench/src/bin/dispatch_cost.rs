@@ -1,0 +1,55 @@
+//! §4.4.3 dispatch-cost analysis: unchecked vs hash-table dispatching.
+//!
+//! "An unchecked dispatch requires about 10 cycles … a general-purpose
+//! hash-table-based dispatch (supporting the default cache-all policy)
+//! requires on average 90 cycles. In mipsi, this figure rises to 150
+//! cycles per dispatch, due to collisions in its hash table."
+
+use dyc::{Compiler, OptConfig, Value};
+
+const SRC: &str = r#"
+    int region(int key, int d) {
+        make_static(key);
+        return key * 3 + d;
+    }
+    int region_unchecked(int key, int d) {
+        make_static(key: cache_one_unchecked);
+        return key * 3 + d;
+    }
+"#;
+
+fn per_dispatch(func: &str, keys: &[i64]) -> f64 {
+    let p = Compiler::with_config(OptConfig::all()).compile(SRC).unwrap();
+    let mut d = p.dynamic_session();
+    // Warm: compile one version per key value.
+    for &k in keys {
+        d.run(func, &[Value::I(k), Value::I(1)]).unwrap();
+    }
+    let before = d.stats().dispatch_cycles;
+    let reps = 1000;
+    for i in 0..reps {
+        let k = keys[i % keys.len()];
+        d.run(func, &[Value::I(k), Value::I(2)]).unwrap();
+    }
+    (d.stats().dispatch_cycles - before) as f64 / reps as f64
+}
+
+fn main() {
+    println!("Dispatch cost per region entry (cycles), reproduction of §4.4.3\n");
+    let unchecked = per_dispatch("region_unchecked", &[7]);
+    println!("cache-one-unchecked (load + indirect jump) : {unchecked:>6.1}   (paper: ~10)");
+    let hashed_one = per_dispatch("region", &[7]);
+    println!("cache-all, single cached version           : {hashed_one:>6.1}   (paper: ~90)");
+    let many: Vec<i64> = (0..1500).collect();
+    let hashed_many = per_dispatch("region", &many);
+    println!("cache-all, 1500 live versions              : {hashed_many:>6.1}   (paper: up to ~150 in mipsi)");
+    println!();
+    println!("The unchecked policy is unsafe if the annotated value actually varies;");
+    println!("§4.4.3 notes most programs can use the safe cache-all policy without");
+    println!("sacrificing much performance — except regions entered per simulated");
+    println!("instruction, like m88ksim's breakpoint check. Our double-hash table");
+    println!("keeps its load factor under 0.5, so extra probes are rare even with");
+    println!("1500 live versions; each extra probe is metered at 30 cycles (the");
+    println!("mipsi-style 150-cycle dispatches appear under collision clustering,");
+    println!("exercised directly in dyc-rt's cost tests).");
+}

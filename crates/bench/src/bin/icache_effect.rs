@@ -1,0 +1,58 @@
+//! §4.4.4's pnmconvol I-cache effect: without dead-assignment elimination
+//! "the amount of generated code exceeded the size of the L1 cache by a
+//! factor of 2.7, causing slowdowns relative to the static code."
+//!
+//! Prints generated-code size against the 8kB I-cache capacity and the
+//! resulting speedups with and without DAE.
+
+use dyc::{Compiler, OptConfig};
+use dyc_workloads::measure::measure_region;
+use dyc_workloads::pnmconvol::Pnmconvol;
+use dyc_workloads::Workload;
+
+fn generated_instrs(w: &Pnmconvol, cfg: OptConfig) -> u64 {
+    let p = Compiler::with_config(cfg).compile(&w.source()).unwrap();
+    let mut d = p.dynamic_session();
+    let args = w.setup_region(&mut d);
+    d.run("do_convol", &args).unwrap();
+    d.rt_stats().unwrap().instrs_generated
+}
+
+fn main() {
+    let cache_instrs = 2048u64; // 8kB / 4B per instruction
+    let w = Pnmconvol::default();
+    println!("pnmconvol generated-code size vs the 8kB direct-mapped I-cache");
+    println!("(reproduction of §4.4.4; {} instructions fit)\n", cache_instrs);
+
+    let with_dae = OptConfig::all();
+    let without_dae = OptConfig::all().without("dead_assignment_elimination").unwrap();
+
+    let n_with = generated_instrs(&w, with_dae);
+    let n_without = generated_instrs(&w, without_dae);
+    println!(
+        "with DAE   : {:>6} instructions generated ({:.2}x of L1)",
+        n_with,
+        n_with as f64 / cache_instrs as f64
+    );
+    println!(
+        "without DAE: {:>6} instructions generated ({:.2}x of L1)   paper: 2.7x",
+        n_without,
+        n_without as f64 / cache_instrs as f64
+    );
+
+    let r_with = measure_region(&w, with_dae, 3);
+    let r_without = measure_region(&w, without_dae, 3);
+    println!();
+    println!(
+        "asymptotic speedup with DAE   : {:.2}   (paper: 3.1)",
+        r_with.asymptotic_speedup
+    );
+    println!(
+        "asymptotic speedup without DAE: {:.2}   (paper: 0.9 — a slowdown)",
+        r_without.asymptotic_speedup
+    );
+    println!();
+    println!("Without DAE the dead image loads and their address arithmetic survive;");
+    println!("streaming that much code through an 8kB direct-mapped I-cache every");
+    println!("pixel turns the specialization win into a loss.");
+}

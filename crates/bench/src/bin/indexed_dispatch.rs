@@ -1,0 +1,55 @@
+//! §3.1 extension: array-indexed dispatch for small key ranges.
+//!
+//! "a decompression program and a version of grep could become profitable
+//! to compile dynamically if DyC supported fast cache lookups over a small
+//! range of values (e.g., integers between 0 and 255). For such cases, the
+//! lookup could be implemented as a simple array indexing, in place of
+//! DyC's current general-purpose hash-table lookup."
+//!
+//! The `unrle` extension workload decodes a run-length-encoded stream with
+//! the per-byte step specialized on the control byte under three policies.
+
+use dyc::{Compiler, OptConfig};
+use dyc_workloads::unrle::Unrle;
+use dyc_workloads::Workload;
+
+fn measure(src: &str, w: &Unrle) -> (u64, u64, u64) {
+    let p = Compiler::with_config(OptConfig::all()).compile(src).unwrap();
+    let mut d = p.dynamic_session();
+    let args = w.setup_region(&mut d);
+    d.run("decode", &args).unwrap(); // compile all byte versions
+    assert!(w.check_region(d.run("decode", &args).unwrap(), &mut d));
+    let (_, steady) = d.run_measured("decode", &args).unwrap();
+    (steady.run_cycles(), steady.dispatch_cycles, steady.dispatches)
+}
+
+fn main() {
+    let w = Unrle::default();
+    println!(
+        "unrle: RLE decoding of {} tokens, per-byte step specialized on the control byte\n",
+        w.tokens
+    );
+    let indexed = w.source();
+    let hashed = indexed.replace("b: cache_indexed", "b");
+
+    let (run_i, disp_i, n) = measure(&indexed, &w);
+    let (run_h, disp_h, _) = measure(&hashed, &w);
+
+    println!("policy            run cycles   dispatch cycles   per dispatch");
+    println!(
+        "cache_indexed     {run_i:>10}   {disp_i:>15}   {:>8.1}",
+        disp_i as f64 / n as f64
+    );
+    println!(
+        "cache_all (hash)  {run_h:>10}   {disp_h:>15}   {:>8.1}",
+        disp_h as f64 / n as f64
+    );
+    println!();
+    println!(
+        "indexed dispatch cuts per-entry cost ~{:.0}x and whole-region time {:.2}x —",
+        disp_h as f64 / disp_i as f64,
+        run_h as f64 / run_i as f64
+    );
+    println!("the improvement §3.1 predicted would make byte-dispatch programs");
+    println!("(decompressors, grep) profitable to compile dynamically.");
+}

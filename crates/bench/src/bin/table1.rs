@@ -1,0 +1,61 @@
+//! Table 1: Application Characteristics.
+//!
+//! For each benchmark: description, annotated static variables and their
+//! values, program size, and the number and size of the dynamically
+//! compiled functions. Sizes are measured from our DyCL sources and the
+//! statically compiled module (the paper measured C source lines and
+//! Multiflow instructions; ratios, not absolute values, are comparable).
+
+use dyc::Compiler;
+use dyc_bench::{cell, rule};
+use dyc_workloads::{all, Kind};
+
+fn main() {
+    println!("Table 1: Application Characteristics (reproduction)\n");
+    let header = format!(
+        "{}{}{}{}{}{}",
+        cell("Program", 18),
+        cell("Description", 34),
+        cell("Static values", 30),
+        cell("Lines", 7),
+        cell("#Fn", 5),
+        cell("Instructions", 12),
+    );
+    println!("{header}");
+    rule(header.len());
+
+    let mut section = Kind::Application;
+    println!("Applications");
+    for w in all() {
+        let m = w.meta();
+        if m.kind != section {
+            section = m.kind;
+            println!("Kernels");
+        }
+        let src = w.source();
+        let program = Compiler::new().compile(&src).expect("workload compiles");
+        let total_lines = src.lines().filter(|l| !l.trim().is_empty()).count();
+        // Count the dynamic-region functions and their compiled size.
+        let ir = program.ir();
+        let region_funcs: Vec<_> = ir.funcs.iter().filter(|f| f.has_annotations()).collect();
+        let region_instrs: usize = region_funcs.iter().map(|f| f.instruction_count()).sum();
+        println!(
+            "{}{}{}{}{}{}",
+            cell(m.name, 18),
+            cell(m.description, 34),
+            cell(m.static_values, 30),
+            cell(&total_lines.to_string(), 7),
+            cell(&region_funcs.len().to_string(), 5),
+            cell(&region_instrs.to_string(), 12),
+        );
+    }
+
+    println!();
+    println!("Columns: Lines = non-blank DyCL source lines of the whole benchmark;");
+    println!("#Fn / Instructions = dynamically compiled functions and their IR size.");
+    println!("Paper reference (Table 1): dinero 3317 lines / 8 fns / 1624 instrs;");
+    println!("mipsi 3417 / 1 / 2884; pnmconvol 1054 / 1 / 1226; kernels 134-158 lines.");
+    println!("Our DyCL programs implement the same dynamic regions; the surrounding");
+    println!("application code (file I/O, option parsing) lives in the Rust harness,");
+    println!("so whole-program line counts are smaller by design.");
+}

@@ -1,0 +1,65 @@
+//! Table 4: Whole-Program Performance with All Optimizations.
+//!
+//! Whole-program execution time statically vs dynamically compiled
+//! (including dynamic-compilation and dispatch overhead), the share of
+//! static execution spent inside the dynamic regions, and the resulting
+//! whole-program speedup.
+
+use dyc::OptConfig;
+use dyc_bench::{cell, rule};
+use dyc_workloads::measure::measure_whole;
+use dyc_workloads::{all, Kind};
+
+/// Paper values: (% execution in region, whole-program speedup).
+fn paper_row(name: &str) -> Option<(f64, f64)> {
+    Some(match name {
+        "dinero" => (49.9, 1.5),
+        "m88ksim" => (9.8, 1.05),
+        "mipsi" => (100.0, 4.6),
+        "pnmconvol" => (83.8, 3.0),
+        "viewperf:project" => (41.4, 1.02),
+        _ => return None,
+    })
+}
+
+fn main() {
+    println!("Table 4: Whole-Program Performance with All Optimizations (reproduction)\n");
+    let header = format!(
+        "{}{}{}{}{}{}",
+        cell("Application", 20),
+        cell("Static (cycles)", 17),
+        cell("Dynamic (cycles)", 18),
+        cell("% in region", 13),
+        cell("Speedup", 9),
+        cell("paper: % / speedup", 20),
+    );
+    println!("{header}");
+    rule(header.len());
+
+    for w in all() {
+        if w.meta().kind != Kind::Application {
+            continue;
+        }
+        let Some(r) = measure_whole(w.as_ref(), OptConfig::all()) else {
+            continue;
+        };
+        let paper = paper_row(&r.name);
+        println!(
+            "{}{}{}{}{}{}",
+            cell(&r.name, 20),
+            cell(&r.static_cycles.to_string(), 17),
+            cell(&r.dyn_cycles.to_string(), 18),
+            cell(&format!("{:.1}%", r.region_fraction * 100.0), 13),
+            cell(&format!("{:.2}", r.speedup), 9),
+            cell(
+                &paper.map(|(p, s)| format!("{p:.1}% / {s:.2}")).unwrap_or_default(),
+                20
+            ),
+        );
+    }
+
+    println!();
+    println!("Whole-program speedup tracks the fraction of time spent in the dynamic");
+    println!("region (paper §4.3): m88ksim barely moves (~10% in region), mipsi is");
+    println!("nearly all region, dinero and pnmconvol sit between.");
+}

@@ -1,0 +1,86 @@
+//! Table 5: Dynamic Region Asymptotic Speedups without a Particular
+//! Feature.
+//!
+//! The paper's ablation study (§4.4): the normal all-optimizations
+//! configuration against configurations each disabling exactly one staged
+//! optimization. Cells are printed only where the optimization is
+//! applicable to the benchmark (a check mark in Table 2), as in the paper.
+
+use dyc::OptConfig;
+use dyc_bench::{cell, fmt_speedup, rule};
+use dyc_workloads::measure::{measure_region, opt_usage, OptUsage};
+use dyc_workloads::{all, Kind};
+
+/// (Table 5 column header, OptConfig feature name).
+const COLUMNS: &[(&str, &str)] = &[
+    ("Unroll", "complete_loop_unrolling"),
+    ("StLoads", "static_loads"),
+    ("Unchkd", "unchecked_dispatching"),
+    ("StCalls", "static_calls"),
+    ("Zero&Cp", "zero_copy_propagation"),
+    ("DAE", "dead_assignment_elimination"),
+    ("StrRed", "strength_reduction"),
+    ("IntProm", "internal_promotions"),
+    ("PolyDiv", "polyvariant_division"),
+];
+
+fn applicable(u: &OptUsage, feature: &str) -> bool {
+    match feature {
+        "complete_loop_unrolling" => u.loop_unrolling.is_some(),
+        "static_loads" => u.static_loads,
+        "unchecked_dispatching" => u.unchecked_dispatch,
+        "static_calls" => u.static_calls,
+        "zero_copy_propagation" => u.zero_copy,
+        "dead_assignment_elimination" => u.dae,
+        "strength_reduction" => u.strength_reduction,
+        "internal_promotions" => u.internal_promotions,
+        "polyvariant_division" => u.polyvariant_division,
+        _ => false,
+    }
+}
+
+fn main() {
+    let reps = 3;
+    println!("Table 5: Dynamic Region Asymptotic Speedups without a Particular Feature\n");
+    let mut header = format!("{}{}", cell("Dynamic Region", 20), cell("All", 7));
+    for (h, _) in COLUMNS {
+        header.push_str(&cell(h, 9));
+    }
+    println!("{header}");
+    rule(header.len());
+
+    let mut section = Kind::Application;
+    println!("Applications");
+    for w in all() {
+        let m = w.meta();
+        if m.kind != section {
+            section = m.kind;
+            println!("Kernels");
+        }
+        let usage = opt_usage(w.as_ref());
+        let base = measure_region(w.as_ref(), OptConfig::all(), reps);
+        let mut line = format!(
+            "{}{}",
+            cell(m.name, 20),
+            cell(&fmt_speedup(base.asymptotic_speedup), 7)
+        );
+        for (_, feature) in COLUMNS {
+            if applicable(&usage, feature) {
+                let cfg = OptConfig::all().without(feature).expect("known feature");
+                let r = measure_region(w.as_ref(), cfg, reps);
+                line.push_str(&cell(&fmt_speedup(r.asymptotic_speedup), 9));
+            } else {
+                line.push_str(&cell("", 9));
+            }
+        }
+        println!("{line}");
+    }
+
+    println!();
+    println!("Paper anchors (§4.4): complete loop unrolling is the single most important");
+    println!("optimization — without it most programs slow down (<1.0). Static loads are");
+    println!("similar. chebyshev without static calls falls from 6.3 to 1.2. pnmconvol");
+    println!("without DAE falls to 0.9 (generated code overflows the L1 I-cache) and");
+    println!("without zero/copy propagation to 2.1. binary and query without unchecked");
+    println!("dispatching fall below 1.0.");
+}

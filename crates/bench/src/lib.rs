@@ -1,0 +1,48 @@
+//! # dyc-bench — table and figure reproduction harness
+//!
+//! One binary per table of the paper (`cargo run --release -p dyc-bench
+//! --bin tableN`), a `figures` binary for Figures 2–4, plus targeted
+//! harnesses for the §4.2/§4.4.3 analyses. Criterion benches (wall-clock
+//! measurements of the real Rust dynamic compiler and VM) live under
+//! `benches/`.
+//!
+//! Shared formatting helpers live here.
+
+use dyc_workloads::measure::RegionReport;
+
+/// Render a speedup with one decimal, the paper's style.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Render a break-even point in the benchmark's natural unit.
+pub fn fmt_break_even(r: &RegionReport, unit: &str) -> String {
+    match (r.break_even_invocations, r.break_even_units) {
+        (Some(inv), Some(units)) if units != inv => {
+            format!("{:.0} invocations ({:.0} {unit})", inv.ceil(), units.ceil())
+        }
+        (Some(inv), _) => format!("{:.0} {unit}", inv.ceil()),
+        _ => "never".to_string(),
+    }
+}
+
+/// Fixed-width cell.
+pub fn cell(s: &str, w: usize) -> String {
+    format!("{s:<w$}")
+}
+
+/// Print a horizontal rule of the given width.
+pub fn rule(w: usize) {
+    println!("{}", "-".repeat(w));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_speedup(3.149), "3.1");
+        assert_eq!(cell("ab", 5), "ab   ");
+    }
+}

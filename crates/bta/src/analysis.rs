@@ -1,0 +1,689 @@
+//! The offline binding-time fixpoint.
+//!
+//! Computes the monovariant (meet-over-paths, intersection at merges)
+//! static sets at every block entry, the per-loop assigned-variable sets
+//! that drive the "without complete loop unrolling" ablation, the dynamic
+//! region membership, and the region entry points.
+
+use crate::config::OptConfig;
+use crate::transfer::{inst_binding, Binding};
+use dyc_ir::analysis::{natural_loops, NaturalLoop};
+use dyc_ir::inst::{Inst, Term};
+use dyc_ir::{BlockId, FuncIr, VReg};
+use dyc_lang::Policy;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// A `make_static` site: where a dynamic region begins (or where an
+/// in-region promotion adds variables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionEntry {
+    /// The block containing the annotation.
+    pub block: BlockId,
+    /// Index of the `MakeStatic` instruction within the block.
+    pub inst_idx: usize,
+    /// The annotated variables with their caching policies.
+    pub vars: Vec<(VReg, Policy)>,
+}
+
+/// Results of the offline binding-time analysis of one function.
+#[derive(Debug, Clone)]
+pub struct Bta {
+    /// Monovariant static set at each block entry (intersection at merges).
+    pub static_in: Vec<BTreeSet<VReg>>,
+    /// For each natural-loop header: variables assigned anywhere in that
+    /// loop's body. Used to demote would-be loop-induction statics when
+    /// complete loop unrolling is disabled.
+    pub loop_assigned: HashMap<BlockId, BTreeSet<VReg>>,
+    /// Blocks whose entry static set is nonempty (the dynamic region, for
+    /// reporting: Table 1's dynamic-region sizes).
+    pub region_blocks: BTreeSet<BlockId>,
+    /// All `make_static` sites in RPO-then-instruction order; the first is
+    /// the dynamic region entry where the dispatch stub is placed.
+    pub entries: Vec<RegionEntry>,
+    /// The caching policy of each annotated variable (later annotations
+    /// override earlier ones, matching source order).
+    pub policies: HashMap<VReg, Policy>,
+    /// Headers of loops that may be completely unrolled: loops with at
+    /// least one *static* exit test. A loop whose every exit condition is
+    /// dynamic would unroll forever (the specializer follows static
+    /// control flow, and a dynamic test specializes both sides), so its
+    /// loop-varying statics are demoted at the header instead — this is
+    /// the generalization DyC gets from annotation-driven unrolling.
+    pub unrollable: HashSet<BlockId>,
+    /// Per unrollable header: the *static induction variables* (§2.1) —
+    /// loop-assigned variables that transitively feed the loop's static
+    /// exit tests or static branch/switch conditions. Only these drive
+    /// polyvariant specialization at the header; other loop-varying
+    /// statics (accumulators like a step counter under a dynamic bound)
+    /// are demoted so the unrolled graph stays finite.
+    pub unroll_keep: HashMap<BlockId, BTreeSet<VReg>>,
+    /// Division-aware unrolling support (conditional specialization,
+    /// §2.2.5): per loop header, the header-live dependency sets of each
+    /// *potentially* static exit test, computed under an optimistic
+    /// (any-path) analysis. At specialization time the loop unrolls for a
+    /// given division iff one of these sets is entirely in that division's
+    /// static store — so a `make_static` guarded by a test specializes the
+    /// guarded division without the merged (monovariant) analysis vetoing
+    /// it.
+    pub unroll_exit_deps: HashMap<BlockId, Vec<BTreeSet<VReg>>>,
+    /// The optimistic counterpart of [`Bta::unroll_keep`], used together
+    /// with [`Bta::unroll_exit_deps`] by the specializer.
+    pub unroll_keep_opt: HashMap<BlockId, BTreeSet<VReg>>,
+}
+
+impl Bta {
+    /// The region entry (first `make_static` site), if the function has one.
+    pub fn region_entry(&self) -> Option<&RegionEntry> {
+        self.entries.first()
+    }
+}
+
+/// Run the offline analysis.
+pub fn analyze(f: &FuncIr, cfg: &OptConfig) -> Bta {
+    let loops = natural_loops(f);
+    // Per-loop assigned variables (syntactic).
+    let mut loop_assigned: HashMap<BlockId, BTreeSet<VReg>> = HashMap::new();
+    for l in &loops {
+        let mut assigned = BTreeSet::new();
+        for b in &l.body {
+            for inst in &f.block(*b).insts {
+                if let Some(d) = inst.def() {
+                    assigned.insert(d);
+                }
+            }
+        }
+        loop_assigned.insert(l.header, assigned);
+    }
+
+    // Entry points and policies (syntactic scan in RPO).
+    let mut entries = Vec::new();
+    let mut policies = HashMap::new();
+    for b in f.reverse_postorder() {
+        for (i, inst) in f.block(b).insts.iter().enumerate() {
+            if let Inst::MakeStatic { vars } = inst {
+                for (v, p) in vars {
+                    policies.insert(*v, *p);
+                }
+                entries.push(RegionEntry { block: b, inst_idx: i, vars: vars.clone() });
+            }
+        }
+    }
+
+    // Fixpoint nested in an unrollability refinement: start assuming every
+    // loop is unrollable, compute the static sets, check which loops
+    // actually have a static exit test, and re-analyze with the
+    // non-unrollable headers demoting — the unrollable set only shrinks,
+    // so this terminates in at most #loops rounds.
+    let mut unrollable: HashSet<BlockId> =
+        if cfg.complete_loop_unrolling { loops.iter().map(|l| l.header).collect() } else { HashSet::new() };
+    let mut unroll_keep: HashMap<BlockId, BTreeSet<VReg>> =
+        loops.iter().map(|l| (l.header, loop_assigned[&l.header].clone())).collect();
+    let mut static_in;
+    let mut rounds = 0;
+    loop {
+        static_in = run_fixpoint(f, cfg, &loop_assigned, &unrollable, &unroll_keep);
+        let still: HashSet<BlockId> = loops
+            .iter()
+            .filter(|l| unrollable.contains(&l.header) && has_static_exit(f, cfg, l, &static_in))
+            .map(|l| l.header)
+            .collect();
+        let keep: HashMap<BlockId, BTreeSet<VReg>> = loops
+            .iter()
+            .map(|l| (l.header, induction_vars(f, cfg, l, &static_in)))
+            .collect();
+        rounds += 1;
+        if (still == unrollable && keep == unroll_keep) || rounds > 10 {
+            unrollable = still;
+            unroll_keep = keep;
+            break;
+        }
+        unrollable = still;
+        unroll_keep = keep;
+    }
+
+    // Region = blocks whose entry set is nonempty, plus blocks containing
+    // a make_static (the region begins mid-block there).
+    let mut region_blocks: BTreeSet<BlockId> = (0..f.blocks.len())
+        .filter(|i| !static_in[*i].is_empty())
+        .map(|i| BlockId(i as u32))
+        .collect();
+    for e in &entries {
+        region_blocks.insert(e.block);
+    }
+
+    // Division-aware unrolling candidates from the optimistic analysis.
+    let opt_in = optimistic_fixpoint(f, cfg);
+    let live = dyc_ir::analysis::liveness(f);
+    let mut unroll_exit_deps = HashMap::new();
+    let mut unroll_keep_opt = HashMap::new();
+    if cfg.complete_loop_unrolling {
+        for l in &loops {
+            let mut deps: Vec<BTreeSet<VReg>> = Vec::new();
+            for &b in &l.body {
+                let term = &f.block(b).term;
+                if !term.successors().iter().any(|s| !l.body.contains(s)) {
+                    continue;
+                }
+                let mut s = opt_in[b.index()].clone();
+                transfer_block(f, b, &mut s, cfg);
+                let cond = match term {
+                    Term::Br { cond, .. } if s.contains(cond) => *cond,
+                    Term::Switch { on, .. } if s.contains(on) => *on,
+                    _ => continue,
+                };
+                let mut set = BTreeSet::new();
+                set.insert(cond);
+                static_closure_over_body(f, cfg, l, &opt_in, &mut set);
+                set.retain(|v| live.live_in[l.header.index()].contains(v));
+                deps.push(set);
+            }
+            if !deps.is_empty() {
+                unroll_exit_deps.insert(l.header, deps);
+                unroll_keep_opt.insert(l.header, induction_vars(f, cfg, l, &opt_in));
+            }
+        }
+    }
+
+    Bta {
+        static_in,
+        loop_assigned,
+        region_blocks,
+        entries,
+        policies,
+        unrollable,
+        unroll_keep,
+        unroll_exit_deps,
+        unroll_keep_opt,
+    }
+}
+
+/// Forward fixpoint with *union* meet: a variable is in the result if it is
+/// static along any path — the per-division upper bound used to identify
+/// unrolling candidates.
+fn optimistic_fixpoint(f: &FuncIr, cfg: &OptConfig) -> Vec<BTreeSet<VReg>> {
+    let n = f.blocks.len();
+    let mut state: Vec<BTreeSet<VReg>> = vec![BTreeSet::new(); n];
+    let mut work: VecDeque<BlockId> = VecDeque::new();
+    work.push_back(f.entry);
+    let mut visited = vec![false; n];
+    visited[f.entry.index()] = true;
+    while let Some(b) = work.pop_front() {
+        let mut s = state[b.index()].clone();
+        transfer_block(f, b, &mut s, cfg);
+        for succ in f.block(b).term.successors() {
+            let si = succ.index();
+            let before = state[si].len();
+            state[si].extend(s.iter().copied());
+            if state[si].len() != before || !visited[si] {
+                visited[si] = true;
+                work.push_back(succ);
+            }
+        }
+    }
+    state
+}
+
+/// Backward closure of `set` through the loop body's *static*
+/// computations only: a dynamic definition of a tracked variable is a
+/// promotion boundary (the value arrives by promotion, not by a
+/// dependency chain), so its operands are not dependencies of the exit
+/// test.
+fn static_closure_over_body(
+    f: &FuncIr,
+    cfg: &OptConfig,
+    l: &NaturalLoop,
+    opt_in: &[BTreeSet<VReg>],
+    set: &mut BTreeSet<VReg>,
+) {
+    loop {
+        let before = set.len();
+        for &b in &l.body {
+            let mut s = opt_in[b.index()].clone();
+            for inst in &f.block(b).insts {
+                let is_static = {
+                    let s_ref = &s;
+                    inst_binding(inst, &|v| s_ref.contains(&v), cfg)
+                };
+                if let Some(d) = inst.def() {
+                    if set.contains(&d) && is_static == Binding::Static {
+                        set.extend(inst.uses());
+                    }
+                    match is_static {
+                        Binding::Static => {
+                            s.insert(d);
+                        }
+                        Binding::Dynamic => {
+                            s.remove(&d);
+                        }
+                        Binding::Annotation => {}
+                    }
+                }
+                // Track promotions for the running state.
+                match inst {
+                    Inst::MakeStatic { vars } => {
+                        for (v, _) in vars {
+                            s.insert(*v);
+                        }
+                    }
+                    Inst::Promote { var }
+                        if cfg.internal_promotions => {
+                            s.insert(*var);
+                        }
+                    Inst::MakeDynamic { vars } => {
+                        for v in vars {
+                            s.remove(v);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if set.len() == before {
+            return;
+        }
+    }
+}
+
+/// The forward fixpoint with intersection meet over visited predecessors.
+/// At loop headers, loop-assigned variables are demoted unless the loop is
+/// unrollable *and* the variable is a static induction variable.
+fn run_fixpoint(
+    f: &FuncIr,
+    cfg: &OptConfig,
+    loop_assigned: &HashMap<BlockId, BTreeSet<VReg>>,
+    unrollable: &HashSet<BlockId>,
+    unroll_keep: &HashMap<BlockId, BTreeSet<VReg>>,
+) -> Vec<BTreeSet<VReg>> {
+    let n = f.blocks.len();
+    let mut state: Vec<Option<BTreeSet<VReg>>> = vec![None; n];
+    state[f.entry.index()] = Some(BTreeSet::new());
+    let mut work: VecDeque<BlockId> = VecDeque::new();
+    work.push_back(f.entry);
+    while let Some(b) = work.pop_front() {
+        let mut s = state[b.index()].clone().expect("on worklist implies visited");
+        if let Some(assigned) = loop_assigned.get(&b) {
+            let keep = unroll_keep.get(&b);
+            for v in assigned {
+                let kept = unrollable.contains(&b)
+                    && keep.is_some_and(|k| k.contains(v));
+                if !kept {
+                    s.remove(v);
+                }
+            }
+        }
+        transfer_block(f, b, &mut s, cfg);
+        for succ in f.block(b).term.successors() {
+            let si = succ.index();
+            let updated = match &state[si] {
+                None => {
+                    state[si] = Some(s.clone());
+                    true
+                }
+                Some(old) => {
+                    let met: BTreeSet<VReg> = old.intersection(&s).copied().collect();
+                    if &met != old {
+                        state[si] = Some(met);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if updated {
+                work.push_back(succ);
+            }
+        }
+    }
+    state.into_iter().map(Option::unwrap_or_default).collect()
+}
+
+/// Does the loop have at least one exit whose branch condition is static?
+/// Only such loops unroll: a static exit test is what terminates the
+/// specialization-time walk around the loop.
+fn has_static_exit(
+    f: &FuncIr,
+    cfg: &OptConfig,
+    l: &NaturalLoop,
+    static_in: &[BTreeSet<VReg>],
+) -> bool {
+    for &b in &l.body {
+        let term = &f.block(b).term;
+        let exits = term.successors().iter().any(|s| !l.body.contains(s));
+        if !exits {
+            continue;
+        }
+        // Static set at the end of the block.
+        let mut s = static_in[b.index()].clone();
+        transfer_block(f, b, &mut s, cfg);
+        match term {
+            Term::Br { cond, .. } if s.contains(cond) => return true,
+            Term::Switch { on, .. } if s.contains(on) => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// The loop's static induction variables: the transitive backward closure,
+/// over the loop body's computations, of the variables feeding (a) static
+/// exit tests and (b) every static branch/switch condition in the body —
+/// the variables whose values shape the unrolled control flow.
+fn induction_vars(
+    f: &FuncIr,
+    cfg: &OptConfig,
+    l: &NaturalLoop,
+    static_in: &[BTreeSet<VReg>],
+) -> BTreeSet<VReg> {
+    let mut kept: BTreeSet<VReg> = BTreeSet::new();
+    // Seeds: static branch conditions within the body (exit tests are a
+    // special case of these).
+    for &b in &l.body {
+        let mut s = static_in[b.index()].clone();
+        transfer_block(f, b, &mut s, cfg);
+        match &f.block(b).term {
+            Term::Br { cond, .. } if s.contains(cond) => {
+                kept.insert(*cond);
+            }
+            Term::Switch { on, .. } if s.contains(on) => {
+                kept.insert(*on);
+            }
+            _ => {}
+        }
+    }
+    // Backward closure through the body's computations.
+    loop {
+        let before = kept.len();
+        for &b in &l.body {
+            for inst in &f.block(b).insts {
+                if let Some(d) = inst.def() {
+                    if kept.contains(&d) {
+                        kept.extend(inst.uses());
+                    }
+                }
+            }
+        }
+        if kept.len() == before {
+            return kept;
+        }
+    }
+}
+
+/// Apply one block's instructions to the static set (the same evolution the
+/// online specializer performs on its concrete store).
+fn transfer_block(f: &FuncIr, b: BlockId, s: &mut BTreeSet<VReg>, cfg: &OptConfig) {
+    for inst in &f.block(b).insts {
+        match inst {
+            Inst::MakeStatic { vars } => {
+                for (v, _) in vars {
+                    s.insert(*v);
+                }
+            }
+            Inst::MakeDynamic { vars } => {
+                for v in vars {
+                    s.remove(v);
+                }
+            }
+            Inst::Promote { var } => {
+                if cfg.internal_promotions {
+                    s.insert(*var);
+                }
+            }
+            _ => {
+                let is_static = |v: VReg| s.contains(&v);
+                let binding = inst_binding(inst, &is_static, cfg);
+                if let Some(d) = inst.def() {
+                    match binding {
+                        Binding::Static => {
+                            s.insert(d);
+                        }
+                        Binding::Dynamic => {
+                            s.remove(&d);
+                        }
+                        Binding::Annotation => unreachable!("handled above"),
+                    }
+                }
+            }
+        }
+    }
+    let _ = f;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyc_ir::lower::lower_program;
+    use dyc_lang::parse_program;
+
+    fn bta_of(src: &str, cfg: &OptConfig) -> (FuncIr, Bta) {
+        let mut ir = lower_program(&parse_program(src).unwrap()).unwrap();
+        let f = ir.funcs.remove(0);
+        let b = analyze(&f, cfg);
+        (f, b)
+    }
+
+    fn named(f: &FuncIr, name: &str) -> VReg {
+        *f.vreg_names.iter().find(|(_, n)| n.as_str() == name).unwrap().0
+    }
+
+    #[test]
+    fn static_set_propagates_downstream() {
+        let (f, b) = bta_of(
+            "int f(int x, int y) { make_static(x); int z = x + 1; return z + y; }",
+            &OptConfig::all(),
+        );
+        // z = x + 1 is derived static; the region entry is recorded.
+        assert_eq!(b.entries.len(), 1);
+        let x = named(&f, "x");
+        assert!(b.policies.contains_key(&x));
+    }
+
+    #[test]
+    fn static_induction_variable_survives_loop_with_unrolling() {
+        let src = "int f(int n, int d) { make_static(n); int s = 0; int i = 0; while (i < n) { s += d; i += 1; } return s; }";
+        let (f, b) = bta_of(src, &OptConfig::all());
+        let i = named(&f, "i");
+        let n = named(&f, "n");
+        // At the loop header both i (derived, loop-circular) and n stay
+        // static under the monovariant analysis.
+        let loops: Vec<_> = b.loop_assigned.keys().collect();
+        assert_eq!(loops.len(), 1);
+        let h = *loops[0];
+        assert!(b.static_in[h.index()].contains(&i));
+        assert!(b.static_in[h.index()].contains(&n));
+    }
+
+    #[test]
+    fn unrolling_disabled_demotes_loop_assigned_vars() {
+        let src = "int f(int n, int d) { make_static(n); int s = 0; int i = 0; while (i < n) { s += d; i += 1; } return s; }";
+        let cfg = OptConfig::all().without("complete_loop_unrolling").unwrap();
+        let (f, b) = bta_of(src, &cfg);
+        let i = named(&f, "i");
+        let n = named(&f, "n");
+        let h = *b.loop_assigned.keys().next().unwrap();
+        // i is assigned in the loop: demoted. n is invariant: stays.
+        assert!(b.loop_assigned[&h].contains(&i));
+        // After the loop the set no longer includes i.
+        let exit_sets: Vec<_> =
+            (0..f.blocks.len()).filter(|bi| b.static_in[*bi].contains(&i)).collect();
+        // i may be static before the loop; but inside the loop's header it
+        // must have been demoted before the transfer.
+        assert!(b.static_in[h.index()].contains(&n));
+        let _ = exit_sets;
+    }
+
+    #[test]
+    fn dynamic_assignment_kills_staticness() {
+        let src = "int f(int x, int y) { make_static(x); x = y; return x; }";
+        let (f, b) = bta_of(src, &OptConfig::all());
+        let x = named(&f, "x");
+        // x is reassigned from dynamic y in the entry block; successor
+        // blocks (the return path, if any) must not list x static.
+        for (bi, set) in b.static_in.iter().enumerate() {
+            if bi != f.entry.index() {
+                assert!(!set.contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_intersects_divisions() {
+        // x static only on the then-path; at the merge the monovariant set
+        // drops it.
+        let src = "int f(int c, int x) { if (c) { make_static(x); } return x + 1; }";
+        let (f, b) = bta_of(src, &OptConfig::all());
+        let x = named(&f, "x");
+        // The merge block (containing the return) must not have x static.
+        for (bi, block) in f.blocks.iter().enumerate() {
+            if matches!(block.term, dyc_ir::inst::Term::Ret(Some(_))) {
+                assert!(!b.static_in[bi].contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn region_blocks_nonempty_for_annotated_function() {
+        let (_, b) = bta_of(
+            "int f(int x) { make_static(x); return x * 2; }",
+            &OptConfig::all(),
+        );
+        assert!(!b.region_blocks.is_empty());
+    }
+
+    #[test]
+    fn make_dynamic_ends_the_region() {
+        let src = "int f(int x, int y) { make_static(x); int a = x + 1; make_dynamic(x, a); return a + y; }";
+        let (f, b) = bta_of(src, &OptConfig::all());
+        let x = named(&f, "x");
+        // No block after the make_dynamic has x in its entry set; here the
+        // whole body is one block, so just re-run the transfer and check
+        // the final state via a downstream block if present.
+        let mut s = b.static_in[f.entry.index()].clone();
+        super::transfer_block(&f, f.entry, &mut s, &OptConfig::all());
+        assert!(!s.contains(&x));
+    }
+}
+
+#[cfg(test)]
+mod unroll_tests {
+    use super::*;
+    use dyc_ir::lower::lower_program;
+    use dyc_lang::parse_program;
+
+    fn bta_of(src: &str) -> (FuncIr, Bta) {
+        let mut ir = lower_program(&parse_program(src).unwrap()).unwrap();
+        let f = ir.funcs.remove(0);
+        let b = analyze(&f, &OptConfig::all());
+        (f, b)
+    }
+
+    fn named(f: &FuncIr, name: &str) -> VReg {
+        *f.vreg_names.iter().find(|(_, n)| n.as_str() == name).unwrap().0
+    }
+
+    #[test]
+    fn static_bound_loop_is_an_unroll_candidate() {
+        let src = "int f(int n, int d) { make_static(n); int s = 0; int i = 0; while (i < n) { s += d; i += 1; } return s; }";
+        let (f, b) = bta_of(src);
+        assert_eq!(b.unroll_exit_deps.len(), 1);
+        let (h, deps) = b.unroll_exit_deps.iter().next().unwrap();
+        // The exit depends (at the header) on i and n.
+        let i = named(&f, "i");
+        let n = named(&f, "n");
+        assert!(deps.iter().any(|d| d.contains(&i) && d.contains(&n)), "{deps:?}");
+        assert!(b.unroll_keep_opt[h].contains(&i), "i is the induction variable");
+    }
+
+    #[test]
+    fn dynamic_bound_loop_has_unsatisfiable_deps() {
+        // n is never static: the dep set mentions it, so no store can
+        // satisfy it and the loop never unrolls.
+        let src = "int f(int n, int k) { make_static(k); int s = 0; int i = 0; while (i < n) { s += k; i += 1; } return s; }";
+        let (f, b) = bta_of(src);
+        let n = named(&f, "n");
+        for deps in b.unroll_exit_deps.values() {
+            for d in deps {
+                assert!(d.contains(&n), "every exit dep set must mention the dynamic bound");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_under_dynamic_guard_is_not_an_induction_variable() {
+        // steps feeds only a dynamic comparison: not kept.
+        let src = r#"
+            int f(int n, int fuel) {
+                make_static(n);
+                int steps = 0;
+                int i = 0;
+                while (i < n) {
+                    if (steps >= fuel) { return -1; }
+                    steps = steps + 1;
+                    i = i + 1;
+                }
+                return steps;
+            }
+        "#;
+        let (f, b) = bta_of(src);
+        let steps = named(&f, "steps");
+        let i = named(&f, "i");
+        for keep in b.unroll_keep_opt.values() {
+            assert!(!keep.contains(&steps), "steps must not drive unrolling");
+        }
+        assert!(b.unroll_keep_opt.values().any(|k| k.contains(&i)));
+    }
+
+    #[test]
+    fn promotion_boundary_cuts_the_dependency_closure() {
+        // pc is dynamically reassigned then promoted; the exit deps must
+        // not leak through the dynamic assignment into regs.
+        let src = r#"
+            int f(int regs[nr], int nr, int n) {
+                make_static(n);
+                int pc = 0;
+                int s = 0;
+                while (pc >= 0) {
+                    s = s + 1;
+                    if (s > 100) { return s; }
+                    pc = regs[iabs(pc) % nr];
+                    promote(pc);
+                    if (pc >= n) { pc = 0 - 1; }
+                }
+                return s;
+            }
+        "#;
+        let (f, b) = bta_of(src);
+        let regs = named(&f, "regs");
+        for deps in b.unroll_exit_deps.values() {
+            for d in deps {
+                assert!(
+                    !d.contains(&regs),
+                    "the register file is behind a promotion boundary: {d:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_annotation_keeps_candidates_optimistic() {
+        // n static only on the guarded path; pessimistic analysis kills it
+        // at the merge, but the optimistic exit deps survive, enabling
+        // conditional specialization (§2.2.5).
+        let src = r#"
+            int f(int a[n], int n, int lim) {
+                if (n <= lim) { make_static(a, n); }
+                int s = 0;
+                int i = 0;
+                while (i < n) { s = s + a[i]; i = i + 1; }
+                return s;
+            }
+        "#;
+        let (f, b) = bta_of(src);
+        let n = named(&f, "n");
+        let i = named(&f, "i");
+        assert!(!b.unroll_exit_deps.is_empty(), "the loop is a candidate");
+        let deps: Vec<_> = b.unroll_exit_deps.values().flatten().collect();
+        assert!(deps.iter().any(|d| d.contains(&n) && d.contains(&i)));
+        // Yet the pessimistic (merged) analysis correctly refuses.
+        assert!(b.unrollable.is_empty());
+    }
+}

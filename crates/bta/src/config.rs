@@ -1,0 +1,133 @@
+//! Per-optimization switches (the knobs of Table 5).
+//!
+//! The paper's §4.4 "compared our normal configuration with all
+//! optimizations enabled against configurations each of which disabled one
+//! optimization". Each field here corresponds to one column of Table 5.
+
+/// Which of DyC's staged run-time optimizations are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Complete (single- and multi-way) loop unrolling via polyvariant
+    /// specialization at loop heads (§2.2.4). When disabled, variables
+    /// assigned inside a loop are demoted to dynamic at the loop header,
+    /// so the loop is emitted as a run-time loop.
+    pub complete_loop_unrolling: bool,
+    /// Static loads: `a@[i]` executes at dynamic compile time (§2.2.6).
+    pub static_loads: bool,
+    /// Honor `cache_one_unchecked` policies (§2.2.3). When disabled, every
+    /// dispatch uses the safe hash-table `cache-all` policy.
+    pub unchecked_dispatching: bool,
+    /// Static calls: pure calls with all-static arguments execute at
+    /// dynamic compile time (§2.2.6).
+    pub static_calls: bool,
+    /// Dynamic zero and copy propagation (§2.2.7).
+    pub zero_copy_propagation: bool,
+    /// Dynamic dead-assignment elimination (§2.2.7).
+    pub dead_assignment_elimination: bool,
+    /// Dynamic strength reduction of multiplies/divides/modulus with one
+    /// static operand (§2.2.7).
+    pub strength_reduction: bool,
+    /// Internal dynamic-to-static promotions (`promote`/mid-region
+    /// `make_static` of a dynamic value, §2.2.2).
+    pub internal_promotions: bool,
+    /// Program-point-specific polyvariant division (§2.2.5). When
+    /// disabled, the static store is restricted to the monovariant
+    /// meet-over-paths set at each block entry.
+    pub polyvariant_division: bool,
+}
+
+impl OptConfig {
+    /// Everything on — the paper's "normal configuration".
+    pub fn all() -> OptConfig {
+        OptConfig {
+            complete_loop_unrolling: true,
+            static_loads: true,
+            unchecked_dispatching: true,
+            static_calls: true,
+            zero_copy_propagation: true,
+            dead_assignment_elimination: true,
+            strength_reduction: true,
+            internal_promotions: true,
+            polyvariant_division: true,
+        }
+    }
+
+    /// Copy of this config with one optimization disabled, by Table 5
+    /// column name. Unknown names return `None`.
+    pub fn without(&self, feature: &str) -> Option<OptConfig> {
+        let mut c = *self;
+        match feature {
+            "complete_loop_unrolling" => c.complete_loop_unrolling = false,
+            "static_loads" => c.static_loads = false,
+            "unchecked_dispatching" => c.unchecked_dispatching = false,
+            "static_calls" => c.static_calls = false,
+            "zero_copy_propagation" => c.zero_copy_propagation = false,
+            "dead_assignment_elimination" => c.dead_assignment_elimination = false,
+            "strength_reduction" => c.strength_reduction = false,
+            "internal_promotions" => c.internal_promotions = false,
+            "polyvariant_division" => c.polyvariant_division = false,
+            _ => return None,
+        }
+        Some(c)
+    }
+
+    /// The Table 5 column names, in the paper's order.
+    pub fn feature_names() -> &'static [&'static str] {
+        &[
+            "complete_loop_unrolling",
+            "static_loads",
+            "unchecked_dispatching",
+            "static_calls",
+            "zero_copy_propagation",
+            "dead_assignment_elimination",
+            "strength_reduction",
+            "internal_promotions",
+            "polyvariant_division",
+        ]
+    }
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_enables_everything() {
+        let c = OptConfig::all();
+        assert!(c.complete_loop_unrolling && c.static_loads && c.polyvariant_division);
+    }
+
+    #[test]
+    fn without_flips_exactly_one() {
+        let base = OptConfig::all();
+        for name in OptConfig::feature_names() {
+            let c = base.without(name).unwrap();
+            assert_ne!(c, base, "{name} changed nothing");
+            // Re-enabling by construction: flipping the same flag back
+            // should restore the original.
+            let diff = [
+                c.complete_loop_unrolling != base.complete_loop_unrolling,
+                c.static_loads != base.static_loads,
+                c.unchecked_dispatching != base.unchecked_dispatching,
+                c.static_calls != base.static_calls,
+                c.zero_copy_propagation != base.zero_copy_propagation,
+                c.dead_assignment_elimination != base.dead_assignment_elimination,
+                c.strength_reduction != base.strength_reduction,
+                c.internal_promotions != base.internal_promotions,
+                c.polyvariant_division != base.polyvariant_division,
+            ];
+            assert_eq!(diff.iter().filter(|d| **d).count(), 1, "{name} flipped != 1 flag");
+        }
+    }
+
+    #[test]
+    fn unknown_feature_is_none() {
+        assert!(OptConfig::all().without("warp_drive").is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! # dyc-bta — binding-time analysis
+//!
+//! DyC's binding-time analysis (BTA) "identifies which variables are static
+//! over which paths of the procedure's control-flow graph, starting with
+//! the annotations that identify static variables and ending after the last
+//! use of any static value" (§2.2). It is program-point-specific and
+//! flow-sensitive, with *polyvariant division* (the same point analyzed
+//! under different sets of static variables) and *polyvariant
+//! specialization* (multiple compiled versions per division).
+//!
+//! Our reproduction splits the work the same way DyC does:
+//!
+//! * This crate computes the **offline** results: the monovariant
+//!   (meet-over-paths) static sets per block, loop-assigned variable sets
+//!   (used when complete loop unrolling is disabled), region membership,
+//!   and the region-entry points (`make_static` sites). It also defines the
+//!   **transfer function** ([`transfer`]) that decides whether each
+//!   instruction is a static or a dynamic computation — the generating
+//!   extension in `dyc-rt` uses the *same* function at specialization time,
+//!   so the offline plan and the online specializer can never disagree.
+//! * Polyvariant division and specialization appear online: the
+//!   specializer's cache key is the *(program point, live static store)*
+//!   pair, so divergent divisions and divergent values both produce
+//!   separate code versions, exactly the behaviors §2.2.1/§2.2.5 describe.
+//!   With [`OptConfig::polyvariant_division`] disabled, the store is
+//!   restricted to this crate's monovariant set at every block entry,
+//!   reproducing the "least-common-denominator" analysis the paper
+//!   contrasts against.
+//!
+//! [`OptConfig`] carries the per-optimization switches used to regenerate
+//! Table 5 (each column disables exactly one entry).
+//!
+//! ## Example
+//!
+//! ```
+//! use dyc_bta::{analyze, OptConfig};
+//! use dyc_ir::lower::lower_program;
+//! use dyc_lang::parse_program;
+//!
+//! let src = r#"
+//!     int power(int base, int exp) {
+//!         make_static(exp);
+//!         int r = 1;
+//!         while (exp > 0) { r = r * base; exp = exp - 1; }
+//!         return r;
+//!     }
+//! "#;
+//! let ir = lower_program(&parse_program(src).unwrap()).unwrap();
+//! let bta = analyze(&ir.funcs[0], &OptConfig::all());
+//! // One region entry (the make_static), and the loop is unrollable:
+//! // its exit test `exp > 0` is static.
+//! assert_eq!(bta.entries.len(), 1);
+//! assert_eq!(bta.unrollable.len(), 1);
+//! ```
+
+pub mod analysis;
+pub mod config;
+pub mod transfer;
+
+pub use analysis::{analyze, Bta, RegionEntry};
+pub use config::OptConfig;
+pub use transfer::{inst_binding, Binding};

@@ -1,0 +1,142 @@
+//! The binding-time transfer function.
+//!
+//! Shared between the offline fixpoint ([`crate::analysis`]) and the online
+//! specializer in `dyc-rt`, so the plan and the generating extension agree
+//! instruction by instruction on what is a *static computation* (executed
+//! once at dynamic compile time) versus a *dynamic computation* (code is
+//! emitted for it), per §2.1.
+
+use crate::config::OptConfig;
+use dyc_ir::inst::{Callee, Inst};
+use dyc_ir::VReg;
+
+/// The binding-time of one instruction under a given static store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binding {
+    /// Executed at dynamic compile time; its destination (if any) becomes
+    /// static.
+    Static,
+    /// Emitted as run-time code; its destination (if any) becomes dynamic.
+    Dynamic,
+    /// Annotation pseudo-instruction — handled by the caller (changes the
+    /// division / promotes variables), never emitted.
+    Annotation,
+}
+
+/// Classify `inst` given a predicate describing which registers are
+/// currently static.
+pub fn inst_binding(
+    inst: &Inst,
+    is_static: &dyn Fn(VReg) -> bool,
+    cfg: &OptConfig,
+) -> Binding {
+    match inst {
+        Inst::MakeStatic { .. } | Inst::MakeDynamic { .. } | Inst::Promote { .. } => {
+            Binding::Annotation
+        }
+        Inst::ConstI { .. } | Inst::ConstF { .. } => Binding::Static,
+        Inst::Copy { src, .. } | Inst::Un { src, .. } => {
+            if is_static(*src) {
+                Binding::Static
+            } else {
+                Binding::Dynamic
+            }
+        }
+        Inst::IBin { a, b, .. }
+        | Inst::FBin { a, b, .. }
+        | Inst::ICmp { a, b, .. }
+        | Inst::FCmp { a, b, .. } => {
+            if is_static(*a) && is_static(*b) {
+                Binding::Static
+            } else {
+                Binding::Dynamic
+            }
+        }
+        Inst::Load { base, idx, is_static: annotated, .. } => {
+            // By default memory contents are dynamic even at constant
+            // addresses; only annotated loads of invariant structure parts
+            // are static computations (§2.2.6).
+            if cfg.static_loads && *annotated && is_static(*base) && is_static(*idx) {
+                Binding::Static
+            } else {
+                Binding::Dynamic
+            }
+        }
+        Inst::Call { callee, args, .. } => {
+            let pure = match callee {
+                Callee::Func { is_static, .. } => *is_static,
+                Callee::Host(h) => h.is_pure(),
+            };
+            if cfg.static_calls && pure && args.iter().all(|a| is_static(*a)) {
+                Binding::Static
+            } else {
+                Binding::Dynamic
+            }
+        }
+        // Memory writes are always dynamic computations.
+        Inst::Store { .. } => Binding::Dynamic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyc_ir::IrTy;
+    use dyc_vm::{HostFn, IAluOp};
+
+    fn statics(list: &[u32]) -> impl Fn(VReg) -> bool + '_ {
+        move |v: VReg| list.contains(&v.0)
+    }
+
+    #[test]
+    fn constants_are_static() {
+        let cfg = OptConfig::all();
+        let i = Inst::ConstI { dst: VReg(0), v: 5 };
+        assert_eq!(inst_binding(&i, &statics(&[]), &cfg), Binding::Static);
+    }
+
+    #[test]
+    fn alu_needs_both_operands_static() {
+        let cfg = OptConfig::all();
+        let i = Inst::IBin { op: IAluOp::Add, dst: VReg(2), a: VReg(0), b: VReg(1) };
+        assert_eq!(inst_binding(&i, &statics(&[0, 1]), &cfg), Binding::Static);
+        assert_eq!(inst_binding(&i, &statics(&[0]), &cfg), Binding::Dynamic);
+    }
+
+    #[test]
+    fn unannotated_load_is_dynamic_even_with_static_address() {
+        let cfg = OptConfig::all();
+        let i = Inst::Load { ty: IrTy::Int, dst: VReg(2), base: VReg(0), idx: VReg(1), is_static: false };
+        assert_eq!(inst_binding(&i, &statics(&[0, 1]), &cfg), Binding::Dynamic);
+    }
+
+    #[test]
+    fn annotated_load_respects_config() {
+        let on = OptConfig::all();
+        let off = on.without("static_loads").unwrap();
+        let i = Inst::Load { ty: IrTy::Int, dst: VReg(2), base: VReg(0), idx: VReg(1), is_static: true };
+        assert_eq!(inst_binding(&i, &statics(&[0, 1]), &on), Binding::Static);
+        assert_eq!(inst_binding(&i, &statics(&[0, 1]), &off), Binding::Dynamic);
+    }
+
+    #[test]
+    fn pure_call_with_static_args_is_a_static_call() {
+        let on = OptConfig::all();
+        let off = on.without("static_calls").unwrap();
+        let i = Inst::Call { callee: Callee::Host(HostFn::Cos), dst: Some(VReg(1)), args: vec![VReg(0)] };
+        assert_eq!(inst_binding(&i, &statics(&[0]), &on), Binding::Static);
+        assert_eq!(inst_binding(&i, &statics(&[0]), &off), Binding::Dynamic);
+        // Impure calls never become static.
+        let p = Inst::Call { callee: Callee::Host(HostFn::PrintI), dst: None, args: vec![VReg(0)] };
+        assert_eq!(inst_binding(&p, &statics(&[0]), &on), Binding::Dynamic);
+    }
+
+    #[test]
+    fn stores_and_annotations_classified() {
+        let cfg = OptConfig::all();
+        let s = Inst::Store { ty: IrTy::Int, base: VReg(0), idx: VReg(1), src: VReg(2) };
+        assert_eq!(inst_binding(&s, &statics(&[0, 1, 2]), &cfg), Binding::Dynamic);
+        let a = Inst::Promote { var: VReg(0) };
+        assert_eq!(inst_binding(&a, &statics(&[]), &cfg), Binding::Annotation);
+    }
+}

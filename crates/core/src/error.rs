@@ -1,0 +1,67 @@
+//! Compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Anything that can go wrong turning DyCL source into a runnable
+/// [`Program`](crate::Program).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Lexical or syntactic error.
+    Parse(dyc_lang::ParseError),
+    /// Name-resolution or type error during lowering.
+    Lower(dyc_ir::LowerError),
+    /// Internal consistency failure (a compiler bug surfaced by the
+    /// verifier).
+    Verify(dyc_ir::verify::VerifyError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Lower(e) => write!(f, "{e}"),
+            CompileError::Verify(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Parse(e) => Some(e),
+            CompileError::Lower(e) => Some(e),
+            CompileError::Verify(e) => Some(e),
+        }
+    }
+}
+
+impl From<dyc_lang::ParseError> for CompileError {
+    fn from(e: dyc_lang::ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<dyc_ir::LowerError> for CompileError {
+    fn from(e: dyc_ir::LowerError) -> Self {
+        CompileError::Lower(e)
+    }
+}
+
+impl From<dyc_ir::verify::VerifyError> for CompileError {
+    fn from(e: dyc_ir::verify::VerifyError) -> Self {
+        CompileError::Verify(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_inner_errors() {
+        let e = CompileError::Parse(dyc_lang::ParseError { message: "boom".into(), line: 3 });
+        assert!(e.to_string().contains("boom"));
+        assert!(e.to_string().contains("line 3"));
+    }
+}

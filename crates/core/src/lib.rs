@@ -1,0 +1,53 @@
+//! # dyc — staged, selective, value-specific dynamic compilation
+//!
+//! A from-scratch reproduction of **DyC** (Grant, Philipose, Mock,
+//! Chambers, Eggers: *An Evaluation of Staged Run-Time Optimizations in
+//! DyC*, PLDI 1999) targeting a deterministic virtual machine with an
+//! Alpha-21164-calibrated cycle model.
+//!
+//! The pipeline mirrors Figure 1 of the paper:
+//!
+//! ```text
+//!  annotated DyCL source ──lower──► CFG IR ──traditional opts──►
+//!    ├─ static build: annotations ignored ─► VM code             (§3.3)
+//!    └─ dynamic build: BTA + staging ─► driver stubs + region plans
+//!         run time: dispatch → code cache → generating extension
+//!                   → specialized VM code                         (§2.1)
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dyc::{Compiler, Value};
+//!
+//! let src = r#"
+//!     int power(int base, int exp) {
+//!         make_static(exp);
+//!         int r = 1;
+//!         while (exp > 0) { r = r * base; exp = exp - 1; }
+//!         return r;
+//!     }
+//! "#;
+//! let program = Compiler::new().compile(src).unwrap();
+//!
+//! // Statically compiled: the loop runs at run time.
+//! let mut s = program.static_session();
+//! assert_eq!(s.run("power", &[Value::I(3), Value::I(4)]).unwrap(), Some(Value::I(81)));
+//!
+//! // Dynamically compiled: the loop is completely unrolled for exp == 4,
+//! // then the specialized code is reused from the code cache.
+//! let mut d = program.dynamic_session();
+//! assert_eq!(d.run("power", &[Value::I(3), Value::I(4)]).unwrap(), Some(Value::I(81)));
+//! assert_eq!(d.run("power", &[Value::I(5), Value::I(4)]).unwrap(), Some(Value::I(625)));
+//! ```
+
+pub mod error;
+pub mod program;
+pub mod session;
+
+pub use dyc_bta::OptConfig;
+pub use dyc_rt::RtStats;
+pub use dyc_vm::{CostModel, ExecStats, Value, VmError};
+pub use error::CompileError;
+pub use program::{Compiler, Program};
+pub use session::Session;

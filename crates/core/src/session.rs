@@ -1,0 +1,228 @@
+//! Execution sessions: a VM instance plus (for dynamic builds) the
+//! run-time system, with the measurement helpers the experiment harnesses
+//! use.
+
+use dyc_rt::{Runtime, RtStats};
+use dyc_vm::{ExecStats, Mem, Module, Value, Vm, VmError};
+
+/// One execution environment for a compiled program.
+///
+/// Owns the VM (data memory, cycle counters, I-cache model), the code
+/// module — which grows at run time in dynamic sessions — and, for dynamic
+/// sessions, the [`Runtime`].
+#[derive(Debug)]
+pub struct Session {
+    vm: Vm,
+    module: Module,
+    runtime: Option<Runtime>,
+}
+
+impl Session {
+    pub(crate) fn new_static(module: Module, vm: Vm) -> Session {
+        Session { vm, module, runtime: None }
+    }
+
+    pub(crate) fn new_dynamic(module: Module, vm: Vm, runtime: Runtime) -> Session {
+        Session { vm, module, runtime: Some(runtime) }
+    }
+
+    /// The VM's data memory (set up inputs, read back outputs).
+    pub fn mem(&mut self) -> &mut Mem {
+        &mut self.vm.mem
+    }
+
+    /// Allocate `n` zeroed words of data memory; returns the base address.
+    pub fn alloc(&mut self, n: usize) -> i64 {
+        self.vm.mem.alloc(n)
+    }
+
+    /// Guard against runaway guest loops (mainly for tests).
+    pub fn set_step_limit(&mut self, steps: u64) {
+        self.vm.set_step_limit(steps);
+    }
+
+    /// Run `func` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] if the function is unknown, guest code
+    /// faults, or specialization fails.
+    pub fn run(&mut self, func: &str, args: &[Value]) -> Result<Option<Value>, VmError> {
+        let id = self
+            .module
+            .func_by_name(func)
+            .ok_or_else(|| VmError::Dispatch(format!("unknown function '{func}'")))?;
+        match &mut self.runtime {
+            None => self.vm.call(&mut self.module, id, args),
+            Some(rt) => self.vm.call_with_handler(&mut self.module, rt, id, args),
+        }
+    }
+
+    /// Run and return the execution-counter delta for just this call.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`].
+    pub fn run_measured(
+        &mut self,
+        func: &str,
+        args: &[Value],
+    ) -> Result<(Option<Value>, ExecStats), VmError> {
+        let before = self.vm.stats.clone();
+        let out = self.run(func, args)?;
+        let delta = self.vm.stats.delta_since(&before);
+        Ok((out, delta))
+    }
+
+    /// Cumulative VM counters.
+    pub fn stats(&self) -> &ExecStats {
+        &self.vm.stats
+    }
+
+    /// Run-time-system counters (dynamic sessions only).
+    pub fn rt_stats(&self) -> Option<&RtStats> {
+        self.runtime.as_ref().map(|r| &r.stats)
+    }
+
+    /// Values printed by the guest so far.
+    pub fn output(&self) -> &[Value] {
+        &self.vm.output
+    }
+
+    /// Take and clear the guest output.
+    pub fn take_output(&mut self) -> Vec<Value> {
+        std::mem::take(&mut self.vm.output)
+    }
+
+    /// Number of functions currently in the module (grows as code is
+    /// generated at run time).
+    pub fn module_len(&self) -> usize {
+        self.module.len()
+    }
+
+    /// Disassemble a function by name (for the figures harness).
+    pub fn disassemble(&self, func: &str) -> Option<String> {
+        let id = self.module.func_by_name(func)?;
+        Some(dyc_vm::pretty::func_to_string(self.module.func(id)))
+    }
+
+    /// Disassemble every function whose name starts with `prefix`
+    /// (specialized versions are named `<region>$specN`).
+    pub fn disassemble_matching(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (_, f) in self.module.iter() {
+            if f.name.starts_with(prefix) {
+                out.push_str(&dyc_vm::pretty::func_to_string(f));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Names of dynamically generated functions.
+    pub fn generated_functions(&self) -> Vec<String> {
+        self.module
+            .iter()
+            .filter(|(_, f)| f.name.contains("$spec"))
+            .map(|(_, f)| f.name.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Compiler, OptConfig, Value};
+
+    const POWER: &str = r#"
+        int power(int base, int exp) {
+            make_static(exp);
+            int r = 1;
+            while (exp > 0) { r = r * base; exp = exp - 1; }
+            return r;
+        }
+    "#;
+
+    #[test]
+    fn static_and_dynamic_agree_on_power() {
+        let p = Compiler::new().compile(POWER).unwrap();
+        let mut s = p.static_session();
+        let mut d = p.dynamic_session();
+        for (b, e) in [(2i64, 0i64), (2, 1), (3, 4), (5, 3), (-2, 5), (7, 2)] {
+            let sv = s.run("power", &[Value::I(b), Value::I(e)]).unwrap();
+            let dv = d.run("power", &[Value::I(b), Value::I(e)]).unwrap();
+            assert_eq!(sv, dv, "power({b}, {e})");
+        }
+    }
+
+    #[test]
+    fn unrolled_power_has_no_branches() {
+        let p = Compiler::new().compile(POWER).unwrap();
+        let mut d = p.dynamic_session();
+        d.run("power", &[Value::I(3), Value::I(4)]).unwrap();
+        let gen = d.generated_functions();
+        assert_eq!(gen.len(), 1);
+        let code = d.disassemble(&gen[0]).unwrap();
+        assert!(
+            !code.contains("brz") && !code.contains("brnz") && !code.contains("jmp"),
+            "fully unrolled code should be straight-line:\n{code}"
+        );
+        assert!(d.rt_stats().unwrap().loops_unrolled >= 1);
+    }
+
+    #[test]
+    fn code_cache_reuses_specializations() {
+        let p = Compiler::new().compile(POWER).unwrap();
+        let mut d = p.dynamic_session();
+        d.run("power", &[Value::I(3), Value::I(4)]).unwrap();
+        d.run("power", &[Value::I(5), Value::I(4)]).unwrap(); // same exp: cache hit
+        d.run("power", &[Value::I(5), Value::I(6)]).unwrap(); // new exp: miss
+        let rt = d.rt_stats().unwrap();
+        assert_eq!(rt.specializations, 2);
+        assert_eq!(d.stats().dispatches, 3);
+    }
+
+    #[test]
+    fn no_unrolling_emits_a_residual_loop() {
+        let cfg = OptConfig::all().without("complete_loop_unrolling").unwrap();
+        let p = Compiler::with_config(cfg).compile(POWER).unwrap();
+        let mut d = p.dynamic_session();
+        assert_eq!(
+            d.run("power", &[Value::I(3), Value::I(4)]).unwrap(),
+            Some(Value::I(81))
+        );
+        let gen = d.generated_functions();
+        let code = d.disassemble(&gen[0]).unwrap();
+        assert!(code.contains("jmp") || code.contains("brz") || code.contains("brnz"),
+            "without unrolling a loop must remain:\n{code}");
+        assert_eq!(d.rt_stats().unwrap().loops_unrolled, 0);
+    }
+
+    #[test]
+    fn dynamic_compilation_charges_overhead() {
+        let p = Compiler::new().compile(POWER).unwrap();
+        let mut d = p.dynamic_session();
+        d.run("power", &[Value::I(3), Value::I(4)]).unwrap();
+        assert!(d.stats().dyncomp_cycles > 0);
+        assert!(d.stats().dispatch_cycles > 0);
+        assert!(d.rt_stats().unwrap().instrs_generated > 0);
+    }
+
+    #[test]
+    fn asymptotic_speedup_on_power() {
+        // After the first (compiling) call, the specialized region must
+        // beat the static build per invocation.
+        let p = Compiler::new().compile(POWER).unwrap();
+        let mut s = p.static_session();
+        let mut d = p.dynamic_session();
+        let args = [Value::I(3), Value::I(12)];
+        d.run("power", &args).unwrap(); // compile
+        let (_, ds) = d.run_measured("power", &args).unwrap();
+        let (_, ss) = s.run_measured("power", &args).unwrap();
+        assert!(
+            ds.run_cycles() < ss.run_cycles(),
+            "specialized {} vs static {} cycles",
+            ds.run_cycles(),
+            ss.run_cycles()
+        );
+    }
+}

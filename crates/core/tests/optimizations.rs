@@ -1,0 +1,481 @@
+//! Behavioral tests for each of DyC's staged run-time optimizations
+//! (§2.2), exercised through the public API. Each test checks both
+//! *semantics* (static and dynamic builds agree) and the *mechanism*
+//! (instrumentation counters / generated-code shape).
+
+use dyc::{Compiler, OptConfig, Value};
+
+fn compile(src: &str) -> dyc::Program {
+    Compiler::new().compile(src).unwrap()
+}
+
+fn compile_cfg(src: &str, cfg: OptConfig) -> dyc::Program {
+    Compiler::with_config(cfg).compile(src).unwrap()
+}
+
+// ---------------------------------------------------------------- unrolling
+
+const DOT: &str = r#"
+    float dot(float a[n], float b[n], int n) {
+        make_static(a, n);
+        float sum = 0.0;
+        for (int i = 0; i < n; ++i) {
+            sum = sum + a@[i] * b[i];
+        }
+        return sum;
+    }
+"#;
+
+#[test]
+fn complete_unrolling_with_static_loads_specializes_dot_product() {
+    let p = compile(DOT);
+    let mut d = p.dynamic_session();
+    let a = d.alloc(4);
+    let b = d.alloc(4);
+    d.mem().write_floats(a, &[1.0, 0.0, 2.0, 0.0]);
+    d.mem().write_floats(b, &[10.0, 20.0, 30.0, 40.0]);
+    let out = d.run("dot", &[Value::I(a), Value::I(b), Value::I(4)]).unwrap();
+    assert_eq!(out, Some(Value::F(70.0)));
+    let rt = d.rt_stats().unwrap();
+    assert!(rt.loops_unrolled >= 1, "loop must unroll");
+    assert_eq!(rt.static_loads, 4, "a@[i] executes at specialization time");
+    // The zero elements kill their multiplies and adds; the loads of b[1]
+    // and b[3] die with them (dead-assignment elimination).
+    assert!(rt.zero_copy_folds >= 2);
+    assert!(rt.dae_removed >= 2);
+    let gen = d.generated_functions();
+    let code = d.disassemble(&gen[0]).unwrap();
+    let loads = code.matches("ldf").count();
+    assert_eq!(loads, 2, "only the two nonzero elements load from b:\n{code}");
+}
+
+#[test]
+fn dot_product_matches_static_build_across_vectors() {
+    let p = compile(DOT);
+    for vals in [[0.0, 0.0, 0.0, 0.0], [1.0, 1.0, 1.0, 1.0], [0.5, -1.5, 0.0, 3.0]] {
+        let mut s = p.static_session();
+        let mut d = p.dynamic_session();
+        for sess in [&mut s, &mut d] {
+            let a = sess.alloc(4);
+            let b = sess.alloc(4);
+            sess.mem().write_floats(a, &vals);
+            sess.mem().write_floats(b, &[10.0, 20.0, 30.0, 40.0]);
+        }
+        let sv = s.run("dot", &[Value::I(0), Value::I(4), Value::I(4)]).unwrap();
+        let dv = d.run("dot", &[Value::I(0), Value::I(4), Value::I(4)]).unwrap();
+        assert_eq!(sv, dv, "vals {vals:?}");
+    }
+}
+
+// ------------------------------------------------------- multi-way unrolling
+
+const BINARY: &str = r#"
+    int bsearch(int a[n], int n, int key) {
+        make_static(a, n);
+        int lo = 0;
+        int hi = n - 1;
+        while (lo <= hi) {
+            int mid = (lo + hi) / 2;
+            int v = a@[mid];
+            if (v == key) { return mid; }
+            if (v < key) { lo = mid + 1; } else { hi = mid - 1; }
+        }
+        return -1;
+    }
+"#;
+
+#[test]
+fn binary_search_multi_way_unrolls_into_a_comparison_tree() {
+    let p = compile(BINARY);
+    let mut d = p.dynamic_session();
+    let a = d.alloc(8);
+    d.mem().write_ints(a, &[2, 3, 5, 7, 11, 13, 17, 19]);
+    for (key, want) in [(7, 3), (2, 0), (19, 7), (4, -1)] {
+        let out = d.run("bsearch", &[Value::I(a), Value::I(8), Value::I(key)]).unwrap();
+        assert_eq!(out, Some(Value::I(want)), "key {key}");
+    }
+    let rt = d.rt_stats().unwrap();
+    assert!(rt.multi_way_unroll, "divergent lo/hi stores mean multi-way unrolling");
+    assert_eq!(rt.specializations, 1, "same array: one specialization serves all keys");
+    // The tree contains the array values as immediates — no loads at all.
+    let gen = d.generated_functions();
+    let code = d.disassemble(&gen[0]).unwrap();
+    assert!(!code.contains("ldi"), "array fully folded into code:\n{code}");
+}
+
+// ------------------------------------------------------------- static calls
+
+const CHEBY: &str = r#"
+    float node(int k, int n) {
+        make_static(n, k);
+        return cos(3.14159265358979 * ((float) k + 0.5) / (float) n);
+    }
+"#;
+
+#[test]
+fn static_calls_memoize_cos_at_compile_time() {
+    let p = compile(CHEBY);
+    let mut d = p.dynamic_session();
+    let out = d.run("node", &[Value::I(0), Value::I(4)]).unwrap().unwrap();
+    let expected = (std::f64::consts::PI * 0.5 / 4.0).cos();
+    assert!((out.as_f() - expected).abs() < 1e-9);
+    let rt = d.rt_stats().unwrap();
+    assert_eq!(rt.static_calls, 1, "cos ran at specialization time");
+    // The generated code is a bare return of a constant.
+    let gen = d.generated_functions();
+    let code = d.disassemble(&gen[0]).unwrap();
+    assert!(!code.contains("hcall"), "no run-time cos call:\n{code}");
+}
+
+#[test]
+fn static_calls_disabled_keeps_cos_at_run_time() {
+    let cfg = OptConfig::all().without("static_calls").unwrap();
+    let p = compile_cfg(CHEBY, cfg);
+    let mut d = p.dynamic_session();
+    d.run("node", &[Value::I(0), Value::I(4)]).unwrap();
+    assert_eq!(d.rt_stats().unwrap().static_calls, 0);
+    let gen = d.generated_functions();
+    let code = d.disassemble(&gen[0]).unwrap();
+    assert!(code.contains("hcall"), "cos must remain:\n{code}");
+}
+
+#[test]
+fn user_static_functions_run_at_compile_time() {
+    let src = r#"
+        static int cube(int x) { return x * x * x; }
+        int f(int n, int d) {
+            make_static(n);
+            return cube(n) + d;
+        }
+    "#;
+    let p = compile(src);
+    let mut d = p.dynamic_session();
+    let out = d.run("f", &[Value::I(3), Value::I(5)]).unwrap();
+    assert_eq!(out, Some(Value::I(32)));
+    assert_eq!(d.rt_stats().unwrap().static_calls, 1);
+}
+
+// ------------------------------------------- zero/copy propagation and DAE
+
+const SCALE: &str = r#"
+    void scale(float x[n], float y[n], int n, float k) {
+        make_static(n, k);
+        for (int i = 0; i < n; ++i) {
+            y[i] = x[i] * k;
+        }
+    }
+"#;
+
+#[test]
+fn multiply_by_one_vanishes_with_zero_copy_propagation() {
+    let p = compile(SCALE);
+    let mut d = p.dynamic_session();
+    let x = d.alloc(3);
+    let y = d.alloc(3);
+    d.mem().write_floats(x, &[1.5, -2.0, 4.0]);
+    d.run("scale", &[Value::I(x), Value::I(y), Value::I(3), Value::F(1.0)]).unwrap();
+    assert_eq!(d.mem().read_floats(y, 3), vec![1.5, -2.0, 4.0]);
+    let gen = d.generated_functions();
+    let code = d.disassemble(&gen[0]).unwrap();
+    assert!(!code.contains("fmul"), "k == 1.0 removes every multiply:\n{code}");
+    assert!(!code.contains("fmov"), "copy propagation removes the moves too:\n{code}");
+}
+
+#[test]
+fn multiply_by_one_becomes_fmov_with_only_strength_reduction() {
+    let cfg = OptConfig::all().without("zero_copy_propagation").unwrap();
+    let p = compile_cfg(SCALE, cfg);
+    let mut d = p.dynamic_session();
+    let x = d.alloc(3);
+    let y = d.alloc(3);
+    d.mem().write_floats(x, &[1.5, -2.0, 4.0]);
+    d.run("scale", &[Value::I(x), Value::I(y), Value::I(3), Value::F(1.0)]).unwrap();
+    assert_eq!(d.mem().read_floats(y, 3), vec![1.5, -2.0, 4.0]);
+    let gen = d.generated_functions();
+    let code = d.disassemble(&gen[0]).unwrap();
+    // §2.2.7: strength reduction alone turns fmul into fmov — which costs
+    // the same as the multiply on the 21164, so nothing is gained.
+    assert!(code.contains("fmov"), "expected moves:\n{code}");
+    assert!(!code.contains("fmul"), "multiplies strength-reduced:\n{code}");
+    assert!(d.rt_stats().unwrap().strength_reductions >= 3);
+}
+
+#[test]
+fn multiply_by_zero_kills_the_loads_via_dae() {
+    let p = compile(SCALE);
+    let mut d = p.dynamic_session();
+    let x = d.alloc(3);
+    let y = d.alloc(3);
+    d.mem().write_floats(x, &[1.5, -2.0, 4.0]);
+    d.run("scale", &[Value::I(x), Value::I(y), Value::I(3), Value::F(0.0)]).unwrap();
+    assert_eq!(d.mem().read_floats(y, 3), vec![0.0, 0.0, 0.0]);
+    let gen = d.generated_functions();
+    let code = d.disassemble(&gen[0]).unwrap();
+    assert!(!code.contains("ldf"), "loads of x are dead when k == 0:\n{code}");
+    assert!(d.rt_stats().unwrap().dae_removed >= 3);
+}
+
+#[test]
+fn dae_disabled_keeps_the_dead_loads() {
+    let cfg = OptConfig::all().without("dead_assignment_elimination").unwrap();
+    let p = compile_cfg(SCALE, cfg);
+    let mut d = p.dynamic_session();
+    let x = d.alloc(3);
+    let y = d.alloc(3);
+    d.run("scale", &[Value::I(x), Value::I(y), Value::I(3), Value::F(0.0)]).unwrap();
+    assert_eq!(d.mem().read_floats(y, 3), vec![0.0, 0.0, 0.0]);
+    let gen = d.generated_functions();
+    let code = d.disassemble(&gen[0]).unwrap();
+    assert!(code.contains("ldf"), "without DAE the dead loads stay:\n{code}");
+    assert_eq!(d.rt_stats().unwrap().dae_removed, 0);
+}
+
+// --------------------------------------------------------- strength reduction
+
+const MULDIV: &str = r#"
+    int muldiv(int x, int k) {
+        make_static(k);
+        return (x * k) / k + x % k;
+    }
+"#;
+
+#[test]
+fn strength_reduction_turns_power_of_two_ops_into_shifts() {
+    let p = compile(MULDIV);
+    let mut d = p.dynamic_session();
+    for x in [-17i64, -8, -1, 0, 1, 5, 100] {
+        let out = d.run("muldiv", &[Value::I(x), Value::I(8)]).unwrap();
+        assert_eq!(out, Some(Value::I(x + x % 8)), "x = {x}");
+    }
+    let rt = d.rt_stats().unwrap();
+    assert!(rt.strength_reductions >= 3, "mul, div and rem all reduce");
+    let gen = d.generated_functions();
+    let code = d.disassemble(&gen[0]).unwrap();
+    assert!(!code.contains("div   r"), "division strength-reduced:\n{code}");
+    assert!(!code.contains("rem   r"), "remainder strength-reduced:\n{code}");
+    assert!(code.contains("shl") || code.contains("shr"));
+}
+
+#[test]
+fn strength_reduction_respects_c_division_semantics() {
+    // Truncating division: -7 / 4 == -1 (not -2), -7 % 4 == -3.
+    let p = compile("int f(int x, int k) { make_static(k); return x / k * 100 + x % k; }");
+    let mut d = p.dynamic_session();
+    let mut s = p.static_session();
+    for x in [-9i64, -7, -4, -1, 0, 1, 7, 9] {
+        let dv = d.run("f", &[Value::I(x), Value::I(4)]).unwrap();
+        let sv = s.run("f", &[Value::I(x), Value::I(4)]).unwrap();
+        assert_eq!(dv, sv, "x = {x}");
+        assert_eq!(dv, Some(Value::I((x / 4) * 100 + x % 4)));
+    }
+}
+
+#[test]
+fn strength_reduction_disabled_keeps_the_multiply() {
+    let cfg = OptConfig::all()
+        .without("strength_reduction")
+        .unwrap()
+        .without("zero_copy_propagation")
+        .unwrap();
+    let p = compile_cfg("int f(int x, int k) { make_static(k); return x * k; }", cfg);
+    let mut d = p.dynamic_session();
+    d.run("f", &[Value::I(3), Value::I(8)]).unwrap();
+    let gen = d.generated_functions();
+    let code = d.disassemble(&gen[0]).unwrap();
+    assert!(code.contains("mul"), "multiply must remain:\n{code}");
+    assert_eq!(d.rt_stats().unwrap().strength_reductions, 0);
+}
+
+// ------------------------------------------------- internal promotions
+
+const PROMOTE: &str = r#"
+    int walk(int a[n], int n, int start) {
+        make_static(n);
+        int idx = start;
+        promote(idx);
+        int sum = 0;
+        for (int i = 0; i < n; ++i) {
+            sum = sum + a@[idx] * i;
+            idx = idx;
+        }
+        return sum;
+    }
+"#;
+
+#[test]
+fn internal_promotion_specializes_on_a_runtime_value() {
+    let p = compile(PROMOTE);
+    let mut d = p.dynamic_session();
+    let a = d.alloc(4);
+    d.mem().write_ints(a, &[10, 20, 30, 40]);
+    // First call: entry specialization for n, internal promotion of idx=2.
+    let out = d.run("walk", &[Value::I(a), Value::I(3), Value::I(2)]).unwrap();
+    assert_eq!(out, Some(Value::I(30 * (1 + 2))));
+    let rt = d.rt_stats().unwrap();
+    assert_eq!(rt.internal_promotions, 1);
+    assert_eq!(rt.specializations, 2, "entry + promoted continuation");
+    // Second call with a different start: the entry specialization is
+    // reused; only the promotion re-specializes.
+    let out = d.run("walk", &[Value::I(a), Value::I(3), Value::I(1)]).unwrap();
+    assert_eq!(out, Some(Value::I(20 * 3)));
+    let rt = d.rt_stats().unwrap();
+    assert_eq!(rt.specializations, 3);
+}
+
+#[test]
+fn internal_promotions_disabled_leaves_value_dynamic() {
+    let cfg = OptConfig::all().without("internal_promotions").unwrap();
+    let p = compile_cfg(PROMOTE, cfg);
+    let mut d = p.dynamic_session();
+    let a = d.alloc(4);
+    d.mem().write_ints(a, &[10, 20, 30, 40]);
+    let out = d.run("walk", &[Value::I(a), Value::I(3), Value::I(2)]).unwrap();
+    assert_eq!(out, Some(Value::I(90)));
+    assert_eq!(d.rt_stats().unwrap().internal_promotions, 0);
+}
+
+// ------------------------------------------------- polyvariant division
+
+const SHADER: &str = r#"
+    float shade(float base, float light, int lit) {
+        make_static(lit);
+        float k = 0.0;
+        if (lit) {
+            k = light;
+            promote(k);
+        }
+        return base + base * k;
+    }
+"#;
+
+#[test]
+fn polyvariant_division_specializes_only_the_annotated_path() {
+    let p = compile(SHADER);
+    let mut d = p.dynamic_session();
+    let lit = d.run("shade", &[Value::F(2.0), Value::F(0.5), Value::I(1)]).unwrap();
+    assert_eq!(lit, Some(Value::F(3.0)));
+    let unlit = d.run("shade", &[Value::F(2.0), Value::F(0.5), Value::I(0)]).unwrap();
+    assert_eq!(unlit, Some(Value::F(2.0)), "k stays 0.0 on the unlit path");
+}
+
+// ------------------------------------------------- dispatch policies
+
+const POLICY_SRC: &str = r#"
+    int poly(int x, int d) {
+        make_static(x: cache_one_unchecked);
+        return x * d;
+    }
+"#;
+
+#[test]
+fn unchecked_dispatch_costs_ten_cycles() {
+    let p = compile(POLICY_SRC);
+    let mut d = p.dynamic_session();
+    d.run("poly", &[Value::I(3), Value::I(5)]).unwrap();
+    let before = d.stats().dispatch_cycles;
+    d.run("poly", &[Value::I(3), Value::I(7)]).unwrap();
+    let per = d.stats().dispatch_cycles - before;
+    assert_eq!(per, 10, "§4.4.3: unchecked dispatch ≈ 10 cycles");
+    assert!(d.rt_stats().unwrap().dispatch_unchecked >= 2);
+}
+
+#[test]
+fn cache_all_dispatch_costs_about_ninety_cycles() {
+    let cfg = OptConfig::all().without("unchecked_dispatching").unwrap();
+    let p = compile_cfg(POLICY_SRC, cfg);
+    let mut d = p.dynamic_session();
+    d.run("poly", &[Value::I(3), Value::I(5)]).unwrap();
+    let before = d.stats().dispatch_cycles;
+    d.run("poly", &[Value::I(3), Value::I(7)]).unwrap();
+    let per = d.stats().dispatch_cycles - before;
+    assert!((70..=120).contains(&per), "§4.4.3: hashed dispatch ≈ 90 cycles, got {per}");
+    assert!(d.rt_stats().unwrap().dispatch_hashed >= 2);
+}
+
+// ---------------------------------------------------- static loads ablation
+
+#[test]
+fn static_loads_disabled_keeps_array_reads_at_run_time() {
+    let cfg = OptConfig::all().without("static_loads").unwrap();
+    let p = compile_cfg(DOT, cfg);
+    let mut d = p.dynamic_session();
+    let a = d.alloc(4);
+    let b = d.alloc(4);
+    d.mem().write_floats(a, &[1.0, 0.0, 2.0, 0.0]);
+    d.mem().write_floats(b, &[10.0, 20.0, 30.0, 40.0]);
+    let out = d.run("dot", &[Value::I(a), Value::I(b), Value::I(4)]).unwrap();
+    assert_eq!(out, Some(Value::F(70.0)));
+    let rt = d.rt_stats().unwrap();
+    assert_eq!(rt.static_loads, 0);
+    let gen = d.generated_functions();
+    let code = d.disassemble(&gen[0]).unwrap();
+    // All 8 loads (4 from a, 4 from b) remain.
+    assert_eq!(code.matches("ldf").count(), 8, "loads survive:\n{code}");
+}
+
+// ------------------------------------------------------------- make_dynamic
+
+#[test]
+fn make_dynamic_ends_specialization() {
+    let src = r#"
+        int f(int x, int d) {
+            make_static(x);
+            int a = x * 2;
+            make_dynamic(x);
+            return a + x * d;
+        }
+    "#;
+    let p = compile(src);
+    let mut s = p.static_session();
+    let mut d = p.dynamic_session();
+    for (x, dd) in [(3i64, 4i64), (0, 9), (-5, 2)] {
+        let sv = s.run("f", &[Value::I(x), Value::I(dd)]).unwrap();
+        let dv = d.run("f", &[Value::I(x), Value::I(dd)]).unwrap();
+        assert_eq!(sv, dv, "f({x}, {dd})");
+        assert_eq!(sv, Some(Value::I(x * 2 + x * dd)));
+    }
+}
+
+// ------------------------------------------------------------ side effects
+
+#[test]
+fn prints_inside_unrolled_loops_happen_in_order() {
+    let src = r#"
+        void emit(int n) {
+            make_static(n);
+            for (int i = 0; i < n; ++i) { print_int(i * i); }
+        }
+    "#;
+    let p = compile(src);
+    let mut s = p.static_session();
+    let mut d = p.dynamic_session();
+    s.run("emit", &[Value::I(4)]).unwrap();
+    d.run("emit", &[Value::I(4)]).unwrap();
+    assert_eq!(s.output(), d.output());
+    assert_eq!(d.output(), &[Value::I(0), Value::I(1), Value::I(4), Value::I(9)]);
+}
+
+// ------------------------------------------------- recursion through regions
+
+#[test]
+fn dynamic_regions_called_from_plain_functions() {
+    let src = r#"
+        int power(int base, int exp) {
+            make_static(exp);
+            int r = 1;
+            while (exp > 0) { r = r * base; exp = exp - 1; }
+            return r;
+        }
+        int sum_powers(int b, int hi) {
+            int s = 0;
+            for (int e = 0; e <= hi; ++e) { s += power(b, e); }
+            return s;
+        }
+    "#;
+    let p = compile(src);
+    let mut d = p.dynamic_session();
+    let out = d.run("sum_powers", &[Value::I(2), Value::I(5)]).unwrap();
+    assert_eq!(out, Some(Value::I(1 + 2 + 4 + 8 + 16 + 32)));
+    // One specialization per exponent value.
+    assert_eq!(d.rt_stats().unwrap().specializations, 6);
+}

@@ -1,0 +1,297 @@
+//! Dataflow analyses over the CFG: liveness, dominators, natural loops.
+//!
+//! These serve three clients: dead-code elimination (liveness), the
+//! binding-time analysis's loop handling (loops + dominators), and the
+//! staging phase's "hash only on the subset of live static variables"
+//! optimization of dispatch keys (§4.4.3).
+
+use crate::func::FuncIr;
+use crate::ids::{BlockId, VReg};
+use std::collections::{HashMap, HashSet};
+
+/// Per-block liveness sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live at block entry.
+    pub live_in: Vec<HashSet<VReg>>,
+    /// Registers live at block exit.
+    pub live_out: Vec<HashSet<VReg>>,
+}
+
+/// Compute backward liveness. Annotation pseudo-instructions keep their
+/// variables alive: a variable named by `make_static` must survive to the
+/// annotation point so the specializer can read it.
+pub fn liveness(f: &FuncIr) -> Liveness {
+    let n = f.blocks.len();
+    // Per-block use/def summaries.
+    let mut use_b = vec![HashSet::new(); n];
+    let mut def_b = vec![HashSet::new(); n];
+    for (i, b) in f.blocks.iter().enumerate() {
+        for inst in &b.insts {
+            for u in inst.uses() {
+                if !def_b[i].contains(&u) {
+                    use_b[i].insert(u);
+                }
+            }
+            // Annotations act as uses of their variables.
+            annotation_uses(inst, |v| {
+                if !def_b[i].contains(&v) {
+                    use_b[i].insert(v);
+                }
+            });
+            if let Some(d) = inst.def() {
+                def_b[i].insert(d);
+            }
+        }
+        for u in b.term.uses() {
+            if !def_b[i].contains(&u) {
+                use_b[i].insert(u);
+            }
+        }
+    }
+
+    let mut live_in = vec![HashSet::new(); n];
+    let mut live_out = vec![HashSet::new(); n];
+    let rpo = f.reverse_postorder();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Backward problem: iterate in postorder (reversed RPO).
+        for &b in rpo.iter().rev() {
+            let i = b.index();
+            let mut out = HashSet::new();
+            for s in f.block(b).term.successors() {
+                out.extend(live_in[s.index()].iter().copied());
+            }
+            let mut inn: HashSet<VReg> = use_b[i].clone();
+            for v in &out {
+                if !def_b[i].contains(v) {
+                    inn.insert(*v);
+                }
+            }
+            if out != live_out[i] || inn != live_in[i] {
+                live_out[i] = out;
+                live_in[i] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+/// Invoke `f` for each variable an annotation pseudo-instruction names;
+/// these count as uses so the specializer can read the values.
+pub(crate) fn annotation_uses(inst: &crate::inst::Inst, mut f: impl FnMut(VReg)) {
+    use crate::inst::Inst;
+    match inst {
+        Inst::MakeStatic { vars } => {
+            for (v, _) in vars {
+                f(*v);
+            }
+        }
+        Inst::MakeDynamic { vars } => {
+            for v in vars {
+                f(*v);
+            }
+        }
+        Inst::Promote { var } => f(*var),
+        _ => {}
+    }
+}
+
+/// Immediate dominators, computed by the simple iterative algorithm
+/// (Cooper/Harvey/Kennedy). Unreachable blocks have no entry.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    idom: HashMap<BlockId, BlockId>,
+}
+
+impl Dominators {
+    /// Compute dominators for `f`.
+    pub fn compute(f: &FuncIr) -> Dominators {
+        let rpo = f.reverse_postorder();
+        let mut order = HashMap::new();
+        for (i, b) in rpo.iter().enumerate() {
+            order.insert(*b, i);
+        }
+        let preds = f.predecessors();
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(f.entry, f.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if !idom.contains_key(&p) {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &order, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// The immediate dominator of `b` (the entry dominates itself).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(&b).copied()
+    }
+
+    /// True if `a` dominates `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom.get(&cur) {
+                Some(&d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &HashMap<BlockId, BlockId>,
+    order: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while order[&a] > order[&b] {
+            a = idom[&a];
+        }
+        while order[&b] > order[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+/// A natural loop: header plus body blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub body: HashSet<BlockId>,
+}
+
+/// Find natural loops via back edges (`s -> h` where `h` dominates `s`).
+/// Loops sharing a header are merged.
+pub fn natural_loops(f: &FuncIr) -> Vec<NaturalLoop> {
+    let dom = Dominators::compute(f);
+    let preds = f.predecessors();
+    let mut by_header: HashMap<BlockId, HashSet<BlockId>> = HashMap::new();
+    for b in f.reverse_postorder() {
+        for s in f.block(b).term.successors() {
+            if dom.dominates(s, b) {
+                // Back edge b -> s; collect the loop body by walking
+                // predecessors from the latch.
+                let body = by_header.entry(s).or_default();
+                body.insert(s);
+                let mut stack = vec![b];
+                while let Some(x) = stack.pop() {
+                    if body.insert(x) {
+                        for &p in &preds[x.index()] {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<NaturalLoop> =
+        by_header.into_iter().map(|(header, body)| NaturalLoop { header, body }).collect();
+    out.sort_by_key(|l| l.header);
+    out
+}
+
+/// Block headers of all natural loops (convenience for the BTA).
+pub fn loop_headers(f: &FuncIr) -> HashSet<BlockId> {
+    natural_loops(f).into_iter().map(|l| l.header).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use dyc_lang::parse_program;
+
+    fn ir_of(src: &str) -> FuncIr {
+        lower_program(&parse_program(src).unwrap()).unwrap().funcs.remove(0)
+    }
+
+    #[test]
+    fn liveness_of_straight_line() {
+        let f = ir_of("int f(int a, int b) { int c = a + b; return c; }");
+        let lv = liveness(&f);
+        // Params are live into the entry block.
+        assert!(lv.live_in[f.entry.index()].contains(&f.params[0]));
+        assert!(lv.live_in[f.entry.index()].contains(&f.params[1]));
+    }
+
+    #[test]
+    fn liveness_circulates_around_loops() {
+        let f = ir_of("int f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }");
+        let lv = liveness(&f);
+        // In the loop head, both n and s are live.
+        let heads = loop_headers(&f);
+        let h = heads.iter().next().copied().expect("one loop");
+        assert!(lv.live_in[h.index()].len() >= 2);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let f = ir_of(
+            "int f(int c) { int r = 0; if (c) { r = 1; } else { r = 2; } return r; }",
+        );
+        let dom = Dominators::compute(&f);
+        // Entry dominates everything reachable.
+        for b in f.reverse_postorder() {
+            assert!(dom.dominates(f.entry, b));
+        }
+    }
+
+    #[test]
+    fn finds_single_natural_loop() {
+        let f = ir_of("int f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }");
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        assert!(loops[0].body.len() >= 2);
+        assert!(loops[0].body.contains(&loops[0].header));
+    }
+
+    #[test]
+    fn finds_nested_loops() {
+        let f = ir_of(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; ++i) { for (int j = 0; j < n; ++j) { s += 1; } } return s; }",
+        );
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 2);
+        // One loop's body contains the other's header.
+        let (a, b) = (&loops[0], &loops[1]);
+        assert!(a.body.contains(&b.header) || b.body.contains(&a.header));
+    }
+
+    #[test]
+    fn make_static_keeps_variable_alive() {
+        let f = ir_of("void f(int x) { int y = x + 1; make_static(y); }");
+        let lv = liveness(&f);
+        // y is used only by the annotation but must be live at entry of the
+        // block after its definition — check it is in some use set.
+        let any_live = (0..f.blocks.len()).any(|i| !lv.live_in[i].is_empty() || !lv.live_out[i].is_empty());
+        assert!(any_live);
+    }
+}

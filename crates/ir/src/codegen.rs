@@ -1,0 +1,407 @@
+//! Static code generation: IR → VM code, ignoring annotations.
+//!
+//! This produces the paper's "statically compiled version", which "is
+//! compiled by ignoring the annotations in the application source" (§3.3).
+//! Virtual registers map directly onto VM registers (register pressure is
+//! outside the performance model); integer constants are folded into
+//! immediate operand fields where all their uses allow it, mirroring what
+//! any RISC compiler does with literal fields.
+
+use crate::analysis::liveness;
+use crate::func::{FuncIr, ProgramIr};
+use crate::ids::{BlockId, VReg};
+use crate::inst::{Callee, Inst, Term};
+use dyc_vm::{CodeFunc, FuncId, Instr, Module, Operand};
+use std::collections::HashMap;
+
+/// A point at which the emitted code hands control to the run-time system:
+/// the instruction at `(block, inst_idx)` (a `MakeStatic`) is replaced by a
+/// `Dispatch` to site `point` passing the live variables `args`, followed
+/// by a return of the dispatch result. This is how a *dynamic region entry*
+/// is compiled into the otherwise-static code of an annotated function.
+#[derive(Debug, Clone)]
+pub struct DispatchSplice {
+    /// Block containing the `make_static`.
+    pub block: BlockId,
+    /// Instruction index of the `make_static` within the block.
+    pub inst_idx: usize,
+    /// Run-time site id to dispatch to.
+    pub point: u32,
+    /// Live variables passed to the dispatch (key vars + pass-throughs).
+    pub args: Vec<VReg>,
+}
+
+/// Generate a VM module for the whole program. Function `i` in the IR
+/// becomes `FuncId(i)` in the module.
+pub fn codegen_program(p: &ProgramIr) -> Module {
+    let mut m = Module::new();
+    for f in &p.funcs {
+        let id = m.add_func(codegen_func(f));
+        debug_assert_eq!(id, FuncId(p.func_index(&f.name).unwrap() as u32));
+    }
+    m
+}
+
+/// Generate VM code for one function, ignoring annotations.
+pub fn codegen_func(f: &FuncIr) -> CodeFunc {
+    codegen_func_with_splices(f, &[])
+}
+
+/// Generate VM code for one function, replacing each spliced `make_static`
+/// site with a `Dispatch` to the run-time system (the *driver stub* used by
+/// the dynamic build).
+pub fn codegen_func_with_splices(f: &FuncIr, splices: &[DispatchSplice]) -> CodeFunc {
+    let lv = liveness(f);
+    // Scratch register for switch lowering.
+    let scratch = f.n_vregs() as u32;
+    let mut out = CodeFunc::new(f.name.clone(), f.params.len(), f.n_vregs() + 1);
+
+    let layout = f.reverse_postorder();
+    let mut block_start: HashMap<BlockId, u32> = HashMap::new();
+    // (vm instruction index, target block) pairs needing patching.
+    let mut fixups: Vec<(u32, BlockId)> = Vec::new();
+
+    for (li, &b) in layout.iter().enumerate() {
+        block_start.insert(b, out.len() as u32);
+        let block = f.block(b);
+        let live_out = &lv.live_out[b.index()];
+
+        // Decide which in-block integer constants can live purely in
+        // immediate fields (all uses are imm-capable and not live-out).
+        let mut fold_ok: HashMap<usize, bool> = HashMap::new(); // inst idx -> ok
+        let mut latest_def: HashMap<VReg, usize> = HashMap::new(); // vreg -> inst idx
+        for (i, inst) in block.insts.iter().enumerate() {
+            // Check uses first (an inst may read its own previous value).
+            let imm_positions = imm_capable_uses(inst);
+            for u in inst.uses() {
+                if let Some(&di) = latest_def.get(&u) {
+                    if !imm_positions.contains(&u) {
+                        fold_ok.insert(di, false);
+                    }
+                }
+            }
+            crate::analysis::annotation_uses(inst, |v| {
+                if let Some(&di) = latest_def.get(&v) {
+                    fold_ok.insert(di, false);
+                }
+            });
+            if let Some(d) = inst.def() {
+                if let Inst::ConstI { .. } = inst {
+                    fold_ok.insert(i, true);
+                    latest_def.insert(d, i);
+                } else {
+                    latest_def.remove(&d);
+                }
+            }
+        }
+        for u in block.term.uses() {
+            if let Some(&di) = latest_def.get(&u) {
+                fold_ok.insert(di, false);
+            }
+        }
+        for (v, di) in &latest_def {
+            if live_out.contains(v) {
+                fold_ok.insert(*di, false);
+            }
+        }
+
+        // Emit instructions, tracking current immediate bindings.
+        let splice = splices.iter().find(|s| s.block == b);
+        let mut spliced = false;
+        let mut imm: HashMap<VReg, i64> = HashMap::new();
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Some(s) = splice {
+                if i == s.inst_idx {
+                    // Replace the make_static with a region-entry dispatch.
+                    let dst = f.ret_ty.map(|_| scratch);
+                    out.push(Instr::Dispatch {
+                        point: s.point,
+                        dst,
+                        args: s.args.iter().map(|v| v.0).collect(),
+                    });
+                    out.push(Instr::Ret { src: dst });
+                    spliced = true;
+                    break;
+                }
+            }
+            if let Some(d) = inst.def() {
+                // A redefinition ends any immediate binding.
+                if !matches!(inst, Inst::ConstI { .. }) {
+                    imm.remove(&d);
+                }
+            }
+            match inst {
+                Inst::ConstI { dst, v } => {
+                    if fold_ok.get(&i).copied().unwrap_or(false) {
+                        imm.insert(*dst, *v);
+                    } else {
+                        imm.remove(dst);
+                        out.push(Instr::MovI { dst: dst.0, imm: *v });
+                    }
+                }
+                Inst::ConstF { dst, v } => {
+                    out.push(Instr::MovF { dst: dst.0, imm: *v });
+                }
+                Inst::Copy { dst, src } => {
+                    // Float moves run in the FP pipeline (and cost like an
+                    // FP op on the 21164) — keep both builds honest.
+                    if f.ty(*dst) == crate::ids::IrTy::Float {
+                        out.push(Instr::FMov { dst: dst.0, src: src.0 });
+                    } else {
+                        out.push(Instr::Mov { dst: dst.0, src: src.0 });
+                    }
+                }
+                Inst::IBin { op, dst, a, b } => {
+                    let bo = operand(&imm, *b);
+                    out.push(Instr::IAlu { op: *op, dst: dst.0, a: a.0, b: bo });
+                }
+                Inst::FBin { op, dst, a, b } => {
+                    out.push(Instr::FAlu { op: *op, dst: dst.0, a: a.0, b: b.0 });
+                }
+                Inst::ICmp { cc, dst, a, b } => {
+                    let bo = operand(&imm, *b);
+                    out.push(Instr::ICmp { cc: *cc, dst: dst.0, a: a.0, b: bo });
+                }
+                Inst::FCmp { cc, dst, a, b } => {
+                    out.push(Instr::FCmp { cc: *cc, dst: dst.0, a: a.0, b: b.0 });
+                }
+                Inst::Un { op, dst, src } => {
+                    out.push(Instr::Un { op: *op, dst: dst.0, src: src.0 });
+                }
+                Inst::Load { ty, dst, base, idx, .. } => {
+                    let io = operand(&imm, *idx);
+                    out.push(Instr::Load { ty: ty.vm_ty(), dst: dst.0, base: base.0, idx: io });
+                }
+                Inst::Store { ty, base, idx, src } => {
+                    let io = operand(&imm, *idx);
+                    out.push(Instr::Store { ty: ty.vm_ty(), base: base.0, idx: io, src: src.0 });
+                }
+                Inst::Call { callee, dst, args } => {
+                    let args: Vec<u32> = args.iter().map(|a| a.0).collect();
+                    match callee {
+                        Callee::Func { index, .. } => out.push(Instr::Call {
+                            func: FuncId(*index as u32),
+                            dst: dst.map(|d| d.0),
+                            args,
+                        }),
+                        Callee::Host(h) => {
+                            out.push(Instr::CallHost { f: *h, dst: dst.map(|d| d.0), args })
+                        }
+                    };
+                }
+                // Annotations vanish in the static build.
+                Inst::MakeStatic { .. } | Inst::MakeDynamic { .. } | Inst::Promote { .. } => {}
+            }
+        }
+
+        if spliced {
+            continue;
+        }
+        // Terminator, with fallthrough to the next block in layout.
+        let next = layout.get(li + 1).copied();
+        match &block.term {
+            Term::Jmp(t) => {
+                if Some(*t) != next {
+                    let at = out.push(Instr::Jmp { target: 0 });
+                    fixups.push((at, *t));
+                }
+            }
+            Term::Br { cond, t, f: fb } => {
+                if Some(*fb) == next {
+                    let at = out.push(Instr::Brnz { cond: cond.0, target: 0 });
+                    fixups.push((at, *t));
+                } else if Some(*t) == next {
+                    let at = out.push(Instr::Brz { cond: cond.0, target: 0 });
+                    fixups.push((at, *fb));
+                } else {
+                    let at = out.push(Instr::Brnz { cond: cond.0, target: 0 });
+                    fixups.push((at, *t));
+                    let at2 = out.push(Instr::Jmp { target: 0 });
+                    fixups.push((at2, *fb));
+                }
+            }
+            Term::Switch { on, cases, default } => {
+                // Compare-and-branch chain (sparse cases).
+                for (k, target) in cases {
+                    out.push(Instr::ICmp {
+                        cc: dyc_vm::Cc::Eq,
+                        dst: scratch,
+                        a: on.0,
+                        b: Operand::Imm(*k),
+                    });
+                    let at = out.push(Instr::Brnz { cond: scratch, target: 0 });
+                    fixups.push((at, *target));
+                }
+                if Some(*default) != next {
+                    let at = out.push(Instr::Jmp { target: 0 });
+                    fixups.push((at, *default));
+                }
+            }
+            Term::Ret(v) => {
+                out.push(Instr::Ret { src: v.map(|r| r.0) });
+            }
+        }
+    }
+
+    for (at, target) in fixups {
+        let dest = block_start[&target];
+        match &mut out.code[at as usize] {
+            Instr::Jmp { target } | Instr::Brz { target, .. } | Instr::Brnz { target, .. } => {
+                *target = dest;
+            }
+            other => unreachable!("fixup on non-branch {other:?}"),
+        }
+    }
+    out
+}
+
+/// Registers appearing in immediate-capable positions of `inst`.
+fn imm_capable_uses(inst: &Inst) -> Vec<VReg> {
+    match inst {
+        Inst::IBin { b, .. } | Inst::ICmp { b, .. } => vec![*b],
+        Inst::Load { idx, .. } => vec![*idx],
+        Inst::Store { idx, .. } => vec![*idx],
+        _ => vec![],
+    }
+}
+
+fn operand(imm: &HashMap<VReg, i64>, r: VReg) -> Operand {
+    match imm.get(&r) {
+        Some(v) => Operand::Imm(*v),
+        None => Operand::Reg(r.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use crate::opt::optimize_program;
+    use dyc_lang::parse_program;
+    use dyc_vm::{CostModel, Value, Vm};
+
+    fn compile(src: &str) -> (Module, FuncId) {
+        let mut ir = lower_program(&parse_program(src).unwrap()).unwrap();
+        optimize_program(&mut ir);
+        crate::verify::verify_program(&ir).unwrap();
+        let m = codegen_program(&ir);
+        (m, FuncId(0))
+    }
+
+    fn run_int(src: &str, args: &[Value]) -> i64 {
+        let (mut m, id) = compile(src);
+        let mut vm = Vm::without_icache(CostModel::unit());
+        vm.set_step_limit(1_000_000);
+        vm.call(&mut m, id, args).unwrap().unwrap().as_i()
+    }
+
+    #[test]
+    fn compiles_and_runs_arithmetic() {
+        assert_eq!(run_int("int f(int a, int b) { return a * b + 3; }", &[Value::I(6), Value::I(7)]), 45);
+    }
+
+    #[test]
+    fn compiles_loops() {
+        assert_eq!(
+            run_int(
+                "int f(int n) { int s = 0; for (int i = 1; i <= n; ++i) { s += i; } return s; }",
+                &[Value::I(100)]
+            ),
+            5050
+        );
+    }
+
+    #[test]
+    fn compiles_branches_and_logic() {
+        let src = "int f(int a, int b) { if (a > 0 && b > 0) { return 1; } else { return 0; } }";
+        assert_eq!(run_int(src, &[Value::I(1), Value::I(2)]), 1);
+        assert_eq!(run_int(src, &[Value::I(1), Value::I(0)]), 0);
+        assert_eq!(run_int(src, &[Value::I(0), Value::I(5)]), 0);
+    }
+
+    #[test]
+    fn short_circuit_protects_division() {
+        let src = "int f(int a, int b) { return b != 0 && a / b > 1; }";
+        assert_eq!(run_int(src, &[Value::I(10), Value::I(0)]), 0);
+        assert_eq!(run_int(src, &[Value::I(10), Value::I(4)]), 1);
+    }
+
+    #[test]
+    fn compiles_switch() {
+        let src = "int f(int x) { switch (x) { case 1: return 10; case 2: return 20; default: return 30; } return 0; }";
+        assert_eq!(run_int(src, &[Value::I(1)]), 10);
+        assert_eq!(run_int(src, &[Value::I(2)]), 20);
+        assert_eq!(run_int(src, &[Value::I(9)]), 30);
+    }
+
+    #[test]
+    fn compiles_memory_and_arrays() {
+        let src = "float f(float a[][c], int c, int i, int j) { a[i][j] = 2.5; return a[i][j] * 2.0; }";
+        let (mut m, id) = compile(src);
+        let mut vm = Vm::without_icache(CostModel::unit());
+        let base = vm.mem.alloc(16);
+        let out = vm
+            .call(&mut m, id, &[Value::I(base), Value::I(4), Value::I(2), Value::I(3)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(out, Value::F(5.0));
+        assert_eq!(vm.mem.read_float(base + 11), 2.5);
+    }
+
+    #[test]
+    fn compiles_calls_between_functions() {
+        let src = "int sq(int x) { return x * x; } int f(int a) { return sq(a) + sq(a + 1); }";
+        let mut ir = lower_program(&parse_program(src).unwrap()).unwrap();
+        optimize_program(&mut ir);
+        let mut m = codegen_program(&ir);
+        let f_id = m.func_by_name("f").unwrap();
+        let mut vm = Vm::without_icache(CostModel::unit());
+        assert_eq!(vm.call(&mut m, f_id, &[Value::I(3)]).unwrap().unwrap().as_i(), 9 + 16);
+    }
+
+    #[test]
+    fn constants_fold_into_immediates() {
+        let (m, id) = compile("int f(int x) { return x + 1; }");
+        let code = &m.func(id).code;
+        // `x + 1` should be a single IAlu with an immediate — no MovI.
+        assert!(code.iter().any(|i| matches!(
+            i,
+            Instr::IAlu { b: Operand::Imm(1), .. }
+        )));
+        assert!(!code.iter().any(|i| matches!(i, Instr::MovI { .. })));
+    }
+
+    #[test]
+    fn annotations_do_not_emit_code() {
+        let (m, id) =
+            compile("int f(int x) { make_static(x); promote(x); make_dynamic(x); return x; }");
+        // Only a Ret (and possibly a Mov) — no trace of annotations.
+        assert!(m.func(id).len() <= 2);
+    }
+
+    #[test]
+    fn host_calls_compile() {
+        let src = "float f(float x) { return sqrt(x) + 1.0; }";
+        let (mut m, id) = compile(src);
+        let mut vm = Vm::without_icache(CostModel::unit());
+        let out = vm.call(&mut m, id, &[Value::F(9.0)]).unwrap().unwrap();
+        assert_eq!(out, Value::F(4.0));
+    }
+
+    #[test]
+    fn float_pipeline_end_to_end() {
+        let src = r#"
+            float f(float a[n], int n) {
+                float s = 0.0;
+                for (int i = 0; i < n; ++i) { s += a[i] * 2.0; }
+                return s;
+            }
+        "#;
+        let (mut m, id) = compile(src);
+        let mut vm = Vm::without_icache(CostModel::unit());
+        let base = vm.mem.alloc(4);
+        vm.mem.write_floats(base, &[1.0, 2.0, 3.0, 4.0]);
+        let out = vm.call(&mut m, id, &[Value::I(base), Value::I(4)]).unwrap().unwrap();
+        assert_eq!(out, Value::F(20.0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Function and program containers, with basic CFG utilities.
+
+use crate::ids::{BlockId, IrTy, VReg};
+use crate::inst::{Inst, Term};
+use std::collections::HashMap;
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The instructions, in order.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Term,
+}
+
+impl Block {
+    /// An empty block ending in a return (placeholder during construction).
+    pub fn new() -> Block {
+        Block { insts: Vec::new(), term: Term::Ret(None) }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block::new()
+    }
+}
+
+/// A function in IR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncIr {
+    /// Function name.
+    pub name: String,
+    /// `static` (pure) qualifier from the source.
+    pub is_static: bool,
+    /// Parameter registers, in order.
+    pub params: Vec<VReg>,
+    /// Return type; `None` for void.
+    pub ret_ty: Option<IrTy>,
+    /// Type of every virtual register, indexed by register number.
+    pub vreg_tys: Vec<IrTy>,
+    /// The blocks; `BlockId` indexes this vector.
+    pub blocks: Vec<Block>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Names of source variables (diagnostics only).
+    pub vreg_names: HashMap<VReg, String>,
+}
+
+impl FuncIr {
+    /// A new function with no blocks yet.
+    pub fn new(name: impl Into<String>) -> FuncIr {
+        FuncIr {
+            name: name.into(),
+            is_static: false,
+            params: Vec::new(),
+            ret_ty: None,
+            vreg_tys: Vec::new(),
+            blocks: Vec::new(),
+            entry: BlockId(0),
+            vreg_names: HashMap::new(),
+        }
+    }
+
+    /// Allocate a fresh virtual register of type `ty`.
+    pub fn new_vreg(&mut self, ty: IrTy) -> VReg {
+        let r = VReg(self.vreg_tys.len() as u32);
+        self.vreg_tys.push(ty);
+        r
+    }
+
+    /// Allocate a fresh basic block.
+    pub fn new_block(&mut self) -> BlockId {
+        let b = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new());
+        b
+    }
+
+    /// Access a block.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    /// The type of a register.
+    pub fn ty(&self, r: VReg) -> IrTy {
+        self.vreg_tys[r.index()]
+    }
+
+    /// Number of virtual registers.
+    pub fn n_vregs(&self) -> usize {
+        self.vreg_tys.len()
+    }
+
+    /// Predecessor lists for every block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                preds[s.index()].push(BlockId(i as u32));
+            }
+        }
+        preds
+    }
+
+    /// Blocks in reverse postorder from the entry (unreachable blocks are
+    /// omitted).
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::new();
+        // Iterative DFS with an explicit stack.
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        visited[self.entry.index()] = true;
+        while let Some((b, i)) = stack.last_mut() {
+            let succs = self.block(*b).term.successors();
+            if *i < succs.len() {
+                let s = succs[*i];
+                *i += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(*b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Total instruction count (excluding annotations), a proxy for the
+    /// paper's Table 1 "Instructions" column.
+    pub fn instruction_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.insts.iter().filter(|i| !i.is_annotation()).count() + 1)
+            .sum()
+    }
+
+    /// True if the function contains any annotation (has a dynamic region).
+    pub fn has_annotations(&self) -> bool {
+        self.blocks.iter().any(|b| b.insts.iter().any(Inst::is_annotation))
+    }
+}
+
+/// A lowered program: all functions, with call targets resolved by index.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProgramIr {
+    /// The functions; `Callee::Func.index` indexes this vector.
+    pub funcs: Vec<FuncIr>,
+}
+
+impl ProgramIr {
+    /// Find a function index by name.
+    pub fn func_index(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+
+    /// Find a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncIr> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpo_visits_entry_first_and_skips_unreachable() {
+        let mut f = FuncIr::new("t");
+        let b0 = f.new_block();
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let _unreachable = f.new_block();
+        f.entry = b0;
+        f.block_mut(b0).term = Term::Jmp(b1);
+        f.block_mut(b1).term = Term::Jmp(b2);
+        f.block_mut(b2).term = Term::Ret(None);
+        let rpo = f.reverse_postorder();
+        assert_eq!(rpo, vec![b0, b1, b2]);
+    }
+
+    #[test]
+    fn predecessors_cover_branches() {
+        let mut f = FuncIr::new("t");
+        let b0 = f.new_block();
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        f.entry = b0;
+        let c = f.new_vreg(IrTy::Int);
+        f.block_mut(b0).term = Term::Br { cond: c, t: b1, f: b2 };
+        f.block_mut(b1).term = Term::Jmp(b2);
+        f.block_mut(b2).term = Term::Ret(None);
+        let preds = f.predecessors();
+        assert_eq!(preds[b2.index()], vec![b0, b1]);
+    }
+
+    #[test]
+    fn vreg_types_tracked() {
+        let mut f = FuncIr::new("t");
+        let a = f.new_vreg(IrTy::Int);
+        let b = f.new_vreg(IrTy::Float);
+        assert_eq!(f.ty(a), IrTy::Int);
+        assert_eq!(f.ty(b), IrTy::Float);
+        assert_eq!(f.n_vregs(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Identifier newtypes for the IR.
+
+use std::fmt;
+
+/// A virtual register. Source variables keep one `VReg` for their whole
+/// lifetime (the IR is deliberately not SSA — DyC's binding-time analysis
+/// is formulated over variables at program points, and so is ours);
+/// expression temporaries get fresh registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    /// The register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A basic-block id within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// IR-level scalar types. Addresses (array bases) are `Int`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IrTy {
+    /// 64-bit integer (also booleans and addresses).
+    Int,
+    /// 64-bit float.
+    Float,
+}
+
+impl IrTy {
+    /// The corresponding VM memory-access type.
+    pub fn vm_ty(self) -> dyc_vm::Ty {
+        match self {
+            IrTy::Int => dyc_vm::Ty::Int,
+            IrTy::Float => dyc_vm::Ty::Float,
+        }
+    }
+}
+
+impl fmt::Display for IrTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrTy::Int => write!(f, "int"),
+            IrTy::Float => write!(f, "float"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VReg(3).to_string(), "v3");
+        assert_eq!(BlockId(1).to_string(), "bb1");
+        assert_eq!(IrTy::Float.to_string(), "float");
+    }
+
+    #[test]
+    fn vm_type_mapping() {
+        assert_eq!(IrTy::Int.vm_ty(), dyc_vm::Ty::Int);
+        assert_eq!(IrTy::Float.vm_ty(), dyc_vm::Ty::Float);
+    }
+}

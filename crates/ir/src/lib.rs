@@ -1,0 +1,45 @@
+//! # dyc-ir — the CFG intermediate representation
+//!
+//! DyC is built inside the Multiflow compiler: annotated C is lowered to a
+//! CFG, traditional intraprocedural optimizations run "stopping just prior
+//! to register allocation and scheduling" (§2.1), and then the binding-time
+//! analysis and staging operate on the optimized CFG. This crate is that
+//! mid-end:
+//!
+//! * [`lower`] — AST → typed CFG IR ([`FuncIr`]), including short-circuit
+//!   control flow, 2-D array addressing, and annotation pseudo-instructions.
+//! * [`opt`] — the traditional optimizations applied to *both* the static
+//!   and dynamic builds (the paper compiles both with the same options,
+//!   §3.3): constant folding/propagation, copy propagation, local CSE,
+//!   dead-code elimination, branch folding, and CFG simplification.
+//! * [`analysis`] — liveness, dominators, and natural-loop discovery
+//!   (needed by the BTA and by the staging ablations).
+//! * [`codegen`] — the static build: IR → VM code, ignoring annotations
+//!   (this produces the paper's "statically compiled version").
+//! * [`verify`] — an IR sanity checker used throughout the test suite.
+//!
+//! ## Example
+//!
+//! ```
+//! use dyc_ir::lower::lower_program;
+//! use dyc_lang::parse_program;
+//!
+//! let ast = parse_program("int add(int a, int b) { return a + b; }").unwrap();
+//! let ir = lower_program(&ast).unwrap();
+//! assert_eq!(ir.funcs[0].name, "add");
+//! ```
+
+pub mod analysis;
+pub mod codegen;
+pub mod func;
+pub mod ids;
+pub mod inst;
+pub mod lower;
+pub mod opt;
+pub mod pretty;
+pub mod verify;
+
+pub use func::{Block, FuncIr, ProgramIr};
+pub use ids::{BlockId, IrTy, VReg};
+pub use inst::{Callee, Inst, Term};
+pub use lower::{lower_program, LowerError};

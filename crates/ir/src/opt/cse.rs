@@ -1,0 +1,158 @@
+//! Local common-subexpression elimination by value numbering.
+//!
+//! Catches the repeated address arithmetic 2-D indexing produces
+//! (`i * ncols + j` computed for both a load and a nearby store). Loads
+//! participate until the next store or impure call invalidates memory.
+
+use crate::func::FuncIr;
+use crate::ids::{IrTy, VReg};
+use crate::inst::Inst;
+use dyc_vm::{Cc, FAluOp, IAluOp, UnOp};
+use std::collections::HashMap;
+
+/// Value-number key for a pure computation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    IBin(IAluOp, VReg, VReg),
+    FBin(FKey, VReg, VReg),
+    ICmp(Cc, VReg, VReg),
+    FCmp(Cc, VReg, VReg),
+    Un(UKey, VReg),
+    Load(IrTy, VReg, VReg, bool, u64),
+}
+
+// FAluOp/UnOp are Hash-able already; wrap to keep derive simple if needed.
+type FKey = FAluOp;
+type UKey = UnOp;
+
+/// Run one pass; returns true if anything changed.
+pub fn run(f: &mut FuncIr) -> bool {
+    let mut changed = false;
+    for block in &mut f.blocks {
+        let mut table: HashMap<Key, VReg> = HashMap::new();
+        let mut mem_version = 0u64;
+        for inst in &mut block.insts {
+            let key = match inst {
+                Inst::IBin { op, a, b, .. } => {
+                    // Normalize commutative operands.
+                    let (a, b) = if commutative_i(*op) && b < a { (*b, *a) } else { (*a, *b) };
+                    Some(Key::IBin(*op, a, b))
+                }
+                Inst::FBin { op, a, b, .. } => {
+                    let (a, b) = if commutative_f(*op) && b < a { (*b, *a) } else { (*a, *b) };
+                    Some(Key::FBin(*op, a, b))
+                }
+                Inst::ICmp { cc, a, b, .. } => Some(Key::ICmp(*cc, *a, *b)),
+                Inst::FCmp { cc, a, b, .. } => Some(Key::FCmp(*cc, *a, *b)),
+                Inst::Un { op, src, .. } => Some(Key::Un(*op, *src)),
+                Inst::Load { ty, base, idx, is_static, .. } => {
+                    Some(Key::Load(*ty, *base, *idx, *is_static, mem_version))
+                }
+                Inst::Store { .. } => {
+                    mem_version += 1;
+                    None
+                }
+                Inst::Call { callee, .. } => {
+                    if !callee.is_pure() {
+                        mem_version += 1;
+                    }
+                    None
+                }
+                _ => None,
+            };
+            let Some(dst) = inst.def() else {
+                continue;
+            };
+            let hit = key.as_ref().and_then(|k| table.get(k).copied());
+            // The redefinition of dst invalidates table entries that
+            // mention it (as operand or as the memoized result).
+            table.retain(|k, v| *v != dst && !key_uses(k, dst));
+            match hit {
+                Some(prev) if prev != dst => {
+                    *inst = Inst::Copy { dst, src: prev };
+                    changed = true;
+                }
+                Some(_) => {}
+                None => {
+                    if let Some(key) = key {
+                        table.insert(key, dst);
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+fn key_uses(k: &Key, r: VReg) -> bool {
+    match k {
+        Key::IBin(_, a, b) | Key::FBin(_, a, b) | Key::ICmp(_, a, b) | Key::FCmp(_, a, b) => {
+            *a == r || *b == r
+        }
+        Key::Un(_, a) => *a == r,
+        Key::Load(_, base, idx, _, _) => *base == r || *idx == r,
+    }
+}
+
+fn commutative_i(op: IAluOp) -> bool {
+    matches!(op, IAluOp::Add | IAluOp::Mul | IAluOp::And | IAluOp::Or | IAluOp::Xor)
+}
+
+fn commutative_f(op: FAluOp) -> bool {
+    matches!(op, FAluOp::Add | FAluOp::Mul)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use dyc_lang::parse_program;
+
+    fn cse_of(src: &str) -> FuncIr {
+        let mut ir = lower_program(&parse_program(src).unwrap()).unwrap();
+        let mut f = ir.funcs.remove(0);
+        run(&mut f);
+        f
+    }
+
+    fn count_ibins(f: &FuncIr) -> usize {
+        f.blocks.iter().flat_map(|b| &b.insts).filter(|i| matches!(i, Inst::IBin { .. })).count()
+    }
+
+    #[test]
+    fn dedups_repeated_expression() {
+        let f = cse_of("int f(int a, int b) { int x = a + b; int y = a + b; return x + y; }");
+        // a+b computed once; x+y remains.
+        assert_eq!(count_ibins(&f), 2);
+    }
+
+    #[test]
+    fn commutative_operands_normalize() {
+        let f = cse_of("int f(int a, int b) { int x = a + b; int y = b + a; return x * y; }");
+        assert_eq!(count_ibins(&f), 2); // one add + one mul
+    }
+
+    #[test]
+    fn store_invalidates_loads() {
+        let f = cse_of(
+            "int f(int a[n], int n, int i) { int x = a[i]; a[i] = x + 1; int y = a[i]; return y; }",
+        );
+        let loads =
+            f.blocks.iter().flat_map(|b| &b.insts).filter(|i| matches!(i, Inst::Load { .. })).count();
+        assert_eq!(loads, 2, "the load after the store must not be reused");
+    }
+
+    #[test]
+    fn duplicate_loads_without_store_merge() {
+        let f = cse_of("int f(int a[n], int n, int i) { int x = a[i]; int y = a[i]; return x + y; }");
+        let loads =
+            f.blocks.iter().flat_map(|b| &b.insts).filter(|i| matches!(i, Inst::Load { .. })).count();
+        assert_eq!(loads, 1);
+    }
+
+    #[test]
+    fn redefinition_of_operand_invalidates() {
+        let f = cse_of("int f(int a, int b) { int x = a + b; a = x; int y = a + b; return y; }");
+        assert_eq!(count_ibins(&f), 2, "a changed; a+b must be recomputed");
+    }
+}

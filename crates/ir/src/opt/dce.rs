@@ -1,0 +1,99 @@
+//! Global dead-code elimination (liveness based).
+
+use crate::analysis::liveness;
+use crate::func::FuncIr;
+
+/// Remove pure instructions whose results are never used. Returns true if
+/// anything was removed.
+pub fn run(f: &mut FuncIr) -> bool {
+    let lv = liveness(f);
+    let mut changed = false;
+    for (bi, block) in f.blocks.iter_mut().enumerate() {
+        let mut live = lv.live_out[bi].clone();
+        live.extend(block.term.uses());
+        // Walk backwards, dropping pure defs of dead registers.
+        let mut keep = Vec::with_capacity(block.insts.len());
+        for inst in block.insts.iter().rev() {
+            let dead = match inst.def() {
+                Some(d) => !live.contains(&d),
+                None => false,
+            };
+            if dead && inst.is_pure() {
+                changed = true;
+                continue;
+            }
+            if let Some(d) = inst.def() {
+                live.remove(&d);
+            }
+            for u in inst.uses() {
+                live.insert(u);
+            }
+            // Annotations keep their variables alive and are never removed.
+            crate::analysis::annotation_uses(inst, |v| {
+                live.insert(v);
+            });
+            keep.push(inst.clone());
+        }
+        keep.reverse();
+        if keep.len() != block.insts.len() {
+            block.insts = keep;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::lower::lower_program;
+    use dyc_lang::parse_program;
+
+    fn dce_of(src: &str) -> FuncIr {
+        let mut ir = lower_program(&parse_program(src).unwrap()).unwrap();
+        let mut f = ir.funcs.remove(0);
+        run(&mut f);
+        f
+    }
+
+    #[test]
+    fn removes_unused_computation() {
+        let f = dce_of("int f(int x) { int unused = x * 37; return x; }");
+        assert!(!f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::IBin { .. })));
+    }
+
+    #[test]
+    fn keeps_stores_and_calls() {
+        let f = dce_of("void f(float a[n], int n) { a[0] = 1.0; print_int(n); }");
+        let insts: Vec<_> = f.blocks.iter().flat_map(|b| &b.insts).collect();
+        assert!(insts.iter().any(|i| matches!(i, Inst::Store { .. })));
+        assert!(insts.iter().any(|i| matches!(i, Inst::Call { .. })));
+    }
+
+    #[test]
+    fn keeps_values_live_across_blocks() {
+        let f = dce_of("int f(int x) { int y = x + 1; if (x) { return y; } return 0; }");
+        assert!(f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::IBin { .. })));
+    }
+
+    #[test]
+    fn removes_dead_pure_host_call() {
+        let f = dce_of("float f(float x) { float unused = cos(x); return x; }");
+        assert!(!f.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i, Inst::Call { .. })));
+    }
+
+    #[test]
+    fn keeps_variables_named_by_annotations() {
+        let f = dce_of("void f(int x) { int key = x + 1; make_static(key); }");
+        // key's definition must survive: the specializer reads it.
+        assert!(f.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i, Inst::IBin { .. })));
+    }
+}

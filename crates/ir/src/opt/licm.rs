@@ -1,0 +1,268 @@
+//! Loop-invariant code motion.
+//!
+//! Multiflow — the compiler DyC is built in — performs serious loop
+//! optimization, so the paper's statically compiled baselines do not
+//! recompute invariant address arithmetic on every iteration. This pass
+//! keeps our static baseline comparably honest: pure, speculation-safe
+//! instructions whose operands are not assigned inside the loop are
+//! hoisted to a preheader.
+//!
+//! Speculation safety: the hoisted instruction executes even on loop-exit
+//! paths that would have skipped it, so loads (may fault) and
+//! divisions/remainders (divide by zero) are never hoisted.
+
+use crate::analysis::{liveness, natural_loops};
+use crate::func::FuncIr;
+use crate::ids::{BlockId, VReg};
+use crate::inst::{Inst, Term};
+use dyc_vm::IAluOp;
+use std::collections::{HashMap, HashSet};
+
+/// Run one pass; returns true if anything was hoisted.
+pub fn run(f: &mut FuncIr) -> bool {
+    // Process one loop per call (the pass pipeline iterates); innermost
+    // first so invariants cascade outward across iterations.
+    let mut loops = natural_loops(f);
+    loops.sort_by_key(|l| l.body.len());
+    let lv = liveness(f);
+    for l in loops {
+        // Count definitions of each register inside the loop.
+        let mut defs: HashMap<VReg, usize> = HashMap::new();
+        for &b in &l.body {
+            for inst in &f.block(b).insts {
+                if let Some(d) = inst.def() {
+                    *defs.entry(d).or_insert(0) += 1;
+                }
+            }
+        }
+        let live_in_header: HashSet<VReg> =
+            lv.live_in[l.header.index()].iter().copied().collect();
+        // Registers holding in-loop constants: invariant by value. Their
+        // defining instruction is cloned into the preheader when a hoisted
+        // instruction reads them.
+        let mut const_defs: HashMap<VReg, Inst> = HashMap::new();
+        for &b in &l.body {
+            for inst in &f.block(b).insts {
+                if let (Some(d), Inst::ConstI { .. } | Inst::ConstF { .. }) = (inst.def(), inst) {
+                    if defs.get(&d).copied() == Some(1) {
+                        const_defs.insert(d, inst.clone());
+                    }
+                }
+            }
+        }
+
+        // Collect hoistable instructions (iterate to a local fixpoint so
+        // chains of invariant computations move together).
+        let mut hoisted: Vec<Inst> = Vec::new();
+        let mut hoisted_defs: HashSet<VReg> = HashSet::new();
+        loop {
+            let mut moved_any = false;
+            for &b in &l.body {
+                let mut i = 0;
+                while i < f.block(b).insts.len() {
+                    let inst = &f.block(b).insts[i];
+                    if is_hoistable(inst, &defs, &hoisted_defs, &const_defs, &live_in_header) {
+                        let inst = f.block_mut(b).insts.remove(i);
+                        // Clone the constants this instruction reads into
+                        // the preheader ahead of it.
+                        for u in inst.uses() {
+                            if !hoisted_defs.contains(&u) && defs.get(&u).copied().unwrap_or(0) > 0
+                            {
+                                let c = const_defs[&u].clone();
+                                hoisted_defs.insert(u);
+                                hoisted.push(c);
+                            }
+                        }
+                        let d = inst.def().expect("hoistable instructions define");
+                        *defs.get_mut(&d).expect("counted") -= 1;
+                        hoisted_defs.insert(d);
+                        hoisted.push(inst);
+                        moved_any = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            if !moved_any {
+                break;
+            }
+        }
+        if hoisted.is_empty() {
+            continue;
+        }
+
+        // Build the preheader and retarget non-backedge predecessors.
+        let preheader = f.new_block();
+        f.block_mut(preheader).insts = hoisted;
+        f.block_mut(preheader).term = Term::Jmp(l.header);
+        let body = l.body.clone();
+        let header = l.header;
+        retarget_entries(f, header, preheader, &body);
+        return true;
+    }
+    false
+}
+
+fn is_hoistable(
+    inst: &Inst,
+    defs: &HashMap<VReg, usize>,
+    hoisted: &HashSet<VReg>,
+    const_defs: &HashMap<VReg, Inst>,
+    live_in_header: &HashSet<VReg>,
+) -> bool {
+    // Pure and safe to execute speculatively.
+    let safe = match inst {
+        // Constants stay put: in-block constants fold into immediate
+        // operand fields at code generation; hoisting would force them
+        // into registers.
+        Inst::ConstI { .. } | Inst::ConstF { .. } => false,
+        Inst::IBin { op, .. } => !matches!(op, IAluOp::Div | IAluOp::Rem),
+        Inst::FBin { .. } | Inst::ICmp { .. } | Inst::FCmp { .. } | Inst::Un { .. } => true,
+        // Loads may fault; copies are free anyway and hoisting them
+        // complicates the rename environments downstream.
+        _ => false,
+    };
+    if !safe {
+        return false;
+    }
+    let Some(d) = inst.def() else {
+        return false;
+    };
+    // Single definition in the loop, not carried into the header.
+    if defs.get(&d).copied().unwrap_or(0) != 1 || live_in_header.contains(&d) {
+        return false;
+    }
+    // Operands defined wholly outside the loop, already hoisted, or
+    // in-loop constants (clonable into the preheader).
+    inst.uses().iter().all(|u| {
+        hoisted.contains(u)
+            || defs.get(u).copied().unwrap_or(0) == 0
+            || const_defs.contains_key(u)
+    })
+}
+
+/// Point every edge that enters `header` from outside the loop at
+/// `preheader` instead.
+fn retarget_entries(f: &mut FuncIr, header: BlockId, preheader: BlockId, body: &HashSet<BlockId>) {
+    if f.entry == header {
+        f.entry = preheader;
+    }
+    let n = f.blocks.len();
+    for bi in 0..n {
+        let b = BlockId(bi as u32);
+        if b == preheader || body.contains(&b) {
+            continue;
+        }
+        f.block_mut(b).term.map_succs(|s| if s == header { preheader } else { s });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use crate::verify::verify_func;
+    use dyc_lang::parse_program;
+
+    fn licm_of(src: &str) -> FuncIr {
+        let mut ir = lower_program(&parse_program(src).unwrap()).unwrap();
+        let mut f = ir.funcs.remove(0);
+        while run(&mut f) {}
+        verify_func(&f, None).unwrap();
+        f
+    }
+
+    fn loop_body_instrs(f: &FuncIr) -> usize {
+        let loops = natural_loops(f);
+        loops.iter().flat_map(|l| &l.body).map(|b| f.block(*b).insts.len()).sum()
+    }
+
+    #[test]
+    fn hoists_invariant_multiplication() {
+        let src = "int f(int n, int k) { int s = 0; for (int i = 0; i < n; ++i) { s += k * 4 + i; } return s; }";
+        let f = licm_of(src);
+        // k * 4 leaves the loop body.
+        let loops = natural_loops(&f);
+        let in_loop_mul = loops.iter().flat_map(|l| &l.body).any(|b| {
+            f.block(*b)
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::IBin { op: IAluOp::Mul, .. }))
+        });
+        assert!(!in_loop_mul, "{}", crate::pretty::func_to_string(&f));
+    }
+
+    #[test]
+    fn does_not_hoist_loads_or_divisions() {
+        let src = "int f(int a[n], int n, int k) { int s = 0; for (int i = 0; i < n; ++i) { s += a[k] + 100 / k; } return s; }";
+        let f = licm_of(src);
+        let loops = natural_loops(&f);
+        let still_in_loop = loops.iter().flat_map(|l| &l.body).any(|b| {
+            f.block(*b).insts.iter().any(|i| {
+                matches!(i, Inst::Load { .. })
+                    || matches!(i, Inst::IBin { op: IAluOp::Div, .. })
+            })
+        });
+        assert!(still_in_loop, "loads and divisions must stay put");
+    }
+
+    #[test]
+    fn does_not_hoist_variant_computation() {
+        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; ++i) { s += i * 2; } return s; }";
+        let f = licm_of(src);
+        let loops = natural_loops(&f);
+        let mul_in_loop = loops.iter().flat_map(|l| &l.body).any(|b| {
+            f.block(*b)
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::IBin { op: IAluOp::Mul, .. } | Inst::IBin { op: IAluOp::Shl, .. }))
+        });
+        assert!(mul_in_loop, "i * 2 varies and must stay");
+    }
+
+    #[test]
+    fn hoisted_code_still_computes_correctly() {
+        use crate::codegen::codegen_program;
+        use dyc_vm::{CostModel, Value, Vm};
+        let src = "int f(int n, int k) { int s = 0; for (int i = 0; i < n; ++i) { s += k * 3; } return s; }";
+        let mut ir = lower_program(&parse_program(src).unwrap()).unwrap();
+        crate::opt::optimize_program(&mut ir);
+        let mut m = codegen_program(&ir);
+        let mut vm = Vm::without_icache(CostModel::unit());
+        let out = vm.call(&mut m, dyc_vm::FuncId(0), &[Value::I(10), Value::I(5)]).unwrap();
+        assert_eq!(out, Some(Value::I(150)));
+    }
+
+    #[test]
+    fn nested_loop_address_arithmetic_cascades_out() {
+        let src = r#"
+            float f(float a[][c], int r, int c) {
+                float s = 0.0;
+                for (int i = 0; i < r; ++i) {
+                    for (int j = 0; j < c; ++j) {
+                        s = s + a[i][j];
+                    }
+                }
+                return s;
+            }
+        "#;
+        let before = {
+            let mut ir = lower_program(&parse_program(src).unwrap()).unwrap();
+            let f = ir.funcs.remove(0);
+            loop_body_instrs(&f)
+        };
+        let f = licm_of(src);
+        // The i * c multiply moves from the inner loop to the outer body
+        // (it still depends on i, so it stays within the outer loop).
+        assert!(loop_body_instrs(&f) <= before);
+        let loops = natural_loops(&f);
+        let inner = loops.iter().min_by_key(|l| l.body.len()).unwrap();
+        let mul_in_inner = inner.body.iter().any(|b| {
+            f.block(*b)
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::IBin { op: IAluOp::Mul, .. }))
+        });
+        assert!(!mul_in_inner, "i*c must leave the inner loop:\n{}", crate::pretty::func_to_string(&f));
+    }
+}

@@ -1,0 +1,89 @@
+//! Traditional intraprocedural optimizations.
+//!
+//! DyC "applies many traditional intraprocedural optimizations, stopping
+//! just prior to register allocation and scheduling" (§2.1), and compiles
+//! the statically and dynamically compiled versions with the same options
+//! (§3.3). These passes therefore run on every build in the reproduction:
+//!
+//! * [`constfold`] — constant folding/propagation, copy propagation, and
+//!   algebraic simplification (block-local, iterated to fixpoint).
+//! * [`cse`] — local common-subexpression elimination by value numbering
+//!   (catches repeated array-address arithmetic).
+//! * [`licm`] — loop-invariant code motion (Multiflow does serious loop
+//!   optimization; the static baselines must not recompute invariant
+//!   address arithmetic every iteration).
+//! * [`dce`] — global liveness-based dead-code elimination.
+//! * [`simplify_cfg`] — constant-branch folding, jump threading,
+//!   unreachable-block removal, and block merging.
+
+pub mod constfold;
+pub mod cse;
+pub mod dce;
+pub mod licm;
+pub mod simplify_cfg;
+
+use crate::func::{FuncIr, ProgramIr};
+
+/// Run the standard pipeline on one function until it stops changing.
+pub fn optimize_func(f: &mut FuncIr) {
+    for _ in 0..16 {
+        let mut changed = false;
+        changed |= constfold::run(f);
+        changed |= cse::run(f);
+        changed |= licm::run(f);
+        changed |= dce::run(f);
+        changed |= simplify_cfg::run(f);
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Run the standard pipeline on every function.
+pub fn optimize_program(p: &mut ProgramIr) {
+    for f in &mut p.funcs {
+        optimize_func(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Inst, Term};
+    use crate::lower::lower_program;
+    use crate::verify::verify_func;
+    use dyc_lang::parse_program;
+
+    fn optimized(src: &str) -> FuncIr {
+        let mut ir = lower_program(&parse_program(src).unwrap()).unwrap();
+        let mut f = ir.funcs.remove(0);
+        optimize_func(&mut f);
+        verify_func(&f, None).unwrap();
+        f
+    }
+
+    #[test]
+    fn pipeline_collapses_constant_function() {
+        let f = optimized("int f() { int a = 2; int b = 3; return a * b + 1; }");
+        // Everything folds to `return 7`.
+        let total: usize = f.blocks.iter().map(|b| b.insts.len()).sum();
+        assert_eq!(total, 1, "expected a single const, got:\n{}", crate::pretty::func_to_string(&f));
+        assert!(matches!(f.block(f.entry).insts[0], Inst::ConstI { v: 7, .. }));
+    }
+
+    #[test]
+    fn pipeline_removes_dead_branches() {
+        let f = optimized("int f(int x) { if (1 < 0) { x = 99; } return x; }");
+        assert!(f.blocks.iter().all(|b| !matches!(b.term, Term::Br { .. })));
+        let total: usize = f.blocks.iter().map(|b| b.insts.len()).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn pipeline_is_idempotent() {
+        let mut f = optimized("int f(int n) { int s = 0; for (int i = 0; i < n; ++i) { s += i * 1; } return s; }");
+        let before = crate::pretty::func_to_string(&f);
+        optimize_func(&mut f);
+        assert_eq!(before, crate::pretty::func_to_string(&f));
+    }
+}

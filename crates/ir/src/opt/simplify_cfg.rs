@@ -1,0 +1,177 @@
+//! CFG simplification: jump threading, unreachable-block removal, and
+//! straight-line block merging.
+
+use crate::func::FuncIr;
+use crate::ids::BlockId;
+use crate::inst::Term;
+use std::collections::HashMap;
+
+/// Run one pass; returns true if anything changed.
+pub fn run(f: &mut FuncIr) -> bool {
+    let mut changed = false;
+    changed |= collapse_trivial_branches(f);
+    changed |= thread_jumps(f);
+    changed |= remove_unreachable(f);
+    changed |= merge_chains(f);
+    changed
+}
+
+/// `br c ? x : x` becomes `jmp x`.
+fn collapse_trivial_branches(f: &mut FuncIr) -> bool {
+    let mut changed = false;
+    for b in &mut f.blocks {
+        if let Term::Br { t, f: fb, .. } = b.term {
+            if t == fb {
+                b.term = Term::Jmp(t);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Retarget edges that point at empty blocks whose only content is `jmp`.
+fn thread_jumps(f: &mut FuncIr) -> bool {
+    // forward[b] = ultimate target of b if b is an empty jmp block.
+    let n = f.blocks.len();
+    let mut forward: Vec<Option<BlockId>> = vec![None; n];
+    for (i, b) in f.blocks.iter().enumerate() {
+        if b.insts.is_empty() {
+            if let Term::Jmp(t) = b.term {
+                if t.index() != i {
+                    forward[i] = Some(t);
+                }
+            }
+        }
+    }
+    let resolve = |mut b: BlockId| {
+        let mut hops = 0;
+        while let Some(t) = forward[b.index()] {
+            b = t;
+            hops += 1;
+            if hops > n {
+                break; // cycle of empty blocks (infinite loop in source)
+            }
+        }
+        b
+    };
+    let mut changed = false;
+    let entry = resolve(f.entry);
+    if entry != f.entry {
+        f.entry = entry;
+        changed = true;
+    }
+    for b in &mut f.blocks {
+        let before = b.term.clone();
+        b.term.map_succs(resolve);
+        if before != b.term {
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Drop blocks unreachable from the entry, renumbering the rest.
+fn remove_unreachable(f: &mut FuncIr) -> bool {
+    let reachable = f.reverse_postorder();
+    if reachable.len() == f.blocks.len() {
+        return false;
+    }
+    let mut remap: HashMap<BlockId, BlockId> = HashMap::new();
+    for (new_idx, b) in reachable.iter().enumerate() {
+        remap.insert(*b, BlockId(new_idx as u32));
+    }
+    let mut new_blocks = Vec::with_capacity(reachable.len());
+    for b in &reachable {
+        let mut blk = f.blocks[b.index()].clone();
+        blk.term.map_succs(|s| remap[&s]);
+        new_blocks.push(blk);
+    }
+    f.entry = remap[&f.entry];
+    f.blocks = new_blocks;
+    true
+}
+
+/// Merge `a -> b` when `a` ends in `jmp b` and `b` has exactly one
+/// predecessor.
+fn merge_chains(f: &mut FuncIr) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = f.predecessors();
+        let mut merged = false;
+        for a in 0..f.blocks.len() {
+            let target = match f.blocks[a].term {
+                Term::Jmp(t) if t.index() != a => t,
+                _ => continue,
+            };
+            if preds[target.index()].len() != 1 || target == f.entry {
+                continue;
+            }
+            // Move target's instructions and terminator into a.
+            let mut donor_insts = std::mem::take(&mut f.blocks[target.index()].insts);
+            let donor_term = f.blocks[target.index()].term.clone();
+            // Leave the donor as an unreachable self-loop; the next
+            // remove_unreachable() sweep deletes it.
+            f.blocks[target.index()].term = Term::Jmp(target);
+            f.blocks[a].insts.append(&mut donor_insts);
+            f.blocks[a].term = donor_term;
+            merged = true;
+            changed = true;
+            break; // predecessor lists are stale; recompute
+        }
+        if !merged {
+            break;
+        }
+    }
+    if changed {
+        remove_unreachable(f);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use crate::opt::constfold;
+    use crate::verify::verify_func;
+    use dyc_lang::parse_program;
+
+    fn simplified(src: &str) -> FuncIr {
+        let mut ir = lower_program(&parse_program(src).unwrap()).unwrap();
+        let mut f = ir.funcs.remove(0);
+        constfold::run(&mut f);
+        run(&mut f);
+        verify_func(&f, None).unwrap();
+        f
+    }
+
+    #[test]
+    fn straight_line_collapses_to_one_block() {
+        let f = simplified("int f(int x) { int a = x + 1; int b = a + 2; return b; }");
+        assert_eq!(f.blocks.len(), 1);
+    }
+
+    #[test]
+    fn dead_branch_arm_removed() {
+        let f = simplified("int f(int x) { if (0) { x = 99; } return x; }");
+        assert_eq!(f.blocks.len(), 1);
+        assert!(matches!(f.block(f.entry).term, Term::Ret(Some(_))));
+    }
+
+    #[test]
+    fn loops_survive_simplification() {
+        let f = simplified(
+            "int f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }",
+        );
+        // Loop still present: some block branches backward.
+        let preds = f.predecessors();
+        assert!(preds.iter().any(|p| p.len() >= 2));
+    }
+
+    #[test]
+    fn unreachable_code_after_return_removed() {
+        let f = simplified("int f(int x) { return x; x = 5; return x; }");
+        assert_eq!(f.blocks.len(), 1);
+    }
+}

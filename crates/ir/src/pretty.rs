@@ -1,0 +1,137 @@
+//! IR pretty printer (diagnostics and test assertions).
+
+use crate::func::{FuncIr, ProgramIr};
+use crate::ids::VReg;
+use crate::inst::{Callee, Inst, Term};
+use std::fmt::Write as _;
+
+fn reg(f: &FuncIr, r: VReg) -> String {
+    match f.vreg_names.get(&r) {
+        Some(n) => format!("{r}({n})"),
+        None => r.to_string(),
+    }
+}
+
+/// Render one instruction.
+pub fn inst_to_string(f: &FuncIr, i: &Inst) -> String {
+    match i {
+        Inst::ConstI { dst, v } => format!("{} = const {v}", reg(f, *dst)),
+        Inst::ConstF { dst, v } => format!("{} = const {v:?}", reg(f, *dst)),
+        Inst::Copy { dst, src } => format!("{} = {}", reg(f, *dst), reg(f, *src)),
+        Inst::IBin { op, dst, a, b } => {
+            format!("{} = {op:?}.i {}, {}", reg(f, *dst), reg(f, *a), reg(f, *b))
+        }
+        Inst::FBin { op, dst, a, b } => {
+            format!("{} = {op:?}.f {}, {}", reg(f, *dst), reg(f, *a), reg(f, *b))
+        }
+        Inst::ICmp { cc, dst, a, b } => {
+            format!("{} = cmp.{cc:?}.i {}, {}", reg(f, *dst), reg(f, *a), reg(f, *b))
+        }
+        Inst::FCmp { cc, dst, a, b } => {
+            format!("{} = cmp.{cc:?}.f {}, {}", reg(f, *dst), reg(f, *a), reg(f, *b))
+        }
+        Inst::Un { op, dst, src } => format!("{} = {op:?} {}", reg(f, *dst), reg(f, *src)),
+        Inst::Load { ty, dst, base, idx, is_static } => format!(
+            "{} = load.{ty}{} [{} + {}]",
+            reg(f, *dst),
+            if *is_static { "@" } else { "" },
+            reg(f, *base),
+            reg(f, *idx)
+        ),
+        Inst::Store { ty, base, idx, src } => {
+            format!("store.{ty} [{} + {}], {}", reg(f, *base), reg(f, *idx), reg(f, *src))
+        }
+        Inst::Call { callee, dst, args } => {
+            let target = match callee {
+                Callee::Func { index, is_static } => {
+                    format!("fn#{index}{}", if *is_static { " (static)" } else { "" })
+                }
+                Callee::Host(h) => format!("host {h}"),
+            };
+            let args: Vec<String> = args.iter().map(|a| reg(f, *a)).collect();
+            match dst {
+                Some(d) => format!("{} = call {target}({})", reg(f, *d), args.join(", ")),
+                None => format!("call {target}({})", args.join(", ")),
+            }
+        }
+        Inst::MakeStatic { vars } => {
+            let parts: Vec<String> =
+                vars.iter().map(|(v, p)| format!("{} [{p:?}]", reg(f, *v))).collect();
+            format!("make_static({})", parts.join(", "))
+        }
+        Inst::MakeDynamic { vars } => {
+            let parts: Vec<String> = vars.iter().map(|v| reg(f, *v)).collect();
+            format!("make_dynamic({})", parts.join(", "))
+        }
+        Inst::Promote { var } => format!("promote({})", reg(f, *var)),
+    }
+}
+
+/// Render a terminator.
+pub fn term_to_string(f: &FuncIr, t: &Term) -> String {
+    match t {
+        Term::Jmp(b) => format!("jmp {b}"),
+        Term::Br { cond, t, f: fb } => format!("br {} ? {t} : {fb}", reg(f, *cond)),
+        Term::Switch { on, cases, default } => {
+            let mut s = format!("switch {} [", reg(f, *on));
+            for (k, b) in cases {
+                let _ = write!(s, "{k} => {b}, ");
+            }
+            let _ = write!(s, "_ => {default}]");
+            s
+        }
+        Term::Ret(Some(v)) => format!("ret {}", reg(f, *v)),
+        Term::Ret(None) => "ret".into(),
+    }
+}
+
+/// Render a function.
+pub fn func_to_string(f: &FuncIr) -> String {
+    let mut s = String::new();
+    let params: Vec<String> = f.params.iter().map(|p| reg(f, *p)).collect();
+    let _ = writeln!(
+        s,
+        "{}fn {}({}) -> {:?} (entry {}):",
+        if f.is_static { "static " } else { "" },
+        f.name,
+        params.join(", "),
+        f.ret_ty,
+        f.entry
+    );
+    for (i, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(s, "  bb{i}:");
+        for inst in &b.insts {
+            let _ = writeln!(s, "    {}", inst_to_string(f, inst));
+        }
+        let _ = writeln!(s, "    {}", term_to_string(f, &b.term));
+    }
+    s
+}
+
+/// Render a program.
+pub fn program_to_string(p: &ProgramIr) -> String {
+    let mut s = String::new();
+    for f in &p.funcs {
+        s.push_str(&func_to_string(f));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use dyc_lang::parse_program;
+
+    #[test]
+    fn renders_named_registers_and_blocks() {
+        let ir =
+            lower_program(&parse_program("int f(int a) { return a + 1; }").unwrap()).unwrap();
+        let s = func_to_string(&ir.funcs[0]);
+        assert!(s.contains("fn f"));
+        assert!(s.contains("(a)"));
+        assert!(s.contains("bb0"));
+        assert!(s.contains("ret"));
+    }
+}

@@ -1,0 +1,252 @@
+//! IR verifier: structural and type sanity checks.
+//!
+//! Run after lowering and after every optimization pass in tests, so a
+//! broken transformation fails close to its cause.
+
+use crate::func::{FuncIr, ProgramIr};
+use crate::ids::IrTy;
+use crate::inst::{Callee, Inst, Term};
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Description of the inconsistency.
+    pub message: String,
+    /// Function in which it was found.
+    pub function: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify error in '{}': {}", self.function, self.message)
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verify a whole program.
+///
+/// # Errors
+///
+/// Returns the first inconsistency found.
+pub fn verify_program(p: &ProgramIr) -> Result<(), VerifyError> {
+    for f in &p.funcs {
+        verify_func(f, Some(p))?;
+    }
+    Ok(())
+}
+
+/// Verify one function; pass the program for call checking when available.
+///
+/// # Errors
+///
+/// Returns the first inconsistency found.
+pub fn verify_func(f: &FuncIr, prog: Option<&ProgramIr>) -> Result<(), VerifyError> {
+    let fail = |msg: String| Err(VerifyError { message: msg, function: f.name.clone() });
+
+    if f.blocks.is_empty() {
+        return fail("function has no blocks".into());
+    }
+    if f.entry.index() >= f.blocks.len() {
+        return fail("entry block out of range".into());
+    }
+    for p in &f.params {
+        if p.index() >= f.n_vregs() {
+            return fail(format!("parameter {p} out of range"));
+        }
+    }
+
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let ctx = |msg: String| format!("bb{bi}: {msg}");
+        for inst in &b.insts {
+            for u in inst.uses().into_iter().chain(inst.def()) {
+                if u.index() >= f.n_vregs() {
+                    return fail(ctx(format!("register {u} out of range")));
+                }
+            }
+            match inst {
+                Inst::Copy { dst, src }
+                    if f.ty(*dst) != f.ty(*src) => {
+                        return fail(ctx(format!("copy mixes types: {dst} = {src}")));
+                    }
+                Inst::ConstI { dst, .. } if f.ty(*dst) != IrTy::Int => {
+                    return fail(ctx(format!("int constant into float register {dst}")));
+                }
+                Inst::ConstF { dst, .. } if f.ty(*dst) != IrTy::Float => {
+                    return fail(ctx(format!("float constant into int register {dst}")));
+                }
+                Inst::IBin { dst, a, b: rb, .. } => {
+                    for r in [dst, a, rb] {
+                        if f.ty(*r) != IrTy::Int {
+                            return fail(ctx(format!("int ALU on float register {r}")));
+                        }
+                    }
+                }
+                Inst::FBin { dst, a, b: rb, .. } => {
+                    for r in [dst, a, rb] {
+                        if f.ty(*r) != IrTy::Float {
+                            return fail(ctx(format!("float ALU on int register {r}")));
+                        }
+                    }
+                }
+                Inst::ICmp { dst, a, b: rb, .. }
+                    if (f.ty(*dst) != IrTy::Int || f.ty(*a) != IrTy::Int || f.ty(*rb) != IrTy::Int) => {
+                        return fail(ctx("icmp type mismatch".into()));
+                    }
+                Inst::FCmp { dst, a, b: rb, .. }
+                    if (f.ty(*dst) != IrTy::Int || f.ty(*a) != IrTy::Float || f.ty(*rb) != IrTy::Float)
+                    => {
+                        return fail(ctx("fcmp type mismatch".into()));
+                    }
+                Inst::Load { ty, dst, base, idx, .. } => {
+                    if f.ty(*dst) != *ty {
+                        return fail(ctx("load type mismatch".into()));
+                    }
+                    if f.ty(*base) != IrTy::Int || f.ty(*idx) != IrTy::Int {
+                        return fail(ctx("load address must be int".into()));
+                    }
+                }
+                Inst::Store { ty, base, idx, src } => {
+                    if f.ty(*src) != *ty {
+                        return fail(ctx("store type mismatch".into()));
+                    }
+                    if f.ty(*base) != IrTy::Int || f.ty(*idx) != IrTy::Int {
+                        return fail(ctx("store address must be int".into()));
+                    }
+                }
+                Inst::Call { callee, dst, args } => match callee {
+                    Callee::Func { index, .. } => {
+                        if let Some(prog) = prog {
+                            let Some(target) = prog.funcs.get(*index) else {
+                                return fail(ctx(format!("call to unknown function #{index}")));
+                            };
+                            if target.params.len() != args.len() {
+                                return fail(ctx(format!(
+                                    "call to '{}' passes {} args, expects {}",
+                                    target.name,
+                                    args.len(),
+                                    target.params.len()
+                                )));
+                            }
+                            match (dst, target.ret_ty) {
+                                (Some(d), Some(rt)) if f.ty(*d) != rt => {
+                                    return fail(ctx("call result type mismatch".into()))
+                                }
+                                (Some(_), None) => {
+                                    return fail(ctx("call captures void result".into()))
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    Callee::Host(h) => {
+                        if args.len() != h.arity() {
+                            return fail(ctx(format!("host call '{h}' arity mismatch")));
+                        }
+                        if dst.is_some() && !h.has_result() {
+                            return fail(ctx(format!("host call '{h}' has no result")));
+                        }
+                    }
+                },
+                _ => {}
+            }
+        }
+        for s in b.term.successors() {
+            if s.index() >= f.blocks.len() {
+                return fail(ctx(format!("terminator targets out-of-range {s}")));
+            }
+        }
+        if let Term::Ret(v) = &b.term {
+            match (v, f.ret_ty) {
+                (Some(r), Some(rt))
+                    if f.ty(*r) != rt => {
+                        return fail(ctx("return type mismatch".into()));
+                    }
+                (Some(_), None) => return fail(ctx("void function returns a value".into())),
+                // Returning no value from a non-void function is allowed
+                // only for the synthetic unreachable blocks lowering leaves
+                // behind; the VM would fault if reached, and reachable cases
+                // are caught by tests running the code.
+                _ => {}
+            }
+        }
+    }
+
+    // A `static` (pure) function must be side-effect free: no stores and no
+    // impure calls, since the specializer executes it at dynamic compile
+    // time (§2.2.6 static calls).
+    if f.is_static {
+        for b in &f.blocks {
+            for inst in &b.insts {
+                match inst {
+                    Inst::Store { .. } => {
+                        return fail("static (pure) function contains a store".into())
+                    }
+                    Inst::Call { callee, .. } if !callee.is_pure() => {
+                        return fail("static (pure) function calls an impure function".into())
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VReg;
+    use crate::lower::lower_program;
+    use dyc_lang::parse_program;
+
+    fn check(src: &str) -> Result<(), VerifyError> {
+        verify_program(&lower_program(&parse_program(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn accepts_lowered_programs() {
+        check("int f(int a, int b) { return a * b + 1; }").unwrap();
+        check("float g(float m[][c], int c, int i, int j) { return m@[i]@[j]; }").unwrap();
+        check(
+            "int h(int n) { int s = 0; for (int i = 0; i < n; ++i) { s += i; } return s; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_type_confusion() {
+        let mut f = FuncIr::new("bad");
+        let b = f.new_block();
+        f.entry = b;
+        let x = f.new_vreg(IrTy::Float);
+        f.block_mut(b).insts.push(Inst::ConstI { dst: x, v: 1 });
+        f.block_mut(b).term = Term::Ret(None);
+        let err = verify_func(&f, None).unwrap_err();
+        assert!(err.message.contains("int constant into float"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        let mut f = FuncIr::new("bad");
+        let b = f.new_block();
+        f.entry = b;
+        f.block_mut(b).insts.push(Inst::Copy { dst: VReg(5), src: VReg(6) });
+        f.block_mut(b).term = Term::Ret(None);
+        assert!(verify_func(&f, None).is_err());
+    }
+
+    #[test]
+    fn rejects_impure_static_function() {
+        let err = check("static void f(float a[n], int n) { a[0] = 1.0; }").unwrap_err();
+        assert!(err.message.contains("contains a store"));
+    }
+
+    #[test]
+    fn rejects_static_function_calling_print() {
+        let err = check("static int f(int x) { print_int(x); return x; }").unwrap_err();
+        assert!(err.message.contains("impure"));
+    }
+}

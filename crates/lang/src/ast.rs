@@ -1,0 +1,299 @@
+//! The DyCL abstract syntax tree.
+//!
+//! Untyped at this level; the lowering pass in `dyc-ir` type-checks while
+//! building the CFG. Annotations ([`Stmt::MakeStatic`] and friends) are
+//! ordinary statements so the binding-time analysis can be program-point
+//! specific, as in DyC.
+
+/// Scalar and pointer types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// No value (function returns only).
+    Void,
+    /// Pointer to element type; used for array parameters.
+    Ptr(Box<Type>),
+}
+
+impl Type {
+    /// The element type behind a pointer, if any.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Caching policy for a specialized variable (§2.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Policy {
+    /// Hash-table lookup at each dispatch; safe default.
+    #[default]
+    CacheAll,
+    /// Single cached version, dispatched with an unchecked load+jump.
+    /// Unsafe if the variable's value actually varies.
+    CacheOneUnchecked,
+    /// Array-indexed lookup for keys from a small integer range — the
+    /// §3.1 extension that would make byte-dispatch programs (grep, a
+    /// decompressor) profitable. Safe: out-of-range keys fall back to the
+    /// hashed cache.
+    CacheIndexed,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    /// True for comparison operators (result is int regardless of operands).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// True for short-circuiting logical operators.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+    /// Bitwise not.
+    BitNot,
+    /// Cast to int.
+    CastInt,
+    /// Cast to float.
+    CastFloat,
+}
+
+/// Compound-assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Array element read: `base[i]` or `base[i][j]`; `is_static` marks the
+    /// `@` annotation (a static load, §2.2.6).
+    Index { base: String, indices: Vec<Expr>, is_static: bool },
+    /// Function call (user or host function).
+    Call { name: String, args: Vec<Expr> },
+}
+
+/// Assignable places.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// An array element: `base[i]` or `base[i][j]`.
+    Elem { base: String, indices: Vec<Expr> },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// Variable declarations with optional initializers.
+    Decl { ty: Type, inits: Vec<(String, Option<Expr>)> },
+    /// Assignment (including compound forms).
+    Assign { lv: LValue, op: AssignOp, rhs: Expr },
+    /// `if (cond) then else`
+    If { cond: Expr, then_branch: Box<Stmt>, else_branch: Option<Box<Stmt>> },
+    /// `while (cond) body`
+    While { cond: Expr, body: Box<Stmt> },
+    /// `for (init; cond; step) body` — any of the three may be absent.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Box<Stmt>,
+    },
+    /// `switch (scrutinee) { case k: ...; default: ... }`. Cases do not
+    /// fall through (every benchmark in the paper breaks at case end, so
+    /// DyCL makes that the semantics).
+    Switch { scrutinee: Expr, cases: Vec<(i64, Vec<Stmt>)>, default: Vec<Stmt> },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return e?;`
+    Return(Option<Expr>),
+    /// Expression evaluated for effect (calls).
+    Expr(Expr),
+    /// `make_static(v: policy, ...)` — begin specialization (promotion).
+    MakeStatic(Vec<(String, Policy)>),
+    /// `make_dynamic(v, ...)` — end specialization on these variables.
+    MakeDynamic(Vec<String>),
+    /// `promote(v)` — internal dynamic-to-static promotion point.
+    Promote(String),
+}
+
+/// Function parameter. Array parameters carry their dimension expressions:
+/// `float image[][icols]` has `dims = [None, Some(icols)]`; scalars have an
+/// empty `dims`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Element type for arrays, scalar type otherwise.
+    pub ty: Type,
+    /// Dimension expressions; only the non-leading dims are needed for
+    /// addressing, so the first may be `None`.
+    pub dims: Vec<Option<Expr>>,
+}
+
+impl Param {
+    /// True if this parameter is an array (pointer into VM memory).
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// `static` qualifier: pure, callable at dynamic compile time.
+    pub is_static: bool,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// True if any statement in the body (recursively) is an annotation,
+    /// i.e. the function contains a dynamic region.
+    pub fn has_annotations(&self) -> bool {
+        fn stmt_has(s: &Stmt) -> bool {
+            match s {
+                Stmt::MakeStatic(_) | Stmt::MakeDynamic(_) | Stmt::Promote(_) => true,
+                Stmt::Block(b) => b.iter().any(stmt_has),
+                Stmt::If { then_branch, else_branch, .. } => {
+                    stmt_has(then_branch)
+                        || else_branch.as_deref().is_some_and(stmt_has)
+                }
+                Stmt::While { body, .. } => stmt_has(body),
+                Stmt::For { init, step, body, .. } => {
+                    init.as_deref().is_some_and(stmt_has)
+                        || step.as_deref().is_some_and(stmt_has)
+                        || stmt_has(body)
+                }
+                Stmt::Switch { cases, default, .. } => {
+                    cases.iter().any(|(_, b)| b.iter().any(stmt_has))
+                        || default.iter().any(stmt_has)
+                }
+                _ => false,
+            }
+        }
+        self.body.iter().any(stmt_has)
+    }
+}
+
+/// A whole program: a list of functions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The functions, in source order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotation_detection_recurses() {
+        let f = Function {
+            name: "f".into(),
+            is_static: false,
+            ret: Type::Void,
+            params: vec![],
+            body: vec![Stmt::While {
+                cond: Expr::IntLit(1),
+                body: Box::new(Stmt::Block(vec![Stmt::MakeStatic(vec![(
+                    "x".into(),
+                    Policy::CacheAll,
+                )])])),
+            }],
+        };
+        assert!(f.has_annotations());
+        let g = Function { name: "g".into(), body: vec![Stmt::Break], ..f.clone() };
+        assert!(!g.has_annotations());
+    }
+
+    #[test]
+    fn param_classification() {
+        let scalar = Param { name: "n".into(), ty: Type::Int, dims: vec![] };
+        let arr = Param { name: "a".into(), ty: Type::Float, dims: vec![None, Some(Expr::Var("n".into()))] };
+        assert!(!scalar.is_array());
+        assert!(arr.is_array());
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::BitAnd.is_logical());
+    }
+}

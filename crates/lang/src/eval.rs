@@ -1,0 +1,628 @@
+//! A direct AST interpreter for DyCL — the reference semantics.
+//!
+//! Entirely independent of the compilation pipeline (no IR, no VM): used
+//! by the property-test suite as a third oracle, so a bug shared by the
+//! static and dynamic builds (e.g. in lowering or the traditional
+//! optimizations) still gets caught. Annotations are no-ops here, exactly
+//! as they are in the paper's statically compiled builds.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A run-time value of the reference interpreter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvalValue {
+    /// 64-bit integer.
+    I(i64),
+    /// 64-bit float.
+    F(f64),
+}
+
+impl EvalValue {
+    fn as_i(self) -> i64 {
+        match self {
+            EvalValue::I(v) => v,
+            EvalValue::F(v) => v as i64,
+        }
+    }
+
+    fn as_f(self) -> f64 {
+        match self {
+            EvalValue::I(v) => v as f64,
+            EvalValue::F(v) => v,
+        }
+    }
+
+    fn truthy(self) -> bool {
+        match self {
+            EvalValue::I(v) => v != 0,
+            EvalValue::F(v) => v != 0.0,
+        }
+    }
+}
+
+/// Errors of the reference interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// Step budget exhausted.
+    StepLimit,
+    /// Unknown name or arity/type misuse (programs are expected to be
+    /// checked by the real front end first).
+    Invalid(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::DivideByZero => write!(f, "division by zero"),
+            EvalError::StepLimit => write!(f, "step limit exceeded"),
+            EvalError::Invalid(m) => write!(f, "invalid program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The interpreter: a program, a word-addressed memory, an output log.
+#[derive(Debug)]
+pub struct Evaluator<'p> {
+    program: &'p Program,
+    /// Word-addressed memory, as in the VM.
+    pub mem: Vec<Word>,
+    /// Values printed by `print_int` / `print_float`.
+    pub output: Vec<EvalValue>,
+    steps: u64,
+    max_steps: u64,
+}
+
+/// A raw memory word (same encoding as the VM's).
+pub type Word = u64;
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Option<EvalValue>),
+}
+
+type Scope = HashMap<String, EvalValue>;
+
+impl<'p> Evaluator<'p> {
+    /// A fresh evaluator over `program` with `mem_words` of zeroed memory.
+    pub fn new(program: &'p Program, mem_words: usize) -> Evaluator<'p> {
+        Evaluator {
+            program,
+            mem: vec![0; mem_words],
+            output: Vec::new(),
+            steps: 0,
+            max_steps: 10_000_000,
+        }
+    }
+
+    /// Limit interpretation steps.
+    pub fn set_step_limit(&mut self, n: u64) {
+        self.max_steps = n;
+    }
+
+    /// Write integers into memory (harness setup).
+    pub fn write_ints(&mut self, base: i64, vals: &[i64]) {
+        for (i, v) in vals.iter().enumerate() {
+            self.mem[base as usize + i] = *v as u64;
+        }
+    }
+
+    /// Read integers back.
+    pub fn read_ints(&self, base: i64, n: usize) -> Vec<i64> {
+        (0..n).map(|i| self.mem[base as usize + i] as i64).collect()
+    }
+
+    /// Call a function by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] on guest faults or malformed programs.
+    pub fn call(&mut self, name: &str, args: &[EvalValue]) -> Result<Option<EvalValue>, EvalError> {
+        let f = self
+            .program
+            .function(name)
+            .ok_or_else(|| EvalError::Invalid(format!("unknown function '{name}'")))?;
+        if args.len() != f.params.len() {
+            return Err(EvalError::Invalid(format!("arity mismatch calling '{name}'")));
+        }
+        let mut scopes: Vec<Scope> = vec![Scope::new()];
+        for (p, a) in f.params.iter().zip(args) {
+            // Coerce to the declared scalar type (arrays hold addresses).
+            let v = if p.is_array() || matches!(p.ty, Type::Int | Type::Ptr(_)) {
+                EvalValue::I(a.as_i())
+            } else {
+                EvalValue::F(a.as_f())
+            };
+            scopes.last_mut().expect("nonempty").insert(p.name.clone(), v);
+        }
+        let mut flow = Flow::Normal;
+        for st in &f.body {
+            flow = self.stmt(f, st, &mut scopes)?;
+            if let Flow::Return(_) = flow {
+                break;
+            }
+        }
+        Ok(match flow {
+            Flow::Return(v) => v,
+            _ => None,
+        })
+    }
+
+    fn tick(&mut self) -> Result<(), EvalError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            Err(EvalError::StepLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn lookup(scopes: &[Scope], name: &str) -> Option<EvalValue> {
+        scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn assign_var(scopes: &mut [Scope], name: &str, v: EvalValue) -> Result<(), EvalError> {
+        for s in scopes.iter_mut().rev() {
+            if let Some(slot) = s.get_mut(name) {
+                // Keep the declared type: coerce like the compiled builds.
+                *slot = match *slot {
+                    EvalValue::I(_) => EvalValue::I(v.as_i()),
+                    EvalValue::F(_) => EvalValue::F(v.as_f()),
+                };
+                return Ok(());
+            }
+        }
+        Err(EvalError::Invalid(format!("assignment to unknown '{name}'")))
+    }
+
+    fn elem_addr(
+        &mut self,
+        f: &Function,
+        scopes: &mut Vec<Scope>,
+        base: &str,
+        indices: &[Expr],
+    ) -> Result<(usize, bool), EvalError> {
+        let b = Self::lookup(scopes, base)
+            .ok_or_else(|| EvalError::Invalid(format!("unknown array '{base}'")))?
+            .as_i();
+        let param = f
+            .params
+            .iter()
+            .find(|p| p.name == base)
+            .ok_or_else(|| EvalError::Invalid(format!("'{base}' is not an array parameter")))?;
+        let is_float = matches!(param.ty, Type::Float);
+        let flat = match indices.len() {
+            1 => self.expr(f, &indices[0], scopes)?.as_i(),
+            2 => {
+                let ncols_e = param.dims[1]
+                    .clone()
+                    .ok_or_else(|| EvalError::Invalid("missing column dim".into()))?;
+                let i = self.expr(f, &indices[0], scopes)?.as_i();
+                let n = self.expr(f, &ncols_e, scopes)?.as_i();
+                let j = self.expr(f, &indices[1], scopes)?.as_i();
+                i.wrapping_mul(n).wrapping_add(j)
+            }
+            _ => return Err(EvalError::Invalid("bad dimensionality".into())),
+        };
+        let addr = b.wrapping_add(flat);
+        if addr < 0 || addr as usize >= self.mem.len() {
+            return Err(EvalError::Invalid(format!("address {addr} out of bounds")));
+        }
+        Ok((addr as usize, is_float))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn stmt(
+        &mut self,
+        f: &Function,
+        st: &Stmt,
+        scopes: &mut Vec<Scope>,
+    ) -> Result<Flow, EvalError> {
+        self.tick()?;
+        match st {
+            Stmt::Block(body) => {
+                scopes.push(Scope::new());
+                for s in body {
+                    match self.stmt(f, s, scopes)? {
+                        Flow::Normal => {}
+                        other => {
+                            scopes.pop();
+                            return Ok(other);
+                        }
+                    }
+                }
+                scopes.pop();
+                Ok(Flow::Normal)
+            }
+            Stmt::Decl { ty, inits } => {
+                for (name, init) in inits {
+                    let v = match init {
+                        Some(e) => self.expr(f, e, scopes)?,
+                        None => EvalValue::I(0),
+                    };
+                    let v = match ty {
+                        Type::Float => EvalValue::F(v.as_f()),
+                        _ => EvalValue::I(v.as_i()),
+                    };
+                    scopes.last_mut().expect("nonempty").insert(name.clone(), v);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { lv, op, rhs } => {
+                let rhs_value = |this: &mut Self, scopes: &mut Vec<Scope>, cur: EvalValue| {
+                    let r = this.expr(f, rhs, scopes)?;
+                    Ok::<EvalValue, EvalError>(match op {
+                        AssignOp::Set => r,
+                        AssignOp::Add => num_bin(BinOp::Add, cur, r)?,
+                        AssignOp::Sub => num_bin(BinOp::Sub, cur, r)?,
+                        AssignOp::Mul => num_bin(BinOp::Mul, cur, r)?,
+                        AssignOp::Div => num_bin(BinOp::Div, cur, r)?,
+                    })
+                };
+                match lv {
+                    LValue::Var(name) => {
+                        let cur = Self::lookup(scopes, name)
+                            .ok_or_else(|| EvalError::Invalid(format!("unknown '{name}'")))?;
+                        let v = rhs_value(self, scopes, cur)?;
+                        Self::assign_var(scopes, name, v)?;
+                    }
+                    LValue::Elem { base, indices } => {
+                        let (addr, is_float) = self.elem_addr(f, scopes, base, indices)?;
+                        let cur = if is_float {
+                            EvalValue::F(f64::from_bits(self.mem[addr]))
+                        } else {
+                            EvalValue::I(self.mem[addr] as i64)
+                        };
+                        let v = rhs_value(self, scopes, cur)?;
+                        self.mem[addr] =
+                            if is_float { v.as_f().to_bits() } else { v.as_i() as u64 };
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                if self.expr(f, cond, scopes)?.truthy() {
+                    self.stmt(f, then_branch, scopes)
+                } else if let Some(e) = else_branch {
+                    self.stmt(f, e, scopes)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.expr(f, cond, scopes)?.truthy() {
+                    self.tick()?;
+                    match self.stmt(f, body, scopes)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For { init, cond, step, body } => {
+                scopes.push(Scope::new());
+                if let Some(i) = init {
+                    if let Flow::Return(v) = self.stmt(f, i, scopes)? {
+                        scopes.pop();
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                loop {
+                    if let Some(c) = cond {
+                        if !self.expr(f, c, scopes)?.truthy() {
+                            break;
+                        }
+                    }
+                    self.tick()?;
+                    match self.stmt(f, body, scopes)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => {
+                            scopes.pop();
+                            return Ok(Flow::Return(v));
+                        }
+                        _ => {}
+                    }
+                    if let Some(s) = step {
+                        self.stmt(f, s, scopes)?;
+                    }
+                }
+                scopes.pop();
+                Ok(Flow::Normal)
+            }
+            Stmt::Switch { scrutinee, cases, default } => {
+                let v = self.expr(f, scrutinee, scopes)?.as_i();
+                let body = cases
+                    .iter()
+                    .find_map(|(k, b)| (*k == v).then_some(b))
+                    .unwrap_or(default);
+                scopes.push(Scope::new());
+                for s in body {
+                    match self.stmt(f, s, scopes)? {
+                        Flow::Normal => {}
+                        Flow::Break => break,
+                        other => {
+                            scopes.pop();
+                            return Ok(other);
+                        }
+                    }
+                }
+                scopes.pop();
+                Ok(Flow::Normal)
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => {
+                        let raw = self.expr(f, e, scopes)?;
+                        Some(match f.ret {
+                            Type::Float => EvalValue::F(raw.as_f()),
+                            _ => EvalValue::I(raw.as_i()),
+                        })
+                    }
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Expr(e) => {
+                self.expr(f, e, scopes)?;
+                Ok(Flow::Normal)
+            }
+            // Annotations direct the dynamic compiler; semantically no-ops.
+            Stmt::MakeStatic(_) | Stmt::MakeDynamic(_) | Stmt::Promote(_) => Ok(Flow::Normal),
+        }
+    }
+
+    fn expr(
+        &mut self,
+        f: &Function,
+        e: &Expr,
+        scopes: &mut Vec<Scope>,
+    ) -> Result<EvalValue, EvalError> {
+        self.tick()?;
+        match e {
+            Expr::IntLit(v) => Ok(EvalValue::I(*v)),
+            Expr::FloatLit(v) => Ok(EvalValue::F(*v)),
+            Expr::Var(name) => Self::lookup(scopes, name)
+                .ok_or_else(|| EvalError::Invalid(format!("unknown variable '{name}'"))),
+            Expr::Unary(op, inner) => {
+                let v = self.expr(f, inner, scopes)?;
+                Ok(match op {
+                    UnaryOp::Neg => match v {
+                        EvalValue::I(i) => EvalValue::I(i.wrapping_neg()),
+                        EvalValue::F(x) => EvalValue::F(-x),
+                    },
+                    UnaryOp::Not => EvalValue::I(i64::from(!v.truthy())),
+                    UnaryOp::BitNot => EvalValue::I(!v.as_i()),
+                    UnaryOp::CastInt => EvalValue::I(v.as_i()),
+                    UnaryOp::CastFloat => EvalValue::F(v.as_f()),
+                })
+            }
+            Expr::Binary(op, l, r) => {
+                if op.is_logical() {
+                    let lv = self.expr(f, l, scopes)?.truthy();
+                    return Ok(EvalValue::I(i64::from(match op {
+                        BinOp::And => lv && self.expr(f, r, scopes)?.truthy(),
+                        BinOp::Or => lv || self.expr(f, r, scopes)?.truthy(),
+                        _ => unreachable!(),
+                    })));
+                }
+                let lv = self.expr(f, l, scopes)?;
+                let rv = self.expr(f, r, scopes)?;
+                num_bin(*op, lv, rv)
+            }
+            Expr::Index { base, indices, .. } => {
+                let (addr, is_float) = self.elem_addr(f, scopes, base, indices)?;
+                Ok(if is_float {
+                    EvalValue::F(f64::from_bits(self.mem[addr]))
+                } else {
+                    EvalValue::I(self.mem[addr] as i64)
+                })
+            }
+            Expr::Call { name, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.expr(f, a, scopes)?);
+                }
+                // User functions shadow host functions, as in lowering.
+                if self.program.function(name).is_some() {
+                    let out = self.call(name, &vals)?;
+                    return out.ok_or_else(|| {
+                        EvalError::Invalid(format!("void call '{name}' used as value"))
+                    });
+                }
+                host_call(name, &vals, &mut self.output)
+            }
+        }
+    }
+}
+
+fn num_bin(op: BinOp, l: EvalValue, r: EvalValue) -> Result<EvalValue, EvalError> {
+    use EvalValue::{F, I};
+    let both_int = matches!((l, r), (I(_), I(_)));
+    if op.is_comparison() {
+        let b = if both_int {
+            let (a, b) = (l.as_i(), r.as_i());
+            match op {
+                BinOp::Eq => a == b,
+                BinOp::Ne => a != b,
+                BinOp::Lt => a < b,
+                BinOp::Le => a <= b,
+                BinOp::Gt => a > b,
+                BinOp::Ge => a >= b,
+                _ => unreachable!(),
+            }
+        } else {
+            let (a, b) = (l.as_f(), r.as_f());
+            match op {
+                BinOp::Eq => a == b,
+                BinOp::Ne => a != b,
+                BinOp::Lt => a < b,
+                BinOp::Le => a <= b,
+                BinOp::Gt => a > b,
+                BinOp::Ge => a >= b,
+                _ => unreachable!(),
+            }
+        };
+        return Ok(I(i64::from(b)));
+    }
+    Ok(match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div if both_int => {
+            let (a, b) = (l.as_i(), r.as_i());
+            I(match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(EvalError::DivideByZero);
+                    }
+                    a.wrapping_div(b)
+                }
+                _ => unreachable!(),
+            })
+        }
+        BinOp::Add => F(l.as_f() + r.as_f()),
+        BinOp::Sub => F(l.as_f() - r.as_f()),
+        BinOp::Mul => F(l.as_f() * r.as_f()),
+        BinOp::Div => F(l.as_f() / r.as_f()),
+        BinOp::Rem => {
+            let (a, b) = (l.as_i(), r.as_i());
+            if b == 0 {
+                return Err(EvalError::DivideByZero);
+            }
+            I(a.wrapping_rem(b))
+        }
+        BinOp::BitAnd => I(l.as_i() & r.as_i()),
+        BinOp::BitOr => I(l.as_i() | r.as_i()),
+        BinOp::BitXor => I(l.as_i() ^ r.as_i()),
+        BinOp::Shl => I(l.as_i().wrapping_shl(r.as_i() as u32 & 63)),
+        BinOp::Shr => I(l.as_i().wrapping_shr(r.as_i() as u32 & 63)),
+        _ => unreachable!("logical handled above"),
+    })
+}
+
+fn host_call(
+    name: &str,
+    args: &[EvalValue],
+    output: &mut Vec<EvalValue>,
+) -> Result<EvalValue, EvalError> {
+    let f1 = |f: fn(f64) -> f64| {
+        args.first()
+            .map(|a| EvalValue::F(f(a.as_f())))
+            .ok_or_else(|| EvalError::Invalid(format!("arity of '{name}'")))
+    };
+    match name {
+        "cos" => f1(f64::cos),
+        "sin" => f1(f64::sin),
+        "sqrt" => f1(f64::sqrt),
+        "fabs" => f1(f64::abs),
+        "exp" => f1(f64::exp),
+        "log" => f1(f64::ln),
+        "floor" => f1(f64::floor),
+        "pow" => Ok(EvalValue::F(args[0].as_f().powf(args[1].as_f()))),
+        "iabs" => Ok(EvalValue::I(args[0].as_i().wrapping_abs())),
+        "print_int" => {
+            output.push(EvalValue::I(args[0].as_i()));
+            Ok(EvalValue::I(0))
+        }
+        "print_float" => {
+            output.push(EvalValue::F(args[0].as_f()));
+            Ok(EvalValue::I(0))
+        }
+        _ => Err(EvalError::Invalid(format!("unknown function '{name}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn eval_int(src: &str, fname: &str, args: &[i64]) -> i64 {
+        let p = parse_program(src).unwrap();
+        let mut ev = Evaluator::new(&p, 64);
+        let vals: Vec<EvalValue> = args.iter().map(|v| EvalValue::I(*v)).collect();
+        ev.call(fname, &vals).unwrap().unwrap().as_i()
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let src = "int f(int n) { int s = 0; for (int i = 1; i <= n; ++i) { s += i; } return s; }";
+        assert_eq!(eval_int(src, "f", &[100]), 5050);
+    }
+
+    #[test]
+    fn annotations_are_no_ops() {
+        let src = "int f(int x) { make_static(x); promote(x); make_dynamic(x); return x * 2; }";
+        assert_eq!(eval_int(src, "f", &[21]), 42);
+    }
+
+    #[test]
+    fn memory_and_arrays() {
+        let src = "int f(int a[n], int n) { int s = 0; for (int i = 0; i < n; ++i) { s += a@[i]; a[i] = i; } return s; }";
+        let p = parse_program(src).unwrap();
+        let mut ev = Evaluator::new(&p, 16);
+        ev.write_ints(0, &[5, 6, 7]);
+        let out = ev.call("f", &[EvalValue::I(0), EvalValue::I(3)]).unwrap();
+        assert_eq!(out, Some(EvalValue::I(18)));
+        assert_eq!(ev.read_ints(0, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn switch_and_break_semantics() {
+        let src = r#"
+            int f(int x) {
+                int r = 0;
+                switch (x) {
+                    case 1: r = 10; break;
+                    case 2: r = 20; break;
+                    default: r = 30;
+                }
+                return r;
+            }
+        "#;
+        assert_eq!(eval_int(src, "f", &[1]), 10);
+        assert_eq!(eval_int(src, "f", &[2]), 20);
+        assert_eq!(eval_int(src, "f", &[3]), 30);
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let p = parse_program("int f(int x) { return 1 / x; }").unwrap();
+        let mut ev = Evaluator::new(&p, 0);
+        assert_eq!(ev.call("f", &[EvalValue::I(0)]).unwrap_err(), EvalError::DivideByZero);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let p = parse_program("int f() { while (1) { } return 0; }").unwrap();
+        let mut ev = Evaluator::new(&p, 0);
+        ev.set_step_limit(1000);
+        assert_eq!(ev.call("f", &[]).unwrap_err(), EvalError::StepLimit);
+    }
+
+    #[test]
+    fn calls_and_recursion() {
+        let src = r#"
+            int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+            int f(int n) { return fib(n); }
+        "#;
+        assert_eq!(eval_int(src, "f", &[10]), 55);
+    }
+
+    #[test]
+    fn short_circuit_in_reference_semantics() {
+        let src = "int f(int a, int b) { return b != 0 && a / b > 1; }";
+        assert_eq!(eval_int(src, "f", &[10, 0]), 0);
+        assert_eq!(eval_int(src, "f", &[10, 4]), 1);
+    }
+}

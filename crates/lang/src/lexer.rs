@@ -1,0 +1,332 @@
+//! The DyCL lexer.
+
+use crate::token::{Token, TokenKind};
+use std::error::Error;
+use std::fmt;
+
+/// A lexical error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+/// Tokenize DyCL source. The token stream always ends with
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed numbers or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_trivia()?;
+        let line = lx.line;
+        match lx.next_kind()? {
+            TokenKind::Eof => {
+                out.push(Token { kind: TokenKind::Eof, line });
+                return Ok(out);
+            }
+            kind => out.push(Token { kind, line }),
+        }
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError { message: msg.into(), line: self.line }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => {
+                                return Err(LexError {
+                                    message: "unterminated block comment".into(),
+                                    line: start,
+                                })
+                            }
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> Result<TokenKind, LexError> {
+        let Some(c) = self.peek() else {
+            return Ok(TokenKind::Eof);
+        };
+        if c.is_ascii_digit() || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) {
+            return self.number();
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return Ok(self.ident());
+        }
+        self.bump();
+        let two = |lx: &mut Lexer<'a>, second: u8, yes: TokenKind, no: TokenKind| {
+            if lx.peek() == Some(second) {
+                lx.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b':' => TokenKind::Colon,
+            b'@' => TokenKind::At,
+            b'~' => TokenKind::Tilde,
+            b'^' => TokenKind::Caret,
+            b'+' => match self.peek() {
+                Some(b'+') => {
+                    self.bump();
+                    TokenKind::PlusPlus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::PlusAssign
+                }
+                _ => TokenKind::Plus,
+            },
+            b'-' => match self.peek() {
+                Some(b'-') => {
+                    self.bump();
+                    TokenKind::MinusMinus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::MinusAssign
+                }
+                _ => TokenKind::Minus,
+            },
+            b'*' => two(self, b'=', TokenKind::StarAssign, TokenKind::Star),
+            b'/' => two(self, b'=', TokenKind::SlashAssign, TokenKind::Slash),
+            b'%' => TokenKind::Percent,
+            b'=' => two(self, b'=', TokenKind::Eq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::Ne, TokenKind::Bang),
+            b'<' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::Le
+                }
+                Some(b'<') => {
+                    self.bump();
+                    TokenKind::Shl
+                }
+                _ => TokenKind::Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::Ge
+                }
+                Some(b'>') => {
+                    self.bump();
+                    TokenKind::Shr
+                }
+                _ => TokenKind::Gt,
+            },
+            b'&' => two(self, b'&', TokenKind::AndAnd, TokenKind::Amp),
+            b'|' => two(self, b'|', TokenKind::OrOr, TokenKind::Pipe),
+            other => return Err(self.err(format!("unexpected character '{}'", other as char))),
+        })
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        TokenKind::keyword(s).unwrap_or_else(|| TokenKind::Ident(s.to_string()))
+    }
+
+    fn number(&mut self) -> Result<TokenKind, LexError> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' if !is_float => {
+                    is_float = true;
+                    self.bump();
+                }
+                b'e' | b'E' => {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
+        if is_float {
+            s.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| self.err(format!("malformed float literal '{s}'")))
+        } else {
+            s.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| self.err(format!("malformed integer literal '{s}'")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(42),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats_and_exponents() {
+        assert_eq!(kinds("1.5")[0], TokenKind::Float(1.5));
+        assert_eq!(kinds("2e3")[0], TokenKind::Float(2000.0));
+        assert_eq!(kinds("1.5e-2")[0], TokenKind::Float(0.015));
+        assert_eq!(kinds(".5")[0], TokenKind::Float(0.5));
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            kinds("a += b << 2 && c++")[1..6],
+            [
+                TokenKind::PlusAssign,
+                TokenKind::Ident("b".into()),
+                TokenKind::Shl,
+                TokenKind::Int(2),
+                TokenKind::AndAnd,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_static_load_annotation() {
+        assert_eq!(
+            kinds("cmatrix @[crow]")[0..3],
+            [
+                TokenKind::Ident("cmatrix".into()),
+                TokenKind::At,
+                TokenKind::LBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("// line comment\n/* block\ncomment */ x").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("x".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        let err = lex("/* oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        assert!(lex("int $x;").is_err());
+    }
+
+    #[test]
+    fn minus_minus_and_minus_assign() {
+        assert_eq!(kinds("x-- -= -")[1], TokenKind::MinusMinus);
+        assert_eq!(kinds("x-- -= -")[2], TokenKind::MinusAssign);
+        assert_eq!(kinds("x-- -= -")[3], TokenKind::Minus);
+    }
+}

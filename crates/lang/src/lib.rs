@@ -1,0 +1,48 @@
+//! # dyc-lang — the DyCL source language
+//!
+//! DyC annotated C programs. We reproduce that interface with **DyCL**, a
+//! C-like language covering exactly the constructs the paper's benchmarks
+//! use, plus DyC's annotations:
+//!
+//! * `make_static(v, ...)` — begin specializing on `v` downstream (§2.1).
+//!   Each variable may carry a caching policy: `make_static(v:
+//!   cache_one_unchecked, w)` (§2.2.3). The default is `cache_all`.
+//! * `make_dynamic(v, ...)` — end specialization on `v`.
+//! * `a@[i]` — a *static load* from an invariant part of a data structure
+//!   (§2.2.6; the paper's `cmatrix @[crow] @[ccol]`).
+//! * `static` on a function — a pure function whose calls with all-static
+//!   arguments are executed at dynamic compile time (*static calls*).
+//! * `promote(v)` — an *internal dynamic-to-static promotion* point
+//!   (§2.2.2).
+//!
+//! ## Example
+//!
+//! ```
+//! use dyc_lang::parse_program;
+//!
+//! let src = r#"
+//!     int power(int base, int exp) {
+//!         make_static(exp);
+//!         int r = 1;
+//!         while (exp > 0) { r = r * base; exp = exp - 1; }
+//!         return r;
+//!     }
+//! "#;
+//! let program = parse_program(src).unwrap();
+//! assert_eq!(program.functions[0].name, "power");
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use ast::{
+    AssignOp, BinOp, Expr, Function, LValue, Param, Policy, Program, Stmt, Type, UnaryOp,
+};
+pub use eval::{EvalError, EvalValue, Evaluator};
+pub use lexer::{lex, LexError};
+pub use parser::{parse_program, ParseError};
+pub use token::{Token, TokenKind};

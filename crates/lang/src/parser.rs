@@ -1,0 +1,842 @@
+//! Recursive-descent parser for DyCL.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError};
+use crate::token::{Token, TokenKind};
+use std::error::Error;
+use std::fmt;
+
+/// A parse error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line }
+    }
+}
+
+/// Parse a complete DyCL program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with source line) on malformed input.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut functions = Vec::new();
+    while p.peek() != &TokenKind::Eof {
+        functions.push(p.function()?);
+    }
+    Ok(Program { functions })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: msg.into(), line: self.line() })
+    }
+
+    fn expect(&mut self, k: &TokenKind) -> Result<(), ParseError> {
+        if self.peek() == k {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected '{k}', found '{}'", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, k: &TokenKind) -> bool {
+        if self.peek() == k {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found '{other}'")),
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(self.peek(), TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwVoid)
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        let mut t = match self.bump() {
+            TokenKind::KwInt => Type::Int,
+            TokenKind::KwFloat => Type::Float,
+            TokenKind::KwVoid => Type::Void,
+            other => return self.err(format!("expected type, found '{other}'")),
+        };
+        while self.eat(&TokenKind::Star) {
+            t = Type::Ptr(Box::new(t));
+        }
+        Ok(t)
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let is_static = self.eat(&TokenKind::KwStatic);
+        let ret = self.ty()?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.param()?);
+                if !self.eat(&TokenKind::Comma) {
+                    self.expect(&TokenKind::RParen)?;
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let body = self.block_body()?;
+        Ok(Function { name, is_static, ret, params, body })
+    }
+
+    fn param(&mut self) -> Result<Param, ParseError> {
+        let ty = self.ty()?;
+        let name = self.ident()?;
+        let mut dims = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            if self.eat(&TokenKind::RBracket) {
+                dims.push(None);
+            } else {
+                dims.push(Some(self.expr()?));
+                self.expect(&TokenKind::RBracket)?;
+            }
+        }
+        if dims.len() > 2 {
+            return self.err("arrays of more than two dimensions are not supported");
+        }
+        Ok(Param { name, ty, dims })
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                return self.err("unexpected end of input inside block");
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            TokenKind::LBrace => {
+                self.bump();
+                Ok(Stmt::Block(self.block_body()?))
+            }
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::KwWhile => self.while_stmt(),
+            TokenKind::KwFor => self.for_stmt(),
+            TokenKind::KwSwitch => self.switch_stmt(),
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Break)
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let e = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return(e))
+            }
+            TokenKind::KwMakeStatic => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let mut vars = Vec::new();
+                loop {
+                    let name = self.ident()?;
+                    let policy = if self.eat(&TokenKind::Colon) {
+                        match self.ident()?.as_str() {
+                            "cache_all" => Policy::CacheAll,
+                            "cache_one_unchecked" => Policy::CacheOneUnchecked,
+                            "cache_indexed" => Policy::CacheIndexed,
+                            other => {
+                                return self.err(format!("unknown caching policy '{other}'"))
+                            }
+                        }
+                    } else {
+                        Policy::CacheAll
+                    };
+                    vars.push((name, policy));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::MakeStatic(vars))
+            }
+            TokenKind::KwMakeDynamic => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let mut vars = Vec::new();
+                loop {
+                    vars.push(self.ident()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::MakeDynamic(vars))
+            }
+            TokenKind::KwPromote => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let v = self.ident()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Promote(v))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// A declaration, assignment, increment, or expression — the statement
+    /// forms legal in `for` headers (no trailing `;` consumed).
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.is_type_start() {
+            return self.decl();
+        }
+        // Prefix increment/decrement.
+        if matches!(self.peek(), TokenKind::PlusPlus | TokenKind::MinusMinus) {
+            let op = self.bump();
+            let lv = self.lvalue()?;
+            let delta = if op == TokenKind::PlusPlus { AssignOp::Add } else { AssignOp::Sub };
+            return Ok(Stmt::Assign { lv, op: delta, rhs: Expr::IntLit(1) });
+        }
+        let e = self.expr()?;
+        let assign_op = match self.peek() {
+            TokenKind::Assign => Some(AssignOp::Set),
+            TokenKind::PlusAssign => Some(AssignOp::Add),
+            TokenKind::MinusAssign => Some(AssignOp::Sub),
+            TokenKind::StarAssign => Some(AssignOp::Mul),
+            TokenKind::SlashAssign => Some(AssignOp::Div),
+            TokenKind::PlusPlus => {
+                self.bump();
+                let lv = self.expr_to_lvalue(e)?;
+                return Ok(Stmt::Assign { lv, op: AssignOp::Add, rhs: Expr::IntLit(1) });
+            }
+            TokenKind::MinusMinus => {
+                self.bump();
+                let lv = self.expr_to_lvalue(e)?;
+                return Ok(Stmt::Assign { lv, op: AssignOp::Sub, rhs: Expr::IntLit(1) });
+            }
+            _ => None,
+        };
+        match assign_op {
+            Some(op) => {
+                self.bump();
+                let rhs = self.expr()?;
+                let lv = self.expr_to_lvalue(e)?;
+                Ok(Stmt::Assign { lv, op, rhs })
+            }
+            None => Ok(Stmt::Expr(e)),
+        }
+    }
+
+    fn expr_to_lvalue(&self, e: Expr) -> Result<LValue, ParseError> {
+        match e {
+            Expr::Var(name) => Ok(LValue::Var(name)),
+            Expr::Index { base, indices, is_static: false } => {
+                Ok(LValue::Elem { base, indices })
+            }
+            Expr::Index { is_static: true, .. } => Err(ParseError {
+                message: "a static load (@) cannot be assigned to".into(),
+                line: self.line(),
+            }),
+            _ => Err(ParseError {
+                message: "expression is not assignable".into(),
+                line: self.line(),
+            }),
+        }
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, ParseError> {
+        let e = self.postfix()?;
+        self.expr_to_lvalue(e)
+    }
+
+    fn decl(&mut self) -> Result<Stmt, ParseError> {
+        let ty = self.ty()?;
+        let mut inits = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let init =
+                if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+            inits.push((name, init));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Stmt::Decl { ty, inits })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::KwIf)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_branch = Box::new(self.stmt()?);
+        let else_branch = if self.eat(&TokenKind::KwElse) {
+            Some(Box::new(self.stmt()?))
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then_branch, else_branch })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::KwWhile)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let body = Box::new(self.stmt()?);
+        Ok(Stmt::While { cond, body })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::KwFor)?;
+        self.expect(&TokenKind::LParen)?;
+        let init = if self.peek() == &TokenKind::Semi {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(&TokenKind::Semi)?;
+        let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+        self.expect(&TokenKind::Semi)?;
+        let step = if self.peek() == &TokenKind::RParen {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(&TokenKind::RParen)?;
+        let body = Box::new(self.stmt()?);
+        Ok(Stmt::For { init, cond, step, body })
+    }
+
+    fn switch_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::KwSwitch)?;
+        self.expect(&TokenKind::LParen)?;
+        let scrutinee = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut cases: Vec<(i64, Vec<Stmt>)> = Vec::new();
+        let mut default: Vec<Stmt> = Vec::new();
+        let mut saw_default = false;
+        while !self.eat(&TokenKind::RBrace) {
+            if self.eat(&TokenKind::KwCase) {
+                let neg = self.eat(&TokenKind::Minus);
+                let k = match self.bump() {
+                    TokenKind::Int(v) => {
+                        if neg {
+                            -v
+                        } else {
+                            v
+                        }
+                    }
+                    other => {
+                        return self.err(format!(
+                            "expected integer case label, found '{other}'"
+                        ))
+                    }
+                };
+                self.expect(&TokenKind::Colon)?;
+                let body = self.case_body()?;
+                if cases.iter().any(|(c, _)| *c == k) {
+                    return self.err(format!("duplicate case label {k}"));
+                }
+                cases.push((k, body));
+            } else if self.eat(&TokenKind::KwDefault) {
+                self.expect(&TokenKind::Colon)?;
+                if saw_default {
+                    return self.err("duplicate default label");
+                }
+                saw_default = true;
+                default = self.case_body()?;
+            } else {
+                return self.err(format!(
+                    "expected 'case' or 'default' in switch, found '{}'",
+                    self.peek()
+                ));
+            }
+        }
+        Ok(Stmt::Switch { scrutinee, cases, default })
+    }
+
+    fn case_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut body = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::KwCase | TokenKind::KwDefault | TokenKind::RBrace => break,
+                TokenKind::KwBreak => {
+                    // `break;` ends the case (cases never fall through).
+                    self.bump();
+                    self.expect(&TokenKind::Semi)?;
+                    break;
+                }
+                _ => body.push(self.stmt()?),
+            }
+        }
+        Ok(body)
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.logic_or()
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.logic_and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let r = self.logic_and()?;
+            e = Expr::Binary(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_or()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let r = self.bit_or()?;
+            e = Expr::Binary(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_xor()?;
+        while self.eat(&TokenKind::Pipe) {
+            let r = self.bit_xor()?;
+            e = Expr::Binary(BinOp::BitOr, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_and()?;
+        while self.eat(&TokenKind::Caret) {
+            let r = self.bit_and()?;
+            e = Expr::Binary(BinOp::BitXor, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.equality()?;
+        while self.eat(&TokenKind::Amp) {
+            let r = self.equality()?;
+            e = Expr::Binary(BinOp::BitAnd, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Eq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let r = self.relational()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let r = self.shift()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Shl => BinOp::Shl,
+                TokenKind::Shr => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let r = self.additive()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.multiplicative()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let r = self.unary()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.unary()?)))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnaryOp::Not, Box::new(self.unary()?)))
+            }
+            TokenKind::Tilde => {
+                self.bump();
+                Ok(Expr::Unary(UnaryOp::BitNot, Box::new(self.unary()?)))
+            }
+            // Cast: `(int) e` or `(float) e`.
+            TokenKind::LParen
+                if matches!(self.peek2(), TokenKind::KwInt | TokenKind::KwFloat) =>
+            {
+                self.bump();
+                let op = match self.bump() {
+                    TokenKind::KwInt => UnaryOp::CastInt,
+                    TokenKind::KwFloat => UnaryOp::CastFloat,
+                    _ => unreachable!(),
+                };
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Unary(op, Box::new(self.unary()?)))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    // The loop grows as postfix forms are added; keep the match form.
+    #[allow(clippy::while_let_loop)]
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::LBracket | TokenKind::At => {
+                    let is_static = self.eat(&TokenKind::At);
+                    self.expect(&TokenKind::LBracket)?;
+                    let idx = self.expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    e = match e {
+                        Expr::Var(base) => {
+                            Expr::Index { base, indices: vec![idx], is_static }
+                        }
+                        Expr::Index { base, mut indices, is_static: was_static } => {
+                            if indices.len() >= 2 {
+                                return self
+                                    .err("arrays of more than two dimensions are not supported");
+                            }
+                            // Either all dims of an access are static (@) or
+                            // none are; mixed forms like `a[i]@[j]` follow
+                            // the last annotation, matching the paper's
+                            // `cmatrix @[crow] @[ccol]` usage.
+                            indices.push(idx);
+                            Expr::Index { base, indices, is_static: was_static || is_static }
+                        }
+                        _ => return self.err("only named arrays can be indexed"),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr::IntLit(v)),
+            TokenKind::Float(v) => Ok(Expr::FloatLit(v)),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                self.expect(&TokenKind::RParen)?;
+                                break;
+                            }
+                        }
+                    }
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => self.err(format!("expected expression, found '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_function() {
+        let p = parse_program("int f() { return 1; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].ret, Type::Int);
+        assert_eq!(p.functions[0].body, vec![Stmt::Return(Some(Expr::IntLit(1)))]);
+    }
+
+    #[test]
+    fn parses_params_with_dims() {
+        let p = parse_program("void f(float image[][icols], int icols) {}").unwrap();
+        let f = &p.functions[0];
+        assert!(f.params[0].is_array());
+        assert_eq!(f.params[0].dims.len(), 2);
+        assert_eq!(f.params[0].dims[0], None);
+        assert_eq!(f.params[0].dims[1], Some(Expr::Var("icols".into())));
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let p = parse_program("int f() { return 1 + 2 * 3; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return(Some(Expr::Binary(BinOp::Add, l, r))) => {
+                assert_eq!(**l, Expr::IntLit(1));
+                assert!(matches!(**r, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_make_static_with_policy() {
+        let p = parse_program(
+            "void f(int x, int y) { make_static(x: cache_one_unchecked, y); }",
+        )
+        .unwrap();
+        assert_eq!(
+            p.functions[0].body[0],
+            Stmt::MakeStatic(vec![
+                ("x".into(), Policy::CacheOneUnchecked),
+                ("y".into(), Policy::CacheAll)
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_static_load() {
+        let p = parse_program("float f(float m[][c], int c, int i, int j) { return m@[i]@[j]; }")
+            .unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return(Some(Expr::Index { base, indices, is_static })) => {
+                assert_eq!(base, "m");
+                assert_eq!(indices.len(), 2);
+                assert!(is_static);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loop_with_increment() {
+        let p = parse_program("void f(int n) { for (int i = 0; i < n; ++i) { } }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::For { init, cond, step, .. } => {
+                assert!(init.is_some());
+                assert!(cond.is_some());
+                assert_eq!(
+                    **step.as_ref().unwrap(),
+                    Stmt::Assign {
+                        lv: LValue::Var("i".into()),
+                        op: AssignOp::Add,
+                        rhs: Expr::IntLit(1)
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_postfix_increment_statement() {
+        let p = parse_program("void f(int i) { i++; i--; }").unwrap();
+        assert_eq!(
+            p.functions[0].body[0],
+            Stmt::Assign { lv: LValue::Var("i".into()), op: AssignOp::Add, rhs: Expr::IntLit(1) }
+        );
+    }
+
+    #[test]
+    fn parses_switch_without_fallthrough() {
+        let p = parse_program(
+            "int f(int x) { switch (x) { case 0: return 10; case 1: return 11; break; default: return -1; } return 0; }",
+        )
+        .unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Switch { cases, default, .. } => {
+                assert_eq!(cases.len(), 2);
+                assert_eq!(default.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_array_element_assignment() {
+        let p = parse_program("void f(float a[n], int n) { a[0] = 1.0; a[1] += 2.0; }").unwrap();
+        assert!(matches!(
+            &p.functions[0].body[0],
+            Stmt::Assign { lv: LValue::Elem { .. }, op: AssignOp::Set, .. }
+        ));
+        assert!(matches!(
+            &p.functions[0].body[1],
+            Stmt::Assign { lv: LValue::Elem { .. }, op: AssignOp::Add, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_casts() {
+        let p = parse_program("float f(int x) { return (float) x / 2.0; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return(Some(Expr::Binary(BinOp::Div, l, _))) => {
+                assert!(matches!(**l, Expr::Unary(UnaryOp::CastFloat, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_assignment_to_static_load() {
+        let err = parse_program("void f(float a[n], int n) { a@[0] = 1.0; }").unwrap_err();
+        assert!(err.message.contains("static load"));
+    }
+
+    #[test]
+    fn rejects_duplicate_case() {
+        let err =
+            parse_program("int f(int x) { switch (x) { case 1: case 1: } return 0; }")
+                .unwrap_err();
+        assert!(err.message.contains("duplicate case"));
+    }
+
+    #[test]
+    fn rejects_three_dimensional_access() {
+        let err = parse_program("void f(float a[n], int n) { a[0][1][2] = 1.0; }").unwrap_err();
+        assert!(err.message.contains("two dimensions"));
+    }
+
+    #[test]
+    fn static_function_qualifier() {
+        let p = parse_program("static float cost(float x) { return x * 2.0; }").unwrap();
+        assert!(p.functions[0].is_static);
+    }
+
+    #[test]
+    fn short_circuit_operators_parse() {
+        let p = parse_program("int f(int a, int b) { return a && b || !a; }").unwrap();
+        assert!(matches!(
+            &p.functions[0].body[0],
+            Stmt::Return(Some(Expr::Binary(BinOp::Or, _, _)))
+        ));
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = parse_program("int f() {\n  return $;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

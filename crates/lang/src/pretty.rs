@@ -1,0 +1,372 @@
+//! Pretty printer for DyCL ASTs.
+//!
+//! Emits parseable DyCL source; `parse(pretty(ast)) == ast` is checked by a
+//! property test in the integration suite. Also used by the `figures`
+//! harness to show the annotated benchmark sources (the paper's Figure 2).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Render a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut s = String::new();
+    for f in &p.functions {
+        s.push_str(&function_to_string(f));
+        s.push('\n');
+    }
+    s
+}
+
+/// Render one function.
+pub fn function_to_string(f: &Function) -> String {
+    let mut s = String::new();
+    if f.is_static {
+        s.push_str("static ");
+    }
+    let _ = write!(s, "{} {}(", type_str(&f.ret), f.name);
+    let params: Vec<String> = f.params.iter().map(param_str).collect();
+    let _ = write!(s, "{}", params.join(", "));
+    s.push_str(") {\n");
+    for st in &f.body {
+        stmt_to(&mut s, st, 1);
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn indent(s: &mut String, n: usize) {
+    for _ in 0..n {
+        s.push_str("    ");
+    }
+}
+
+fn type_str(t: &Type) -> String {
+    match t {
+        Type::Int => "int".into(),
+        Type::Float => "float".into(),
+        Type::Void => "void".into(),
+        Type::Ptr(inner) => format!("{}*", type_str(inner)),
+    }
+}
+
+fn param_str(p: &Param) -> String {
+    let mut s = format!("{} {}", type_str(&p.ty), p.name);
+    for d in &p.dims {
+        match d {
+            None => s.push_str("[]"),
+            Some(e) => {
+                let _ = write!(s, "[{}]", expr_str(e));
+            }
+        }
+    }
+    s
+}
+
+fn stmt_to(s: &mut String, st: &Stmt, depth: usize) {
+    match st {
+        Stmt::Block(body) => {
+            indent(s, depth);
+            s.push_str("{\n");
+            for inner in body {
+                stmt_to(s, inner, depth + 1);
+            }
+            indent(s, depth);
+            s.push_str("}\n");
+        }
+        Stmt::Decl { ty, inits } => {
+            indent(s, depth);
+            let parts: Vec<String> = inits
+                .iter()
+                .map(|(n, e)| match e {
+                    Some(e) => format!("{n} = {}", expr_str(e)),
+                    None => n.clone(),
+                })
+                .collect();
+            let _ = writeln!(s, "{} {};", type_str(ty), parts.join(", "));
+        }
+        Stmt::Assign { lv, op, rhs } => {
+            indent(s, depth);
+            let ops = match op {
+                AssignOp::Set => "=",
+                AssignOp::Add => "+=",
+                AssignOp::Sub => "-=",
+                AssignOp::Mul => "*=",
+                AssignOp::Div => "/=",
+            };
+            let _ = writeln!(s, "{} {} {};", lvalue_str(lv), ops, expr_str(rhs));
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            indent(s, depth);
+            let _ = writeln!(s, "if ({})", expr_str(cond));
+            stmt_to(s, &braced(then_branch), depth);
+            if let Some(e) = else_branch {
+                indent(s, depth);
+                s.push_str("else\n");
+                stmt_to(s, &braced(e), depth);
+            }
+        }
+        Stmt::While { cond, body } => {
+            indent(s, depth);
+            let _ = writeln!(s, "while ({})", expr_str(cond));
+            stmt_to(s, &braced(body), depth);
+        }
+        Stmt::For { init, cond, step, body } => {
+            indent(s, depth);
+            let init_s = init.as_deref().map(simple_str).unwrap_or_default();
+            let cond_s = cond.as_ref().map(expr_str).unwrap_or_default();
+            let step_s = step.as_deref().map(simple_str).unwrap_or_default();
+            let _ = writeln!(s, "for ({init_s}; {cond_s}; {step_s})");
+            stmt_to(s, &braced(body), depth);
+        }
+        Stmt::Switch { scrutinee, cases, default } => {
+            indent(s, depth);
+            let _ = writeln!(s, "switch ({}) {{", expr_str(scrutinee));
+            for (k, body) in cases {
+                indent(s, depth);
+                let _ = writeln!(s, "case {k}:");
+                for inner in body {
+                    stmt_to(s, inner, depth + 1);
+                }
+                indent(s, depth + 1);
+                s.push_str("break;\n");
+            }
+            if !default.is_empty() {
+                indent(s, depth);
+                s.push_str("default:\n");
+                for inner in default {
+                    stmt_to(s, inner, depth + 1);
+                }
+            }
+            indent(s, depth);
+            s.push_str("}\n");
+        }
+        Stmt::Break => {
+            indent(s, depth);
+            s.push_str("break;\n");
+        }
+        Stmt::Continue => {
+            indent(s, depth);
+            s.push_str("continue;\n");
+        }
+        Stmt::Return(e) => {
+            indent(s, depth);
+            match e {
+                Some(e) => {
+                    let _ = writeln!(s, "return {};", expr_str(e));
+                }
+                None => s.push_str("return;\n"),
+            }
+        }
+        Stmt::Expr(e) => {
+            indent(s, depth);
+            let _ = writeln!(s, "{};", expr_str(e));
+        }
+        Stmt::MakeStatic(vars) => {
+            indent(s, depth);
+            let parts: Vec<String> = vars
+                .iter()
+                .map(|(n, p)| match p {
+                    Policy::CacheAll => n.clone(),
+                    Policy::CacheOneUnchecked => format!("{n}: cache_one_unchecked"),
+                    Policy::CacheIndexed => format!("{n}: cache_indexed"),
+                })
+                .collect();
+            let _ = writeln!(s, "make_static({});", parts.join(", "));
+        }
+        Stmt::MakeDynamic(vars) => {
+            indent(s, depth);
+            let _ = writeln!(s, "make_dynamic({});", vars.join(", "));
+        }
+        Stmt::Promote(v) => {
+            indent(s, depth);
+            let _ = writeln!(s, "promote({v});");
+        }
+    }
+}
+
+/// Wrap a non-block statement in a block so the printed form is
+/// unambiguous regardless of nesting (dangling else, etc.).
+fn braced(st: &Stmt) -> Stmt {
+    match st {
+        Stmt::Block(_) => st.clone(),
+        other => Stmt::Block(vec![other.clone()]),
+    }
+}
+
+fn simple_str(st: &Stmt) -> String {
+    let mut s = String::new();
+    stmt_to(&mut s, st, 0);
+    s.trim_end().trim_end_matches(';').to_string()
+}
+
+fn lvalue_str(lv: &LValue) -> String {
+    match lv {
+        LValue::Var(n) => n.clone(),
+        LValue::Elem { base, indices } => {
+            let mut s = base.clone();
+            for i in indices {
+                let _ = write!(s, "[{}]", expr_str(i));
+            }
+            s
+        }
+    }
+}
+
+/// Render an expression (fully parenthesized to keep it unambiguous).
+pub fn expr_str(e: &Expr) -> String {
+    match e {
+        Expr::IntLit(v) => v.to_string(),
+        Expr::FloatLit(v) => {
+            let s = format!("{v}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::Var(n) => n.clone(),
+        Expr::Unary(op, inner) => {
+            let o = match op {
+                UnaryOp::Neg => "-",
+                UnaryOp::Not => "!",
+                UnaryOp::BitNot => "~",
+                UnaryOp::CastInt => "(int) ",
+                UnaryOp::CastFloat => "(float) ",
+            };
+            format!("{o}{}", wrap(inner))
+        }
+        Expr::Binary(op, l, r) => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+                BinOp::BitAnd => "&",
+                BinOp::BitOr => "|",
+                BinOp::BitXor => "^",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+            };
+            format!("{} {o} {}", wrap(l), wrap(r))
+        }
+        Expr::Index { base, indices, is_static } => {
+            let mut s = base.clone();
+            for i in indices {
+                if *is_static {
+                    s.push('@');
+                }
+                let _ = write!(s, "[{}]", expr_str(i));
+            }
+            s
+        }
+        Expr::Call { name, args } => {
+            let parts: Vec<String> = args.iter().map(expr_str).collect();
+            format!("{name}({})", parts.join(", "))
+        }
+    }
+}
+
+fn wrap(e: &Expr) -> String {
+    match e {
+        Expr::Binary(..) => format!("({})", expr_str(e)),
+        _ => expr_str(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn round_trip(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = program_to_string(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
+        assert_eq!(p1, p2, "round trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_annotated_convolution_style_code() {
+        round_trip(
+            r#"
+            void do_convol(float image[][icols], int irows, int icols,
+                           float cmatrix[][ccols], int crows, int ccols,
+                           float outbuf[][icols]) {
+                float x, sum, weighted_x, weight;
+                int crow, ccol, irow, icol;
+                make_static(cmatrix, crows, ccols, crow, ccol);
+                for (irow = 0; irow < irows; ++irow) {
+                    for (icol = 0; icol < icols; ++icol) {
+                        sum = 0.0;
+                        for (crow = 0; crow < crows; ++crow) {
+                            for (ccol = 0; ccol < ccols; ++ccol) {
+                                weight = cmatrix@[crow]@[ccol];
+                                x = image[irow + crow][icol + ccol];
+                                weighted_x = x * weight;
+                                sum = sum + weighted_x;
+                            }
+                        }
+                        outbuf[irow][icol] = sum;
+                    }
+                }
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_control_flow_zoo() {
+        round_trip(
+            r#"
+            int f(int a, int b) {
+                int r = 0;
+                if (a > b) { r = 1; } else { r = 2; }
+                while (a > 0) { a -= 1; if (a == 3) { break; } continue; }
+                switch (b) {
+                    case 0:
+                        r = 5;
+                        break;
+                    case -2:
+                        r = 6;
+                        break;
+                    default:
+                        r = 7;
+                }
+                promote(r);
+                make_dynamic(r);
+                return r;
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn float_literals_keep_a_decimal_point() {
+        assert_eq!(expr_str(&Expr::FloatLit(1.0)), "1.0");
+        assert_eq!(expr_str(&Expr::FloatLit(0.25)), "0.25");
+    }
+
+    #[test]
+    fn binary_printing_parenthesizes() {
+        let e = Expr::Binary(
+            BinOp::Mul,
+            Box::new(Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Var("a".into())),
+                Box::new(Expr::Var("b".into())),
+            )),
+            Box::new(Expr::Var("c".into())),
+        );
+        assert_eq!(expr_str(&e), "(a + b) * c");
+    }
+}

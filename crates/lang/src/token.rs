@@ -1,0 +1,194 @@
+//! Tokens of the DyCL language.
+
+use std::fmt;
+
+/// A lexical token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// The kinds of DyCL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords.
+    KwInt,
+    KwFloat,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    KwStatic,
+    KwMakeStatic,
+    KwMakeDynamic,
+    KwPromote,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    At,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<TokenKind> {
+        Some(match s {
+            "int" => TokenKind::KwInt,
+            "float" | "double" => TokenKind::KwFloat,
+            "void" => TokenKind::KwVoid,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "switch" => TokenKind::KwSwitch,
+            "case" => TokenKind::KwCase,
+            "default" => TokenKind::KwDefault,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "return" => TokenKind::KwReturn,
+            "static" => TokenKind::KwStatic,
+            "make_static" => TokenKind::KwMakeStatic,
+            "make_dynamic" => TokenKind::KwMakeDynamic,
+            "promote" => TokenKind::KwPromote,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::KwInt => write!(f, "int"),
+            TokenKind::KwFloat => write!(f, "float"),
+            TokenKind::KwVoid => write!(f, "void"),
+            TokenKind::KwIf => write!(f, "if"),
+            TokenKind::KwElse => write!(f, "else"),
+            TokenKind::KwWhile => write!(f, "while"),
+            TokenKind::KwFor => write!(f, "for"),
+            TokenKind::KwSwitch => write!(f, "switch"),
+            TokenKind::KwCase => write!(f, "case"),
+            TokenKind::KwDefault => write!(f, "default"),
+            TokenKind::KwBreak => write!(f, "break"),
+            TokenKind::KwContinue => write!(f, "continue"),
+            TokenKind::KwReturn => write!(f, "return"),
+            TokenKind::KwStatic => write!(f, "static"),
+            TokenKind::KwMakeStatic => write!(f, "make_static"),
+            TokenKind::KwMakeDynamic => write!(f, "make_dynamic"),
+            TokenKind::KwPromote => write!(f, "promote"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::At => write!(f, "@"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Assign => write!(f, "="),
+            TokenKind::PlusAssign => write!(f, "+="),
+            TokenKind::MinusAssign => write!(f, "-="),
+            TokenKind::StarAssign => write!(f, "*="),
+            TokenKind::SlashAssign => write!(f, "/="),
+            TokenKind::PlusPlus => write!(f, "++"),
+            TokenKind::MinusMinus => write!(f, "--"),
+            TokenKind::Eq => write!(f, "=="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::AndAnd => write!(f, "&&"),
+            TokenKind::OrOr => write!(f, "||"),
+            TokenKind::Bang => write!(f, "!"),
+            TokenKind::Amp => write!(f, "&"),
+            TokenKind::Pipe => write!(f, "|"),
+            TokenKind::Caret => write!(f, "^"),
+            TokenKind::Tilde => write!(f, "~"),
+            TokenKind::Shl => write!(f, "<<"),
+            TokenKind::Shr => write!(f, ">>"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::keyword("make_static"), Some(TokenKind::KwMakeStatic));
+        assert_eq!(TokenKind::keyword("double"), Some(TokenKind::KwFloat));
+        assert_eq!(TokenKind::keyword("banana"), None);
+    }
+
+    #[test]
+    fn display_round_trips_punct() {
+        assert_eq!(TokenKind::Shl.to_string(), "<<");
+        assert_eq!(TokenKind::PlusAssign.to_string(), "+=");
+    }
+}

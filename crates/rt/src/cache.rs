@@ -1,0 +1,213 @@
+//! The dynamic-code cache.
+//!
+//! DyC's default `cache-all` policy "maintains a cache at each of these
+//! points, implemented using double hashing" (§2.2.3, citing Cormen et
+//! al.). The cache maps the values of the static variables at a promotion
+//! point to the code specialized for those values. We implement the same
+//! open-addressing double-hash table and meter its probe counts so the
+//! dispatch-cost analysis of §4.4.3 (~90 cycles per hashed dispatch,
+//! rising to ~150 under collisions as in mipsi) can be reproduced.
+
+use dyc_vm::FuncId;
+
+/// Result of a metered lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probed<T> {
+    /// The value found, if any.
+    pub value: Option<T>,
+    /// Number of slots inspected.
+    pub probes: u32,
+}
+
+/// An open-addressing hash table with double hashing, keyed by the values
+/// of the static variables at a promotion point.
+#[derive(Debug, Clone)]
+pub struct DoubleHashCache {
+    slots: Vec<Option<(Vec<u64>, FuncId)>>,
+    len: usize,
+    /// Total probes across all lookups (for dispatch-cost reporting).
+    pub total_probes: u64,
+    /// Total lookups.
+    pub lookups: u64,
+}
+
+impl DoubleHashCache {
+    /// An empty cache with a small initial capacity.
+    pub fn new() -> DoubleHashCache {
+        DoubleHashCache { slots: vec![None; 16], len: 0, total_probes: 0, lookups: 0 }
+    }
+
+    /// Number of cached specializations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn h1(key: &[u64], m: usize) -> usize {
+        // FNV-style fold of the key words.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in key {
+            h ^= *w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h as usize) % m
+    }
+
+    fn h2(key: &[u64], m: usize) -> usize {
+        // Second hash must be odd so it is coprime with the power-of-two
+        // table size (guarantees a full probe cycle).
+        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+        for w in key {
+            h = h.rotate_left(13) ^ w.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        }
+        (((h as usize) | 1) % m) | 1
+    }
+
+    /// Look up `key`, metering probes.
+    pub fn lookup(&mut self, key: &[u64]) -> Probed<FuncId> {
+        self.lookups += 1;
+        let m = self.slots.len();
+        let start = Self::h1(key, m);
+        let step = Self::h2(key, m);
+        let mut idx = start;
+        let mut probes = 0;
+        loop {
+            probes += 1;
+            match &self.slots[idx] {
+                None => {
+                    self.total_probes += u64::from(probes);
+                    return Probed { value: None, probes };
+                }
+                Some((k, v)) if k.as_slice() == key => {
+                    self.total_probes += u64::from(probes);
+                    return Probed { value: Some(*v), probes };
+                }
+                Some(_) => {
+                    idx = (idx + step) % m;
+                    if probes as usize > m {
+                        // Table full of other keys; treat as a miss.
+                        self.total_probes += u64::from(probes);
+                        return Probed { value: None, probes };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insert (or overwrite) a specialization for `key`.
+    pub fn insert(&mut self, key: Vec<u64>, value: FuncId) {
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let m = self.slots.len();
+        let start = Self::h1(&key, m);
+        let step = Self::h2(&key, m);
+        let mut idx = start;
+        loop {
+            match &self.slots[idx] {
+                None => {
+                    self.slots[idx] = Some((key, value));
+                    self.len += 1;
+                    return;
+                }
+                Some((k, _)) if *k == key => {
+                    self.slots[idx] = Some((key, value));
+                    return;
+                }
+                Some(_) => idx = (idx + step) % m,
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_size = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![None; new_size]);
+        self.len = 0;
+        for e in old.into_iter().flatten() {
+            let (k, v) = e;
+            self.insert(k, v);
+        }
+    }
+
+    /// Mean probes per lookup so far (0 if no lookups).
+    pub fn mean_probes(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.total_probes as f64 / self.lookups as f64
+        }
+    }
+}
+
+impl Default for DoubleHashCache {
+    fn default() -> Self {
+        DoubleHashCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = DoubleHashCache::new();
+        let key = vec![1, 2, 3];
+        assert!(c.lookup(&key).value.is_none());
+        c.insert(key.clone(), FuncId(7));
+        assert_eq!(c.lookup(&key).value, Some(FuncId(7)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide_logically() {
+        let mut c = DoubleHashCache::new();
+        for i in 0..100u64 {
+            c.insert(vec![i, i * 31], FuncId(i as u32));
+        }
+        for i in 0..100u64 {
+            assert_eq!(c.lookup(&[i, i * 31]).value, Some(FuncId(i as u32)), "key {i}");
+        }
+        assert_eq!(c.len(), 100);
+    }
+
+    #[test]
+    fn overwrite_same_key() {
+        let mut c = DoubleHashCache::new();
+        c.insert(vec![9], FuncId(1));
+        c.insert(vec![9], FuncId(2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(&[9]).value, Some(FuncId(2)));
+    }
+
+    #[test]
+    fn probes_are_metered() {
+        let mut c = DoubleHashCache::new();
+        c.insert(vec![1], FuncId(0));
+        let p = c.lookup(&[1]);
+        assert!(p.probes >= 1);
+        assert!(c.mean_probes() >= 1.0);
+        assert_eq!(c.lookups, 1);
+    }
+
+    #[test]
+    fn empty_key_is_a_valid_key() {
+        let mut c = DoubleHashCache::new();
+        c.insert(vec![], FuncId(3));
+        assert_eq!(c.lookup(&[]).value, Some(FuncId(3)));
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut c = DoubleHashCache::new();
+        for i in 0..1000u64 {
+            c.insert(vec![i], FuncId(i as u32));
+        }
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c.lookup(&[999]).value, Some(FuncId(999)));
+    }
+}

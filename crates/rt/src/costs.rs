@@ -1,0 +1,113 @@
+//! Cycle costs of the run-time system itself.
+//!
+//! §4.2 lists the contributors to dynamic-compilation overhead: "cache
+//! lookups, memory allocation, handling of dynamic branches, checks for
+//! dynamic zero and copy propagation, dead-assignment elimination, and
+//! strength reduction, operations to ensure instruction-cache coherence,
+//! instruction construction and emission, branch patching, hole patching,
+//! and the static computations." Each of those has a constant here. §4.4.3
+//! pins the dispatch costs: "An unchecked dispatch requires about 10
+//! cycles … a general-purpose hash-table-based dispatch … requires on
+//! average 90 cycles", rising to ~150 with collisions.
+
+/// Cycle-cost constants for the dynamic compiler and dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynCosts {
+    /// Executing one static computation in the set-up code.
+    pub static_op: u64,
+    /// A static load (adds a D-cache access on top of the ALU work).
+    pub static_load: u64,
+    /// Constructing and emitting one dynamic instruction (hole patching
+    /// included — holes are filled as the instruction is built).
+    pub emit_instr: u64,
+    /// Specialization-unit cache maintenance per unit (memory allocation,
+    /// unit-cache lookup).
+    pub per_unit: u64,
+    /// Patching one branch target after its destination is emitted.
+    pub branch_patch: u64,
+    /// The emit-time check for zero/copy propagation or strength reduction
+    /// on one candidate instruction.
+    pub opt_check: u64,
+    /// Per-instruction dead-assignment-elimination bookkeeping.
+    pub dae_check: u64,
+    /// Creating an internal promotion site.
+    pub new_site: u64,
+    /// Installing a code unit: i-cache coherence (`imb`) and bookkeeping.
+    pub install: u64,
+    /// Unchecked (cache-one) dispatch: load + indirect jump.
+    pub dispatch_unchecked: u64,
+    /// Indexed dispatch (§3.1 extension): bounds check + table load +
+    /// indirect jump.
+    pub dispatch_indexed: u64,
+    /// Hash-table dispatch base cost: storing the key values, calling the
+    /// hash function, and the indirect jump.
+    pub dispatch_hash_base: u64,
+    /// Additional cost per key word hashed.
+    pub dispatch_hash_per_key: u64,
+    /// Additional cost per extra probe (collision).
+    pub dispatch_probe: u64,
+}
+
+impl DynCosts {
+    /// Constants calibrated against the paper's reported overheads.
+    pub fn calibrated() -> DynCosts {
+        DynCosts {
+            static_op: 3,
+            static_load: 6,
+            emit_instr: 12,
+            per_unit: 20,
+            branch_patch: 5,
+            opt_check: 2,
+            dae_check: 1,
+            new_site: 40,
+            install: 80,
+            dispatch_unchecked: 10,
+            dispatch_indexed: 14,
+            dispatch_hash_base: 70,
+            dispatch_hash_per_key: 8,
+            dispatch_probe: 30,
+        }
+    }
+
+    /// Cost of one hashed dispatch with `keys` key words and `probes`
+    /// total slot inspections (first probe is part of the base cost).
+    pub fn hashed_dispatch(&self, keys: usize, probes: u32) -> u64 {
+        self.dispatch_hash_base
+            + self.dispatch_hash_per_key * keys as u64
+            + self.dispatch_probe * u64::from(probes.saturating_sub(1))
+    }
+}
+
+impl Default for DynCosts {
+    fn default() -> Self {
+        DynCosts::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashed_dispatch_is_about_ninety_cycles() {
+        // §4.4.3: ~90 cycles for a typical collision-free lookup with a
+        // small key.
+        let c = DynCosts::calibrated();
+        let typical = c.hashed_dispatch(2, 1);
+        assert!((80..=100).contains(&typical), "got {typical}");
+    }
+
+    #[test]
+    fn collisions_push_cost_towards_mipsi_levels() {
+        // §4.4.3: "this figure rises to 150 cycles per dispatch, due to
+        // collisions in its hash table".
+        let c = DynCosts::calibrated();
+        let with_collisions = c.hashed_dispatch(2, 3);
+        assert!((130..=170).contains(&with_collisions), "got {with_collisions}");
+    }
+
+    #[test]
+    fn unchecked_dispatch_is_about_ten_cycles() {
+        assert_eq!(DynCosts::calibrated().dispatch_unchecked, 10);
+    }
+}

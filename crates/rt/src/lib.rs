@@ -1,0 +1,29 @@
+//! # dyc-rt — the run-time half of DyC-RS
+//!
+//! The static compiler (`dyc-stage`) replaces every dynamic-region entry
+//! with a dispatch into this crate. At run time:
+//!
+//! 1. [`Runtime`] (a [`dyc_vm::DispatchHandler`]) receives the dispatch
+//!    with the live values, extracts the promoted key, and consults the
+//!    site's **dynamic-code cache** — the paper's double-hashing
+//!    `cache-all` table or the single-slot `cache-one-unchecked` policy
+//!    (§2.2.3).
+//! 2. On a miss, the [`specializer`] — DyC's *generating extension* —
+//!    executes the static computations and emits specialized VM code,
+//!    performing complete loop unrolling, static loads & calls, dynamic
+//!    zero/copy propagation, dead-assignment elimination, strength
+//!    reduction, and internal dynamic-to-static promotions.
+//! 3. The new code is installed in the running [`dyc_vm::Module`], the
+//!    I-cache is flushed, and every cycle of the work is charged to the
+//!    dynamic-compilation counters that feed Table 3.
+
+pub mod cache;
+pub mod costs;
+pub mod runtime;
+pub mod specializer;
+pub mod stats;
+
+pub use cache::DoubleHashCache;
+pub use costs::DynCosts;
+pub use runtime::{Runtime, Site, Store};
+pub use stats::RtStats;

@@ -1,0 +1,314 @@
+//! The run-time system: dispatch sites, code caches, and the
+//! [`DispatchHandler`] that connects running code to the specializer.
+//!
+//! "At run time, a dynamic region's custom dynamic compiler is invoked to
+//! generate the region's code. The dynamic compiler first checks an
+//! internal cache of previously dynamically generated code for a version
+//! that was compiled for the values of the annotated variables. If one is
+//! found, it is reused." (§2.1)
+
+use crate::cache::DoubleHashCache;
+use crate::costs::DynCosts;
+use crate::specializer::Specializer;
+use crate::stats::RtStats;
+use dyc_ir::{BlockId, VReg};
+use dyc_stage::{SitePolicy, StagedProgram};
+use dyc_vm::{DispatchHandler, DispatchOutcome, FuncId, Module, Value, Vm, VmError};
+use std::collections::BTreeMap;
+
+/// The static store: concrete values of the static variables.
+pub type Store = BTreeMap<VReg, Value>;
+
+/// A dispatch site: a dynamic-region entry or an internal
+/// dynamic-to-static promotion point.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Function containing the site.
+    pub func: usize,
+    /// Block of the resume point.
+    pub block: BlockId,
+    /// Instruction index of the resume point (the annotation).
+    pub inst_idx: usize,
+    /// Static context baked in at emit time (empty for entry sites).
+    pub base_store: Store,
+    /// Variables promoted at this site (their values form the cache key).
+    pub key_vars: Vec<VReg>,
+    /// Dispatch argument layout (all live variables at the point for entry
+    /// sites; the live *dynamic* variables for internal sites).
+    pub arg_vars: Vec<VReg>,
+    /// Caching policy.
+    pub policy: SitePolicy,
+}
+
+#[derive(Debug)]
+enum CacheState {
+    All(DoubleHashCache),
+    One(Option<FuncId>),
+    /// Array-indexed lookup for byte-ranged keys (§3.1 extension), with a
+    /// hashed overflow table for out-of-range values.
+    Indexed { slots: Box<[Option<FuncId>; 256]>, overflow: DoubleHashCache },
+}
+
+impl CacheState {
+    fn for_policy(policy: SitePolicy) -> CacheState {
+        match policy {
+            SitePolicy::CacheAll => CacheState::All(DoubleHashCache::new()),
+            SitePolicy::CacheOneUnchecked => CacheState::One(None),
+            SitePolicy::CacheIndexed => CacheState::Indexed {
+                slots: Box::new([None; 256]),
+                overflow: DoubleHashCache::new(),
+            },
+        }
+    }
+}
+
+/// The run-time system. Implements [`DispatchHandler`]; attach it to a
+/// [`Vm`] run with [`Vm::call_with_handler`].
+#[derive(Debug)]
+pub struct Runtime {
+    /// The staged program (IR + plans) produced by `dyc-stage`.
+    pub staged: StagedProgram,
+    /// Cost constants for overhead accounting.
+    pub costs: DynCosts,
+    /// Run-time statistics (Table 2/3 instrumentation).
+    pub stats: RtStats,
+    sites: Vec<Site>,
+    caches: Vec<CacheState>,
+    /// Specialization instruction budget (guards non-terminating static
+    /// loops).
+    pub spec_budget: u64,
+}
+
+impl Runtime {
+    /// Build the run-time system for a staged program.
+    pub fn new(staged: StagedProgram) -> Runtime {
+        let mut sites = Vec::new();
+        let mut caches = Vec::new();
+        for e in &staged.entry_sites {
+            sites.push(Site {
+                func: e.func,
+                block: e.block,
+                inst_idx: e.inst_idx,
+                base_store: Store::new(),
+                key_vars: e.key_vars.iter().map(|(v, _)| *v).collect(),
+                arg_vars: e.arg_vars.clone(),
+                policy: e.policy,
+            });
+            caches.push(CacheState::for_policy(e.policy));
+        }
+        Runtime {
+            staged,
+            costs: DynCosts::calibrated(),
+            stats: RtStats::new(),
+            sites,
+            caches,
+            spec_budget: 4_000_000,
+        }
+    }
+
+    /// Register an internal promotion site created during specialization;
+    /// returns its dispatch point id.
+    pub(crate) fn add_site(&mut self, site: Site) -> u32 {
+        let id = self.sites.len() as u32;
+        self.caches.push(CacheState::for_policy(site.policy));
+        self.sites.push(site);
+        self.stats.internal_promotions += 1;
+        id
+    }
+
+    /// Number of dispatch sites (entries + internal promotions so far).
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The site table (diagnostics).
+    pub fn site(&self, id: u32) -> &Site {
+        &self.sites[id as usize]
+    }
+
+    fn specialize(
+        &mut self,
+        point: u32,
+        key_vals: &[Value],
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<FuncId, VmError> {
+        let site = self.sites[point as usize].clone();
+        let mut store = site.base_store.clone();
+        for (v, val) in site.key_vars.iter().zip(key_vals) {
+            store.insert(*v, *val);
+        }
+        self.stats.specializations += 1;
+        let func = Specializer::run(self, &site, store, module, vm)?;
+        // Install: i-cache coherence + bookkeeping.
+        vm.flush_icache();
+        let install = self.costs.install;
+        self.charge(vm, install);
+        Ok(func)
+    }
+
+    pub(crate) fn charge(&mut self, vm: &mut Vm, cycles: u64) {
+        self.stats.dyncomp_cycles += cycles;
+        vm.stats.dyncomp_cycles += cycles;
+    }
+
+    fn charge_dispatch(&mut self, vm: &mut Vm, cycles: u64) {
+        self.stats.dispatch_cycles += cycles;
+        vm.stats.dispatch_cycles += cycles;
+    }
+
+    /// Positions of the dynamic (pass-through) arguments of a site, given
+    /// the static store after promotion.
+    fn dyn_positions(site: &Site, store: &Store) -> Vec<usize> {
+        site.arg_vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !store.contains_key(v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl DispatchHandler for Runtime {
+    fn dispatch(
+        &mut self,
+        point: u32,
+        args: &[Value],
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<DispatchOutcome, VmError> {
+        let site = &self.sites[point as usize];
+        if args.len() != site.arg_vars.len() {
+            return Err(VmError::Dispatch(format!(
+                "site {point}: expected {} args, got {}",
+                site.arg_vars.len(),
+                args.len()
+            )));
+        }
+        // Extract the promoted key values from the argument vector.
+        let key_vals: Vec<Value> = site
+            .key_vars
+            .iter()
+            .map(|kv| {
+                let pos = site
+                    .arg_vars
+                    .iter()
+                    .position(|a| a == kv)
+                    .expect("key vars are live at their own promotion point");
+                args[pos]
+            })
+            .collect();
+
+        // The store the continuation will run under (needed to subset the
+        // pass-through arguments deterministically).
+        let mut store = site.base_store.clone();
+        for (v, val) in site.key_vars.iter().zip(&key_vals) {
+            store.insert(*v, *val);
+        }
+        let dyn_pos = Self::dyn_positions(site, &store);
+        let policy = site.policy;
+
+        let func = match policy {
+            SitePolicy::CacheOneUnchecked => {
+                let unchecked = self.costs.dispatch_unchecked;
+                self.charge_dispatch(vm, unchecked);
+                self.stats.dispatch_unchecked += 1;
+                let cached = match &self.caches[point as usize] {
+                    CacheState::One(f) => *f,
+                    _ => unreachable!("policy/cache mismatch"),
+                };
+                match cached {
+                    Some(f) => f,
+                    None => {
+                        vm.stats.dispatch_misses += 1;
+                        let f = self.specialize(point, &key_vals, module, vm)?;
+                        self.caches[point as usize] = CacheState::One(Some(f));
+                        f
+                    }
+                }
+            }
+            SitePolicy::CacheIndexed => {
+                // §3.1's proposed fast dispatch: "the lookup could be
+                // implemented as a simple array indexing, in place of
+                // DyC's current general-purpose hash-table lookup."
+                let v = key_vals[0].as_i();
+                if (0..256).contains(&v) {
+                    let idx = v as usize;
+                    let cost = self.costs.dispatch_indexed;
+                    self.charge_dispatch(vm, cost);
+                    self.stats.dispatch_indexed += 1;
+                    let cached = match &self.caches[point as usize] {
+                        CacheState::Indexed { slots, .. } => slots[idx],
+                        _ => unreachable!("policy/cache mismatch"),
+                    };
+                    match cached {
+                        Some(f) => f,
+                        None => {
+                            vm.stats.dispatch_misses += 1;
+                            let f = self.specialize(point, &key_vals, module, vm)?;
+                            match &mut self.caches[point as usize] {
+                                CacheState::Indexed { slots, .. } => slots[idx] = Some(f),
+                                _ => unreachable!(),
+                            }
+                            f
+                        }
+                    }
+                } else {
+                    // Out of the indexed range: safe hashed fallback.
+                    let key = vec![key_vals[0].key_bits()];
+                    let (hit, probes) = match &mut self.caches[point as usize] {
+                        CacheState::Indexed { overflow, .. } => {
+                            let p = overflow.lookup(&key);
+                            (p.value, p.probes)
+                        }
+                        _ => unreachable!("policy/cache mismatch"),
+                    };
+                    let cost = self.costs.hashed_dispatch(1, probes);
+                    self.charge_dispatch(vm, cost);
+                    self.stats.dispatch_hashed += 1;
+                    match hit {
+                        Some(f) => f,
+                        None => {
+                            vm.stats.dispatch_misses += 1;
+                            let f = self.specialize(point, &key_vals, module, vm)?;
+                            match &mut self.caches[point as usize] {
+                                CacheState::Indexed { overflow, .. } => overflow.insert(key, f),
+                                _ => unreachable!(),
+                            }
+                            f
+                        }
+                    }
+                }
+            }
+            SitePolicy::CacheAll => {
+                let key: Vec<u64> = key_vals.iter().map(|v| v.key_bits()).collect();
+                let (hit, probes) = match &mut self.caches[point as usize] {
+                    CacheState::All(c) => {
+                        let p = c.lookup(&key);
+                        (p.value, p.probes)
+                    }
+                    _ => unreachable!("policy/cache mismatch"),
+                };
+                let cost = self.costs.hashed_dispatch(key.len(), probes);
+                self.charge_dispatch(vm, cost);
+                self.stats.dispatch_hashed += 1;
+                self.stats.dispatch_probes += u64::from(probes);
+                match hit {
+                    Some(f) => f,
+                    None => {
+                        vm.stats.dispatch_misses += 1;
+                        let f = self.specialize(point, &key_vals, module, vm)?;
+                        match &mut self.caches[point as usize] {
+                            CacheState::All(c) => c.insert(key, f),
+                            _ => unreachable!(),
+                        }
+                        f
+                    }
+                }
+            }
+        };
+
+        let call_args: Vec<Value> = dyn_pos.iter().map(|&i| args[i]).collect();
+        Ok(DispatchOutcome::Invoke { func, args: call_args })
+    }
+}

@@ -1,0 +1,87 @@
+//! Run-time-system statistics.
+//!
+//! These counters drive the reproduction's Table 2 (which optimizations
+//! each program actually used), Table 3 (instructions generated,
+//! dynamic-compilation overhead), and the §4.4.3 dispatch-cost analysis.
+
+/// Counters accumulated by the run-time system.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RtStats {
+    /// Specializations performed (dispatch misses).
+    pub specializations: u64,
+    /// Specialization units (block instances) emitted.
+    pub units_emitted: u64,
+    /// VM instructions generated (after dead-assignment elimination).
+    pub instrs_generated: u64,
+    /// Static computations executed at dynamic compile time.
+    pub static_ops: u64,
+    /// Static loads executed (§2.2.6).
+    pub static_loads: u64,
+    /// Static calls executed/memoized (§2.2.6).
+    pub static_calls: u64,
+    /// Conditional branches / switches folded on static values.
+    pub branches_folded: u64,
+    /// Dynamic zero/copy-propagation folds (§2.2.7).
+    pub zero_copy_folds: u64,
+    /// Instructions removed by dynamic dead-assignment elimination.
+    pub dae_removed: u64,
+    /// Dynamic strength reductions applied (§2.2.7).
+    pub strength_reductions: u64,
+    /// Internal dynamic-to-static promotion sites created (§2.2.2).
+    pub internal_promotions: u64,
+    /// Loop headers that were completely unrolled (≥2 specialized units).
+    pub loops_unrolled: u64,
+    /// True if multi-way unrolling was observed: the unrolled loop body
+    /// formed a dag/graph rather than a chain (divergent static stores in
+    /// one loop, or a return to a previously emitted iteration).
+    pub multi_way_unroll: bool,
+    /// Distinct static-variable *sets* observed per program point beyond
+    /// the first — evidence of polyvariant division (§2.2.5).
+    pub divisions_observed: u64,
+    /// Dispatches served by the unchecked (cache-one) policy.
+    pub dispatch_unchecked: u64,
+    /// Dispatches served by the hashed cache-all policy.
+    pub dispatch_hashed: u64,
+    /// Dispatches served by the array-indexed policy (§3.1 extension).
+    pub dispatch_indexed: u64,
+    /// Total probe count across hashed dispatches.
+    pub dispatch_probes: u64,
+    /// Cycles charged to dynamic compilation (mirror of the VM counter).
+    pub dyncomp_cycles: u64,
+    /// Cycles charged to dispatching.
+    pub dispatch_cycles: u64,
+}
+
+impl RtStats {
+    /// Fresh counters.
+    pub fn new() -> RtStats {
+        RtStats::default()
+    }
+
+    /// Dynamic-compilation overhead per generated instruction — Table 3's
+    /// "DC Overhead (cycles/instruction generated)".
+    pub fn overhead_per_instr(&self) -> f64 {
+        if self.instrs_generated == 0 {
+            0.0
+        } else {
+            self.dyncomp_cycles as f64 / self.instrs_generated as f64
+        }
+    }
+
+    /// True if complete loop unrolling fired.
+    pub fn used_loop_unrolling(&self) -> bool {
+        self.loops_unrolled > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_per_instr_handles_zero() {
+        assert_eq!(RtStats::new().overhead_per_instr(), 0.0);
+        let s = RtStats { instrs_generated: 100, dyncomp_cycles: 5000, ..RtStats::new() };
+        assert_eq!(s.overhead_per_instr(), 50.0);
+    }
+}

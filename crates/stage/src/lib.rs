@@ -1,0 +1,22 @@
+//! # dyc-stage — staging the dynamic optimizations
+//!
+//! DyC keeps dynamic compilation cheap by doing "the bulk of the work of
+//! the optimization … at static compile time" (§1): each dynamic region is
+//! split out, its binding-time structure is analyzed, and a specialized
+//! run-time compiler is prepared. This crate is that static-compile-time
+//! half:
+//!
+//! * [`stage_program`] takes the optimized IR and produces a
+//!   [`StagedProgram`]: the **dynamic build** of the VM module, in which
+//!   every `make_static` site has been replaced by a dispatch to the
+//!   run-time system (the *driver stub*), plus everything the run-time
+//!   specializer needs precomputed — per-function BTA results, liveness
+//!   (used both for dead-assignment planning and to "only hash on the
+//!   subset of live static variables", §4.4.3), and the entry-site
+//!   descriptors with their caching policies.
+//!
+//! The run-time half (the generating-extension executor) lives in `dyc-rt`.
+
+pub mod plan;
+
+pub use plan::{live_at_point, site_policy, stage_program, EntrySite, SitePolicy, StagedFunc, StagedProgram};

@@ -1,0 +1,330 @@
+//! Region plans and the dynamic build of the module.
+
+use dyc_bta::{analyze, Bta, OptConfig};
+use dyc_ir::analysis::{liveness, Liveness};
+use dyc_ir::codegen::{codegen_func, codegen_func_with_splices, DispatchSplice};
+use dyc_ir::inst::Inst;
+use dyc_ir::{BlockId, FuncIr, ProgramIr, VReg};
+use dyc_lang::Policy;
+use dyc_vm::Module;
+use std::collections::BTreeSet;
+
+/// How a dispatch site caches its specializations (§2.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SitePolicy {
+    /// Double-hashing cache keyed on the promoted values; safe default.
+    CacheAll,
+    /// One cached version, reused without any key check (a single load
+    /// and indirect jump, ~10 cycles).
+    CacheOneUnchecked,
+    /// Array-indexed lookup over a small integer key range (§3.1's
+    /// proposed fast dispatch); falls back to hashing out of range.
+    /// Requires a single integer key variable.
+    CacheIndexed,
+}
+
+/// A region-entry dispatch site prepared at static compile time.
+#[derive(Debug, Clone)]
+pub struct EntrySite {
+    /// Index of the function containing the region.
+    pub func: usize,
+    /// Block of the `make_static`.
+    pub block: BlockId,
+    /// Instruction index of the `make_static` within the block.
+    pub inst_idx: usize,
+    /// Variables promoted at this site, with their source policies.
+    pub key_vars: Vec<(VReg, Policy)>,
+    /// Dispatch argument layout: all live variables at the site, sorted.
+    pub arg_vars: Vec<VReg>,
+    /// Effective caching policy for the whole site.
+    pub policy: SitePolicy,
+}
+
+/// Per-function staged artifacts.
+#[derive(Debug, Clone)]
+pub struct StagedFunc {
+    /// Offline binding-time results.
+    pub bta: Bta,
+    /// Liveness (drives dead-assignment planning and dispatch keys).
+    pub live: Liveness,
+}
+
+/// Everything the run-time system needs: the dynamic build of the module
+/// plus the per-function plans.
+#[derive(Debug, Clone)]
+pub struct StagedProgram {
+    /// The optimized IR (the specializer walks it at run time).
+    pub ir: ProgramIr,
+    /// The optimization configuration this staging was done under.
+    pub cfg: OptConfig,
+    /// Per-function staged artifacts, parallel to `ir.funcs`.
+    pub funcs: Vec<StagedFunc>,
+    /// Region-entry sites; `Dispatch.point` indexes this list (run-time
+    /// promotion sites are appended after these by `dyc-rt`).
+    pub entry_sites: Vec<EntrySite>,
+}
+
+impl StagedProgram {
+    /// Build the dynamic module: annotated functions become driver stubs,
+    /// everything else compiles as in the static build.
+    pub fn build_module(&self) -> Module {
+        let mut m = Module::new();
+        for (fi, f) in self.ir.funcs.iter().enumerate() {
+            let splices: Vec<DispatchSplice> = self
+                .entry_sites
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.func == fi)
+                .map(|(site_id, s)| DispatchSplice {
+                    block: s.block,
+                    inst_idx: s.inst_idx,
+                    point: site_id as u32,
+                    args: s.arg_vars.clone(),
+                })
+                .collect();
+            if splices.is_empty() {
+                m.add_func(codegen_func(f));
+            } else {
+                m.add_func(codegen_func_with_splices(f, &splices));
+            }
+        }
+        m
+    }
+}
+
+/// Stage a whole (already optimized) program under `cfg`.
+pub fn stage_program(ir: ProgramIr, cfg: OptConfig) -> StagedProgram {
+    let mut funcs = Vec::with_capacity(ir.funcs.len());
+    let mut entry_sites = Vec::new();
+    for (fi, f) in ir.funcs.iter().enumerate() {
+        let bta = analyze(f, &cfg);
+        let live = liveness(f);
+        for entry in &bta.entries {
+            let arg_vars = live_at_point(f, &live, entry.block, entry.inst_idx);
+            let policy = site_policy(
+                &cfg,
+                entry.vars.iter().map(|(_, p)| *p),
+                entry.vars.len(),
+            );
+            entry_sites.push(EntrySite {
+                func: fi,
+                block: entry.block,
+                inst_idx: entry.inst_idx,
+                key_vars: entry.vars.clone(),
+                arg_vars,
+                policy,
+            });
+        }
+        funcs.push(StagedFunc { bta, live });
+    }
+    StagedProgram { ir, cfg, funcs, entry_sites }
+}
+
+/// Resolve the effective caching policy of a dispatch site from its key
+/// variables' source policies (§2.2.3 plus the §3.1 indexed extension).
+pub fn site_policy(
+    cfg: &OptConfig,
+    mut policies: impl Iterator<Item = Policy>,
+    n_keys: usize,
+) -> SitePolicy {
+    let mut all_unchecked = n_keys > 0;
+    let mut all_indexed = n_keys == 1;
+    for p in policies.by_ref() {
+        all_unchecked &= p == Policy::CacheOneUnchecked;
+        all_indexed &= p == Policy::CacheIndexed;
+    }
+    if cfg.unchecked_dispatching && all_unchecked {
+        SitePolicy::CacheOneUnchecked
+    } else if all_indexed {
+        SitePolicy::CacheIndexed
+    } else {
+        SitePolicy::CacheAll
+    }
+}
+
+/// The variables live just before instruction `(block, idx)` — the state a
+/// region continuation needs. Sorted for a deterministic dispatch layout.
+pub fn live_at_point(f: &FuncIr, live: &Liveness, block: BlockId, idx: usize) -> Vec<VReg> {
+    let b = f.block(block);
+    let mut set: BTreeSet<VReg> = live.live_out[block.index()].iter().copied().collect();
+    set.extend(b.term.uses());
+    for inst in b.insts[idx..].iter().rev() {
+        if let Some(d) = inst.def() {
+            set.remove(&d);
+        }
+        set.extend(inst.uses());
+        annotation_uses(inst, &mut set);
+    }
+    set.into_iter().collect()
+}
+
+fn annotation_uses(inst: &Inst, set: &mut BTreeSet<VReg>) {
+    match inst {
+        Inst::MakeStatic { vars } => set.extend(vars.iter().map(|(v, _)| *v)),
+        Inst::MakeDynamic { vars } => set.extend(vars.iter().copied()),
+        Inst::Promote { var } => {
+            set.insert(*var);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyc_ir::lower::lower_program;
+    use dyc_lang::parse_program;
+    use dyc_vm::Instr;
+
+    fn staged(src: &str, cfg: OptConfig) -> StagedProgram {
+        let mut ir = lower_program(&parse_program(src).unwrap()).unwrap();
+        dyc_ir::opt::optimize_program(&mut ir);
+        stage_program(ir, cfg)
+    }
+
+    const POWER: &str = r#"
+        int power(int base, int exp) {
+            make_static(exp);
+            int r = 1;
+            while (exp > 0) { r = r * base; exp = exp - 1; }
+            return r;
+        }
+    "#;
+
+    #[test]
+    fn annotated_function_gets_an_entry_site() {
+        let s = staged(POWER, OptConfig::all());
+        assert_eq!(s.entry_sites.len(), 1);
+        let site = &s.entry_sites[0];
+        assert_eq!(site.func, 0);
+        assert_eq!(site.key_vars.len(), 1);
+        // Live at the make_static: base and exp.
+        assert_eq!(site.arg_vars.len(), 2);
+    }
+
+    #[test]
+    fn stub_contains_dispatch_then_ret() {
+        let s = staged(POWER, OptConfig::all());
+        let m = s.build_module();
+        let stub = m.func(dyc_vm::FuncId(0));
+        let has_dispatch = stub.code.iter().any(|i| matches!(i, Instr::Dispatch { .. }));
+        assert!(has_dispatch, "stub must dispatch:\n{}", dyc_vm::pretty::func_to_string(stub));
+        // The dispatch is followed by a return of its result.
+        let pos = stub.code.iter().position(|i| matches!(i, Instr::Dispatch { .. })).unwrap();
+        assert!(matches!(stub.code[pos + 1], Instr::Ret { .. }));
+    }
+
+    #[test]
+    fn unannotated_functions_compile_plainly() {
+        let s = staged("int f(int x) { return x + 1; }", OptConfig::all());
+        assert!(s.entry_sites.is_empty());
+        let m = s.build_module();
+        assert!(!m.func(dyc_vm::FuncId(0)).code.iter().any(|i| matches!(i, Instr::Dispatch { .. })));
+    }
+
+    #[test]
+    fn policy_honors_cache_one_unchecked() {
+        let src = r#"
+            int f(int x, int y) {
+                make_static(x: cache_one_unchecked);
+                return x + y;
+            }
+        "#;
+        let s = staged(src, OptConfig::all());
+        assert_eq!(s.entry_sites[0].policy, SitePolicy::CacheOneUnchecked);
+        // Disabling unchecked dispatching forces cache-all.
+        let s2 = staged(src, OptConfig::all().without("unchecked_dispatching").unwrap());
+        assert_eq!(s2.entry_sites[0].policy, SitePolicy::CacheAll);
+    }
+
+    #[test]
+    fn mixed_policies_fall_back_to_cache_all() {
+        let src = r#"
+            int f(int x, int y, int d) {
+                make_static(x: cache_one_unchecked, y);
+                return x + y + d;
+            }
+        "#;
+        let s = staged(src, OptConfig::all());
+        assert_eq!(s.entry_sites[0].policy, SitePolicy::CacheAll);
+    }
+
+    #[test]
+    fn conditional_make_static_keeps_other_paths_in_stub() {
+        let src = r#"
+            int f(int c, int x, int y) {
+                if (c) { make_static(x); return x * y; }
+                return y;
+            }
+        "#;
+        let s = staged(src, OptConfig::all());
+        let m = s.build_module();
+        let stub = m.func(dyc_vm::FuncId(0));
+        // The stub still contains the plain-path return as real code plus
+        // one dispatch for the annotated path.
+        let dispatches =
+            stub.code.iter().filter(|i| matches!(i, Instr::Dispatch { .. })).count();
+        assert_eq!(dispatches, 1);
+        let rets = stub.code.iter().filter(|i| matches!(i, Instr::Ret { .. })).count();
+        assert!(rets >= 2);
+    }
+
+    #[test]
+    fn live_at_point_is_sorted_and_precise() {
+        let src = "int f(int a, int b, int c) { int t = a + b; make_static(t); return t + c; }";
+        let s = staged(src, OptConfig::all());
+        let site = &s.entry_sites[0];
+        // Live at the annotation: t and c (a and b are dead by then).
+        assert_eq!(site.arg_vars.len(), 2);
+        let mut sorted = site.arg_vars.clone();
+        sorted.sort();
+        assert_eq!(sorted, site.arg_vars);
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+
+    fn resolve(cfg: &OptConfig, ps: &[Policy]) -> SitePolicy {
+        site_policy(cfg, ps.iter().copied(), ps.len())
+    }
+
+    #[test]
+    fn unchecked_requires_every_key_and_the_config_flag() {
+        let on = OptConfig::all();
+        let off = on.without("unchecked_dispatching").unwrap();
+        assert_eq!(
+            resolve(&on, &[Policy::CacheOneUnchecked]),
+            SitePolicy::CacheOneUnchecked
+        );
+        assert_eq!(
+            resolve(&on, &[Policy::CacheOneUnchecked, Policy::CacheAll]),
+            SitePolicy::CacheAll
+        );
+        assert_eq!(resolve(&off, &[Policy::CacheOneUnchecked]), SitePolicy::CacheAll);
+    }
+
+    #[test]
+    fn indexed_requires_exactly_one_key() {
+        let cfg = OptConfig::all();
+        assert_eq!(resolve(&cfg, &[Policy::CacheIndexed]), SitePolicy::CacheIndexed);
+        assert_eq!(
+            resolve(&cfg, &[Policy::CacheIndexed, Policy::CacheIndexed]),
+            SitePolicy::CacheAll
+        );
+    }
+
+    #[test]
+    fn indexed_survives_the_unchecked_ablation() {
+        // cache_indexed is a *safe* policy: the Table 5 unchecked-dispatch
+        // ablation must not disable it.
+        let cfg = OptConfig::all().without("unchecked_dispatching").unwrap();
+        assert_eq!(resolve(&cfg, &[Policy::CacheIndexed]), SitePolicy::CacheIndexed);
+    }
+
+    #[test]
+    fn empty_key_sites_hash() {
+        assert_eq!(resolve(&OptConfig::all(), &[]), SitePolicy::CacheAll);
+    }
+}

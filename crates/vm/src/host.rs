@@ -1,0 +1,189 @@
+//! Host (external) functions callable from VM code.
+//!
+//! These stand in for the C library functions the paper's benchmarks call
+//! (`cos` in chebyshev, math helpers elsewhere) plus the harness I/O the
+//! benchmarks need. Pure host functions can be annotated `static` in DyCL
+//! source, making calls to them *static calls* (§2.2.6) that are memoized at
+//! dynamic compile time.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Identifiers of host functions known to the VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostFn {
+    /// `cos(x)` — pure.
+    Cos,
+    /// `sin(x)` — pure.
+    Sin,
+    /// `sqrt(x)` — pure.
+    Sqrt,
+    /// `fabs(x)` — pure.
+    Fabs,
+    /// `pow(x, y)` — pure.
+    Pow,
+    /// `exp(x)` — pure.
+    Exp,
+    /// `log(x)` — pure.
+    Log,
+    /// `floor(x)` — pure.
+    Floor,
+    /// `abs(i)` on integers — pure.
+    IAbs,
+    /// Print an integer to the VM output buffer (observable effect).
+    PrintI,
+    /// Print a float to the VM output buffer (observable effect).
+    PrintF,
+}
+
+impl HostFn {
+    /// Look up a host function by its DyCL source name.
+    pub fn by_name(name: &str) -> Option<HostFn> {
+        Some(match name {
+            "cos" => HostFn::Cos,
+            "sin" => HostFn::Sin,
+            "sqrt" => HostFn::Sqrt,
+            "fabs" => HostFn::Fabs,
+            "pow" => HostFn::Pow,
+            "exp" => HostFn::Exp,
+            "log" => HostFn::Log,
+            "floor" => HostFn::Floor,
+            "iabs" => HostFn::IAbs,
+            "print_int" => HostFn::PrintI,
+            "print_float" => HostFn::PrintF,
+            _ => return None,
+        })
+    }
+
+    /// Source-level name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HostFn::Cos => "cos",
+            HostFn::Sin => "sin",
+            HostFn::Sqrt => "sqrt",
+            HostFn::Fabs => "fabs",
+            HostFn::Pow => "pow",
+            HostFn::Exp => "exp",
+            HostFn::Log => "log",
+            HostFn::Floor => "floor",
+            HostFn::IAbs => "iabs",
+            HostFn::PrintI => "print_int",
+            HostFn::PrintF => "print_float",
+        }
+    }
+
+    /// Number of arguments expected.
+    pub fn arity(self) -> usize {
+        match self {
+            HostFn::Pow => 2,
+            _ => 1,
+        }
+    }
+
+    /// True if the function has no side effects — these may be invoked at
+    /// dynamic compile time when all arguments are static (static calls).
+    pub fn is_pure(self) -> bool {
+        !matches!(self, HostFn::PrintI | HostFn::PrintF)
+    }
+
+    /// True if the function returns a value.
+    pub fn has_result(self) -> bool {
+        self.is_pure()
+    }
+
+    /// Modeled execution cost in cycles. `cos`/`sin` and friends are the
+    /// dominant cost in chebyshev; the Alpha ran them in software at roughly
+    /// this many cycles.
+    pub fn cost(self) -> u64 {
+        match self {
+            HostFn::Cos | HostFn::Sin => 90,
+            HostFn::Sqrt => 60,
+            HostFn::Pow | HostFn::Exp | HostFn::Log => 120,
+            HostFn::Fabs | HostFn::Floor | HostFn::IAbs => 4,
+            HostFn::PrintI | HostFn::PrintF => 40,
+        }
+    }
+
+    /// Evaluate the pure host functions; `output` receives printed values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if given the wrong number or type of arguments; verified code
+    /// never does.
+    pub fn eval(self, args: &[Value], output: &mut Vec<Value>) -> Option<Value> {
+        match self {
+            HostFn::Cos => Some(Value::F(args[0].as_f().cos())),
+            HostFn::Sin => Some(Value::F(args[0].as_f().sin())),
+            HostFn::Sqrt => Some(Value::F(args[0].as_f().sqrt())),
+            HostFn::Fabs => Some(Value::F(args[0].as_f().abs())),
+            HostFn::Pow => Some(Value::F(args[0].as_f().powf(args[1].as_f()))),
+            HostFn::Exp => Some(Value::F(args[0].as_f().exp())),
+            HostFn::Log => Some(Value::F(args[0].as_f().ln())),
+            HostFn::Floor => Some(Value::F(args[0].as_f().floor())),
+            HostFn::IAbs => Some(Value::I(args[0].as_i().wrapping_abs())),
+            HostFn::PrintI => {
+                output.push(Value::I(args[0].as_i()));
+                None
+            }
+            HostFn::PrintF => {
+                output.push(Value::F(args[0].as_f()));
+                None
+            }
+        }
+    }
+}
+
+impl fmt::Display for HostFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_round_trip() {
+        for f in [
+            HostFn::Cos,
+            HostFn::Sin,
+            HostFn::Sqrt,
+            HostFn::Fabs,
+            HostFn::Pow,
+            HostFn::Exp,
+            HostFn::Log,
+            HostFn::Floor,
+            HostFn::IAbs,
+            HostFn::PrintI,
+            HostFn::PrintF,
+        ] {
+            assert_eq!(HostFn::by_name(f.name()), Some(f));
+        }
+        assert_eq!(HostFn::by_name("no_such_fn"), None);
+    }
+
+    #[test]
+    fn pure_functions_return_values() {
+        let mut out = Vec::new();
+        let v = HostFn::Cos.eval(&[Value::F(0.0)], &mut out).unwrap();
+        assert_eq!(v, Value::F(1.0));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn print_is_effectful() {
+        let mut out = Vec::new();
+        assert!(HostFn::PrintI.eval(&[Value::I(7)], &mut out).is_none());
+        assert_eq!(out, vec![Value::I(7)]);
+        assert!(!HostFn::PrintI.is_pure());
+    }
+
+    #[test]
+    fn pow_takes_two_args() {
+        assert_eq!(HostFn::Pow.arity(), 2);
+        let mut out = Vec::new();
+        let v = HostFn::Pow.eval(&[Value::F(2.0), Value::F(10.0)], &mut out).unwrap();
+        assert_eq!(v, Value::F(1024.0));
+    }
+}

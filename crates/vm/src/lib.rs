@@ -1,0 +1,58 @@
+//! # dyc-vm — the target machine for DyC-RS
+//!
+//! The paper ran on a DEC Alpha 21164. We substitute a deterministic
+//! register-based virtual machine with a cycle cost model calibrated to that
+//! machine (see [`cost`]) and a direct-mapped L1 instruction-cache simulator
+//! (see [`icache`]). All performance results in the reproduction are reported
+//! in *modeled cycles*, mirroring the paper's cycle-based metrics
+//! (asymptotic speedup `s/d`, break-even `o/(s-d)`).
+//!
+//! The VM is the code-generation target of both the static compiler and the
+//! run-time dynamic compiler. Dynamically generated code is installed as
+//! additional [`module::CodeFunc`]s at run time; the [`isa::Instr::Dispatch`]
+//! instruction is the hook through which running code re-enters the run-time
+//! system (code-cache lookup, lazy specialization, internal
+//! dynamic-to-static promotion).
+//!
+//! ## Example
+//!
+//! ```
+//! use dyc_vm::prelude::*;
+//!
+//! let mut module = Module::new();
+//! let mut f = CodeFunc::new("answer", 1, 2);
+//! f.push(Instr::MovI { dst: 1, imm: 40 });
+//! f.push(Instr::IAlu { op: IAluOp::Add, dst: 0, a: 1, b: Operand::Imm(2) });
+//! f.push(Instr::Ret { src: Some(0) });
+//! let id = module.add_func(f);
+//!
+//! let mut vm = Vm::new(CostModel::alpha21164());
+//! let out = vm.call(&mut module.clone(), id, &[Value::I(0)]).unwrap();
+//! assert_eq!(out, Some(Value::I(42)));
+//! ```
+
+pub mod cost;
+pub mod host;
+pub mod icache;
+pub mod interp;
+pub mod isa;
+pub mod mem;
+pub mod module;
+pub mod pretty;
+pub mod stats;
+pub mod value;
+
+/// Convenient re-exports of the types most users need.
+pub mod prelude {
+    pub use crate::cost::CostModel;
+    pub use crate::host::HostFn;
+    pub use crate::icache::ICache;
+    pub use crate::interp::{DispatchHandler, DispatchOutcome, Vm, VmError};
+    pub use crate::isa::{Cc, FAluOp, IAluOp, Instr, Operand, Reg, Ty, UnOp};
+    pub use crate::mem::Mem;
+    pub use crate::module::{CodeFunc, FuncId, Module};
+    pub use crate::stats::ExecStats;
+    pub use crate::value::Value;
+}
+
+pub use prelude::*;

@@ -1,0 +1,163 @@
+//! Code containers: functions and modules.
+//!
+//! A [`Module`] holds every function in a program — statically compiled code
+//! plus any code the dynamic compiler installs at run time. Each function is
+//! laid out at a distinct byte address so the I-cache model sees realistic
+//! competition between code bodies.
+
+use crate::icache::INSTR_BYTES;
+use crate::isa::Instr;
+
+/// Index of a function within its [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+impl std::fmt::Display for FuncId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// A compiled function body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeFunc {
+    /// Human-readable name (for diagnostics and pretty printing).
+    pub name: String,
+    /// Number of parameters; arguments are copied into registers `0..n_params`.
+    pub n_params: usize,
+    /// Frame size in registers.
+    pub n_regs: usize,
+    /// The instructions. Control flow targets are indices into this vector.
+    pub code: Vec<Instr>,
+    /// Base byte address assigned by the module (for the I-cache model).
+    pub base_addr: u64,
+}
+
+impl CodeFunc {
+    /// A new, empty function.
+    pub fn new(name: impl Into<String>, n_params: usize, n_regs: usize) -> CodeFunc {
+        assert!(n_regs >= n_params, "frame must hold the parameters");
+        CodeFunc { name: name.into(), n_params, n_regs, code: Vec::new(), base_addr: 0 }
+    }
+
+    /// Append an instruction; returns its index.
+    pub fn push(&mut self, i: Instr) -> u32 {
+        self.code.push(i);
+        (self.code.len() - 1) as u32
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True if the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Byte address of instruction `idx` (for the I-cache model).
+    #[inline]
+    pub fn addr_of(&self, idx: u32) -> u64 {
+        self.base_addr + idx as u64 * INSTR_BYTES
+    }
+}
+
+/// A program: a collection of functions sharing an address space.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    funcs: Vec<CodeFunc>,
+    next_addr: u64,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Install a function, assigning it a fresh address range (aligned to an
+    /// I-cache line). Dynamically generated code is installed through this
+    /// same path at run time.
+    pub fn add_func(&mut self, mut f: CodeFunc) -> FuncId {
+        f.base_addr = self.next_addr;
+        let bytes = (f.code.len() as u64).max(1) * INSTR_BYTES;
+        // Round up to a 32-byte line so functions never share a line.
+        self.next_addr += (bytes + 31) & !31;
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(f);
+        id
+    }
+
+    /// Look up a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is from another module.
+    pub fn func(&self, id: FuncId) -> &CodeFunc {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Mutable lookup (used by the dynamic compiler for branch patching).
+    pub fn func_mut(&mut self, id: FuncId) -> &mut CodeFunc {
+        &mut self.funcs[id.0 as usize]
+    }
+
+    /// Find a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// True if the module has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Iterate over `(id, func)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, &CodeFunc)> {
+        self.funcs.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_get_disjoint_line_aligned_addresses() {
+        let mut m = Module::new();
+        let mut f1 = CodeFunc::new("a", 0, 1);
+        for _ in 0..10 {
+            f1.push(Instr::Halt);
+        }
+        let mut f2 = CodeFunc::new("b", 0, 1);
+        f2.push(Instr::Halt);
+        let id1 = m.add_func(f1);
+        let id2 = m.add_func(f2);
+        let (a, b) = (m.func(id1), m.func(id2));
+        assert_eq!(a.base_addr % 32, 0);
+        assert_eq!(b.base_addr % 32, 0);
+        // 10 instructions = 40 bytes -> rounds to 64.
+        assert_eq!(b.base_addr, 64);
+        assert_eq!(a.addr_of(3), 12);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut m = Module::new();
+        let id = m.add_func(CodeFunc::new("main", 0, 1));
+        assert_eq!(m.func_by_name("main"), Some(id));
+        assert_eq!(m.func_by_name("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame must hold")]
+    fn frame_must_cover_params() {
+        let _ = CodeFunc::new("bad", 3, 2);
+    }
+}

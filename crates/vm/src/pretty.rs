@@ -1,0 +1,172 @@
+//! Disassembler for VM code.
+//!
+//! Used by the `figures` harness to render dynamically generated code, the
+//! reproduction of the paper's Figures 3 and 4 (the partially and fully
+//! optimized pnmconvol dynamic region).
+
+use crate::isa::{Cc, FAluOp, IAluOp, Instr, Operand, Ty, UnOp};
+use crate::module::{CodeFunc, Module};
+use std::fmt::Write as _;
+
+fn op_str(o: Operand) -> String {
+    match o {
+        Operand::Reg(r) => format!("r{r}"),
+        Operand::Imm(v) => format!("#{v}"),
+    }
+}
+
+fn ialu_str(op: IAluOp) -> &'static str {
+    match op {
+        IAluOp::Add => "add",
+        IAluOp::Sub => "sub",
+        IAluOp::Mul => "mul",
+        IAluOp::Div => "div",
+        IAluOp::Rem => "rem",
+        IAluOp::And => "and",
+        IAluOp::Or => "or",
+        IAluOp::Xor => "xor",
+        IAluOp::Shl => "shl",
+        IAluOp::Shr => "shr",
+    }
+}
+
+fn falu_str(op: FAluOp) -> &'static str {
+    match op {
+        FAluOp::Add => "fadd",
+        FAluOp::Sub => "fsub",
+        FAluOp::Mul => "fmul",
+        FAluOp::Div => "fdiv",
+    }
+}
+
+fn cc_str(cc: Cc) -> &'static str {
+    match cc {
+        Cc::Eq => "eq",
+        Cc::Ne => "ne",
+        Cc::Lt => "lt",
+        Cc::Le => "le",
+        Cc::Gt => "gt",
+        Cc::Ge => "ge",
+    }
+}
+
+/// Render a single instruction.
+pub fn instr_to_string(i: &Instr) -> String {
+    match i {
+        Instr::MovI { dst, imm } => format!("movi  r{dst}, #{imm}"),
+        Instr::MovF { dst, imm } => format!("movf  r{dst}, #{imm:?}"),
+        Instr::Mov { dst, src } => format!("mov   r{dst}, r{src}"),
+        Instr::FMov { dst, src } => format!("fmov  r{dst}, r{src}"),
+        Instr::IAlu { op, dst, a, b } => {
+            format!("{:<5} r{dst}, r{a}, {}", ialu_str(*op), op_str(*b))
+        }
+        Instr::FAlu { op, dst, a, b } => format!("{:<5} r{dst}, r{a}, r{b}", falu_str(*op)),
+        Instr::ICmp { cc, dst, a, b } => {
+            format!("icmp{} r{dst}, r{a}, {}", cc_str(*cc), op_str(*b))
+        }
+        Instr::FCmp { cc, dst, a, b } => format!("fcmp{} r{dst}, r{a}, r{b}", cc_str(*cc)),
+        Instr::Un { op, dst, src } => {
+            let n = match op {
+                UnOp::NegI => "negi",
+                UnOp::NotI => "noti",
+                UnOp::NegF => "negf",
+                UnOp::IToF => "itof",
+                UnOp::FToI => "ftoi",
+            };
+            format!("{n:<5} r{dst}, r{src}")
+        }
+        Instr::Load { ty, dst, base, idx } => {
+            let t = if *ty == Ty::Int { "i" } else { "f" };
+            format!("ld{t}   r{dst}, [r{base} + {}]", op_str(*idx))
+        }
+        Instr::Store { ty, base, idx, src } => {
+            let t = if *ty == Ty::Int { "i" } else { "f" };
+            format!("st{t}   [r{base} + {}], r{src}", op_str(*idx))
+        }
+        Instr::Jmp { target } => format!("jmp   @{target}"),
+        Instr::Brz { cond, target } => format!("brz   r{cond}, @{target}"),
+        Instr::Brnz { cond, target } => format!("brnz  r{cond}, @{target}"),
+        Instr::CallHost { f, dst, args } => {
+            let args: Vec<String> = args.iter().map(|r| format!("r{r}")).collect();
+            match dst {
+                Some(d) => format!("hcall r{d}, {f}({})", args.join(", ")),
+                None => format!("hcall {f}({})", args.join(", ")),
+            }
+        }
+        Instr::Call { func, dst, args } => {
+            let args: Vec<String> = args.iter().map(|r| format!("r{r}")).collect();
+            match dst {
+                Some(d) => format!("call  r{d}, {func}({})", args.join(", ")),
+                None => format!("call  {func}({})", args.join(", ")),
+            }
+        }
+        Instr::Ret { src } => match src {
+            Some(r) => format!("ret   r{r}"),
+            None => "ret".to_string(),
+        },
+        Instr::Dispatch { point, dst, args } => {
+            let args: Vec<String> = args.iter().map(|r| format!("r{r}")).collect();
+            match dst {
+                Some(d) => format!("dysp  r{d}, point#{point}({})", args.join(", ")),
+                None => format!("dysp  point#{point}({})", args.join(", ")),
+            }
+        }
+        Instr::Halt => "halt".to_string(),
+    }
+}
+
+/// Render a whole function with instruction indices.
+pub fn func_to_string(f: &CodeFunc) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{} (params={}, regs={}, {} instrs):", f.name, f.n_params, f.n_regs, f.len());
+    for (i, instr) in f.code.iter().enumerate() {
+        let _ = writeln!(s, "  {i:>4}: {}", instr_to_string(instr));
+    }
+    s
+}
+
+/// Render an entire module.
+pub fn module_to_string(m: &Module) -> String {
+    let mut s = String::new();
+    for (_, f) in m.iter() {
+        s.push_str(&func_to_string(f));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::CodeFunc;
+
+    #[test]
+    fn renders_representative_instructions() {
+        assert_eq!(instr_to_string(&Instr::MovI { dst: 1, imm: -3 }), "movi  r1, #-3");
+        assert_eq!(
+            instr_to_string(&Instr::IAlu {
+                op: IAluOp::Shl,
+                dst: 0,
+                a: 1,
+                b: Operand::Imm(3)
+            }),
+            "shl   r0, r1, #3"
+        );
+        assert_eq!(
+            instr_to_string(&Instr::Load { ty: Ty::Float, dst: 2, base: 3, idx: Operand::Reg(4) }),
+            "ldf   r2, [r3 + r4]"
+        );
+        assert_eq!(instr_to_string(&Instr::Ret { src: None }), "ret");
+    }
+
+    #[test]
+    fn function_listing_includes_indices() {
+        let mut f = CodeFunc::new("demo", 0, 1);
+        f.push(Instr::MovI { dst: 0, imm: 1 });
+        f.push(Instr::Ret { src: Some(0) });
+        let s = func_to_string(&f);
+        assert!(s.contains("demo"));
+        assert!(s.contains("0: movi"));
+        assert!(s.contains("1: ret"));
+    }
+}

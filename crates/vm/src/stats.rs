@@ -1,0 +1,96 @@
+//! Execution statistics: cycles, instruction counts, dispatch accounting.
+//!
+//! The cycle counters are the reproduction's analogue of the paper's
+//! `getrusage`/hardware-cycle-counter measurements (§3.3). Dispatch and
+//! dynamic-compilation cycles are tracked separately so Table 3's overhead
+//! column (`cycles per dynamically generated instruction`) and break-even
+//! points (`o/(s-d)`) can be computed exactly as in the paper.
+
+/// Counters accumulated by a [`Vm`](crate::interp::Vm) run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Cycles spent executing ordinary instructions (cost model).
+    pub exec_cycles: u64,
+    /// Cycles added by I-cache misses.
+    pub icache_miss_cycles: u64,
+    /// Cycles charged by dispatch policies (cache lookups, indirect jumps).
+    pub dispatch_cycles: u64,
+    /// Cycles charged to run-time (dynamic) compilation.
+    pub dyncomp_cycles: u64,
+    /// Dynamic instruction count (instructions executed).
+    pub instrs_executed: u64,
+    /// Number of dispatches performed.
+    pub dispatches: u64,
+    /// Number of dispatch misses (specializations triggered).
+    pub dispatch_misses: u64,
+}
+
+impl ExecStats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> ExecStats {
+        ExecStats::default()
+    }
+
+    /// Cycles attributable to *running* code (execution + I-cache +
+    /// dispatch), i.e. excluding dynamic compilation. This is the `d` (or
+    /// `s`) of the paper's speedup formula.
+    pub fn run_cycles(&self) -> u64 {
+        self.exec_cycles + self.icache_miss_cycles + self.dispatch_cycles
+    }
+
+    /// Total cycles including dynamic-compilation overhead.
+    pub fn total_cycles(&self) -> u64 {
+        self.run_cycles() + self.dyncomp_cycles
+    }
+
+    /// Difference since an earlier snapshot (counters only grow).
+    pub fn delta_since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            exec_cycles: self.exec_cycles - earlier.exec_cycles,
+            icache_miss_cycles: self.icache_miss_cycles - earlier.icache_miss_cycles,
+            dispatch_cycles: self.dispatch_cycles - earlier.dispatch_cycles,
+            dyncomp_cycles: self.dyncomp_cycles - earlier.dyncomp_cycles,
+            instrs_executed: self.instrs_executed - earlier.instrs_executed,
+            dispatches: self.dispatches - earlier.dispatches,
+            dispatch_misses: self.dispatch_misses - earlier.dispatch_misses,
+        }
+    }
+
+    /// Merge another stats block into this one.
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.exec_cycles += other.exec_cycles;
+        self.icache_miss_cycles += other.icache_miss_cycles;
+        self.dispatch_cycles += other.dispatch_cycles;
+        self.dyncomp_cycles += other.dyncomp_cycles;
+        self.instrs_executed += other.instrs_executed;
+        self.dispatches += other.dispatches;
+        self.dispatch_misses += other.dispatch_misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cycles_exclude_dyncomp() {
+        let s = ExecStats {
+            exec_cycles: 100,
+            icache_miss_cycles: 20,
+            dispatch_cycles: 10,
+            dyncomp_cycles: 500,
+            ..ExecStats::new()
+        };
+        assert_eq!(s.run_cycles(), 130);
+        assert_eq!(s.total_cycles(), 630);
+    }
+
+    #[test]
+    fn delta_and_absorb_are_inverses() {
+        let a = ExecStats { exec_cycles: 10, instrs_executed: 3, ..ExecStats::new() };
+        let mut b = a.clone();
+        let extra = ExecStats { exec_cycles: 7, instrs_executed: 2, ..ExecStats::new() };
+        b.absorb(&extra);
+        assert_eq!(b.delta_since(&a), extra);
+    }
+}

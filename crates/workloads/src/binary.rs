@@ -1,0 +1,120 @@
+//! binary — binary search over a static array (kernel).
+//!
+//! Annotated static variables: "the input array and its contents" with 16
+//! integers (Table 1). Complete *multi-way* loop unrolling turns the
+//! search loop into a comparison tree: the probe comparisons are dynamic
+//! (the key is a run-time value) but the bounds `lo`/`hi` are static, so
+//! each branch side continues with a different static store — the unrolled
+//! bodies form a dag, the signature multi-way case of §2.2.4.
+
+use crate::{Kind, Meta, Workload};
+use dyc::{Session, Value};
+
+/// The binary-search workload.
+#[derive(Debug, Clone)]
+pub struct BinarySearch {
+    /// Array contents (sorted).
+    pub array: Vec<i64>,
+    /// Key probed during region timing.
+    pub probe_key: i64,
+}
+
+impl Default for BinarySearch {
+    fn default() -> Self {
+        // 16 integers, as in Table 1.
+        BinarySearch { array: (0..16).map(|i| i * i + 3).collect(), probe_key: 52 }
+    }
+}
+
+/// The annotated DyCL source.
+pub const SOURCE: &str = r#"
+    int bsearch(int a[n], int n, int key) {
+        make_static(a: cache_one_unchecked, n: cache_one_unchecked);
+        int lo = 0;
+        int hi = n - 1;
+        while (lo <= hi) {
+            int mid = (lo + hi) / 2;
+            int v = a@[mid];
+            if (v == key) { return mid; }
+            if (v < key) { lo = mid + 1; } else { hi = mid - 1; }
+        }
+        return -1;
+    }
+"#;
+
+impl Workload for BinarySearch {
+    fn meta(&self) -> Meta {
+        Meta {
+            name: "binary",
+            kind: Kind::Kernel,
+            description: "binary search over an array",
+            static_vars: "the input array and its contents",
+            static_values: "16 integers",
+            region_func: "bsearch",
+            break_even_unit: "searches",
+            units_per_invocation: 1,
+        }
+    }
+
+    fn source(&self) -> String {
+        SOURCE.to_string()
+    }
+
+    fn setup_region(&self, sess: &mut Session) -> Vec<Value> {
+        let a = sess.alloc(self.array.len());
+        sess.mem().write_ints(a, &self.array);
+        vec![Value::I(a), Value::I(self.array.len() as i64), Value::I(self.probe_key)]
+    }
+
+    fn check_region(&self, result: Option<Value>, _sess: &mut Session) -> bool {
+        let expect = self
+            .array
+            .binary_search(&self.probe_key)
+            .map(|i| i as i64)
+            .unwrap_or(-1);
+        result == Some(Value::I(expect))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyc::Compiler;
+
+    #[test]
+    fn every_key_found_and_missing_keys_rejected() {
+        let w = BinarySearch::default();
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut d = p.dynamic_session();
+        let args = w.setup_region(&mut d);
+        for (i, v) in w.array.iter().enumerate() {
+            let out = d.run("bsearch", &[args[0], args[1], Value::I(*v)]).unwrap();
+            assert_eq!(out, Some(Value::I(i as i64)), "key {v}");
+        }
+        for missing in [-5i64, 5, 1000] {
+            let out = d.run("bsearch", &[args[0], args[1], Value::I(missing)]).unwrap();
+            assert_eq!(out, Some(Value::I(-1)), "key {missing}");
+        }
+        let rt = d.rt_stats().unwrap();
+        assert!(rt.multi_way_unroll, "binary search unrolls multi-way");
+        assert_eq!(rt.specializations, 1, "one tree serves every key");
+        // The comparison tree probes every element exactly once, so all 16
+        // array loads happen at specialization time.
+        assert_eq!(rt.static_loads as usize, w.array.len());
+    }
+
+    #[test]
+    fn static_and_dynamic_agree() {
+        let w = BinarySearch::default();
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut s = p.static_session();
+        let mut d = p.dynamic_session();
+        let sa = w.setup_region(&mut s);
+        let da = w.setup_region(&mut d);
+        for key in -2..60 {
+            let sv = s.run("bsearch", &[sa[0], sa[1], Value::I(key)]).unwrap();
+            let dv = d.run("bsearch", &[da[0], da[1], Value::I(key)]).unwrap();
+            assert_eq!(sv, dv, "key {key}");
+        }
+    }
+}

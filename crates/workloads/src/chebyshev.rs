@@ -1,0 +1,151 @@
+//! chebyshev — polynomial function approximation (kernel).
+//!
+//! Specialized on the degree of the polynomial (10, Table 1). The kernel
+//! interpolates `exp` at the Chebyshev nodes using barycentric weights;
+//! the node positions (`cos` calls) and sampled function values (`exp`
+//! calls) depend only on the static degree, so they are *static calls*
+//! executed and memoized at dynamic compile time. "chebyshev is dominated
+//! by static calls to the cosine function, most of which are memoized
+//! through dynamic compilation … treating calls to cosine as static …
+//! turned a marginal 20% advantage over the statically compiled version
+//! into a 6-fold speedup" (§4.2, §4.4.4).
+
+use crate::{Kind, Meta, Workload};
+use dyc::{Session, Value};
+
+/// The chebyshev workload.
+#[derive(Debug, Clone)]
+pub struct Chebyshev {
+    /// Polynomial degree (number of interpolation nodes).
+    pub degree: i64,
+    /// Evaluation point used during region timing.
+    pub x: f64,
+}
+
+impl Default for Chebyshev {
+    fn default() -> Self {
+        Chebyshev { degree: 10, x: 0.3 }
+    }
+}
+
+impl Chebyshev {
+    /// Reference evaluation in plain Rust (mirrors the DyCL source).
+    pub fn reference(&self, x: f64) -> f64 {
+        let n = self.degree;
+        // Must match the literal in the DyCL source exactly (the test
+        // checks bitwise agreement), not `std::f64::consts::PI`.
+        #[allow(clippy::approx_constant)]
+        let pi = 3.14159265358979_f64;
+        let (mut num, mut den, mut sign) = (0.0, 0.0, 1.0);
+        for i in 0..n {
+            let theta = pi * (i as f64 + 0.5) / n as f64;
+            let xi = theta.cos();
+            let fi = xi.exp();
+            let diff = x - xi;
+            let wi = sign * theta.sin() / diff;
+            num += wi * fi;
+            den += wi;
+            sign = -sign;
+        }
+        num / den
+    }
+}
+
+/// The annotated DyCL source (barycentric Chebyshev interpolation of exp).
+pub const SOURCE: &str = r#"
+    float cheby(float x, int n) {
+        make_static(n: cache_one_unchecked);
+        float pi = 3.14159265358979;
+        float num = 0.0;
+        float den = 0.0;
+        float sign = 1.0;
+        int i = 0;
+        while (i < n) {
+            float theta = pi * ((float) i + 0.5) / (float) n;
+            float xi = cos(theta);
+            float fi = exp(xi);
+            float diff = x - xi;
+            float wi = sign * sin(theta) / diff;
+            num = num + wi * fi;
+            den = den + wi;
+            sign = -sign;
+            i = i + 1;
+        }
+        return num / den;
+    }
+"#;
+
+impl Workload for Chebyshev {
+    fn meta(&self) -> Meta {
+        Meta {
+            name: "chebyshev",
+            kind: Kind::Kernel,
+            description: "polynomial function approximation",
+            static_vars: "the degree of the polynomial",
+            static_values: "10",
+            region_func: "cheby",
+            break_even_unit: "interpolations",
+            units_per_invocation: 1,
+        }
+    }
+
+    fn source(&self) -> String {
+        SOURCE.to_string()
+    }
+
+    fn setup_region(&self, _sess: &mut Session) -> Vec<Value> {
+        vec![Value::F(self.x), Value::I(self.degree)]
+    }
+
+    fn check_region(&self, result: Option<Value>, _sess: &mut Session) -> bool {
+        match result {
+            Some(Value::F(got)) => {
+                let want = self.reference(self.x);
+                (got - want).abs() < 1e-9 && (got - self.x.exp()).abs() < 1e-3
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyc::Compiler;
+
+    #[test]
+    fn approximates_exp_well() {
+        let w = Chebyshev::default();
+        for x in [-0.9, -0.3, 0.0, 0.3, 0.9] {
+            let approx = w.reference(x);
+            assert!((approx - x.exp()).abs() < 1e-6, "x = {x}: {approx} vs {}", x.exp());
+        }
+    }
+
+    #[test]
+    fn cos_and_exp_are_memoized_at_compile_time() {
+        let w = Chebyshev::default();
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut d = p.dynamic_session();
+        let args = w.setup_region(&mut d);
+        let out = d.run("cheby", &args).unwrap();
+        assert!(w.check_region(out, &mut d));
+        let rt = d.rt_stats().unwrap();
+        assert_eq!(rt.static_calls, 3 * w.degree as u64, "cos, sin and exp memoized per node");
+        let code = d.disassemble_matching("cheby$spec");
+        assert!(!code.contains("hcall"), "no run-time math calls remain:\n{code}");
+    }
+
+    #[test]
+    fn static_and_dynamic_agree_bitwise() {
+        let w = Chebyshev::default();
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut s = p.static_session();
+        let mut d = p.dynamic_session();
+        for x in [-0.7, 0.1, 0.55] {
+            let sv = s.run("cheby", &[Value::F(x), Value::I(10)]).unwrap().unwrap().as_f();
+            let dv = d.run("cheby", &[Value::F(x), Value::I(10)]).unwrap().unwrap().as_f();
+            assert_eq!(sv.to_bits(), dv.to_bits(), "x = {x}");
+        }
+    }
+}

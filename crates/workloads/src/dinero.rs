@@ -1,0 +1,287 @@
+//! dinero — trace-driven cache simulator.
+//!
+//! "dinero (version III) is a cache simulator that can simulate caches of
+//! widely varying configurations" (§3.1). Its main loop is specialized on
+//! the cache configuration parameters; the paper's input is "8kB I/D,
+//! direct-mapped, 32B blocks". Dynamic compilation folds the configuration
+//! into the loop: the block/set/tag extraction becomes immediate shifts and
+//! masks (dynamic strength reduction of the `%`/`/` by the power-of-two
+//! set count), the associativity search loop unrolls single-way, and the
+//! configuration loads are static loads.
+//!
+//! Substrate built for this benchmark: a synthetic address-trace generator
+//! with instruction-fetch locality and data working sets.
+
+use crate::{Kind, Meta, Workload};
+use dyc::{Session, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Reference kinds in the trace.
+const IFETCH: i64 = 0;
+const DREAD: i64 = 1;
+const DWRITE: i64 = 2;
+
+/// The dinero workload.
+#[derive(Debug, Clone)]
+pub struct Dinero {
+    /// log2(block size in bytes); paper: 32B → 5.
+    pub block_bits: i64,
+    /// Number of cache lines per cache (size / block); 8kB/32B = 256.
+    pub nlines: i64,
+    /// Associativity; paper: direct-mapped → 1.
+    pub assoc: i64,
+    /// Write-allocate policy flag.
+    pub write_allocate: i64,
+    /// Trace length (references per region invocation).
+    pub trace_len: usize,
+}
+
+impl Default for Dinero {
+    fn default() -> Self {
+        Dinero { block_bits: 5, nlines: 256, assoc: 1, write_allocate: 1, trace_len: 4096 }
+    }
+}
+
+impl Dinero {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Dinero {
+        Dinero { trace_len: 256, ..Dinero::default() }
+    }
+
+    /// Generate the synthetic trace: (address, kind) pairs with
+    /// instruction locality (sequential runs + jumps) and a data working
+    /// set with reuse.
+    pub fn trace(&self) -> (Vec<i64>, Vec<i64>) {
+        let mut rng = SmallRng::seed_from_u64(0xd1e0);
+        let mut addrs = Vec::with_capacity(self.trace_len);
+        let mut kinds = Vec::with_capacity(self.trace_len);
+        let mut pc: i64 = 0x1000;
+        for _ in 0..self.trace_len {
+            let r: f64 = rng.gen();
+            if r < 0.6 {
+                // Instruction fetch: mostly sequential, occasional jump.
+                if rng.gen::<f64>() < 0.1 {
+                    pc = 0x1000 + rng.gen_range(0..64i64) * 256;
+                } else {
+                    pc += 4;
+                }
+                addrs.push(pc);
+                kinds.push(IFETCH);
+            } else {
+                // Data access within a working set, 70/30 read/write.
+                let a = 0x8_0000 + rng.gen_range(0..2048i64) * 8;
+                addrs.push(a);
+                kinds.push(if rng.gen::<f64>() < 0.7 { DREAD } else { DWRITE });
+            }
+        }
+        (addrs, kinds)
+    }
+
+    /// Reference simulation in plain Rust.
+    pub fn reference_misses(&self, addrs: &[i64], kinds: &[i64]) -> i64 {
+        let nsets = self.nlines / self.assoc;
+        let mut itags = vec![-1i64; self.nlines as usize];
+        let mut dtags = vec![-1i64; self.nlines as usize];
+        let mut misses = 0;
+        for (a, k) in addrs.iter().zip(kinds) {
+            let block = a >> self.block_bits;
+            let set = block % nsets;
+            let tag = block / nsets;
+            let tags = if *k == IFETCH { &mut itags } else { &mut dtags };
+            let mut hit = false;
+            for way in 0..self.assoc {
+                if tags[(set * self.assoc + way) as usize] == tag {
+                    hit = true;
+                }
+            }
+            if !hit {
+                misses += 1;
+                if !(*k == DWRITE && self.write_allocate == 0) {
+                    tags[(set * self.assoc) as usize] = tag;
+                }
+            }
+        }
+        misses
+    }
+}
+
+/// The annotated DyCL source.
+pub const SOURCE: &str = r#"
+    /* dinero main loop, specialized on the cache configuration. */
+    int mainloop(int addrs[n], int kinds[n], int n,
+                 int cfg[4],
+                 int itags[nlines], int dtags[nlines], int nlines) {
+        make_static(cfg: cache_one_unchecked, nlines: cache_one_unchecked);
+        int block_bits = cfg@[0];
+        int assoc = cfg@[1];
+        int walloc = cfg@[2];
+        int nsets = nlines / assoc;
+        int misses = 0;
+        int i = 0;
+        while (i < n) {
+            int addr = addrs[i];
+            int kind = kinds[i];
+            int block = addr >> block_bits;
+            int set = block % nsets;
+            int tag = block / nsets;
+            int hit = 0;
+            int way = 0;
+            while (way < assoc) {
+                int t = 0;
+                if (kind == 0) { t = itags[set * assoc + way]; }
+                else { t = dtags[set * assoc + way]; }
+                hit = hit + (t == tag);
+                way = way + 1;
+            }
+            if (hit == 0) {
+                misses = misses + 1;
+                if (kind == 2 && walloc == 0) {
+                    misses = misses + 0;
+                } else {
+                    if (kind == 0) { itags[set * assoc] = tag; }
+                    else { dtags[set * assoc] = tag; }
+                }
+            }
+            i = i + 1;
+        }
+        return misses;
+    }
+
+    /* Whole program: pre-scan the trace (address histogram checksum),
+       simulate, then summarize. */
+    int dinero_main(int addrs[n], int kinds[n], int n,
+                    int cfg[4],
+                    int itags[nlines], int dtags[nlines], int nlines,
+                    int hist[nbuckets], int nbuckets) {
+        int checksum = 0;
+        for (int i = 0; i < n; ++i) {
+            int b = (addrs[i] / 64) % nbuckets;
+            hist[b] = hist[b] + 1;
+            checksum = checksum + (addrs[i] ^ kinds[i]);
+        }
+        int misses = mainloop(addrs, kinds, n, cfg, itags, dtags, nlines);
+        int peak = 0;
+        for (int b = 0; b < nbuckets; ++b) {
+            if (hist[b] > peak) { peak = hist[b]; }
+        }
+        return misses * 1000 + (checksum + peak) % 1000;
+    }
+"#;
+
+impl Workload for Dinero {
+    fn meta(&self) -> Meta {
+        Meta {
+            name: "dinero",
+            kind: Kind::Application,
+            description: "cache simulator",
+            static_vars: "cache configuration parameters",
+            static_values: "8kB I/D, direct-mapped, 32B blocks",
+            region_func: "mainloop",
+            break_even_unit: "memory references",
+            units_per_invocation: self.trace_len as u64,
+        }
+    }
+
+    fn source(&self) -> String {
+        SOURCE.to_string()
+    }
+
+    fn setup_region(&self, sess: &mut Session) -> Vec<Value> {
+        let (addrs, kinds) = self.trace();
+        let a = sess.alloc(addrs.len());
+        sess.mem().write_ints(a, &addrs);
+        let k = sess.alloc(kinds.len());
+        sess.mem().write_ints(k, &kinds);
+        let cfg = sess.alloc(4);
+        sess.mem().write_ints(cfg, &[self.block_bits, self.assoc, self.write_allocate, 0]);
+        let itags = sess.alloc(self.nlines as usize);
+        let dtags = sess.alloc(self.nlines as usize);
+        sess.mem().write_ints(itags, &vec![-1; self.nlines as usize]);
+        sess.mem().write_ints(dtags, &vec![-1; self.nlines as usize]);
+        vec![
+            Value::I(a),
+            Value::I(k),
+            Value::I(addrs.len() as i64),
+            Value::I(cfg),
+            Value::I(itags),
+            Value::I(dtags),
+            Value::I(self.nlines),
+        ]
+    }
+
+    fn reset(&self, sess: &mut Session, args: &[Value]) {
+        // Tag arrays mutate during simulation; restore them.
+        let itags = args[4].as_i();
+        let dtags = args[5].as_i();
+        sess.mem().write_ints(itags, &vec![-1; self.nlines as usize]);
+        sess.mem().write_ints(dtags, &vec![-1; self.nlines as usize]);
+    }
+
+    fn setup_main(&self, sess: &mut Session) -> Option<Vec<Value>> {
+        let mut args = self.setup_region(sess);
+        let nbuckets = 64;
+        let hist = sess.alloc(nbuckets as usize);
+        args.push(Value::I(hist));
+        args.push(Value::I(nbuckets));
+        Some(args)
+    }
+
+    fn main_region_invocations(&self) -> u64 {
+        1
+    }
+
+    fn check_region(&self, result: Option<Value>, _sess: &mut Session) -> bool {
+        let (addrs, kinds) = self.trace();
+        result == Some(Value::I(self.reference_misses(&addrs, &kinds)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyc::Compiler;
+
+    #[test]
+    fn trace_is_deterministic_and_mixed() {
+        let w = Dinero::tiny();
+        let (a1, k1) = w.trace();
+        let (a2, k2) = w.trace();
+        assert_eq!(a1, a2);
+        assert_eq!(k1, k2);
+        assert!(k1.contains(&IFETCH) && k1.contains(&DREAD));
+    }
+
+    #[test]
+    fn simulator_matches_reference_in_both_builds() {
+        let w = Dinero::tiny();
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        for mut sess in [p.static_session(), p.dynamic_session()] {
+            let args = w.setup_region(&mut sess);
+            let out = sess.run("mainloop", &args).unwrap();
+            assert!(w.check_region(out, &mut sess));
+        }
+    }
+
+    #[test]
+    fn configuration_folds_into_the_code() {
+        let w = Dinero::tiny();
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut d = p.dynamic_session();
+        let args = w.setup_region(&mut d);
+        d.run("mainloop", &args).unwrap();
+        let rt = d.rt_stats().unwrap();
+        assert!(rt.static_loads >= 3, "cfg loads execute at compile time");
+        assert!(rt.strength_reductions >= 1, "% and / by nsets reduce");
+        assert!(rt.loops_unrolled >= 1, "way loop unrolls");
+        assert!(!rt.multi_way_unroll, "dinero unrolls single-way");
+        let gen = d.generated_functions();
+        let code = d.disassemble(&gen[0]).unwrap();
+        assert!(!code.contains("div   r"), "tag extraction reduced:\n{code}");
+        assert!(!code.contains("rem   r"), "set extraction reduced:\n{code}");
+        // Unchecked dispatch on later invocations.
+        let before = d.stats().dispatch_cycles;
+        d.run("mainloop", &args).unwrap();
+        assert_eq!(d.stats().dispatch_cycles - before, 10);
+    }
+}

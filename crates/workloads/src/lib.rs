@@ -1,0 +1,159 @@
+//! # dyc-workloads — the paper's benchmark suite, reproduced
+//!
+//! Table 1 of the paper lists five applications (dinero, m88ksim, mipsi,
+//! pnmconvol, viewperf) and five kernels (binary, chebyshev, dotproduct,
+//! query, romberg). Each is re-implemented here in DyCL with the same
+//! annotations the paper describes, together with deterministic input
+//! generators matching the paper's inputs (Table 1's "Values of Static
+//! Variables" column) and the substrates they need — an address-trace
+//! generator for dinero, a MIPS-subset ISA + assembler + bubble-sort guest
+//! program for mipsi, an image/convolution-matrix model for pnmconvol, and
+//! so on.
+//!
+//! [`measure`] contains the harness that regenerates the paper's Tables
+//! 2–5 numbers from these workloads.
+
+pub mod binary;
+pub mod chebyshev;
+pub mod dinero;
+pub mod dotproduct;
+pub mod m88ksim;
+pub mod measure;
+pub mod mipsi;
+pub mod pnmconvol;
+pub mod query;
+pub mod romberg;
+pub mod unrle;
+pub mod viewperf;
+
+use dyc::{Session, Value};
+
+/// Application vs kernel, as in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Mid-sized, widely used application.
+    Application,
+    /// Small kernel from prior dynamic-compilation studies.
+    Kernel,
+}
+
+/// Static description of a workload (Table 1's columns).
+#[derive(Debug, Clone)]
+pub struct Meta {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Application or kernel.
+    pub kind: Kind,
+    /// Table 1 "Description".
+    pub description: &'static str,
+    /// Table 1 "Annotated Static Variables".
+    pub static_vars: &'static str,
+    /// Table 1 "Values of Static Variables".
+    pub static_values: &'static str,
+    /// Name of the dynamically compiled (region) function.
+    pub region_func: &'static str,
+    /// Unit in which the break-even point is expressed (Table 3).
+    pub break_even_unit: &'static str,
+    /// How many such units one region invocation covers.
+    pub units_per_invocation: u64,
+}
+
+/// A benchmark: DyCL source plus input setup and result checking.
+pub trait Workload {
+    /// Static description (Table 1).
+    fn meta(&self) -> Meta;
+
+    /// The annotated DyCL source.
+    fn source(&self) -> String;
+
+    /// Allocate and initialize inputs in a fresh session; returns the
+    /// argument list for one region invocation. Deterministic: the same
+    /// memory layout is produced in every session.
+    fn setup_region(&self, sess: &mut Session) -> Vec<Value>;
+
+    /// Restore any memory the region mutates, so repeated invocations do
+    /// identical work. Default: nothing to restore.
+    fn reset(&self, _sess: &mut Session, _args: &[Value]) {}
+
+    /// Arguments for the whole-program entry point (`main` in the
+    /// source), if this workload has one (Table 4 covers applications).
+    fn setup_main(&self, _sess: &mut Session) -> Option<Vec<Value>> {
+        None
+    }
+
+    /// Number of region invocations `main` performs (for Table 4's
+    /// time-in-region column).
+    fn main_region_invocations(&self) -> u64 {
+        0
+    }
+
+    /// Validate a region result against the known-good answer.
+    fn check_region(&self, result: Option<Value>, sess: &mut Session) -> bool;
+}
+
+/// All ten workloads, applications first (Table 1 order).
+pub fn all() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(dinero::Dinero::default()),
+        Box::new(m88ksim::M88ksim::default()),
+        Box::new(mipsi::Mipsi::default()),
+        Box::new(pnmconvol::Pnmconvol::default()),
+        Box::new(viewperf::ViewperfProject::default()),
+        Box::new(viewperf::ViewperfShade::default()),
+        Box::new(binary::BinarySearch::default()),
+        Box::new(chebyshev::Chebyshev::default()),
+        Box::new(dotproduct::DotProduct::default()),
+        Box::new(query::Query::default()),
+        Box::new(romberg::Romberg::default()),
+    ]
+}
+
+/// Look up a workload by name (including extension workloads that are
+/// not part of the paper's Table 1 suite).
+pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    if name == "unrle" {
+        return Some(Box::new(unrle::Unrle::default()));
+    }
+    all().into_iter().find(|w| w.meta().name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_all_benchmarks() {
+        let names: Vec<String> = all().iter().map(|w| w.meta().name.to_string()).collect();
+        for expected in [
+            "dinero",
+            "m88ksim",
+            "mipsi",
+            "pnmconvol",
+            "viewperf:project",
+            "viewperf:shade",
+            "binary",
+            "chebyshev",
+            "dotproduct",
+            "query",
+            "romberg",
+        ] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("mipsi").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn every_workload_source_compiles() {
+        for w in all() {
+            let m = w.meta();
+            dyc::Compiler::new()
+                .compile(&w.source())
+                .unwrap_or_else(|e| panic!("{} fails to compile: {e}", m.name));
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! m88ksim — Motorola 88000 simulator (SPEC95).
+//!
+//! The dynamically compiled region is `ckbrkpts`, the breakpoint-check
+//! routine run once per simulated instruction, specialized on the
+//! breakpoint table. With the SPEC input there are no breakpoints, so the
+//! specialized region collapses to an immediate "no" — the paper reports
+//! just 6 instructions generated. The loop over the table unrolls
+//! single-way with static loads of the table entries; the
+//! `cache-one-unchecked` policy matters because the region is entered "for
+//! each simulated instruction" (§4.4.3). The 5-breakpoint variant of §4.2
+//! is [`M88ksim::with_breakpoints`].
+//!
+//! Substrate built for this benchmark: a miniature 88k-style guest ISA and
+//! a guest program (an arithmetic checksum loop) that the whole-program
+//! driver simulates.
+
+use crate::{Kind, Meta, Workload};
+use dyc::{Session, Value};
+
+/// Capacity of the simulator's breakpoint table (the structure `ckbrkpts`
+/// scans on every simulated instruction, whether or not any breakpoints
+/// are set).
+pub const BP_CAPACITY: usize = 8;
+
+/// The m88ksim workload.
+#[derive(Debug, Clone)]
+pub struct M88ksim {
+    /// Breakpoint addresses; the SPEC input has none.
+    pub breakpoints: Vec<i64>,
+    /// Program counter used for region timing.
+    pub probe_pc: i64,
+    /// Simulated steps in the whole-program run.
+    pub max_steps: i64,
+}
+
+impl Default for M88ksim {
+    fn default() -> Self {
+        M88ksim { breakpoints: vec![], probe_pc: 17, max_steps: 20_000 }
+    }
+}
+
+impl M88ksim {
+    /// The §4.2 variant "our experiments with 5 breakpoints yielded 98
+    /// generated instructions at a cost of only 66 cycles per instruction".
+    pub fn with_breakpoints(n: usize) -> M88ksim {
+        M88ksim {
+            breakpoints: (0..n as i64).map(|i| 1000 + 7 * i).collect(),
+            ..M88ksim::default()
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn tiny() -> M88ksim {
+        M88ksim { max_steps: 500, ..M88ksim::default() }
+    }
+
+    /// The breakpoint table contents: parallel valid/address arrays of
+    /// fixed capacity.
+    pub fn tables(&self) -> (Vec<i64>, Vec<i64>) {
+        let mut valid = vec![0i64; BP_CAPACITY];
+        let mut addrs = vec![0i64; BP_CAPACITY];
+        for (i, bp) in self.breakpoints.iter().enumerate().take(BP_CAPACITY) {
+            valid[i] = 1;
+            addrs[i] = *bp;
+        }
+        (valid, addrs)
+    }
+
+    /// The guest program for the whole-program driver, encoded 4 words per
+    /// instruction: `[op, a, b, c]`.
+    ///
+    /// Opcodes: 0 li, 1 add, 2 sub, 3 mul, 4 addi, 5 blt, 6 j, 7 halt.
+    pub fn guest_program() -> Vec<i64> {
+        // r1 = checksum, r2 = i, r3 = limit, r4 = tmp
+        #[rustfmt::skip]
+        let prog: Vec<[i64; 4]> = vec![
+            [0, 1, 0, 0],    // 0: li   r1, 0
+            [0, 2, 0, 0],    // 1: li   r2, 0
+            [0, 3, 0, 200],  // 2: li   r3, 200
+            [3, 4, 2, 2],    // 3: mul  r4, r2, r2
+            [1, 1, 1, 4],    // 4: add  r1, r1, r4
+            [4, 1, 1, 3],    // 5: addi r1, r1, 3
+            [4, 2, 2, 1],    // 6: addi r2, r2, 1
+            [5, 2, 3, 3],    // 7: blt  r2, r3, 3
+            [0, 2, 0, 0],    // 8: li   r2, 0  (restart to fill steps)
+            [6, 0, 0, 3],    // 9: j    3
+        ];
+        prog.into_iter().flatten().collect()
+    }
+}
+
+/// The annotated DyCL source.
+pub const SOURCE: &str = r#"
+    /* Breakpoint check: scan the fixed-capacity table the simulator keeps,
+       specialized on its (usually empty) contents. */
+    int ckbrkpts(int valid[cap], int addrs[cap], int cap, int pc) {
+        make_static(valid: cache_one_unchecked, addrs: cache_one_unchecked,
+                    cap: cache_one_unchecked);
+        int i = 0;
+        while (i < cap) {
+            if (valid@[i]) {
+                if (addrs@[i] == pc) { return 1; }
+            }
+            i = i + 1;
+        }
+        return 0;
+    }
+
+    /* One simulated 88k pipeline step: fetch, decode, execute, plus the
+       per-instruction bookkeeping the real simulator does (statistics,
+       condition flags, a small iTLB lookup). */
+    int m88k_main(int prog4[npw], int np, int npw,
+                  int regs[nr], int nr,
+                  int valid[cap], int addrs[cap], int cap,
+                  int stats[nstat], int nstat, int tlb[ntlb], int ntlb,
+                  int maxsteps) {
+        int pc = 0;
+        int steps = 0;
+        int hits = 0;
+        int flags = 0;
+        while (steps < maxsteps) {
+            if (pc < 0) { return regs[1] + hits + flags % 2; }
+            if (pc >= np) { return regs[1] + hits + flags % 2; }
+            hits = hits + ckbrkpts(valid, addrs, cap, pc);
+            /* iTLB lookup (4-entry fully associative scan). */
+            int page = pc >> 4;
+            int mapped = 0;
+            for (int e = 0; e < ntlb; ++e) {
+                if (tlb[e] == page) { mapped = 1; }
+            }
+            if (mapped == 0) { tlb[page & (ntlb - 1)] = page; }
+            int base = pc * 4;
+            int op = prog4[base];
+            int a = prog4[base + 1];
+            int b = prog4[base + 2];
+            int c = prog4[base + 3];
+            /* Per-class statistics and cycle accounting. */
+            stats[op] = stats[op] + 1;
+            stats[nstat - 1] = stats[nstat - 1] + 1 + (op == 3) * 2;
+            switch (op) {
+                case 0: { regs[a] = c; pc = pc + 1; break; }
+                case 1: { regs[a] = regs[b] + regs[c]; pc = pc + 1; break; }
+                case 2: { regs[a] = regs[b] - regs[c]; pc = pc + 1; break; }
+                case 3: { regs[a] = regs[b] * regs[c]; pc = pc + 1; break; }
+                case 4: { regs[a] = regs[b] + c; pc = pc + 1; break; }
+                case 5: { if (regs[a] < regs[b]) { pc = c; } else { pc = pc + 1; } break; }
+                case 6: { pc = c; break; }
+                default: { pc = -1; break; }
+            }
+            /* Condition flags on the written register. */
+            int wr = regs[a];
+            flags = (wr == 0) + (wr < 0) * 2;
+            steps = steps + 1;
+        }
+        return regs[1] + hits + flags % 2;
+    }
+"#;
+
+impl Workload for M88ksim {
+    fn meta(&self) -> Meta {
+        Meta {
+            name: "m88ksim",
+            kind: Kind::Application,
+            description: "Motorola 88000 simulator",
+            static_vars: "an array of breakpoints",
+            static_values: if self.breakpoints.is_empty() { "no breakpoints" } else { "5 breakpoints" },
+            region_func: "ckbrkpts",
+            break_even_unit: "breakpoint checks",
+            units_per_invocation: 1,
+        }
+    }
+
+    fn source(&self) -> String {
+        SOURCE.to_string()
+    }
+
+    fn setup_region(&self, sess: &mut Session) -> Vec<Value> {
+        let (valid, addrs) = self.tables();
+        let vb = sess.alloc(BP_CAPACITY);
+        sess.mem().write_ints(vb, &valid);
+        let ab = sess.alloc(BP_CAPACITY);
+        sess.mem().write_ints(ab, &addrs);
+        vec![Value::I(vb), Value::I(ab), Value::I(BP_CAPACITY as i64), Value::I(self.probe_pc)]
+    }
+
+    fn setup_main(&self, sess: &mut Session) -> Option<Vec<Value>> {
+        let prog = Self::guest_program();
+        let np = (prog.len() / 4) as i64;
+        let p = sess.alloc(prog.len());
+        sess.mem().write_ints(p, &prog);
+        let regs = sess.alloc(8);
+        let (valid, addrs) = self.tables();
+        let vb = sess.alloc(BP_CAPACITY);
+        sess.mem().write_ints(vb, &valid);
+        let ab = sess.alloc(BP_CAPACITY);
+        sess.mem().write_ints(ab, &addrs);
+        let stats = sess.alloc(16);
+        let tlb = sess.alloc(4);
+        Some(vec![
+            Value::I(p),
+            Value::I(np),
+            Value::I(prog.len() as i64),
+            Value::I(regs),
+            Value::I(8),
+            Value::I(vb),
+            Value::I(ab),
+            Value::I(BP_CAPACITY as i64),
+            Value::I(stats),
+            Value::I(16),
+            Value::I(tlb),
+            Value::I(4),
+            Value::I(self.max_steps),
+        ])
+    }
+
+    fn main_region_invocations(&self) -> u64 {
+        self.max_steps as u64
+    }
+
+    fn check_region(&self, result: Option<Value>, _sess: &mut Session) -> bool {
+        let expect = i64::from(self.breakpoints.contains(&self.probe_pc));
+        result == Some(Value::I(expect))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyc::Compiler;
+
+    #[test]
+    fn empty_table_generates_almost_no_code() {
+        let w = M88ksim::default();
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut d = p.dynamic_session();
+        let args = w.setup_region(&mut d);
+        let out = d.run("ckbrkpts", &args).unwrap();
+        assert_eq!(out, Some(Value::I(0)));
+        let rt = d.rt_stats().unwrap();
+        // The paper reports 6 generated instructions for the empty table.
+        assert!(rt.instrs_generated <= 6, "got {}", rt.instrs_generated);
+    }
+
+    #[test]
+    fn five_breakpoints_unroll_with_static_loads() {
+        let w = M88ksim::with_breakpoints(5);
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut d = p.dynamic_session();
+        let args = w.setup_region(&mut d);
+        // probe_pc == 17 is not a breakpoint.
+        assert_eq!(d.run("ckbrkpts", &args).unwrap(), Some(Value::I(0)));
+        // A pc that is one.
+        let hit =
+            d.run("ckbrkpts", &[args[0], args[1], args[2], Value::I(1007)]).unwrap();
+        assert_eq!(hit, Some(Value::I(1)));
+        let rt = d.rt_stats().unwrap();
+        // 8 valid-flag loads plus 5 address loads for the set entries.
+        assert_eq!(rt.static_loads, 13, "table entries load at compile time");
+        assert!(rt.loops_unrolled >= 1);
+        assert!(!rt.multi_way_unroll, "m88ksim unrolls single-way");
+        assert_eq!(rt.specializations, 1, "unchecked cache reuses the one version");
+    }
+
+    #[test]
+    fn whole_program_agrees_between_builds() {
+        let w = M88ksim::tiny();
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut s = p.static_session();
+        let mut d = p.dynamic_session();
+        let sa = w.setup_main(&mut s).unwrap();
+        let da = w.setup_main(&mut d).unwrap();
+        let sv = s.run("m88k_main", &sa).unwrap();
+        let dv = d.run("m88k_main", &da).unwrap();
+        assert_eq!(sv, dv);
+        assert!(sv.unwrap().as_i() > 0);
+    }
+}

@@ -1,0 +1,409 @@
+//! mipsi — MIPS-subset instruction interpreter.
+//!
+//! "mipsi is a simulation framework … its input program [is the annotated
+//! static variable]" (Table 1); the paper's input is a bubble sort. The
+//! interpreter's fetch-execute loop is specialized on the guest program:
+//! multi-way loop unrolling over the static program counter eliminates the
+//! fetch (a static load), the decode (static arithmetic and a folded
+//! switch), and memoizes calls to the address-translation routine (a
+//! static call). The guest's own control flow survives as dynamic branches
+//! between unrolled bodies — the "directed graph of unrolled loop bodies"
+//! of §2.2.4. An indirect jump (`jr`) exercises internal dynamic-to-static
+//! promotion of the target pc.
+//!
+//! Substrates built for this benchmark: the guest ISA, a two-pass
+//! assembler ([`asm`]), the bubble-sort guest program, and a reference
+//! interpreter in Rust.
+
+use crate::{Kind, Meta, Workload};
+use dyc::{Session, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The guest ISA and assembler.
+pub mod asm {
+    /// Guest opcodes (field `op` of the encoding).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[allow(missing_docs)]
+    pub enum Op {
+        Halt = 0,
+        Add = 1,
+        Sub = 2,
+        Addi = 3,
+        Lw = 6,
+        Sw = 7,
+        Beq = 8,
+        Bne = 9,
+        Blt = 10,
+        Bge = 11,
+        J = 12,
+        Jr = 13,
+        Li = 14,
+    }
+
+    /// One assembly item: an instruction or a label definition.
+    #[derive(Debug, Clone)]
+    pub enum Item {
+        /// `op a, b, c` with a numeric `c`.
+        I(Op, i64, i64, i64),
+        /// `op a, b, @label` — `c` resolves to the label's pc.
+        IL(Op, i64, i64, &'static str),
+        /// A label definition.
+        L(&'static str),
+    }
+
+    /// Encode `op a b c` into one guest word.
+    pub fn encode(op: Op, a: i64, b: i64, c: i64) -> i64 {
+        assert!((0..256).contains(&a) && (0..256).contains(&b) && (0..256).contains(&c));
+        (op as i64) * 16_777_216 + a * 65_536 + b * 256 + c
+    }
+
+    /// Two-pass assembly with label resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an undefined label (programmer error in a fixed guest
+    /// program).
+    pub fn assemble(items: &[Item]) -> Vec<i64> {
+        use std::collections::HashMap;
+        let mut labels: HashMap<&str, i64> = HashMap::new();
+        let mut pc = 0i64;
+        for it in items {
+            match it {
+                Item::L(name) => {
+                    labels.insert(name, pc);
+                }
+                _ => pc += 1,
+            }
+        }
+        let mut out = Vec::new();
+        for it in items {
+            match it {
+                Item::L(_) => {}
+                Item::I(op, a, b, c) => out.push(encode(*op, *a, *b, *c)),
+                Item::IL(op, a, b, l) => {
+                    let target = *labels.get(l).unwrap_or_else(|| panic!("undefined label {l}"));
+                    out.push(encode(*op, *a, *b, target));
+                }
+            }
+        }
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn encoding_fields_round_trip() {
+            let w = encode(Op::Addi, 3, 7, 250);
+            assert_eq!(w / 16_777_216, Op::Addi as i64);
+            assert_eq!((w / 65_536) % 256, 3);
+            assert_eq!((w / 256) % 256, 7);
+            assert_eq!(w % 256, 250);
+        }
+
+        #[test]
+        fn labels_resolve_forward_and_backward() {
+            let prog = assemble(&[
+                Item::L("top"),
+                Item::IL(Op::J, 0, 0, "end"),
+                Item::IL(Op::J, 0, 0, "top"),
+                Item::L("end"),
+                Item::I(Op::Halt, 0, 0, 0),
+            ]);
+            assert_eq!(prog[0] % 256, 2); // "end" = pc 2
+            assert_eq!(prog[1] % 256, 0); // "top" = pc 0
+        }
+
+        #[test]
+        #[should_panic(expected = "undefined label")]
+        fn undefined_label_panics() {
+            let _ = assemble(&[Item::IL(Op::J, 0, 0, "nowhere")]);
+        }
+    }
+}
+
+/// The mipsi workload.
+#[derive(Debug, Clone)]
+pub struct Mipsi {
+    /// Number of guest array elements the bubble sort sorts.
+    pub n: i64,
+    /// Guest step budget.
+    pub max_steps: i64,
+}
+
+impl Default for Mipsi {
+    fn default() -> Self {
+        Mipsi { n: 14, max_steps: 100_000 }
+    }
+}
+
+impl Mipsi {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Mipsi {
+        Mipsi { n: 6, max_steps: 10_000 }
+    }
+
+    /// The bubble-sort guest program (the paper's mipsi input).
+    pub fn guest_program() -> Vec<i64> {
+        use asm::{Item::*, Op::*};
+        // r2 = n (preloaded by the harness), r3 = i, r4 = j,
+        // r5/r6 = elements, r7 = 1, r8 = n-1, r9 = n-1-i, r10 = j+1,
+        // r11 = return address for the final jr.
+        asm::assemble(&[
+            IL(Li, 11, 0, "fin"),
+            I(Li, 3, 0, 0),
+            L("outer"),
+            I(Li, 7, 0, 1),
+            I(Sub, 8, 2, 7),
+            IL(Bge, 3, 8, "done"),
+            I(Li, 4, 0, 0),
+            L("inner"),
+            I(Sub, 9, 8, 3),
+            IL(Bge, 4, 9, "endinner"),
+            I(Lw, 5, 4, 0),
+            I(Addi, 10, 4, 1),
+            I(Lw, 6, 10, 0),
+            IL(Bge, 6, 5, "noswap"),
+            I(Sw, 6, 4, 0),
+            I(Sw, 5, 10, 0),
+            L("noswap"),
+            I(Addi, 4, 4, 1),
+            IL(J, 0, 0, "inner"),
+            L("endinner"),
+            I(Addi, 3, 3, 1),
+            IL(J, 0, 0, "outer"),
+            L("done"),
+            I(Jr, 11, 0, 0),
+            L("fin"),
+            I(Halt, 0, 0, 0),
+        ])
+    }
+
+    /// The guest data to sort (deterministic).
+    pub fn guest_data(&self) -> Vec<i64> {
+        let mut rng = SmallRng::seed_from_u64(0x3147);
+        (0..self.n).map(|_| rng.gen_range(0..1000)).collect()
+    }
+
+    /// Reference interpreter in plain Rust; returns (steps, final memory).
+    pub fn reference(&self) -> (i64, Vec<i64>) {
+        let prog = Self::guest_program();
+        let mut mem = self.guest_data();
+        let mut regs = [0i64; 32];
+        regs[2] = self.n;
+        let mut pc: i64 = 0;
+        let mut steps = 0i64;
+        while pc >= 0 && steps < self.max_steps {
+            let inst = prog[(pc as usize) % prog.len()];
+            let (op, a, b, c) =
+                (inst / 16_777_216, (inst / 65_536) % 256, (inst / 256) % 256, inst % 256);
+            steps += 1;
+            match op {
+                0 => pc = -1,
+                1 => {
+                    regs[a as usize] = regs[b as usize] + regs[c as usize];
+                    pc += 1;
+                }
+                2 => {
+                    regs[a as usize] = regs[b as usize] - regs[c as usize];
+                    pc += 1;
+                }
+                3 => {
+                    regs[a as usize] = regs[b as usize] + c;
+                    pc += 1;
+                }
+                6 => {
+                    regs[a as usize] = mem[(regs[b as usize] + c) as usize];
+                    pc += 1;
+                }
+                7 => {
+                    mem[(regs[b as usize] + c) as usize] = regs[a as usize];
+                    pc += 1;
+                }
+                8 => pc = if regs[a as usize] == regs[b as usize] { c } else { pc + 1 },
+                9 => pc = if regs[a as usize] != regs[b as usize] { c } else { pc + 1 },
+                10 => pc = if regs[a as usize] < regs[b as usize] { c } else { pc + 1 },
+                11 => pc = if regs[a as usize] >= regs[b as usize] { c } else { pc + 1 },
+                12 => pc = c,
+                13 => pc = regs[a as usize],
+                14 => {
+                    regs[a as usize] = c;
+                    pc += 1;
+                }
+                _ => pc = -1,
+            }
+        }
+        (steps, mem)
+    }
+}
+
+/// The annotated DyCL source: the interpreter specialized on its input
+/// program.
+pub const SOURCE: &str = r#"
+    /* Address translation, memoized as a static call (§2.2.6). */
+    static int xlat(int a, int np) {
+        return a % np;
+    }
+
+    /* The mipsi fetch-execute loop, specialized on the guest program. */
+    int run(int prog[np], int np, int mem[nm], int nm,
+            int regs[nr], int nr, int maxsteps) {
+        make_static(prog: cache_one_unchecked, np: cache_one_unchecked);
+        int pc = 0;
+        int steps = 0;
+        while (pc >= 0) {
+            if (steps >= maxsteps) { return 0 - 1; }
+            int inst = prog@[xlat(pc, np)];
+            int op = (inst >> 24) & 255;
+            int a = (inst >> 16) & 255;
+            int b = (inst >> 8) & 255;
+            int c = inst & 255;
+            steps = steps + 1;
+            switch (op) {
+                case 0: { pc = 0 - 1; break; }
+                case 1: { regs[a] = regs[b] + regs[c]; pc = pc + 1; break; }
+                case 2: { regs[a] = regs[b] - regs[c]; pc = pc + 1; break; }
+                case 3: { regs[a] = regs[b] + c; pc = pc + 1; break; }
+                case 6: { regs[a] = mem[regs[b] + c]; pc = pc + 1; break; }
+                case 7: { mem[regs[b] + c] = regs[a]; pc = pc + 1; break; }
+                case 8: { if (regs[a] == regs[b]) { pc = c; } else { pc = pc + 1; } break; }
+                case 9: { if (regs[a] != regs[b]) { pc = c; } else { pc = pc + 1; } break; }
+                case 10: { if (regs[a] < regs[b]) { pc = c; } else { pc = pc + 1; } break; }
+                case 11: { if (regs[a] >= regs[b]) { pc = c; } else { pc = pc + 1; } break; }
+                case 12: { pc = c; break; }
+                case 13: { pc = regs[a]; promote(pc); break; }
+                case 14: { regs[a] = c; pc = pc + 1; break; }
+                default: { pc = 0 - 1; break; }
+            }
+        }
+        return steps;
+    }
+"#;
+
+impl Workload for Mipsi {
+    fn meta(&self) -> Meta {
+        Meta {
+            name: "mipsi",
+            kind: Kind::Application,
+            description: "MIPS R3000 simulator",
+            static_vars: "its input program",
+            static_values: "bubble sort",
+            region_func: "run",
+            break_even_unit: "interpreted instructions",
+            units_per_invocation: self.reference().0 as u64,
+        }
+    }
+
+    fn source(&self) -> String {
+        SOURCE.to_string()
+    }
+
+    fn setup_region(&self, sess: &mut Session) -> Vec<Value> {
+        let prog = Self::guest_program();
+        let data = self.guest_data();
+        let p = sess.alloc(prog.len());
+        sess.mem().write_ints(p, &prog);
+        let m = sess.alloc(data.len());
+        sess.mem().write_ints(m, &data);
+        let regs = sess.alloc(32);
+        sess.mem().write_int(regs + 2, self.n); // r2 = n
+        vec![
+            Value::I(p),
+            Value::I(prog.len() as i64),
+            Value::I(m),
+            Value::I(data.len() as i64),
+            Value::I(regs),
+            Value::I(32),
+            Value::I(self.max_steps),
+        ]
+    }
+
+    fn reset(&self, sess: &mut Session, args: &[Value]) {
+        // The guest sorts its memory and mutates registers: restore both.
+        let m = args[2].as_i();
+        sess.mem().write_ints(m, &self.guest_data());
+        let regs = args[4].as_i();
+        sess.mem().write_ints(regs, &[0; 32]);
+        sess.mem().write_int(regs + 2, self.n);
+    }
+
+    fn setup_main(&self, sess: &mut Session) -> Option<Vec<Value>> {
+        Some(self.setup_region(sess))
+    }
+
+    fn main_region_invocations(&self) -> u64 {
+        1
+    }
+
+    fn check_region(&self, result: Option<Value>, sess: &mut Session) -> bool {
+        let (steps, sorted) = self.reference();
+        if result != Some(Value::I(steps)) {
+            return false;
+        }
+        // Guest memory is the second allocation, after the program.
+        let m = Self::guest_program().len() as i64;
+        sess.mem().read_ints(m, sorted.len()) == sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyc::Compiler;
+
+    #[test]
+    fn reference_interpreter_sorts() {
+        let w = Mipsi::tiny();
+        let (steps, mem) = w.reference();
+        assert!(steps > 0 && steps < w.max_steps);
+        let mut sorted = w.guest_data();
+        sorted.sort_unstable();
+        assert_eq!(mem, sorted);
+    }
+
+    #[test]
+    fn interpreter_agrees_with_reference_in_both_builds() {
+        let w = Mipsi::tiny();
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        for mut sess in [p.static_session(), p.dynamic_session()] {
+            let args = w.setup_region(&mut sess);
+            let out = sess.run("run", &args).unwrap();
+            assert!(w.check_region(out, &mut sess));
+        }
+    }
+
+    #[test]
+    fn specialization_eliminates_fetch_and_decode() {
+        let w = Mipsi::tiny();
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut d = p.dynamic_session();
+        let args = w.setup_region(&mut d);
+        d.run("run", &args).unwrap();
+        let rt = d.rt_stats().unwrap();
+        assert!(rt.multi_way_unroll, "guest control flow means multi-way unrolling");
+        assert!(rt.static_loads > 0, "instruction fetches are static loads");
+        assert!(rt.static_calls > 0, "xlat calls are memoized");
+        assert_eq!(rt.internal_promotions, 1, "the jr target promotes");
+        assert!(rt.branches_folded > 0, "the decode switch folds");
+        let gen = d.generated_functions();
+        let code = d.disassemble_matching("run$spec");
+        // No trace of decoding in the residual code: no divisions.
+        assert!(!code.contains("div   r"), "decode folded away:\n{code}");
+        assert!(gen.len() >= 2, "entry + promoted continuation");
+    }
+
+    #[test]
+    fn reused_guest_program_hits_the_cache() {
+        let w = Mipsi::tiny();
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut d = p.dynamic_session();
+        let args = w.setup_region(&mut d);
+        d.run("run", &args).unwrap();
+        let spec_before = d.rt_stats().unwrap().specializations;
+        w.reset(&mut d, &args);
+        d.run("run", &args).unwrap();
+        assert_eq!(d.rt_stats().unwrap().specializations, spec_before);
+    }
+}

@@ -1,0 +1,176 @@
+//! romberg — numerical integration by iteration (kernel).
+//!
+//! Specialized on the iteration bound (6, Table 1). With the bound static,
+//! every refinement loop unrolls completely, the number of new sample
+//! points per level (`1 << (i-1)`) folds, and the Richardson-extrapolation
+//! table indexing becomes immediate offsets. The integrand calls (`sin` of
+//! a dynamic point) remain at run time, so the speedup is modest — the
+//! paper reports 1.3.
+
+use crate::{Kind, Meta, Workload};
+use dyc::{Session, Value};
+
+/// The romberg workload.
+#[derive(Debug, Clone)]
+pub struct Romberg {
+    /// Iteration bound (table size); the paper's input is 6.
+    pub m: i64,
+    /// Integration bounds used for region timing.
+    pub a: f64,
+    /// Upper bound.
+    pub b: f64,
+}
+
+impl Default for Romberg {
+    fn default() -> Self {
+        Romberg { m: 6, a: 0.0, b: 1.5 }
+    }
+}
+
+impl Romberg {
+    /// Reference Romberg integration of sin on [a, b] in plain Rust
+    /// (mirrors the DyCL source exactly).
+    pub fn reference(&self, a: f64, b: f64) -> f64 {
+        let m = self.m as usize;
+        let mm = m;
+        let mut r = vec![0.0f64; m * mm];
+        let mut h = b - a;
+        r[0] = (a.sin() + b.sin()) * h / 2.0;
+        for i in 1..m {
+            h /= 2.0;
+            let mut s = 0.0;
+            let np = 1i64 << (i - 1);
+            for k in 1..=np {
+                s += (a + (2 * k - 1) as f64 * h).sin();
+            }
+            r[i * mm] = r[(i - 1) * mm] / 2.0 + s * h;
+            let mut p4 = 4.0f64;
+            for j in 1..=i {
+                r[i * mm + j] =
+                    r[i * mm + j - 1] + (r[i * mm + j - 1] - r[(i - 1) * mm + j - 1]) / (p4 - 1.0);
+                p4 *= 4.0;
+            }
+        }
+        r[(m - 1) * mm + m - 1]
+    }
+}
+
+/// The annotated DyCL source.
+pub const SOURCE: &str = r#"
+    /* Romberg integration of sin over [a, b] with a static level bound. */
+    float romberg(float a, float b, int m, float r[mm2], int mm) {
+        make_static(m: cache_one_unchecked, mm: cache_one_unchecked);
+        float h = b - a;
+        r[0] = (sin(a) + sin(b)) * h / 2.0;
+        int i = 1;
+        while (i < m) {
+            h = h / 2.0;
+            float s = 0.0;
+            int np = 1 << (i - 1);
+            int k = 1;
+            while (k <= np) {
+                s = s + sin(a + (float) (2 * k - 1) * h);
+                k = k + 1;
+            }
+            r[i * mm] = r[(i - 1) * mm] / 2.0 + s * h;
+            float p4 = 4.0;
+            int j = 1;
+            while (j <= i) {
+                r[i * mm + j] = r[i * mm + j - 1]
+                    + (r[i * mm + j - 1] - r[(i - 1) * mm + j - 1]) / (p4 - 1.0);
+                p4 = p4 * 4.0;
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+        return r[(m - 1) * mm + m - 1];
+    }
+"#;
+
+impl Workload for Romberg {
+    fn meta(&self) -> Meta {
+        Meta {
+            name: "romberg",
+            kind: Kind::Kernel,
+            description: "function integration by iteration",
+            static_vars: "the iteration bound",
+            static_values: "6",
+            region_func: "romberg",
+            break_even_unit: "integrations",
+            units_per_invocation: 1,
+        }
+    }
+
+    fn source(&self) -> String {
+        SOURCE.to_string()
+    }
+
+    fn setup_region(&self, sess: &mut Session) -> Vec<Value> {
+        let scratch = sess.alloc((self.m * self.m) as usize);
+        vec![
+            Value::F(self.a),
+            Value::F(self.b),
+            Value::I(self.m),
+            Value::I(scratch),
+            Value::I(self.m),
+        ]
+    }
+
+    fn check_region(&self, result: Option<Value>, _sess: &mut Session) -> bool {
+        match result {
+            Some(Value::F(got)) => {
+                let want = self.reference(self.a, self.b);
+                let truth = (self.a.cos() - self.b.cos()).abs();
+                (got - want).abs() < 1e-12 && (got - truth).abs() < 1e-6
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyc::Compiler;
+
+    #[test]
+    fn reference_integrates_sin_accurately() {
+        let w = Romberg::default();
+        let got = w.reference(0.0, 1.5);
+        let want = 1.0 - 1.5f64.cos();
+        assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+    }
+
+    #[test]
+    fn static_and_dynamic_agree_bitwise() {
+        let w = Romberg::default();
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut s = p.static_session();
+        let mut d = p.dynamic_session();
+        let sa = w.setup_region(&mut s);
+        let da = w.setup_region(&mut d);
+        let sv = s.run("romberg", &sa).unwrap().unwrap().as_f();
+        let dv = d.run("romberg", &da).unwrap().unwrap().as_f();
+        assert_eq!(sv.to_bits(), dv.to_bits());
+        assert!(w.check_region(Some(Value::F(dv)), &mut d));
+    }
+
+    #[test]
+    fn all_levels_unroll() {
+        let w = Romberg::default();
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut d = p.dynamic_session();
+        let args = w.setup_region(&mut d);
+        d.run("romberg", &args).unwrap();
+        let rt = d.rt_stats().unwrap();
+        assert!(rt.loops_unrolled >= 3, "level, sample and extrapolation loops unroll");
+        assert!(!rt.multi_way_unroll);
+        let code = d.disassemble_matching("romberg$spec");
+        assert!(
+            !code.contains("jmp") && !code.contains("brz") && !code.contains("brnz"),
+            "fully unrolled integration is straight-line:\n{code}"
+        );
+        // The sin calls on dynamic points remain.
+        assert!(code.contains("hcall"));
+    }
+}

@@ -1,0 +1,268 @@
+//! unrle — run-length decompressor (extension workload).
+//!
+//! §3.1 of the paper: "a decompression program and a version of grep could
+//! become profitable to compile dynamically if DyC supported fast cache
+//! lookups over a small range of values (e.g., integers between 0 and
+//! 255). For such cases, the lookup could be implemented as a simple array
+//! indexing, in place of DyC's current general-purpose hash-table lookup."
+//!
+//! This workload exercises exactly that scenario with the `cache_indexed`
+//! policy extension: the per-byte decode step is specialized on the
+//! control byte (256 possible values), and each dispatch is an array
+//! index + indirect jump instead of a hash lookup. Specializing on the
+//! control byte also completely unrolls the run-emission loop for that
+//! byte's run length. Not part of the paper's Table 1 suite — it is the
+//! paper's future-work case, reproduced.
+
+use crate::{Kind, Meta, Workload};
+use dyc::{Session, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The unrle workload.
+#[derive(Debug, Clone)]
+pub struct Unrle {
+    /// Number of control tokens in the encoded stream.
+    pub tokens: usize,
+    /// Distinct run lengths in the stream (distinct specializations).
+    pub distinct_runs: usize,
+}
+
+impl Default for Unrle {
+    fn default() -> Self {
+        Unrle { tokens: 512, distinct_runs: 24 }
+    }
+}
+
+impl Unrle {
+    /// The encoded stream: literals (< 128) and run headers (128 + length
+    /// followed by the value to repeat).
+    pub fn encoded(&self) -> Vec<i64> {
+        let mut rng = SmallRng::seed_from_u64(0x41e);
+        let mut out = Vec::new();
+        for _ in 0..self.tokens {
+            if rng.gen::<f64>() < 0.5 {
+                out.push(rng.gen_range(0..128)); // literal byte
+            } else {
+                let run = 1 + rng.gen_range(0..self.distinct_runs as i64);
+                out.push(128 + run); // run header
+                out.push(rng.gen_range(0..128)); // value to repeat
+            }
+        }
+        out
+    }
+
+    /// Reference decoder in plain Rust.
+    pub fn reference(&self) -> Vec<i64> {
+        let enc = self.encoded();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < enc.len() {
+            let b = enc[i];
+            if b < 128 {
+                out.push(b);
+                i += 1;
+            } else {
+                let n = b - 128;
+                let v = enc[i + 1];
+                out.extend(std::iter::repeat_n(v, n as usize));
+                i += 2;
+            }
+        }
+        out
+    }
+
+    /// Worst-case decoded size.
+    pub fn out_capacity(&self) -> usize {
+        self.tokens * (self.distinct_runs + 1)
+    }
+}
+
+/// The annotated DyCL source. The per-token step is specialized on the
+/// control byte with the array-indexed policy.
+pub const SOURCE: &str = r#"
+    /* Emit the output of one control byte; specialized per byte value. */
+    int emit_token(int b, int val, int out[cap], int cap, int pos) {
+        make_static(b: cache_indexed);
+        if (b < 128) {
+            out[pos] = b;
+            return pos + 1;
+        }
+        int n = b - 128;
+        int i = 0;
+        while (i < n) {
+            out[pos + i] = val;
+            i = i + 1;
+        }
+        return pos + n;
+    }
+
+    /* Decode a whole stream. */
+    int decode(int enc[nin], int nin, int out[cap], int cap) {
+        int pos = 0;
+        int i = 0;
+        while (i < nin) {
+            int b = enc[i];
+            if (b < 128) {
+                pos = emit_token(b, 0, out, cap, pos);
+                i = i + 1;
+            } else {
+                pos = emit_token(b, enc[i + 1], out, cap, pos);
+                i = i + 2;
+            }
+        }
+        return pos;
+    }
+"#;
+
+impl Workload for Unrle {
+    fn meta(&self) -> Meta {
+        Meta {
+            name: "unrle",
+            kind: Kind::Kernel,
+            description: "run-length decompressor (§3.1 indexed-dispatch extension)",
+            static_vars: "the control byte",
+            static_values: "bytes 0..255",
+            region_func: "decode",
+            break_even_unit: "decoded tokens",
+            units_per_invocation: self.tokens as u64,
+        }
+    }
+
+    fn source(&self) -> String {
+        SOURCE.to_string()
+    }
+
+    fn setup_region(&self, sess: &mut Session) -> Vec<Value> {
+        let enc = self.encoded();
+        let e = sess.alloc(enc.len());
+        sess.mem().write_ints(e, &enc);
+        let cap = self.out_capacity();
+        let o = sess.alloc(cap);
+        vec![Value::I(e), Value::I(enc.len() as i64), Value::I(o), Value::I(cap as i64)]
+    }
+
+    fn check_region(&self, result: Option<Value>, sess: &mut Session) -> bool {
+        let expect = self.reference();
+        if result != Some(Value::I(expect.len() as i64)) {
+            return false;
+        }
+        let o = self.encoded().len() as i64;
+        sess.mem().read_ints(o, expect.len()) == expect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyc::{Compiler, OptConfig};
+
+    #[test]
+    fn decoder_is_correct_in_both_builds() {
+        let w = Unrle { tokens: 64, distinct_runs: 8 };
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        for mut sess in [p.static_session(), p.dynamic_session()] {
+            let args = w.setup_region(&mut sess);
+            let out = sess.run("decode", &args).unwrap();
+            assert!(w.check_region(out, &mut sess));
+        }
+    }
+
+    #[test]
+    fn dispatches_are_array_indexed() {
+        let w = Unrle { tokens: 64, distinct_runs: 8 };
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut d = p.dynamic_session();
+        let args = w.setup_region(&mut d);
+        d.run("decode", &args).unwrap();
+        let rt = d.rt_stats().unwrap();
+        assert!(rt.dispatch_indexed > 0, "indexed policy must serve the dispatches");
+        assert_eq!(rt.dispatch_hashed, 0, "no in-range key should hash");
+        // One specialization per distinct control byte.
+        let enc = w.encoded();
+        let mut distinct: Vec<i64> = Vec::new();
+        let mut i = 0;
+        while i < enc.len() {
+            let b = enc[i];
+            if !distinct.contains(&b) {
+                distinct.push(b);
+            }
+            i += if b < 128 { 1 } else { 2 };
+        }
+        assert_eq!(rt.specializations as usize, distinct.len());
+    }
+
+    #[test]
+    fn runs_unroll_per_control_byte() {
+        let w = Unrle { tokens: 16, distinct_runs: 6 };
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut d = p.dynamic_session();
+        let args = w.setup_region(&mut d);
+        d.run("decode", &args).unwrap();
+        // Run-emitting specializations are straight stores, no loop.
+        let code = d.disassemble_matching("emit_token$spec");
+        assert!(code.contains("sti"), "stores remain:\n{code}");
+        let rt = d.rt_stats().unwrap();
+        assert!(rt.loops_unrolled > 0, "run loops unroll");
+    }
+
+    #[test]
+    fn indexed_dispatch_is_cheaper_than_hashed() {
+        let w = Unrle { tokens: 128, distinct_runs: 8 };
+        // Indexed policy (the annotated source).
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut idx = p.dynamic_session();
+        let args = w.setup_region(&mut idx);
+        idx.run("decode", &args).unwrap();
+        let (_, steady_idx) = idx.run_measured("decode", &args).unwrap();
+
+        // Same program with the default hashed policy.
+        let hashed_src = w.source().replace("b: cache_indexed", "b");
+        let p2 = Compiler::new().compile(&hashed_src).unwrap();
+        let mut hsh = p2.dynamic_session();
+        let args2 = w.setup_region(&mut hsh);
+        hsh.run("decode", &args2).unwrap();
+        let (_, steady_hsh) = hsh.run_measured("decode", &args2).unwrap();
+
+        assert!(
+            steady_idx.dispatch_cycles * 3 < steady_hsh.dispatch_cycles,
+            "indexed {} vs hashed {} dispatch cycles",
+            steady_idx.dispatch_cycles,
+            steady_hsh.dispatch_cycles
+        );
+        assert!(steady_idx.run_cycles() < steady_hsh.run_cycles());
+    }
+
+    #[test]
+    fn out_of_range_keys_fall_back_safely() {
+        // A region keyed on a value outside 0..255 still works (hashed
+        // overflow path).
+        let src = "int f(int k, int d) { make_static(k: cache_indexed); return k + d; }";
+        let p = Compiler::new().compile(src).unwrap();
+        let mut d = p.dynamic_session();
+        assert_eq!(
+            d.run("f", &[Value::I(100_000), Value::I(1)]).unwrap(),
+            Some(Value::I(100_001))
+        );
+        assert_eq!(
+            d.run("f", &[Value::I(-3), Value::I(1)]).unwrap(),
+            Some(Value::I(-2))
+        );
+        assert_eq!(d.run("f", &[Value::I(7), Value::I(1)]).unwrap(), Some(Value::I(8)));
+        let rt = d.rt_stats().unwrap();
+        assert_eq!(rt.dispatch_indexed, 1);
+        assert_eq!(rt.dispatch_hashed, 2);
+    }
+
+    #[test]
+    fn multi_key_sites_degrade_to_cache_all() {
+        let cfg = OptConfig::all();
+        let src = "int f(int a, int b, int d) { make_static(a: cache_indexed, b: cache_indexed); return a + b + d; }";
+        let p = Compiler::with_config(cfg).compile(src).unwrap();
+        let mut d = p.dynamic_session();
+        d.run("f", &[Value::I(1), Value::I(2), Value::I(3)]).unwrap();
+        let rt = d.rt_stats().unwrap();
+        assert_eq!(rt.dispatch_indexed, 0);
+        assert_eq!(rt.dispatch_hashed, 1, "two keys cannot index a byte table");
+    }
+}

@@ -1,0 +1,420 @@
+//! viewperf — Mesa rendering routines (SPEC Viewperf driver).
+//!
+//! The paper dynamically compiles two Mesa routines:
+//! `project_and_clip_test` (a 4×4 matrix transformer specialized on the 3D
+//! projection matrix) and `gl_color_shade_vertices` (a shader specialized
+//! on lighting variables). The projection matrix is mostly zeros, so
+//! dynamic zero/copy propagation collapses most of the multiply-add grid;
+//! the shader "required intraprocedural polyvariant division in order to
+//! specialize for the values of variables that were derived as static only
+//! on some paths through the procedure" (§4.4.4). Mesa's hand-specialized
+//! shader variants were deleted in the paper's experiment — dynamic
+//! compilation regenerates them from the general-purpose routine, which is
+//! exactly what the promotion-based specialization here does.
+
+use crate::{Kind, Meta, Workload};
+use dyc::{Session, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of vertices processed per region invocation.
+const NVERTS: i64 = 64;
+
+/// A perspective projection matrix (row-major 4×4): 10 zeros, so ZCP/DAE
+/// collapse most of the transform.
+pub fn perspective_matrix() -> Vec<f64> {
+    let (f, aspect, zn, zf) = (1.2, 1.25, 0.1, 100.0);
+    vec![
+        f / aspect, 0.0, 0.0, 0.0,
+        0.0, f, 0.0, 0.0,
+        0.0, 0.0, (zf + zn) / (zn - zf), (2.0 * zf * zn) / (zn - zf),
+        0.0, 0.0, -1.0, 0.0,
+    ]
+}
+
+/// Deterministic vertex positions (x, y, z, w).
+pub fn vertices(n: i64, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .flat_map(|_| {
+            [
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-10.0..-0.2),
+                1.0,
+            ]
+        })
+        .collect()
+}
+
+/// Deterministic unit-ish normals (x, y, z).
+pub fn normals(n: i64, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).flat_map(|_| [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(0.0..1.0)]).collect()
+}
+
+/// `project_and_clip_test`, specialized on the projection matrix.
+pub const PROJECT_SOURCE: &str = r#"
+    int project(float m[16], float vin[n4], float vout[n4], int nverts, int n4) {
+        make_static(m: cache_one_unchecked);
+        int clipped = 0;
+        int v = 0;
+        while (v < nverts) {
+            int base = v * 4;
+            float x = vin[base];
+            float y = vin[base + 1];
+            float z = vin[base + 2];
+            float w = vin[base + 3];
+            float ox = m@[0] * x + m@[1] * y + m@[2] * z + m@[3] * w;
+            float oy = m@[4] * x + m@[5] * y + m@[6] * z + m@[7] * w;
+            float oz = m@[8] * x + m@[9] * y + m@[10] * z + m@[11] * w;
+            float ow = m@[12] * x + m@[13] * y + m@[14] * z + m@[15] * w;
+            vout[base] = ox;
+            vout[base + 1] = oy;
+            vout[base + 2] = oz;
+            vout[base + 3] = ow;
+            if (ox < -ow) { clipped = clipped + 1; }
+            if (ox > ow) { clipped = clipped + 1; }
+            if (oy < -ow) { clipped = clipped + 1; }
+            if (oy > ow) { clipped = clipped + 1; }
+            v = v + 1;
+        }
+        return clipped;
+    }
+"#;
+
+/// `gl_color_shade_vertices`, specialized on the lighting state with
+/// polyvariant division: the light color components are static only on the
+/// lit path.
+pub const SHADE_SOURCE: &str = r#"
+    float shade(float norms[n3], float cols[n3], int nverts, int n3,
+                int lit, float lr, float lg, float lb,
+                float sr, float sg, float sb, float ambient) {
+        make_static(lit: cache_one_unchecked);
+        float kr = ambient;
+        float kg = ambient;
+        float kb = ambient;
+        float pr = 0.0;
+        float pg = 0.0;
+        float pb = 0.0;
+        if (lit) {
+            kr = lr;
+            kg = lg;
+            kb = lb;
+            pr = sr;
+            pg = sg;
+            pb = sb;
+            promote(kr);
+            promote(kg);
+            promote(kb);
+            promote(pr);
+            promote(pg);
+            promote(pb);
+        }
+        float acc = 0.0;
+        int v = 0;
+        while (v < nverts) {
+            int base = v * 3;
+            float d = norms[base] * 0.577 + norms[base + 1] * 0.577 + norms[base + 2] * 0.577;
+            if (d < 0.0) { d = 0.0; }
+            float spec = d * d;
+            cols[base] = kr * d + pr * spec;
+            cols[base + 1] = kg * d + pg * spec;
+            cols[base + 2] = kb * d + pb * spec;
+            acc = acc + cols[base] + cols[base + 1] + cols[base + 2];
+            v = v + 1;
+        }
+        return acc;
+    }
+"#;
+
+/// Whole-program driver: vertex setup, projection, shading, accumulation.
+pub const MAIN_SOURCE_EXTRA: &str = r#"
+    float view_main(float m[16], float vin[n4], float vout[n4], int nverts, int n4,
+                    float norms[n3], float cols[n3], int n3,
+                    int lit, float lr, float lg, float lb, float ambient) {
+        /* Vertex setup: model transform emulation (non-region work). */
+        for (int v = 0; v < nverts; ++v) {
+            int base = v * 4;
+            float x = vin[base];
+            float y = vin[base + 1];
+            vin[base] = x * 0.99 + 0.01;
+            vin[base + 1] = y * 0.99 - 0.01;
+        }
+        int clipped = project(m, vin, vout, nverts, n4);
+        float lum = shade(norms, cols, nverts, n3, lit, lr, lg, lb, 0.8, 0.0, 0.0, ambient);
+        /* Post pass: bounding box of the projected vertices. */
+        float maxx = -1000000.0;
+        for (int v = 0; v < nverts; ++v) {
+            float ox = vout[v * 4];
+            if (ox > maxx) { maxx = ox; }
+        }
+        return lum + maxx + (float) clipped;
+    }
+"#;
+
+fn combined_source() -> String {
+    format!("{PROJECT_SOURCE}\n{SHADE_SOURCE}\n{MAIN_SOURCE_EXTRA}")
+}
+
+/// Reference projection in plain Rust.
+pub fn reference_project(m: &[f64], vin: &[f64], nverts: i64) -> (Vec<f64>, i64) {
+    let mut out = vec![0.0; (nverts * 4) as usize];
+    let mut clipped = 0;
+    for v in 0..nverts as usize {
+        let b = v * 4;
+        let (x, y, z, w) = (vin[b], vin[b + 1], vin[b + 2], vin[b + 3]);
+        for r in 0..4 {
+            out[b + r] = m[r * 4] * x + m[r * 4 + 1] * y + m[r * 4 + 2] * z + m[r * 4 + 3] * w;
+        }
+        let (ox, oy, ow) = (out[b], out[b + 1], out[b + 3]);
+        if ox < -ow {
+            clipped += 1;
+        }
+        if ox > ow {
+            clipped += 1;
+        }
+        if oy < -ow {
+            clipped += 1;
+        }
+        if oy > ow {
+            clipped += 1;
+        }
+    }
+    (out, clipped)
+}
+
+/// The viewperf projection workload.
+#[derive(Debug, Clone)]
+pub struct ViewperfProject {
+    /// Vertices per invocation.
+    pub nverts: i64,
+}
+
+impl Default for ViewperfProject {
+    fn default() -> Self {
+        ViewperfProject { nverts: NVERTS }
+    }
+}
+
+impl Workload for ViewperfProject {
+    fn meta(&self) -> Meta {
+        Meta {
+            name: "viewperf:project",
+            kind: Kind::Application,
+            description: "renderer (matrix transformer)",
+            static_vars: "3D projection matrix",
+            static_values: "perspective matrix",
+            region_func: "project",
+            break_even_unit: "invocations",
+            units_per_invocation: 1,
+        }
+    }
+
+    fn source(&self) -> String {
+        combined_source()
+    }
+
+    fn setup_region(&self, sess: &mut Session) -> Vec<Value> {
+        let m = perspective_matrix();
+        let vin = vertices(self.nverts, 0x71e3);
+        let mb = sess.alloc(16);
+        sess.mem().write_floats(mb, &m);
+        let vb = sess.alloc(vin.len());
+        sess.mem().write_floats(vb, &vin);
+        let ob = sess.alloc(vin.len());
+        vec![
+            Value::I(mb),
+            Value::I(vb),
+            Value::I(ob),
+            Value::I(self.nverts),
+            Value::I(self.nverts * 4),
+        ]
+    }
+
+    fn setup_main(&self, sess: &mut Session) -> Option<Vec<Value>> {
+        let mut args = self.setup_region(sess);
+        let norms = normals(self.nverts, 0x71e4);
+        let nb = sess.alloc(norms.len());
+        sess.mem().write_floats(nb, &norms);
+        let cb = sess.alloc(norms.len());
+        args.push(Value::I(nb));
+        args.push(Value::I(cb));
+        args.push(Value::I(self.nverts * 3));
+        args.push(Value::I(1));
+        args.push(Value::F(1.0));
+        args.push(Value::F(0.5));
+        args.push(Value::F(0.0));
+        args.push(Value::F(0.2));
+        Some(args)
+    }
+
+    fn main_region_invocations(&self) -> u64 {
+        1
+    }
+
+    fn check_region(&self, result: Option<Value>, sess: &mut Session) -> bool {
+        let m = perspective_matrix();
+        let vin = vertices(self.nverts, 0x71e3);
+        let (expect, clipped) = reference_project(&m, &vin, self.nverts);
+        if result != Some(Value::I(clipped)) {
+            return false;
+        }
+        let ob = 16 + vin.len() as i64;
+        let got = sess.mem().read_floats(ob, expect.len());
+        got.iter().zip(&expect).all(|(a, b)| (a - b).abs() < 1e-9)
+    }
+}
+
+/// The viewperf shader workload.
+#[derive(Debug, Clone)]
+pub struct ViewperfShade {
+    /// Vertices per invocation.
+    pub nverts: i64,
+    /// Diffuse light color: (1.0, 0.5, 0.0) exercises copy propagation
+    /// (×1), a plain constant (×0.5), and zero propagation + DAE (×0).
+    pub light: (f64, f64, f64),
+    /// Specular color; the zero channels fold away entirely.
+    pub spec: (f64, f64, f64),
+}
+
+impl Default for ViewperfShade {
+    fn default() -> Self {
+        ViewperfShade { nverts: NVERTS, light: (1.0, 0.5, 0.0), spec: (0.8, 0.0, 0.0) }
+    }
+}
+
+impl Workload for ViewperfShade {
+    fn meta(&self) -> Meta {
+        Meta {
+            name: "viewperf:shade",
+            kind: Kind::Application,
+            description: "renderer (vertex shader)",
+            static_vars: "lighting vars",
+            static_values: "one light source",
+            region_func: "shade",
+            break_even_unit: "invocations",
+            units_per_invocation: 1,
+        }
+    }
+
+    fn source(&self) -> String {
+        combined_source()
+    }
+
+    fn setup_region(&self, sess: &mut Session) -> Vec<Value> {
+        let norms = normals(self.nverts, 0x71e4);
+        let nb = sess.alloc(norms.len());
+        sess.mem().write_floats(nb, &norms);
+        let cb = sess.alloc(norms.len());
+        vec![
+            Value::I(nb),
+            Value::I(cb),
+            Value::I(self.nverts),
+            Value::I(self.nverts * 3),
+            Value::I(1),
+            Value::F(self.light.0),
+            Value::F(self.light.1),
+            Value::F(self.light.2),
+            Value::F(self.spec.0),
+            Value::F(self.spec.1),
+            Value::F(self.spec.2),
+            Value::F(0.2),
+        ]
+    }
+
+    fn check_region(&self, result: Option<Value>, _sess: &mut Session) -> bool {
+        let norms = normals(self.nverts, 0x71e4);
+        let (kr, kg, kb) = self.light;
+        let (pr, pg, pb) = self.spec;
+        let mut acc = 0.0;
+        for v in 0..self.nverts as usize {
+            let b = v * 3;
+            let mut d = norms[b] * 0.577 + norms[b + 1] * 0.577 + norms[b + 2] * 0.577;
+            if d < 0.0 {
+                d = 0.0;
+            }
+            let spec = d * d;
+            acc += (kr * d + pr * spec) + (kg * d + pg * spec) + (kb * d + pb * spec);
+        }
+        match result {
+            Some(Value::F(got)) => (got - acc).abs() < 1e-6,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyc::Compiler;
+
+    #[test]
+    fn projection_agrees_with_reference_in_both_builds() {
+        let w = ViewperfProject { nverts: 8 };
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        for mut sess in [p.static_session(), p.dynamic_session()] {
+            let args = w.setup_region(&mut sess);
+            let out = sess.run("project", &args).unwrap();
+            assert!(w.check_region(out, &mut sess));
+        }
+    }
+
+    #[test]
+    fn zero_entries_of_the_matrix_vanish() {
+        let w = ViewperfProject { nverts: 8 };
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut d = p.dynamic_session();
+        let args = w.setup_region(&mut d);
+        d.run("project", &args).unwrap();
+        let rt = d.rt_stats().unwrap();
+        assert_eq!(rt.static_loads, 16, "matrix loads execute at compile time");
+        assert!(rt.zero_copy_folds >= 10, "ten zero entries fold");
+        let code = d.disassemble_matching("project$spec");
+        // 16 multiplies in the source; at most 6 survive (nonzero entries).
+        assert!(code.matches("fmul").count() <= 6, "{code}");
+    }
+
+    #[test]
+    fn shader_agrees_and_uses_polyvariant_division() {
+        let w = ViewperfShade { nverts: 8, ..ViewperfShade::default() };
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut s = p.static_session();
+        let mut d = p.dynamic_session();
+        let sa = w.setup_region(&mut s);
+        let da = w.setup_region(&mut d);
+        let sv = s.run("shade", &sa).unwrap();
+        let dv = d.run("shade", &da).unwrap();
+        assert_eq!(sv.unwrap().as_f().to_bits(), dv.unwrap().as_f().to_bits());
+        assert!(w.check_region(dv, &mut d));
+        let rt = d.rt_stats().unwrap();
+        assert!(rt.internal_promotions >= 1, "light color promotes on the lit path");
+        assert!(rt.zero_copy_folds >= 1, "kr == 1.0 and kb == 0.0 fold");
+    }
+
+    #[test]
+    fn unlit_path_shades_with_ambient_only() {
+        let w = ViewperfShade { nverts: 8, ..ViewperfShade::default() };
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut d = p.dynamic_session();
+        let mut args = w.setup_region(&mut d);
+        args[4] = Value::I(0); // lit = 0
+        let out = d.run("shade", &args).unwrap().unwrap().as_f();
+        assert!(out > 0.0);
+        // No promotions happen on the unlit division.
+        assert_eq!(d.rt_stats().unwrap().internal_promotions, 0);
+    }
+
+    #[test]
+    fn whole_program_runs_in_both_builds() {
+        let w = ViewperfProject { nverts: 8 };
+        let p = Compiler::new().compile(&w.source()).unwrap();
+        let mut s = p.static_session();
+        let mut d = p.dynamic_session();
+        let sa = w.setup_main(&mut s).unwrap();
+        let da = w.setup_main(&mut d).unwrap();
+        let sv = s.run("view_main", &sa).unwrap().unwrap().as_f();
+        let dv = d.run("view_main", &da).unwrap().unwrap().as_f();
+        assert!((sv - dv).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: compile an annotated function, run it statically and
+//! dynamically, and inspect what the dynamic compiler produced.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dyc::{Compiler, Value};
+
+fn main() {
+    let source = r#"
+        /* Exponentiation, specialized on the (rarely changing) exponent. */
+        int power(int base, int exp) {
+            make_static(exp);
+            int r = 1;
+            while (exp > 0) {
+                r = r * base;
+                exp = exp - 1;
+            }
+            return r;
+        }
+    "#;
+
+    let program = Compiler::new().compile(source).expect("compiles");
+
+    // The statically compiled version runs the loop every call.
+    let mut stat = program.static_session();
+    let (out, cycles) = stat.run_measured("power", &[Value::I(3), Value::I(12)]).unwrap();
+    println!("static : power(3, 12) = {:?} in {} cycles", out.unwrap(), cycles.run_cycles());
+
+    // The dynamic version compiles a specialized power-of-12 on first call…
+    let mut dyn_ = program.dynamic_session();
+    let (out, first) = dyn_.run_measured("power", &[Value::I(3), Value::I(12)]).unwrap();
+    println!(
+        "dynamic: power(3, 12) = {:?} in {} cycles (+{} compiling)",
+        out.unwrap(),
+        first.run_cycles(),
+        first.dyncomp_cycles
+    );
+
+    // …and reuses it from the code cache afterwards.
+    let (out, steady) = dyn_.run_measured("power", &[Value::I(5), Value::I(12)]).unwrap();
+    println!(
+        "dynamic: power(5, 12) = {:?} in {} cycles (cache hit)",
+        out.unwrap(),
+        steady.run_cycles()
+    );
+    println!(
+        "asymptotic speedup: {:.2}x",
+        cycles.run_cycles() as f64 / steady.run_cycles() as f64
+    );
+
+    // The specialized code: twelve multiplies, no loop.
+    for name in dyn_.generated_functions() {
+        println!("\n{}", dyn_.disassemble(&name).unwrap());
+    }
+}

@@ -1,0 +1,23 @@
+//! # dyc-suite — workspace umbrella
+//!
+//! This crate exists to host the cross-crate integration tests
+//! (`tests/`) and the runnable examples (`examples/`) of the DyC-RS
+//! workspace. The library to depend on is [`dyc`]; the benchmark suite is
+//! [`dyc_workloads`]; the table-reproduction harnesses live in the
+//! `dyc-bench` crate's binaries.
+//!
+//! See the workspace `README.md` for the project overview, `DESIGN.md`
+//! for the system inventory, and `EXPERIMENTS.md` for the paper-vs-
+//! measured results.
+
+pub use dyc;
+pub use dyc_workloads;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_reexports_compile() {
+        let _ = crate::dyc::Compiler::new();
+        assert!(crate::dyc_workloads::all().len() >= 10);
+    }
+}

@@ -1,0 +1,115 @@
+//! Conditional specialization (§2.2.5): "rather than unconditionally
+//! executing an annotation, the programmer guards the annotation with an
+//! arbitrary test of whether specialization is desirable. Polyvariant
+//! division will then automatically duplicate the code following the test
+//! statement, one copy being specialized and the other not."
+//!
+//! The paper describes but does not evaluate this capability; here it is
+//! exercised directly: specialization is limited (a) to values amenable to
+//! optimization, and (b) to loops that, when completely unrolled, fit in
+//! the L1 instruction cache — the paper's own two motivating examples.
+
+use dyc::{Compiler, Value};
+
+/// A dot-product that only specializes on short vectors — the "unrolled
+/// code must fit in the I-cache" guard of §2.2.5.
+const GUARDED: &str = r#"
+    int dotp(int a[n], int b[n], int n, int limit) {
+        if (n <= limit) {
+            make_static(a, n);
+        }
+        int sum = 0;
+        int i = 0;
+        while (i < n) {
+            sum = sum + a[i] * b[i];
+            i = i + 1;
+        }
+        return sum;
+    }
+"#;
+
+fn run_dotp(sess: &mut dyc::Session, n: i64, limit: i64) -> i64 {
+    let a = sess.alloc(n as usize);
+    let b = sess.alloc(n as usize);
+    for i in 0..n {
+        sess.mem().write_int(a + i, i % 4);
+        sess.mem().write_int(b + i, 10 + i);
+    }
+    sess.run("dotp", &[Value::I(a), Value::I(b), Value::I(n), Value::I(limit)])
+        .unwrap()
+        .unwrap()
+        .as_i()
+}
+
+fn expected(n: i64) -> i64 {
+    (0..n).map(|i| (i % 4) * (10 + i)).sum()
+}
+
+#[test]
+fn guarded_annotation_specializes_only_small_inputs() {
+    let p = Compiler::new().compile(GUARDED).unwrap();
+    let mut d = p.dynamic_session();
+
+    // Small vector: under the guard, the region specializes and unrolls.
+    assert_eq!(run_dotp(&mut d, 8, 16), expected(8));
+    let rt = d.rt_stats().unwrap();
+    assert_eq!(rt.specializations, 1);
+    assert!(rt.loops_unrolled >= 1, "small input unrolls");
+
+    // Large vector: the guard fails, the general path runs, and no new
+    // specialization happens.
+    assert_eq!(run_dotp(&mut d, 64, 16), expected(64));
+    let rt = d.rt_stats().unwrap();
+    assert_eq!(rt.specializations, 1, "guarded-off path must not specialize");
+}
+
+#[test]
+fn both_divisions_compute_the_same_results() {
+    let p = Compiler::new().compile(GUARDED).unwrap();
+    for n in [1i64, 4, 16, 17, 40] {
+        let mut s = p.static_session();
+        let mut d = p.dynamic_session();
+        assert_eq!(run_dotp(&mut s, n, 16), expected(n), "static n={n}");
+        assert_eq!(run_dotp(&mut d, n, 16), expected(n), "dynamic n={n}");
+    }
+}
+
+/// §2.2.5's other example: specialize only "values that are particularly
+/// amenable to optimization" — here, only power-of-two strides benefit
+/// from strength reduction, so only they are specialized.
+#[test]
+fn value_dependent_guard() {
+    let src = r#"
+        int scale_sum(int a[n], int n, int stride) {
+            int p2 = stride & (stride - 1);
+            if (p2 == 0) {
+                make_static(stride);
+            }
+            int sum = 0;
+            int i = 0;
+            while (i < n) {
+                sum = sum + a[i] * stride;
+                i = i + 1;
+            }
+            return sum;
+        }
+    "#;
+    let p = Compiler::new().compile(src).unwrap();
+    let mut d = p.dynamic_session();
+    let a = d.alloc(8);
+    d.mem().write_ints(a, &[1, 2, 3, 4, 5, 6, 7, 8]);
+
+    // Power-of-two stride: specialized, multiply strength-reduced.
+    let out = d.run("scale_sum", &[Value::I(a), Value::I(8), Value::I(8)]).unwrap();
+    assert_eq!(out, Some(Value::I(36 * 8)));
+    let rt = d.rt_stats().unwrap();
+    assert_eq!(rt.specializations, 1);
+    assert!(rt.strength_reductions >= 1);
+    let code = d.disassemble_matching("scale_sum$spec");
+    assert!(code.contains("shl"), "stride 8 becomes a shift:\n{code}");
+
+    // Non-power-of-two stride: general path, no new specialization.
+    let out = d.run("scale_sum", &[Value::I(a), Value::I(8), Value::I(7)]).unwrap();
+    assert_eq!(out, Some(Value::I(36 * 7)));
+    assert_eq!(d.rt_stats().unwrap().specializations, 1);
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration: the full pipeline (parse → lower → optimize →
+//! stage → dispatch → specialize → execute) driven through the public API,
+//! plus structural checks that span crates.
+
+use dyc::{Compiler, OptConfig, Value};
+use dyc_lang::{parse_program, pretty};
+use dyc_workloads::{all, Workload};
+
+#[test]
+fn every_workload_region_is_correct_in_both_builds() {
+    for w in all() {
+        let m = w.meta();
+        let program = Compiler::new()
+            .compile(&w.source())
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        for (label, mut sess) in
+            [("static", program.static_session()), ("dynamic", program.dynamic_session())]
+        {
+            sess.set_step_limit(200_000_000);
+            let args = w.setup_region(&mut sess);
+            let out = sess
+                .run(m.region_func, &args)
+                .unwrap_or_else(|e| panic!("{} ({label}): {e}", m.name));
+            assert!(
+                w.check_region(out, &mut sess),
+                "{} ({label}): wrong result {out:?}",
+                m.name
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_sources_round_trip_through_the_pretty_printer() {
+    for w in all() {
+        let m = w.meta();
+        let ast1 = parse_program(&w.source()).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        let printed = pretty::program_to_string(&ast1);
+        let ast2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("{}: re-parse failed: {e}\n{printed}", m.name));
+        assert_eq!(ast1, ast2, "{}: round trip changed the AST", m.name);
+    }
+}
+
+#[test]
+fn sessions_are_isolated() {
+    let src = r#"
+        int bump(int k, int d) {
+            make_static(k);
+            return k + d;
+        }
+    "#;
+    let p = Compiler::new().compile(src).unwrap();
+    let mut a = p.dynamic_session();
+    let mut b = p.dynamic_session();
+    a.run("bump", &[Value::I(1), Value::I(0)]).unwrap();
+    a.run("bump", &[Value::I(2), Value::I(0)]).unwrap();
+    // Session b has its own cache: its first call must specialize afresh.
+    b.run("bump", &[Value::I(1), Value::I(0)]).unwrap();
+    assert_eq!(a.rt_stats().unwrap().specializations, 2);
+    assert_eq!(b.rt_stats().unwrap().specializations, 1);
+}
+
+#[test]
+fn dynamic_module_grows_as_specializations_accumulate() {
+    let src = "int f(int k, int d) { make_static(k); return k * d; }";
+    let p = Compiler::new().compile(src).unwrap();
+    let mut s = p.dynamic_session();
+    let base = s.module_len();
+    for k in 0..5 {
+        s.run("f", &[Value::I(k), Value::I(2)]).unwrap();
+    }
+    assert_eq!(s.module_len(), base + 5);
+    assert_eq!(s.generated_functions().len(), 5);
+}
+
+#[test]
+fn mutually_calling_regions_specialize_independently() {
+    let src = r#"
+        int inner(int n, int d) {
+            make_static(n);
+            int s = 0;
+            int i = 0;
+            while (i < n) { s = s + d; i = i + 1; }
+            return s;
+        }
+        int outer(int m, int d) {
+            make_static(m);
+            int acc = 0;
+            int j = 0;
+            while (j < m) { acc = acc + inner(j, d); j = j + 1; }
+            return acc;
+        }
+    "#;
+    let p = Compiler::new().compile(src).unwrap();
+    let mut s = p.static_session();
+    let mut d = p.dynamic_session();
+    let sv = s.run("outer", &[Value::I(5), Value::I(3)]).unwrap();
+    let dv = d.run("outer", &[Value::I(5), Value::I(3)]).unwrap();
+    assert_eq!(sv, dv);
+    // outer(5) with inner(j) for j=0..4: note inner's calls happen from
+    // *specialized* outer code, and each distinct j gets its own version.
+    let rt = d.rt_stats().unwrap();
+    assert_eq!(rt.specializations, 6, "outer + inner for j in 0..5");
+    // A second call with the same m reuses everything.
+    d.run("outer", &[Value::I(5), Value::I(9)]).unwrap();
+    assert_eq!(d.rt_stats().unwrap().specializations, 6);
+}
+
+#[test]
+fn ablations_change_code_shape_but_not_results() {
+    let w = dyc_workloads::pnmconvol::Pnmconvol::tiny();
+    let mut generated = Vec::new();
+    for feature in OptConfig::feature_names() {
+        let cfg = OptConfig::all().without(feature).unwrap();
+        let p = Compiler::with_config(cfg).compile(&w.source()).unwrap();
+        let mut d = p.dynamic_session();
+        let args = w.setup_region(&mut d);
+        d.run("do_convol", &args).unwrap();
+        assert!(w.check_region(None, &mut d), "feature '{feature}' broke the result");
+        generated.push((feature, d.rt_stats().unwrap().instrs_generated));
+    }
+    // Disabling DAE must generate more code than disabling, say, static
+    // calls (which pnmconvol does not use).
+    let get = |f: &str| generated.iter().find(|(n, _)| *n == &f).unwrap().1;
+    assert!(get("dead_assignment_elimination") > get("static_calls"));
+    // Disabling unrolling generates far less code (no unrolled bodies).
+    assert!(get("complete_loop_unrolling") < get("static_calls"));
+}
+
+#[test]
+fn the_paper_example_matches_figure_four_shape() {
+    // 3×3 alternating matrix, zeroes in the corners (paper Figures 2–4).
+    let p = Compiler::new().compile(dyc_workloads::pnmconvol::SOURCE).unwrap();
+    let mut d = p.dynamic_session();
+    let buf = d.alloc(200);
+    for i in 0..200 {
+        d.mem().write_float(buf + i, 0.125 * (i % 5) as f64);
+    }
+    let image = buf + 7; // 6 columns, half = 1
+    let cm = d.alloc(9);
+    d.mem().write_floats(cm, &[0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+    let out = d.alloc(36);
+    d.run(
+        "do_convol",
+        &[
+            Value::I(image),
+            Value::I(6),
+            Value::I(6),
+            Value::I(cm),
+            Value::I(3),
+            Value::I(3),
+            Value::I(out),
+        ],
+    )
+    .unwrap();
+    let name = d.generated_functions()[0].clone();
+    let code = d.disassemble(&name).unwrap();
+    // Figure 4: only the four unit weights survive — four loads and four
+    // adds per pixel, no multiplies at all.
+    assert_eq!(code.matches("fmul").count(), 0, "{code}");
+    assert_eq!(code.matches("ldf").count(), 4, "{code}");
+    let rt = d.rt_stats().unwrap();
+    assert!(rt.dae_removed >= 5, "the five zero-weight loads die");
+}

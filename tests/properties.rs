@@ -1,0 +1,161 @@
+//! Additional property-based tests:
+//!
+//! * the independent AST reference interpreter agrees with the compiled
+//!   builds (a third oracle that does not share the IR/VM code paths);
+//! * the lexer never panics on arbitrary input;
+//! * the pretty printer round-trips generated programs;
+//! * the double-hash dynamic-code cache behaves like a map.
+
+use dyc::{Compiler, Value};
+use dyc_lang::{parse_program, pretty, EvalValue, Evaluator};
+use dyc_rt::DoubleHashCache;
+use dyc_vm::FuncId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reuses the structured generator idea from `tests/equivalence.rs`, but
+/// produces programs through string templates (kept local: the two suites
+/// evolve independently).
+fn expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (-9i64..9).prop_map(|v| v.to_string()),
+        Just("p0".to_string()),
+        Just("p1".to_string()),
+        Just("x".to_string()),
+        Just("a[iabs(x) % 4]".to_string()),
+    ];
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*")])
+                .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
+            (inner.clone(), 1i64..5).prop_map(|(l, r)| format!("({l} % {r})")),
+            (inner.clone(), inner, prop_oneof![Just("<"), Just("==")])
+                .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
+        ]
+    })
+    .boxed()
+}
+
+fn stmt() -> BoxedStrategy<String> {
+    let simple = prop_oneof![
+        expr(2).prop_map(|e| format!("x = {e};")),
+        (0i64..4, expr(2)).prop_map(|(i, e)| format!("a[{i}] = {e};")),
+        expr(1).prop_map(|e| format!("print_int({e});")),
+    ];
+    simple
+        .prop_recursive(2, 10, 3, |inner| {
+            prop_oneof![
+                (expr(1), inner.clone(), inner.clone())
+                    .prop_map(|(c, t, f)| format!("if ({c}) {{ {t} }} else {{ {f} }}")),
+                (1i64..4, inner.clone()).prop_map(|(n, b)| format!(
+                    "{{ int t = 0; while (t < {n}) {{ {b} t = t + 1; }} }}"
+                )),
+                (inner.clone(), inner).prop_map(|(a, b)| format!("{a} {b}")),
+            ]
+        })
+        .boxed()
+}
+
+fn program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(stmt(), 1..4).prop_map(|stmts| {
+        format!(
+            r#"
+            int f(int p0, int p1, int a[4]) {{
+                int x = 0;
+                make_static(p0);
+                {}
+                return x + a[0] - a[3];
+            }}
+            "#,
+            stmts.join("\n                ")
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Three-way oracle: AST interpreter vs static build vs dynamic build.
+    #[test]
+    fn reference_interpreter_agrees_with_both_builds(
+        src in program(),
+        p0 in -5i64..5,
+        p1 in -20i64..20,
+        mem in proptest::collection::vec(-9i64..9, 4),
+    ) {
+        // Reference semantics.
+        let ast = parse_program(&src).unwrap();
+        let mut ev = Evaluator::new(&ast, 4);
+        ev.set_step_limit(1_000_000);
+        ev.write_ints(0, &mem);
+        let reference = ev.call("f", &[EvalValue::I(p0), EvalValue::I(p1), EvalValue::I(0)]);
+
+        let compiled = Compiler::new().compile(&src).unwrap();
+        for dynamic in [false, true] {
+            let mut sess =
+                if dynamic { compiled.dynamic_session() } else { compiled.static_session() };
+            sess.set_step_limit(2_000_000);
+            let a = sess.alloc(4);
+            sess.mem().write_ints(a, &mem);
+            let got = sess.run("f", &[Value::I(p0), Value::I(p1), Value::I(a)]);
+            match (&reference, &got) {
+                (Ok(Some(EvalValue::I(r))), Ok(Some(Value::I(g)))) => {
+                    prop_assert_eq!(r, g, "build dynamic={} of:\n{}", dynamic, src);
+                    // Printed output and memory must match too.
+                    let ref_out: Vec<i64> = ev.output.iter().map(|v| match v {
+                        EvalValue::I(i) => *i,
+                        EvalValue::F(f) => *f as i64,
+                    }).collect();
+                    let got_out: Vec<i64> =
+                        sess.output().iter().map(|v| v.as_i()).collect();
+                    prop_assert_eq!(&ref_out, &got_out, "output of:\n{}", src);
+                    prop_assert_eq!(
+                        ev.read_ints(0, 4),
+                        sess.mem().read_ints(a, 4),
+                        "memory of:\n{}", src
+                    );
+                }
+                (Err(_), Err(_)) => {}
+                (r, g) => prop_assert!(false, "ref {:?} vs compiled {:?}\n{}", r, g, src),
+            }
+        }
+    }
+
+    /// The lexer is total: arbitrary bytes never panic it.
+    #[test]
+    fn lexer_never_panics(input in "\\PC*") {
+        let _ = dyc_lang::lex(&input);
+    }
+
+    /// Pretty-printing a generated program re-parses to the same AST.
+    #[test]
+    fn pretty_round_trip(src in program()) {
+        let ast1 = parse_program(&src).unwrap();
+        let printed = pretty::program_to_string(&ast1);
+        let ast2 = parse_program(&printed).unwrap();
+        prop_assert_eq!(ast1, ast2, "printed:\n{}", printed);
+    }
+
+    /// The double-hash code cache behaves exactly like a map from key
+    /// vectors to function ids.
+    #[test]
+    fn code_cache_is_a_map(
+        ops in proptest::collection::vec(
+            (proptest::collection::vec(0u64..32, 1..3), 0u32..64), 1..200
+        )
+    ) {
+        let mut cache = DoubleHashCache::new();
+        let mut model: HashMap<Vec<u64>, u32> = HashMap::new();
+        for (key, fid) in &ops {
+            // Interleave lookups and inserts.
+            let expected = model.get(key).map(|v| FuncId(*v));
+            prop_assert_eq!(cache.lookup(key).value, expected);
+            cache.insert(key.clone(), FuncId(*fid));
+            model.insert(key.clone(), *fid);
+        }
+        for (key, fid) in &model {
+            prop_assert_eq!(cache.lookup(key).value, Some(FuncId(*fid)));
+        }
+        prop_assert_eq!(cache.len(), model.len());
+    }
+}
