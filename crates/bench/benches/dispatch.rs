@@ -1,8 +1,8 @@
 //! Wall-clock dispatch costs: unchecked (cache-one) vs double-hashed
 //! (cache-all) region entry, the real-time analogue of §4.4.3.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dyc::{Compiler, OptConfig, Value};
+use dyc_bench::timing::Group;
 
 const SRC: &str = r#"
     int hashed(int key, int d) {
@@ -15,20 +15,26 @@ const SRC: &str = r#"
     }
 "#;
 
-fn bench_dispatch(c: &mut Criterion) {
-    let program = Compiler::with_config(OptConfig::all()).compile(SRC).unwrap();
-    let mut g = c.benchmark_group("dispatch");
+fn main() {
+    let program = Compiler::with_config(OptConfig::all())
+        .compile(SRC)
+        .unwrap();
+    let mut g = Group::new("dispatch");
 
     let mut unchecked = program.dynamic_session();
-    unchecked.run("unchecked", &[Value::I(9), Value::I(1)]).unwrap();
-    g.bench_function("cache_one_unchecked", |b| {
-        b.iter(|| unchecked.run("unchecked", &[Value::I(9), Value::I(2)]).unwrap())
+    unchecked
+        .run("unchecked", &[Value::I(9), Value::I(1)])
+        .unwrap();
+    g.bench("cache_one_unchecked", || {
+        unchecked
+            .run("unchecked", &[Value::I(9), Value::I(2)])
+            .unwrap()
     });
 
     let mut hashed = program.dynamic_session();
     hashed.run("hashed", &[Value::I(9), Value::I(1)]).unwrap();
-    g.bench_function("cache_all_hit", |b| {
-        b.iter(|| hashed.run("hashed", &[Value::I(9), Value::I(2)]).unwrap())
+    g.bench("cache_all_hit", || {
+        hashed.run("hashed", &[Value::I(9), Value::I(2)]).unwrap()
     });
 
     // Populated cache: many live specializations.
@@ -37,14 +43,8 @@ fn bench_dispatch(c: &mut Criterion) {
         busy.run("hashed", &[Value::I(k), Value::I(1)]).unwrap();
     }
     let mut k = 0i64;
-    g.bench_function("cache_all_hit_256_versions", |b| {
-        b.iter(|| {
-            k = (k + 37) % 256;
-            busy.run("hashed", &[Value::I(k), Value::I(2)]).unwrap()
-        })
+    g.bench("cache_all_hit_256_versions", || {
+        k = (k + 37) % 256;
+        busy.run("hashed", &[Value::I(k), Value::I(2)]).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_dispatch);
-criterion_main!(benches);

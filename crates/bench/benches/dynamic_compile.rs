@@ -1,52 +1,54 @@
 //! Wall-clock cost of the dynamic compiler itself: how long one
 //! specialization takes for each benchmark's region (the real-time
 //! analogue of Table 3's overhead column — our generating extension is a
-//! Rust interpreter over the staged IR, so absolute times are not the
-//! paper's, but relative costs across benchmarks track the same structure:
-//! instructions generated and static computations executed).
+//! Rust interpreter over the staged GE program, so absolute times are not
+//! the paper's, but relative costs across benchmarks track the same
+//! structure: instructions generated and static computations executed).
+//!
+//! The `specialize` group runs the staged GE executor; `specialize_online`
+//! runs the legacy online specializer for comparison — the staged path
+//! should win since it does no binding-time classification at run time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dyc::{Compiler, OptConfig};
+use dyc_bench::timing::Group;
 use dyc_workloads::all;
 
-fn bench_specialization(c: &mut Criterion) {
-    let mut g = c.benchmark_group("specialize");
-    g.sample_size(20);
+fn bench_specialization(staged: bool) {
+    let mut g = Group::new(if staged {
+        "specialize"
+    } else {
+        "specialize_online"
+    });
+    let mut cfg = OptConfig::all();
+    cfg.staged_ge = staged;
     for w in all() {
         let meta = w.meta();
-        let program = Compiler::with_config(OptConfig::all())
+        let program = Compiler::with_config(cfg)
             .compile(&w.source())
             .expect("workload compiles");
-        g.bench_function(meta.name, |b| {
-            b.iter_with_setup(
-                || {
-                    let mut sess = program.dynamic_session();
-                    let args = w.setup_region(&mut sess);
-                    (sess, args)
-                },
-                |(mut sess, args)| {
-                    // The first call performs the specialization.
-                    sess.run(meta.region_func, &args).unwrap();
-                    sess
-                },
-            );
+        g.bench(meta.name, || {
+            let mut sess = program.dynamic_session();
+            let args = w.setup_region(&mut sess);
+            // The first call performs the specialization.
+            sess.run(meta.region_func, &args).unwrap();
+            sess
         });
     }
-    g.finish();
 }
 
-fn bench_static_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("static_compile");
-    g.sample_size(20);
+fn bench_static_compile() {
+    let mut g = Group::new("static_compile");
     for w in all() {
         let meta = w.meta();
         let src = w.source();
-        g.bench_function(meta.name, |b| {
-            b.iter(|| Compiler::new().compile(&src).expect("compiles"));
+        g.bench(meta.name, || {
+            Compiler::new().compile(&src).expect("compiles")
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_specialization, bench_static_compile);
-criterion_main!(benches);
+fn main() {
+    bench_specialization(true);
+    bench_specialization(false);
+    bench_static_compile();
+}

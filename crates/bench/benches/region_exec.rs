@@ -4,41 +4,34 @@
 //! real time too, since specialized code simply executes fewer VM
 //! instructions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dyc::{Compiler, OptConfig};
+use dyc_bench::timing::Group;
 use dyc_workloads::by_name;
 
 const BENCHES: &[&str] = &["dotproduct", "query", "binary", "chebyshev", "dinero"];
 
-fn bench_regions(c: &mut Criterion) {
+fn main() {
     for name in BENCHES {
         let w = by_name(name).expect("known workload");
         let meta = w.meta();
-        let program =
-            Compiler::with_config(OptConfig::all()).compile(&w.source()).unwrap();
-        let mut g = c.benchmark_group(format!("region/{name}"));
+        let program = Compiler::with_config(OptConfig::all())
+            .compile(&w.source())
+            .unwrap();
+        let mut g = Group::new(format!("region/{name}"));
 
         let mut stat = program.static_session();
         let sargs = w.setup_region(&mut stat);
-        g.bench_function("static", |b| {
-            b.iter(|| {
-                w.reset(&mut stat, &sargs);
-                stat.run(meta.region_func, &sargs).unwrap()
-            })
+        g.bench("static", || {
+            w.reset(&mut stat, &sargs);
+            stat.run(meta.region_func, &sargs).unwrap()
         });
 
         let mut dynm = program.dynamic_session();
         let dargs = w.setup_region(&mut dynm);
         dynm.run(meta.region_func, &dargs).unwrap(); // specialize once
-        g.bench_function("specialized", |b| {
-            b.iter(|| {
-                w.reset(&mut dynm, &dargs);
-                dynm.run(meta.region_func, &dargs).unwrap()
-            })
+        g.bench("specialized", || {
+            w.reset(&mut dynm, &dargs);
+            dynm.run(meta.region_func, &dargs).unwrap()
         });
-        g.finish();
     }
 }
-
-criterion_group!(benches, bench_regions);
-criterion_main!(benches);

@@ -2,18 +2,33 @@
 //! without the I-cache model — the substrate cost underneath every other
 //! measurement.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use dyc_vm::{CodeFunc, Cc, CostModel, FuncId, IAluOp, Instr, Module, Operand, Value, Vm};
+use dyc_bench::timing::Group;
+use dyc_vm::{Cc, CodeFunc, CostModel, FuncId, IAluOp, Instr, Module, Operand, Value, Vm};
 
 /// A counted loop executing `4 + n*4` instructions.
 fn loop_module() -> (Module, FuncId) {
     let mut f = CodeFunc::new("spin", 1, 4);
     f.push(Instr::MovI { dst: 1, imm: 0 }); // sum
     f.push(Instr::MovI { dst: 2, imm: 0 }); // i
-    f.push(Instr::ICmp { cc: Cc::Lt, dst: 3, a: 2, b: Operand::Reg(0) }); // 2:
+    f.push(Instr::ICmp {
+        cc: Cc::Lt,
+        dst: 3,
+        a: 2,
+        b: Operand::Reg(0),
+    }); // 2:
     f.push(Instr::Brz { cond: 3, target: 7 });
-    f.push(Instr::IAlu { op: IAluOp::Add, dst: 1, a: 1, b: Operand::Reg(2) });
-    f.push(Instr::IAlu { op: IAluOp::Add, dst: 2, a: 2, b: Operand::Imm(1) });
+    f.push(Instr::IAlu {
+        op: IAluOp::Add,
+        dst: 1,
+        a: 1,
+        b: Operand::Reg(2),
+    });
+    f.push(Instr::IAlu {
+        op: IAluOp::Add,
+        dst: 2,
+        a: 2,
+        b: Operand::Imm(1),
+    });
     f.push(Instr::Jmp { target: 2 });
     f.push(Instr::Ret { src: Some(1) });
     let mut m = Module::new();
@@ -21,24 +36,20 @@ fn loop_module() -> (Module, FuncId) {
     (m, id)
 }
 
-fn bench_vm(c: &mut Criterion) {
+fn main() {
     let n = 10_000i64;
     let instrs = 4 + n as u64 * 4;
-    let mut g = c.benchmark_group("vm");
-    g.throughput(Throughput::Elements(instrs));
+    let mut g = Group::new("vm");
+    g.throughput(instrs);
 
     let (mut m, id) = loop_module();
     let mut vm = Vm::new(CostModel::alpha21164());
-    g.bench_function("with_icache", |b| {
-        b.iter(|| vm.call(&mut m, id, &[Value::I(n)]).unwrap())
+    g.bench("with_icache", || {
+        vm.call(&mut m, id, &[Value::I(n)]).unwrap()
     });
 
     let mut vm = Vm::without_icache(CostModel::alpha21164());
-    g.bench_function("perfect_icache", |b| {
-        b.iter(|| vm.call(&mut m, id, &[Value::I(n)]).unwrap())
+    g.bench("perfect_icache", || {
+        vm.call(&mut m, id, &[Value::I(n)]).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_vm);
-criterion_main!(benches);

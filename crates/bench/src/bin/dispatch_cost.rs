@@ -19,7 +19,9 @@ const SRC: &str = r#"
 "#;
 
 fn per_dispatch(func: &str, keys: &[i64]) -> f64 {
-    let p = Compiler::with_config(OptConfig::all()).compile(SRC).unwrap();
+    let p = Compiler::with_config(OptConfig::all())
+        .compile(SRC)
+        .unwrap();
     let mut d = p.dynamic_session();
     // Warm: compile one version per key value.
     for &k in keys {

@@ -48,7 +48,11 @@ fn specialize(cfg: OptConfig) -> (String, u64, u64) {
     .unwrap();
     let rt = d.rt_stats().unwrap();
     let name = d.generated_functions()[0].clone();
-    (d.disassemble(&name).unwrap(), rt.instrs_generated, rt.dae_removed)
+    (
+        d.disassemble(&name).unwrap(),
+        rt.instrs_generated,
+        rt.dae_removed,
+    )
 }
 
 fn main() {

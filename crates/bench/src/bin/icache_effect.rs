@@ -22,10 +22,15 @@ fn main() {
     let cache_instrs = 2048u64; // 8kB / 4B per instruction
     let w = Pnmconvol::default();
     println!("pnmconvol generated-code size vs the 8kB direct-mapped I-cache");
-    println!("(reproduction of §4.4.4; {} instructions fit)\n", cache_instrs);
+    println!(
+        "(reproduction of §4.4.4; {} instructions fit)\n",
+        cache_instrs
+    );
 
     let with_dae = OptConfig::all();
-    let without_dae = OptConfig::all().without("dead_assignment_elimination").unwrap();
+    let without_dae = OptConfig::all()
+        .without("dead_assignment_elimination")
+        .unwrap();
 
     let n_with = generated_instrs(&w, with_dae);
     let n_without = generated_instrs(&w, without_dae);

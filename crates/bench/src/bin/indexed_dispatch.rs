@@ -14,13 +14,19 @@ use dyc_workloads::unrle::Unrle;
 use dyc_workloads::Workload;
 
 fn measure(src: &str, w: &Unrle) -> (u64, u64, u64) {
-    let p = Compiler::with_config(OptConfig::all()).compile(src).unwrap();
+    let p = Compiler::with_config(OptConfig::all())
+        .compile(src)
+        .unwrap();
     let mut d = p.dynamic_session();
     let args = w.setup_region(&mut d);
     d.run("decode", &args).unwrap(); // compile all byte versions
     assert!(w.check_region(d.run("decode", &args).unwrap(), &mut d));
     let (_, steady) = d.run_measured("decode", &args).unwrap();
-    (steady.run_cycles(), steady.dispatch_cycles, steady.dispatches)
+    (
+        steady.run_cycles(),
+        steady.dispatch_cycles,
+        steady.dispatches,
+    )
 }
 
 fn main() {

@@ -21,7 +21,14 @@ fn display_name(name: &str, region: &str) -> String {
 fn main() {
     println!("Table 2: Optimizations Used by Each Program (reproduction)\n");
     let cols = [
-        "Unroll", "DAE", "Zero&Copy", "StLoads", "Unchecked", "StCalls", "StrRed", "IntProm",
+        "Unroll",
+        "DAE",
+        "Zero&Copy",
+        "StLoads",
+        "Unchecked",
+        "StCalls",
+        "StrRed",
+        "IntProm",
         "PolyDiv",
     ];
     let mut header = cell("Dynamic Region", 20);

@@ -34,14 +34,28 @@ fn paper_row(name: &str) -> Option<(f64, u64, u64)> {
 
 fn print_row(w: &dyn Workload, reps: u32) {
     let m = w.meta();
+    // Primary measurement: the staged GE executor. The online specializer
+    // rerun isolates what precompiling the generating extension saves.
     let r = measure_region(w, OptConfig::all(), reps);
+    let online = measure_region(w, OptConfig::all().without("staged_ge").unwrap(), reps);
+    assert_eq!(
+        r.instrs_generated, online.instrs_generated,
+        "{}: the two paths must generate identical code",
+        m.name
+    );
     let paper = paper_row(m.name);
     println!(
         "{}{}{}{}{}{}",
         cell(&display_name(m.name, m.region_func), 22),
         cell(&fmt_speedup(r.asymptotic_speedup), 9),
         cell(&fmt_break_even(&r, m.break_even_unit), 38),
-        cell(&format!("{:.0}", r.overhead_per_instr), 11),
+        cell(
+            &format!(
+                "{:.0} ({:.0})",
+                r.overhead_per_instr, online.overhead_per_instr
+            ),
+            13
+        ),
         cell(&r.instrs_generated.to_string(), 11),
         cell(
             &paper
@@ -74,7 +88,7 @@ fn main() {
         cell("Dynamic Region", 22),
         cell("Speedup", 9),
         cell("Break-Even Point", 38),
-        cell("DCcy/instr", 11),
+        cell("DCcy/instr", 13),
         cell("#Instrs", 11),
         cell("paper: spd/ovh/instrs", 24),
     );
@@ -91,6 +105,11 @@ fn main() {
         print_row(&M88ksim::with_breakpoints(n), reps);
     }
 
+    println!();
+    println!("DCcy/instr is the staged GE executor; the parenthesized figure is the");
+    println!("online specializer rerun on the same region (same generated code, but");
+    println!("binding-time classification, liveness queries, and edge planning redone");
+    println!("at run time). Staged must be strictly lower on every row.");
     println!();
     println!("Notes: cycles are modeled (Alpha-21164-calibrated cost model + 8kB direct-");
     println!("mapped I-cache). The paper's absolute values depend on Multiflow codegen;");

@@ -52,7 +52,9 @@ fn main() {
             cell(&format!("{:.1}%", r.region_fraction * 100.0), 13),
             cell(&format!("{:.2}", r.speedup), 9),
             cell(
-                &paper.map(|(p, s)| format!("{p:.1}% / {s:.2}")).unwrap_or_default(),
+                &paper
+                    .map(|(p, s)| format!("{p:.1}% / {s:.2}"))
+                    .unwrap_or_default(),
                 20
             ),
         );

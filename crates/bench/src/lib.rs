@@ -2,11 +2,13 @@
 //!
 //! One binary per table of the paper (`cargo run --release -p dyc-bench
 //! --bin tableN`), a `figures` binary for Figures 2–4, plus targeted
-//! harnesses for the §4.2/§4.4.3 analyses. Criterion benches (wall-clock
-//! measurements of the real Rust dynamic compiler and VM) live under
-//! `benches/`.
+//! harnesses for the §4.2/§4.4.3 analyses. Wall-clock benches
+//! (measurements of the real Rust dynamic compiler and VM, on the
+//! in-tree [`timing`] harness) live under `benches/`.
 //!
 //! Shared formatting helpers live here.
+
+pub mod timing;
 
 use dyc_workloads::measure::RegionReport;
 

@@ -1,0 +1,102 @@
+//! A minimal wall-clock benchmark harness for the `benches/` binaries.
+//!
+//! The wall-clock benches need no statistics engine — just warmup,
+//! auto-calibrated iteration counts, and median-of-samples reporting —
+//! so this ~80-line harness replaces the former `criterion` dependency
+//! and keeps the workspace building without registry access.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Samples taken per benchmark (median is reported).
+const SAMPLES: usize = 15;
+
+/// Prevent the optimizer from discarding a benchmark's result.
+pub fn black_box<T>(x: T) -> T {
+    // Volatile read of a pointer to the value: the value must exist.
+    unsafe {
+        let ret = std::ptr::read_volatile(&x);
+        std::mem::forget(x);
+        ret
+    }
+}
+
+/// A named group of benchmarks, printed as `group/name  median  (per-elem)`.
+pub struct Group {
+    name: String,
+    /// When set, per-iteration times are also divided by this element
+    /// count (e.g. instructions executed) for a throughput figure.
+    elements: Option<u64>,
+}
+
+impl Group {
+    pub fn new(name: impl Into<String>) -> Group {
+        Group {
+            name: name.into(),
+            elements: None,
+        }
+    }
+
+    /// Report a per-element rate alongside the per-iteration time.
+    pub fn throughput(&mut self, elements: u64) {
+        self.elements = Some(elements);
+    }
+
+    /// Measure `f` (one call = one iteration) and print the result.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Calibrate: how many iterations fill TARGET / SAMPLES?
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed * (SAMPLES as u32) >= TARGET || iters >= 1 << 24 {
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                (iters * 2).max(
+                    (TARGET.as_nanos() / SAMPLES as u128 / elapsed.as_nanos().max(1)) as u64
+                        * iters
+                        / 2,
+                )
+            };
+        }
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[SAMPLES / 2];
+        let label = format!("{}/{}", self.name, name);
+        match self.elements {
+            Some(n) => println!(
+                "{label:<44} {:>12}/iter  {:>10}/elem",
+                fmt_ns(median),
+                fmt_ns(median / n as f64)
+            ),
+            None => println!("{label:<44} {:>12}/iter", fmt_ns(median)),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}

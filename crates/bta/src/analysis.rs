@@ -104,7 +104,11 @@ pub fn analyze(f: &FuncIr, cfg: &OptConfig) -> Bta {
                 for (v, p) in vars {
                     policies.insert(*v, *p);
                 }
-                entries.push(RegionEntry { block: b, inst_idx: i, vars: vars.clone() });
+                entries.push(RegionEntry {
+                    block: b,
+                    inst_idx: i,
+                    vars: vars.clone(),
+                });
             }
         }
     }
@@ -114,10 +118,15 @@ pub fn analyze(f: &FuncIr, cfg: &OptConfig) -> Bta {
     // actually have a static exit test, and re-analyze with the
     // non-unrollable headers demoting — the unrollable set only shrinks,
     // so this terminates in at most #loops rounds.
-    let mut unrollable: HashSet<BlockId> =
-        if cfg.complete_loop_unrolling { loops.iter().map(|l| l.header).collect() } else { HashSet::new() };
-    let mut unroll_keep: HashMap<BlockId, BTreeSet<VReg>> =
-        loops.iter().map(|l| (l.header, loop_assigned[&l.header].clone())).collect();
+    let mut unrollable: HashSet<BlockId> = if cfg.complete_loop_unrolling {
+        loops.iter().map(|l| l.header).collect()
+    } else {
+        HashSet::new()
+    };
+    let mut unroll_keep: HashMap<BlockId, BTreeSet<VReg>> = loops
+        .iter()
+        .map(|l| (l.header, loop_assigned[&l.header].clone()))
+        .collect();
     let mut static_in;
     let mut rounds = 0;
     loop {
@@ -173,7 +182,9 @@ pub fn analyze(f: &FuncIr, cfg: &OptConfig) -> Bta {
                 };
                 let mut set = BTreeSet::new();
                 set.insert(cond);
-                static_closure_over_body(f, cfg, l, &opt_in, &mut set);
+                if !static_closure_over_body(f, cfg, l, &opt_in, &mut set) {
+                    continue;
+                }
                 set.retain(|v| live.live_in[l.header.index()].contains(v));
                 deps.push(set);
             }
@@ -224,17 +235,23 @@ fn optimistic_fixpoint(f: &FuncIr, cfg: &OptConfig) -> Vec<BTreeSet<VReg>> {
 }
 
 /// Backward closure of `set` through the loop body's *static*
-/// computations only: a dynamic definition of a tracked variable is a
+/// computations only. A dynamic definition of a tracked variable is a
 /// promotion boundary (the value arrives by promotion, not by a
-/// dependency chain), so its operands are not dependencies of the exit
-/// test.
+/// dependency chain) — but only when a `promote` annotation in the loop
+/// actually re-staticizes that variable. Without one, the exit test
+/// consumes a value the specializer can never know, so the test cannot
+/// drive complete unrolling: following static control flow, only the
+/// arms that keep the variable static are ever taken, and an exit that
+/// depends on the dynamic arm never fires (the mipsi fetch loop without
+/// static loads unrolls `pc = pc + 1` forever, past every bound).
+/// Returns `false` when the set is unsatisfiable for that reason.
 fn static_closure_over_body(
     f: &FuncIr,
     cfg: &OptConfig,
     l: &NaturalLoop,
     opt_in: &[BTreeSet<VReg>],
     set: &mut BTreeSet<VReg>,
-) {
+) -> bool {
     loop {
         let before = set.len();
         for &b in &l.body {
@@ -265,10 +282,9 @@ fn static_closure_over_body(
                             s.insert(*v);
                         }
                     }
-                    Inst::Promote { var }
-                        if cfg.internal_promotions => {
-                            s.insert(*var);
-                        }
+                    Inst::Promote { var } if cfg.internal_promotions => {
+                        s.insert(*var);
+                    }
                     Inst::MakeDynamic { vars } => {
                         for v in vars {
                             s.remove(v);
@@ -279,9 +295,61 @@ fn static_closure_over_body(
             }
         }
         if set.len() == before {
-            return;
+            break;
         }
     }
+    // Unsatisfiable if a tracked variable has an in-loop dynamic
+    // definition with no promotion re-staticizing it — matched per
+    // site: the `promote` must follow the definition in the same
+    // block, and promotions must be enabled (an inert annotation
+    // leaves the value dynamic, so the chain really does end there).
+    for &b in &l.body {
+        let mut s = opt_in[b.index()].clone();
+        let insts = &f.block(b).insts;
+        for (i, inst) in insts.iter().enumerate() {
+            let is_static = {
+                let s_ref = &s;
+                inst_binding(inst, &|v| s_ref.contains(&v), cfg)
+            };
+            if let Some(d) = inst.def() {
+                if set.contains(&d) && is_static == Binding::Dynamic {
+                    let repromoted = cfg.internal_promotions
+                        && insts[i + 1..]
+                            .iter()
+                            .any(|j| matches!(j, Inst::Promote { var } if *var == d));
+                    if !repromoted {
+                        return false;
+                    }
+                }
+                match is_static {
+                    Binding::Static => {
+                        s.insert(d);
+                    }
+                    Binding::Dynamic => {
+                        s.remove(&d);
+                    }
+                    Binding::Annotation => {}
+                }
+            }
+            match inst {
+                Inst::MakeStatic { vars } => {
+                    for (v, _) in vars {
+                        s.insert(*v);
+                    }
+                }
+                Inst::Promote { var } if cfg.internal_promotions => {
+                    s.insert(*var);
+                }
+                Inst::MakeDynamic { vars } => {
+                    for v in vars {
+                        s.remove(v);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    true
 }
 
 /// The forward fixpoint with intersection meet over visited predecessors.
@@ -300,12 +368,13 @@ fn run_fixpoint(
     let mut work: VecDeque<BlockId> = VecDeque::new();
     work.push_back(f.entry);
     while let Some(b) = work.pop_front() {
-        let mut s = state[b.index()].clone().expect("on worklist implies visited");
+        let mut s = state[b.index()]
+            .clone()
+            .expect("on worklist implies visited");
         if let Some(assigned) = loop_assigned.get(&b) {
             let keep = unroll_keep.get(&b);
             for v in assigned {
-                let kept = unrollable.contains(&b)
-                    && keep.is_some_and(|k| k.contains(v));
+                let kept = unrollable.contains(&b) && keep.is_some_and(|k| k.contains(v));
                 if !kept {
                     s.remove(v);
                 }
@@ -462,7 +531,11 @@ mod tests {
     }
 
     fn named(f: &FuncIr, name: &str) -> VReg {
-        *f.vreg_names.iter().find(|(_, n)| n.as_str() == name).unwrap().0
+        *f.vreg_names
+            .iter()
+            .find(|(_, n)| n.as_str() == name)
+            .unwrap()
+            .0
     }
 
     #[test]
@@ -503,8 +576,9 @@ mod tests {
         // i is assigned in the loop: demoted. n is invariant: stays.
         assert!(b.loop_assigned[&h].contains(&i));
         // After the loop the set no longer includes i.
-        let exit_sets: Vec<_> =
-            (0..f.blocks.len()).filter(|bi| b.static_in[*bi].contains(&i)).collect();
+        let exit_sets: Vec<_> = (0..f.blocks.len())
+            .filter(|bi| b.static_in[*bi].contains(&i))
+            .collect();
         // i may be static before the loop; but inside the loop's header it
         // must have been demoted before the transfer.
         assert!(b.static_in[h.index()].contains(&n));
@@ -577,7 +651,11 @@ mod unroll_tests {
     }
 
     fn named(f: &FuncIr, name: &str) -> VReg {
-        *f.vreg_names.iter().find(|(_, n)| n.as_str() == name).unwrap().0
+        *f.vreg_names
+            .iter()
+            .find(|(_, n)| n.as_str() == name)
+            .unwrap()
+            .0
     }
 
     #[test]
@@ -589,8 +667,14 @@ mod unroll_tests {
         // The exit depends (at the header) on i and n.
         let i = named(&f, "i");
         let n = named(&f, "n");
-        assert!(deps.iter().any(|d| d.contains(&i) && d.contains(&n)), "{deps:?}");
-        assert!(b.unroll_keep_opt[h].contains(&i), "i is the induction variable");
+        assert!(
+            deps.iter().any(|d| d.contains(&i) && d.contains(&n)),
+            "{deps:?}"
+        );
+        assert!(
+            b.unroll_keep_opt[h].contains(&i),
+            "i is the induction variable"
+        );
     }
 
     #[test]
@@ -602,7 +686,10 @@ mod unroll_tests {
         let n = named(&f, "n");
         for deps in b.unroll_exit_deps.values() {
             for d in deps {
-                assert!(d.contains(&n), "every exit dep set must mention the dynamic bound");
+                assert!(
+                    d.contains(&n),
+                    "every exit dep set must mention the dynamic bound"
+                );
             }
         }
     }

@@ -34,6 +34,12 @@ pub struct OptConfig {
     /// disabled, the static store is restricted to the monovariant
     /// meet-over-paths set at each block entry.
     pub polyvariant_division: bool,
+    /// Run specialization through the precompiled generating-extension
+    /// (GE) programs instead of the legacy online specializer. Both paths
+    /// emit byte-identical code; the staged path skips all run-time
+    /// binding-time classification and liveness queries. Not a Table 5
+    /// column — an escape hatch for differential testing.
+    pub staged_ge: bool,
 }
 
 impl OptConfig {
@@ -49,6 +55,7 @@ impl OptConfig {
             strength_reduction: true,
             internal_promotions: true,
             polyvariant_division: true,
+            staged_ge: true,
         }
     }
 
@@ -66,6 +73,7 @@ impl OptConfig {
             "strength_reduction" => c.strength_reduction = false,
             "internal_promotions" => c.internal_promotions = false,
             "polyvariant_division" => c.polyvariant_division = false,
+            "staged_ge" => c.staged_ge = false,
             _ => return None,
         }
         Some(c)
@@ -122,7 +130,11 @@ mod tests {
                 c.internal_promotions != base.internal_promotions,
                 c.polyvariant_division != base.polyvariant_division,
             ];
-            assert_eq!(diff.iter().filter(|d| **d).count(), 1, "{name} flipped != 1 flag");
+            assert_eq!(
+                diff.iter().filter(|d| **d).count(),
+                1,
+                "{name} flipped != 1 flag"
+            );
         }
     }
 

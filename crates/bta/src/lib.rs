@@ -59,4 +59,4 @@ pub mod transfer;
 
 pub use analysis::{analyze, Bta, RegionEntry};
 pub use config::OptConfig;
-pub use transfer::{inst_binding, Binding};
+pub use transfer::{binding_with_set, inst_binding, Binding};

@@ -9,6 +9,7 @@
 use crate::config::OptConfig;
 use dyc_ir::inst::{Callee, Inst};
 use dyc_ir::VReg;
+use std::collections::BTreeSet;
 
 /// The binding-time of one instruction under a given static store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,11 +26,7 @@ pub enum Binding {
 
 /// Classify `inst` given a predicate describing which registers are
 /// currently static.
-pub fn inst_binding(
-    inst: &Inst,
-    is_static: &dyn Fn(VReg) -> bool,
-    cfg: &OptConfig,
-) -> Binding {
+pub fn inst_binding(inst: &Inst, is_static: &dyn Fn(VReg) -> bool, cfg: &OptConfig) -> Binding {
     match inst {
         Inst::MakeStatic { .. } | Inst::MakeDynamic { .. } | Inst::Promote { .. } => {
             Binding::Annotation
@@ -52,7 +49,12 @@ pub fn inst_binding(
                 Binding::Dynamic
             }
         }
-        Inst::Load { base, idx, is_static: annotated, .. } => {
+        Inst::Load {
+            base,
+            idx,
+            is_static: annotated,
+            ..
+        } => {
             // By default memory contents are dynamic even at constant
             // addresses; only annotated loads of invariant structure parts
             // are static computations (§2.2.6).
@@ -78,6 +80,14 @@ pub fn inst_binding(
     }
 }
 
+/// Classify `inst` against an explicit static-variable *set* — the
+/// entry point the stage-time GE lowering uses. The classification only
+/// depends on the set (never on the values it will hold at run time),
+/// which is exactly what makes binding times precomputable per division.
+pub fn binding_with_set(inst: &Inst, statics: &BTreeSet<VReg>, cfg: &OptConfig) -> Binding {
+    inst_binding(inst, &|v| statics.contains(&v), cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,7 +108,12 @@ mod tests {
     #[test]
     fn alu_needs_both_operands_static() {
         let cfg = OptConfig::all();
-        let i = Inst::IBin { op: IAluOp::Add, dst: VReg(2), a: VReg(0), b: VReg(1) };
+        let i = Inst::IBin {
+            op: IAluOp::Add,
+            dst: VReg(2),
+            a: VReg(0),
+            b: VReg(1),
+        };
         assert_eq!(inst_binding(&i, &statics(&[0, 1]), &cfg), Binding::Static);
         assert_eq!(inst_binding(&i, &statics(&[0]), &cfg), Binding::Dynamic);
     }
@@ -106,7 +121,13 @@ mod tests {
     #[test]
     fn unannotated_load_is_dynamic_even_with_static_address() {
         let cfg = OptConfig::all();
-        let i = Inst::Load { ty: IrTy::Int, dst: VReg(2), base: VReg(0), idx: VReg(1), is_static: false };
+        let i = Inst::Load {
+            ty: IrTy::Int,
+            dst: VReg(2),
+            base: VReg(0),
+            idx: VReg(1),
+            is_static: false,
+        };
         assert_eq!(inst_binding(&i, &statics(&[0, 1]), &cfg), Binding::Dynamic);
     }
 
@@ -114,7 +135,13 @@ mod tests {
     fn annotated_load_respects_config() {
         let on = OptConfig::all();
         let off = on.without("static_loads").unwrap();
-        let i = Inst::Load { ty: IrTy::Int, dst: VReg(2), base: VReg(0), idx: VReg(1), is_static: true };
+        let i = Inst::Load {
+            ty: IrTy::Int,
+            dst: VReg(2),
+            base: VReg(0),
+            idx: VReg(1),
+            is_static: true,
+        };
         assert_eq!(inst_binding(&i, &statics(&[0, 1]), &on), Binding::Static);
         assert_eq!(inst_binding(&i, &statics(&[0, 1]), &off), Binding::Dynamic);
     }
@@ -123,19 +150,35 @@ mod tests {
     fn pure_call_with_static_args_is_a_static_call() {
         let on = OptConfig::all();
         let off = on.without("static_calls").unwrap();
-        let i = Inst::Call { callee: Callee::Host(HostFn::Cos), dst: Some(VReg(1)), args: vec![VReg(0)] };
+        let i = Inst::Call {
+            callee: Callee::Host(HostFn::Cos),
+            dst: Some(VReg(1)),
+            args: vec![VReg(0)],
+        };
         assert_eq!(inst_binding(&i, &statics(&[0]), &on), Binding::Static);
         assert_eq!(inst_binding(&i, &statics(&[0]), &off), Binding::Dynamic);
         // Impure calls never become static.
-        let p = Inst::Call { callee: Callee::Host(HostFn::PrintI), dst: None, args: vec![VReg(0)] };
+        let p = Inst::Call {
+            callee: Callee::Host(HostFn::PrintI),
+            dst: None,
+            args: vec![VReg(0)],
+        };
         assert_eq!(inst_binding(&p, &statics(&[0]), &on), Binding::Dynamic);
     }
 
     #[test]
     fn stores_and_annotations_classified() {
         let cfg = OptConfig::all();
-        let s = Inst::Store { ty: IrTy::Int, base: VReg(0), idx: VReg(1), src: VReg(2) };
-        assert_eq!(inst_binding(&s, &statics(&[0, 1, 2]), &cfg), Binding::Dynamic);
+        let s = Inst::Store {
+            ty: IrTy::Int,
+            base: VReg(0),
+            idx: VReg(1),
+            src: VReg(2),
+        };
+        assert_eq!(
+            inst_binding(&s, &statics(&[0, 1, 2]), &cfg),
+            Binding::Dynamic
+        );
         let a = Inst::Promote { var: VReg(0) };
         assert_eq!(inst_binding(&a, &statics(&[]), &cfg), Binding::Annotation);
     }

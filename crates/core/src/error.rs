@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn displays_wrap_inner_errors() {
-        let e = CompileError::Parse(dyc_lang::ParseError { message: "boom".into(), line: 3 });
+        let e = CompileError::Parse(dyc_lang::ParseError {
+            message: "boom".into(),
+            line: 3,
+        });
         assert!(e.to_string().contains("boom"));
         assert!(e.to_string().contains("line 3"));
     }

@@ -25,13 +25,19 @@ impl Compiler {
     /// A compiler with every staged optimization enabled (the paper's
     /// "normal configuration") and the Alpha-21164 cost model.
     pub fn new() -> Compiler {
-        Compiler { cfg: OptConfig::all(), cost: CostModel::alpha21164() }
+        Compiler {
+            cfg: OptConfig::all(),
+            cost: CostModel::alpha21164(),
+        }
     }
 
     /// A compiler with a specific optimization configuration (used for the
     /// Table 5 ablations).
     pub fn with_config(cfg: OptConfig) -> Compiler {
-        Compiler { cfg, cost: CostModel::alpha21164() }
+        Compiler {
+            cfg,
+            cost: CostModel::alpha21164(),
+        }
     }
 
     /// Override the machine cost model.
@@ -58,7 +64,12 @@ impl Compiler {
         dyc_ir::verify::verify_program(&ir)?;
         let static_module = codegen_program(&ir);
         let staged = stage_program(ir.clone(), self.cfg);
-        Ok(Program { ir, static_module, staged, cost: self.cost.clone() })
+        Ok(Program {
+            ir,
+            static_module,
+            staged,
+            cost: self.cost.clone(),
+        })
     }
 }
 
@@ -127,7 +138,9 @@ mod tests {
 
     #[test]
     fn compile_reports_type_errors() {
-        let err = Compiler::new().compile("int f() { return nope; }").unwrap_err();
+        let err = Compiler::new()
+            .compile("int f() { return nope; }")
+            .unwrap_err();
         assert!(matches!(err, CompileError::Lower(_)));
     }
 
@@ -137,7 +150,9 @@ mod tests {
             .compile("int f(int x) { make_static(x); return x + 1; }")
             .unwrap();
         assert!(p.has_dynamic_regions());
-        let q = Compiler::new().compile("int f(int x) { return x + 1; }").unwrap();
+        let q = Compiler::new()
+            .compile("int f(int x) { return x + 1; }")
+            .unwrap();
         assert!(!q.has_dynamic_regions());
     }
 }

@@ -2,7 +2,7 @@
 //! run-time system, with the measurement helpers the experiment harnesses
 //! use.
 
-use dyc_rt::{Runtime, RtStats};
+use dyc_rt::{RtStats, Runtime};
 use dyc_vm::{ExecStats, Mem, Module, Value, Vm, VmError};
 
 /// One execution environment for a compiled program.
@@ -19,11 +19,19 @@ pub struct Session {
 
 impl Session {
     pub(crate) fn new_static(module: Module, vm: Vm) -> Session {
-        Session { vm, module, runtime: None }
+        Session {
+            vm,
+            module,
+            runtime: None,
+        }
     }
 
     pub(crate) fn new_dynamic(module: Module, vm: Vm, runtime: Runtime) -> Session {
-        Session { vm, module, runtime: Some(runtime) }
+        Session {
+            vm,
+            module,
+            runtime: Some(runtime),
+        }
     }
 
     /// The VM's data memory (set up inputs, read back outputs).
@@ -192,8 +200,10 @@ mod tests {
         );
         let gen = d.generated_functions();
         let code = d.disassemble(&gen[0]).unwrap();
-        assert!(code.contains("jmp") || code.contains("brz") || code.contains("brnz"),
-            "without unrolling a loop must remain:\n{code}");
+        assert!(
+            code.contains("jmp") || code.contains("brz") || code.contains("brnz"),
+            "without unrolling a loop must remain:\n{code}"
+        );
         assert_eq!(d.rt_stats().unwrap().loops_unrolled, 0);
     }
 

@@ -34,7 +34,9 @@ fn complete_unrolling_with_static_loads_specializes_dot_product() {
     let b = d.alloc(4);
     d.mem().write_floats(a, &[1.0, 0.0, 2.0, 0.0]);
     d.mem().write_floats(b, &[10.0, 20.0, 30.0, 40.0]);
-    let out = d.run("dot", &[Value::I(a), Value::I(b), Value::I(4)]).unwrap();
+    let out = d
+        .run("dot", &[Value::I(a), Value::I(b), Value::I(4)])
+        .unwrap();
     assert_eq!(out, Some(Value::F(70.0)));
     let rt = d.rt_stats().unwrap();
     assert!(rt.loops_unrolled >= 1, "loop must unroll");
@@ -46,13 +48,20 @@ fn complete_unrolling_with_static_loads_specializes_dot_product() {
     let gen = d.generated_functions();
     let code = d.disassemble(&gen[0]).unwrap();
     let loads = code.matches("ldf").count();
-    assert_eq!(loads, 2, "only the two nonzero elements load from b:\n{code}");
+    assert_eq!(
+        loads, 2,
+        "only the two nonzero elements load from b:\n{code}"
+    );
 }
 
 #[test]
 fn dot_product_matches_static_build_across_vectors() {
     let p = compile(DOT);
-    for vals in [[0.0, 0.0, 0.0, 0.0], [1.0, 1.0, 1.0, 1.0], [0.5, -1.5, 0.0, 3.0]] {
+    for vals in [
+        [0.0, 0.0, 0.0, 0.0],
+        [1.0, 1.0, 1.0, 1.0],
+        [0.5, -1.5, 0.0, 3.0],
+    ] {
         let mut s = p.static_session();
         let mut d = p.dynamic_session();
         for sess in [&mut s, &mut d] {
@@ -61,8 +70,12 @@ fn dot_product_matches_static_build_across_vectors() {
             sess.mem().write_floats(a, &vals);
             sess.mem().write_floats(b, &[10.0, 20.0, 30.0, 40.0]);
         }
-        let sv = s.run("dot", &[Value::I(0), Value::I(4), Value::I(4)]).unwrap();
-        let dv = d.run("dot", &[Value::I(0), Value::I(4), Value::I(4)]).unwrap();
+        let sv = s
+            .run("dot", &[Value::I(0), Value::I(4), Value::I(4)])
+            .unwrap();
+        let dv = d
+            .run("dot", &[Value::I(0), Value::I(4), Value::I(4)])
+            .unwrap();
         assert_eq!(sv, dv, "vals {vals:?}");
     }
 }
@@ -91,16 +104,27 @@ fn binary_search_multi_way_unrolls_into_a_comparison_tree() {
     let a = d.alloc(8);
     d.mem().write_ints(a, &[2, 3, 5, 7, 11, 13, 17, 19]);
     for (key, want) in [(7, 3), (2, 0), (19, 7), (4, -1)] {
-        let out = d.run("bsearch", &[Value::I(a), Value::I(8), Value::I(key)]).unwrap();
+        let out = d
+            .run("bsearch", &[Value::I(a), Value::I(8), Value::I(key)])
+            .unwrap();
         assert_eq!(out, Some(Value::I(want)), "key {key}");
     }
     let rt = d.rt_stats().unwrap();
-    assert!(rt.multi_way_unroll, "divergent lo/hi stores mean multi-way unrolling");
-    assert_eq!(rt.specializations, 1, "same array: one specialization serves all keys");
+    assert!(
+        rt.multi_way_unroll,
+        "divergent lo/hi stores mean multi-way unrolling"
+    );
+    assert_eq!(
+        rt.specializations, 1,
+        "same array: one specialization serves all keys"
+    );
     // The tree contains the array values as immediates — no loads at all.
     let gen = d.generated_functions();
     let code = d.disassemble(&gen[0]).unwrap();
-    assert!(!code.contains("ldi"), "array fully folded into code:\n{code}");
+    assert!(
+        !code.contains("ldi"),
+        "array fully folded into code:\n{code}"
+    );
 }
 
 // ------------------------------------------------------------- static calls
@@ -173,12 +197,22 @@ fn multiply_by_one_vanishes_with_zero_copy_propagation() {
     let x = d.alloc(3);
     let y = d.alloc(3);
     d.mem().write_floats(x, &[1.5, -2.0, 4.0]);
-    d.run("scale", &[Value::I(x), Value::I(y), Value::I(3), Value::F(1.0)]).unwrap();
+    d.run(
+        "scale",
+        &[Value::I(x), Value::I(y), Value::I(3), Value::F(1.0)],
+    )
+    .unwrap();
     assert_eq!(d.mem().read_floats(y, 3), vec![1.5, -2.0, 4.0]);
     let gen = d.generated_functions();
     let code = d.disassemble(&gen[0]).unwrap();
-    assert!(!code.contains("fmul"), "k == 1.0 removes every multiply:\n{code}");
-    assert!(!code.contains("fmov"), "copy propagation removes the moves too:\n{code}");
+    assert!(
+        !code.contains("fmul"),
+        "k == 1.0 removes every multiply:\n{code}"
+    );
+    assert!(
+        !code.contains("fmov"),
+        "copy propagation removes the moves too:\n{code}"
+    );
 }
 
 #[test]
@@ -189,14 +223,21 @@ fn multiply_by_one_becomes_fmov_with_only_strength_reduction() {
     let x = d.alloc(3);
     let y = d.alloc(3);
     d.mem().write_floats(x, &[1.5, -2.0, 4.0]);
-    d.run("scale", &[Value::I(x), Value::I(y), Value::I(3), Value::F(1.0)]).unwrap();
+    d.run(
+        "scale",
+        &[Value::I(x), Value::I(y), Value::I(3), Value::F(1.0)],
+    )
+    .unwrap();
     assert_eq!(d.mem().read_floats(y, 3), vec![1.5, -2.0, 4.0]);
     let gen = d.generated_functions();
     let code = d.disassemble(&gen[0]).unwrap();
     // §2.2.7: strength reduction alone turns fmul into fmov — which costs
     // the same as the multiply on the 21164, so nothing is gained.
     assert!(code.contains("fmov"), "expected moves:\n{code}");
-    assert!(!code.contains("fmul"), "multiplies strength-reduced:\n{code}");
+    assert!(
+        !code.contains("fmul"),
+        "multiplies strength-reduced:\n{code}"
+    );
     assert!(d.rt_stats().unwrap().strength_reductions >= 3);
 }
 
@@ -207,26 +248,42 @@ fn multiply_by_zero_kills_the_loads_via_dae() {
     let x = d.alloc(3);
     let y = d.alloc(3);
     d.mem().write_floats(x, &[1.5, -2.0, 4.0]);
-    d.run("scale", &[Value::I(x), Value::I(y), Value::I(3), Value::F(0.0)]).unwrap();
+    d.run(
+        "scale",
+        &[Value::I(x), Value::I(y), Value::I(3), Value::F(0.0)],
+    )
+    .unwrap();
     assert_eq!(d.mem().read_floats(y, 3), vec![0.0, 0.0, 0.0]);
     let gen = d.generated_functions();
     let code = d.disassemble(&gen[0]).unwrap();
-    assert!(!code.contains("ldf"), "loads of x are dead when k == 0:\n{code}");
+    assert!(
+        !code.contains("ldf"),
+        "loads of x are dead when k == 0:\n{code}"
+    );
     assert!(d.rt_stats().unwrap().dae_removed >= 3);
 }
 
 #[test]
 fn dae_disabled_keeps_the_dead_loads() {
-    let cfg = OptConfig::all().without("dead_assignment_elimination").unwrap();
+    let cfg = OptConfig::all()
+        .without("dead_assignment_elimination")
+        .unwrap();
     let p = compile_cfg(SCALE, cfg);
     let mut d = p.dynamic_session();
     let x = d.alloc(3);
     let y = d.alloc(3);
-    d.run("scale", &[Value::I(x), Value::I(y), Value::I(3), Value::F(0.0)]).unwrap();
+    d.run(
+        "scale",
+        &[Value::I(x), Value::I(y), Value::I(3), Value::F(0.0)],
+    )
+    .unwrap();
     assert_eq!(d.mem().read_floats(y, 3), vec![0.0, 0.0, 0.0]);
     let gen = d.generated_functions();
     let code = d.disassemble(&gen[0]).unwrap();
-    assert!(code.contains("ldf"), "without DAE the dead loads stay:\n{code}");
+    assert!(
+        code.contains("ldf"),
+        "without DAE the dead loads stay:\n{code}"
+    );
     assert_eq!(d.rt_stats().unwrap().dae_removed, 0);
 }
 
@@ -251,8 +308,14 @@ fn strength_reduction_turns_power_of_two_ops_into_shifts() {
     assert!(rt.strength_reductions >= 3, "mul, div and rem all reduce");
     let gen = d.generated_functions();
     let code = d.disassemble(&gen[0]).unwrap();
-    assert!(!code.contains("div   r"), "division strength-reduced:\n{code}");
-    assert!(!code.contains("rem   r"), "remainder strength-reduced:\n{code}");
+    assert!(
+        !code.contains("div   r"),
+        "division strength-reduced:\n{code}"
+    );
+    assert!(
+        !code.contains("rem   r"),
+        "remainder strength-reduced:\n{code}"
+    );
     assert!(code.contains("shl") || code.contains("shr"));
 }
 
@@ -309,14 +372,18 @@ fn internal_promotion_specializes_on_a_runtime_value() {
     let a = d.alloc(4);
     d.mem().write_ints(a, &[10, 20, 30, 40]);
     // First call: entry specialization for n, internal promotion of idx=2.
-    let out = d.run("walk", &[Value::I(a), Value::I(3), Value::I(2)]).unwrap();
+    let out = d
+        .run("walk", &[Value::I(a), Value::I(3), Value::I(2)])
+        .unwrap();
     assert_eq!(out, Some(Value::I(30 * (1 + 2))));
     let rt = d.rt_stats().unwrap();
     assert_eq!(rt.internal_promotions, 1);
     assert_eq!(rt.specializations, 2, "entry + promoted continuation");
     // Second call with a different start: the entry specialization is
     // reused; only the promotion re-specializes.
-    let out = d.run("walk", &[Value::I(a), Value::I(3), Value::I(1)]).unwrap();
+    let out = d
+        .run("walk", &[Value::I(a), Value::I(3), Value::I(1)])
+        .unwrap();
     assert_eq!(out, Some(Value::I(20 * 3)));
     let rt = d.rt_stats().unwrap();
     assert_eq!(rt.specializations, 3);
@@ -329,7 +396,9 @@ fn internal_promotions_disabled_leaves_value_dynamic() {
     let mut d = p.dynamic_session();
     let a = d.alloc(4);
     d.mem().write_ints(a, &[10, 20, 30, 40]);
-    let out = d.run("walk", &[Value::I(a), Value::I(3), Value::I(2)]).unwrap();
+    let out = d
+        .run("walk", &[Value::I(a), Value::I(3), Value::I(2)])
+        .unwrap();
     assert_eq!(out, Some(Value::I(90)));
     assert_eq!(d.rt_stats().unwrap().internal_promotions, 0);
 }
@@ -352,9 +421,13 @@ const SHADER: &str = r#"
 fn polyvariant_division_specializes_only_the_annotated_path() {
     let p = compile(SHADER);
     let mut d = p.dynamic_session();
-    let lit = d.run("shade", &[Value::F(2.0), Value::F(0.5), Value::I(1)]).unwrap();
+    let lit = d
+        .run("shade", &[Value::F(2.0), Value::F(0.5), Value::I(1)])
+        .unwrap();
     assert_eq!(lit, Some(Value::F(3.0)));
-    let unlit = d.run("shade", &[Value::F(2.0), Value::F(0.5), Value::I(0)]).unwrap();
+    let unlit = d
+        .run("shade", &[Value::F(2.0), Value::F(0.5), Value::I(0)])
+        .unwrap();
     assert_eq!(unlit, Some(Value::F(2.0)), "k stays 0.0 on the unlit path");
 }
 
@@ -388,7 +461,10 @@ fn cache_all_dispatch_costs_about_ninety_cycles() {
     let before = d.stats().dispatch_cycles;
     d.run("poly", &[Value::I(3), Value::I(7)]).unwrap();
     let per = d.stats().dispatch_cycles - before;
-    assert!((70..=120).contains(&per), "§4.4.3: hashed dispatch ≈ 90 cycles, got {per}");
+    assert!(
+        (70..=120).contains(&per),
+        "§4.4.3: hashed dispatch ≈ 90 cycles, got {per}"
+    );
     assert!(d.rt_stats().unwrap().dispatch_hashed >= 2);
 }
 
@@ -403,7 +479,9 @@ fn static_loads_disabled_keeps_array_reads_at_run_time() {
     let b = d.alloc(4);
     d.mem().write_floats(a, &[1.0, 0.0, 2.0, 0.0]);
     d.mem().write_floats(b, &[10.0, 20.0, 30.0, 40.0]);
-    let out = d.run("dot", &[Value::I(a), Value::I(b), Value::I(4)]).unwrap();
+    let out = d
+        .run("dot", &[Value::I(a), Value::I(b), Value::I(4)])
+        .unwrap();
     assert_eq!(out, Some(Value::F(70.0)));
     let rt = d.rt_stats().unwrap();
     assert_eq!(rt.static_loads, 0);
@@ -452,7 +530,10 @@ fn prints_inside_unrolled_loops_happen_in_order() {
     s.run("emit", &[Value::I(4)]).unwrap();
     d.run("emit", &[Value::I(4)]).unwrap();
     assert_eq!(s.output(), d.output());
-    assert_eq!(d.output(), &[Value::I(0), Value::I(1), Value::I(4), Value::I(9)]);
+    assert_eq!(
+        d.output(),
+        &[Value::I(0), Value::I(1), Value::I(4), Value::I(9)]
+    );
 }
 
 // ------------------------------------------------- recursion through regions

@@ -212,8 +212,10 @@ pub fn natural_loops(f: &FuncIr) -> Vec<NaturalLoop> {
             }
         }
     }
-    let mut out: Vec<NaturalLoop> =
-        by_header.into_iter().map(|(header, body)| NaturalLoop { header, body }).collect();
+    let mut out: Vec<NaturalLoop> = by_header
+        .into_iter()
+        .map(|(header, body)| NaturalLoop { header, body })
+        .collect();
     out.sort_by_key(|l| l.header);
     out
 }
@@ -230,7 +232,10 @@ mod tests {
     use dyc_lang::parse_program;
 
     fn ir_of(src: &str) -> FuncIr {
-        lower_program(&parse_program(src).unwrap()).unwrap().funcs.remove(0)
+        lower_program(&parse_program(src).unwrap())
+            .unwrap()
+            .funcs
+            .remove(0)
     }
 
     #[test]
@@ -254,9 +259,7 @@ mod tests {
 
     #[test]
     fn dominators_of_diamond() {
-        let f = ir_of(
-            "int f(int c) { int r = 0; if (c) { r = 1; } else { r = 2; } return r; }",
-        );
+        let f = ir_of("int f(int c) { int r = 0; if (c) { r = 1; } else { r = 2; } return r; }");
         let dom = Dominators::compute(&f);
         // Entry dominates everything reachable.
         for b in f.reverse_postorder() {
@@ -291,7 +294,8 @@ mod tests {
         let lv = liveness(&f);
         // y is used only by the annotation but must be live at entry of the
         // block after its definition — check it is in some use set.
-        let any_live = (0..f.blocks.len()).any(|i| !lv.live_in[i].is_empty() || !lv.live_out[i].is_empty());
+        let any_live =
+            (0..f.blocks.len()).any(|i| !lv.live_in[i].is_empty() || !lv.live_out[i].is_empty());
         assert!(any_live);
     }
 }

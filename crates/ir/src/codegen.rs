@@ -136,45 +136,93 @@ pub fn codegen_func_with_splices(f: &FuncIr, splices: &[DispatchSplice]) -> Code
                         imm.insert(*dst, *v);
                     } else {
                         imm.remove(dst);
-                        out.push(Instr::MovI { dst: dst.0, imm: *v });
+                        out.push(Instr::MovI {
+                            dst: dst.0,
+                            imm: *v,
+                        });
                     }
                 }
                 Inst::ConstF { dst, v } => {
-                    out.push(Instr::MovF { dst: dst.0, imm: *v });
+                    out.push(Instr::MovF {
+                        dst: dst.0,
+                        imm: *v,
+                    });
                 }
                 Inst::Copy { dst, src } => {
                     // Float moves run in the FP pipeline (and cost like an
                     // FP op on the 21164) — keep both builds honest.
                     if f.ty(*dst) == crate::ids::IrTy::Float {
-                        out.push(Instr::FMov { dst: dst.0, src: src.0 });
+                        out.push(Instr::FMov {
+                            dst: dst.0,
+                            src: src.0,
+                        });
                     } else {
-                        out.push(Instr::Mov { dst: dst.0, src: src.0 });
+                        out.push(Instr::Mov {
+                            dst: dst.0,
+                            src: src.0,
+                        });
                     }
                 }
                 Inst::IBin { op, dst, a, b } => {
                     let bo = operand(&imm, *b);
-                    out.push(Instr::IAlu { op: *op, dst: dst.0, a: a.0, b: bo });
+                    out.push(Instr::IAlu {
+                        op: *op,
+                        dst: dst.0,
+                        a: a.0,
+                        b: bo,
+                    });
                 }
                 Inst::FBin { op, dst, a, b } => {
-                    out.push(Instr::FAlu { op: *op, dst: dst.0, a: a.0, b: b.0 });
+                    out.push(Instr::FAlu {
+                        op: *op,
+                        dst: dst.0,
+                        a: a.0,
+                        b: b.0,
+                    });
                 }
                 Inst::ICmp { cc, dst, a, b } => {
                     let bo = operand(&imm, *b);
-                    out.push(Instr::ICmp { cc: *cc, dst: dst.0, a: a.0, b: bo });
+                    out.push(Instr::ICmp {
+                        cc: *cc,
+                        dst: dst.0,
+                        a: a.0,
+                        b: bo,
+                    });
                 }
                 Inst::FCmp { cc, dst, a, b } => {
-                    out.push(Instr::FCmp { cc: *cc, dst: dst.0, a: a.0, b: b.0 });
+                    out.push(Instr::FCmp {
+                        cc: *cc,
+                        dst: dst.0,
+                        a: a.0,
+                        b: b.0,
+                    });
                 }
                 Inst::Un { op, dst, src } => {
-                    out.push(Instr::Un { op: *op, dst: dst.0, src: src.0 });
+                    out.push(Instr::Un {
+                        op: *op,
+                        dst: dst.0,
+                        src: src.0,
+                    });
                 }
-                Inst::Load { ty, dst, base, idx, .. } => {
+                Inst::Load {
+                    ty, dst, base, idx, ..
+                } => {
                     let io = operand(&imm, *idx);
-                    out.push(Instr::Load { ty: ty.vm_ty(), dst: dst.0, base: base.0, idx: io });
+                    out.push(Instr::Load {
+                        ty: ty.vm_ty(),
+                        dst: dst.0,
+                        base: base.0,
+                        idx: io,
+                    });
                 }
                 Inst::Store { ty, base, idx, src } => {
                     let io = operand(&imm, *idx);
-                    out.push(Instr::Store { ty: ty.vm_ty(), base: base.0, idx: io, src: src.0 });
+                    out.push(Instr::Store {
+                        ty: ty.vm_ty(),
+                        base: base.0,
+                        idx: io,
+                        src: src.0,
+                    });
                 }
                 Inst::Call { callee, dst, args } => {
                     let args: Vec<u32> = args.iter().map(|a| a.0).collect();
@@ -184,9 +232,11 @@ pub fn codegen_func_with_splices(f: &FuncIr, splices: &[DispatchSplice]) -> Code
                             dst: dst.map(|d| d.0),
                             args,
                         }),
-                        Callee::Host(h) => {
-                            out.push(Instr::CallHost { f: *h, dst: dst.map(|d| d.0), args })
-                        }
+                        Callee::Host(h) => out.push(Instr::CallHost {
+                            f: *h,
+                            dst: dst.map(|d| d.0),
+                            args,
+                        }),
                     };
                 }
                 // Annotations vanish in the static build.
@@ -208,13 +258,22 @@ pub fn codegen_func_with_splices(f: &FuncIr, splices: &[DispatchSplice]) -> Code
             }
             Term::Br { cond, t, f: fb } => {
                 if Some(*fb) == next {
-                    let at = out.push(Instr::Brnz { cond: cond.0, target: 0 });
+                    let at = out.push(Instr::Brnz {
+                        cond: cond.0,
+                        target: 0,
+                    });
                     fixups.push((at, *t));
                 } else if Some(*t) == next {
-                    let at = out.push(Instr::Brz { cond: cond.0, target: 0 });
+                    let at = out.push(Instr::Brz {
+                        cond: cond.0,
+                        target: 0,
+                    });
                     fixups.push((at, *fb));
                 } else {
-                    let at = out.push(Instr::Brnz { cond: cond.0, target: 0 });
+                    let at = out.push(Instr::Brnz {
+                        cond: cond.0,
+                        target: 0,
+                    });
                     fixups.push((at, *t));
                     let at2 = out.push(Instr::Jmp { target: 0 });
                     fixups.push((at2, *fb));
@@ -229,7 +288,10 @@ pub fn codegen_func_with_splices(f: &FuncIr, splices: &[DispatchSplice]) -> Code
                         a: on.0,
                         b: Operand::Imm(*k),
                     });
-                    let at = out.push(Instr::Brnz { cond: scratch, target: 0 });
+                    let at = out.push(Instr::Brnz {
+                        cond: scratch,
+                        target: 0,
+                    });
                     fixups.push((at, *target));
                 }
                 if Some(*default) != next {
@@ -238,7 +300,9 @@ pub fn codegen_func_with_splices(f: &FuncIr, splices: &[DispatchSplice]) -> Code
                 }
             }
             Term::Ret(v) => {
-                out.push(Instr::Ret { src: v.map(|r| r.0) });
+                out.push(Instr::Ret {
+                    src: v.map(|r| r.0),
+                });
             }
         }
     }
@@ -297,7 +361,13 @@ mod tests {
 
     #[test]
     fn compiles_and_runs_arithmetic() {
-        assert_eq!(run_int("int f(int a, int b) { return a * b + 3; }", &[Value::I(6), Value::I(7)]), 45);
+        assert_eq!(
+            run_int(
+                "int f(int a, int b) { return a * b + 3; }",
+                &[Value::I(6), Value::I(7)]
+            ),
+            45
+        );
     }
 
     #[test]
@@ -336,12 +406,17 @@ mod tests {
 
     #[test]
     fn compiles_memory_and_arrays() {
-        let src = "float f(float a[][c], int c, int i, int j) { a[i][j] = 2.5; return a[i][j] * 2.0; }";
+        let src =
+            "float f(float a[][c], int c, int i, int j) { a[i][j] = 2.5; return a[i][j] * 2.0; }";
         let (mut m, id) = compile(src);
         let mut vm = Vm::without_icache(CostModel::unit());
         let base = vm.mem.alloc(16);
         let out = vm
-            .call(&mut m, id, &[Value::I(base), Value::I(4), Value::I(2), Value::I(3)])
+            .call(
+                &mut m,
+                id,
+                &[Value::I(base), Value::I(4), Value::I(2), Value::I(3)],
+            )
             .unwrap()
             .unwrap();
         assert_eq!(out, Value::F(5.0));
@@ -356,7 +431,13 @@ mod tests {
         let mut m = codegen_program(&ir);
         let f_id = m.func_by_name("f").unwrap();
         let mut vm = Vm::without_icache(CostModel::unit());
-        assert_eq!(vm.call(&mut m, f_id, &[Value::I(3)]).unwrap().unwrap().as_i(), 9 + 16);
+        assert_eq!(
+            vm.call(&mut m, f_id, &[Value::I(3)])
+                .unwrap()
+                .unwrap()
+                .as_i(),
+            9 + 16
+        );
     }
 
     #[test]
@@ -366,7 +447,10 @@ mod tests {
         // `x + 1` should be a single IAlu with an immediate — no MovI.
         assert!(code.iter().any(|i| matches!(
             i,
-            Instr::IAlu { b: Operand::Imm(1), .. }
+            Instr::IAlu {
+                b: Operand::Imm(1),
+                ..
+            }
         )));
         assert!(!code.iter().any(|i| matches!(i, Instr::MovI { .. })));
     }
@@ -401,7 +485,10 @@ mod tests {
         let mut vm = Vm::without_icache(CostModel::unit());
         let base = vm.mem.alloc(4);
         vm.mem.write_floats(base, &[1.0, 2.0, 3.0, 4.0]);
-        let out = vm.call(&mut m, id, &[Value::I(base), Value::I(4)]).unwrap().unwrap();
+        let out = vm
+            .call(&mut m, id, &[Value::I(base), Value::I(4)])
+            .unwrap()
+            .unwrap();
         assert_eq!(out, Value::F(20.0));
     }
 }

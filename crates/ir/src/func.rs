@@ -16,7 +16,10 @@ pub struct Block {
 impl Block {
     /// An empty block ending in a return (placeholder during construction).
     pub fn new() -> Block {
-        Block { insts: Vec::new(), term: Term::Ret(None) }
+        Block {
+            insts: Vec::new(),
+            term: Term::Ret(None),
+        }
     }
 }
 
@@ -144,7 +147,9 @@ impl FuncIr {
 
     /// True if the function contains any annotation (has a dynamic region).
     pub fn has_annotations(&self) -> bool {
-        self.blocks.iter().any(|b| b.insts.iter().any(Inst::is_annotation))
+        self.blocks
+            .iter()
+            .any(|b| b.insts.iter().any(Inst::is_annotation))
     }
 }
 
@@ -194,7 +199,11 @@ mod tests {
         let b2 = f.new_block();
         f.entry = b0;
         let c = f.new_vreg(IrTy::Int);
-        f.block_mut(b0).term = Term::Br { cond: c, t: b1, f: b2 };
+        f.block_mut(b0).term = Term::Br {
+            cond: c,
+            t: b1,
+            f: b2,
+        };
         f.block_mut(b1).term = Term::Jmp(b2);
         f.block_mut(b2).term = Term::Ret(None);
         let preds = f.predecessors();

@@ -42,9 +42,19 @@ pub enum Inst {
     /// `dst = src` (same type).
     Copy { dst: VReg, src: VReg },
     /// Integer ALU.
-    IBin { op: IAluOp, dst: VReg, a: VReg, b: VReg },
+    IBin {
+        op: IAluOp,
+        dst: VReg,
+        a: VReg,
+        b: VReg,
+    },
     /// Float ALU.
-    FBin { op: FAluOp, dst: VReg, a: VReg, b: VReg },
+    FBin {
+        op: FAluOp,
+        dst: VReg,
+        a: VReg,
+        b: VReg,
+    },
     /// Integer comparison (produces int 0/1).
     ICmp { cc: Cc, dst: VReg, a: VReg, b: VReg },
     /// Float comparison (produces int 0/1).
@@ -52,11 +62,26 @@ pub enum Inst {
     /// Unary op / conversion.
     Un { op: UnOp, dst: VReg, src: VReg },
     /// `dst = mem[base + idx]`; `is_static` marks the `@` annotation.
-    Load { ty: IrTy, dst: VReg, base: VReg, idx: VReg, is_static: bool },
+    Load {
+        ty: IrTy,
+        dst: VReg,
+        base: VReg,
+        idx: VReg,
+        is_static: bool,
+    },
     /// `mem[base + idx] = src`.
-    Store { ty: IrTy, base: VReg, idx: VReg, src: VReg },
+    Store {
+        ty: IrTy,
+        base: VReg,
+        idx: VReg,
+        src: VReg,
+    },
     /// Call; `dst` is `None` for void calls.
-    Call { callee: Callee, dst: Option<VReg>, args: Vec<VReg> },
+    Call {
+        callee: Callee,
+        dst: Option<VReg>,
+        args: Vec<VReg>,
+    },
     /// Annotation: begin specialization on these variables (§2.1).
     MakeStatic { vars: Vec<(VReg, Policy)> },
     /// Annotation: end specialization on these variables.
@@ -138,7 +163,11 @@ pub enum Term {
     /// Two-way branch on an int condition.
     Br { cond: VReg, t: BlockId, f: BlockId },
     /// Multi-way switch on an int value.
-    Switch { on: VReg, cases: Vec<(i64, BlockId)>, default: BlockId },
+    Switch {
+        on: VReg,
+        cases: Vec<(i64, BlockId)>,
+        default: BlockId,
+    },
     /// Function return.
     Ret(Option<VReg>),
 }
@@ -193,23 +222,44 @@ mod tests {
 
     #[test]
     fn inst_defs_and_uses() {
-        let i = Inst::IBin { op: IAluOp::Add, dst: VReg(2), a: VReg(0), b: VReg(1) };
+        let i = Inst::IBin {
+            op: IAluOp::Add,
+            dst: VReg(2),
+            a: VReg(0),
+            b: VReg(1),
+        };
         assert_eq!(i.def(), Some(VReg(2)));
         assert_eq!(i.uses(), vec![VReg(0), VReg(1)]);
     }
 
     #[test]
     fn purity() {
-        assert!(Inst::Load { ty: IrTy::Int, dst: VReg(0), base: VReg(1), idx: VReg(2), is_static: false }
-            .is_pure());
-        assert!(!Inst::Store { ty: IrTy::Int, base: VReg(1), idx: VReg(2), src: VReg(0) }.is_pure());
+        assert!(Inst::Load {
+            ty: IrTy::Int,
+            dst: VReg(0),
+            base: VReg(1),
+            idx: VReg(2),
+            is_static: false
+        }
+        .is_pure());
+        assert!(!Inst::Store {
+            ty: IrTy::Int,
+            base: VReg(1),
+            idx: VReg(2),
+            src: VReg(0)
+        }
+        .is_pure());
         let pure_call = Inst::Call {
             callee: Callee::Host(HostFn::Cos),
             dst: Some(VReg(0)),
             args: vec![VReg(1)],
         };
         assert!(pure_call.is_pure());
-        let print = Inst::Call { callee: Callee::Host(HostFn::PrintI), dst: None, args: vec![VReg(1)] };
+        let print = Inst::Call {
+            callee: Callee::Host(HostFn::PrintI),
+            dst: None,
+            args: vec![VReg(1)],
+        };
         assert!(!print.is_pure());
     }
 
@@ -226,8 +276,19 @@ mod tests {
 
     #[test]
     fn map_succs_rewrites_all() {
-        let mut t = Term::Br { cond: VReg(0), t: BlockId(1), f: BlockId(2) };
+        let mut t = Term::Br {
+            cond: VReg(0),
+            t: BlockId(1),
+            f: BlockId(2),
+        };
         t.map_succs(|b| BlockId(b.0 + 10));
-        assert_eq!(t, Term::Br { cond: VReg(0), t: BlockId(11), f: BlockId(12) });
+        assert_eq!(
+            t,
+            Term::Br {
+                cond: VReg(0),
+                t: BlockId(11),
+                f: BlockId(12)
+            }
+        );
     }
 }

@@ -63,10 +63,24 @@ pub fn lower_program(p: &Program) -> Result<ProgramIr, LowerError> {
         let params = f
             .params
             .iter()
-            .map(|pa| if pa.is_array() { IrTy::Int } else { scalar_ty(&pa.ty).unwrap_or(IrTy::Int) })
+            .map(|pa| {
+                if pa.is_array() {
+                    IrTy::Int
+                } else {
+                    scalar_ty(&pa.ty).unwrap_or(IrTy::Int)
+                }
+            })
             .collect();
         if sigs
-            .insert(f.name.clone(), Sig { index: i, is_static: f.is_static, ret, params })
+            .insert(
+                f.name.clone(),
+                Sig {
+                    index: i,
+                    is_static: f.is_static,
+                    ret,
+                    params,
+                },
+            )
             .is_some()
         {
             return Err(LowerError {
@@ -142,9 +156,18 @@ fn lower_function(src: &Function, sigs: &HashMap<String, Sig>) -> Result<FuncIr,
     for pa in &src.params {
         let (ty, array) = if pa.is_array() {
             let elem = scalar_ty(&pa.ty).ok_or_else(|| lw.err("array of void"))?;
-            (IrTy::Int, Some(ArrayInfo { elem, dims: pa.dims.clone() }))
+            (
+                IrTy::Int,
+                Some(ArrayInfo {
+                    elem,
+                    dims: pa.dims.clone(),
+                }),
+            )
         } else {
-            (scalar_ty(&pa.ty).ok_or_else(|| lw.err("void parameter"))?, None)
+            (
+                scalar_ty(&pa.ty).ok_or_else(|| lw.err("void parameter"))?,
+                None,
+            )
         };
         let vreg = lw.f.new_vreg(ty);
         lw.f.params.push(vreg);
@@ -167,7 +190,10 @@ fn lower_function(src: &Function, sigs: &HashMap<String, Sig>) -> Result<FuncIr,
 
 impl<'a> Lowerer<'a> {
     fn err(&self, msg: impl Into<String>) -> LowerError {
-        LowerError { message: msg.into(), function: self.fname.clone() }
+        LowerError {
+            message: msg.into(),
+            function: self.fname.clone(),
+        }
     }
 
     fn new_block(&mut self) -> BlockId {
@@ -206,7 +232,14 @@ impl<'a> Lowerer<'a> {
         self.scopes
             .last_mut()
             .expect("scope stack never empty")
-            .insert(name.to_string(), VarInfo { vreg, ty, array: None });
+            .insert(
+                name.to_string(),
+                VarInfo {
+                    vreg,
+                    ty,
+                    array: None,
+                },
+            );
         vreg
     }
 
@@ -266,12 +299,24 @@ impl<'a> Lowerer<'a> {
                 Ok(())
             }
             Stmt::Assign { lv, op, rhs } => self.assign(lv, *op, rhs),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = self.cond_value(cond)?;
                 let tb = self.new_block();
                 let eb = self.new_block();
-                let merge = if else_branch.is_some() { self.new_block() } else { eb };
-                self.set_term(Term::Br { cond: c, t: tb, f: eb });
+                let merge = if else_branch.is_some() {
+                    self.new_block()
+                } else {
+                    eb
+                };
+                self.set_term(Term::Br {
+                    cond: c,
+                    t: tb,
+                    f: eb,
+                });
                 self.cur = tb;
                 self.stmt(then_branch)?;
                 self.goto(merge);
@@ -289,7 +334,11 @@ impl<'a> Lowerer<'a> {
                 let exit = self.new_block();
                 self.goto(head);
                 let c = self.cond_value(cond)?;
-                self.set_term(Term::Br { cond: c, t: body_b, f: exit });
+                self.set_term(Term::Br {
+                    cond: c,
+                    t: body_b,
+                    f: exit,
+                });
                 self.cur = body_b;
                 self.loop_stack.push((exit, Some(head)));
                 self.stmt(body)?;
@@ -298,7 +347,12 @@ impl<'a> Lowerer<'a> {
                 self.cur = exit;
                 Ok(())
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.stmt(i)?;
@@ -311,7 +365,11 @@ impl<'a> Lowerer<'a> {
                 match cond {
                     Some(c) => {
                         let cv = self.cond_value(c)?;
-                        self.set_term(Term::Br { cond: cv, t: body_b, f: exit });
+                        self.set_term(Term::Br {
+                            cond: cv,
+                            t: body_b,
+                            f: exit,
+                        });
                     }
                     None => self.set_term(Term::Jmp(body_b)),
                 }
@@ -328,7 +386,11 @@ impl<'a> Lowerer<'a> {
                 self.scopes.pop();
                 Ok(())
             }
-            Stmt::Switch { scrutinee, cases, default } => {
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
                 let (on, ty) = self.expr(scrutinee)?;
                 if ty != IrTy::Int {
                     return Err(self.err("switch scrutinee must be int"));
@@ -338,12 +400,21 @@ impl<'a> Lowerer<'a> {
                 for (k, _) in cases {
                     case_blocks.push((*k, self.new_block()));
                 }
-                let default_b = if default.is_empty() { exit } else { self.new_block() };
-                self.set_term(Term::Switch { on, cases: case_blocks.clone(), default: default_b });
+                let default_b = if default.is_empty() {
+                    exit
+                } else {
+                    self.new_block()
+                };
+                self.set_term(Term::Switch {
+                    on,
+                    cases: case_blocks.clone(),
+                    default: default_b,
+                });
                 for ((_, body), (_, b)) in cases.iter().zip(&case_blocks) {
                     self.cur = *b;
                     // `break` inside a case exits the switch (C semantics).
-                    self.loop_stack.push((exit, self.loop_stack.last().and_then(|l| l.1)));
+                    self.loop_stack
+                        .push((exit, self.loop_stack.last().and_then(|l| l.1)));
                     self.scopes.push(HashMap::new());
                     for s in body {
                         self.stmt(s)?;
@@ -354,7 +425,8 @@ impl<'a> Lowerer<'a> {
                 }
                 if !default.is_empty() {
                     self.cur = default_b;
-                    self.loop_stack.push((exit, self.loop_stack.last().and_then(|l| l.1)));
+                    self.loop_stack
+                        .push((exit, self.loop_stack.last().and_then(|l| l.1)));
                     self.scopes.push(HashMap::new());
                     for s in default {
                         self.stmt(s)?;
@@ -367,8 +439,10 @@ impl<'a> Lowerer<'a> {
                 Ok(())
             }
             Stmt::Break => {
-                let (target, _) =
-                    *self.loop_stack.last().ok_or_else(|| self.err("break outside loop"))?;
+                let (target, _) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| self.err("break outside loop"))?;
                 self.set_term(Term::Jmp(target));
                 // Continue lowering into a fresh (unreachable) block.
                 let dead = self.new_block();
@@ -394,12 +468,8 @@ impl<'a> Lowerer<'a> {
                         Some(self.coerce(r, t, want)?)
                     }
                     (None, None) => None,
-                    (Some(_), None) => {
-                        return Err(self.err("void function returns a value"))
-                    }
-                    (None, Some(_)) => {
-                        return Err(self.err("non-void function returns no value"))
-                    }
+                    (Some(_), None) => return Err(self.err("void function returns a value")),
+                    (None, Some(_)) => return Err(self.err("non-void function returns no value")),
                 };
                 self.set_term(Term::Ret(v));
                 let dead = self.new_block();
@@ -413,9 +483,9 @@ impl<'a> Lowerer<'a> {
             Stmt::MakeStatic(vars) => {
                 let mut out = Vec::new();
                 for (name, policy) in vars {
-                    let info = self
-                        .lookup(name)
-                        .ok_or_else(|| self.err(format!("make_static of unknown variable '{name}'")))?;
+                    let info = self.lookup(name).ok_or_else(|| {
+                        self.err(format!("make_static of unknown variable '{name}'"))
+                    })?;
                     out.push((info.vreg, *policy));
                 }
                 self.emit(Inst::MakeStatic { vars: out });
@@ -424,9 +494,9 @@ impl<'a> Lowerer<'a> {
             Stmt::MakeDynamic(vars) => {
                 let mut out = Vec::new();
                 for name in vars {
-                    let info = self
-                        .lookup(name)
-                        .ok_or_else(|| self.err(format!("make_dynamic of unknown variable '{name}'")))?;
+                    let info = self.lookup(name).ok_or_else(|| {
+                        self.err(format!("make_dynamic of unknown variable '{name}'"))
+                    })?;
                     out.push(info.vreg);
                 }
                 self.emit(Inst::MakeDynamic { vars: out });
@@ -467,7 +537,10 @@ impl<'a> Lowerer<'a> {
                     }
                 };
                 let src = self.coerce(rv, rt, info.ty)?;
-                self.emit(Inst::Copy { dst: info.vreg, src });
+                self.emit(Inst::Copy {
+                    dst: info.vreg,
+                    src,
+                });
                 Ok(())
             }
             LValue::Elem { base, indices } => {
@@ -475,13 +548,21 @@ impl<'a> Lowerer<'a> {
                 let (rv, rt) = match bin {
                     None => self.expr(rhs)?,
                     Some(b) => {
-                        let lhs_e =
-                            Expr::Index { base: base.clone(), indices: indices.clone(), is_static: false };
+                        let lhs_e = Expr::Index {
+                            base: base.clone(),
+                            indices: indices.clone(),
+                            is_static: false,
+                        };
                         self.binary(b, &lhs_e, rhs)?
                     }
                 };
                 let src = self.coerce(rv, rt, elem)?;
-                self.emit(Inst::Store { ty: elem, base: base_reg, idx, src });
+                self.emit(Inst::Store {
+                    ty: elem,
+                    base: base_reg,
+                    idx,
+                    src,
+                });
                 Ok(())
             }
         }
@@ -525,9 +606,19 @@ impl<'a> Lowerer<'a> {
                 let (j, jt) = self.expr(&indices[1])?;
                 let j = self.coerce(j, jt, IrTy::Int)?;
                 let row = self.temp(IrTy::Int);
-                self.emit(Inst::IBin { op: IAluOp::Mul, dst: row, a: i, b: n });
+                self.emit(Inst::IBin {
+                    op: IAluOp::Mul,
+                    dst: row,
+                    a: i,
+                    b: n,
+                });
                 let sum = self.temp(IrTy::Int);
-                self.emit(Inst::IBin { op: IAluOp::Add, dst: sum, a: row, b: j });
+                self.emit(Inst::IBin {
+                    op: IAluOp::Add,
+                    dst: sum,
+                    a: row,
+                    b: j,
+                });
                 sum
             }
             n => return Err(self.err(format!("{n}-dimensional arrays are not supported"))),
@@ -557,10 +648,20 @@ impl<'a> Lowerer<'a> {
             }
             Expr::Unary(op, inner) => self.unary(*op, inner),
             Expr::Binary(op, l, r) => self.binary(*op, l, r),
-            Expr::Index { base, indices, is_static } => {
+            Expr::Index {
+                base,
+                indices,
+                is_static,
+            } => {
                 let (base_reg, idx, elem) = self.element_addr(base, indices)?;
                 let dst = self.temp(elem);
-                self.emit(Inst::Load { ty: elem, dst, base: base_reg, idx, is_static: *is_static });
+                self.emit(Inst::Load {
+                    ty: elem,
+                    dst,
+                    base: base_reg,
+                    idx,
+                    is_static: *is_static,
+                });
                 Ok((dst, elem))
             }
             Expr::Call { name, args } => self.call(name, args),
@@ -572,8 +673,16 @@ impl<'a> Lowerer<'a> {
         match op {
             UnaryOp::Neg => {
                 let dst = self.temp(t);
-                let uop = if t == IrTy::Int { UnOp::NegI } else { UnOp::NegF };
-                self.emit(Inst::Un { op: uop, dst, src: r });
+                let uop = if t == IrTy::Int {
+                    UnOp::NegI
+                } else {
+                    UnOp::NegF
+                };
+                self.emit(Inst::Un {
+                    op: uop,
+                    dst,
+                    src: r,
+                });
                 Ok((dst, t))
             }
             UnaryOp::Not => {
@@ -582,7 +691,12 @@ impl<'a> Lowerer<'a> {
                 let zero = self.temp(IrTy::Int);
                 self.emit(Inst::ConstI { dst: zero, v: 0 });
                 let dst = self.temp(IrTy::Int);
-                self.emit(Inst::ICmp { cc: Cc::Eq, dst, a: c, b: zero });
+                self.emit(Inst::ICmp {
+                    cc: Cc::Eq,
+                    dst,
+                    a: c,
+                    b: zero,
+                });
                 Ok((dst, IrTy::Int))
             }
             UnaryOp::BitNot => {
@@ -590,7 +704,11 @@ impl<'a> Lowerer<'a> {
                     return Err(self.err("bitwise not on a float"));
                 }
                 let dst = self.temp(IrTy::Int);
-                self.emit(Inst::Un { op: UnOp::NotI, dst, src: r });
+                self.emit(Inst::Un {
+                    op: UnOp::NotI,
+                    dst,
+                    src: r,
+                });
                 Ok((dst, IrTy::Int))
             }
             UnaryOp::CastInt => Ok((self.coerce(r, t, IrTy::Int)?, IrTy::Int)),
@@ -607,7 +725,12 @@ impl<'a> Lowerer<'a> {
                 let zero = self.temp(IrTy::Float);
                 self.emit(Inst::ConstF { dst: zero, v: 0.0 });
                 let dst = self.temp(IrTy::Int);
-                self.emit(Inst::FCmp { cc: Cc::Ne, dst, a: r, b: zero });
+                self.emit(Inst::FCmp {
+                    cc: Cc::Ne,
+                    dst,
+                    a: r,
+                    b: zero,
+                });
                 Ok(dst)
             }
         }
@@ -639,7 +762,12 @@ impl<'a> Lowerer<'a> {
                 _ => unreachable!(),
             };
             if both_int {
-                self.emit(Inst::ICmp { cc, dst, a: lr, b: rr });
+                self.emit(Inst::ICmp {
+                    cc,
+                    dst,
+                    a: lr,
+                    b: rr,
+                });
             } else {
                 let a = self.coerce(lr, lt, IrTy::Float)?;
                 let b = self.coerce(rr, rt, IrTy::Float)?;
@@ -649,8 +777,7 @@ impl<'a> Lowerer<'a> {
         }
 
         match op {
-            BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr
-            | BinOp::Rem => {
+            BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr | BinOp::Rem => {
                 if !both_int {
                     return Err(self.err("bitwise/shift/remainder operators require ints"));
                 }
@@ -664,7 +791,12 @@ impl<'a> Lowerer<'a> {
                     _ => unreachable!(),
                 };
                 let dst = self.temp(IrTy::Int);
-                self.emit(Inst::IBin { op: iop, dst, a: lr, b: rr });
+                self.emit(Inst::IBin {
+                    op: iop,
+                    dst,
+                    a: lr,
+                    b: rr,
+                });
                 Ok((dst, IrTy::Int))
             }
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
@@ -677,7 +809,12 @@ impl<'a> Lowerer<'a> {
                         _ => unreachable!(),
                     };
                     let dst = self.temp(IrTy::Int);
-                    self.emit(Inst::IBin { op: iop, dst, a: lr, b: rr });
+                    self.emit(Inst::IBin {
+                        op: iop,
+                        dst,
+                        a: lr,
+                        b: rr,
+                    });
                     Ok((dst, IrTy::Int))
                 } else {
                     let fop = match op {
@@ -704,19 +841,37 @@ impl<'a> Lowerer<'a> {
         let lc = self.cond_value(l)?;
         let zero = self.temp(IrTy::Int);
         self.emit(Inst::ConstI { dst: zero, v: 0 });
-        self.emit(Inst::ICmp { cc: Cc::Ne, dst: res, a: lc, b: zero });
+        self.emit(Inst::ICmp {
+            cc: Cc::Ne,
+            dst: res,
+            a: lc,
+            b: zero,
+        });
         let rhs_b = self.new_block();
         let merge = self.new_block();
         match op {
-            BinOp::And => self.set_term(Term::Br { cond: res, t: rhs_b, f: merge }),
-            BinOp::Or => self.set_term(Term::Br { cond: res, t: merge, f: rhs_b }),
+            BinOp::And => self.set_term(Term::Br {
+                cond: res,
+                t: rhs_b,
+                f: merge,
+            }),
+            BinOp::Or => self.set_term(Term::Br {
+                cond: res,
+                t: merge,
+                f: rhs_b,
+            }),
             _ => unreachable!(),
         }
         self.cur = rhs_b;
         let rc = self.cond_value(r)?;
         let zero2 = self.temp(IrTy::Int);
         self.emit(Inst::ConstI { dst: zero2, v: 0 });
-        self.emit(Inst::ICmp { cc: Cc::Ne, dst: res, a: rc, b: zero2 });
+        self.emit(Inst::ICmp {
+            cc: Cc::Ne,
+            dst: res,
+            a: rc,
+            b: zero2,
+        });
         self.goto(merge);
         Ok((res, IrTy::Int))
     }
@@ -743,21 +898,21 @@ impl<'a> Lowerer<'a> {
                 None => (None, IrTy::Int),
             };
             self.emit(Inst::Call {
-                callee: Callee::Func { index: sig.index, is_static: sig.is_static },
+                callee: Callee::Func {
+                    index: sig.index,
+                    is_static: sig.is_static,
+                },
                 dst,
                 args: arg_regs,
             });
-            let r = dst.unwrap_or_else(|| {
-                
-                self.temp(IrTy::Int)
-            });
+            let r = dst.unwrap_or_else(|| self.temp(IrTy::Int));
             if dst.is_none() {
                 self.emit(Inst::ConstI { dst: r, v: 0 });
             }
             return Ok((r, ty));
         }
-        let host = HostFn::by_name(name)
-            .ok_or_else(|| self.err(format!("unknown function '{name}'")))?;
+        let host =
+            HostFn::by_name(name).ok_or_else(|| self.err(format!("unknown function '{name}'")))?;
         if args.len() != host.arity() {
             return Err(self.err(format!(
                 "'{name}' expects {} argument(s), got {}",
@@ -783,7 +938,11 @@ impl<'a> Lowerer<'a> {
             Some(t) => (Some(self.temp(t)), t),
             None => (None, IrTy::Int),
         };
-        self.emit(Inst::Call { callee: Callee::Host(host), dst, args: arg_regs });
+        self.emit(Inst::Call {
+            callee: Callee::Host(host),
+            dst,
+            args: arg_regs,
+        });
         let r = match dst {
             Some(d) => d,
             None => {
@@ -817,7 +976,13 @@ mod tests {
         assert_eq!(f.ret_ty, Some(IrTy::Int));
         // entry block: one IBin and a Ret.
         let entry = f.block(f.entry);
-        assert!(matches!(entry.insts[0], Inst::IBin { op: IAluOp::Add, .. }));
+        assert!(matches!(
+            entry.insts[0],
+            Inst::IBin {
+                op: IAluOp::Add,
+                ..
+            }
+        ));
         assert!(matches!(entry.term, Term::Ret(Some(_))));
     }
 
@@ -826,8 +991,17 @@ mod tests {
         let ir = lower("float f(int a, float b) { return a + b; }");
         let f = &ir.funcs[0];
         let entry = f.block(f.entry);
-        assert!(entry.insts.iter().any(|i| matches!(i, Inst::Un { op: UnOp::IToF, .. })));
-        assert!(entry.insts.iter().any(|i| matches!(i, Inst::FBin { op: FAluOp::Add, .. })));
+        assert!(entry
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Un { op: UnOp::IToF, .. })));
+        assert!(entry.insts.iter().any(|i| matches!(
+            i,
+            Inst::FBin {
+                op: FAluOp::Add,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -836,20 +1010,40 @@ mod tests {
         let f = &ir.funcs[0];
         let entry = f.block(f.entry);
         // i * c + j then a load.
-        assert!(entry.insts.iter().any(|i| matches!(i, Inst::IBin { op: IAluOp::Mul, .. })));
-        assert!(entry.insts.iter().any(|i| matches!(i, Inst::IBin { op: IAluOp::Add, .. })));
-        assert!(entry.insts.iter().any(|i| matches!(i, Inst::Load { is_static: false, .. })));
+        assert!(entry.insts.iter().any(|i| matches!(
+            i,
+            Inst::IBin {
+                op: IAluOp::Mul,
+                ..
+            }
+        )));
+        assert!(entry.insts.iter().any(|i| matches!(
+            i,
+            Inst::IBin {
+                op: IAluOp::Add,
+                ..
+            }
+        )));
+        assert!(entry.insts.iter().any(|i| matches!(
+            i,
+            Inst::Load {
+                is_static: false,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn static_load_flag_propagates() {
         let ir = lower("float f(float m[n], int n, int i) { return m@[i]; }");
         let f = &ir.funcs[0];
-        assert!(f
-            .block(f.entry)
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Load { is_static: true, .. })));
+        assert!(f.block(f.entry).insts.iter().any(|i| matches!(
+            i,
+            Inst::Load {
+                is_static: true,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -878,7 +1072,10 @@ mod tests {
             "int f(int x) { int r = 0; switch (x) { case 1: r = 10; break; case 2: r = 20; break; default: r = 30; } return r; }",
         );
         let f = &ir.funcs[0];
-        assert!(f.blocks.iter().any(|b| matches!(b.term, Term::Switch { .. })));
+        assert!(f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Term::Switch { .. })));
     }
 
     #[test]
@@ -901,7 +1098,10 @@ mod tests {
             for i in &b.insts {
                 if let Inst::Call { callee, .. } = i {
                     match callee {
-                        Callee::Func { index: 0, is_static: true } => saw_user = true,
+                        Callee::Func {
+                            index: 0,
+                            is_static: true,
+                        } => saw_user = true,
                         Callee::Host(HostFn::Cos) => saw_host = true,
                         other => panic!("unexpected callee {other:?}"),
                     }
@@ -950,7 +1150,10 @@ mod tests {
     fn declarations_are_zero_initialized() {
         let ir = lower("int f() { int x; return x; }");
         let f = &ir.funcs[0];
-        assert!(matches!(f.block(f.entry).insts[0], Inst::ConstI { v: 0, .. }));
+        assert!(matches!(
+            f.block(f.entry).insts[0],
+            Inst::ConstI { v: 0, .. }
+        ));
     }
 
     #[test]

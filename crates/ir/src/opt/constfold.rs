@@ -39,7 +39,10 @@ impl Env {
     }
 
     fn const_of(&self, r: VReg) -> Option<K> {
-        self.consts.get(&self.resolve(r)).copied().or_else(|| self.consts.get(&r).copied())
+        self.consts
+            .get(&self.resolve(r))
+            .copied()
+            .or_else(|| self.consts.get(&r).copied())
     }
 
     /// Invalidate everything known about `d` (it was just redefined).
@@ -232,9 +235,7 @@ fn fold(inst: &Inst, env: &Env) -> Option<Inst> {
                 (FAluOp::Mul, Some(K::F(k)), _) if k == 1.0 => {
                     return Some(Inst::Copy { dst: *dst, src: *b })
                 }
-                (FAluOp::Mul, _, Some(K::F(k))) | (FAluOp::Div, _, Some(K::F(k)))
-                    if k == 1.0 =>
-                {
+                (FAluOp::Mul, _, Some(K::F(k))) | (FAluOp::Div, _, Some(K::F(k))) if k == 1.0 => {
                     return Some(Inst::Copy { dst: *dst, src: *a })
                 }
                 _ => {}
@@ -243,24 +244,39 @@ fn fold(inst: &Inst, env: &Env) -> Option<Inst> {
         }
         Inst::ICmp { cc, dst, a, b } => {
             if let (Some(K::I(x)), Some(K::I(y))) = (env.const_of(*a), env.const_of(*b)) {
-                return Some(Inst::ConstI { dst: *dst, v: icmp(*cc, x, y) as i64 });
+                return Some(Inst::ConstI {
+                    dst: *dst,
+                    v: icmp(*cc, x, y) as i64,
+                });
             }
             None
         }
         Inst::FCmp { cc, dst, a, b } => {
             if let (Some(K::F(x)), Some(K::F(y))) = (env.const_of(*a), env.const_of(*b)) {
-                return Some(Inst::ConstI { dst: *dst, v: fcmp(*cc, x, y) as i64 });
+                return Some(Inst::ConstI {
+                    dst: *dst,
+                    v: fcmp(*cc, x, y) as i64,
+                });
             }
             None
         }
         Inst::Un { op, dst, src } => {
             let k = env.const_of(*src)?;
             Some(match (op, k) {
-                (UnOp::NegI, K::I(v)) => Inst::ConstI { dst: *dst, v: v.wrapping_neg() },
+                (UnOp::NegI, K::I(v)) => Inst::ConstI {
+                    dst: *dst,
+                    v: v.wrapping_neg(),
+                },
                 (UnOp::NotI, K::I(v)) => Inst::ConstI { dst: *dst, v: !v },
                 (UnOp::NegF, K::F(v)) => Inst::ConstF { dst: *dst, v: -v },
-                (UnOp::IToF, K::I(v)) => Inst::ConstF { dst: *dst, v: v as f64 },
-                (UnOp::FToI, K::F(v)) => Inst::ConstI { dst: *dst, v: v as i64 },
+                (UnOp::IToF, K::I(v)) => Inst::ConstF {
+                    dst: *dst,
+                    v: v as f64,
+                },
+                (UnOp::FToI, K::F(v)) => Inst::ConstI {
+                    dst: *dst,
+                    v: v as i64,
+                },
                 _ => return None,
             })
         }
@@ -353,26 +369,42 @@ mod tests {
         let f = fold_once("int f(int x) { return x * 1; }");
         let insts = &f.block(f.entry).insts;
         assert!(insts.iter().any(|i| matches!(i, Inst::Copy { .. })));
-        assert!(!insts.iter().any(|i| matches!(i, Inst::IBin { op: IAluOp::Mul, .. })));
+        assert!(!insts.iter().any(|i| matches!(
+            i,
+            Inst::IBin {
+                op: IAluOp::Mul,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn float_mul_by_one_becomes_copy_but_add_zero_does_not() {
         let f = fold_once("float f(float x) { return x * 1.0; }");
-        assert!(f.block(f.entry).insts.iter().any(|i| matches!(i, Inst::Copy { .. })));
+        assert!(f
+            .block(f.entry)
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Copy { .. })));
         // x + 0.0 must stay (negative-zero semantics).
         let g = fold_once("float f(float x) { return x + 0.0; }");
-        assert!(g.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i, Inst::FBin { .. })));
+        assert!(g
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::FBin { .. })));
     }
 
     #[test]
     fn divide_by_zero_not_folded() {
         let f = fold_once("int f() { return 1 / 0; }");
-        assert!(f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::IBin { op: IAluOp::Div, .. })));
+        assert!(f.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(
+            i,
+            Inst::IBin {
+                op: IAluOp::Div,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -385,11 +417,13 @@ mod tests {
     fn redefinition_invalidates_knowledge() {
         // a is 1, then reassigned to x; the fold of a+1 must not use 1.
         let f = fold_once("int f(int x) { int a = 1; a = x; return a + 1; }");
-        assert!(f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::IBin { op: IAluOp::Add, .. })));
+        assert!(f.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(
+            i,
+            Inst::IBin {
+                op: IAluOp::Add,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -35,19 +35,31 @@ pub fn run(f: &mut FuncIr) -> bool {
             let key = match inst {
                 Inst::IBin { op, a, b, .. } => {
                     // Normalize commutative operands.
-                    let (a, b) = if commutative_i(*op) && b < a { (*b, *a) } else { (*a, *b) };
+                    let (a, b) = if commutative_i(*op) && b < a {
+                        (*b, *a)
+                    } else {
+                        (*a, *b)
+                    };
                     Some(Key::IBin(*op, a, b))
                 }
                 Inst::FBin { op, a, b, .. } => {
-                    let (a, b) = if commutative_f(*op) && b < a { (*b, *a) } else { (*a, *b) };
+                    let (a, b) = if commutative_f(*op) && b < a {
+                        (*b, *a)
+                    } else {
+                        (*a, *b)
+                    };
                     Some(Key::FBin(*op, a, b))
                 }
                 Inst::ICmp { cc, a, b, .. } => Some(Key::ICmp(*cc, *a, *b)),
                 Inst::FCmp { cc, a, b, .. } => Some(Key::FCmp(*cc, *a, *b)),
                 Inst::Un { op, src, .. } => Some(Key::Un(*op, *src)),
-                Inst::Load { ty, base, idx, is_static, .. } => {
-                    Some(Key::Load(*ty, *base, *idx, *is_static, mem_version))
-                }
+                Inst::Load {
+                    ty,
+                    base,
+                    idx,
+                    is_static,
+                    ..
+                } => Some(Key::Load(*ty, *base, *idx, *is_static, mem_version)),
                 Inst::Store { .. } => {
                     mem_version += 1;
                     None
@@ -95,7 +107,10 @@ fn key_uses(k: &Key, r: VReg) -> bool {
 }
 
 fn commutative_i(op: IAluOp) -> bool {
-    matches!(op, IAluOp::Add | IAluOp::Mul | IAluOp::And | IAluOp::Or | IAluOp::Xor)
+    matches!(
+        op,
+        IAluOp::Add | IAluOp::Mul | IAluOp::And | IAluOp::Or | IAluOp::Xor
+    )
 }
 
 fn commutative_f(op: FAluOp) -> bool {
@@ -116,7 +131,11 @@ mod tests {
     }
 
     fn count_ibins(f: &FuncIr) -> usize {
-        f.blocks.iter().flat_map(|b| &b.insts).filter(|i| matches!(i, Inst::IBin { .. })).count()
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::IBin { .. }))
+            .count()
     }
 
     #[test]
@@ -137,16 +156,25 @@ mod tests {
         let f = cse_of(
             "int f(int a[n], int n, int i) { int x = a[i]; a[i] = x + 1; int y = a[i]; return y; }",
         );
-        let loads =
-            f.blocks.iter().flat_map(|b| &b.insts).filter(|i| matches!(i, Inst::Load { .. })).count();
+        let loads = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count();
         assert_eq!(loads, 2, "the load after the store must not be reused");
     }
 
     #[test]
     fn duplicate_loads_without_store_merge() {
-        let f = cse_of("int f(int a[n], int n, int i) { int x = a[i]; int y = a[i]; return x + y; }");
-        let loads =
-            f.blocks.iter().flat_map(|b| &b.insts).filter(|i| matches!(i, Inst::Load { .. })).count();
+        let f =
+            cse_of("int f(int a[n], int n, int i) { int x = a[i]; int y = a[i]; return x + y; }");
+        let loads = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count();
         assert_eq!(loads, 1);
     }
 

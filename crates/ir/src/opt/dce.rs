@@ -87,13 +87,21 @@ mod tests {
     #[test]
     fn removes_dead_pure_host_call() {
         let f = dce_of("float f(float x) { float unused = cos(x); return x; }");
-        assert!(!f.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i, Inst::Call { .. })));
+        assert!(!f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Call { .. })));
     }
 
     #[test]
     fn keeps_variables_named_by_annotations() {
         let f = dce_of("void f(int x) { int key = x + 1; make_static(key); }");
         // key's definition must survive: the specializer reads it.
-        assert!(f.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i, Inst::IBin { .. })));
+        assert!(f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::IBin { .. })));
     }
 }

@@ -26,22 +26,26 @@ pub fn run(f: &mut FuncIr) -> bool {
     loops.sort_by_key(|l| l.body.len());
     let lv = liveness(f);
     for l in loops {
+        // Walk body blocks in id order: the preheader's instruction order
+        // (and thus downstream register assignment) must not depend on
+        // hash iteration order.
+        let mut body_blocks: Vec<BlockId> = l.body.iter().copied().collect();
+        body_blocks.sort();
         // Count definitions of each register inside the loop.
         let mut defs: HashMap<VReg, usize> = HashMap::new();
-        for &b in &l.body {
+        for &b in &body_blocks {
             for inst in &f.block(b).insts {
                 if let Some(d) = inst.def() {
                     *defs.entry(d).or_insert(0) += 1;
                 }
             }
         }
-        let live_in_header: HashSet<VReg> =
-            lv.live_in[l.header.index()].iter().copied().collect();
+        let live_in_header: HashSet<VReg> = lv.live_in[l.header.index()].iter().copied().collect();
         // Registers holding in-loop constants: invariant by value. Their
         // defining instruction is cloned into the preheader when a hoisted
         // instruction reads them.
         let mut const_defs: HashMap<VReg, Inst> = HashMap::new();
-        for &b in &l.body {
+        for &b in &body_blocks {
             for inst in &f.block(b).insts {
                 if let (Some(d), Inst::ConstI { .. } | Inst::ConstF { .. }) = (inst.def(), inst) {
                     if defs.get(&d).copied() == Some(1) {
@@ -57,7 +61,7 @@ pub fn run(f: &mut FuncIr) -> bool {
         let mut hoisted_defs: HashSet<VReg> = HashSet::new();
         loop {
             let mut moved_any = false;
-            for &b in &l.body {
+            for &b in &body_blocks {
                 let mut i = 0;
                 while i < f.block(b).insts.len() {
                     let inst = &f.block(b).insts[i];
@@ -135,9 +139,7 @@ fn is_hoistable(
     // Operands defined wholly outside the loop, already hoisted, or
     // in-loop constants (clonable into the preheader).
     inst.uses().iter().all(|u| {
-        hoisted.contains(u)
-            || defs.get(u).copied().unwrap_or(0) == 0
-            || const_defs.contains_key(u)
+        hoisted.contains(u) || defs.get(u).copied().unwrap_or(0) == 0 || const_defs.contains_key(u)
     })
 }
 
@@ -153,7 +155,9 @@ fn retarget_entries(f: &mut FuncIr, header: BlockId, preheader: BlockId, body: &
         if b == preheader || body.contains(&b) {
             continue;
         }
-        f.block_mut(b).term.map_succs(|s| if s == header { preheader } else { s });
+        f.block_mut(b)
+            .term
+            .map_succs(|s| if s == header { preheader } else { s });
     }
 }
 
@@ -174,7 +178,11 @@ mod tests {
 
     fn loop_body_instrs(f: &FuncIr) -> usize {
         let loops = natural_loops(f);
-        loops.iter().flat_map(|l| &l.body).map(|b| f.block(*b).insts.len()).sum()
+        loops
+            .iter()
+            .flat_map(|l| &l.body)
+            .map(|b| f.block(*b).insts.len())
+            .sum()
     }
 
     #[test]
@@ -184,10 +192,15 @@ mod tests {
         // k * 4 leaves the loop body.
         let loops = natural_loops(&f);
         let in_loop_mul = loops.iter().flat_map(|l| &l.body).any(|b| {
-            f.block(*b)
-                .insts
-                .iter()
-                .any(|i| matches!(i, Inst::IBin { op: IAluOp::Mul, .. }))
+            f.block(*b).insts.iter().any(|i| {
+                matches!(
+                    i,
+                    Inst::IBin {
+                        op: IAluOp::Mul,
+                        ..
+                    }
+                )
+            })
         });
         assert!(!in_loop_mul, "{}", crate::pretty::func_to_string(&f));
     }
@@ -200,7 +213,13 @@ mod tests {
         let still_in_loop = loops.iter().flat_map(|l| &l.body).any(|b| {
             f.block(*b).insts.iter().any(|i| {
                 matches!(i, Inst::Load { .. })
-                    || matches!(i, Inst::IBin { op: IAluOp::Div, .. })
+                    || matches!(
+                        i,
+                        Inst::IBin {
+                            op: IAluOp::Div,
+                            ..
+                        }
+                    )
             })
         });
         assert!(still_in_loop, "loads and divisions must stay put");
@@ -208,14 +227,23 @@ mod tests {
 
     #[test]
     fn does_not_hoist_variant_computation() {
-        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; ++i) { s += i * 2; } return s; }";
+        let src =
+            "int f(int n) { int s = 0; for (int i = 0; i < n; ++i) { s += i * 2; } return s; }";
         let f = licm_of(src);
         let loops = natural_loops(&f);
         let mul_in_loop = loops.iter().flat_map(|l| &l.body).any(|b| {
-            f.block(*b)
-                .insts
-                .iter()
-                .any(|i| matches!(i, Inst::IBin { op: IAluOp::Mul, .. } | Inst::IBin { op: IAluOp::Shl, .. }))
+            f.block(*b).insts.iter().any(|i| {
+                matches!(
+                    i,
+                    Inst::IBin {
+                        op: IAluOp::Mul,
+                        ..
+                    } | Inst::IBin {
+                        op: IAluOp::Shl,
+                        ..
+                    }
+                )
+            })
         });
         assert!(mul_in_loop, "i * 2 varies and must stay");
     }
@@ -229,7 +257,9 @@ mod tests {
         crate::opt::optimize_program(&mut ir);
         let mut m = codegen_program(&ir);
         let mut vm = Vm::without_icache(CostModel::unit());
-        let out = vm.call(&mut m, dyc_vm::FuncId(0), &[Value::I(10), Value::I(5)]).unwrap();
+        let out = vm
+            .call(&mut m, dyc_vm::FuncId(0), &[Value::I(10), Value::I(5)])
+            .unwrap();
         assert_eq!(out, Some(Value::I(150)));
     }
 
@@ -258,11 +288,20 @@ mod tests {
         let loops = natural_loops(&f);
         let inner = loops.iter().min_by_key(|l| l.body.len()).unwrap();
         let mul_in_inner = inner.body.iter().any(|b| {
-            f.block(*b)
-                .insts
-                .iter()
-                .any(|i| matches!(i, Inst::IBin { op: IAluOp::Mul, .. }))
+            f.block(*b).insts.iter().any(|i| {
+                matches!(
+                    i,
+                    Inst::IBin {
+                        op: IAluOp::Mul,
+                        ..
+                    }
+                )
+            })
         });
-        assert!(!mul_in_inner, "i*c must leave the inner loop:\n{}", crate::pretty::func_to_string(&f));
+        assert!(
+            !mul_in_inner,
+            "i*c must leave the inner loop:\n{}",
+            crate::pretty::func_to_string(&f)
+        );
     }
 }

@@ -67,8 +67,16 @@ mod tests {
         let f = optimized("int f() { int a = 2; int b = 3; return a * b + 1; }");
         // Everything folds to `return 7`.
         let total: usize = f.blocks.iter().map(|b| b.insts.len()).sum();
-        assert_eq!(total, 1, "expected a single const, got:\n{}", crate::pretty::func_to_string(&f));
-        assert!(matches!(f.block(f.entry).insts[0], Inst::ConstI { v: 7, .. }));
+        assert_eq!(
+            total,
+            1,
+            "expected a single const, got:\n{}",
+            crate::pretty::func_to_string(&f)
+        );
+        assert!(matches!(
+            f.block(f.entry).insts[0],
+            Inst::ConstI { v: 7, .. }
+        ));
     }
 
     #[test]
@@ -81,7 +89,9 @@ mod tests {
 
     #[test]
     fn pipeline_is_idempotent() {
-        let mut f = optimized("int f(int n) { int s = 0; for (int i = 0; i < n; ++i) { s += i * 1; } return s; }");
+        let mut f = optimized(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; ++i) { s += i * 1; } return s; }",
+        );
         let before = crate::pretty::func_to_string(&f);
         optimize_func(&mut f);
         assert_eq!(before, crate::pretty::func_to_string(&f));

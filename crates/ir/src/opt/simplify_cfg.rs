@@ -161,9 +161,8 @@ mod tests {
 
     #[test]
     fn loops_survive_simplification() {
-        let f = simplified(
-            "int f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }",
-        );
+        let f =
+            simplified("int f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }");
         // Loop still present: some block branches backward.
         let preds = f.predecessors();
         assert!(preds.iter().any(|p| p.len() >= 2));

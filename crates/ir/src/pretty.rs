@@ -25,13 +25,29 @@ pub fn inst_to_string(f: &FuncIr, i: &Inst) -> String {
             format!("{} = {op:?}.f {}, {}", reg(f, *dst), reg(f, *a), reg(f, *b))
         }
         Inst::ICmp { cc, dst, a, b } => {
-            format!("{} = cmp.{cc:?}.i {}, {}", reg(f, *dst), reg(f, *a), reg(f, *b))
+            format!(
+                "{} = cmp.{cc:?}.i {}, {}",
+                reg(f, *dst),
+                reg(f, *a),
+                reg(f, *b)
+            )
         }
         Inst::FCmp { cc, dst, a, b } => {
-            format!("{} = cmp.{cc:?}.f {}, {}", reg(f, *dst), reg(f, *a), reg(f, *b))
+            format!(
+                "{} = cmp.{cc:?}.f {}, {}",
+                reg(f, *dst),
+                reg(f, *a),
+                reg(f, *b)
+            )
         }
         Inst::Un { op, dst, src } => format!("{} = {op:?} {}", reg(f, *dst), reg(f, *src)),
-        Inst::Load { ty, dst, base, idx, is_static } => format!(
+        Inst::Load {
+            ty,
+            dst,
+            base,
+            idx,
+            is_static,
+        } => format!(
             "{} = load.{ty}{} [{} + {}]",
             reg(f, *dst),
             if *is_static { "@" } else { "" },
@@ -39,7 +55,12 @@ pub fn inst_to_string(f: &FuncIr, i: &Inst) -> String {
             reg(f, *idx)
         ),
         Inst::Store { ty, base, idx, src } => {
-            format!("store.{ty} [{} + {}], {}", reg(f, *base), reg(f, *idx), reg(f, *src))
+            format!(
+                "store.{ty} [{} + {}], {}",
+                reg(f, *base),
+                reg(f, *idx),
+                reg(f, *src)
+            )
         }
         Inst::Call { callee, dst, args } => {
             let target = match callee {
@@ -55,8 +76,10 @@ pub fn inst_to_string(f: &FuncIr, i: &Inst) -> String {
             }
         }
         Inst::MakeStatic { vars } => {
-            let parts: Vec<String> =
-                vars.iter().map(|(v, p)| format!("{} [{p:?}]", reg(f, *v))).collect();
+            let parts: Vec<String> = vars
+                .iter()
+                .map(|(v, p)| format!("{} [{p:?}]", reg(f, *v)))
+                .collect();
             format!("make_static({})", parts.join(", "))
         }
         Inst::MakeDynamic { vars } => {
@@ -126,8 +149,7 @@ mod tests {
 
     #[test]
     fn renders_named_registers_and_blocks() {
-        let ir =
-            lower_program(&parse_program("int f(int a) { return a + 1; }").unwrap()).unwrap();
+        let ir = lower_program(&parse_program("int f(int a) { return a + 1; }").unwrap()).unwrap();
         let s = func_to_string(&ir.funcs[0]);
         assert!(s.contains("fn f"));
         assert!(s.contains("(a)"));

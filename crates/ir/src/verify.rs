@@ -44,7 +44,12 @@ pub fn verify_program(p: &ProgramIr) -> Result<(), VerifyError> {
 ///
 /// Returns the first inconsistency found.
 pub fn verify_func(f: &FuncIr, prog: Option<&ProgramIr>) -> Result<(), VerifyError> {
-    let fail = |msg: String| Err(VerifyError { message: msg, function: f.name.clone() });
+    let fail = |msg: String| {
+        Err(VerifyError {
+            message: msg,
+            function: f.name.clone(),
+        })
+    };
 
     if f.blocks.is_empty() {
         return fail("function has no blocks".into());
@@ -67,10 +72,9 @@ pub fn verify_func(f: &FuncIr, prog: Option<&ProgramIr>) -> Result<(), VerifyErr
                 }
             }
             match inst {
-                Inst::Copy { dst, src }
-                    if f.ty(*dst) != f.ty(*src) => {
-                        return fail(ctx(format!("copy mixes types: {dst} = {src}")));
-                    }
+                Inst::Copy { dst, src } if f.ty(*dst) != f.ty(*src) => {
+                    return fail(ctx(format!("copy mixes types: {dst} = {src}")));
+                }
                 Inst::ConstI { dst, .. } if f.ty(*dst) != IrTy::Int => {
                     return fail(ctx(format!("int constant into float register {dst}")));
                 }
@@ -92,15 +96,22 @@ pub fn verify_func(f: &FuncIr, prog: Option<&ProgramIr>) -> Result<(), VerifyErr
                     }
                 }
                 Inst::ICmp { dst, a, b: rb, .. }
-                    if (f.ty(*dst) != IrTy::Int || f.ty(*a) != IrTy::Int || f.ty(*rb) != IrTy::Int) => {
-                        return fail(ctx("icmp type mismatch".into()));
-                    }
+                    if (f.ty(*dst) != IrTy::Int
+                        || f.ty(*a) != IrTy::Int
+                        || f.ty(*rb) != IrTy::Int) =>
+                {
+                    return fail(ctx("icmp type mismatch".into()));
+                }
                 Inst::FCmp { dst, a, b: rb, .. }
-                    if (f.ty(*dst) != IrTy::Int || f.ty(*a) != IrTy::Float || f.ty(*rb) != IrTy::Float)
-                    => {
-                        return fail(ctx("fcmp type mismatch".into()));
-                    }
-                Inst::Load { ty, dst, base, idx, .. } => {
+                    if (f.ty(*dst) != IrTy::Int
+                        || f.ty(*a) != IrTy::Float
+                        || f.ty(*rb) != IrTy::Float) =>
+                {
+                    return fail(ctx("fcmp type mismatch".into()));
+                }
+                Inst::Load {
+                    ty, dst, base, idx, ..
+                } => {
                     if f.ty(*dst) != *ty {
                         return fail(ctx("load type mismatch".into()));
                     }
@@ -160,10 +171,9 @@ pub fn verify_func(f: &FuncIr, prog: Option<&ProgramIr>) -> Result<(), VerifyErr
         }
         if let Term::Ret(v) = &b.term {
             match (v, f.ret_ty) {
-                (Some(r), Some(rt))
-                    if f.ty(*r) != rt => {
-                        return fail(ctx("return type mismatch".into()));
-                    }
+                (Some(r), Some(rt)) if f.ty(*r) != rt => {
+                    return fail(ctx("return type mismatch".into()));
+                }
                 (Some(_), None) => return fail(ctx("void function returns a value".into())),
                 // Returning no value from a non-void function is allowed
                 // only for the synthetic unreachable blocks lowering leaves
@@ -210,10 +220,8 @@ mod tests {
     fn accepts_lowered_programs() {
         check("int f(int a, int b) { return a * b + 1; }").unwrap();
         check("float g(float m[][c], int c, int i, int j) { return m@[i]@[j]; }").unwrap();
-        check(
-            "int h(int n) { int s = 0; for (int i = 0; i < n; ++i) { s += i; } return s; }",
-        )
-        .unwrap();
+        check("int h(int n) { int s = 0; for (int i = 0; i < n; ++i) { s += i; } return s; }")
+            .unwrap();
     }
 
     #[test]
@@ -233,7 +241,10 @@ mod tests {
         let mut f = FuncIr::new("bad");
         let b = f.new_block();
         f.entry = b;
-        f.block_mut(b).insts.push(Inst::Copy { dst: VReg(5), src: VReg(6) });
+        f.block_mut(b).insts.push(Inst::Copy {
+            dst: VReg(5),
+            src: VReg(6),
+        });
         f.block_mut(b).term = Term::Ret(None);
         assert!(verify_func(&f, None).is_err());
     }

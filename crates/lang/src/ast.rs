@@ -70,7 +70,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for comparison operators (result is int regardless of operands).
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// True for short-circuiting logical operators.
@@ -124,7 +127,11 @@ pub enum Expr {
     Binary(BinOp, Box<Expr>, Box<Expr>),
     /// Array element read: `base[i]` or `base[i][j]`; `is_static` marks the
     /// `@` annotation (a static load, §2.2.6).
-    Index { base: String, indices: Vec<Expr>, is_static: bool },
+    Index {
+        base: String,
+        indices: Vec<Expr>,
+        is_static: bool,
+    },
     /// Function call (user or host function).
     Call { name: String, args: Vec<Expr> },
 }
@@ -144,11 +151,18 @@ pub enum Stmt {
     /// `{ ... }`
     Block(Vec<Stmt>),
     /// Variable declarations with optional initializers.
-    Decl { ty: Type, inits: Vec<(String, Option<Expr>)> },
+    Decl {
+        ty: Type,
+        inits: Vec<(String, Option<Expr>)>,
+    },
     /// Assignment (including compound forms).
     Assign { lv: LValue, op: AssignOp, rhs: Expr },
     /// `if (cond) then else`
-    If { cond: Expr, then_branch: Box<Stmt>, else_branch: Option<Box<Stmt>> },
+    If {
+        cond: Expr,
+        then_branch: Box<Stmt>,
+        else_branch: Option<Box<Stmt>>,
+    },
     /// `while (cond) body`
     While { cond: Expr, body: Box<Stmt> },
     /// `for (init; cond; step) body` — any of the three may be absent.
@@ -161,7 +175,11 @@ pub enum Stmt {
     /// `switch (scrutinee) { case k: ...; default: ... }`. Cases do not
     /// fall through (every benchmark in the paper breaks at case end, so
     /// DyCL makes that the semantics).
-    Switch { scrutinee: Expr, cases: Vec<(i64, Vec<Stmt>)>, default: Vec<Stmt> },
+    Switch {
+        scrutinee: Expr,
+        cases: Vec<(i64, Vec<Stmt>)>,
+        default: Vec<Stmt>,
+    },
     /// `break;`
     Break,
     /// `continue;`
@@ -222,12 +240,15 @@ impl Function {
             match s {
                 Stmt::MakeStatic(_) | Stmt::MakeDynamic(_) | Stmt::Promote(_) => true,
                 Stmt::Block(b) => b.iter().any(stmt_has),
-                Stmt::If { then_branch, else_branch, .. } => {
-                    stmt_has(then_branch)
-                        || else_branch.as_deref().is_some_and(stmt_has)
-                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => stmt_has(then_branch) || else_branch.as_deref().is_some_and(stmt_has),
                 Stmt::While { body, .. } => stmt_has(body),
-                Stmt::For { init, step, body, .. } => {
+                Stmt::For {
+                    init, step, body, ..
+                } => {
                     init.as_deref().is_some_and(stmt_has)
                         || step.as_deref().is_some_and(stmt_has)
                         || stmt_has(body)
@@ -277,14 +298,26 @@ mod tests {
             }],
         };
         assert!(f.has_annotations());
-        let g = Function { name: "g".into(), body: vec![Stmt::Break], ..f.clone() };
+        let g = Function {
+            name: "g".into(),
+            body: vec![Stmt::Break],
+            ..f.clone()
+        };
         assert!(!g.has_annotations());
     }
 
     #[test]
     fn param_classification() {
-        let scalar = Param { name: "n".into(), ty: Type::Int, dims: vec![] };
-        let arr = Param { name: "a".into(), ty: Type::Float, dims: vec![None, Some(Expr::Var("n".into()))] };
+        let scalar = Param {
+            name: "n".into(),
+            ty: Type::Int,
+            dims: vec![],
+        };
+        let arr = Param {
+            name: "a".into(),
+            ty: Type::Float,
+            dims: vec![None, Some(Expr::Var("n".into()))],
+        };
         assert!(!scalar.is_array());
         assert!(arr.is_array());
     }

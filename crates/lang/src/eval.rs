@@ -130,7 +130,9 @@ impl<'p> Evaluator<'p> {
             .function(name)
             .ok_or_else(|| EvalError::Invalid(format!("unknown function '{name}'")))?;
         if args.len() != f.params.len() {
-            return Err(EvalError::Invalid(format!("arity mismatch calling '{name}'")));
+            return Err(EvalError::Invalid(format!(
+                "arity mismatch calling '{name}'"
+            )));
         }
         let mut scopes: Vec<Scope> = vec![Scope::new()];
         for (p, a) in f.params.iter().zip(args) {
@@ -140,7 +142,10 @@ impl<'p> Evaluator<'p> {
             } else {
                 EvalValue::F(a.as_f())
             };
-            scopes.last_mut().expect("nonempty").insert(p.name.clone(), v);
+            scopes
+                .last_mut()
+                .expect("nonempty")
+                .insert(p.name.clone(), v);
         }
         let mut flow = Flow::Normal;
         for st in &f.body {
@@ -179,7 +184,9 @@ impl<'p> Evaluator<'p> {
                 return Ok(());
             }
         }
-        Err(EvalError::Invalid(format!("assignment to unknown '{name}'")))
+        Err(EvalError::Invalid(format!(
+            "assignment to unknown '{name}'"
+        )))
     }
 
     fn elem_addr(
@@ -281,13 +288,20 @@ impl<'p> Evaluator<'p> {
                             EvalValue::I(self.mem[addr] as i64)
                         };
                         let v = rhs_value(self, scopes, cur)?;
-                        self.mem[addr] =
-                            if is_float { v.as_f().to_bits() } else { v.as_i() as u64 };
+                        self.mem[addr] = if is_float {
+                            v.as_f().to_bits()
+                        } else {
+                            v.as_i() as u64
+                        };
                     }
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if self.expr(f, cond, scopes)?.truthy() {
                     self.stmt(f, then_branch, scopes)
                 } else if let Some(e) = else_branch {
@@ -307,7 +321,12 @@ impl<'p> Evaluator<'p> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 scopes.push(Scope::new());
                 if let Some(i) = init {
                     if let Flow::Return(v) = self.stmt(f, i, scopes)? {
@@ -337,7 +356,11 @@ impl<'p> Evaluator<'p> {
                 scopes.pop();
                 Ok(Flow::Normal)
             }
-            Stmt::Switch { scrutinee, cases, default } => {
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
                 let v = self.expr(f, scrutinee, scopes)?.as_i();
                 let body = cases
                     .iter()
@@ -599,7 +622,10 @@ mod tests {
     fn division_by_zero_faults() {
         let p = parse_program("int f(int x) { return 1 / x; }").unwrap();
         let mut ev = Evaluator::new(&p, 0);
-        assert_eq!(ev.call("f", &[EvalValue::I(0)]).unwrap_err(), EvalError::DivideByZero);
+        assert_eq!(
+            ev.call("f", &[EvalValue::I(0)]).unwrap_err(),
+            EvalError::DivideByZero
+        );
     }
 
     #[test]

@@ -34,14 +34,21 @@ struct Lexer<'a> {
 ///
 /// Returns a [`LexError`] on malformed numbers or unexpected characters.
 pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
-    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
     let mut out = Vec::new();
     loop {
         lx.skip_trivia()?;
         let line = lx.line;
         match lx.next_kind()? {
             TokenKind::Eof => {
-                out.push(Token { kind: TokenKind::Eof, line });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                });
                 return Ok(out);
             }
             kind => out.push(Token { kind, line }),
@@ -68,7 +75,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> LexError {
-        LexError { message: msg.into(), line: self.line }
+        LexError {
+            message: msg.into(),
+            line: self.line,
+        }
     }
 
     fn skip_trivia(&mut self) -> Result<(), LexError> {

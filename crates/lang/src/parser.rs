@@ -25,7 +25,10 @@ impl Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line }
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
     }
 }
 
@@ -71,7 +74,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: msg.into(), line: self.line() })
+        Err(ParseError {
+            message: msg.into(),
+            line: self.line(),
+        })
     }
 
     fn expect(&mut self, k: &TokenKind) -> Result<(), ParseError> {
@@ -103,7 +109,10 @@ impl Parser {
     }
 
     fn is_type_start(&self) -> bool {
-        matches!(self.peek(), TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwVoid)
+        matches!(
+            self.peek(),
+            TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwVoid
+        )
     }
 
     fn ty(&mut self) -> Result<Type, ParseError> {
@@ -136,7 +145,13 @@ impl Parser {
         }
         self.expect(&TokenKind::LBrace)?;
         let body = self.block_body()?;
-        Ok(Function { name, is_static, ret, params, body })
+        Ok(Function {
+            name,
+            is_static,
+            ret,
+            params,
+            body,
+        })
     }
 
     fn param(&mut self) -> Result<Param, ParseError> {
@@ -190,7 +205,11 @@ impl Parser {
             }
             TokenKind::KwReturn => {
                 self.bump();
-                let e = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                let e = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::Semi)?;
                 Ok(Stmt::Return(e))
             }
@@ -205,9 +224,7 @@ impl Parser {
                             "cache_all" => Policy::CacheAll,
                             "cache_one_unchecked" => Policy::CacheOneUnchecked,
                             "cache_indexed" => Policy::CacheIndexed,
-                            other => {
-                                return self.err(format!("unknown caching policy '{other}'"))
-                            }
+                            other => return self.err(format!("unknown caching policy '{other}'")),
                         }
                     } else {
                         Policy::CacheAll
@@ -261,8 +278,16 @@ impl Parser {
         if matches!(self.peek(), TokenKind::PlusPlus | TokenKind::MinusMinus) {
             let op = self.bump();
             let lv = self.lvalue()?;
-            let delta = if op == TokenKind::PlusPlus { AssignOp::Add } else { AssignOp::Sub };
-            return Ok(Stmt::Assign { lv, op: delta, rhs: Expr::IntLit(1) });
+            let delta = if op == TokenKind::PlusPlus {
+                AssignOp::Add
+            } else {
+                AssignOp::Sub
+            };
+            return Ok(Stmt::Assign {
+                lv,
+                op: delta,
+                rhs: Expr::IntLit(1),
+            });
         }
         let e = self.expr()?;
         let assign_op = match self.peek() {
@@ -274,12 +299,20 @@ impl Parser {
             TokenKind::PlusPlus => {
                 self.bump();
                 let lv = self.expr_to_lvalue(e)?;
-                return Ok(Stmt::Assign { lv, op: AssignOp::Add, rhs: Expr::IntLit(1) });
+                return Ok(Stmt::Assign {
+                    lv,
+                    op: AssignOp::Add,
+                    rhs: Expr::IntLit(1),
+                });
             }
             TokenKind::MinusMinus => {
                 self.bump();
                 let lv = self.expr_to_lvalue(e)?;
-                return Ok(Stmt::Assign { lv, op: AssignOp::Sub, rhs: Expr::IntLit(1) });
+                return Ok(Stmt::Assign {
+                    lv,
+                    op: AssignOp::Sub,
+                    rhs: Expr::IntLit(1),
+                });
             }
             _ => None,
         };
@@ -297,10 +330,14 @@ impl Parser {
     fn expr_to_lvalue(&self, e: Expr) -> Result<LValue, ParseError> {
         match e {
             Expr::Var(name) => Ok(LValue::Var(name)),
-            Expr::Index { base, indices, is_static: false } => {
-                Ok(LValue::Elem { base, indices })
-            }
-            Expr::Index { is_static: true, .. } => Err(ParseError {
+            Expr::Index {
+                base,
+                indices,
+                is_static: false,
+            } => Ok(LValue::Elem { base, indices }),
+            Expr::Index {
+                is_static: true, ..
+            } => Err(ParseError {
                 message: "a static load (@) cannot be assigned to".into(),
                 line: self.line(),
             }),
@@ -321,8 +358,11 @@ impl Parser {
         let mut inits = Vec::new();
         loop {
             let name = self.ident()?;
-            let init =
-                if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             inits.push((name, init));
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -342,7 +382,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt::If { cond, then_branch, else_branch })
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
     }
 
     fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -363,7 +407,11 @@ impl Parser {
             Some(Box::new(self.simple_stmt()?))
         };
         self.expect(&TokenKind::Semi)?;
-        let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+        let cond = if self.peek() == &TokenKind::Semi {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(&TokenKind::Semi)?;
         let step = if self.peek() == &TokenKind::RParen {
             None
@@ -372,7 +420,12 @@ impl Parser {
         };
         self.expect(&TokenKind::RParen)?;
         let body = Box::new(self.stmt()?);
-        Ok(Stmt::For { init, cond, step, body })
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
     }
 
     fn switch_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -396,9 +449,7 @@ impl Parser {
                         }
                     }
                     other => {
-                        return self.err(format!(
-                            "expected integer case label, found '{other}'"
-                        ))
+                        return self.err(format!("expected integer case label, found '{other}'"))
                     }
                 };
                 self.expect(&TokenKind::Colon)?;
@@ -421,7 +472,11 @@ impl Parser {
                 ));
             }
         }
-        Ok(Stmt::Switch { scrutinee, cases, default })
+        Ok(Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+        })
     }
 
     fn case_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -585,9 +640,7 @@ impl Parser {
                 Ok(Expr::Unary(UnaryOp::BitNot, Box::new(self.unary()?)))
             }
             // Cast: `(int) e` or `(float) e`.
-            TokenKind::LParen
-                if matches!(self.peek2(), TokenKind::KwInt | TokenKind::KwFloat) =>
-            {
+            TokenKind::LParen if matches!(self.peek2(), TokenKind::KwInt | TokenKind::KwFloat) => {
                 self.bump();
                 let op = match self.bump() {
                     TokenKind::KwInt => UnaryOp::CastInt,
@@ -613,10 +666,16 @@ impl Parser {
                     let idx = self.expr()?;
                     self.expect(&TokenKind::RBracket)?;
                     e = match e {
-                        Expr::Var(base) => {
-                            Expr::Index { base, indices: vec![idx], is_static }
-                        }
-                        Expr::Index { base, mut indices, is_static: was_static } => {
+                        Expr::Var(base) => Expr::Index {
+                            base,
+                            indices: vec![idx],
+                            is_static,
+                        },
+                        Expr::Index {
+                            base,
+                            mut indices,
+                            is_static: was_static,
+                        } => {
                             if indices.len() >= 2 {
                                 return self
                                     .err("arrays of more than two dimensions are not supported");
@@ -626,7 +685,11 @@ impl Parser {
                             // the last annotation, matching the paper's
                             // `cmatrix @[crow] @[ccol]` usage.
                             indices.push(idx);
-                            Expr::Index { base, indices, is_static: was_static || is_static }
+                            Expr::Index {
+                                base,
+                                indices,
+                                is_static: was_static || is_static,
+                            }
                         }
                         _ => return self.err("only named arrays can be indexed"),
                     };
@@ -677,7 +740,10 @@ mod tests {
         let p = parse_program("int f() { return 1; }").unwrap();
         assert_eq!(p.functions.len(), 1);
         assert_eq!(p.functions[0].ret, Type::Int);
-        assert_eq!(p.functions[0].body, vec![Stmt::Return(Some(Expr::IntLit(1)))]);
+        assert_eq!(
+            p.functions[0].body,
+            vec![Stmt::Return(Some(Expr::IntLit(1)))]
+        );
     }
 
     #[test]
@@ -704,10 +770,8 @@ mod tests {
 
     #[test]
     fn parses_make_static_with_policy() {
-        let p = parse_program(
-            "void f(int x, int y) { make_static(x: cache_one_unchecked, y); }",
-        )
-        .unwrap();
+        let p = parse_program("void f(int x, int y) { make_static(x: cache_one_unchecked, y); }")
+            .unwrap();
         assert_eq!(
             p.functions[0].body[0],
             Stmt::MakeStatic(vec![
@@ -722,7 +786,11 @@ mod tests {
         let p = parse_program("float f(float m[][c], int c, int i, int j) { return m@[i]@[j]; }")
             .unwrap();
         match &p.functions[0].body[0] {
-            Stmt::Return(Some(Expr::Index { base, indices, is_static })) => {
+            Stmt::Return(Some(Expr::Index {
+                base,
+                indices,
+                is_static,
+            })) => {
                 assert_eq!(base, "m");
                 assert_eq!(indices.len(), 2);
                 assert!(is_static);
@@ -735,7 +803,9 @@ mod tests {
     fn parses_for_loop_with_increment() {
         let p = parse_program("void f(int n) { for (int i = 0; i < n; ++i) { } }").unwrap();
         match &p.functions[0].body[0] {
-            Stmt::For { init, cond, step, .. } => {
+            Stmt::For {
+                init, cond, step, ..
+            } => {
                 assert!(init.is_some());
                 assert!(cond.is_some());
                 assert_eq!(
@@ -756,7 +826,11 @@ mod tests {
         let p = parse_program("void f(int i) { i++; i--; }").unwrap();
         assert_eq!(
             p.functions[0].body[0],
-            Stmt::Assign { lv: LValue::Var("i".into()), op: AssignOp::Add, rhs: Expr::IntLit(1) }
+            Stmt::Assign {
+                lv: LValue::Var("i".into()),
+                op: AssignOp::Add,
+                rhs: Expr::IntLit(1)
+            }
         );
     }
 
@@ -780,11 +854,19 @@ mod tests {
         let p = parse_program("void f(float a[n], int n) { a[0] = 1.0; a[1] += 2.0; }").unwrap();
         assert!(matches!(
             &p.functions[0].body[0],
-            Stmt::Assign { lv: LValue::Elem { .. }, op: AssignOp::Set, .. }
+            Stmt::Assign {
+                lv: LValue::Elem { .. },
+                op: AssignOp::Set,
+                ..
+            }
         ));
         assert!(matches!(
             &p.functions[0].body[1],
-            Stmt::Assign { lv: LValue::Elem { .. }, op: AssignOp::Add, .. }
+            Stmt::Assign {
+                lv: LValue::Elem { .. },
+                op: AssignOp::Add,
+                ..
+            }
         ));
     }
 
@@ -808,8 +890,7 @@ mod tests {
     #[test]
     fn rejects_duplicate_case() {
         let err =
-            parse_program("int f(int x) { switch (x) { case 1: case 1: } return 0; }")
-                .unwrap_err();
+            parse_program("int f(int x) { switch (x) { case 1: case 1: } return 0; }").unwrap_err();
         assert!(err.message.contains("duplicate case"));
     }
 

@@ -95,7 +95,11 @@ fn stmt_to(s: &mut String, st: &Stmt, depth: usize) {
             };
             let _ = writeln!(s, "{} {} {};", lvalue_str(lv), ops, expr_str(rhs));
         }
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             indent(s, depth);
             let _ = writeln!(s, "if ({})", expr_str(cond));
             stmt_to(s, &braced(then_branch), depth);
@@ -110,7 +114,12 @@ fn stmt_to(s: &mut String, st: &Stmt, depth: usize) {
             let _ = writeln!(s, "while ({})", expr_str(cond));
             stmt_to(s, &braced(body), depth);
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             indent(s, depth);
             let init_s = init.as_deref().map(simple_str).unwrap_or_default();
             let cond_s = cond.as_ref().map(expr_str).unwrap_or_default();
@@ -118,7 +127,11 @@ fn stmt_to(s: &mut String, st: &Stmt, depth: usize) {
             let _ = writeln!(s, "for ({init_s}; {cond_s}; {step_s})");
             stmt_to(s, &braced(body), depth);
         }
-        Stmt::Switch { scrutinee, cases, default } => {
+        Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+        } => {
             indent(s, depth);
             let _ = writeln!(s, "switch ({}) {{", expr_str(scrutinee));
             for (k, body) in cases {
@@ -258,7 +271,11 @@ pub fn expr_str(e: &Expr) -> String {
             };
             format!("{} {o} {}", wrap(l), wrap(r))
         }
-        Expr::Index { base, indices, is_static } => {
+        Expr::Index {
+            base,
+            indices,
+            is_static,
+        } => {
             let mut s = base.clone();
             for i in indices {
                 if *is_static {

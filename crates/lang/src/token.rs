@@ -181,7 +181,10 @@ mod tests {
     #[test]
     fn keywords_resolve() {
         assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
-        assert_eq!(TokenKind::keyword("make_static"), Some(TokenKind::KwMakeStatic));
+        assert_eq!(
+            TokenKind::keyword("make_static"),
+            Some(TokenKind::KwMakeStatic)
+        );
         assert_eq!(TokenKind::keyword("double"), Some(TokenKind::KwFloat));
         assert_eq!(TokenKind::keyword("banana"), None);
     }

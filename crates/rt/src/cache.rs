@@ -34,7 +34,12 @@ pub struct DoubleHashCache {
 impl DoubleHashCache {
     /// An empty cache with a small initial capacity.
     pub fn new() -> DoubleHashCache {
-        DoubleHashCache { slots: vec![None; 16], len: 0, total_probes: 0, lookups: 0 }
+        DoubleHashCache {
+            slots: vec![None; 16],
+            len: 0,
+            total_probes: 0,
+            lookups: 0,
+        }
     }
 
     /// Number of cached specializations.
@@ -80,18 +85,27 @@ impl DoubleHashCache {
             match &self.slots[idx] {
                 None => {
                     self.total_probes += u64::from(probes);
-                    return Probed { value: None, probes };
+                    return Probed {
+                        value: None,
+                        probes,
+                    };
                 }
                 Some((k, v)) if k.as_slice() == key => {
                     self.total_probes += u64::from(probes);
-                    return Probed { value: Some(*v), probes };
+                    return Probed {
+                        value: Some(*v),
+                        probes,
+                    };
                 }
                 Some(_) => {
                     idx = (idx + step) % m;
                     if probes as usize > m {
                         // Table full of other keys; treat as a miss.
                         self.total_probes += u64::from(probes);
-                        return Probed { value: None, probes };
+                        return Probed {
+                            value: None,
+                            probes,
+                        };
                     }
                 }
             }
@@ -170,7 +184,11 @@ mod tests {
             c.insert(vec![i, i * 31], FuncId(i as u32));
         }
         for i in 0..100u64 {
-            assert_eq!(c.lookup(&[i, i * 31]).value, Some(FuncId(i as u32)), "key {i}");
+            assert_eq!(
+                c.lookup(&[i, i * 31]).value,
+                Some(FuncId(i as u32)),
+                "key {i}"
+            );
         }
         assert_eq!(c.len(), 100);
     }

@@ -46,6 +46,16 @@ pub struct DynCosts {
     pub dispatch_hash_per_key: u64,
     /// Additional cost per extra probe (collision).
     pub dispatch_probe: u64,
+    /// Online specializer only: classifying one instruction's binding
+    /// time at run time (the `inst_binding` walk the staged GE path does
+    /// once at static compile time).
+    pub classify: u64,
+    /// Online specializer only: per-variable edge planning at a unit
+    /// boundary (liveness / division / unroll-legality lookups).
+    pub edge_plan_per_var: u64,
+    /// Staged GE executor: interpreting one precompiled GE op (a table
+    /// fetch and a jump through its discriminant).
+    pub ge_op: u64,
 }
 
 impl DynCosts {
@@ -66,6 +76,9 @@ impl DynCosts {
             dispatch_hash_base: 70,
             dispatch_hash_per_key: 8,
             dispatch_probe: 30,
+            classify: 4,
+            edge_plan_per_var: 2,
+            ge_op: 1,
         }
     }
 
@@ -103,7 +116,10 @@ mod tests {
         // collisions in its hash table".
         let c = DynCosts::calibrated();
         let with_collisions = c.hashed_dispatch(2, 3);
-        assert!((130..=170).contains(&with_collisions), "got {with_collisions}");
+        assert!(
+            (130..=170).contains(&with_collisions),
+            "got {with_collisions}"
+        );
     }
 
     #[test]

@@ -1,0 +1,1080 @@
+//! The shared code emitter behind both specialization paths.
+//!
+//! The legacy online specializer and the staged generating-extension
+//! executor must produce **byte-identical** code: staging moves the
+//! analysis work to static compile time but may not change the emitted
+//! instructions. The way this reproduction guarantees that is
+//! structural — both paths drive this one emitter, generic over the unit
+//! key type (`(program point, static store)` online, `(division, value
+//! vector)` staged, a bijection). Everything value-dependent lives here:
+//! register allocation, the rename table of dynamic zero/copy
+//! propagation, strength reduction, per-unit constant materialization,
+//! dead-assignment sweeps, label/fixup bookkeeping, and the execution of
+//! static computations against live VM state.
+//!
+//! Cycle metering is split into [`Emitter::exec_cycles`] (generating-
+//! extension work: static computations, checks, bookkeeping) and
+//! [`Emitter::emit_cycles`] (instruction construction/emission and branch
+//! patching) so Table 3 can attribute where staging saves time.
+
+use crate::costs::DynCosts;
+use crate::runtime::Store;
+use crate::stats::RtStats;
+use dyc_bta::OptConfig;
+use dyc_ir::inst::{Callee, Inst};
+use dyc_ir::VReg;
+use dyc_vm::{Cc, FAluOp, FuncId, IAluOp, Instr, Module, Operand, Reg, UnOp, Value, Vm, VmError};
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// A resolved operand at emit time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Opnd {
+    /// A run-time register.
+    R(Reg),
+    /// A known integer value (a filled hole).
+    KI(i64),
+    /// A known float value (a filled hole).
+    KF(f64),
+}
+
+/// One instruction in the per-unit emit buffer.
+pub(crate) struct Emitted<K> {
+    pub(crate) ins: Instr,
+    /// Candidate for dead-assignment elimination.
+    pub(crate) deletable: bool,
+    /// Branch fixup: patch the target to this unit's label afterwards.
+    pub(crate) fixup: Option<K>,
+}
+
+/// The shared emit-time machinery, generic over the unit key.
+pub(crate) struct Emitter<K> {
+    pub(crate) cfg: OptConfig,
+    /// Per-vreg float flag (move/flush selection).
+    float_vreg: Vec<bool>,
+    pub(crate) code: Vec<Instr>,
+    pub(crate) labels: HashMap<K, u32>,
+    fixups: Vec<(usize, K)>,
+    reg_map: HashMap<VReg, Reg>,
+    pub(crate) next_reg: u32,
+    /// Cycles spent executing the generating extension itself.
+    pub(crate) exec_cycles: u64,
+    /// Cycles spent constructing, emitting, and patching instructions.
+    pub(crate) emit_cycles: u64,
+}
+
+impl<K: Clone + Eq + Hash> Emitter<K> {
+    pub(crate) fn new(cfg: OptConfig, float_vreg: Vec<bool>) -> Emitter<K> {
+        Emitter {
+            cfg,
+            float_vreg,
+            code: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            reg_map: HashMap::new(),
+            next_reg: 0,
+            exec_cycles: 0,
+            emit_cycles: 0,
+        }
+    }
+
+    pub(crate) fn total_cycles(&self) -> u64 {
+        self.exec_cycles + self.emit_cycles
+    }
+
+    fn is_float(&self, v: VReg) -> bool {
+        self.float_vreg.get(v.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Pre-assign a register (dynamic pass-through parameters).
+    pub(crate) fn set_reg(&mut self, v: VReg, r: Reg) {
+        self.reg_map.insert(v, r);
+    }
+
+    pub(crate) fn reg_of(&mut self, v: VReg) -> Reg {
+        if let Some(r) = self.reg_map.get(&v) {
+            return *r;
+        }
+        let r = self.next_reg;
+        self.next_reg += 1;
+        self.reg_map.insert(v, r);
+        r
+    }
+
+    pub(crate) fn fresh_reg(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    pub(crate) fn resolve(&mut self, v: VReg, store: &Store, rename: &HashMap<VReg, Opnd>) -> Opnd {
+        if let Some(val) = store.get(&v) {
+            return match val {
+                Value::I(i) => Opnd::KI(*i),
+                Value::F(f) => Opnd::KF(*f),
+            };
+        }
+        if let Some(a) = rename.get(&v) {
+            return *a;
+        }
+        Opnd::R(self.reg_of(v))
+    }
+
+    /// Get a register holding a known value (materializing at most once
+    /// per unit per value).
+    fn reg_for_const(
+        &mut self,
+        val: Value,
+        scratch: &mut HashMap<u64, Reg>,
+        buf: &mut Vec<Emitted<K>>,
+    ) -> Reg {
+        let key = val.key_bits();
+        if let Some(r) = scratch.get(&key) {
+            return *r;
+        }
+        let r = self.fresh_reg();
+        buf.push(Emitted {
+            ins: mov_const(r, val),
+            deletable: true,
+            fixup: None,
+        });
+        scratch.insert(key, r);
+        r
+    }
+
+    pub(crate) fn opnd_reg(
+        &mut self,
+        o: Opnd,
+        scratch: &mut HashMap<u64, Reg>,
+        buf: &mut Vec<Emitted<K>>,
+    ) -> Reg {
+        match o {
+            Opnd::R(r) => r,
+            Opnd::KI(v) => self.reg_for_const(Value::I(v), scratch, buf),
+            Opnd::KF(v) => self.reg_for_const(Value::F(v), scratch, buf),
+        }
+    }
+
+    /// Record a value-dependent fold: with zero/copy propagation the
+    /// destination is renamed (no code); otherwise the value is emitted as
+    /// a constant move.
+    fn fold_to(
+        &mut self,
+        dst: VReg,
+        k: Opnd,
+        rename: &mut HashMap<VReg, Opnd>,
+        buf: &mut Vec<Emitted<K>>,
+        stats: &mut RtStats,
+    ) {
+        if self.cfg.zero_copy_propagation {
+            stats.zero_copy_folds += 1;
+            rename.insert(dst, k);
+        } else {
+            let r = self.reg_of(dst);
+            buf.push(Emitted {
+                ins: mov_const(r, opnd_value(k)),
+                deletable: true,
+                fixup: None,
+            });
+        }
+    }
+
+    /// Flush the rename table: every renamed variable that `keep` marks as
+    /// readable later gets its value moved into its own register.
+    pub(crate) fn flush_renames(
+        &mut self,
+        rename: &mut HashMap<VReg, Opnd>,
+        buf: &mut Vec<Emitted<K>>,
+        keep: impl Fn(VReg) -> bool,
+        mut live_regs: Option<&mut HashSet<Reg>>,
+    ) {
+        let mut entries: Vec<(VReg, Opnd)> = rename.drain().collect();
+        entries.sort_by_key(|(v, _)| *v);
+        for (v, alias) in entries {
+            if !keep(v) {
+                continue;
+            }
+            let r = self.reg_of(v);
+            let ins = match alias {
+                Opnd::R(src) => {
+                    if src == r {
+                        continue;
+                    }
+                    if self.is_float(v) {
+                        Instr::FMov { dst: r, src }
+                    } else {
+                        Instr::Mov { dst: r, src }
+                    }
+                }
+                Opnd::KI(v) => Instr::MovI { dst: r, imm: v },
+                Opnd::KF(v) => Instr::MovF { dst: r, imm: v },
+            };
+            buf.push(Emitted {
+                ins,
+                deletable: true,
+                fixup: None,
+            });
+            if let Some(lr) = live_regs.as_deref_mut() {
+                lr.insert(r);
+            }
+        }
+    }
+
+    /// Execute a static computation at specialization time.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn exec_static(
+        &mut self,
+        inst: &Inst,
+        store: &mut Store,
+        rename: &mut HashMap<VReg, Opnd>,
+        costs: &DynCosts,
+        stats: &mut RtStats,
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<(), VmError> {
+        let val = |s: &Store, v: VReg| -> Value { s[&v] };
+        let result: Value = match inst {
+            Inst::ConstI { v, .. } => Value::I(*v),
+            Inst::ConstF { v, .. } => Value::F(*v),
+            Inst::Copy { src, .. } => val(store, *src),
+            Inst::Un { op, src, .. } => eval_un(*op, val(store, *src)),
+            Inst::IBin { op, a, b, .. } => Value::I(eval_ialu(
+                *op,
+                val(store, *a).as_i(),
+                val(store, *b).as_i(),
+            )?),
+            Inst::FBin { op, a, b, .. } => {
+                Value::F(eval_falu(*op, val(store, *a).as_f(), val(store, *b).as_f()))
+            }
+            Inst::ICmp { cc, a, b, .. } => {
+                Value::I(eval_icmp(*cc, val(store, *a).as_i(), val(store, *b).as_i()) as i64)
+            }
+            Inst::FCmp { cc, a, b, .. } => {
+                Value::I(eval_fcmp(*cc, val(store, *a).as_f(), val(store, *b).as_f()) as i64)
+            }
+            Inst::Load { ty, base, idx, .. } => {
+                // A *static load* (§2.2.6): read live VM memory now.
+                stats.static_loads += 1;
+                self.exec_cycles += costs.static_load;
+                let addr = val(store, *base).as_i() + val(store, *idx).as_i();
+                vm.mem.read(addr, ty.vm_ty())
+            }
+            Inst::Call { callee, args, .. } => {
+                // A *static call* (§2.2.6): run it now and memoize the
+                // result into the emitted code.
+                stats.static_calls += 1;
+                let arg_vals: Vec<Value> = args.iter().map(|a| val(store, *a)).collect();
+                match callee {
+                    Callee::Host(h) => {
+                        let mut sink = Vec::new();
+                        self.exec_cycles += vm.cost_model().host_cost(*h);
+                        h.eval(&arg_vals, &mut sink)
+                            .expect("pure host functions return values")
+                    }
+                    Callee::Func { index, .. } => {
+                        let before = vm.stats.clone();
+                        let out = vm.call(module, FuncId(*index as u32), &arg_vals)?;
+                        // Those cycles belong to dynamic compilation, not
+                        // to the running program: reclassify.
+                        let delta = vm.stats.delta_since(&before);
+                        vm.stats.exec_cycles -= delta.exec_cycles;
+                        vm.stats.icache_miss_cycles -= delta.icache_miss_cycles;
+                        vm.stats.instrs_executed -= delta.instrs_executed;
+                        self.exec_cycles += delta.exec_cycles + delta.icache_miss_cycles;
+                        out.ok_or_else(|| VmError::Dispatch("static call to void function".into()))?
+                    }
+                }
+            }
+            _ => unreachable!("not a static computation: {inst:?}"),
+        };
+        stats.static_ops += 1;
+        self.exec_cycles += costs.static_op;
+        let dst = inst.def().expect("static computations define a value");
+        rename.remove(&dst);
+        store.insert(dst, result);
+        Ok(())
+    }
+
+    /// Emit a dynamic computation, applying the value-dependent staged
+    /// optimizations. Operands are resolved *before* the destination
+    /// bookkeeping so value chains consumed by this very instruction do
+    /// not get materialized. `read_later` answers "is this variable read
+    /// at or after this program point" — a liveness lookup online, a
+    /// precomputed table lookup in the staged path.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    pub(crate) fn emit_dynamic(
+        &mut self,
+        inst: &Inst,
+        read_later: &dyn Fn(VReg) -> bool,
+        store: &mut Store,
+        rename: &mut HashMap<VReg, Opnd>,
+        scratch: &mut HashMap<u64, Reg>,
+        buf: &mut Vec<Emitted<K>>,
+        costs: &DynCosts,
+        stats: &mut RtStats,
+    ) {
+        // Resolve every source operand first (pure lookups).
+        let ops: Vec<Opnd> = inst
+            .uses()
+            .iter()
+            .map(|u| self.resolve(*u, store, rename))
+            .collect();
+
+        let dst_vreg = inst.def();
+        // Redefining a register invalidates rename entries that alias it;
+        // materialize only aliases that are still read after this point.
+        if let Some(d) = dst_vreg {
+            let dr = self.reg_of(d);
+            let mut stale: Vec<VReg> = rename
+                .iter()
+                .filter(|(v, a)| **a == Opnd::R(dr) && **v != d)
+                .map(|(v, _)| *v)
+                .collect();
+            stale.sort();
+            for v in stale {
+                rename.remove(&v);
+                if !read_later(v) {
+                    continue;
+                }
+                let r = self.reg_of(v);
+                let ins = if self.is_float(v) {
+                    Instr::FMov { dst: r, src: dr }
+                } else {
+                    Instr::Mov { dst: r, src: dr }
+                };
+                buf.push(Emitted {
+                    ins,
+                    deletable: true,
+                    fixup: None,
+                });
+            }
+            rename.remove(&d);
+            store.remove(&d);
+        }
+
+        match inst {
+            Inst::ConstI { dst, v } => {
+                // A constant assigned to a dynamic variable.
+                if self.cfg.zero_copy_propagation {
+                    rename.insert(*dst, Opnd::KI(*v));
+                } else {
+                    let r = self.reg_of(*dst);
+                    buf.push(Emitted {
+                        ins: Instr::MovI { dst: r, imm: *v },
+                        deletable: true,
+                        fixup: None,
+                    });
+                }
+            }
+            Inst::ConstF { dst, v } => {
+                if self.cfg.zero_copy_propagation {
+                    rename.insert(*dst, Opnd::KF(*v));
+                } else {
+                    let r = self.reg_of(*dst);
+                    buf.push(Emitted {
+                        ins: Instr::MovF { dst: r, imm: *v },
+                        deletable: true,
+                        fixup: None,
+                    });
+                }
+            }
+            Inst::Copy { dst, src: _ } => {
+                match ops[0] {
+                    Opnd::R(sr) => {
+                        let r = self.reg_of(*dst);
+                        if sr == r {
+                            // Self-move after a fold collapsed the chain.
+                        } else if self.cfg.zero_copy_propagation {
+                            // Staged dynamic copy propagation (§2.2.7):
+                            // downstream references read the source
+                            // directly; the move only materializes if the
+                            // variable is still live at the unit boundary.
+                            stats.zero_copy_folds += 1;
+                            rename.insert(*dst, Opnd::R(sr));
+                        } else {
+                            let ins = if self.is_float(*dst) {
+                                Instr::FMov { dst: r, src: sr }
+                            } else {
+                                Instr::Mov { dst: r, src: sr }
+                            };
+                            buf.push(Emitted {
+                                ins,
+                                deletable: true,
+                                fixup: None,
+                            });
+                        }
+                    }
+                    k => {
+                        if self.cfg.zero_copy_propagation {
+                            stats.zero_copy_folds += 1;
+                            rename.insert(*dst, k);
+                        } else {
+                            let r = self.reg_of(*dst);
+                            buf.push(Emitted {
+                                ins: mov_const(r, opnd_value(k)),
+                                deletable: true,
+                                fixup: None,
+                            });
+                        }
+                    }
+                }
+            }
+            Inst::IBin { op, dst, .. } => {
+                self.emit_ibin(
+                    *op, *dst, ops[0], ops[1], rename, scratch, buf, costs, stats,
+                );
+            }
+            Inst::FBin { op, dst, .. } => {
+                self.emit_fbin(
+                    *op, *dst, ops[0], ops[1], rename, scratch, buf, costs, stats,
+                );
+            }
+            Inst::ICmp { cc, dst, .. } => match (ops[0], ops[1]) {
+                (Opnd::KI(x), Opnd::KI(y)) => {
+                    self.fold_to(
+                        *dst,
+                        Opnd::KI(eval_icmp(*cc, x, y) as i64),
+                        rename,
+                        buf,
+                        stats,
+                    );
+                }
+                (Opnd::R(x), Opnd::KI(y)) => {
+                    let r = self.reg_of(*dst);
+                    buf.push(Emitted {
+                        ins: Instr::ICmp {
+                            cc: *cc,
+                            dst: r,
+                            a: x,
+                            b: Operand::Imm(y),
+                        },
+                        deletable: true,
+                        fixup: None,
+                    });
+                }
+                (Opnd::KI(x), Opnd::R(y)) => {
+                    let r = self.reg_of(*dst);
+                    buf.push(Emitted {
+                        ins: Instr::ICmp {
+                            cc: cc.swapped(),
+                            dst: r,
+                            a: y,
+                            b: Operand::Imm(x),
+                        },
+                        deletable: true,
+                        fixup: None,
+                    });
+                }
+                (x, y) => {
+                    let xr = self.opnd_reg(x, scratch, buf);
+                    let yr = self.opnd_reg(y, scratch, buf);
+                    let r = self.reg_of(*dst);
+                    buf.push(Emitted {
+                        ins: Instr::ICmp {
+                            cc: *cc,
+                            dst: r,
+                            a: xr,
+                            b: Operand::Reg(yr),
+                        },
+                        deletable: true,
+                        fixup: None,
+                    });
+                }
+            },
+            Inst::FCmp { cc, dst, .. } => {
+                let (ra, rb) = (ops[0], ops[1]);
+                if let (Opnd::KF(x), Opnd::KF(y)) = (ra, rb) {
+                    self.fold_to(
+                        *dst,
+                        Opnd::KI(eval_fcmp(*cc, x, y) as i64),
+                        rename,
+                        buf,
+                        stats,
+                    );
+                } else {
+                    let xr = self.opnd_reg(ra, scratch, buf);
+                    let yr = self.opnd_reg(rb, scratch, buf);
+                    let r = self.reg_of(*dst);
+                    buf.push(Emitted {
+                        ins: Instr::FCmp {
+                            cc: *cc,
+                            dst: r,
+                            a: xr,
+                            b: yr,
+                        },
+                        deletable: true,
+                        fixup: None,
+                    });
+                }
+            }
+            Inst::Un { op, dst, src: _ } => match ops[0] {
+                Opnd::R(sr) => {
+                    let r = self.reg_of(*dst);
+                    buf.push(Emitted {
+                        ins: Instr::Un {
+                            op: *op,
+                            dst: r,
+                            src: sr,
+                        },
+                        deletable: true,
+                        fixup: None,
+                    });
+                }
+                k => {
+                    let folded = eval_un(*op, opnd_value(k));
+                    self.fold_to(*dst, value_opnd(folded), rename, buf, stats);
+                }
+            },
+            Inst::Load { ty, dst, .. } => {
+                let (breg, iop) = match (ops[0], ops[1]) {
+                    (Opnd::KI(bv), Opnd::KI(iv)) => {
+                        // Address fully known but contents dynamic: fold
+                        // the whole address into the offset of a load from
+                        // a zero base materialized once per unit.
+                        let z = self.reg_for_const(Value::I(0), scratch, buf);
+                        (z, Operand::Imm(bv + iv))
+                    }
+                    (Opnd::KI(bv), other) => {
+                        let ir = self.opnd_reg(other, scratch, buf);
+                        (ir, Operand::Imm(bv))
+                    }
+                    (other, Opnd::KI(iv)) => {
+                        let br = self.opnd_reg(other, scratch, buf);
+                        (br, Operand::Imm(iv))
+                    }
+                    (ob, oi) => {
+                        let br = self.opnd_reg(ob, scratch, buf);
+                        let ir = self.opnd_reg(oi, scratch, buf);
+                        (br, Operand::Reg(ir))
+                    }
+                };
+                let r = self.reg_of(*dst);
+                buf.push(Emitted {
+                    ins: Instr::Load {
+                        ty: ty.vm_ty(),
+                        dst: r,
+                        base: breg,
+                        idx: iop,
+                    },
+                    deletable: true,
+                    fixup: None,
+                });
+            }
+            Inst::Store { ty, .. } => {
+                let sr = self.opnd_reg(ops[2], scratch, buf);
+                let (breg, iop) = match (ops[0], ops[1]) {
+                    (Opnd::KI(bv), Opnd::KI(iv)) => {
+                        let z = self.reg_for_const(Value::I(0), scratch, buf);
+                        (z, Operand::Imm(bv + iv))
+                    }
+                    (Opnd::KI(bv), other) => (self.opnd_reg(other, scratch, buf), Operand::Imm(bv)),
+                    (other, Opnd::KI(iv)) => (self.opnd_reg(other, scratch, buf), Operand::Imm(iv)),
+                    (ob, oi) => {
+                        let br = self.opnd_reg(ob, scratch, buf);
+                        let ir = self.opnd_reg(oi, scratch, buf);
+                        (br, Operand::Reg(ir))
+                    }
+                };
+                buf.push(Emitted {
+                    ins: Instr::Store {
+                        ty: ty.vm_ty(),
+                        base: breg,
+                        idx: iop,
+                        src: sr,
+                    },
+                    deletable: false,
+                    fixup: None,
+                });
+            }
+            Inst::Call { callee, dst, .. } => {
+                let arg_regs: Vec<Reg> = ops
+                    .iter()
+                    .map(|o| self.opnd_reg(*o, scratch, buf))
+                    .collect();
+                let d = dst.map(|d| self.reg_of(d));
+                let ins = match callee {
+                    Callee::Func { index, .. } => Instr::Call {
+                        func: FuncId(*index as u32),
+                        dst: d,
+                        args: arg_regs,
+                    },
+                    Callee::Host(h) => Instr::CallHost {
+                        f: *h,
+                        dst: d,
+                        args: arg_regs,
+                    },
+                };
+                buf.push(Emitted {
+                    ins,
+                    deletable: false,
+                    fixup: None,
+                });
+            }
+            _ => unreachable!("annotations handled by the caller"),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_ibin(
+        &mut self,
+        op: IAluOp,
+        dst: VReg,
+        ra: Opnd,
+        rb: Opnd,
+        rename: &mut HashMap<VReg, Opnd>,
+        scratch: &mut HashMap<u64, Reg>,
+        buf: &mut Vec<Emitted<K>>,
+        costs: &DynCosts,
+        stats: &mut RtStats,
+    ) {
+        self.exec_cycles += costs.opt_check;
+        // Both operands known (only possible through renames): fold.
+        if let (Opnd::KI(x), Opnd::KI(y)) = (ra, rb) {
+            if let Ok(v) = eval_ialu(op, x, y) {
+                self.fold_to(dst, Opnd::KI(v), rename, buf, stats);
+                return;
+            }
+        }
+        // Normalize: put a known operand of a commutative op on the right.
+        let (ra, rb) = match (op, ra, rb) {
+            (
+                IAluOp::Add | IAluOp::Mul | IAluOp::And | IAluOp::Or | IAluOp::Xor,
+                Opnd::KI(_),
+                _,
+            ) => (rb, ra),
+            _ => (ra, rb),
+        };
+
+        if let Opnd::KI(k) = rb {
+            if self.cfg.zero_copy_propagation {
+                let fold = match op {
+                    IAluOp::Mul if k == 0 => Some(Opnd::KI(0)),
+                    IAluOp::Mul | IAluOp::Div if k == 1 => Some(ra),
+                    IAluOp::Add | IAluOp::Sub | IAluOp::Or | IAluOp::Xor if k == 0 => Some(ra),
+                    IAluOp::And if k == 0 => Some(Opnd::KI(0)),
+                    IAluOp::Rem if k == 1 => Some(Opnd::KI(0)),
+                    IAluOp::Shl | IAluOp::Shr if k == 0 => Some(ra),
+                    _ => None,
+                };
+                if let Some(f) = fold {
+                    stats.zero_copy_folds += 1;
+                    if self.cfg.zero_copy_propagation {
+                        rename.insert(dst, f);
+                    }
+                    return;
+                }
+            } else if self.cfg.strength_reduction {
+                // Strength reduction alone still replaces the operation
+                // with a cheaper one, but must write the destination.
+                let simple = match op {
+                    IAluOp::Mul if k == 0 => Some(mov_const(self.reg_of(dst), Value::I(0))),
+                    IAluOp::Mul | IAluOp::Div if k == 1 => {
+                        let ar = self.opnd_reg(ra, scratch, buf);
+                        Some(Instr::Mov {
+                            dst: self.reg_of(dst),
+                            src: ar,
+                        })
+                    }
+                    _ => None,
+                };
+                if let Some(ins) = simple {
+                    stats.strength_reductions += 1;
+                    buf.push(Emitted {
+                        ins,
+                        deletable: true,
+                        fixup: None,
+                    });
+                    return;
+                }
+            }
+            if self.cfg.strength_reduction && k > 1 && (k as u64).is_power_of_two() {
+                let n = k.trailing_zeros() as i64;
+                match op {
+                    IAluOp::Mul => {
+                        stats.strength_reductions += 1;
+                        let ar = self.opnd_reg(ra, scratch, buf);
+                        let r = self.reg_of(dst);
+                        buf.push(Emitted {
+                            ins: Instr::IAlu {
+                                op: IAluOp::Shl,
+                                dst: r,
+                                a: ar,
+                                b: Operand::Imm(n),
+                            },
+                            deletable: true,
+                            fixup: None,
+                        });
+                        return;
+                    }
+                    IAluOp::Div => {
+                        stats.strength_reductions += 1;
+                        let ar = self.opnd_reg(ra, scratch, buf);
+                        let r = self.reg_of(dst);
+                        self.emit_div_pow2(ar, k, n, r, buf);
+                        return;
+                    }
+                    IAluOp::Rem => {
+                        stats.strength_reductions += 1;
+                        let ar = self.opnd_reg(ra, scratch, buf);
+                        let q = self.fresh_reg();
+                        self.emit_div_pow2(ar, k, n, q, buf);
+                        let t = self.fresh_reg();
+                        let r = self.reg_of(dst);
+                        buf.push(Emitted {
+                            ins: Instr::IAlu {
+                                op: IAluOp::Shl,
+                                dst: t,
+                                a: q,
+                                b: Operand::Imm(n),
+                            },
+                            deletable: true,
+                            fixup: None,
+                        });
+                        buf.push(Emitted {
+                            ins: Instr::IAlu {
+                                op: IAluOp::Sub,
+                                dst: r,
+                                a: ar,
+                                b: Operand::Reg(t),
+                            },
+                            deletable: true,
+                            fixup: None,
+                        });
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            // Hole fits the immediate field.
+            let ar = self.opnd_reg(ra, scratch, buf);
+            let r = self.reg_of(dst);
+            buf.push(Emitted {
+                ins: Instr::IAlu {
+                    op,
+                    dst: r,
+                    a: ar,
+                    b: Operand::Imm(k),
+                },
+                deletable: true,
+                fixup: None,
+            });
+            return;
+        }
+        // Known left operand of a non-commutative op, or both registers.
+        let ar = self.opnd_reg(ra, scratch, buf);
+        let br = match rb {
+            Opnd::R(r) => Operand::Reg(r),
+            k => Operand::Reg(self.opnd_reg(k, scratch, buf)),
+        };
+        let r = self.reg_of(dst);
+        buf.push(Emitted {
+            ins: Instr::IAlu {
+                op,
+                dst: r,
+                a: ar,
+                b: br,
+            },
+            deletable: true,
+            fixup: None,
+        });
+    }
+
+    /// Truncating (C-semantics) signed division by a power of two:
+    /// bias negative dividends before shifting.
+    fn emit_div_pow2(&mut self, a: Reg, k: i64, n: i64, dst: Reg, buf: &mut Vec<Emitted<K>>) {
+        let sign = self.fresh_reg();
+        let bias = self.fresh_reg();
+        let sum = self.fresh_reg();
+        buf.push(Emitted {
+            ins: Instr::IAlu {
+                op: IAluOp::Shr,
+                dst: sign,
+                a,
+                b: Operand::Imm(63),
+            },
+            deletable: true,
+            fixup: None,
+        });
+        buf.push(Emitted {
+            ins: Instr::IAlu {
+                op: IAluOp::And,
+                dst: bias,
+                a: sign,
+                b: Operand::Imm(k - 1),
+            },
+            deletable: true,
+            fixup: None,
+        });
+        buf.push(Emitted {
+            ins: Instr::IAlu {
+                op: IAluOp::Add,
+                dst: sum,
+                a,
+                b: Operand::Reg(bias),
+            },
+            deletable: true,
+            fixup: None,
+        });
+        buf.push(Emitted {
+            ins: Instr::IAlu {
+                op: IAluOp::Shr,
+                dst,
+                a: sum,
+                b: Operand::Imm(n),
+            },
+            deletable: true,
+            fixup: None,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_fbin(
+        &mut self,
+        op: FAluOp,
+        dst: VReg,
+        ra: Opnd,
+        rb: Opnd,
+        rename: &mut HashMap<VReg, Opnd>,
+        scratch: &mut HashMap<u64, Reg>,
+        buf: &mut Vec<Emitted<K>>,
+        costs: &DynCosts,
+        stats: &mut RtStats,
+    ) {
+        self.exec_cycles += costs.opt_check;
+        if let (Opnd::KF(x), Opnd::KF(y)) = (ra, rb) {
+            self.fold_to(dst, Opnd::KF(eval_falu(op, x, y)), rename, buf, stats);
+            return;
+        }
+        let (ra, rb) = match (op, ra, rb) {
+            (FAluOp::Add | FAluOp::Mul, Opnd::KF(_), _) => (rb, ra),
+            _ => (ra, rb),
+        };
+        if let Opnd::KF(k) = rb {
+            if self.cfg.zero_copy_propagation {
+                // Dynamic zero and copy propagation (§2.2.7). Folding
+                // x*0.0 to 0.0 assumes x is finite, the same assumption
+                // DyC makes.
+                let fold = match op {
+                    FAluOp::Mul if k == 0.0 => Some(Opnd::KF(0.0)),
+                    FAluOp::Mul | FAluOp::Div if k == 1.0 => Some(ra),
+                    FAluOp::Add | FAluOp::Sub if k == 0.0 => Some(ra),
+                    _ => None,
+                };
+                if let Some(f) = fold {
+                    stats.zero_copy_folds += 1;
+                    rename.insert(dst, f);
+                    return;
+                }
+            } else if self.cfg.strength_reduction {
+                // Strength reduction without copy propagation: the
+                // multiply becomes a move — which costs the same as the
+                // multiply on the 21164 (§2.2.7), so no benefit accrues.
+                let simple = match op {
+                    FAluOp::Mul if k == 1.0 => {
+                        let ar = self.opnd_reg(ra, scratch, buf);
+                        Some(Instr::FMov {
+                            dst: self.reg_of(dst),
+                            src: ar,
+                        })
+                    }
+                    FAluOp::Mul if k == 0.0 => Some(Instr::MovF {
+                        dst: self.reg_of(dst),
+                        imm: 0.0,
+                    }),
+                    FAluOp::Add | FAluOp::Sub if k == 0.0 => {
+                        let ar = self.opnd_reg(ra, scratch, buf);
+                        Some(Instr::FMov {
+                            dst: self.reg_of(dst),
+                            src: ar,
+                        })
+                    }
+                    _ => None,
+                };
+                if let Some(ins) = simple {
+                    stats.strength_reductions += 1;
+                    buf.push(Emitted {
+                        ins,
+                        deletable: true,
+                        fixup: None,
+                    });
+                    return;
+                }
+            }
+        }
+        let ar = self.opnd_reg(ra, scratch, buf);
+        let br = self.opnd_reg(rb, scratch, buf);
+        let r = self.reg_of(dst);
+        buf.push(Emitted {
+            ins: Instr::FAlu {
+                op,
+                dst: r,
+                a: ar,
+                b: br,
+            },
+            deletable: true,
+            fixup: None,
+        });
+    }
+
+    fn dae_sweep(
+        &mut self,
+        buf: Vec<Emitted<K>>,
+        mut live: HashSet<Reg>,
+        stats: &mut RtStats,
+    ) -> Vec<Emitted<K>> {
+        if !self.cfg.dead_assignment_elimination {
+            return buf;
+        }
+        let mut keep_rev: Vec<Emitted<K>> = Vec::with_capacity(buf.len());
+        for e in buf.into_iter().rev() {
+            if e.deletable {
+                if let Some(d) = e.ins.def() {
+                    if !live.contains(&d) {
+                        stats.dae_removed += 1;
+                        continue;
+                    }
+                }
+            }
+            if let Some(d) = e.ins.def() {
+                live.remove(&d);
+            }
+            live.extend(e.ins.uses());
+            keep_rev.push(e);
+        }
+        keep_rev.reverse();
+        keep_rev
+    }
+
+    /// Finish a unit: run the dead-assignment sweep (§2.2.7), record the
+    /// unit's label, and append the surviving instructions with their
+    /// branch fixups.
+    pub(crate) fn seal_unit(
+        &mut self,
+        key: K,
+        buf: Vec<Emitted<K>>,
+        live_regs: HashSet<Reg>,
+        costs: &DynCosts,
+        stats: &mut RtStats,
+    ) {
+        self.exec_cycles += costs.dae_check * buf.len() as u64;
+        let kept = self.dae_sweep(buf, live_regs, stats);
+        let label = self.code.len() as u32;
+        self.labels.insert(key, label);
+        for e in kept {
+            if let Some(fk) = e.fixup {
+                self.fixups.push((self.code.len(), fk));
+            }
+            self.code.push(e.ins);
+            self.emit_cycles += costs.emit_instr;
+        }
+    }
+
+    /// Patch every recorded branch target once all units are emitted.
+    pub(crate) fn patch_fixups(&mut self, costs: &DynCosts) {
+        for (at, key) in std::mem::take(&mut self.fixups) {
+            let dest = *self
+                .labels
+                .get(&key)
+                .expect("all units emitted before patching");
+            match &mut self.code[at] {
+                Instr::Jmp { target } | Instr::Brz { target, .. } | Instr::Brnz { target, .. } => {
+                    *target = dest;
+                }
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+            self.emit_cycles += costs.branch_patch;
+        }
+    }
+}
+
+pub(crate) fn mov_const(dst: Reg, v: Value) -> Instr {
+    match v {
+        Value::I(i) => Instr::MovI { dst, imm: i },
+        Value::F(f) => Instr::MovF { dst, imm: f },
+    }
+}
+
+pub(crate) fn opnd_value(o: Opnd) -> Value {
+    match o {
+        Opnd::KI(v) => Value::I(v),
+        Opnd::KF(v) => Value::F(v),
+        Opnd::R(_) => unreachable!("not a constant operand"),
+    }
+}
+
+pub(crate) fn value_opnd(v: Value) -> Opnd {
+    match v {
+        Value::I(i) => Opnd::KI(i),
+        Value::F(f) => Opnd::KF(f),
+    }
+}
+
+fn eval_un(op: UnOp, v: Value) -> Value {
+    match op {
+        UnOp::NegI => Value::I(v.as_i().wrapping_neg()),
+        UnOp::NotI => Value::I(!v.as_i()),
+        UnOp::NegF => Value::F(-v.as_f()),
+        UnOp::IToF => Value::F(v.as_i() as f64),
+        UnOp::FToI => Value::I(v.as_f() as i64),
+    }
+}
+
+fn eval_ialu(op: IAluOp, a: i64, b: i64) -> Result<i64, VmError> {
+    Ok(match op {
+        IAluOp::Add => a.wrapping_add(b),
+        IAluOp::Sub => a.wrapping_sub(b),
+        IAluOp::Mul => a.wrapping_mul(b),
+        IAluOp::Div => {
+            if b == 0 {
+                return Err(VmError::Dispatch(
+                    "static division by zero during specialization".into(),
+                ));
+            }
+            a.wrapping_div(b)
+        }
+        IAluOp::Rem => {
+            if b == 0 {
+                return Err(VmError::Dispatch(
+                    "static remainder by zero during specialization".into(),
+                ));
+            }
+            a.wrapping_rem(b)
+        }
+        IAluOp::And => a & b,
+        IAluOp::Or => a | b,
+        IAluOp::Xor => a ^ b,
+        IAluOp::Shl => a.wrapping_shl(b as u32 & 63),
+        IAluOp::Shr => a.wrapping_shr(b as u32 & 63),
+    })
+}
+
+fn eval_falu(op: FAluOp, a: f64, b: f64) -> f64 {
+    match op {
+        FAluOp::Add => a + b,
+        FAluOp::Sub => a - b,
+        FAluOp::Mul => a * b,
+        FAluOp::Div => a / b,
+    }
+}
+
+fn eval_icmp(cc: Cc, a: i64, b: i64) -> bool {
+    match cc {
+        Cc::Eq => a == b,
+        Cc::Ne => a != b,
+        Cc::Lt => a < b,
+        Cc::Le => a <= b,
+        Cc::Gt => a > b,
+        Cc::Ge => a >= b,
+    }
+}
+
+fn eval_fcmp(cc: Cc, a: f64, b: f64) -> bool {
+    match cc {
+        Cc::Eq => a == b,
+        Cc::Ne => a != b,
+        Cc::Lt => a < b,
+        Cc::Le => a <= b,
+        Cc::Gt => a > b,
+        Cc::Ge => a >= b,
+    }
+}

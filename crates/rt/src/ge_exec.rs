@@ -1,0 +1,538 @@
+//! The staged generating-extension executor — the run-time half of true
+//! staging.
+//!
+//! Where the online [`crate::specializer::Specializer`] re-derives
+//! binding times, liveness, and unroll legality on every specialization,
+//! this executor just **interprets a precompiled GE program**
+//! ([`dyc_stage::GeProgram`], built once at static compile time): a flat
+//! list of ops per *division* (program point + static-variable set), with
+//! all decisions that depend only on the set already taken. What remains
+//! at run time is exactly the value-dependent work (§2.1's "the only
+//! remaining work is to execute the static computations and copy the
+//! pre-optimized templates"):
+//!
+//! * executing `Eval` ops against the static store and live VM state,
+//! * filling holes while emitting `EmitHole` templates (with dynamic
+//!   zero/copy propagation and strength reduction on the actual values),
+//! * folding `StaticBr`/`StaticSwitch` on store values — complete loop
+//!   unrolling — and memoizing units by `(division, value vector)`,
+//! * materializing demotions listed in the precomputed `EdgePlan`s.
+//!
+//! It performs **zero** run-time binding-time classifications or liveness
+//! queries (`RtStats::runtime_bta_calls` stays untouched here) and emits
+//! code byte-identical to the online path, because all value-dependent
+//! machinery is the shared [`Emitter`], driven in the same order.
+
+use crate::emitter::{mov_const, opnd_value, Emitted, Emitter, Opnd};
+use crate::runtime::{Runtime, Site, Store};
+use dyc_ir::{BlockId, VReg};
+use dyc_stage::{EdgePlan, GeDivision, GeFunc, GeOp, GeTerm};
+use dyc_vm::{Cc, FuncId, Instr, Module, Operand, Reg, Value, Vm, VmError};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Unit identity in the staged path: the division (which *is* the program
+/// point plus static-variable set, interned at stage time) plus the
+/// concrete values, in the division's sorted variable order. Bijective
+/// with the online path's `(block, start, sorted store)` key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GeKey {
+    division: u32,
+    vals: Vec<u64>,
+}
+
+fn ge_key(division: u32, store: &Store) -> GeKey {
+    GeKey {
+        division,
+        vals: store.values().map(|v| v.key_bits()).collect(),
+    }
+}
+
+/// The flat GE-program executor. See module docs.
+pub(crate) struct GeExecutor {
+    gef: Arc<GeFunc>,
+    fidx: usize,
+    em: Emitter<GeKey>,
+    worklist: Vec<(GeKey, Store)>,
+    budget: u64,
+    // Instrumentation (mirrors the online specializer exactly).
+    header_units: HashMap<BlockId, HashSet<GeKey>>,
+    unit_edges: Vec<(GeKey, GeKey)>,
+    cur_unit: Option<GeKey>,
+    division_sets: HashMap<BlockId, HashSet<Vec<u32>>>,
+}
+
+impl GeExecutor {
+    /// Specialize `site` for the given store by executing its function's
+    /// GE program from `division`.
+    pub(crate) fn run(
+        rt: &mut Runtime,
+        site: &Site,
+        store: Store,
+        division: u32,
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<FuncId, VmError> {
+        let gef = rt.staged.ge.funcs[site.func]
+            .as_ref()
+            .expect("site carries a division only for staged functions")
+            .clone();
+        let fname = rt.staged.ir.funcs[site.func].name.clone();
+        let mut ex = GeExecutor {
+            fidx: site.func,
+            em: Emitter::new(rt.staged.cfg, gef.float_vreg.clone()),
+            worklist: Vec::new(),
+            budget: rt.spec_budget,
+            header_units: HashMap::new(),
+            unit_edges: Vec::new(),
+            cur_unit: None,
+            division_sets: HashMap::new(),
+            gef,
+        };
+
+        // Dynamic pass-through parameters, in arg order.
+        let dyn_params: Vec<VReg> = site
+            .arg_vars
+            .iter()
+            .filter(|v| !store.contains_key(v))
+            .copied()
+            .collect();
+        for (i, v) in dyn_params.iter().enumerate() {
+            ex.em.set_reg(*v, i as u32);
+        }
+        ex.em.next_reg = dyn_params.len() as u32;
+
+        let entry = ge_key(division, &store);
+        ex.worklist.push((entry, store));
+        while let Some((key, st)) = ex.worklist.pop() {
+            if ex.em.labels.contains_key(&key) {
+                continue;
+            }
+            ex.emit_chain(key, st, rt, module, vm)?;
+        }
+
+        ex.em.patch_fixups(&rt.costs);
+
+        for (h, units) in &ex.header_units {
+            if units.len() < 2 {
+                continue;
+            }
+            rt.stats.loops_unrolled += 1;
+            if ex.loop_is_multiway(*h, units) {
+                rt.stats.multi_way_unroll = true;
+            }
+        }
+
+        rt.stats.divisions_observed +=
+            ex.division_sets.values().filter(|s| s.len() >= 2).count() as u64;
+        rt.stats.instrs_generated += ex.em.code.len() as u64;
+        rt.stats.ge_exec_cycles += ex.em.exec_cycles;
+        rt.stats.emit_cycles += ex.em.emit_cycles;
+        let cycles = ex.em.total_cycles();
+        rt.charge(vm, cycles);
+
+        let name = format!("{fname}$spec{}", module.len());
+        let mut cf = dyc_vm::CodeFunc::new(name, dyn_params.len(), ex.em.next_reg.max(1) as usize);
+        cf.code = ex.em.code;
+        Ok(module.add_func(cf))
+    }
+
+    fn emit_chain(
+        &mut self,
+        key: GeKey,
+        store: Store,
+        rt: &mut Runtime,
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<(), VmError> {
+        let mut cur = Some((key, store));
+        while let Some((key, store)) = cur.take() {
+            if self.em.labels.contains_key(&key) {
+                break;
+            }
+            if self.em.code.len() as u64 > self.budget {
+                return Err(VmError::Dispatch(
+                    "specialization exceeded its instruction budget (non-terminating static control flow?)"
+                        .into(),
+                ));
+            }
+            let d = &self.gef.divisions[key.division as usize];
+            let block = d.block;
+            if self.gef.loop_headers.contains(&block) && !d.vars.is_empty() {
+                self.header_units
+                    .entry(block)
+                    .or_default()
+                    .insert(key.clone());
+            }
+            let var_set: Vec<u32> = d.vars.iter().map(|v| v.0).collect();
+            self.division_sets.entry(block).or_default().insert(var_set);
+            cur = self.emit_unit(key, store, rt, module, vm)?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn emit_unit(
+        &mut self,
+        key: GeKey,
+        mut store: Store,
+        rt: &mut Runtime,
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<Option<(GeKey, Store)>, VmError> {
+        let d: GeDivision = self.gef.divisions[key.division as usize].clone();
+        self.cur_unit = Some(key.clone());
+        let mut rename: HashMap<VReg, Opnd> = HashMap::new();
+        let mut scratch: HashMap<u64, Reg> = HashMap::new();
+        let mut buf: Vec<Emitted<GeKey>> = Vec::new();
+        let costs = rt.costs;
+        self.em.exec_cycles += costs.per_unit;
+        rt.stats.units_emitted += 1;
+
+        for op in &d.ops {
+            // One table fetch + dispatch per precompiled GE op — the whole
+            // per-instruction decision cost of the staged path.
+            self.em.exec_cycles += costs.ge_op;
+            match op {
+                GeOp::Eval(inst) => {
+                    self.em.exec_static(
+                        inst,
+                        &mut store,
+                        &mut rename,
+                        &costs,
+                        &mut rt.stats,
+                        module,
+                        vm,
+                    )?;
+                }
+                GeOp::EmitHole { inst, reads_after } => {
+                    let rl = |v: VReg| reads_after.binary_search(&v).is_ok();
+                    self.em.emit_dynamic(
+                        inst,
+                        &rl,
+                        &mut store,
+                        &mut rename,
+                        &mut scratch,
+                        &mut buf,
+                        &costs,
+                        &mut rt.stats,
+                    );
+                }
+                GeOp::DemoteMaterialize { vars } => {
+                    for v in vars {
+                        let val = store
+                            .remove(v)
+                            .expect("demoted variables are static in their division");
+                        let r = self.em.reg_of(*v);
+                        buf.push(Emitted {
+                            ins: mov_const(r, val),
+                            deletable: true,
+                            fixup: None,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Regs that must survive the unit (for dead-assignment elimination).
+        let mut live_regs: HashSet<Reg> = HashSet::new();
+        let mut chain: Option<(GeKey, Store)> = None;
+
+        if let GeTerm::Promote(p) = &d.term {
+            // Internal dynamic-to-static promotion, fully precomputed: the
+            // unit ends with a dispatch resuming at `p.resume_division`.
+            self.em.flush_renames(
+                &mut rename,
+                &mut buf,
+                |v| p.live.binary_search(&v).is_ok(),
+                None,
+            );
+            let base_store: Store = p.carried.iter().map(|v| (*v, store[v])).collect();
+            let site_id = rt.add_site(Site {
+                func: self.fidx,
+                block: d.block,
+                inst_idx: p.at,
+                base_store,
+                key_vars: p.key_vars.clone(),
+                arg_vars: p.args.clone(),
+                policy: p.policy,
+                division: Some(p.resume_division),
+            });
+            self.em.exec_cycles += costs.new_site;
+            let args: Vec<Reg> = p.args.iter().map(|v| self.em.reg_of(*v)).collect();
+            live_regs.extend(args.iter().copied());
+            let dst = self.gef.ret_has_value.then(|| self.em.fresh_reg());
+            buf.push(Emitted {
+                ins: Instr::Dispatch {
+                    point: site_id,
+                    dst,
+                    args,
+                },
+                deletable: false,
+                fixup: None,
+            });
+            buf.push(Emitted {
+                ins: Instr::Ret { src: dst },
+                deletable: false,
+                fixup: None,
+            });
+        } else {
+            // Terminator: precomputed flush/keep sets, then the edge plans.
+            self.em.flush_renames(
+                &mut rename,
+                &mut buf,
+                |v| d.flush_keep.binary_search(&v).is_ok(),
+                Some(&mut live_regs),
+            );
+            for v in &d.live_out_dyn {
+                let r = self.em.reg_of(*v);
+                live_regs.insert(r);
+            }
+            match &d.term {
+                GeTerm::Jmp(plan) => {
+                    chain = self.take_edge(plan, &store, &mut buf, &mut live_regs);
+                }
+                GeTerm::StaticBr { cond, t, f } => {
+                    rt.stats.branches_folded += 1;
+                    let taken = match store[cond] {
+                        Value::I(v) => v != 0,
+                        Value::F(v) => v != 0.0,
+                    };
+                    let plan = if taken { t } else { f };
+                    chain = self.take_edge(plan, &store, &mut buf, &mut live_regs);
+                }
+                GeTerm::DynBr { cond, t, f } => {
+                    match self.em.resolve(*cond, &store, &rename) {
+                        // The rename table can still fold a "dynamic"
+                        // branch when the condition renamed to a constant.
+                        Opnd::KI(v) => {
+                            rt.stats.branches_folded += 1;
+                            let plan = if v != 0 { t } else { f };
+                            chain = self.take_edge(plan, &store, &mut buf, &mut live_regs);
+                        }
+                        Opnd::KF(v) => {
+                            rt.stats.branches_folded += 1;
+                            let plan = if v != 0.0 { t } else { f };
+                            chain = self.take_edge(plan, &store, &mut buf, &mut live_regs);
+                        }
+                        Opnd::R(r) => {
+                            live_regs.insert(r);
+                            let (key_t, store_t) =
+                                self.apply_edge(t, &store, &mut buf, &mut live_regs);
+                            let (key_f, store_f) =
+                                self.apply_edge(f, &store, &mut buf, &mut live_regs);
+                            buf.push(Emitted {
+                                ins: Instr::Brnz { cond: r, target: 0 },
+                                deletable: false,
+                                fixup: Some(key_t.clone()),
+                            });
+                            if !self.em.labels.contains_key(&key_t) {
+                                self.worklist.push((key_t, store_t));
+                            }
+                            if self.em.labels.contains_key(&key_f) {
+                                buf.push(Emitted {
+                                    ins: Instr::Jmp { target: 0 },
+                                    deletable: false,
+                                    fixup: Some(key_f),
+                                });
+                            } else {
+                                chain = Some((key_f, store_f));
+                            }
+                        }
+                    }
+                }
+                GeTerm::StaticSwitch { on, cases, default } => {
+                    rt.stats.branches_folded += 1;
+                    let v = store[on].as_i();
+                    let plan = cases
+                        .iter()
+                        .find_map(|(k, p)| (*k == v).then_some(p))
+                        .unwrap_or(default);
+                    chain = self.take_edge(plan, &store, &mut buf, &mut live_regs);
+                }
+                GeTerm::DynSwitch { on, cases, default } => {
+                    match self.em.resolve(*on, &store, &rename) {
+                        Opnd::KI(v) => {
+                            rt.stats.branches_folded += 1;
+                            let plan = cases
+                                .iter()
+                                .find_map(|(k, p)| (*k == v).then_some(p))
+                                .unwrap_or(default);
+                            chain = self.take_edge(plan, &store, &mut buf, &mut live_regs);
+                        }
+                        Opnd::KF(_) => unreachable!("switch scrutinee is int"),
+                        Opnd::R(r) => {
+                            live_regs.insert(r);
+                            let tmp = self.em.fresh_reg();
+                            for (k, plan) in cases {
+                                let (key, st) =
+                                    self.apply_edge(plan, &store, &mut buf, &mut live_regs);
+                                buf.push(Emitted {
+                                    ins: Instr::ICmp {
+                                        cc: Cc::Eq,
+                                        dst: tmp,
+                                        a: r,
+                                        b: Operand::Imm(*k),
+                                    },
+                                    deletable: false,
+                                    fixup: None,
+                                });
+                                buf.push(Emitted {
+                                    ins: Instr::Brnz {
+                                        cond: tmp,
+                                        target: 0,
+                                    },
+                                    deletable: false,
+                                    fixup: Some(key.clone()),
+                                });
+                                if !self.em.labels.contains_key(&key) {
+                                    self.worklist.push((key, st));
+                                }
+                            }
+                            let (key_d, store_d) =
+                                self.apply_edge(default, &store, &mut buf, &mut live_regs);
+                            if self.em.labels.contains_key(&key_d) {
+                                buf.push(Emitted {
+                                    ins: Instr::Jmp { target: 0 },
+                                    deletable: false,
+                                    fixup: Some(key_d),
+                                });
+                            } else {
+                                chain = Some((key_d, store_d));
+                            }
+                        }
+                    }
+                }
+                GeTerm::Ret(v) => {
+                    let src = v.map(|v| match self.em.resolve(v, &store, &rename) {
+                        Opnd::R(r) => r,
+                        k => {
+                            let r = self.em.fresh_reg();
+                            buf.push(Emitted {
+                                ins: mov_const(r, opnd_value(k)),
+                                deletable: false,
+                                fixup: None,
+                            });
+                            r
+                        }
+                    });
+                    if let Some(r) = src {
+                        live_regs.insert(r);
+                    }
+                    buf.push(Emitted {
+                        ins: Instr::Ret { src },
+                        deletable: false,
+                        fixup: None,
+                    });
+                }
+                GeTerm::Promote(_) => unreachable!("handled above"),
+            }
+        }
+
+        self.em
+            .seal_unit(key, buf, live_regs, &costs, &mut rt.stats);
+        Ok(chain)
+    }
+
+    /// Apply a precomputed edge plan: materialize the planned demotions
+    /// (values cross into run time here), build the successor's store from
+    /// the carry list, and form its unit key. The per-variable *decisions*
+    /// were all taken at static compile time.
+    fn apply_edge(
+        &mut self,
+        plan: &EdgePlan,
+        store: &Store,
+        buf: &mut Vec<Emitted<GeKey>>,
+        live_regs: &mut HashSet<Reg>,
+    ) -> (GeKey, Store) {
+        // carry and demote are each sorted by variable; the online path
+        // interleaves them in one sorted walk of the store, and demotions
+        // are the only ones that emit code — so emitting all demotions in
+        // their sorted order reproduces the online instruction order.
+        for v in &plan.demote {
+            let val = store[v];
+            let r = self.em.reg_of(*v);
+            buf.push(Emitted {
+                ins: mov_const(r, val),
+                deletable: true,
+                fixup: None,
+            });
+            live_regs.insert(r);
+        }
+        let out: Store = plan.carry.iter().map(|v| (*v, store[v])).collect();
+        let key = ge_key(plan.target, &out);
+        if let Some(from) = &self.cur_unit {
+            self.unit_edges.push((from.clone(), key.clone()));
+        }
+        (key, out)
+    }
+
+    /// Take an unconditional edge: tail-continue if the target is fresh,
+    /// emit a jump otherwise.
+    fn take_edge(
+        &mut self,
+        plan: &EdgePlan,
+        store: &Store,
+        buf: &mut Vec<Emitted<GeKey>>,
+        live_regs: &mut HashSet<Reg>,
+    ) -> Option<(GeKey, Store)> {
+        let (key, st) = self.apply_edge(plan, store, buf, live_regs);
+        if self.em.labels.contains_key(&key) {
+            buf.push(Emitted {
+                ins: Instr::Jmp { target: 0 },
+                deletable: false,
+                fixup: Some(key),
+            });
+            None
+        } else {
+            Some((key, st))
+        }
+    }
+
+    /// Multi-way-unroll classification over the emitted unit graph —
+    /// identical in structure to the online specializer's, with blocks
+    /// read off the divisions.
+    fn loop_is_multiway(&self, header: BlockId, units: &HashSet<GeKey>) -> bool {
+        let Some(l) = self.gef.loops.iter().find(|l| l.header == header) else {
+            return false;
+        };
+        let block_of = |k: &GeKey| self.gef.divisions[k.division as usize].block;
+        let mut succs: HashMap<&GeKey, Vec<&GeKey>> = HashMap::new();
+        let mut in_deg: HashMap<&GeKey, u32> = HashMap::new();
+        for (from, to) in &self.unit_edges {
+            if !l.body.contains(&block_of(from)) {
+                continue;
+            }
+            if units.contains(to) {
+                *in_deg.entry(to).or_insert(0) += 1;
+            }
+            succs.entry(from).or_default().push(to);
+        }
+        if in_deg.values().any(|d| *d >= 2) {
+            return true;
+        }
+        for k in units {
+            let mut reached: HashSet<&GeKey> = HashSet::new();
+            let mut seen: HashSet<&GeKey> = HashSet::new();
+            let mut stack: Vec<&GeKey> = vec![k];
+            while let Some(u) = stack.pop() {
+                for v in succs.get(u).map(Vec::as_slice).unwrap_or(&[]) {
+                    if !l.body.contains(&block_of(v)) {
+                        continue;
+                    }
+                    if units.contains(*v) {
+                        reached.insert(v);
+                        continue;
+                    }
+                    if seen.insert(v) {
+                        stack.push(v);
+                    }
+                }
+            }
+            if reached.len() >= 2 {
+                return true;
+            }
+        }
+        false
+    }
+}

@@ -1,24 +1,32 @@
 //! # dyc-rt — the run-time half of DyC-RS
 //!
 //! The static compiler (`dyc-stage`) replaces every dynamic-region entry
-//! with a dispatch into this crate. At run time:
+//! with a dispatch into this crate and precompiles each region into a
+//! generating-extension (GE) program. At run time:
 //!
 //! 1. [`Runtime`] (a [`dyc_vm::DispatchHandler`]) receives the dispatch
 //!    with the live values, extracts the promoted key, and consults the
 //!    site's **dynamic-code cache** — the paper's double-hashing
 //!    `cache-all` table or the single-slot `cache-one-unchecked` policy
 //!    (§2.2.3).
-//! 2. On a miss, the [`specializer`] — DyC's *generating extension* —
-//!    executes the static computations and emits specialized VM code,
-//!    performing complete loop unrolling, static loads & calls, dynamic
-//!    zero/copy propagation, dead-assignment elimination, strength
-//!    reduction, and internal dynamic-to-static promotions.
+//! 2. On a miss, the [`ge_exec`] executor interprets the region's flat GE
+//!    program: it executes the precompiled static computations and emits
+//!    specialized VM code — complete loop unrolling, static loads &
+//!    calls, dynamic zero/copy propagation, dead-assignment elimination,
+//!    strength reduction, and internal dynamic-to-static promotions —
+//!    with **zero** run-time binding-time or liveness analysis (the
+//!    [`RtStats::runtime_bta_calls`] counter proves it). The legacy
+//!    online [`specializer`] is kept as the reference path
+//!    (`OptConfig::staged_ge = false`); both drive the shared [`emitter`]
+//!    and emit byte-identical code.
 //! 3. The new code is installed in the running [`dyc_vm::Module`], the
 //!    I-cache is flushed, and every cycle of the work is charged to the
 //!    dynamic-compilation counters that feed Table 3.
 
 pub mod cache;
 pub mod costs;
+pub(crate) mod emitter;
+pub mod ge_exec;
 pub mod runtime;
 pub mod specializer;
 pub mod stats;

@@ -9,6 +9,7 @@
 
 use crate::cache::DoubleHashCache;
 use crate::costs::DynCosts;
+use crate::ge_exec::GeExecutor;
 use crate::specializer::Specializer;
 use crate::stats::RtStats;
 use dyc_ir::{BlockId, VReg};
@@ -38,6 +39,11 @@ pub struct Site {
     pub arg_vars: Vec<VReg>,
     /// Caching policy.
     pub policy: SitePolicy,
+    /// Entry division in the function's precompiled GE program, when one
+    /// exists: specialization runs through the staged [`GeExecutor`].
+    /// `None` routes through the online [`Specializer`] (staging disabled
+    /// or the function fell back).
+    pub division: Option<u32>,
 }
 
 #[derive(Debug)]
@@ -46,7 +52,10 @@ enum CacheState {
     One(Option<FuncId>),
     /// Array-indexed lookup for byte-ranged keys (§3.1 extension), with a
     /// hashed overflow table for out-of-range values.
-    Indexed { slots: Box<[Option<FuncId>; 256]>, overflow: DoubleHashCache },
+    Indexed {
+        slots: Box<[Option<FuncId>; 256]>,
+        overflow: DoubleHashCache,
+    },
 }
 
 impl CacheState {
@@ -84,7 +93,7 @@ impl Runtime {
     pub fn new(staged: StagedProgram) -> Runtime {
         let mut sites = Vec::new();
         let mut caches = Vec::new();
-        for e in &staged.entry_sites {
+        for (i, e) in staged.entry_sites.iter().enumerate() {
             sites.push(Site {
                 func: e.func,
                 block: e.block,
@@ -93,6 +102,7 @@ impl Runtime {
                 key_vars: e.key_vars.iter().map(|(v, _)| *v).collect(),
                 arg_vars: e.arg_vars.clone(),
                 policy: e.policy,
+                division: staged.ge.entry_divisions[i],
             });
             caches.push(CacheState::for_policy(e.policy));
         }
@@ -139,7 +149,13 @@ impl Runtime {
             store.insert(*v, *val);
         }
         self.stats.specializations += 1;
-        let func = Specializer::run(self, &site, store, module, vm)?;
+        // True staging: sites with a precompiled entry division run the
+        // flat GE program; everything else falls back to the online
+        // specializer. Both paths emit byte-identical code.
+        let func = match site.division {
+            Some(d) => GeExecutor::run(self, &site, store, d, module, vm)?,
+            None => Specializer::run(self, &site, store, module, vm)?,
+        };
         // Install: i-cache coherence + bookkeeping.
         vm.flush_icache();
         let install = self.costs.install;
@@ -309,6 +325,9 @@ impl DispatchHandler for Runtime {
         };
 
         let call_args: Vec<Value> = dyn_pos.iter().map(|&i| args[i]).collect();
-        Ok(DispatchOutcome::Invoke { func, args: call_args })
+        Ok(DispatchOutcome::Invoke {
+            func,
+            args: call_args,
+        })
     }
 }

@@ -1,4 +1,6 @@
-//! The online specializer — DyC's *generating extension* (§2.1).
+//! The *online* specializer — the legacy, unstaged generating extension
+//! (§2.1), kept as the reference implementation and escape hatch
+//! (`OptConfig::staged_ge = false`).
 //!
 //! Given the concrete values of the promoted variables, this walks the
 //! region's IR, **executes the static computations** (including static
@@ -17,33 +19,26 @@
 //!   fresh unit too — **program-point-specific polyvariant division and
 //!   specialization** (§2.2.1, §2.2.5).
 //!
-//! Value-dependent emit-time optimizations (§2.2.7): dynamic zero & copy
-//! propagation via a rename table, dynamic dead-assignment elimination via
-//! a per-unit backward sweep over the emit buffer, and dynamic strength
-//! reduction. Each is gated by its [`OptConfig`] flag and metered.
+//! Being online, it re-derives at run time what the staged path
+//! ([`crate::ge_exec`]) reads from precompiled GE programs: every
+//! instruction's binding time (`inst_binding`), liveness at unit
+//! boundaries and promotions, and loop/unroll legality. Those queries are
+//! metered as [`crate::RtStats::runtime_bta_calls`] and charged
+//! (`classify`, `edge_plan_per_var`) so Table 3 can show what true
+//! staging saves. All value-dependent emit work is shared with the
+//! staged path via [`crate::emitter::Emitter`], which is what keeps the
+//! two paths' output byte-identical.
 
+use crate::emitter::{mov_const, opnd_value, Emitted, Emitter, Opnd};
 use crate::runtime::{Runtime, Site, Store};
 use dyc_bta::{inst_binding, Binding, OptConfig};
 use dyc_ir::analysis::{natural_loops, Liveness, NaturalLoop};
-use dyc_ir::inst::{Callee, Inst, Term};
+use dyc_ir::inst::{Inst, Term};
 use dyc_ir::{BlockId, FuncIr, IrTy, VReg};
 use dyc_lang::Policy;
 use dyc_stage::live_at_point;
-use dyc_vm::{
-    Cc, FAluOp, FuncId, IAluOp, Instr, Module, Operand, Reg, UnOp, Value, Vm, VmError,
-};
+use dyc_vm::{Cc, FuncId, Instr, Module, Operand, Reg, Vm, VmError};
 use std::collections::{BTreeSet, HashMap, HashSet};
-
-/// A resolved operand at emit time.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Opnd {
-    /// A run-time register.
-    R(Reg),
-    /// A known integer value (a filled hole).
-    KI(i64),
-    /// A known float value (a filled hole).
-    KF(f64),
-}
 
 /// Specialization-unit identity: program point plus live static store.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -61,16 +56,7 @@ fn unit_key(block: BlockId, start: usize, store: &Store) -> UnitKey {
     }
 }
 
-/// One instruction in the per-unit emit buffer.
-struct Emitted {
-    ins: Instr,
-    /// Candidate for dead-assignment elimination.
-    deletable: bool,
-    /// Branch fixup: patch the target to this unit's label afterwards.
-    fixup: Option<UnitKey>,
-}
-
-/// The generating-extension executor. See module docs.
+/// The online generating-extension executor. See module docs.
 pub(crate) struct Specializer {
     f: FuncIr,
     live: Liveness,
@@ -84,13 +70,8 @@ pub(crate) struct Specializer {
     cfg: OptConfig,
     fidx: usize,
 
-    code: Vec<Instr>,
-    labels: HashMap<UnitKey, u32>,
-    fixups: Vec<(usize, UnitKey)>,
+    em: Emitter<UnitKey>,
     worklist: Vec<(UnitKey, Store)>,
-    reg_map: HashMap<VReg, Reg>,
-    next_reg: u32,
-    cycles: u64,
     budget: u64,
     // Instrumentation.
     header_units: HashMap<BlockId, HashSet<UnitKey>>,
@@ -116,7 +97,13 @@ impl Specializer {
     ) -> Result<FuncId, VmError> {
         let f = rt.staged.ir.funcs[site.func].clone();
         let sf = &rt.staged.funcs[site.func];
+        // An online loop analysis per specialization request: the first of
+        // this run's run-time analysis costs.
         let loops = natural_loops(&f);
+        rt.stats.runtime_bta_calls += 1;
+        let float_vreg: Vec<bool> = (0..f.n_vregs())
+            .map(|i| f.ty(VReg(i as u32)) == IrTy::Float)
+            .collect();
         let mut spec = Specializer {
             live: sf.live.clone(),
             static_in: sf.bta.static_in.clone(),
@@ -128,13 +115,8 @@ impl Specializer {
             loops,
             cfg: rt.staged.cfg,
             fidx: site.func,
-            code: Vec::new(),
-            labels: HashMap::new(),
-            fixups: Vec::new(),
+            em: Emitter::new(rt.staged.cfg, float_vreg),
             worklist: Vec::new(),
-            reg_map: HashMap::new(),
-            next_reg: 0,
-            cycles: 0,
             budget: rt.spec_budget,
             header_units: HashMap::new(),
             unit_edges: Vec::new(),
@@ -144,33 +126,28 @@ impl Specializer {
         };
 
         // Dynamic pass-through parameters, in arg order.
-        let dyn_params: Vec<VReg> =
-            site.arg_vars.iter().filter(|v| !store.contains_key(v)).copied().collect();
+        let dyn_params: Vec<VReg> = site
+            .arg_vars
+            .iter()
+            .filter(|v| !store.contains_key(v))
+            .copied()
+            .collect();
         for (i, v) in dyn_params.iter().enumerate() {
-            spec.reg_map.insert(*v, i as u32);
+            spec.em.set_reg(*v, i as u32);
         }
-        spec.next_reg = dyn_params.len() as u32;
+        spec.em.next_reg = dyn_params.len() as u32;
 
         let entry = unit_key(site.block, site.inst_idx, &store);
         spec.worklist.push((entry, store));
         while let Some((key, st)) = spec.worklist.pop() {
-            if spec.labels.contains_key(&key) {
+            if spec.em.labels.contains_key(&key) {
                 continue;
             }
             spec.emit_chain(key, st, rt, module, vm)?;
         }
 
         // Patch branch targets.
-        for (at, key) in std::mem::take(&mut spec.fixups) {
-            let dest = *spec.labels.get(&key).expect("all units emitted before patching");
-            match &mut spec.code[at] {
-                Instr::Jmp { target } | Instr::Brz { target, .. } | Instr::Brnz { target, .. } => {
-                    *target = dest;
-                }
-                other => unreachable!("fixup on non-branch {other:?}"),
-            }
-            spec.cycles += rt.costs.branch_patch;
-        }
+        spec.em.patch_fixups(&rt.costs);
 
         // Loop-unrolling instrumentation: classify each unrolled loop from
         // the emitted unit graph.
@@ -186,13 +163,16 @@ impl Specializer {
 
         rt.stats.divisions_observed +=
             spec.division_sets.values().filter(|s| s.len() >= 2).count() as u64;
-        rt.stats.instrs_generated += spec.code.len() as u64;
-        let cycles = spec.cycles;
+        rt.stats.instrs_generated += spec.em.code.len() as u64;
+        rt.stats.ge_exec_cycles += spec.em.exec_cycles;
+        rt.stats.emit_cycles += spec.em.emit_cycles;
+        let cycles = spec.em.total_cycles();
         rt.charge(vm, cycles);
 
         let name = format!("{}$spec{}", spec.f.name, module.len());
-        let mut cf = dyc_vm::CodeFunc::new(name, dyn_params.len(), spec.next_reg.max(1) as usize);
-        cf.code = spec.code;
+        let mut cf =
+            dyc_vm::CodeFunc::new(name, dyn_params.len(), spec.em.next_reg.max(1) as usize);
+        cf.code = spec.em.code;
         Ok(module.add_func(cf))
     }
 
@@ -208,10 +188,10 @@ impl Specializer {
     ) -> Result<(), VmError> {
         let mut cur = Some((key, store));
         while let Some((key, store)) = cur.take() {
-            if self.labels.contains_key(&key) {
+            if self.em.labels.contains_key(&key) {
                 break;
             }
-            if self.code.len() as u64 > self.budget {
+            if self.em.code.len() as u64 > self.budget {
                 return Err(VmError::Dispatch(
                     "specialization exceeded its instruction budget (non-terminating static control flow?)"
                         .into(),
@@ -219,7 +199,10 @@ impl Specializer {
             }
             let block = BlockId(key.block);
             if self.loop_headers.contains(&block) && !key.statics.is_empty() {
-                self.header_units.entry(block).or_default().insert(key.clone());
+                self.header_units
+                    .entry(block)
+                    .or_default()
+                    .insert(key.clone());
             }
             // Polyvariant division: the same point analyzed/compiled under
             // different static-variable *sets* (§2.2.5).
@@ -244,8 +227,9 @@ impl Specializer {
         self.cur_unit = Some(key.clone());
         let mut rename: HashMap<VReg, Opnd> = HashMap::new();
         let mut scratch: HashMap<u64, Reg> = HashMap::new();
-        let mut buf: Vec<Emitted> = Vec::new();
-        self.cycles += rt.costs.per_unit;
+        let mut buf: Vec<Emitted<UnitKey>> = Vec::new();
+        let costs = rt.costs;
+        self.em.exec_cycles += costs.per_unit;
         rt.stats.units_emitted += 1;
 
         let n_insts = self.f.block(block).insts.len();
@@ -276,7 +260,7 @@ impl Specializer {
                     for v in vars {
                         if let Some(val) = store.remove(v) {
                             // The value crosses into run time: materialize.
-                            let r = self.reg_of(*v);
+                            let r = self.em.reg_of(*v);
                             buf.push(Emitted {
                                 ins: mov_const(r, val),
                                 deletable: true,
@@ -286,21 +270,35 @@ impl Specializer {
                     }
                 }
                 _ => {
+                    // Online binding-time classification: the run-time
+                    // analysis cost the staged path precompiles away.
+                    rt.stats.runtime_bta_calls += 1;
+                    self.em.exec_cycles += costs.classify;
                     let is_static = |v: VReg| store.contains_key(&v);
                     match inst_binding(&inst, &is_static, &self.cfg) {
                         Binding::Static => {
-                            self.exec_static(&inst, &mut store, &mut rename, rt, module, vm)?;
+                            self.em.exec_static(
+                                &inst,
+                                &mut store,
+                                &mut rename,
+                                &costs,
+                                &mut rt.stats,
+                                module,
+                                vm,
+                            )?;
                         }
                         Binding::Dynamic => {
-                            self.emit_dynamic(
+                            let (f, live) = (&self.f, &self.live);
+                            let rl = |v: VReg| read_later(f, live, block, i, v);
+                            self.em.emit_dynamic(
                                 &inst,
-                                block,
-                                i,
+                                &rl,
                                 &mut store,
                                 &mut rename,
                                 &mut scratch,
                                 &mut buf,
-                                rt,
+                                &costs,
+                                &mut rt.stats,
                             );
                         }
                         Binding::Annotation => unreachable!("annotations handled above"),
@@ -317,17 +315,22 @@ impl Specializer {
         if let Some((idx, missing)) = promotion {
             // Internal dynamic-to-static promotion: end the unit with a
             // dispatch that resumes specialization once the values are
-            // known (§2.2.2).
+            // known (§2.2.2). Another run-time liveness query.
+            rt.stats.runtime_bta_calls += 1;
             let live_here = live_at_point(&self.f, &self.live, block, idx);
             let live_set: BTreeSet<VReg> = live_here.iter().copied().collect();
-            self.flush_renames(&mut rename, &mut buf, |v| live_set.contains(&v), None);
+            self.em
+                .flush_renames(&mut rename, &mut buf, |v| live_set.contains(&v), None);
             let base_store: Store = store
                 .iter()
                 .filter(|(v, _)| live_here.contains(v))
                 .map(|(v, val)| (*v, *val))
                 .collect();
-            let arg_vars: Vec<VReg> =
-                live_here.iter().filter(|v| !store.contains_key(v)).copied().collect();
+            let arg_vars: Vec<VReg> = live_here
+                .iter()
+                .filter(|v| !store.contains_key(v))
+                .copied()
+                .collect();
             let policy = dyc_stage::site_policy(
                 &self.cfg,
                 missing
@@ -343,23 +346,32 @@ impl Specializer {
                 key_vars: missing,
                 arg_vars: arg_vars.clone(),
                 policy,
+                division: None,
             });
-            self.cycles += rt.costs.new_site;
-            let args: Vec<Reg> = arg_vars.iter().map(|v| self.reg_of(*v)).collect();
+            self.em.exec_cycles += costs.new_site;
+            let args: Vec<Reg> = arg_vars.iter().map(|v| self.em.reg_of(*v)).collect();
             live_regs.extend(args.iter().copied());
-            let dst = self.f.ret_ty.map(|_| self.fresh_reg());
+            let dst = self.f.ret_ty.map(|_| self.em.fresh_reg());
             buf.push(Emitted {
-                ins: Instr::Dispatch { point: site_id, dst, args },
+                ins: Instr::Dispatch {
+                    point: site_id,
+                    dst,
+                    args,
+                },
                 deletable: false,
                 fixup: None,
             });
-            buf.push(Emitted { ins: Instr::Ret { src: dst }, deletable: false, fixup: None });
+            buf.push(Emitted {
+                ins: Instr::Ret { src: dst },
+                deletable: false,
+                fixup: None,
+            });
         } else {
             // Terminator.
             let term = self.f.block(block).term.clone();
             let live_out = self.live.live_out[block.index()].clone();
             let term_uses: BTreeSet<VReg> = term.uses().into_iter().collect();
-            self.flush_renames(
+            self.em.flush_renames(
                 &mut rename,
                 &mut buf,
                 |v| live_out.contains(&v) || term_uses.contains(&v),
@@ -367,9 +379,11 @@ impl Specializer {
             );
             // Every dynamic variable live out of the block must survive
             // the unit's dead-assignment sweep: later units read it.
-            for v in &live_out {
-                if !store.contains_key(v) {
-                    let r = self.reg_of(*v);
+            let mut live_out_sorted: Vec<VReg> = live_out.iter().copied().collect();
+            live_out_sorted.sort();
+            for v in live_out_sorted {
+                if !store.contains_key(&v) {
+                    let r = self.em.reg_of(v);
                     live_regs.insert(r);
                 }
             }
@@ -378,18 +392,16 @@ impl Specializer {
                     chain = self.take_edge(t, &store, &mut buf, &mut live_regs, rt);
                 }
                 Term::Br { cond, t, f: fb } => {
-                    match self.resolve(cond, &store, &rename) {
+                    match self.em.resolve(cond, &store, &rename) {
                         Opnd::KI(v) => {
                             rt.stats.branches_folded += 1;
                             let target = if v != 0 { t } else { fb };
-                            chain =
-                                self.take_edge(target, &store, &mut buf, &mut live_regs, rt);
+                            chain = self.take_edge(target, &store, &mut buf, &mut live_regs, rt);
                         }
                         Opnd::KF(v) => {
                             rt.stats.branches_folded += 1;
                             let target = if v != 0.0 { t } else { fb };
-                            chain =
-                                self.take_edge(target, &store, &mut buf, &mut live_regs, rt);
+                            chain = self.take_edge(target, &store, &mut buf, &mut live_regs, rt);
                         }
                         Opnd::R(r) => {
                             live_regs.insert(r);
@@ -404,10 +416,10 @@ impl Specializer {
                                 deletable: false,
                                 fixup: Some(key_t.clone()),
                             });
-                            if !self.labels.contains_key(&key_t) {
+                            if !self.em.labels.contains_key(&key_t) {
                                 self.worklist.push((key_t, store_t));
                             }
-                            if self.labels.contains_key(&key_f) {
+                            if self.em.labels.contains_key(&key_f) {
                                 buf.push(Emitted {
                                     ins: Instr::Jmp { target: 0 },
                                     deletable: false,
@@ -419,106 +431,102 @@ impl Specializer {
                         }
                     }
                 }
-                Term::Switch { on, cases, default } => {
-                    match self.resolve(on, &store, &rename) {
-                        Opnd::KI(v) => {
-                            rt.stats.branches_folded += 1;
-                            let target = cases
-                                .iter()
-                                .find_map(|(k, b)| (*k == v).then_some(*b))
-                                .unwrap_or(default);
-                            chain =
-                                self.take_edge(target, &store, &mut buf, &mut live_regs, rt);
+                Term::Switch { on, cases, default } => match self.em.resolve(on, &store, &rename) {
+                    Opnd::KI(v) => {
+                        rt.stats.branches_folded += 1;
+                        let target = cases
+                            .iter()
+                            .find_map(|(k, b)| (*k == v).then_some(*b))
+                            .unwrap_or(default);
+                        chain = self.take_edge(target, &store, &mut buf, &mut live_regs, rt);
+                    }
+                    Opnd::KF(_) => unreachable!("switch scrutinee is int"),
+                    Opnd::R(r) => {
+                        live_regs.insert(r);
+                        let tmp = self.em.fresh_reg();
+                        for (k, target) in &cases {
+                            let (key, st) =
+                                self.edge_unit(*target, &store, &mut buf, &mut live_regs, rt);
+                            buf.push(Emitted {
+                                ins: Instr::ICmp {
+                                    cc: Cc::Eq,
+                                    dst: tmp,
+                                    a: r,
+                                    b: Operand::Imm(*k),
+                                },
+                                deletable: false,
+                                fixup: None,
+                            });
+                            buf.push(Emitted {
+                                ins: Instr::Brnz {
+                                    cond: tmp,
+                                    target: 0,
+                                },
+                                deletable: false,
+                                fixup: Some(key.clone()),
+                            });
+                            if !self.em.labels.contains_key(&key) {
+                                self.worklist.push((key, st));
+                            }
                         }
-                        Opnd::KF(_) => unreachable!("switch scrutinee is int"),
-                        Opnd::R(r) => {
-                            live_regs.insert(r);
-                            let tmp = self.fresh_reg();
-                            for (k, target) in &cases {
-                                let (key, st) =
-                                    self.edge_unit(*target, &store, &mut buf, &mut live_regs, rt);
-                                buf.push(Emitted {
-                                    ins: Instr::ICmp {
-                                        cc: Cc::Eq,
-                                        dst: tmp,
-                                        a: r,
-                                        b: Operand::Imm(*k),
-                                    },
-                                    deletable: false,
-                                    fixup: None,
-                                });
-                                buf.push(Emitted {
-                                    ins: Instr::Brnz { cond: tmp, target: 0 },
-                                    deletable: false,
-                                    fixup: Some(key.clone()),
-                                });
-                                if !self.labels.contains_key(&key) {
-                                    self.worklist.push((key, st));
-                                }
-                            }
-                            let (key_d, store_d) =
-                                self.edge_unit(default, &store, &mut buf, &mut live_regs, rt);
-                            if self.labels.contains_key(&key_d) {
-                                buf.push(Emitted {
-                                    ins: Instr::Jmp { target: 0 },
-                                    deletable: false,
-                                    fixup: Some(key_d),
-                                });
-                            } else {
-                                chain = Some((key_d, store_d));
-                            }
+                        let (key_d, store_d) =
+                            self.edge_unit(default, &store, &mut buf, &mut live_regs, rt);
+                        if self.em.labels.contains_key(&key_d) {
+                            buf.push(Emitted {
+                                ins: Instr::Jmp { target: 0 },
+                                deletable: false,
+                                fixup: Some(key_d),
+                            });
+                        } else {
+                            chain = Some((key_d, store_d));
                         }
                     }
-                }
+                },
                 Term::Ret(v) => {
-                    let src = v.map(|v| match self.resolve(v, &store, &rename) {
-                            Opnd::R(r) => r,
-                            k => {
-                                let r = self.fresh_reg();
-                                buf.push(Emitted {
-                                    ins: mov_const(r, opnd_value(k)),
-                                    deletable: false,
-                                    fixup: None,
-                                });
-                                r
-                            }
-                        });
+                    let src = v.map(|v| match self.em.resolve(v, &store, &rename) {
+                        Opnd::R(r) => r,
+                        k => {
+                            let r = self.em.fresh_reg();
+                            buf.push(Emitted {
+                                ins: mov_const(r, opnd_value(k)),
+                                deletable: false,
+                                fixup: None,
+                            });
+                            r
+                        }
+                    });
                     if let Some(r) = src {
                         live_regs.insert(r);
                     }
-                    buf.push(Emitted { ins: Instr::Ret { src }, deletable: false, fixup: None });
+                    buf.push(Emitted {
+                        ins: Instr::Ret { src },
+                        deletable: false,
+                        fixup: None,
+                    });
                 }
             }
         }
 
-        // Dynamic dead-assignment elimination: backward sweep over the
-        // unit's emit buffer (§2.2.7).
-        self.cycles += rt.costs.dae_check * buf.len() as u64;
-        let kept = self.dae_sweep(buf, live_regs, rt);
-
-        // Append, recording the unit label and any branch fixups.
-        let label = self.code.len() as u32;
-        self.labels.insert(key, label);
-        for e in kept {
-            if let Some(fk) = e.fixup {
-                self.fixups.push((self.code.len(), fk));
-            }
-            self.code.push(e.ins);
-            self.cycles += rt.costs.emit_instr;
-        }
+        // Dynamic dead-assignment elimination + append (§2.2.7).
+        self.em
+            .seal_unit(key, buf, live_regs, &costs, &mut rt.stats);
         Ok(chain)
     }
 
     /// Compute the successor unit for `target`, materializing demoted
-    /// statics into registers before the transfer.
+    /// statics into registers before the transfer. Every per-variable
+    /// decision here is a run-time liveness/division/unroll query the
+    /// staged path precompiles into an `EdgePlan`.
     fn edge_unit(
         &mut self,
         target: BlockId,
         store: &Store,
-        buf: &mut Vec<Emitted>,
+        buf: &mut Vec<Emitted<UnitKey>>,
         live_regs: &mut HashSet<Reg>,
         rt: &mut Runtime,
     ) -> (UnitKey, Store) {
+        rt.stats.runtime_bta_calls += store.len() as u64;
+        self.em.exec_cycles += rt.costs.edge_plan_per_var * store.len() as u64;
         let live_in = self.live.live_in[target.index()].clone();
         let mut out = Store::new();
         for (v, val) in store {
@@ -541,13 +549,9 @@ impl Specializer {
             // the unguarded one keeps a residual loop.
             if let Some(assigned) = self.loop_assigned.get(&target) {
                 if assigned.contains(v) {
-                    let unrolls_here = self
-                        .unroll_exit_deps
-                        .get(&target)
-                        .is_some_and(|deps| {
-                            deps.iter()
-                                .any(|d| d.iter().all(|x| store.contains_key(x)))
-                        });
+                    let unrolls_here = self.unroll_exit_deps.get(&target).is_some_and(|deps| {
+                        deps.iter().any(|d| d.iter().all(|x| store.contains_key(x)))
+                    });
                     let kept = unrolls_here
                         && self.unroll_keep.get(&target).is_some_and(|k| k.contains(v));
                     if !kept {
@@ -559,8 +563,12 @@ impl Specializer {
                 out.insert(*v, *val);
             } else {
                 // Demotion: the value crosses into run time here.
-                let r = self.reg_of(*v);
-                buf.push(Emitted { ins: mov_const(r, *val), deletable: true, fixup: None });
+                let r = self.em.reg_of(*v);
+                buf.push(Emitted {
+                    ins: mov_const(r, *val),
+                    deletable: true,
+                    fixup: None,
+                });
                 live_regs.insert(r);
             }
         }
@@ -568,7 +576,6 @@ impl Specializer {
         if let Some(from) = &self.cur_unit {
             self.unit_edges.push((from.clone(), key.clone()));
         }
-        let _ = rt;
         (key, out)
     }
 
@@ -578,100 +585,21 @@ impl Specializer {
         &mut self,
         target: BlockId,
         store: &Store,
-        buf: &mut Vec<Emitted>,
+        buf: &mut Vec<Emitted<UnitKey>>,
         live_regs: &mut HashSet<Reg>,
         rt: &mut Runtime,
     ) -> Option<(UnitKey, Store)> {
         let (key, st) = self.edge_unit(target, store, buf, live_regs, rt);
-        if self.labels.contains_key(&key) {
-            buf.push(Emitted { ins: Instr::Jmp { target: 0 }, deletable: false, fixup: Some(key) });
+        if self.em.labels.contains_key(&key) {
+            buf.push(Emitted {
+                ins: Instr::Jmp { target: 0 },
+                deletable: false,
+                fixup: Some(key),
+            });
             None
         } else {
             Some((key, st))
         }
-    }
-
-    fn dae_sweep(
-        &mut self,
-        buf: Vec<Emitted>,
-        mut live: HashSet<Reg>,
-        rt: &mut Runtime,
-    ) -> Vec<Emitted> {
-        if !self.cfg.dead_assignment_elimination {
-            return buf;
-        }
-        let mut keep_rev: Vec<Emitted> = Vec::with_capacity(buf.len());
-        for e in buf.into_iter().rev() {
-            if e.deletable {
-                if let Some(d) = e.ins.def() {
-                    if !live.contains(&d) {
-                        rt.stats.dae_removed += 1;
-                        continue;
-                    }
-                }
-            }
-            if let Some(d) = e.ins.def() {
-                live.remove(&d);
-            }
-            live.extend(e.ins.uses());
-            keep_rev.push(e);
-        }
-        keep_rev.reverse();
-        keep_rev
-    }
-
-    /// Flush the rename table: every renamed variable that `keep` marks as
-    /// readable later gets its value moved into its own register.
-    fn flush_renames(
-        &mut self,
-        rename: &mut HashMap<VReg, Opnd>,
-        buf: &mut Vec<Emitted>,
-        keep: impl Fn(VReg) -> bool,
-        mut live_regs: Option<&mut HashSet<Reg>>,
-    ) {
-        let mut entries: Vec<(VReg, Opnd)> = rename.drain().collect();
-        entries.sort_by_key(|(v, _)| *v);
-        for (v, alias) in entries {
-            if !keep(v) {
-                continue;
-            }
-            let ty = self.f.ty(v);
-            let r = self.reg_of(v);
-            let ins = match alias {
-                Opnd::R(src) => {
-                    if src == r {
-                        continue;
-                    }
-                    if ty == IrTy::Float {
-                        Instr::FMov { dst: r, src }
-                    } else {
-                        Instr::Mov { dst: r, src }
-                    }
-                }
-                Opnd::KI(v) => Instr::MovI { dst: r, imm: v },
-                Opnd::KF(v) => Instr::MovF { dst: r, imm: v },
-            };
-            buf.push(Emitted { ins, deletable: true, fixup: None });
-            if let Some(lr) = live_regs.as_deref_mut() {
-                lr.insert(r);
-            }
-        }
-    }
-
-    fn reg_of(&mut self, v: VReg) -> Reg {
-        if let Some(r) = self.reg_map.get(&v) {
-            return *r;
-        }
-        let r = self.next_reg;
-        self.next_reg += 1;
-        self.reg_map.insert(v, r);
-        r
-    }
-
-    fn fresh_reg(&mut self) -> Reg {
-        let r = self.next_reg;
-        self.next_reg += 1;
-        r
     }
 
     /// Classify an unrolled loop as multi-way: some unit of the loop body
@@ -723,740 +651,28 @@ impl Specializer {
         }
         false
     }
+}
 
-    /// Is `v` read by any instruction after `(block, idx)`, by the block's
-    /// terminator, or live out of the block?
-    fn read_later(&self, block: BlockId, idx: usize, v: VReg) -> bool {
-        if self.live.live_out[block.index()].contains(&v) {
+/// Is `v` read by any instruction after `(block, idx)`, by the block's
+/// terminator, or live out of the block? (A run-time liveness query; the
+/// staged path carries the answer in each `EmitHole`.)
+fn read_later(f: &FuncIr, live: &Liveness, block: BlockId, idx: usize, v: VReg) -> bool {
+    if live.live_out[block.index()].contains(&v) {
+        return true;
+    }
+    let b = f.block(block);
+    if b.term.uses().contains(&v) {
+        return true;
+    }
+    b.insts[idx + 1..].iter().any(|ri| {
+        if ri.uses().contains(&v) {
             return true;
         }
-        let b = self.f.block(block);
-        if b.term.uses().contains(&v) {
-            return true;
+        match ri {
+            Inst::MakeStatic { vars } => vars.iter().any(|(x, _)| *x == v),
+            Inst::MakeDynamic { vars } => vars.contains(&v),
+            Inst::Promote { var } => *var == v,
+            _ => false,
         }
-        b.insts[idx + 1..].iter().any(|ri| {
-            if ri.uses().contains(&v) {
-                return true;
-            }
-            match ri {
-                Inst::MakeStatic { vars } => vars.iter().any(|(x, _)| *x == v),
-                Inst::MakeDynamic { vars } => vars.contains(&v),
-                Inst::Promote { var } => *var == v,
-                _ => false,
-            }
-        })
-    }
-
-    fn resolve(&mut self, v: VReg, store: &Store, rename: &HashMap<VReg, Opnd>) -> Opnd {
-        if let Some(val) = store.get(&v) {
-            return match val {
-                Value::I(i) => Opnd::KI(*i),
-                Value::F(f) => Opnd::KF(*f),
-            };
-        }
-        if let Some(a) = rename.get(&v) {
-            return *a;
-        }
-        Opnd::R(self.reg_of(v))
-    }
-
-    /// Get a register holding a known value (materializing at most once
-    /// per unit per value).
-    fn reg_for_const(
-        &mut self,
-        val: Value,
-        scratch: &mut HashMap<u64, Reg>,
-        buf: &mut Vec<Emitted>,
-    ) -> Reg {
-        let key = val.key_bits();
-        if let Some(r) = scratch.get(&key) {
-            return *r;
-        }
-        let r = self.fresh_reg();
-        buf.push(Emitted { ins: mov_const(r, val), deletable: true, fixup: None });
-        scratch.insert(key, r);
-        r
-    }
-
-    /// Execute a static computation at specialization time.
-    fn exec_static(
-        &mut self,
-        inst: &Inst,
-        store: &mut Store,
-        rename: &mut HashMap<VReg, Opnd>,
-        rt: &mut Runtime,
-        module: &mut Module,
-        vm: &mut Vm,
-    ) -> Result<(), VmError> {
-        let val = |s: &Store, v: VReg| -> Value { s[&v] };
-        let result: Value = match inst {
-            Inst::ConstI { v, .. } => Value::I(*v),
-            Inst::ConstF { v, .. } => Value::F(*v),
-            Inst::Copy { src, .. } => val(store, *src),
-            Inst::Un { op, src, .. } => eval_un(*op, val(store, *src)),
-            Inst::IBin { op, a, b, .. } => {
-                Value::I(eval_ialu(*op, val(store, *a).as_i(), val(store, *b).as_i())?)
-            }
-            Inst::FBin { op, a, b, .. } => {
-                Value::F(eval_falu(*op, val(store, *a).as_f(), val(store, *b).as_f()))
-            }
-            Inst::ICmp { cc, a, b, .. } => {
-                Value::I(eval_icmp(*cc, val(store, *a).as_i(), val(store, *b).as_i()) as i64)
-            }
-            Inst::FCmp { cc, a, b, .. } => {
-                Value::I(eval_fcmp(*cc, val(store, *a).as_f(), val(store, *b).as_f()) as i64)
-            }
-            Inst::Load { ty, base, idx, .. } => {
-                // A *static load* (§2.2.6): read live VM memory now.
-                rt.stats.static_loads += 1;
-                self.cycles += rt.costs.static_load;
-                let addr = val(store, *base).as_i() + val(store, *idx).as_i();
-                vm.mem.read(addr, ty.vm_ty())
-            }
-            Inst::Call { callee, args, .. } => {
-                // A *static call* (§2.2.6): run it now and memoize the
-                // result into the emitted code.
-                rt.stats.static_calls += 1;
-                let arg_vals: Vec<Value> = args.iter().map(|a| val(store, *a)).collect();
-                match callee {
-                    Callee::Host(h) => {
-                        let mut sink = Vec::new();
-                        self.cycles += vm.cost_model().host_cost(*h);
-                        h.eval(&arg_vals, &mut sink)
-                            .expect("pure host functions return values")
-                    }
-                    Callee::Func { index, .. } => {
-                        let before = vm.stats.clone();
-                        let out = vm.call(module, FuncId(*index as u32), &arg_vals)?;
-                        // Those cycles belong to dynamic compilation, not
-                        // to the running program: reclassify.
-                        let delta = vm.stats.delta_since(&before);
-                        vm.stats.exec_cycles -= delta.exec_cycles;
-                        vm.stats.icache_miss_cycles -= delta.icache_miss_cycles;
-                        vm.stats.instrs_executed -= delta.instrs_executed;
-                        self.cycles += delta.exec_cycles + delta.icache_miss_cycles;
-                        out.ok_or_else(|| {
-                            VmError::Dispatch("static call to void function".into())
-                        })?
-                    }
-                }
-            }
-            _ => unreachable!("not a static computation: {inst:?}"),
-        };
-        rt.stats.static_ops += 1;
-        self.cycles += rt.costs.static_op;
-        let dst = inst.def().expect("static computations define a value");
-        rename.remove(&dst);
-        store.insert(dst, result);
-        Ok(())
-    }
-
-    /// Emit a dynamic computation, applying the value-dependent staged
-    /// optimizations. Operands are resolved *before* the destination
-    /// bookkeeping so value chains consumed by this very instruction do
-    /// not get materialized.
-    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
-    fn emit_dynamic(
-        &mut self,
-        inst: &Inst,
-        block: BlockId,
-        idx: usize,
-        store: &mut Store,
-        rename: &mut HashMap<VReg, Opnd>,
-        scratch: &mut HashMap<u64, Reg>,
-        buf: &mut Vec<Emitted>,
-        rt: &mut Runtime,
-    ) {
-        // Resolve every source operand first (pure lookups).
-        let ops: Vec<Opnd> =
-            inst.uses().iter().map(|u| self.resolve(*u, store, rename)).collect();
-
-        let dst_vreg = inst.def();
-        // Redefining a register invalidates rename entries that alias it;
-        // materialize only aliases that are still read after this point.
-        if let Some(d) = dst_vreg {
-            let dr = self.reg_of(d);
-            let stale: Vec<VReg> = rename
-                .iter()
-                .filter(|(v, a)| **a == Opnd::R(dr) && **v != d)
-                .map(|(v, _)| *v)
-                .collect();
-            for v in stale {
-                rename.remove(&v);
-                if !self.read_later(block, idx, v) {
-                    continue;
-                }
-                let ty = self.f.ty(v);
-                let r = self.reg_of(v);
-                let ins = if ty == IrTy::Float {
-                    Instr::FMov { dst: r, src: dr }
-                } else {
-                    Instr::Mov { dst: r, src: dr }
-                };
-                buf.push(Emitted { ins, deletable: true, fixup: None });
-            }
-            rename.remove(&d);
-            store.remove(&d);
-        }
-
-        match inst {
-            Inst::ConstI { dst, v } => {
-                // A constant assigned to a dynamic variable.
-                if self.cfg.zero_copy_propagation {
-                    rename.insert(*dst, Opnd::KI(*v));
-                } else {
-                    let r = self.reg_of(*dst);
-                    buf.push(Emitted {
-                        ins: Instr::MovI { dst: r, imm: *v },
-                        deletable: true,
-                        fixup: None,
-                    });
-                }
-            }
-            Inst::ConstF { dst, v } => {
-                if self.cfg.zero_copy_propagation {
-                    rename.insert(*dst, Opnd::KF(*v));
-                } else {
-                    let r = self.reg_of(*dst);
-                    buf.push(Emitted {
-                        ins: Instr::MovF { dst: r, imm: *v },
-                        deletable: true,
-                        fixup: None,
-                    });
-                }
-            }
-            Inst::Copy { dst, src: _ } => {
-                match ops[0] {
-                    Opnd::R(sr) => {
-                        let r = self.reg_of(*dst);
-                        if sr == r {
-                            // Self-move after a fold collapsed the chain.
-                        } else if self.cfg.zero_copy_propagation {
-                            // Staged dynamic copy propagation (§2.2.7):
-                            // downstream references read the source
-                            // directly; the move only materializes if the
-                            // variable is still live at the unit boundary.
-                            rt.stats.zero_copy_folds += 1;
-                            rename.insert(*dst, Opnd::R(sr));
-                        } else {
-                            let ins = if self.f.ty(*dst) == IrTy::Float {
-                                Instr::FMov { dst: r, src: sr }
-                            } else {
-                                Instr::Mov { dst: r, src: sr }
-                            };
-                            buf.push(Emitted { ins, deletable: true, fixup: None });
-                        }
-                    }
-                    k => {
-                        if self.cfg.zero_copy_propagation {
-                            rt.stats.zero_copy_folds += 1;
-                            rename.insert(*dst, k);
-                        } else {
-                            let r = self.reg_of(*dst);
-                            buf.push(Emitted {
-                                ins: mov_const(r, opnd_value(k)),
-                                deletable: true,
-                                fixup: None,
-                            });
-                        }
-                    }
-                }
-            }
-            Inst::IBin { op, dst, .. } => {
-                self.emit_ibin(*op, *dst, ops[0], ops[1], rename, scratch, buf, rt);
-            }
-            Inst::FBin { op, dst, .. } => {
-                self.emit_fbin(*op, *dst, ops[0], ops[1], rename, scratch, buf, rt);
-            }
-            Inst::ICmp { cc, dst, .. } => {
-                match (ops[0], ops[1]) {
-                    (Opnd::KI(x), Opnd::KI(y)) => {
-                        self.fold_to(*dst, Opnd::KI(eval_icmp(*cc, x, y) as i64), rename, buf, rt);
-                    }
-                    (Opnd::R(x), Opnd::KI(y)) => {
-                        let r = self.reg_of(*dst);
-                        buf.push(Emitted {
-                            ins: Instr::ICmp { cc: *cc, dst: r, a: x, b: Operand::Imm(y) },
-                            deletable: true,
-                            fixup: None,
-                        });
-                    }
-                    (Opnd::KI(x), Opnd::R(y)) => {
-                        let r = self.reg_of(*dst);
-                        buf.push(Emitted {
-                            ins: Instr::ICmp {
-                                cc: cc.swapped(),
-                                dst: r,
-                                a: y,
-                                b: Operand::Imm(x),
-                            },
-                            deletable: true,
-                            fixup: None,
-                        });
-                    }
-                    (x, y) => {
-                        let xr = self.opnd_reg(x, scratch, buf);
-                        let yr = self.opnd_reg(y, scratch, buf);
-                        let r = self.reg_of(*dst);
-                        buf.push(Emitted {
-                            ins: Instr::ICmp { cc: *cc, dst: r, a: xr, b: Operand::Reg(yr) },
-                            deletable: true,
-                            fixup: None,
-                        });
-                    }
-                }
-            }
-            Inst::FCmp { cc, dst, .. } => {
-                let (ra, rb) = (ops[0], ops[1]);
-                if let (Opnd::KF(x), Opnd::KF(y)) = (ra, rb) {
-                    self.fold_to(*dst, Opnd::KI(eval_fcmp(*cc, x, y) as i64), rename, buf, rt);
-                } else {
-                    let xr = self.opnd_reg(ra, scratch, buf);
-                    let yr = self.opnd_reg(rb, scratch, buf);
-                    let r = self.reg_of(*dst);
-                    buf.push(Emitted {
-                        ins: Instr::FCmp { cc: *cc, dst: r, a: xr, b: yr },
-                        deletable: true,
-                        fixup: None,
-                    });
-                }
-            }
-            Inst::Un { op, dst, src: _ } => {
-                match ops[0] {
-                    Opnd::R(sr) => {
-                        let r = self.reg_of(*dst);
-                        buf.push(Emitted {
-                            ins: Instr::Un { op: *op, dst: r, src: sr },
-                            deletable: true,
-                            fixup: None,
-                        });
-                    }
-                    k => {
-                        let folded = eval_un(*op, opnd_value(k));
-                        self.fold_to(*dst, value_opnd(folded), rename, buf, rt);
-                    }
-                }
-            }
-            Inst::Load { ty, dst, .. } => {
-                let (breg, iop) = match (ops[0], ops[1]) {
-                    (Opnd::KI(bv), Opnd::KI(iv)) => {
-                        // Address fully known but contents dynamic: fold
-                        // the whole address into the offset of a load from
-                        // a zero base materialized once per unit.
-                        let z = self.reg_for_const(Value::I(0), scratch, buf);
-                        (z, Operand::Imm(bv + iv))
-                    }
-                    (Opnd::KI(bv), other) => {
-                        let ir = self.opnd_reg(other, scratch, buf);
-                        (ir, Operand::Imm(bv))
-                    }
-                    (other, Opnd::KI(iv)) => {
-                        let br = self.opnd_reg(other, scratch, buf);
-                        (br, Operand::Imm(iv))
-                    }
-                    (ob, oi) => {
-                        let br = self.opnd_reg(ob, scratch, buf);
-                        let ir = self.opnd_reg(oi, scratch, buf);
-                        (br, Operand::Reg(ir))
-                    }
-                };
-                let r = self.reg_of(*dst);
-                buf.push(Emitted {
-                    ins: Instr::Load { ty: ty.vm_ty(), dst: r, base: breg, idx: iop },
-                    deletable: true,
-                    fixup: None,
-                });
-            }
-            Inst::Store { ty, .. } => {
-                let sr = self.opnd_reg(ops[2], scratch, buf);
-                let (breg, iop) = match (ops[0], ops[1]) {
-                    (Opnd::KI(bv), Opnd::KI(iv)) => {
-                        let z = self.reg_for_const(Value::I(0), scratch, buf);
-                        (z, Operand::Imm(bv + iv))
-                    }
-                    (Opnd::KI(bv), other) => (self.opnd_reg(other, scratch, buf), Operand::Imm(bv)),
-                    (other, Opnd::KI(iv)) => (self.opnd_reg(other, scratch, buf), Operand::Imm(iv)),
-                    (ob, oi) => {
-                        let br = self.opnd_reg(ob, scratch, buf);
-                        let ir = self.opnd_reg(oi, scratch, buf);
-                        (br, Operand::Reg(ir))
-                    }
-                };
-                buf.push(Emitted {
-                    ins: Instr::Store { ty: ty.vm_ty(), base: breg, idx: iop, src: sr },
-                    deletable: false,
-                    fixup: None,
-                });
-            }
-            Inst::Call { callee, dst, .. } => {
-                let arg_regs: Vec<Reg> =
-                    ops.iter().map(|o| self.opnd_reg(*o, scratch, buf)).collect();
-                let d = dst.map(|d| self.reg_of(d));
-                let ins = match callee {
-                    Callee::Func { index, .. } => {
-                        Instr::Call { func: FuncId(*index as u32), dst: d, args: arg_regs }
-                    }
-                    Callee::Host(h) => Instr::CallHost { f: *h, dst: d, args: arg_regs },
-                };
-                buf.push(Emitted { ins, deletable: false, fixup: None });
-            }
-            _ => unreachable!("annotations handled by the caller"),
-        }
-    }
-
-    /// Record a value-dependent fold: with zero/copy propagation the
-    /// destination is renamed (no code); otherwise the value is emitted as
-    /// a constant move.
-    fn fold_to(
-        &mut self,
-        dst: VReg,
-        k: Opnd,
-        rename: &mut HashMap<VReg, Opnd>,
-        buf: &mut Vec<Emitted>,
-        rt: &mut Runtime,
-    ) {
-        if self.cfg.zero_copy_propagation {
-            rt.stats.zero_copy_folds += 1;
-            rename.insert(dst, k);
-        } else {
-            let r = self.reg_of(dst);
-            buf.push(Emitted { ins: mov_const(r, opnd_value(k)), deletable: true, fixup: None });
-        }
-    }
-
-    fn opnd_reg(
-        &mut self,
-        o: Opnd,
-        scratch: &mut HashMap<u64, Reg>,
-        buf: &mut Vec<Emitted>,
-    ) -> Reg {
-        match o {
-            Opnd::R(r) => r,
-            Opnd::KI(v) => self.reg_for_const(Value::I(v), scratch, buf),
-            Opnd::KF(v) => self.reg_for_const(Value::F(v), scratch, buf),
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn emit_ibin(
-        &mut self,
-        op: IAluOp,
-        dst: VReg,
-        ra: Opnd,
-        rb: Opnd,
-        rename: &mut HashMap<VReg, Opnd>,
-        scratch: &mut HashMap<u64, Reg>,
-        buf: &mut Vec<Emitted>,
-        rt: &mut Runtime,
-    ) {
-        self.cycles += rt.costs.opt_check;
-        // Both operands known (only possible through renames): fold.
-        if let (Opnd::KI(x), Opnd::KI(y)) = (ra, rb) {
-            if let Ok(v) = eval_ialu(op, x, y) {
-                self.fold_to(dst, Opnd::KI(v), rename, buf, rt);
-                return;
-            }
-        }
-        // Normalize: put a known operand of a commutative op on the right.
-        let (ra, rb) = match (op, ra, rb) {
-            (IAluOp::Add | IAluOp::Mul | IAluOp::And | IAluOp::Or | IAluOp::Xor, Opnd::KI(_), _) => {
-                (rb, ra)
-            }
-            _ => (ra, rb),
-        };
-
-        if let Opnd::KI(k) = rb {
-            if self.cfg.zero_copy_propagation {
-                let fold = match op {
-                    IAluOp::Mul if k == 0 => Some(Opnd::KI(0)),
-                    IAluOp::Mul | IAluOp::Div if k == 1 => Some(ra),
-                    IAluOp::Add | IAluOp::Sub | IAluOp::Or | IAluOp::Xor if k == 0 => Some(ra),
-                    IAluOp::And if k == 0 => Some(Opnd::KI(0)),
-                    IAluOp::Rem if k == 1 => Some(Opnd::KI(0)),
-                    IAluOp::Shl | IAluOp::Shr if k == 0 => Some(ra),
-                    _ => None,
-                };
-                if let Some(f) = fold {
-                    rt.stats.zero_copy_folds += 1;
-                    if self.cfg.zero_copy_propagation {
-                        rename.insert(dst, f);
-                    }
-                    return;
-                }
-            } else if self.cfg.strength_reduction {
-                // Strength reduction alone still replaces the operation
-                // with a cheaper one, but must write the destination.
-                let simple = match op {
-                    IAluOp::Mul if k == 0 => Some(mov_const(self.reg_of(dst), Value::I(0))),
-                    IAluOp::Mul | IAluOp::Div if k == 1 => {
-                        let ar = self.opnd_reg(ra, scratch, buf);
-                        Some(Instr::Mov { dst: self.reg_of(dst), src: ar })
-                    }
-                    _ => None,
-                };
-                if let Some(ins) = simple {
-                    rt.stats.strength_reductions += 1;
-                    buf.push(Emitted { ins, deletable: true, fixup: None });
-                    return;
-                }
-            }
-            if self.cfg.strength_reduction && k > 1 && (k as u64).is_power_of_two() {
-                let n = k.trailing_zeros() as i64;
-                match op {
-                    IAluOp::Mul => {
-                        rt.stats.strength_reductions += 1;
-                        let ar = self.opnd_reg(ra, scratch, buf);
-                        let r = self.reg_of(dst);
-                        buf.push(Emitted {
-                            ins: Instr::IAlu { op: IAluOp::Shl, dst: r, a: ar, b: Operand::Imm(n) },
-                            deletable: true,
-                            fixup: None,
-                        });
-                        return;
-                    }
-                    IAluOp::Div => {
-                        rt.stats.strength_reductions += 1;
-                        let ar = self.opnd_reg(ra, scratch, buf);
-                        let r = self.reg_of(dst);
-                        self.emit_div_pow2(ar, k, n, r, buf);
-                        return;
-                    }
-                    IAluOp::Rem => {
-                        rt.stats.strength_reductions += 1;
-                        let ar = self.opnd_reg(ra, scratch, buf);
-                        let q = self.fresh_reg();
-                        self.emit_div_pow2(ar, k, n, q, buf);
-                        let t = self.fresh_reg();
-                        let r = self.reg_of(dst);
-                        buf.push(Emitted {
-                            ins: Instr::IAlu { op: IAluOp::Shl, dst: t, a: q, b: Operand::Imm(n) },
-                            deletable: true,
-                            fixup: None,
-                        });
-                        buf.push(Emitted {
-                            ins: Instr::IAlu {
-                                op: IAluOp::Sub,
-                                dst: r,
-                                a: ar,
-                                b: Operand::Reg(t),
-                            },
-                            deletable: true,
-                            fixup: None,
-                        });
-                        return;
-                    }
-                    _ => {}
-                }
-            }
-            // Hole fits the immediate field.
-            let ar = self.opnd_reg(ra, scratch, buf);
-            let r = self.reg_of(dst);
-            buf.push(Emitted {
-                ins: Instr::IAlu { op, dst: r, a: ar, b: Operand::Imm(k) },
-                deletable: true,
-                fixup: None,
-            });
-            return;
-        }
-        // Known left operand of a non-commutative op, or both registers.
-        let ar = self.opnd_reg(ra, scratch, buf);
-        let br = match rb {
-            Opnd::R(r) => Operand::Reg(r),
-            k => Operand::Reg(self.opnd_reg(k, scratch, buf)),
-        };
-        let r = self.reg_of(dst);
-        buf.push(Emitted { ins: Instr::IAlu { op, dst: r, a: ar, b: br }, deletable: true, fixup: None });
-    }
-
-    /// Truncating (C-semantics) signed division by a power of two:
-    /// bias negative dividends before shifting.
-    fn emit_div_pow2(&mut self, a: Reg, k: i64, n: i64, dst: Reg, buf: &mut Vec<Emitted>) {
-        let sign = self.fresh_reg();
-        let bias = self.fresh_reg();
-        let sum = self.fresh_reg();
-        buf.push(Emitted {
-            ins: Instr::IAlu { op: IAluOp::Shr, dst: sign, a, b: Operand::Imm(63) },
-            deletable: true,
-            fixup: None,
-        });
-        buf.push(Emitted {
-            ins: Instr::IAlu { op: IAluOp::And, dst: bias, a: sign, b: Operand::Imm(k - 1) },
-            deletable: true,
-            fixup: None,
-        });
-        buf.push(Emitted {
-            ins: Instr::IAlu { op: IAluOp::Add, dst: sum, a, b: Operand::Reg(bias) },
-            deletable: true,
-            fixup: None,
-        });
-        buf.push(Emitted {
-            ins: Instr::IAlu { op: IAluOp::Shr, dst, a: sum, b: Operand::Imm(n) },
-            deletable: true,
-            fixup: None,
-        });
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn emit_fbin(
-        &mut self,
-        op: FAluOp,
-        dst: VReg,
-        ra: Opnd,
-        rb: Opnd,
-        rename: &mut HashMap<VReg, Opnd>,
-        scratch: &mut HashMap<u64, Reg>,
-        buf: &mut Vec<Emitted>,
-        rt: &mut Runtime,
-    ) {
-        self.cycles += rt.costs.opt_check;
-        if let (Opnd::KF(x), Opnd::KF(y)) = (ra, rb) {
-            self.fold_to(dst, Opnd::KF(eval_falu(op, x, y)), rename, buf, rt);
-            return;
-        }
-        let (ra, rb) = match (op, ra, rb) {
-            (FAluOp::Add | FAluOp::Mul, Opnd::KF(_), _) => (rb, ra),
-            _ => (ra, rb),
-        };
-        if let Opnd::KF(k) = rb {
-            if self.cfg.zero_copy_propagation {
-                // Dynamic zero and copy propagation (§2.2.7). Folding
-                // x*0.0 to 0.0 assumes x is finite, the same assumption
-                // DyC makes.
-                let fold = match op {
-                    FAluOp::Mul if k == 0.0 => Some(Opnd::KF(0.0)),
-                    FAluOp::Mul | FAluOp::Div if k == 1.0 => Some(ra),
-                    FAluOp::Add | FAluOp::Sub if k == 0.0 => Some(ra),
-                    _ => None,
-                };
-                if let Some(f) = fold {
-                    rt.stats.zero_copy_folds += 1;
-                    rename.insert(dst, f);
-                    return;
-                }
-            } else if self.cfg.strength_reduction {
-                // Strength reduction without copy propagation: the
-                // multiply becomes a move — which costs the same as the
-                // multiply on the 21164 (§2.2.7), so no benefit accrues.
-                let simple = match op {
-                    FAluOp::Mul if k == 1.0 => {
-                        let ar = self.opnd_reg(ra, scratch, buf);
-                        Some(Instr::FMov { dst: self.reg_of(dst), src: ar })
-                    }
-                    FAluOp::Mul if k == 0.0 => {
-                        Some(Instr::MovF { dst: self.reg_of(dst), imm: 0.0 })
-                    }
-                    FAluOp::Add | FAluOp::Sub if k == 0.0 => {
-                        let ar = self.opnd_reg(ra, scratch, buf);
-                        Some(Instr::FMov { dst: self.reg_of(dst), src: ar })
-                    }
-                    _ => None,
-                };
-                if let Some(ins) = simple {
-                    rt.stats.strength_reductions += 1;
-                    buf.push(Emitted { ins, deletable: true, fixup: None });
-                    return;
-                }
-            }
-        }
-        let ar = self.opnd_reg(ra, scratch, buf);
-        let br = self.opnd_reg(rb, scratch, buf);
-        let r = self.reg_of(dst);
-        buf.push(Emitted {
-            ins: Instr::FAlu { op, dst: r, a: ar, b: br },
-            deletable: true,
-            fixup: None,
-        });
-    }
-}
-
-fn mov_const(dst: Reg, v: Value) -> Instr {
-    match v {
-        Value::I(i) => Instr::MovI { dst, imm: i },
-        Value::F(f) => Instr::MovF { dst, imm: f },
-    }
-}
-
-fn opnd_value(o: Opnd) -> Value {
-    match o {
-        Opnd::KI(v) => Value::I(v),
-        Opnd::KF(v) => Value::F(v),
-        Opnd::R(_) => unreachable!("not a constant operand"),
-    }
-}
-
-fn value_opnd(v: Value) -> Opnd {
-    match v {
-        Value::I(i) => Opnd::KI(i),
-        Value::F(f) => Opnd::KF(f),
-    }
-}
-
-fn eval_un(op: UnOp, v: Value) -> Value {
-    match op {
-        UnOp::NegI => Value::I(v.as_i().wrapping_neg()),
-        UnOp::NotI => Value::I(!v.as_i()),
-        UnOp::NegF => Value::F(-v.as_f()),
-        UnOp::IToF => Value::F(v.as_i() as f64),
-        UnOp::FToI => Value::I(v.as_f() as i64),
-    }
-}
-
-fn eval_ialu(op: IAluOp, a: i64, b: i64) -> Result<i64, VmError> {
-    Ok(match op {
-        IAluOp::Add => a.wrapping_add(b),
-        IAluOp::Sub => a.wrapping_sub(b),
-        IAluOp::Mul => a.wrapping_mul(b),
-        IAluOp::Div => {
-            if b == 0 {
-                return Err(VmError::Dispatch(
-                    "static division by zero during specialization".into(),
-                ));
-            }
-            a.wrapping_div(b)
-        }
-        IAluOp::Rem => {
-            if b == 0 {
-                return Err(VmError::Dispatch(
-                    "static remainder by zero during specialization".into(),
-                ));
-            }
-            a.wrapping_rem(b)
-        }
-        IAluOp::And => a & b,
-        IAluOp::Or => a | b,
-        IAluOp::Xor => a ^ b,
-        IAluOp::Shl => a.wrapping_shl(b as u32 & 63),
-        IAluOp::Shr => a.wrapping_shr(b as u32 & 63),
     })
-}
-
-fn eval_falu(op: FAluOp, a: f64, b: f64) -> f64 {
-    match op {
-        FAluOp::Add => a + b,
-        FAluOp::Sub => a - b,
-        FAluOp::Mul => a * b,
-        FAluOp::Div => a / b,
-    }
-}
-
-fn eval_icmp(cc: Cc, a: i64, b: i64) -> bool {
-    match cc {
-        Cc::Eq => a == b,
-        Cc::Ne => a != b,
-        Cc::Lt => a < b,
-        Cc::Le => a <= b,
-        Cc::Gt => a > b,
-        Cc::Ge => a >= b,
-    }
-}
-
-fn eval_fcmp(cc: Cc, a: f64, b: f64) -> bool {
-    match cc {
-        Cc::Eq => a == b,
-        Cc::Ne => a != b,
-        Cc::Lt => a < b,
-        Cc::Le => a <= b,
-        Cc::Gt => a > b,
-        Cc::Ge => a >= b,
-    }
 }

@@ -50,6 +50,16 @@ pub struct RtStats {
     pub dyncomp_cycles: u64,
     /// Cycles charged to dispatching.
     pub dispatch_cycles: u64,
+    /// Binding-time classifications and liveness queries performed at run
+    /// time. The staged GE path must keep this at exactly zero — all of
+    /// that work happens once, at static compile time.
+    pub runtime_bta_calls: u64,
+    /// Dynamic-compilation cycles spent executing the generating
+    /// extension itself (static computations, decisions, bookkeeping).
+    pub ge_exec_cycles: u64,
+    /// Dynamic-compilation cycles spent constructing, emitting, and
+    /// patching code.
+    pub emit_cycles: u64,
 }
 
 impl RtStats {
@@ -81,7 +91,11 @@ mod tests {
     #[test]
     fn overhead_per_instr_handles_zero() {
         assert_eq!(RtStats::new().overhead_per_instr(), 0.0);
-        let s = RtStats { instrs_generated: 100, dyncomp_cycles: 5000, ..RtStats::new() };
+        let s = RtStats {
+            instrs_generated: 100,
+            dyncomp_cycles: 5000,
+            ..RtStats::new()
+        };
         assert_eq!(s.overhead_per_instr(), 50.0);
     }
 }

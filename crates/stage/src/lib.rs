@@ -15,8 +15,18 @@
 //!   subset of live static variables", §4.4.3), and the entry-site
 //!   descriptors with their caching policies.
 //!
+//! * [`ge::lower_ge_program`] then compiles each region's plan all the way
+//!   down to an executable **generating-extension program** ([`GeProgram`]):
+//!   per-division flat op lists with every binding-time decision, liveness
+//!   query, unit-boundary transfer, and unroll-legality check resolved at
+//!   static compile time.
+//!
 //! The run-time half (the generating-extension executor) lives in `dyc-rt`.
 
+pub mod ge;
 pub mod plan;
 
-pub use plan::{live_at_point, site_policy, stage_program, EntrySite, SitePolicy, StagedFunc, StagedProgram};
+pub use ge::{EdgePlan, GeDivision, GeFunc, GeOp, GeProgram, GeTerm, PromotePlan};
+pub use plan::{
+    live_at_point, site_policy, stage_program, EntrySite, SitePolicy, StagedFunc, StagedProgram,
+};

@@ -62,6 +62,10 @@ pub struct StagedProgram {
     /// Region-entry sites; `Dispatch.point` indexes this list (run-time
     /// promotion sites are appended after these by `dyc-rt`).
     pub entry_sites: Vec<EntrySite>,
+    /// Precompiled generating-extension programs (the tentpole of true
+    /// staging): one per annotated function, plus the entry division of
+    /// each entry site. All-`None` when `cfg.staged_ge` is off.
+    pub ge: crate::ge::GeProgram,
 }
 
 impl StagedProgram {
@@ -101,11 +105,7 @@ pub fn stage_program(ir: ProgramIr, cfg: OptConfig) -> StagedProgram {
         let live = liveness(f);
         for entry in &bta.entries {
             let arg_vars = live_at_point(f, &live, entry.block, entry.inst_idx);
-            let policy = site_policy(
-                &cfg,
-                entry.vars.iter().map(|(_, p)| *p),
-                entry.vars.len(),
-            );
+            let policy = site_policy(&cfg, entry.vars.iter().map(|(_, p)| *p), entry.vars.len());
             entry_sites.push(EntrySite {
                 func: fi,
                 block: entry.block,
@@ -117,7 +117,14 @@ pub fn stage_program(ir: ProgramIr, cfg: OptConfig) -> StagedProgram {
         }
         funcs.push(StagedFunc { bta, live });
     }
-    StagedProgram { ir, cfg, funcs, entry_sites }
+    let ge = crate::ge::lower_ge_program(&ir, &cfg, &funcs, &entry_sites);
+    StagedProgram {
+        ir,
+        cfg,
+        funcs,
+        entry_sites,
+        ge,
+    }
 }
 
 /// Resolve the effective caching policy of a dispatch site from its key
@@ -207,10 +214,21 @@ mod tests {
         let s = staged(POWER, OptConfig::all());
         let m = s.build_module();
         let stub = m.func(dyc_vm::FuncId(0));
-        let has_dispatch = stub.code.iter().any(|i| matches!(i, Instr::Dispatch { .. }));
-        assert!(has_dispatch, "stub must dispatch:\n{}", dyc_vm::pretty::func_to_string(stub));
+        let has_dispatch = stub
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Dispatch { .. }));
+        assert!(
+            has_dispatch,
+            "stub must dispatch:\n{}",
+            dyc_vm::pretty::func_to_string(stub)
+        );
         // The dispatch is followed by a return of its result.
-        let pos = stub.code.iter().position(|i| matches!(i, Instr::Dispatch { .. })).unwrap();
+        let pos = stub
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::Dispatch { .. }))
+            .unwrap();
         assert!(matches!(stub.code[pos + 1], Instr::Ret { .. }));
     }
 
@@ -219,7 +237,11 @@ mod tests {
         let s = staged("int f(int x) { return x + 1; }", OptConfig::all());
         assert!(s.entry_sites.is_empty());
         let m = s.build_module();
-        assert!(!m.func(dyc_vm::FuncId(0)).code.iter().any(|i| matches!(i, Instr::Dispatch { .. })));
+        assert!(!m
+            .func(dyc_vm::FuncId(0))
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Dispatch { .. })));
     }
 
     #[test]
@@ -233,7 +255,10 @@ mod tests {
         let s = staged(src, OptConfig::all());
         assert_eq!(s.entry_sites[0].policy, SitePolicy::CacheOneUnchecked);
         // Disabling unchecked dispatching forces cache-all.
-        let s2 = staged(src, OptConfig::all().without("unchecked_dispatching").unwrap());
+        let s2 = staged(
+            src,
+            OptConfig::all().without("unchecked_dispatching").unwrap(),
+        );
         assert_eq!(s2.entry_sites[0].policy, SitePolicy::CacheAll);
     }
 
@@ -262,10 +287,17 @@ mod tests {
         let stub = m.func(dyc_vm::FuncId(0));
         // The stub still contains the plain-path return as real code plus
         // one dispatch for the annotated path.
-        let dispatches =
-            stub.code.iter().filter(|i| matches!(i, Instr::Dispatch { .. })).count();
+        let dispatches = stub
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::Dispatch { .. }))
+            .count();
         assert_eq!(dispatches, 1);
-        let rets = stub.code.iter().filter(|i| matches!(i, Instr::Ret { .. })).count();
+        let rets = stub
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::Ret { .. }))
+            .count();
         assert!(rets >= 2);
     }
 
@@ -302,13 +334,19 @@ mod policy_tests {
             resolve(&on, &[Policy::CacheOneUnchecked, Policy::CacheAll]),
             SitePolicy::CacheAll
         );
-        assert_eq!(resolve(&off, &[Policy::CacheOneUnchecked]), SitePolicy::CacheAll);
+        assert_eq!(
+            resolve(&off, &[Policy::CacheOneUnchecked]),
+            SitePolicy::CacheAll
+        );
     }
 
     #[test]
     fn indexed_requires_exactly_one_key() {
         let cfg = OptConfig::all();
-        assert_eq!(resolve(&cfg, &[Policy::CacheIndexed]), SitePolicy::CacheIndexed);
+        assert_eq!(
+            resolve(&cfg, &[Policy::CacheIndexed]),
+            SitePolicy::CacheIndexed
+        );
         assert_eq!(
             resolve(&cfg, &[Policy::CacheIndexed, Policy::CacheIndexed]),
             SitePolicy::CacheAll
@@ -320,7 +358,10 @@ mod policy_tests {
         // cache_indexed is a *safe* policy: the Table 5 unchecked-dispatch
         // ablation must not disable it.
         let cfg = OptConfig::all().without("unchecked_dispatching").unwrap();
-        assert_eq!(resolve(&cfg, &[Policy::CacheIndexed]), SitePolicy::CacheIndexed);
+        assert_eq!(
+            resolve(&cfg, &[Policy::CacheIndexed]),
+            SitePolicy::CacheIndexed
+        );
     }
 
     #[test]

@@ -154,7 +154,12 @@ mod tests {
     fn fp_move_costs_same_as_fp_multiply() {
         // The paper's motivating microarchitectural fact (§2.2.7).
         let m = CostModel::alpha21164();
-        let mul = Instr::FAlu { op: FAluOp::Mul, dst: 0, a: 1, b: 2 };
+        let mul = Instr::FAlu {
+            op: FAluOp::Mul,
+            dst: 0,
+            a: 1,
+            b: 2,
+        };
         assert_eq!(m.instr_cost(&mul), m.fp_mul);
         assert_eq!(m.fp_alu, m.fp_mul);
     }
@@ -163,15 +168,30 @@ mod tests {
     fn int_multiply_dearer_than_shift() {
         // Makes dynamic strength reduction profitable (§2.2.7).
         let m = CostModel::alpha21164();
-        let mul = Instr::IAlu { op: IAluOp::Mul, dst: 0, a: 1, b: Operand::Imm(8) };
-        let shl = Instr::IAlu { op: IAluOp::Shl, dst: 0, a: 1, b: Operand::Imm(3) };
+        let mul = Instr::IAlu {
+            op: IAluOp::Mul,
+            dst: 0,
+            a: 1,
+            b: Operand::Imm(8),
+        };
+        let shl = Instr::IAlu {
+            op: IAluOp::Shl,
+            dst: 0,
+            a: 1,
+            b: Operand::Imm(3),
+        };
         assert!(m.instr_cost(&mul) > m.instr_cost(&shl));
     }
 
     #[test]
     fn unit_model_counts_instructions() {
         let m = CostModel::unit();
-        let i = Instr::IAlu { op: IAluOp::Div, dst: 0, a: 1, b: Operand::Reg(2) };
+        let i = Instr::IAlu {
+            op: IAluOp::Div,
+            dst: 0,
+            a: 1,
+            b: Operand::Reg(2),
+        };
         assert_eq!(m.instr_cost(&i), 1);
         assert_eq!(m.icache_miss, 0);
     }
@@ -179,6 +199,13 @@ mod tests {
     #[test]
     fn dispatch_is_charged_by_the_runtime_not_the_model() {
         let m = CostModel::alpha21164();
-        assert_eq!(m.instr_cost(&Instr::Dispatch { point: 0, dst: None, args: vec![] }), 0);
+        assert_eq!(
+            m.instr_cost(&Instr::Dispatch {
+                point: 0,
+                dst: None,
+                args: vec![]
+            }),
+            0
+        );
     }
 }

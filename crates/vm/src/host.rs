@@ -183,7 +183,9 @@ mod tests {
     fn pow_takes_two_args() {
         assert_eq!(HostFn::Pow.arity(), 2);
         let mut out = Vec::new();
-        let v = HostFn::Pow.eval(&[Value::F(2.0), Value::F(10.0)], &mut out).unwrap();
+        let v = HostFn::Pow
+            .eval(&[Value::F(2.0), Value::F(10.0)], &mut out)
+            .unwrap();
         assert_eq!(v, Value::F(1024.0));
     }
 }

@@ -35,8 +35,14 @@ impl ICache {
     /// Panics unless both sizes are powers of two and
     /// `size_bytes >= line_bytes`.
     pub fn new(size_bytes: u64, line_bytes: u64) -> ICache {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(size_bytes >= line_bytes);
         let lines = (size_bytes / line_bytes) as usize;
         ICache {

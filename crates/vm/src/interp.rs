@@ -179,7 +179,12 @@ impl Vm {
         debug_assert_eq!(args.len(), f.n_params, "arity mismatch calling {}", f.name);
         let mut regs = vec![Value::default(); f.n_regs];
         regs[..args.len()].copy_from_slice(args);
-        Frame { func, pc: 0, regs, ret_dst }
+        Frame {
+            func,
+            pc: 0,
+            regs,
+            ret_dst,
+        }
     }
 
     #[allow(clippy::too_many_lines)]
@@ -216,8 +221,16 @@ impl Vm {
             // that need `&mut Module` (Call frame setup, Dispatch) are
             // cloned out so the borrow of `module` can be released.
             enum Heavy {
-                Call { func: FuncId, dst: Option<Reg>, args: Vec<Reg> },
-                Dispatch { point: u32, dst: Option<Reg>, args: Vec<Reg> },
+                Call {
+                    func: FuncId,
+                    dst: Option<Reg>,
+                    args: Vec<Reg>,
+                },
+                Dispatch {
+                    point: u32,
+                    dst: Option<Reg>,
+                    args: Vec<Reg>,
+                },
             }
             let mut heavy: Option<Heavy> = None;
             {
@@ -306,11 +319,18 @@ impl Vm {
                         }
                     }
                     Instr::Call { func, dst, args } => {
-                        heavy = Some(Heavy::Call { func: *func, dst: *dst, args: args.clone() });
+                        heavy = Some(Heavy::Call {
+                            func: *func,
+                            dst: *dst,
+                            args: args.clone(),
+                        });
                     }
                     Instr::Dispatch { point, dst, args } => {
-                        heavy =
-                            Some(Heavy::Dispatch { point: *point, dst: *dst, args: args.clone() });
+                        heavy = Some(Heavy::Dispatch {
+                            point: *point,
+                            dst: *dst,
+                            args: args.clone(),
+                        });
                     }
                 }
                 if heavy.is_none() {
@@ -321,7 +341,11 @@ impl Vm {
 
             // Heavy instructions: the borrow of `module` is released here.
             match heavy.unwrap() {
-                Heavy::Call { func: callee, dst, args } => {
+                Heavy::Call {
+                    func: callee,
+                    dst,
+                    args,
+                } => {
                     let vals: Vec<Value> = args.iter().map(|&r| frame.regs[r as usize]).collect();
                     frame.pc += 1;
                     let new = Self::new_frame(module, callee, &vals, dst);
@@ -336,7 +360,10 @@ impl Vm {
                         Some(h) => h.dispatch(point, &vals, module, self)?,
                     };
                     match outcome {
-                        DispatchOutcome::Invoke { func: callee, args: cargs } => {
+                        DispatchOutcome::Invoke {
+                            func: callee,
+                            args: cargs,
+                        } => {
                             self.stats.exec_cycles += self.cost.call;
                             let new = Self::new_frame(module, callee, &cargs, dst);
                             stack.push(new);
@@ -459,8 +486,18 @@ mod tests {
             n_params: 2,
             n_regs: 3,
             code: vec![
-                Instr::IAlu { op: IAluOp::Mul, dst: 2, a: 0, b: Operand::Reg(1) },
-                Instr::IAlu { op: IAluOp::Add, dst: 2, a: 2, b: Operand::Imm(1) },
+                Instr::IAlu {
+                    op: IAluOp::Mul,
+                    dst: 2,
+                    a: 0,
+                    b: Operand::Reg(1),
+                },
+                Instr::IAlu {
+                    op: IAluOp::Add,
+                    dst: 2,
+                    a: 2,
+                    b: Operand::Imm(1),
+                },
                 Instr::Ret { src: Some(2) },
             ],
             args: vec![Value::I(6), Value::I(7)],
@@ -474,7 +511,12 @@ mod tests {
             n_params: 2,
             n_regs: 3,
             code: vec![
-                Instr::FAlu { op: FAluOp::Div, dst: 2, a: 0, b: 1 },
+                Instr::FAlu {
+                    op: FAluOp::Div,
+                    dst: 2,
+                    a: 0,
+                    b: 1,
+                },
                 Instr::Ret { src: Some(2) },
             ],
             args: vec![Value::F(1.0), Value::F(4.0)],
@@ -489,12 +531,27 @@ mod tests {
             n_params: 1,
             n_regs: 4,
             code: vec![
-                Instr::MovI { dst: 1, imm: 0 },                                   // sum
-                Instr::MovI { dst: 2, imm: 0 },                                   // i
-                Instr::ICmp { cc: Cc::Lt, dst: 3, a: 2, b: Operand::Reg(0) },     // 2: i<n
+                Instr::MovI { dst: 1, imm: 0 }, // sum
+                Instr::MovI { dst: 2, imm: 0 }, // i
+                Instr::ICmp {
+                    cc: Cc::Lt,
+                    dst: 3,
+                    a: 2,
+                    b: Operand::Reg(0),
+                }, // 2: i<n
                 Instr::Brz { cond: 3, target: 7 },
-                Instr::IAlu { op: IAluOp::Add, dst: 1, a: 1, b: Operand::Reg(2) },
-                Instr::IAlu { op: IAluOp::Add, dst: 2, a: 2, b: Operand::Imm(1) },
+                Instr::IAlu {
+                    op: IAluOp::Add,
+                    dst: 1,
+                    a: 1,
+                    b: Operand::Reg(2),
+                },
+                Instr::IAlu {
+                    op: IAluOp::Add,
+                    dst: 2,
+                    a: 2,
+                    b: Operand::Imm(1),
+                },
                 Instr::Jmp { target: 2 },
                 Instr::Ret { src: Some(1) }, // 7
             ],
@@ -508,8 +565,18 @@ mod tests {
         let mut m = Module::new();
         let mut cf = crate::module::CodeFunc::new("t", 1, 3);
         cf.push(Instr::MovI { dst: 1, imm: 99 });
-        cf.push(Instr::Store { ty: Ty::Int, base: 0, idx: Operand::Imm(2), src: 1 });
-        cf.push(Instr::Load { ty: Ty::Int, dst: 2, base: 0, idx: Operand::Imm(2) });
+        cf.push(Instr::Store {
+            ty: Ty::Int,
+            base: 0,
+            idx: Operand::Imm(2),
+            src: 1,
+        });
+        cf.push(Instr::Load {
+            ty: Ty::Int,
+            dst: 2,
+            base: 0,
+            idx: Operand::Imm(2),
+        });
         cf.push(Instr::Ret { src: Some(2) });
         let id = m.add_func(cf);
         let mut vm = Vm::without_icache(CostModel::unit());
@@ -523,16 +590,33 @@ mod tests {
     fn nested_calls() {
         let mut m = Module::new();
         let mut inner = crate::module::CodeFunc::new("inner", 1, 2);
-        inner.push(Instr::IAlu { op: IAluOp::Mul, dst: 1, a: 0, b: Operand::Imm(2) });
+        inner.push(Instr::IAlu {
+            op: IAluOp::Mul,
+            dst: 1,
+            a: 0,
+            b: Operand::Imm(2),
+        });
         inner.push(Instr::Ret { src: Some(1) });
         let inner_id = m.add_func(inner);
         let mut outer = crate::module::CodeFunc::new("outer", 1, 2);
-        outer.push(Instr::Call { func: inner_id, dst: Some(1), args: vec![0] });
-        outer.push(Instr::IAlu { op: IAluOp::Add, dst: 1, a: 1, b: Operand::Imm(1) });
+        outer.push(Instr::Call {
+            func: inner_id,
+            dst: Some(1),
+            args: vec![0],
+        });
+        outer.push(Instr::IAlu {
+            op: IAluOp::Add,
+            dst: 1,
+            a: 1,
+            b: Operand::Imm(1),
+        });
         outer.push(Instr::Ret { src: Some(1) });
         let outer_id = m.add_func(outer);
         let mut vm = Vm::without_icache(CostModel::unit());
-        assert_eq!(vm.call(&mut m, outer_id, &[Value::I(5)]).unwrap(), Some(Value::I(11)));
+        assert_eq!(
+            vm.call(&mut m, outer_id, &[Value::I(5)]).unwrap(),
+            Some(Value::I(11))
+        );
     }
 
     #[test]
@@ -541,9 +625,17 @@ mod tests {
             n_params: 1,
             n_regs: 2,
             code: vec![
-                Instr::CallHost { f: HostFn::PrintI, dst: None, args: vec![0] },
+                Instr::CallHost {
+                    f: HostFn::PrintI,
+                    dst: None,
+                    args: vec![0],
+                },
                 Instr::MovF { dst: 1, imm: 0.0 },
-                Instr::CallHost { f: HostFn::Cos, dst: Some(1), args: vec![1] },
+                Instr::CallHost {
+                    f: HostFn::Cos,
+                    dst: Some(1),
+                    args: vec![1],
+                },
                 Instr::Ret { src: None },
             ],
             args: vec![Value::I(5)],
@@ -556,11 +648,18 @@ mod tests {
     fn divide_by_zero_is_an_error() {
         let mut m = Module::new();
         let mut cf = crate::module::CodeFunc::new("t", 2, 3);
-        cf.push(Instr::IAlu { op: IAluOp::Div, dst: 2, a: 0, b: Operand::Reg(1) });
+        cf.push(Instr::IAlu {
+            op: IAluOp::Div,
+            dst: 2,
+            a: 0,
+            b: Operand::Reg(1),
+        });
         cf.push(Instr::Ret { src: Some(2) });
         let id = m.add_func(cf);
         let mut vm = Vm::without_icache(CostModel::unit());
-        let err = vm.call(&mut m, id, &[Value::I(1), Value::I(0)]).unwrap_err();
+        let err = vm
+            .call(&mut m, id, &[Value::I(1), Value::I(0)])
+            .unwrap_err();
         assert_eq!(err, VmError::DivideByZero);
     }
 
@@ -579,11 +678,18 @@ mod tests {
     fn dispatch_without_handler_errors() {
         let mut m = Module::new();
         let mut cf = crate::module::CodeFunc::new("t", 0, 1);
-        cf.push(Instr::Dispatch { point: 0, dst: None, args: vec![] });
+        cf.push(Instr::Dispatch {
+            point: 0,
+            dst: None,
+            args: vec![],
+        });
         cf.push(Instr::Ret { src: None });
         let id = m.add_func(cf);
         let mut vm = Vm::without_icache(CostModel::unit());
-        assert_eq!(vm.call(&mut m, id, &[]).unwrap_err(), VmError::NoDispatchHandler);
+        assert_eq!(
+            vm.call(&mut m, id, &[]).unwrap_err(),
+            VmError::NoDispatchHandler
+        );
     }
 
     #[test]
@@ -601,19 +707,33 @@ mod tests {
                 vm.stats.dispatch_cycles += 10;
                 // Generate code on the fly: returns args[0] + 100.
                 let mut g = crate::module::CodeFunc::new("gen", 1, 2);
-                g.push(Instr::IAlu { op: IAluOp::Add, dst: 1, a: 0, b: Operand::Imm(100) });
+                g.push(Instr::IAlu {
+                    op: IAluOp::Add,
+                    dst: 1,
+                    a: 0,
+                    b: Operand::Imm(100),
+                });
                 g.push(Instr::Ret { src: Some(1) });
                 let gid = module.add_func(g);
-                Ok(DispatchOutcome::Invoke { func: gid, args: args.to_vec() })
+                Ok(DispatchOutcome::Invoke {
+                    func: gid,
+                    args: args.to_vec(),
+                })
             }
         }
         let mut m = Module::new();
         let mut cf = crate::module::CodeFunc::new("t", 1, 2);
-        cf.push(Instr::Dispatch { point: 7, dst: Some(1), args: vec![0] });
+        cf.push(Instr::Dispatch {
+            point: 7,
+            dst: Some(1),
+            args: vec![0],
+        });
         cf.push(Instr::Ret { src: Some(1) });
         let id = m.add_func(cf);
         let mut vm = Vm::without_icache(CostModel::unit());
-        let out = vm.call_with_handler(&mut m, &mut H, id, &[Value::I(1)]).unwrap();
+        let out = vm
+            .call_with_handler(&mut m, &mut H, id, &[Value::I(1)])
+            .unwrap();
         assert_eq!(out, Some(Value::I(101)));
         assert_eq!(vm.stats.dispatches, 1);
         assert_eq!(vm.stats.dispatch_cycles, 10);
@@ -638,23 +758,40 @@ mod tests {
                 let v = vm.call(module, helper, &[args[0]])?.unwrap();
                 // Generate code returning that precomputed value.
                 let mut g = crate::module::CodeFunc::new("gen", 0, 1);
-                g.push(Instr::MovI { dst: 0, imm: v.as_i() });
+                g.push(Instr::MovI {
+                    dst: 0,
+                    imm: v.as_i(),
+                });
                 g.push(Instr::Ret { src: Some(0) });
                 let gid = module.add_func(g);
-                Ok(DispatchOutcome::Invoke { func: gid, args: vec![] })
+                Ok(DispatchOutcome::Invoke {
+                    func: gid,
+                    args: vec![],
+                })
             }
         }
         let mut m = Module::new();
         let mut helper = crate::module::CodeFunc::new("helper", 1, 2);
-        helper.push(Instr::IAlu { op: IAluOp::Mul, dst: 1, a: 0, b: Operand::Imm(7) });
+        helper.push(Instr::IAlu {
+            op: IAluOp::Mul,
+            dst: 1,
+            a: 0,
+            b: Operand::Imm(7),
+        });
         helper.push(Instr::Ret { src: Some(1) });
         m.add_func(helper);
         let mut region = crate::module::CodeFunc::new("region", 1, 2);
-        region.push(Instr::Dispatch { point: 0, dst: Some(1), args: vec![0] });
+        region.push(Instr::Dispatch {
+            point: 0,
+            dst: Some(1),
+            args: vec![0],
+        });
         region.push(Instr::Ret { src: Some(1) });
         let rid = m.add_func(region);
         let mut vm = Vm::without_icache(CostModel::unit());
-        let out = vm.call_with_handler(&mut m, &mut H, rid, &[Value::I(6)]).unwrap();
+        let out = vm
+            .call_with_handler(&mut m, &mut H, rid, &[Value::I(6)])
+            .unwrap();
         assert_eq!(out, Some(Value::I(42)));
     }
 
@@ -663,7 +800,12 @@ mod tests {
         let mut m = Module::new();
         let mut cf = crate::module::CodeFunc::new("t", 0, 2);
         cf.push(Instr::MovF { dst: 0, imm: 2.0 });
-        cf.push(Instr::FAlu { op: FAluOp::Mul, dst: 1, a: 0, b: 0 });
+        cf.push(Instr::FAlu {
+            op: FAluOp::Mul,
+            dst: 1,
+            a: 0,
+            b: 0,
+        });
         cf.push(Instr::Ret { src: Some(1) });
         let id = m.add_func(cf);
         let mut vm = Vm::without_icache(CostModel::alpha21164());

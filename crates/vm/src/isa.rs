@@ -141,19 +141,44 @@ pub enum Instr {
     /// dead-assignment elimination necessary beyond strength reduction.
     FMov { dst: Reg, src: Reg },
     /// Integer ALU: `dst = a op b`.
-    IAlu { op: IAluOp, dst: Reg, a: Reg, b: Operand },
+    IAlu {
+        op: IAluOp,
+        dst: Reg,
+        a: Reg,
+        b: Operand,
+    },
     /// Float ALU: `dst = a op b`.
-    FAlu { op: FAluOp, dst: Reg, a: Reg, b: Reg },
+    FAlu {
+        op: FAluOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
     /// Integer compare producing 0/1.
-    ICmp { cc: Cc, dst: Reg, a: Reg, b: Operand },
+    ICmp {
+        cc: Cc,
+        dst: Reg,
+        a: Reg,
+        b: Operand,
+    },
     /// Float compare producing 0/1.
     FCmp { cc: Cc, dst: Reg, a: Reg, b: Reg },
     /// Unary operation.
     Un { op: UnOp, dst: Reg, src: Reg },
     /// Typed load: `dst = mem[base + idx]` (word addressed).
-    Load { ty: Ty, dst: Reg, base: Reg, idx: Operand },
+    Load {
+        ty: Ty,
+        dst: Reg,
+        base: Reg,
+        idx: Operand,
+    },
     /// Typed store: `mem[base + idx] = src`.
-    Store { ty: Ty, base: Reg, idx: Operand, src: Reg },
+    Store {
+        ty: Ty,
+        base: Reg,
+        idx: Operand,
+        src: Reg,
+    },
     /// Unconditional jump to an instruction index within this function.
     Jmp { target: u32 },
     /// Branch to `target` if `cond` is zero.
@@ -161,9 +186,17 @@ pub enum Instr {
     /// Branch to `target` if `cond` is nonzero.
     Brnz { cond: Reg, target: u32 },
     /// Call a host (external) function.
-    CallHost { f: HostFn, dst: Option<Reg>, args: Vec<Reg> },
+    CallHost {
+        f: HostFn,
+        dst: Option<Reg>,
+        args: Vec<Reg>,
+    },
     /// Call another VM function.
-    Call { func: FuncId, dst: Option<Reg>, args: Vec<Reg> },
+    Call {
+        func: FuncId,
+        dst: Option<Reg>,
+        args: Vec<Reg>,
+    },
     /// Return, optionally with a value.
     Ret { src: Option<Reg> },
     /// Re-enter the run-time system at dispatch point `point` (a dynamic
@@ -172,7 +205,11 @@ pub enum Instr {
     /// specialized code, and the VM transfers to it tail-call style: the
     /// specialized code's return value becomes this function's return value
     /// via `dst` (the emitter always places `Ret` right after `Dispatch`).
-    Dispatch { point: u32, dst: Option<Reg>, args: Vec<Reg> },
+    Dispatch {
+        point: u32,
+        dst: Option<Reg>,
+        args: Vec<Reg>,
+    },
     /// Stop the machine (only valid in a top-level harness function).
     Halt,
 }
@@ -278,25 +315,57 @@ mod tests {
 
     #[test]
     fn defs_and_uses() {
-        let i = Instr::IAlu { op: IAluOp::Add, dst: 3, a: 1, b: Operand::Reg(2) };
+        let i = Instr::IAlu {
+            op: IAluOp::Add,
+            dst: 3,
+            a: 1,
+            b: Operand::Reg(2),
+        };
         assert_eq!(i.def(), Some(3));
         assert_eq!(i.uses(), vec![1, 2]);
 
-        let s = Instr::Store { ty: Ty::Int, base: 4, idx: Operand::Imm(0), src: 5 };
+        let s = Instr::Store {
+            ty: Ty::Int,
+            base: 4,
+            idx: Operand::Imm(0),
+            src: 5,
+        };
         assert_eq!(s.def(), None);
         assert_eq!(s.uses(), vec![4, 5]);
     }
 
     #[test]
     fn purity_classification() {
-        assert!(Instr::Load { ty: Ty::Int, dst: 0, base: 1, idx: Operand::Imm(0) }.is_pure());
-        assert!(!Instr::Store { ty: Ty::Int, base: 1, idx: Operand::Imm(0), src: 0 }.is_pure());
-        assert!(!Instr::CallHost { f: HostFn::Cos, dst: Some(0), args: vec![1] }.is_pure());
+        assert!(Instr::Load {
+            ty: Ty::Int,
+            dst: 0,
+            base: 1,
+            idx: Operand::Imm(0)
+        }
+        .is_pure());
+        assert!(!Instr::Store {
+            ty: Ty::Int,
+            base: 1,
+            idx: Operand::Imm(0),
+            src: 0
+        }
+        .is_pure());
+        assert!(!Instr::CallHost {
+            f: HostFn::Cos,
+            dst: Some(0),
+            args: vec![1]
+        }
+        .is_pure());
     }
 
     #[test]
     fn imm_operands_have_no_uses() {
-        let i = Instr::IAlu { op: IAluOp::Mul, dst: 0, a: 1, b: Operand::Imm(8) };
+        let i = Instr::IAlu {
+            op: IAluOp::Mul,
+            dst: 0,
+            a: 1,
+            b: Operand::Imm(8),
+        };
         assert_eq!(i.uses(), vec![1]);
         assert!(Operand::Imm(8).is_imm());
         assert!(!Operand::Reg(1).is_imm());

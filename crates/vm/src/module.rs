@@ -37,7 +37,13 @@ impl CodeFunc {
     /// A new, empty function.
     pub fn new(name: impl Into<String>, n_params: usize, n_regs: usize) -> CodeFunc {
         assert!(n_regs >= n_params, "frame must hold the parameters");
-        CodeFunc { name: name.into(), n_params, n_regs, code: Vec::new(), base_addr: 0 }
+        CodeFunc {
+            name: name.into(),
+            n_params,
+            n_regs,
+            code: Vec::new(),
+            base_addr: 0,
+        }
     }
 
     /// Append an instruction; returns its index.
@@ -105,7 +111,10 @@ impl Module {
 
     /// Find a function by name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.funcs.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
     }
 
     /// Number of functions.
@@ -120,7 +129,10 @@ impl Module {
 
     /// Iterate over `(id, func)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (FuncId, &CodeFunc)> {
-        self.funcs.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
     }
 }
 

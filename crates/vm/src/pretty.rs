@@ -118,7 +118,14 @@ pub fn instr_to_string(i: &Instr) -> String {
 /// Render a whole function with instruction indices.
 pub fn func_to_string(f: &CodeFunc) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "{} (params={}, regs={}, {} instrs):", f.name, f.n_params, f.n_regs, f.len());
+    let _ = writeln!(
+        s,
+        "{} (params={}, regs={}, {} instrs):",
+        f.name,
+        f.n_params,
+        f.n_regs,
+        f.len()
+    );
     for (i, instr) in f.code.iter().enumerate() {
         let _ = writeln!(s, "  {i:>4}: {}", instr_to_string(instr));
     }
@@ -142,7 +149,10 @@ mod tests {
 
     #[test]
     fn renders_representative_instructions() {
-        assert_eq!(instr_to_string(&Instr::MovI { dst: 1, imm: -3 }), "movi  r1, #-3");
+        assert_eq!(
+            instr_to_string(&Instr::MovI { dst: 1, imm: -3 }),
+            "movi  r1, #-3"
+        );
         assert_eq!(
             instr_to_string(&Instr::IAlu {
                 op: IAluOp::Shl,
@@ -153,7 +163,12 @@ mod tests {
             "shl   r0, r1, #3"
         );
         assert_eq!(
-            instr_to_string(&Instr::Load { ty: Ty::Float, dst: 2, base: 3, idx: Operand::Reg(4) }),
+            instr_to_string(&Instr::Load {
+                ty: Ty::Float,
+                dst: 2,
+                base: 3,
+                idx: Operand::Reg(4)
+            }),
             "ldf   r2, [r3 + r4]"
         );
         assert_eq!(instr_to_string(&Instr::Ret { src: None }), "ret");

@@ -87,9 +87,17 @@ mod tests {
 
     #[test]
     fn delta_and_absorb_are_inverses() {
-        let a = ExecStats { exec_cycles: 10, instrs_executed: 3, ..ExecStats::new() };
+        let a = ExecStats {
+            exec_cycles: 10,
+            instrs_executed: 3,
+            ..ExecStats::new()
+        };
         let mut b = a.clone();
-        let extra = ExecStats { exec_cycles: 7, instrs_executed: 2, ..ExecStats::new() };
+        let extra = ExecStats {
+            exec_cycles: 7,
+            instrs_executed: 2,
+            ..ExecStats::new()
+        };
         b.absorb(&extra);
         assert_eq!(b.delta_since(&a), extra);
     }

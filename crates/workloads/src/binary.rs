@@ -22,7 +22,10 @@ pub struct BinarySearch {
 impl Default for BinarySearch {
     fn default() -> Self {
         // 16 integers, as in Table 1.
-        BinarySearch { array: (0..16).map(|i| i * i + 3).collect(), probe_key: 52 }
+        BinarySearch {
+            array: (0..16).map(|i| i * i + 3).collect(),
+            probe_key: 52,
+        }
     }
 }
 
@@ -63,7 +66,11 @@ impl Workload for BinarySearch {
     fn setup_region(&self, sess: &mut Session) -> Vec<Value> {
         let a = sess.alloc(self.array.len());
         sess.mem().write_ints(a, &self.array);
-        vec![Value::I(a), Value::I(self.array.len() as i64), Value::I(self.probe_key)]
+        vec![
+            Value::I(a),
+            Value::I(self.array.len() as i64),
+            Value::I(self.probe_key),
+        ]
     }
 
     fn check_region(&self, result: Option<Value>, _sess: &mut Session) -> bool {
@@ -92,7 +99,9 @@ mod tests {
             assert_eq!(out, Some(Value::I(i as i64)), "key {v}");
         }
         for missing in [-5i64, 5, 1000] {
-            let out = d.run("bsearch", &[args[0], args[1], Value::I(missing)]).unwrap();
+            let out = d
+                .run("bsearch", &[args[0], args[1], Value::I(missing)])
+                .unwrap();
             assert_eq!(out, Some(Value::I(-1)), "key {missing}");
         }
         let rt = d.rt_stats().unwrap();

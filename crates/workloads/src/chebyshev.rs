@@ -118,7 +118,11 @@ mod tests {
         let w = Chebyshev::default();
         for x in [-0.9, -0.3, 0.0, 0.3, 0.9] {
             let approx = w.reference(x);
-            assert!((approx - x.exp()).abs() < 1e-6, "x = {x}: {approx} vs {}", x.exp());
+            assert!(
+                (approx - x.exp()).abs() < 1e-6,
+                "x = {x}: {approx} vs {}",
+                x.exp()
+            );
         }
     }
 
@@ -131,9 +135,16 @@ mod tests {
         let out = d.run("cheby", &args).unwrap();
         assert!(w.check_region(out, &mut d));
         let rt = d.rt_stats().unwrap();
-        assert_eq!(rt.static_calls, 3 * w.degree as u64, "cos, sin and exp memoized per node");
+        assert_eq!(
+            rt.static_calls,
+            3 * w.degree as u64,
+            "cos, sin and exp memoized per node"
+        );
         let code = d.disassemble_matching("cheby$spec");
-        assert!(!code.contains("hcall"), "no run-time math calls remain:\n{code}");
+        assert!(
+            !code.contains("hcall"),
+            "no run-time math calls remain:\n{code}"
+        );
     }
 
     #[test]
@@ -143,8 +154,16 @@ mod tests {
         let mut s = p.static_session();
         let mut d = p.dynamic_session();
         for x in [-0.7, 0.1, 0.55] {
-            let sv = s.run("cheby", &[Value::F(x), Value::I(10)]).unwrap().unwrap().as_f();
-            let dv = d.run("cheby", &[Value::F(x), Value::I(10)]).unwrap().unwrap().as_f();
+            let sv = s
+                .run("cheby", &[Value::F(x), Value::I(10)])
+                .unwrap()
+                .unwrap()
+                .as_f();
+            let dv = d
+                .run("cheby", &[Value::F(x), Value::I(10)])
+                .unwrap()
+                .unwrap()
+                .as_f();
             assert_eq!(sv.to_bits(), dv.to_bits(), "x = {x}");
         }
     }

@@ -12,10 +12,9 @@
 //! Substrate built for this benchmark: a synthetic address-trace generator
 //! with instruction-fetch locality and data working sets.
 
+use crate::rng::SplitMix64;
 use crate::{Kind, Meta, Workload};
 use dyc::{Session, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Reference kinds in the trace.
 const IFETCH: i64 = 0;
@@ -39,29 +38,38 @@ pub struct Dinero {
 
 impl Default for Dinero {
     fn default() -> Self {
-        Dinero { block_bits: 5, nlines: 256, assoc: 1, write_allocate: 1, trace_len: 4096 }
+        Dinero {
+            block_bits: 5,
+            nlines: 256,
+            assoc: 1,
+            write_allocate: 1,
+            trace_len: 4096,
+        }
     }
 }
 
 impl Dinero {
     /// A tiny configuration for unit tests.
     pub fn tiny() -> Dinero {
-        Dinero { trace_len: 256, ..Dinero::default() }
+        Dinero {
+            trace_len: 256,
+            ..Dinero::default()
+        }
     }
 
     /// Generate the synthetic trace: (address, kind) pairs with
     /// instruction locality (sequential runs + jumps) and a data working
     /// set with reuse.
     pub fn trace(&self) -> (Vec<i64>, Vec<i64>) {
-        let mut rng = SmallRng::seed_from_u64(0xd1e0);
+        let mut rng = SplitMix64::seed_from_u64(0xd1e0);
         let mut addrs = Vec::with_capacity(self.trace_len);
         let mut kinds = Vec::with_capacity(self.trace_len);
         let mut pc: i64 = 0x1000;
         for _ in 0..self.trace_len {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             if r < 0.6 {
                 // Instruction fetch: mostly sequential, occasional jump.
-                if rng.gen::<f64>() < 0.1 {
+                if rng.gen_f64() < 0.1 {
                     pc = 0x1000 + rng.gen_range(0..64i64) * 256;
                 } else {
                     pc += 4;
@@ -72,7 +80,7 @@ impl Dinero {
                 // Data access within a working set, 70/30 read/write.
                 let a = 0x8_0000 + rng.gen_range(0..2048i64) * 8;
                 addrs.push(a);
-                kinds.push(if rng.gen::<f64>() < 0.7 { DREAD } else { DWRITE });
+                kinds.push(if rng.gen_f64() < 0.7 { DREAD } else { DWRITE });
             }
         }
         (addrs, kinds)
@@ -194,11 +202,14 @@ impl Workload for Dinero {
         let k = sess.alloc(kinds.len());
         sess.mem().write_ints(k, &kinds);
         let cfg = sess.alloc(4);
-        sess.mem().write_ints(cfg, &[self.block_bits, self.assoc, self.write_allocate, 0]);
+        sess.mem()
+            .write_ints(cfg, &[self.block_bits, self.assoc, self.write_allocate, 0]);
         let itags = sess.alloc(self.nlines as usize);
         let dtags = sess.alloc(self.nlines as usize);
-        sess.mem().write_ints(itags, &vec![-1; self.nlines as usize]);
-        sess.mem().write_ints(dtags, &vec![-1; self.nlines as usize]);
+        sess.mem()
+            .write_ints(itags, &vec![-1; self.nlines as usize]);
+        sess.mem()
+            .write_ints(dtags, &vec![-1; self.nlines as usize]);
         vec![
             Value::I(a),
             Value::I(k),
@@ -214,8 +225,10 @@ impl Workload for Dinero {
         // Tag arrays mutate during simulation; restore them.
         let itags = args[4].as_i();
         let dtags = args[5].as_i();
-        sess.mem().write_ints(itags, &vec![-1; self.nlines as usize]);
-        sess.mem().write_ints(dtags, &vec![-1; self.nlines as usize]);
+        sess.mem()
+            .write_ints(itags, &vec![-1; self.nlines as usize]);
+        sess.mem()
+            .write_ints(dtags, &vec![-1; self.nlines as usize]);
     }
 
     fn setup_main(&self, sess: &mut Session) -> Option<Vec<Value>> {

@@ -10,11 +10,9 @@
 //! all-nonzero vector can even lose — reproduced by
 //! [`DotProduct::with_density`].
 
+use crate::rng::SplitMix64;
 use crate::{Kind, Meta, Workload};
 use dyc::{Session, Value};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// The dotproduct workload.
 #[derive(Debug, Clone)]
@@ -27,7 +25,10 @@ pub struct DotProduct {
 
 impl Default for DotProduct {
     fn default() -> Self {
-        DotProduct { n: 100, zero_fraction: 0.9 }
+        DotProduct {
+            n: 100,
+            zero_fraction: 0.9,
+        }
     }
 }
 
@@ -35,7 +36,10 @@ impl DotProduct {
     /// A variant with a different zero density (for the §4.2 density
     /// sweep).
     pub fn with_density(zero_fraction: f64) -> DotProduct {
-        DotProduct { n: 100, zero_fraction }
+        DotProduct {
+            n: 100,
+            zero_fraction,
+        }
     }
 
     /// The static vector: `zero_fraction` zeros; nonzero entries are a mix
@@ -53,14 +57,14 @@ impl DotProduct {
                 _ => 3,
             });
         }
-        let mut rng = SmallRng::seed_from_u64(0xd07);
-        v.shuffle(&mut rng);
+        let mut rng = SplitMix64::seed_from_u64(0xd07);
+        rng.shuffle(&mut v);
         v
     }
 
     /// The dynamic vector.
     pub fn dynamic_vector(&self) -> Vec<i64> {
-        let mut rng = SmallRng::seed_from_u64(0xd08);
+        let mut rng = SplitMix64::seed_from_u64(0xd08);
         (0..self.n).map(|_| rng.gen_range(-50..50)).collect()
     }
 }
@@ -135,7 +139,10 @@ mod tests {
         assert_eq!(rt.static_loads, 100);
         assert!(rt.zero_copy_folds >= 90, "zero elements fold");
         assert!(rt.dae_removed >= 90, "their b-loads die");
-        assert!(rt.strength_reductions >= 4, "power-of-two coefficients shift");
+        assert!(
+            rt.strength_reductions >= 4,
+            "power-of-two coefficients shift"
+        );
         let code = d.disassemble_matching("dotp$spec");
         let loads = code.matches("ldi").count();
         assert_eq!(loads, 10, "only nonzero elements load b:\n{code}");

@@ -22,6 +22,7 @@ pub mod measure;
 pub mod mipsi;
 pub mod pnmconvol;
 pub mod query;
+pub mod rng;
 pub mod romberg;
 pub mod unrle;
 pub mod viewperf;

@@ -35,7 +35,11 @@ pub struct M88ksim {
 
 impl Default for M88ksim {
     fn default() -> Self {
-        M88ksim { breakpoints: vec![], probe_pc: 17, max_steps: 20_000 }
+        M88ksim {
+            breakpoints: vec![],
+            probe_pc: 17,
+            max_steps: 20_000,
+        }
     }
 }
 
@@ -51,7 +55,10 @@ impl M88ksim {
 
     /// A small configuration for unit tests.
     pub fn tiny() -> M88ksim {
-        M88ksim { max_steps: 500, ..M88ksim::default() }
+        M88ksim {
+            max_steps: 500,
+            ..M88ksim::default()
+        }
     }
 
     /// The breakpoint table contents: parallel valid/address arrays of
@@ -163,7 +170,11 @@ impl Workload for M88ksim {
             kind: Kind::Application,
             description: "Motorola 88000 simulator",
             static_vars: "an array of breakpoints",
-            static_values: if self.breakpoints.is_empty() { "no breakpoints" } else { "5 breakpoints" },
+            static_values: if self.breakpoints.is_empty() {
+                "no breakpoints"
+            } else {
+                "5 breakpoints"
+            },
             region_func: "ckbrkpts",
             break_even_unit: "breakpoint checks",
             units_per_invocation: 1,
@@ -180,7 +191,12 @@ impl Workload for M88ksim {
         sess.mem().write_ints(vb, &valid);
         let ab = sess.alloc(BP_CAPACITY);
         sess.mem().write_ints(ab, &addrs);
-        vec![Value::I(vb), Value::I(ab), Value::I(BP_CAPACITY as i64), Value::I(self.probe_pc)]
+        vec![
+            Value::I(vb),
+            Value::I(ab),
+            Value::I(BP_CAPACITY as i64),
+            Value::I(self.probe_pc),
+        ]
     }
 
     fn setup_main(&self, sess: &mut Session) -> Option<Vec<Value>> {
@@ -250,15 +266,19 @@ mod tests {
         // probe_pc == 17 is not a breakpoint.
         assert_eq!(d.run("ckbrkpts", &args).unwrap(), Some(Value::I(0)));
         // A pc that is one.
-        let hit =
-            d.run("ckbrkpts", &[args[0], args[1], args[2], Value::I(1007)]).unwrap();
+        let hit = d
+            .run("ckbrkpts", &[args[0], args[1], args[2], Value::I(1007)])
+            .unwrap();
         assert_eq!(hit, Some(Value::I(1)));
         let rt = d.rt_stats().unwrap();
         // 8 valid-flag loads plus 5 address loads for the set entries.
         assert_eq!(rt.static_loads, 13, "table entries load at compile time");
         assert!(rt.loops_unrolled >= 1);
         assert!(!rt.multi_way_unroll, "m88ksim unrolls single-way");
-        assert_eq!(rt.specializations, 1, "unchecked cache reuses the one version");
+        assert_eq!(
+            rt.specializations, 1,
+            "unchecked cache reuses the one version"
+        );
     }
 
     #[test]

@@ -15,10 +15,9 @@
 //! assembler ([`asm`]), the bubble-sort guest program, and a reference
 //! interpreter in Rust.
 
+use crate::rng::SplitMix64;
 use crate::{Kind, Meta, Workload};
 use dyc::{Session, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// The guest ISA and assembler.
 pub mod asm {
@@ -82,7 +81,9 @@ pub mod asm {
                 Item::L(_) => {}
                 Item::I(op, a, b, c) => out.push(encode(*op, *a, *b, *c)),
                 Item::IL(op, a, b, l) => {
-                    let target = *labels.get(l).unwrap_or_else(|| panic!("undefined label {l}"));
+                    let target = *labels
+                        .get(l)
+                        .unwrap_or_else(|| panic!("undefined label {l}"));
                     out.push(encode(*op, *a, *b, target));
                 }
             }
@@ -135,14 +136,20 @@ pub struct Mipsi {
 
 impl Default for Mipsi {
     fn default() -> Self {
-        Mipsi { n: 14, max_steps: 100_000 }
+        Mipsi {
+            n: 14,
+            max_steps: 100_000,
+        }
     }
 }
 
 impl Mipsi {
     /// A tiny configuration for unit tests.
     pub fn tiny() -> Mipsi {
-        Mipsi { n: 6, max_steps: 10_000 }
+        Mipsi {
+            n: 6,
+            max_steps: 10_000,
+        }
     }
 
     /// The bubble-sort guest program (the paper's mipsi input).
@@ -183,7 +190,7 @@ impl Mipsi {
 
     /// The guest data to sort (deterministic).
     pub fn guest_data(&self) -> Vec<i64> {
-        let mut rng = SmallRng::seed_from_u64(0x3147);
+        let mut rng = SplitMix64::seed_from_u64(0x3147);
         (0..self.n).map(|_| rng.gen_range(0..1000)).collect()
     }
 
@@ -197,8 +204,12 @@ impl Mipsi {
         let mut steps = 0i64;
         while pc >= 0 && steps < self.max_steps {
             let inst = prog[(pc as usize) % prog.len()];
-            let (op, a, b, c) =
-                (inst / 16_777_216, (inst / 65_536) % 256, (inst / 256) % 256, inst % 256);
+            let (op, a, b, c) = (
+                inst / 16_777_216,
+                (inst / 65_536) % 256,
+                (inst / 256) % 256,
+                inst % 256,
+            );
             steps += 1;
             match op {
                 0 => pc = -1,
@@ -222,10 +233,34 @@ impl Mipsi {
                     mem[(regs[b as usize] + c) as usize] = regs[a as usize];
                     pc += 1;
                 }
-                8 => pc = if regs[a as usize] == regs[b as usize] { c } else { pc + 1 },
-                9 => pc = if regs[a as usize] != regs[b as usize] { c } else { pc + 1 },
-                10 => pc = if regs[a as usize] < regs[b as usize] { c } else { pc + 1 },
-                11 => pc = if regs[a as usize] >= regs[b as usize] { c } else { pc + 1 },
+                8 => {
+                    pc = if regs[a as usize] == regs[b as usize] {
+                        c
+                    } else {
+                        pc + 1
+                    }
+                }
+                9 => {
+                    pc = if regs[a as usize] != regs[b as usize] {
+                        c
+                    } else {
+                        pc + 1
+                    }
+                }
+                10 => {
+                    pc = if regs[a as usize] < regs[b as usize] {
+                        c
+                    } else {
+                        pc + 1
+                    }
+                }
+                11 => {
+                    pc = if regs[a as usize] >= regs[b as usize] {
+                        c
+                    } else {
+                        pc + 1
+                    }
+                }
                 12 => pc = c,
                 13 => pc = regs[a as usize],
                 14 => {
@@ -382,7 +417,10 @@ mod tests {
         let args = w.setup_region(&mut d);
         d.run("run", &args).unwrap();
         let rt = d.rt_stats().unwrap();
-        assert!(rt.multi_way_unroll, "guest control flow means multi-way unrolling");
+        assert!(
+            rt.multi_way_unroll,
+            "guest control flow means multi-way unrolling"
+        );
         assert!(rt.static_loads > 0, "instruction fetches are static loads");
         assert!(rt.static_calls > 0, "xlat calls are memoized");
         assert_eq!(rt.internal_promotions, 1, "the jr target promotes");

@@ -19,11 +19,9 @@
 //! benchmark's behavior. [`Pnmconvol::paper_size`] builds the literal
 //! 11×11 configuration.
 
+use crate::rng::SplitMix64;
 use crate::{Kind, Meta, Workload};
 use dyc::{Session, Value};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// The pnmconvol workload.
 #[derive(Debug, Clone)]
@@ -38,7 +36,11 @@ pub struct Pnmconvol {
 
 impl Default for Pnmconvol {
     fn default() -> Self {
-        Pnmconvol { csize: 45, irows: 12, icols: 12 }
+        Pnmconvol {
+            csize: 45,
+            irows: 12,
+            icols: 12,
+        }
     }
 }
 
@@ -46,12 +48,20 @@ impl Pnmconvol {
     /// The paper's literal 11×11 matrix (see module docs for why the
     /// default is scaled).
     pub fn paper_size() -> Pnmconvol {
-        Pnmconvol { csize: 11, irows: 16, icols: 16 }
+        Pnmconvol {
+            csize: 11,
+            irows: 16,
+            icols: 16,
+        }
     }
 
     /// A tiny configuration for unit tests.
     pub fn tiny() -> Pnmconvol {
-        Pnmconvol { csize: 5, irows: 4, icols: 4 }
+        Pnmconvol {
+            csize: 5,
+            irows: 4,
+            icols: 4,
+        }
     }
 
     /// The convolution matrix: 9% ones, 83% zeroes, the rest 0.5
@@ -63,16 +73,19 @@ impl Pnmconvol {
         let mut m: Vec<f64> = Vec::with_capacity(cells);
         m.extend(std::iter::repeat_n(1.0, ones));
         m.extend(std::iter::repeat_n(0.0, zeros));
-        m.extend(std::iter::repeat_n(0.5, cells - ones.min(cells) - zeros.min(cells)));
+        m.extend(std::iter::repeat_n(
+            0.5,
+            cells - ones.min(cells) - zeros.min(cells),
+        ));
         m.truncate(cells);
-        let mut rng = SmallRng::seed_from_u64(0x009b_3c11);
-        m.shuffle(&mut rng);
+        let mut rng = SplitMix64::seed_from_u64(0x009b_3c11);
+        rng.shuffle(&mut m);
         m
     }
 
     /// The input image (padded; see `setup_region`).
     pub fn image(&self) -> Vec<f64> {
-        let mut rng = SmallRng::seed_from_u64(0x009b_3c22);
+        let mut rng = SplitMix64::seed_from_u64(0x009b_3c22);
         let pad_rows = (self.irows + self.csize) as usize;
         (0..pad_rows * self.icols as usize + self.csize as usize)
             .map(|_| rng.gen_range(0.0..1.0))
@@ -81,7 +94,11 @@ impl Pnmconvol {
 
     /// Reference convolution in plain Rust (for result checking).
     pub fn reference(&self, image: &[f64], matrix: &[f64]) -> Vec<f64> {
-        let (irows, icols, c) = (self.irows as usize, self.icols as usize, self.csize as usize);
+        let (irows, icols, c) = (
+            self.irows as usize,
+            self.icols as usize,
+            self.csize as usize,
+        );
         let mut out = vec![0.0f64; irows * icols];
         for ir in 0..irows {
             for ic in 0..icols {

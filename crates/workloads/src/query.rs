@@ -6,10 +6,9 @@
 //! folds away, leaving a straight chain of compare-and-branch pairs — the
 //! hand-written matcher a programmer would produce for that exact query.
 
+use crate::rng::SplitMix64;
 use crate::{Kind, Meta, Workload};
 use dyc::{Session, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Comparison operator codes used in the query encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,14 +52,16 @@ impl Default for Query {
 impl Query {
     /// Deterministic records; roughly a third match the default query.
     pub fn records(&self) -> Vec<Vec<i64>> {
-        let mut rng = SmallRng::seed_from_u64(0x9e4);
+        let mut rng = SplitMix64::seed_from_u64(0x9e4);
         (0..self.n_records)
             .map(|_| {
-                if rng.gen::<f64>() < 0.3 {
+                if rng.gen_f64() < 0.3 {
                     // A matching record for the default predicate.
                     vec![15, 50, 1, 7, 30, 5, 2]
                 } else {
-                    (0..self.predicate.len()).map(|_| rng.gen_range(0..100)).collect()
+                    (0..self.predicate.len())
+                        .map(|_| rng.gen_range(0..100))
+                        .collect()
                 }
             })
             .collect()
@@ -68,15 +69,18 @@ impl Query {
 
     /// Reference matcher in plain Rust.
     pub fn matches(&self, rec: &[i64]) -> bool {
-        self.predicate.iter().zip(rec).all(|((op, val), f)| match op {
-            QOp::Eq => f == val,
-            QOp::Ne => f != val,
-            QOp::Lt => f < val,
-            QOp::Gt => f > val,
-            QOp::Le => f <= val,
-            QOp::Ge => f >= val,
-            QOp::Any => true,
-        })
+        self.predicate
+            .iter()
+            .zip(rec)
+            .all(|((op, val), f)| match op {
+                QOp::Eq => f == val,
+                QOp::Ne => f != val,
+                QOp::Lt => f < val,
+                QOp::Gt => f > val,
+                QOp::Le => f <= val,
+                QOp::Ge => f >= val,
+                QOp::Any => true,
+            })
     }
 }
 
@@ -137,7 +141,12 @@ impl Workload for Query {
         sess.mem().write_ints(ob, &ops);
         let vb = sess.alloc(nf);
         sess.mem().write_ints(vb, &vals);
-        vec![Value::I(rb), Value::I(ob), Value::I(vb), Value::I(nf as i64)]
+        vec![
+            Value::I(rb),
+            Value::I(ob),
+            Value::I(vb),
+            Value::I(nf as i64),
+        ]
     }
 
     fn check_region(&self, result: Option<Value>, _sess: &mut Session) -> bool {
@@ -181,7 +190,10 @@ mod tests {
         assert_eq!(rt.static_loads, 14, "7 ops + 7 values");
         assert!(rt.loops_unrolled >= 1);
         assert!(!rt.multi_way_unroll, "query unrolls single-way");
-        assert!(rt.branches_folded >= 7, "the operator switch folds per field");
+        assert!(
+            rt.branches_folded >= 7,
+            "the operator switch folds per field"
+        );
         let code = d.disassemble_matching("match$spec");
         // Straight chain: per field, the predicate compare plus the
         // early-exit test — no loop arithmetic, no switch dispatch.

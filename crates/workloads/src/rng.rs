@@ -1,0 +1,122 @@
+//! A tiny deterministic PRNG for input generation.
+//!
+//! The workloads' inputs are deterministic by design (DESIGN.md §8): every
+//! generator seeds its own stream, so runs are reproducible bit-for-bit.
+//! That only needs a fast, well-mixed 64-bit generator — SplitMix64
+//! (Steele, Lea & Flood, *Fast Splittable Pseudorandom Number Generators*)
+//! — not an external crate. This module replaces the former `rand`
+//! dependency so the workspace builds without registry access.
+
+use std::ops::Range;
+
+/// SplitMix64: one 64-bit state word, period 2^64, passes BigCrush.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// Range types [`SplitMix64::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Out;
+    /// Draw one value uniformly from the (half-open) range.
+    fn sample(self, rng: &mut SplitMix64) -> Self::Out;
+}
+
+impl SplitMix64 {
+    /// Seed the generator (named after the `rand` method it replaces).
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)` (53 significant bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from a half-open range (`i64` or `f64`).
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Out {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl SampleRange for Range<i64> {
+    type Out = i64;
+    fn sample(self, rng: &mut SplitMix64) -> i64 {
+        let span = (self.end - self.start) as u64;
+        assert!(span > 0, "empty range");
+        // Modulo bias is negligible for the small spans the generators use
+        // (all well under 2^32), and determinism is what matters here.
+        self.start + (rng.next_u64() % span) as i64
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Out = f64;
+    fn sample(self, rng: &mut SplitMix64) -> f64 {
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_splitmix_values() {
+        // Reference outputs for seed 1234567 from the published algorithm.
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..9);
+            assert!((-5..9).contains(&v));
+            let f = r.gen_range(2.0..3.5);
+            assert!((2.0..3.5).contains(&f));
+            let u = r.gen_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::seed_from_u64(99);
+        let mut v: Vec<i64> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "seed 99 must actually permute");
+    }
+}

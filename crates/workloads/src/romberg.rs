@@ -23,7 +23,11 @@ pub struct Romberg {
 
 impl Default for Romberg {
     fn default() -> Self {
-        Romberg { m: 6, a: 0.0, b: 1.5 }
+        Romberg {
+            m: 6,
+            a: 0.0,
+            b: 1.5,
+        }
     }
 }
 
@@ -163,7 +167,10 @@ mod tests {
         let args = w.setup_region(&mut d);
         d.run("romberg", &args).unwrap();
         let rt = d.rt_stats().unwrap();
-        assert!(rt.loops_unrolled >= 3, "level, sample and extrapolation loops unroll");
+        assert!(
+            rt.loops_unrolled >= 3,
+            "level, sample and extrapolation loops unroll"
+        );
         assert!(!rt.multi_way_unroll);
         let code = d.disassemble_matching("romberg$spec");
         assert!(

@@ -14,10 +14,9 @@
 //! byte's run length. Not part of the paper's Table 1 suite — it is the
 //! paper's future-work case, reproduced.
 
+use crate::rng::SplitMix64;
 use crate::{Kind, Meta, Workload};
 use dyc::{Session, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// The unrle workload.
 #[derive(Debug, Clone)]
@@ -30,7 +29,10 @@ pub struct Unrle {
 
 impl Default for Unrle {
     fn default() -> Self {
-        Unrle { tokens: 512, distinct_runs: 24 }
+        Unrle {
+            tokens: 512,
+            distinct_runs: 24,
+        }
     }
 }
 
@@ -38,10 +40,10 @@ impl Unrle {
     /// The encoded stream: literals (< 128) and run headers (128 + length
     /// followed by the value to repeat).
     pub fn encoded(&self) -> Vec<i64> {
-        let mut rng = SmallRng::seed_from_u64(0x41e);
+        let mut rng = SplitMix64::seed_from_u64(0x41e);
         let mut out = Vec::new();
         for _ in 0..self.tokens {
-            if rng.gen::<f64>() < 0.5 {
+            if rng.gen_f64() < 0.5 {
                 out.push(rng.gen_range(0..128)); // literal byte
             } else {
                 let run = 1 + rng.gen_range(0..self.distinct_runs as i64);
@@ -139,7 +141,12 @@ impl Workload for Unrle {
         sess.mem().write_ints(e, &enc);
         let cap = self.out_capacity();
         let o = sess.alloc(cap);
-        vec![Value::I(e), Value::I(enc.len() as i64), Value::I(o), Value::I(cap as i64)]
+        vec![
+            Value::I(e),
+            Value::I(enc.len() as i64),
+            Value::I(o),
+            Value::I(cap as i64),
+        ]
     }
 
     fn check_region(&self, result: Option<Value>, sess: &mut Session) -> bool {
@@ -159,7 +166,10 @@ mod tests {
 
     #[test]
     fn decoder_is_correct_in_both_builds() {
-        let w = Unrle { tokens: 64, distinct_runs: 8 };
+        let w = Unrle {
+            tokens: 64,
+            distinct_runs: 8,
+        };
         let p = Compiler::new().compile(&w.source()).unwrap();
         for mut sess in [p.static_session(), p.dynamic_session()] {
             let args = w.setup_region(&mut sess);
@@ -170,13 +180,19 @@ mod tests {
 
     #[test]
     fn dispatches_are_array_indexed() {
-        let w = Unrle { tokens: 64, distinct_runs: 8 };
+        let w = Unrle {
+            tokens: 64,
+            distinct_runs: 8,
+        };
         let p = Compiler::new().compile(&w.source()).unwrap();
         let mut d = p.dynamic_session();
         let args = w.setup_region(&mut d);
         d.run("decode", &args).unwrap();
         let rt = d.rt_stats().unwrap();
-        assert!(rt.dispatch_indexed > 0, "indexed policy must serve the dispatches");
+        assert!(
+            rt.dispatch_indexed > 0,
+            "indexed policy must serve the dispatches"
+        );
         assert_eq!(rt.dispatch_hashed, 0, "no in-range key should hash");
         // One specialization per distinct control byte.
         let enc = w.encoded();
@@ -194,7 +210,10 @@ mod tests {
 
     #[test]
     fn runs_unroll_per_control_byte() {
-        let w = Unrle { tokens: 16, distinct_runs: 6 };
+        let w = Unrle {
+            tokens: 16,
+            distinct_runs: 6,
+        };
         let p = Compiler::new().compile(&w.source()).unwrap();
         let mut d = p.dynamic_session();
         let args = w.setup_region(&mut d);
@@ -208,7 +227,10 @@ mod tests {
 
     #[test]
     fn indexed_dispatch_is_cheaper_than_hashed() {
-        let w = Unrle { tokens: 128, distinct_runs: 8 };
+        let w = Unrle {
+            tokens: 128,
+            distinct_runs: 8,
+        };
         // Indexed policy (the annotated source).
         let p = Compiler::new().compile(&w.source()).unwrap();
         let mut idx = p.dynamic_session();
@@ -248,7 +270,10 @@ mod tests {
             d.run("f", &[Value::I(-3), Value::I(1)]).unwrap(),
             Some(Value::I(-2))
         );
-        assert_eq!(d.run("f", &[Value::I(7), Value::I(1)]).unwrap(), Some(Value::I(8)));
+        assert_eq!(
+            d.run("f", &[Value::I(7), Value::I(1)]).unwrap(),
+            Some(Value::I(8))
+        );
         let rt = d.rt_stats().unwrap();
         assert_eq!(rt.dispatch_indexed, 1);
         assert_eq!(rt.dispatch_hashed, 2);
@@ -260,7 +285,8 @@ mod tests {
         let src = "int f(int a, int b, int d) { make_static(a: cache_indexed, b: cache_indexed); return a + b + d; }";
         let p = Compiler::with_config(cfg).compile(src).unwrap();
         let mut d = p.dynamic_session();
-        d.run("f", &[Value::I(1), Value::I(2), Value::I(3)]).unwrap();
+        d.run("f", &[Value::I(1), Value::I(2), Value::I(3)])
+            .unwrap();
         let rt = d.rt_stats().unwrap();
         assert_eq!(rt.dispatch_indexed, 0);
         assert_eq!(rt.dispatch_hashed, 1, "two keys cannot index a byte table");

@@ -12,10 +12,9 @@
 //! compilation regenerates them from the general-purpose routine, which is
 //! exactly what the promotion-based specialization here does.
 
+use crate::rng::SplitMix64;
 use crate::{Kind, Meta, Workload};
 use dyc::{Session, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Number of vertices processed per region invocation.
 const NVERTS: i64 = 64;
@@ -25,16 +24,28 @@ const NVERTS: i64 = 64;
 pub fn perspective_matrix() -> Vec<f64> {
     let (f, aspect, zn, zf) = (1.2, 1.25, 0.1, 100.0);
     vec![
-        f / aspect, 0.0, 0.0, 0.0,
-        0.0, f, 0.0, 0.0,
-        0.0, 0.0, (zf + zn) / (zn - zf), (2.0 * zf * zn) / (zn - zf),
-        0.0, 0.0, -1.0, 0.0,
+        f / aspect,
+        0.0,
+        0.0,
+        0.0,
+        0.0,
+        f,
+        0.0,
+        0.0,
+        0.0,
+        0.0,
+        (zf + zn) / (zn - zf),
+        (2.0 * zf * zn) / (zn - zf),
+        0.0,
+        0.0,
+        -1.0,
+        0.0,
     ]
 }
 
 /// Deterministic vertex positions (x, y, z, w).
 pub fn vertices(n: i64, seed: u64) -> Vec<f64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     (0..n)
         .flat_map(|_| {
             [
@@ -49,8 +60,16 @@ pub fn vertices(n: i64, seed: u64) -> Vec<f64> {
 
 /// Deterministic unit-ish normals (x, y, z).
 pub fn normals(n: i64, seed: u64) -> Vec<f64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).flat_map(|_| [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(0.0..1.0)]).collect()
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    (0..n)
+        .flat_map(|_| {
+            [
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(0.0..1.0),
+            ]
+        })
+        .collect()
 }
 
 /// `project_and_clip_test`, specialized on the projection matrix.
@@ -280,7 +299,11 @@ pub struct ViewperfShade {
 
 impl Default for ViewperfShade {
     fn default() -> Self {
-        ViewperfShade { nverts: NVERTS, light: (1.0, 0.5, 0.0), spec: (0.8, 0.0, 0.0) }
+        ViewperfShade {
+            nverts: NVERTS,
+            light: (1.0, 0.5, 0.0),
+            spec: (0.8, 0.0, 0.0),
+        }
     }
 }
 
@@ -377,7 +400,10 @@ mod tests {
 
     #[test]
     fn shader_agrees_and_uses_polyvariant_division() {
-        let w = ViewperfShade { nverts: 8, ..ViewperfShade::default() };
+        let w = ViewperfShade {
+            nverts: 8,
+            ..ViewperfShade::default()
+        };
         let p = Compiler::new().compile(&w.source()).unwrap();
         let mut s = p.static_session();
         let mut d = p.dynamic_session();
@@ -388,13 +414,19 @@ mod tests {
         assert_eq!(sv.unwrap().as_f().to_bits(), dv.unwrap().as_f().to_bits());
         assert!(w.check_region(dv, &mut d));
         let rt = d.rt_stats().unwrap();
-        assert!(rt.internal_promotions >= 1, "light color promotes on the lit path");
+        assert!(
+            rt.internal_promotions >= 1,
+            "light color promotes on the lit path"
+        );
         assert!(rt.zero_copy_folds >= 1, "kr == 1.0 and kb == 0.0 fold");
     }
 
     #[test]
     fn unlit_path_shades_with_ambient_only() {
-        let w = ViewperfShade { nverts: 8, ..ViewperfShade::default() };
+        let w = ViewperfShade {
+            nverts: 8,
+            ..ViewperfShade::default()
+        };
         let p = Compiler::new().compile(&w.source()).unwrap();
         let mut d = p.dynamic_session();
         let mut args = w.setup_region(&mut d);

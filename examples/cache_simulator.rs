@@ -45,8 +45,7 @@ fn main() {
     println!(
         "speedup: {:.2}x; break-even after {:.0} references\n",
         sc.run_cycles() as f64 / dc.run_cycles() as f64,
-        first.dyncomp_cycles as f64
-            / (sc.run_cycles() as f64 - dc.run_cycles() as f64)
+        first.dyncomp_cycles as f64 / (sc.run_cycles() as f64 - dc.run_cycles() as f64)
             * w.trace_len as f64
     );
 

@@ -33,15 +33,25 @@ fn specialize_and_report(cfg: OptConfig, label: &str, w: &Pnmconvol) {
     for line in listing.lines().take(24) {
         println!("{line}");
     }
-    println!("  ... ({} more lines)\n", listing.lines().count().saturating_sub(24));
+    println!(
+        "  ... ({} more lines)\n",
+        listing.lines().count().saturating_sub(24)
+    );
 }
 
 fn main() {
-    let w = Pnmconvol { csize: 3, irows: 6, icols: 6 };
+    let w = Pnmconvol {
+        csize: 3,
+        irows: 6,
+        icols: 6,
+    };
 
     println!("=== Figure 2: annotated source ===");
     println!("{}\n", dyc_workloads::pnmconvol::SOURCE);
-    println!("convolution matrix (3x3 for readability): {:?}\n", w.matrix());
+    println!(
+        "convolution matrix (3x3 for readability): {:?}\n",
+        w.matrix()
+    );
 
     // Figure 3: unrolling + static loads, but no value-dependent opts.
     let partial = OptConfig::all()

@@ -41,9 +41,7 @@ fn bytes(s: &str) -> Vec<i64> {
 }
 
 fn main() {
-    let text = bytes(
-        "the quick brown fox jumps over the lazy dog; the dog does not mind the fox",
-    );
+    let text = bytes("the quick brown fox jumps over the lazy dog; the dog does not mind the fox");
     let pattern = bytes("the");
 
     let program = Compiler::new().compile(SOURCE).expect("compiles");

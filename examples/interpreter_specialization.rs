@@ -12,7 +12,10 @@ use dyc_workloads::mipsi::Mipsi;
 use dyc_workloads::Workload;
 
 fn main() {
-    let w = Mipsi { n: 10, max_steps: 50_000 };
+    let w = Mipsi {
+        n: 10,
+        max_steps: 50_000,
+    };
     println!("guest program: bubble sort, {} elements", w.n);
     println!("guest data   : {:?}\n", w.guest_data());
 
@@ -54,12 +57,30 @@ fn main() {
 
     let rt = d.rt_stats().unwrap();
     println!("what the specializer did:");
-    println!("  multi-way loop unrolling over the guest pc: {}", rt.multi_way_unroll);
-    println!("  instruction fetches folded (static loads) : {}", rt.static_loads);
-    println!("  address translations memoized (static calls): {}", rt.static_calls);
-    println!("  decode switches folded                     : {}", rt.branches_folded);
-    println!("  jr-target promotions                       : {}", rt.internal_promotions);
-    println!("  residual code                              : {} instructions", rt.instrs_generated);
+    println!(
+        "  multi-way loop unrolling over the guest pc: {}",
+        rt.multi_way_unroll
+    );
+    println!(
+        "  instruction fetches folded (static loads) : {}",
+        rt.static_loads
+    );
+    println!(
+        "  address translations memoized (static calls): {}",
+        rt.static_calls
+    );
+    println!(
+        "  decode switches folded                     : {}",
+        rt.branches_folded
+    );
+    println!(
+        "  jr-target promotions                       : {}",
+        rt.internal_promotions
+    );
+    println!(
+        "  residual code                              : {} instructions",
+        rt.instrs_generated
+    );
 
     // Check the guest actually sorted its memory.
     let mem_base = Mipsi::guest_program().len() as i64;

@@ -25,12 +25,20 @@ fn main() {
 
     // The statically compiled version runs the loop every call.
     let mut stat = program.static_session();
-    let (out, cycles) = stat.run_measured("power", &[Value::I(3), Value::I(12)]).unwrap();
-    println!("static : power(3, 12) = {:?} in {} cycles", out.unwrap(), cycles.run_cycles());
+    let (out, cycles) = stat
+        .run_measured("power", &[Value::I(3), Value::I(12)])
+        .unwrap();
+    println!(
+        "static : power(3, 12) = {:?} in {} cycles",
+        out.unwrap(),
+        cycles.run_cycles()
+    );
 
     // The dynamic version compiles a specialized power-of-12 on first call…
     let mut dyn_ = program.dynamic_session();
-    let (out, first) = dyn_.run_measured("power", &[Value::I(3), Value::I(12)]).unwrap();
+    let (out, first) = dyn_
+        .run_measured("power", &[Value::I(3), Value::I(12)])
+        .unwrap();
     println!(
         "dynamic: power(3, 12) = {:?} in {} cycles (+{} compiling)",
         out.unwrap(),
@@ -39,7 +47,9 @@ fn main() {
     );
 
     // …and reuses it from the code cache afterwards.
-    let (out, steady) = dyn_.run_measured("power", &[Value::I(5), Value::I(12)]).unwrap();
+    let (out, steady) = dyn_
+        .run_measured("power", &[Value::I(5), Value::I(12)])
+        .unwrap();
     println!(
         "dynamic: power(5, 12) = {:?} in {} cycles (cache hit)",
         out.unwrap(),

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conditional_specialization-a4982ede1ebec6ca.d: tests/conditional_specialization.rs
+
+/root/repo/target/debug/deps/conditional_specialization-a4982ede1ebec6ca: tests/conditional_specialization.rs
+
+tests/conditional_specialization.rs:

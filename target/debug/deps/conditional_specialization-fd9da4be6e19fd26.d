@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conditional_specialization-fd9da4be6e19fd26.d: tests/conditional_specialization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconditional_specialization-fd9da4be6e19fd26.rmeta: tests/conditional_specialization.rs Cargo.toml
+
+tests/conditional_specialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg3-88532146d7130d53.d: crates/bench/src/bin/dbg3.rs
+
+/root/repo/target/debug/deps/dbg3-88532146d7130d53: crates/bench/src/bin/dbg3.rs
+
+crates/bench/src/bin/dbg3.rs:

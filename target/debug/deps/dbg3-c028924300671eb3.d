@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg3-c028924300671eb3.d: crates/bench/src/bin/dbg3.rs
+
+/root/repo/target/debug/deps/dbg3-c028924300671eb3: crates/bench/src/bin/dbg3.rs
+
+crates/bench/src/bin/dbg3.rs:

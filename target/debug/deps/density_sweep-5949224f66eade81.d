@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/density_sweep-5949224f66eade81.d: crates/bench/src/bin/density_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdensity_sweep-5949224f66eade81.rmeta: crates/bench/src/bin/density_sweep.rs Cargo.toml
+
+crates/bench/src/bin/density_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

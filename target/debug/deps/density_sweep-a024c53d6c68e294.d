@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/density_sweep-a024c53d6c68e294.d: crates/bench/src/bin/density_sweep.rs
+
+/root/repo/target/debug/deps/density_sweep-a024c53d6c68e294: crates/bench/src/bin/density_sweep.rs
+
+crates/bench/src/bin/density_sweep.rs:

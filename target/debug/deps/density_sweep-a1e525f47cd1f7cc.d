@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/density_sweep-a1e525f47cd1f7cc.d: crates/bench/src/bin/density_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdensity_sweep-a1e525f47cd1f7cc.rmeta: crates/bench/src/bin/density_sweep.rs Cargo.toml
+
+crates/bench/src/bin/density_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

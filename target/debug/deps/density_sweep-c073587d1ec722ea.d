@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/density_sweep-c073587d1ec722ea.d: crates/bench/src/bin/density_sweep.rs
+
+/root/repo/target/debug/deps/density_sweep-c073587d1ec722ea: crates/bench/src/bin/density_sweep.rs
+
+crates/bench/src/bin/density_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/det_check-589fe725c5f11d6d.d: crates/bench/src/bin/det_check.rs
+
+/root/repo/target/debug/deps/det_check-589fe725c5f11d6d: crates/bench/src/bin/det_check.rs
+
+crates/bench/src/bin/det_check.rs:

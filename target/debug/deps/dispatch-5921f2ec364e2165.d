@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dispatch-5921f2ec364e2165.d: crates/bench/benches/dispatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdispatch-5921f2ec364e2165.rmeta: crates/bench/benches/dispatch.rs Cargo.toml
+
+crates/bench/benches/dispatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dispatch_cost-0b816e5619121dd9.d: crates/bench/src/bin/dispatch_cost.rs
+
+/root/repo/target/debug/deps/dispatch_cost-0b816e5619121dd9: crates/bench/src/bin/dispatch_cost.rs
+
+crates/bench/src/bin/dispatch_cost.rs:

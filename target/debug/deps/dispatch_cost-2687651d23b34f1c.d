@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dispatch_cost-2687651d23b34f1c.d: crates/bench/src/bin/dispatch_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdispatch_cost-2687651d23b34f1c.rmeta: crates/bench/src/bin/dispatch_cost.rs Cargo.toml
+
+crates/bench/src/bin/dispatch_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dispatch_cost-57ffc56932b16655.d: crates/bench/src/bin/dispatch_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdispatch_cost-57ffc56932b16655.rmeta: crates/bench/src/bin/dispatch_cost.rs Cargo.toml
+
+crates/bench/src/bin/dispatch_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dispatch_cost-c29b528ef0a316bb.d: crates/bench/src/bin/dispatch_cost.rs
+
+/root/repo/target/debug/deps/dispatch_cost-c29b528ef0a316bb: crates/bench/src/bin/dispatch_cost.rs
+
+crates/bench/src/bin/dispatch_cost.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dyc-35f7dd5b68d46330.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/program.rs crates/core/src/session.rs
+
+/root/repo/target/debug/deps/libdyc-35f7dd5b68d46330.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/program.rs crates/core/src/session.rs
+
+/root/repo/target/debug/deps/libdyc-35f7dd5b68d46330.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/program.rs crates/core/src/session.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/program.rs:
+crates/core/src/session.rs:

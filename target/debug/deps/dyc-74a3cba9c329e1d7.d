@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dyc-74a3cba9c329e1d7.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/program.rs crates/core/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyc-74a3cba9c329e1d7.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/program.rs crates/core/src/session.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/program.rs:
+crates/core/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

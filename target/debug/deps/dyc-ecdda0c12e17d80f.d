@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dyc-ecdda0c12e17d80f.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/program.rs crates/core/src/session.rs
+
+/root/repo/target/debug/deps/dyc-ecdda0c12e17d80f: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/program.rs crates/core/src/session.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/program.rs:
+crates/core/src/session.rs:

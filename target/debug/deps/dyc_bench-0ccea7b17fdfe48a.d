@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dyc_bench-0ccea7b17fdfe48a.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libdyc_bench-0ccea7b17fdfe48a.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libdyc_bench-0ccea7b17fdfe48a.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dyc_bench-7fe44c7b70407f0c.d: crates/bench/src/lib.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyc_bench-7fe44c7b70407f0c.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dyc_bench-f17b37e0dd619901.d: crates/bench/src/lib.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyc_bench-f17b37e0dd619901.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dyc_bench-f3064cff504cdb19.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/dyc_bench-f3064cff504cdb19: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

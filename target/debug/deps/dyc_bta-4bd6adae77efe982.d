@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dyc_bta-4bd6adae77efe982.d: crates/bta/src/lib.rs crates/bta/src/analysis.rs crates/bta/src/config.rs crates/bta/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyc_bta-4bd6adae77efe982.rmeta: crates/bta/src/lib.rs crates/bta/src/analysis.rs crates/bta/src/config.rs crates/bta/src/transfer.rs Cargo.toml
+
+crates/bta/src/lib.rs:
+crates/bta/src/analysis.rs:
+crates/bta/src/config.rs:
+crates/bta/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dyc_bta-897376f8e3f9c5f5.d: crates/bta/src/lib.rs crates/bta/src/analysis.rs crates/bta/src/config.rs crates/bta/src/transfer.rs
+
+/root/repo/target/debug/deps/dyc_bta-897376f8e3f9c5f5: crates/bta/src/lib.rs crates/bta/src/analysis.rs crates/bta/src/config.rs crates/bta/src/transfer.rs
+
+crates/bta/src/lib.rs:
+crates/bta/src/analysis.rs:
+crates/bta/src/config.rs:
+crates/bta/src/transfer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dyc_bta-dd0729f8ebabf06b.d: crates/bta/src/lib.rs crates/bta/src/analysis.rs crates/bta/src/config.rs crates/bta/src/transfer.rs
+
+/root/repo/target/debug/deps/libdyc_bta-dd0729f8ebabf06b.rlib: crates/bta/src/lib.rs crates/bta/src/analysis.rs crates/bta/src/config.rs crates/bta/src/transfer.rs
+
+/root/repo/target/debug/deps/libdyc_bta-dd0729f8ebabf06b.rmeta: crates/bta/src/lib.rs crates/bta/src/analysis.rs crates/bta/src/config.rs crates/bta/src/transfer.rs
+
+crates/bta/src/lib.rs:
+crates/bta/src/analysis.rs:
+crates/bta/src/config.rs:
+crates/bta/src/transfer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dyc_lang-9246439821a97657.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/eval.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs
+
+/root/repo/target/debug/deps/libdyc_lang-9246439821a97657.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/eval.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs
+
+/root/repo/target/debug/deps/libdyc_lang-9246439821a97657.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/eval.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/eval.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/token.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dyc_lang-d9969d71b6dfbf84.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/eval.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyc_lang-d9969d71b6dfbf84.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/eval.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs Cargo.toml
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/eval.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

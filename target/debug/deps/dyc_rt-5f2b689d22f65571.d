@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dyc_rt-5f2b689d22f65571.d: crates/rt/src/lib.rs crates/rt/src/cache.rs crates/rt/src/costs.rs crates/rt/src/emitter.rs crates/rt/src/ge_exec.rs crates/rt/src/runtime.rs crates/rt/src/specializer.rs crates/rt/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyc_rt-5f2b689d22f65571.rmeta: crates/rt/src/lib.rs crates/rt/src/cache.rs crates/rt/src/costs.rs crates/rt/src/emitter.rs crates/rt/src/ge_exec.rs crates/rt/src/runtime.rs crates/rt/src/specializer.rs crates/rt/src/stats.rs Cargo.toml
+
+crates/rt/src/lib.rs:
+crates/rt/src/cache.rs:
+crates/rt/src/costs.rs:
+crates/rt/src/emitter.rs:
+crates/rt/src/ge_exec.rs:
+crates/rt/src/runtime.rs:
+crates/rt/src/specializer.rs:
+crates/rt/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

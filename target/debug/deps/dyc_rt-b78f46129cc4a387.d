@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dyc_rt-b78f46129cc4a387.d: crates/rt/src/lib.rs crates/rt/src/cache.rs crates/rt/src/costs.rs crates/rt/src/emitter.rs crates/rt/src/ge_exec.rs crates/rt/src/runtime.rs crates/rt/src/specializer.rs crates/rt/src/stats.rs
+
+/root/repo/target/debug/deps/dyc_rt-b78f46129cc4a387: crates/rt/src/lib.rs crates/rt/src/cache.rs crates/rt/src/costs.rs crates/rt/src/emitter.rs crates/rt/src/ge_exec.rs crates/rt/src/runtime.rs crates/rt/src/specializer.rs crates/rt/src/stats.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/cache.rs:
+crates/rt/src/costs.rs:
+crates/rt/src/emitter.rs:
+crates/rt/src/ge_exec.rs:
+crates/rt/src/runtime.rs:
+crates/rt/src/specializer.rs:
+crates/rt/src/stats.rs:

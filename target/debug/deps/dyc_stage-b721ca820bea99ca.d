@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dyc_stage-b721ca820bea99ca.d: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs
+
+/root/repo/target/debug/deps/dyc_stage-b721ca820bea99ca: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs
+
+crates/stage/src/lib.rs:
+crates/stage/src/ge.rs:
+crates/stage/src/plan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dyc_suite-21880f0f8fc27535.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyc_suite-21880f0f8fc27535.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dyc_suite-3d21be49c72b207a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyc_suite-3d21be49c72b207a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

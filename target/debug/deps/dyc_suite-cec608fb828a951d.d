@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dyc_suite-cec608fb828a951d.d: src/lib.rs
+
+/root/repo/target/debug/deps/dyc_suite-cec608fb828a951d: src/lib.rs
+
+src/lib.rs:

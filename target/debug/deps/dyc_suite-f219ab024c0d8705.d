@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dyc_suite-f219ab024c0d8705.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdyc_suite-f219ab024c0d8705.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdyc_suite-f219ab024c0d8705.rmeta: src/lib.rs
+
+src/lib.rs:

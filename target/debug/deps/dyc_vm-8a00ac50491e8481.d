@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dyc_vm-8a00ac50491e8481.d: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/host.rs crates/vm/src/icache.rs crates/vm/src/interp.rs crates/vm/src/isa.rs crates/vm/src/mem.rs crates/vm/src/module.rs crates/vm/src/pretty.rs crates/vm/src/stats.rs crates/vm/src/value.rs
+
+/root/repo/target/debug/deps/libdyc_vm-8a00ac50491e8481.rlib: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/host.rs crates/vm/src/icache.rs crates/vm/src/interp.rs crates/vm/src/isa.rs crates/vm/src/mem.rs crates/vm/src/module.rs crates/vm/src/pretty.rs crates/vm/src/stats.rs crates/vm/src/value.rs
+
+/root/repo/target/debug/deps/libdyc_vm-8a00ac50491e8481.rmeta: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/host.rs crates/vm/src/icache.rs crates/vm/src/interp.rs crates/vm/src/isa.rs crates/vm/src/mem.rs crates/vm/src/module.rs crates/vm/src/pretty.rs crates/vm/src/stats.rs crates/vm/src/value.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/cost.rs:
+crates/vm/src/host.rs:
+crates/vm/src/icache.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/isa.rs:
+crates/vm/src/mem.rs:
+crates/vm/src/module.rs:
+crates/vm/src/pretty.rs:
+crates/vm/src/stats.rs:
+crates/vm/src/value.rs:

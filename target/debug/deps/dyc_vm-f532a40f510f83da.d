@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dyc_vm-f532a40f510f83da.d: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/host.rs crates/vm/src/icache.rs crates/vm/src/interp.rs crates/vm/src/isa.rs crates/vm/src/mem.rs crates/vm/src/module.rs crates/vm/src/pretty.rs crates/vm/src/stats.rs crates/vm/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyc_vm-f532a40f510f83da.rmeta: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/host.rs crates/vm/src/icache.rs crates/vm/src/interp.rs crates/vm/src/isa.rs crates/vm/src/mem.rs crates/vm/src/module.rs crates/vm/src/pretty.rs crates/vm/src/stats.rs crates/vm/src/value.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/cost.rs:
+crates/vm/src/host.rs:
+crates/vm/src/icache.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/isa.rs:
+crates/vm/src/mem.rs:
+crates/vm/src/module.rs:
+crates/vm/src/pretty.rs:
+crates/vm/src/stats.rs:
+crates/vm/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

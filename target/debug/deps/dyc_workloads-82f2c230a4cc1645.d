@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dyc_workloads-82f2c230a4cc1645.d: crates/workloads/src/lib.rs crates/workloads/src/binary.rs crates/workloads/src/chebyshev.rs crates/workloads/src/dinero.rs crates/workloads/src/dotproduct.rs crates/workloads/src/m88ksim.rs crates/workloads/src/measure.rs crates/workloads/src/mipsi.rs crates/workloads/src/pnmconvol.rs crates/workloads/src/query.rs crates/workloads/src/rng.rs crates/workloads/src/romberg.rs crates/workloads/src/unrle.rs crates/workloads/src/viewperf.rs
+
+/root/repo/target/debug/deps/dyc_workloads-82f2c230a4cc1645: crates/workloads/src/lib.rs crates/workloads/src/binary.rs crates/workloads/src/chebyshev.rs crates/workloads/src/dinero.rs crates/workloads/src/dotproduct.rs crates/workloads/src/m88ksim.rs crates/workloads/src/measure.rs crates/workloads/src/mipsi.rs crates/workloads/src/pnmconvol.rs crates/workloads/src/query.rs crates/workloads/src/rng.rs crates/workloads/src/romberg.rs crates/workloads/src/unrle.rs crates/workloads/src/viewperf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/binary.rs:
+crates/workloads/src/chebyshev.rs:
+crates/workloads/src/dinero.rs:
+crates/workloads/src/dotproduct.rs:
+crates/workloads/src/m88ksim.rs:
+crates/workloads/src/measure.rs:
+crates/workloads/src/mipsi.rs:
+crates/workloads/src/pnmconvol.rs:
+crates/workloads/src/query.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/romberg.rs:
+crates/workloads/src/unrle.rs:
+crates/workloads/src/viewperf.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/dyc_workloads-a5626c020f72005c.d: crates/workloads/src/lib.rs crates/workloads/src/binary.rs crates/workloads/src/chebyshev.rs crates/workloads/src/dinero.rs crates/workloads/src/dotproduct.rs crates/workloads/src/m88ksim.rs crates/workloads/src/measure.rs crates/workloads/src/mipsi.rs crates/workloads/src/pnmconvol.rs crates/workloads/src/query.rs crates/workloads/src/rng.rs crates/workloads/src/romberg.rs crates/workloads/src/unrle.rs crates/workloads/src/viewperf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyc_workloads-a5626c020f72005c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/binary.rs crates/workloads/src/chebyshev.rs crates/workloads/src/dinero.rs crates/workloads/src/dotproduct.rs crates/workloads/src/m88ksim.rs crates/workloads/src/measure.rs crates/workloads/src/mipsi.rs crates/workloads/src/pnmconvol.rs crates/workloads/src/query.rs crates/workloads/src/rng.rs crates/workloads/src/romberg.rs crates/workloads/src/unrle.rs crates/workloads/src/viewperf.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/binary.rs:
+crates/workloads/src/chebyshev.rs:
+crates/workloads/src/dinero.rs:
+crates/workloads/src/dotproduct.rs:
+crates/workloads/src/m88ksim.rs:
+crates/workloads/src/measure.rs:
+crates/workloads/src/mipsi.rs:
+crates/workloads/src/pnmconvol.rs:
+crates/workloads/src/query.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/romberg.rs:
+crates/workloads/src/unrle.rs:
+crates/workloads/src/viewperf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

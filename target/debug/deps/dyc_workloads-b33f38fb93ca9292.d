@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/dyc_workloads-b33f38fb93ca9292.d: crates/workloads/src/lib.rs crates/workloads/src/binary.rs crates/workloads/src/chebyshev.rs crates/workloads/src/dinero.rs crates/workloads/src/dotproduct.rs crates/workloads/src/m88ksim.rs crates/workloads/src/measure.rs crates/workloads/src/mipsi.rs crates/workloads/src/pnmconvol.rs crates/workloads/src/query.rs crates/workloads/src/rng.rs crates/workloads/src/romberg.rs crates/workloads/src/unrle.rs crates/workloads/src/viewperf.rs
+
+/root/repo/target/debug/deps/libdyc_workloads-b33f38fb93ca9292.rlib: crates/workloads/src/lib.rs crates/workloads/src/binary.rs crates/workloads/src/chebyshev.rs crates/workloads/src/dinero.rs crates/workloads/src/dotproduct.rs crates/workloads/src/m88ksim.rs crates/workloads/src/measure.rs crates/workloads/src/mipsi.rs crates/workloads/src/pnmconvol.rs crates/workloads/src/query.rs crates/workloads/src/rng.rs crates/workloads/src/romberg.rs crates/workloads/src/unrle.rs crates/workloads/src/viewperf.rs
+
+/root/repo/target/debug/deps/libdyc_workloads-b33f38fb93ca9292.rmeta: crates/workloads/src/lib.rs crates/workloads/src/binary.rs crates/workloads/src/chebyshev.rs crates/workloads/src/dinero.rs crates/workloads/src/dotproduct.rs crates/workloads/src/m88ksim.rs crates/workloads/src/measure.rs crates/workloads/src/mipsi.rs crates/workloads/src/pnmconvol.rs crates/workloads/src/query.rs crates/workloads/src/rng.rs crates/workloads/src/romberg.rs crates/workloads/src/unrle.rs crates/workloads/src/viewperf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/binary.rs:
+crates/workloads/src/chebyshev.rs:
+crates/workloads/src/dinero.rs:
+crates/workloads/src/dotproduct.rs:
+crates/workloads/src/m88ksim.rs:
+crates/workloads/src/measure.rs:
+crates/workloads/src/mipsi.rs:
+crates/workloads/src/pnmconvol.rs:
+crates/workloads/src/query.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/romberg.rs:
+crates/workloads/src/unrle.rs:
+crates/workloads/src/viewperf.rs:

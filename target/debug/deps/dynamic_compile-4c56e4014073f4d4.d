@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamic_compile-4c56e4014073f4d4.d: crates/bench/benches/dynamic_compile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_compile-4c56e4014073f4d4.rmeta: crates/bench/benches/dynamic_compile.rs Cargo.toml
+
+crates/bench/benches/dynamic_compile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

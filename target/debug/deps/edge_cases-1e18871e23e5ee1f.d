@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-1e18871e23e5ee1f.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-1e18871e23e5ee1f: tests/edge_cases.rs
+
+tests/edge_cases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_cases-4e4ccf647e4f30ec.d: tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-4e4ccf647e4f30ec.rmeta: tests/edge_cases.rs Cargo.toml
+
+tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-60317c0cc33f3944.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-60317c0cc33f3944: tests/end_to_end.rs
+
+tests/end_to_end.rs:

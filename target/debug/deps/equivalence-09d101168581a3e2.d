@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-09d101168581a3e2.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-09d101168581a3e2: tests/equivalence.rs
+
+tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-c35793f72a49dea0.d: tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-c35793f72a49dea0.rmeta: tests/equivalence.rs Cargo.toml
+
+tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-2ccc666f7fdd8b2f.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-2ccc666f7fdd8b2f: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

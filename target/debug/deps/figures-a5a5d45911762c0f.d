@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-a5a5d45911762c0f.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-a5a5d45911762c0f: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

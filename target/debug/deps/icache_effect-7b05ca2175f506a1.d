@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/icache_effect-7b05ca2175f506a1.d: crates/bench/src/bin/icache_effect.rs
+
+/root/repo/target/debug/deps/icache_effect-7b05ca2175f506a1: crates/bench/src/bin/icache_effect.rs
+
+crates/bench/src/bin/icache_effect.rs:

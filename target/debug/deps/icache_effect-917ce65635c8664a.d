@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/icache_effect-917ce65635c8664a.d: crates/bench/src/bin/icache_effect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libicache_effect-917ce65635c8664a.rmeta: crates/bench/src/bin/icache_effect.rs Cargo.toml
+
+crates/bench/src/bin/icache_effect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

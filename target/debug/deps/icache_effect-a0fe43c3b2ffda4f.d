@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/icache_effect-a0fe43c3b2ffda4f.d: crates/bench/src/bin/icache_effect.rs
+
+/root/repo/target/debug/deps/icache_effect-a0fe43c3b2ffda4f: crates/bench/src/bin/icache_effect.rs
+
+crates/bench/src/bin/icache_effect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/icache_effect-a9402c73d304f8d1.d: crates/bench/src/bin/icache_effect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libicache_effect-a9402c73d304f8d1.rmeta: crates/bench/src/bin/icache_effect.rs Cargo.toml
+
+crates/bench/src/bin/icache_effect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

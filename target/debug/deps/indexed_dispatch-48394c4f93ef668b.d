@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/indexed_dispatch-48394c4f93ef668b.d: crates/bench/src/bin/indexed_dispatch.rs
+
+/root/repo/target/debug/deps/indexed_dispatch-48394c4f93ef668b: crates/bench/src/bin/indexed_dispatch.rs
+
+crates/bench/src/bin/indexed_dispatch.rs:

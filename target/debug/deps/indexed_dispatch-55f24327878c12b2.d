@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/indexed_dispatch-55f24327878c12b2.d: crates/bench/src/bin/indexed_dispatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindexed_dispatch-55f24327878c12b2.rmeta: crates/bench/src/bin/indexed_dispatch.rs Cargo.toml
+
+crates/bench/src/bin/indexed_dispatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/indexed_dispatch-9d83a33c0bf25d7a.d: crates/bench/src/bin/indexed_dispatch.rs
+
+/root/repo/target/debug/deps/indexed_dispatch-9d83a33c0bf25d7a: crates/bench/src/bin/indexed_dispatch.rs
+
+crates/bench/src/bin/indexed_dispatch.rs:

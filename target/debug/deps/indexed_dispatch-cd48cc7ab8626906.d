@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/indexed_dispatch-cd48cc7ab8626906.d: crates/bench/src/bin/indexed_dispatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindexed_dispatch-cd48cc7ab8626906.rmeta: crates/bench/src/bin/indexed_dispatch.rs Cargo.toml
+
+crates/bench/src/bin/indexed_dispatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizations-80f6522974937d23.d: crates/core/tests/optimizations.rs
+
+/root/repo/target/debug/deps/optimizations-80f6522974937d23: crates/core/tests/optimizations.rs
+
+crates/core/tests/optimizations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizations-93bfc15eaf5b0da6.d: crates/core/tests/optimizations.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizations-93bfc15eaf5b0da6.rmeta: crates/core/tests/optimizations.rs Cargo.toml
+
+crates/core/tests/optimizations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_workloads-b1ffd392681bddb2.d: tests/oracle_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_workloads-b1ffd392681bddb2.rmeta: tests/oracle_workloads.rs Cargo.toml
+
+tests/oracle_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_workloads-f425764787fe06a5.d: tests/oracle_workloads.rs
+
+/root/repo/target/debug/deps/oracle_workloads-f425764787fe06a5: tests/oracle_workloads.rs
+
+tests/oracle_workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-6f43562d9dc23a4d.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-6f43562d9dc23a4d.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

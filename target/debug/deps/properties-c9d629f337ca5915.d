@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c9d629f337ca5915.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c9d629f337ca5915: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/region_exec-4990ca1b63a831f4.d: crates/bench/benches/region_exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregion_exec-4990ca1b63a831f4.rmeta: crates/bench/benches/region_exec.rs Cargo.toml
+
+crates/bench/benches/region_exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

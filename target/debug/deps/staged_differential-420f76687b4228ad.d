@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/staged_differential-420f76687b4228ad.d: tests/staged_differential.rs
+
+/root/repo/target/debug/deps/staged_differential-420f76687b4228ad: tests/staged_differential.rs
+
+tests/staged_differential.rs:

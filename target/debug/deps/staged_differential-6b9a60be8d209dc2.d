@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/staged_differential-6b9a60be8d209dc2.d: tests/staged_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstaged_differential-6b9a60be8d209dc2.rmeta: tests/staged_differential.rs Cargo.toml
+
+tests/staged_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

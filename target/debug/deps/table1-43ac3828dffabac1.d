@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-43ac3828dffabac1.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-43ac3828dffabac1: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

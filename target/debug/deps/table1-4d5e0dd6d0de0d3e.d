@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4d5e0dd6d0de0d3e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-4d5e0dd6d0de0d3e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-392000124311d9bf.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-392000124311d9bf: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

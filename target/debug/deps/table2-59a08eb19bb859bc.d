@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-59a08eb19bb859bc.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-59a08eb19bb859bc: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

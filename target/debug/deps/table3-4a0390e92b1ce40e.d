@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-4a0390e92b1ce40e.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-4a0390e92b1ce40e: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-5a602100deb4e747.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-5a602100deb4e747: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

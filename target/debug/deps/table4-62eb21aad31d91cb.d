@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-62eb21aad31d91cb.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-62eb21aad31d91cb: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

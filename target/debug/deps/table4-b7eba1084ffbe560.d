@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-b7eba1084ffbe560.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-b7eba1084ffbe560: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-537745de5d4476cc.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-537745de5d4476cc: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-637d27b116cfa492.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-637d27b116cfa492: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm_throughput-ec69b3cd4a691e42.d: crates/bench/benches/vm_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_throughput-ec69b3cd4a691e42.rmeta: crates/bench/benches/vm_throughput.rs Cargo.toml
+
+crates/bench/benches/vm_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cache_simulator-f843c2516f7289ce.d: examples/cache_simulator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcache_simulator-f843c2516f7289ce.rmeta: examples/cache_simulator.rs Cargo.toml
+
+examples/cache_simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

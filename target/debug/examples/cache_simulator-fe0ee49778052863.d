@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_simulator-fe0ee49778052863.d: examples/cache_simulator.rs
+
+/root/repo/target/debug/examples/cache_simulator-fe0ee49778052863: examples/cache_simulator.rs
+
+examples/cache_simulator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/convolution-7b2a583d1f357eab.d: examples/convolution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconvolution-7b2a583d1f357eab.rmeta: examples/convolution.rs Cargo.toml
+
+examples/convolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/convolution-ee20841afac07acd.d: examples/convolution.rs
+
+/root/repo/target/debug/examples/convolution-ee20841afac07acd: examples/convolution.rs
+
+examples/convolution.rs:

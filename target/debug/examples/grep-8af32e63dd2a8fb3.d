@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/grep-8af32e63dd2a8fb3.d: examples/grep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgrep-8af32e63dd2a8fb3.rmeta: examples/grep.rs Cargo.toml
+
+examples/grep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grep-9417db7cfe2b54b8.d: examples/grep.rs
+
+/root/repo/target/debug/examples/grep-9417db7cfe2b54b8: examples/grep.rs
+
+examples/grep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interpreter_specialization-831532efcfde1bef.d: examples/interpreter_specialization.rs
+
+/root/repo/target/debug/examples/interpreter_specialization-831532efcfde1bef: examples/interpreter_specialization.rs
+
+examples/interpreter_specialization.rs:

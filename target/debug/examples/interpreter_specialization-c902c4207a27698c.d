@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interpreter_specialization-c902c4207a27698c.d: examples/interpreter_specialization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterpreter_specialization-c902c4207a27698c.rmeta: examples/interpreter_specialization.rs Cargo.toml
+
+examples/interpreter_specialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

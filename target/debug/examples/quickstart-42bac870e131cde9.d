@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-42bac870e131cde9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-42bac870e131cde9: examples/quickstart.rs
+
+examples/quickstart.rs:

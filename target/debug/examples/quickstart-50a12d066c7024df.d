@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-50a12d066c7024df.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-50a12d066c7024df.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dbg3-233489e907d0ce66.d: crates/bench/src/bin/dbg3.rs
+
+/root/repo/target/release/deps/dbg3-233489e907d0ce66: crates/bench/src/bin/dbg3.rs
+
+crates/bench/src/bin/dbg3.rs:

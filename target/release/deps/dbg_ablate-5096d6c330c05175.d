@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dbg_ablate-5096d6c330c05175.d: crates/bench/src/bin/dbg_ablate.rs
+
+/root/repo/target/release/deps/dbg_ablate-5096d6c330c05175: crates/bench/src/bin/dbg_ablate.rs
+
+crates/bench/src/bin/dbg_ablate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/density_sweep-f80deb58043d432a.d: crates/bench/src/bin/density_sweep.rs
+
+/root/repo/target/release/deps/density_sweep-f80deb58043d432a: crates/bench/src/bin/density_sweep.rs
+
+crates/bench/src/bin/density_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dispatch_cost-40f2b8f661c9cef3.d: crates/bench/src/bin/dispatch_cost.rs
+
+/root/repo/target/release/deps/dispatch_cost-40f2b8f661c9cef3: crates/bench/src/bin/dispatch_cost.rs
+
+crates/bench/src/bin/dispatch_cost.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dyc-6ecad0013f426bcb.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/program.rs crates/core/src/session.rs
+
+/root/repo/target/release/deps/libdyc-6ecad0013f426bcb.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/program.rs crates/core/src/session.rs
+
+/root/repo/target/release/deps/libdyc-6ecad0013f426bcb.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/program.rs crates/core/src/session.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/program.rs:
+crates/core/src/session.rs:

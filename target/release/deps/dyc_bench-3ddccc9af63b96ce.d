@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dyc_bench-3ddccc9af63b96ce.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libdyc_bench-3ddccc9af63b96ce.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libdyc_bench-3ddccc9af63b96ce.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

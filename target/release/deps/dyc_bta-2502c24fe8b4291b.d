@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dyc_bta-2502c24fe8b4291b.d: crates/bta/src/lib.rs crates/bta/src/analysis.rs crates/bta/src/config.rs crates/bta/src/transfer.rs
+
+/root/repo/target/release/deps/libdyc_bta-2502c24fe8b4291b.rlib: crates/bta/src/lib.rs crates/bta/src/analysis.rs crates/bta/src/config.rs crates/bta/src/transfer.rs
+
+/root/repo/target/release/deps/libdyc_bta-2502c24fe8b4291b.rmeta: crates/bta/src/lib.rs crates/bta/src/analysis.rs crates/bta/src/config.rs crates/bta/src/transfer.rs
+
+crates/bta/src/lib.rs:
+crates/bta/src/analysis.rs:
+crates/bta/src/config.rs:
+crates/bta/src/transfer.rs:

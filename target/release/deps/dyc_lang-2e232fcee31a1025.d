@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dyc_lang-2e232fcee31a1025.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/eval.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs
+
+/root/repo/target/release/deps/libdyc_lang-2e232fcee31a1025.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/eval.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs
+
+/root/repo/target/release/deps/libdyc_lang-2e232fcee31a1025.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/eval.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/eval.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/token.rs:

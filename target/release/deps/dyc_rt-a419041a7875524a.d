@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dyc_rt-a419041a7875524a.d: crates/rt/src/lib.rs crates/rt/src/cache.rs crates/rt/src/costs.rs crates/rt/src/emitter.rs crates/rt/src/ge_exec.rs crates/rt/src/runtime.rs crates/rt/src/specializer.rs crates/rt/src/stats.rs
+
+/root/repo/target/release/deps/libdyc_rt-a419041a7875524a.rlib: crates/rt/src/lib.rs crates/rt/src/cache.rs crates/rt/src/costs.rs crates/rt/src/emitter.rs crates/rt/src/ge_exec.rs crates/rt/src/runtime.rs crates/rt/src/specializer.rs crates/rt/src/stats.rs
+
+/root/repo/target/release/deps/libdyc_rt-a419041a7875524a.rmeta: crates/rt/src/lib.rs crates/rt/src/cache.rs crates/rt/src/costs.rs crates/rt/src/emitter.rs crates/rt/src/ge_exec.rs crates/rt/src/runtime.rs crates/rt/src/specializer.rs crates/rt/src/stats.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/cache.rs:
+crates/rt/src/costs.rs:
+crates/rt/src/emitter.rs:
+crates/rt/src/ge_exec.rs:
+crates/rt/src/runtime.rs:
+crates/rt/src/specializer.rs:
+crates/rt/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dyc_suite-d773440015df1c18.d: src/lib.rs
+
+/root/repo/target/release/deps/libdyc_suite-d773440015df1c18.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdyc_suite-d773440015df1c18.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/dyc_workloads-c69679d087f5b898.d: crates/workloads/src/lib.rs crates/workloads/src/binary.rs crates/workloads/src/chebyshev.rs crates/workloads/src/dinero.rs crates/workloads/src/dotproduct.rs crates/workloads/src/m88ksim.rs crates/workloads/src/measure.rs crates/workloads/src/mipsi.rs crates/workloads/src/pnmconvol.rs crates/workloads/src/query.rs crates/workloads/src/rng.rs crates/workloads/src/romberg.rs crates/workloads/src/unrle.rs crates/workloads/src/viewperf.rs
+
+/root/repo/target/release/deps/libdyc_workloads-c69679d087f5b898.rlib: crates/workloads/src/lib.rs crates/workloads/src/binary.rs crates/workloads/src/chebyshev.rs crates/workloads/src/dinero.rs crates/workloads/src/dotproduct.rs crates/workloads/src/m88ksim.rs crates/workloads/src/measure.rs crates/workloads/src/mipsi.rs crates/workloads/src/pnmconvol.rs crates/workloads/src/query.rs crates/workloads/src/rng.rs crates/workloads/src/romberg.rs crates/workloads/src/unrle.rs crates/workloads/src/viewperf.rs
+
+/root/repo/target/release/deps/libdyc_workloads-c69679d087f5b898.rmeta: crates/workloads/src/lib.rs crates/workloads/src/binary.rs crates/workloads/src/chebyshev.rs crates/workloads/src/dinero.rs crates/workloads/src/dotproduct.rs crates/workloads/src/m88ksim.rs crates/workloads/src/measure.rs crates/workloads/src/mipsi.rs crates/workloads/src/pnmconvol.rs crates/workloads/src/query.rs crates/workloads/src/rng.rs crates/workloads/src/romberg.rs crates/workloads/src/unrle.rs crates/workloads/src/viewperf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/binary.rs:
+crates/workloads/src/chebyshev.rs:
+crates/workloads/src/dinero.rs:
+crates/workloads/src/dotproduct.rs:
+crates/workloads/src/m88ksim.rs:
+crates/workloads/src/measure.rs:
+crates/workloads/src/mipsi.rs:
+crates/workloads/src/pnmconvol.rs:
+crates/workloads/src/query.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/romberg.rs:
+crates/workloads/src/unrle.rs:
+crates/workloads/src/viewperf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/icache_effect-dc0e5c5e39daf275.d: crates/bench/src/bin/icache_effect.rs
+
+/root/repo/target/release/deps/icache_effect-dc0e5c5e39daf275: crates/bench/src/bin/icache_effect.rs
+
+crates/bench/src/bin/icache_effect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/indexed_dispatch-4ed3dc773cab52ab.d: crates/bench/src/bin/indexed_dispatch.rs
+
+/root/repo/target/release/deps/indexed_dispatch-4ed3dc773cab52ab: crates/bench/src/bin/indexed_dispatch.rs
+
+crates/bench/src/bin/indexed_dispatch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d30a7770a0162f8b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-d30a7770a0162f8b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

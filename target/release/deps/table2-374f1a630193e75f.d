@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-374f1a630193e75f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-374f1a630193e75f: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-8df37366386255e3.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-8df37366386255e3: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

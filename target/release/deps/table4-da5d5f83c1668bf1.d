@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-da5d5f83c1668bf1.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-da5d5f83c1668bf1: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -35,10 +35,13 @@ fn run_dotp(sess: &mut dyc::Session, n: i64, limit: i64) -> i64 {
         sess.mem().write_int(a + i, i % 4);
         sess.mem().write_int(b + i, 10 + i);
     }
-    sess.run("dotp", &[Value::I(a), Value::I(b), Value::I(n), Value::I(limit)])
-        .unwrap()
-        .unwrap()
-        .as_i()
+    sess.run(
+        "dotp",
+        &[Value::I(a), Value::I(b), Value::I(n), Value::I(limit)],
+    )
+    .unwrap()
+    .unwrap()
+    .as_i()
 }
 
 fn expected(n: i64) -> i64 {
@@ -60,7 +63,10 @@ fn guarded_annotation_specializes_only_small_inputs() {
     // specialization happens.
     assert_eq!(run_dotp(&mut d, 64, 16), expected(64));
     let rt = d.rt_stats().unwrap();
-    assert_eq!(rt.specializations, 1, "guarded-off path must not specialize");
+    assert_eq!(
+        rt.specializations, 1,
+        "guarded-off path must not specialize"
+    );
 }
 
 #[test]
@@ -100,7 +106,9 @@ fn value_dependent_guard() {
     d.mem().write_ints(a, &[1, 2, 3, 4, 5, 6, 7, 8]);
 
     // Power-of-two stride: specialized, multiply strength-reduced.
-    let out = d.run("scale_sum", &[Value::I(a), Value::I(8), Value::I(8)]).unwrap();
+    let out = d
+        .run("scale_sum", &[Value::I(a), Value::I(8), Value::I(8)])
+        .unwrap();
     assert_eq!(out, Some(Value::I(36 * 8)));
     let rt = d.rt_stats().unwrap();
     assert_eq!(rt.specializations, 1);
@@ -109,7 +117,9 @@ fn value_dependent_guard() {
     assert!(code.contains("shl"), "stride 8 becomes a shift:\n{code}");
 
     // Non-power-of-two stride: general path, no new specialization.
-    let out = d.run("scale_sum", &[Value::I(a), Value::I(8), Value::I(7)]).unwrap();
+    let out = d
+        .run("scale_sum", &[Value::I(a), Value::I(8), Value::I(7)])
+        .unwrap();
     assert_eq!(out, Some(Value::I(36 * 7)));
     assert_eq!(d.rt_stats().unwrap().specializations, 1);
 }

@@ -19,11 +19,17 @@ fn recursive_dynamic_region_specializes_per_depth() {
     "#;
     let p = Compiler::new().compile(src).unwrap();
     let mut d = p.dynamic_session();
-    assert_eq!(d.run("rpow", &[Value::I(3), Value::I(5)]).unwrap(), Some(Value::I(243)));
+    assert_eq!(
+        d.run("rpow", &[Value::I(3), Value::I(5)]).unwrap(),
+        Some(Value::I(243))
+    );
     let rt = d.rt_stats().unwrap();
     assert_eq!(rt.specializations, 6, "e = 5, 4, 3, 2, 1, 0");
     // Second call: every level hits the cache.
-    assert_eq!(d.run("rpow", &[Value::I(2), Value::I(5)]).unwrap(), Some(Value::I(32)));
+    assert_eq!(
+        d.run("rpow", &[Value::I(2), Value::I(5)]).unwrap(),
+        Some(Value::I(32))
+    );
     assert_eq!(d.rt_stats().unwrap().specializations, 6);
 }
 
@@ -37,9 +43,21 @@ fn float_valued_specialization_keys() {
     "#;
     let p = Compiler::new().compile(src).unwrap();
     let mut d = p.dynamic_session();
-    let a1 = d.run("area", &[Value::F(2.0), Value::F(1.0)]).unwrap().unwrap().as_f();
-    let a2 = d.run("area", &[Value::F(2.0), Value::F(5.0)]).unwrap().unwrap().as_f();
-    let a3 = d.run("area", &[Value::F(3.0), Value::F(1.0)]).unwrap().unwrap().as_f();
+    let a1 = d
+        .run("area", &[Value::F(2.0), Value::F(1.0)])
+        .unwrap()
+        .unwrap()
+        .as_f();
+    let a2 = d
+        .run("area", &[Value::F(2.0), Value::F(5.0)])
+        .unwrap()
+        .unwrap()
+        .as_f();
+    let a3 = d
+        .run("area", &[Value::F(3.0), Value::F(1.0)])
+        .unwrap()
+        .unwrap()
+        .as_f();
     assert!((a1 - (std::f64::consts::PI * 4.0 + 1.0)).abs() < 1e-3);
     assert!((a2 - a1 - 4.0).abs() < 1e-12);
     assert!(a3 > a1);
@@ -82,8 +100,12 @@ fn promote_the_same_variable_repeatedly() {
     let mut s = p.static_session();
     let mut dd = p.dynamic_session();
     for (a, b) in [(2i64, 3i64), (5, 7), (2, 7)] {
-        let sv = s.run("f", &[Value::I(a), Value::I(b), Value::I(10)]).unwrap();
-        let dv = dd.run("f", &[Value::I(a), Value::I(b), Value::I(10)]).unwrap();
+        let sv = s
+            .run("f", &[Value::I(a), Value::I(b), Value::I(10)])
+            .unwrap();
+        let dv = dd
+            .run("f", &[Value::I(a), Value::I(b), Value::I(10)])
+            .unwrap();
         assert_eq!(sv, dv);
         assert_eq!(sv, Some(Value::I(a * 10 + b * 10)));
     }
@@ -123,8 +145,14 @@ fn empty_region_and_annotation_of_unused_variable() {
     let src = "int f(int k, int d) { make_static(k); return d; }";
     let p = Compiler::new().compile(src).unwrap();
     let mut d = p.dynamic_session();
-    assert_eq!(d.run("f", &[Value::I(1), Value::I(9)]).unwrap(), Some(Value::I(9)));
-    assert_eq!(d.run("f", &[Value::I(2), Value::I(9)]).unwrap(), Some(Value::I(9)));
+    assert_eq!(
+        d.run("f", &[Value::I(1), Value::I(9)]).unwrap(),
+        Some(Value::I(9))
+    );
+    assert_eq!(
+        d.run("f", &[Value::I(2), Value::I(9)]).unwrap(),
+        Some(Value::I(9))
+    );
     // k is dead, so the dispatch key is empty after the live-variable
     // restriction ("only hash on the subset of live static variables",
     // §4.4.3)… but the cache still keys on the promoted values, so both
@@ -148,10 +176,21 @@ fn zero_propagation_nan_deviation_is_as_documented() {
     let mut s = p.static_session();
     let mut d = p.dynamic_session();
     let nan = f64::NAN;
-    let sv = s.run("f", &[Value::F(0.0), Value::F(nan)]).unwrap().unwrap().as_f();
-    let dv = d.run("f", &[Value::F(0.0), Value::F(nan)]).unwrap().unwrap().as_f();
+    let sv = s
+        .run("f", &[Value::F(0.0), Value::F(nan)])
+        .unwrap()
+        .unwrap()
+        .as_f();
+    let dv = d
+        .run("f", &[Value::F(0.0), Value::F(nan)])
+        .unwrap()
+        .unwrap()
+        .as_f();
     assert!(sv.is_nan(), "IEEE: NaN * 0.0 is NaN");
-    assert_eq!(dv, 0.0, "zero propagation assumes finite operands, as in DyC");
+    assert_eq!(
+        dv, 0.0,
+        "zero propagation assumes finite operands, as in DyC"
+    );
     // Strength reduction also clears multiplies by 0.0 ("the multiply can
     // be replaced with a clear instruction", §2.2.7); with *both*
     // value-dependent optimizations disabled, the builds agree bit for bit.
@@ -162,7 +201,11 @@ fn zero_propagation_nan_deviation_is_as_documented() {
         .unwrap();
     let p2 = Compiler::with_config(cfg).compile(src).unwrap();
     let mut d2 = p2.dynamic_session();
-    let dv2 = d2.run("f", &[Value::F(0.0), Value::F(nan)]).unwrap().unwrap().as_f();
+    let dv2 = d2
+        .run("f", &[Value::F(0.0), Value::F(nan)])
+        .unwrap()
+        .unwrap()
+        .as_f();
     assert!(dv2.is_nan());
 }
 
@@ -190,7 +233,10 @@ fn deep_static_call_chains_execute_at_compile_time() {
     "#;
     let p = Compiler::new().compile(src).unwrap();
     let mut d = p.dynamic_session();
-    assert_eq!(d.run("f", &[Value::I(5), Value::I(1)]).unwrap(), Some(Value::I(21)));
+    assert_eq!(
+        d.run("f", &[Value::I(5), Value::I(1)]).unwrap(),
+        Some(Value::I(21))
+    );
     // Only the outer call is a static call from the region's perspective;
     // the nested ones run inside it on the VM.
     assert_eq!(d.rt_stats().unwrap().static_calls, 1);

@@ -13,9 +13,10 @@ fn every_workload_region_is_correct_in_both_builds() {
         let program = Compiler::new()
             .compile(&w.source())
             .unwrap_or_else(|e| panic!("{}: {e}", m.name));
-        for (label, mut sess) in
-            [("static", program.static_session()), ("dynamic", program.dynamic_session())]
-        {
+        for (label, mut sess) in [
+            ("static", program.static_session()),
+            ("dynamic", program.dynamic_session()),
+        ] {
             sess.set_step_limit(200_000_000);
             let args = w.setup_region(&mut sess);
             let out = sess
@@ -117,7 +118,10 @@ fn ablations_change_code_shape_but_not_results() {
         let mut d = p.dynamic_session();
         let args = w.setup_region(&mut d);
         d.run("do_convol", &args).unwrap();
-        assert!(w.check_region(None, &mut d), "feature '{feature}' broke the result");
+        assert!(
+            w.check_region(None, &mut d),
+            "feature '{feature}' broke the result"
+        );
         generated.push((feature, d.rt_stats().unwrap().instrs_generated));
     }
     // Disabling DAE must generate more code than disabling, say, static
@@ -131,7 +135,9 @@ fn ablations_change_code_shape_but_not_results() {
 #[test]
 fn the_paper_example_matches_figure_four_shape() {
     // 3×3 alternating matrix, zeroes in the corners (paper Figures 2–4).
-    let p = Compiler::new().compile(dyc_workloads::pnmconvol::SOURCE).unwrap();
+    let p = Compiler::new()
+        .compile(dyc_workloads::pnmconvol::SOURCE)
+        .unwrap();
     let mut d = p.dynamic_session();
     let buf = d.alloc(200);
     for i in 0..200 {
@@ -139,7 +145,8 @@ fn the_paper_example_matches_figure_four_shape() {
     }
     let image = buf + 7; // 6 columns, half = 1
     let cm = d.alloc(9);
-    d.mem().write_floats(cm, &[0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+    d.mem()
+        .write_floats(cm, &[0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
     let out = d.alloc(36);
     d.run(
         "do_convol",

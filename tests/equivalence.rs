@@ -8,90 +8,107 @@
 //! specialization, unrolling, zero/copy propagation, dead-assignment
 //! elimination, strength reduction, promotion and the code caches may
 //! change *when* things are computed, never *what*.
+//!
+//! The programs are drawn from a fixed-seed SplitMix64 stream, so every
+//! run tests the same corpus — a failure reproduces by its case index.
 
 use dyc::{Compiler, OptConfig, Value};
-use proptest::prelude::*;
+use dyc_workloads::rng::SplitMix64;
+
+/// Random integer expression over the variables in scope.
+fn expr(rng: &mut SplitMix64, depth: u32) -> String {
+    if depth == 0 || rng.gen_range(0i64..3) == 0 {
+        return match rng.gen_range(0i64..8) {
+            0 => rng.gen_range(-20i64..20).to_string(),
+            1 => "p0".to_string(),
+            2 => "p1".to_string(),
+            3 => "p2".to_string(),
+            4 => "x".to_string(),
+            5 => "y".to_string(),
+            6 => "i".to_string(),
+            _ => "a[iabs(x) % 8]".to_string(),
+        };
+    }
+    match rng.gen_range(0i64..5) {
+        0 => {
+            let op = ["+", "-", "*"][rng.gen_range(0i64..3) as usize];
+            let l = expr(rng, depth - 1);
+            let r = expr(rng, depth - 1);
+            format!("({l} {op} {r})")
+        }
+        1 => {
+            let op = ["<", "==", ">"][rng.gen_range(0i64..3) as usize];
+            let l = expr(rng, depth - 1);
+            let r = expr(rng, depth - 1);
+            format!("({l} {op} {r})")
+        }
+        // Division guarded against zero; shifts kept small.
+        2 => format!("({} / {})", expr(rng, depth - 1), rng.gen_range(1i64..7)),
+        3 => format!("({} % {})", expr(rng, depth - 1), rng.gen_range(1i64..7)),
+        _ => format!("(0 - {})", expr(rng, depth - 1)),
+    }
+}
+
+/// Random statement (assignments, stores, prints, conditionals, loops).
+fn stmt(rng: &mut SplitMix64, depth: u32) -> String {
+    if depth == 0 || rng.gen_range(0i64..3) == 0 {
+        return match rng.gen_range(0i64..3) {
+            0 => {
+                let v = if rng.gen_range(0i64..2) == 0 {
+                    "x"
+                } else {
+                    "y"
+                };
+                format!("{v} = {};", expr(rng, 2))
+            }
+            1 => format!("a[{}] = {};", rng.gen_range(0i64..8), expr(rng, 2)),
+            _ => format!("print_int({});", expr(rng, 1)),
+        };
+    }
+    match rng.gen_range(0i64..4) {
+        // if / else
+        0 => {
+            let c = expr(rng, 1);
+            let t = stmt(rng, depth - 1);
+            let f = stmt(rng, depth - 1);
+            format!("if ({c}) {{ {t} }} else {{ {f} }}")
+        }
+        // Bounded counted loop; the counter is declared in its own
+        // scope (shadowing makes nested loops independent).
+        1 => {
+            let n = rng.gen_range(1i64..5);
+            let body = stmt(rng, depth - 1);
+            format!("{{ int t = 0; while (t < {n}) {{ i = t; {body} t = t + 1; }} }}")
+        }
+        // Internal promotion of x after a dynamic assignment.
+        2 => {
+            let e = expr(rng, 1);
+            let b = stmt(rng, depth - 1);
+            format!("x = {e}; promote(x); {b}")
+        }
+        _ => {
+            let a = stmt(rng, depth - 1);
+            let b = stmt(rng, depth - 1);
+            format!("{a} {b}")
+        }
+    }
+}
 
 /// A small random program: three int parameters (p0 is promoted to static
 /// via `make_static`), an int array, nested bounded loops, conditionals,
 /// arithmetic, and optional internal promotion.
-#[derive(Debug, Clone)]
-struct Prog {
-    src: String,
-}
-
-/// Random integer expression over the variables in scope.
-fn expr(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (-20i64..20).prop_map(|v| v.to_string()),
-        Just("p0".to_string()),
-        Just("p1".to_string()),
-        Just("p2".to_string()),
-        Just("x".to_string()),
-        Just("y".to_string()),
-        Just("i".to_string()),
-        Just("a[iabs(x) % 8]".to_string()),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"),
-            ])
-                .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("<"), Just("=="), Just(">"),
-            ])
-                .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
-            // Division guarded against zero; shifts kept small.
-            (inner.clone(), 1i64..7).prop_map(|(l, r)| format!("({l} / {r})")),
-            (inner.clone(), 1i64..7).prop_map(|(l, r)| format!("({l} % {r})")),
-            inner.clone().prop_map(|e| format!("(0 - {e})")),
-        ]
-    })
-    .boxed()
-}
-
-/// Random statement (assignments, stores, prints, conditionals, loops).
-fn stmt(depth: u32) -> BoxedStrategy<String> {
-    let simple = prop_oneof![
-        (prop_oneof![Just("x"), Just("y")], expr(2))
-            .prop_map(|(v, e)| format!("{v} = {e};")),
-        (0i64..8, expr(2)).prop_map(|(i, e)| format!("a[{i}] = {e};")),
-        expr(1).prop_map(|e| format!("print_int({e});")),
-    ];
-    simple
-        .prop_recursive(depth, 16, 4, |inner| {
-            prop_oneof![
-                // if / else
-                (expr(1), inner.clone(), inner.clone())
-                    .prop_map(|(c, t, f)| format!("if ({c}) {{ {t} }} else {{ {f} }}")),
-                // Bounded counted loop; the counter is declared in its own
-                // scope (shadowing makes nested loops independent).
-                (1i64..5, inner.clone()).prop_map(|(n, body)| {
-                    format!(
-                        "{{ int t = 0; while (t < {n}) {{ i = t; {body} t = t + 1; }} }}"
-                    )
-                }),
-                // Internal promotion of x after a dynamic assignment.
-                (expr(1), inner.clone())
-                    .prop_map(|(e, b)| format!("x = {e}; promote(x); {b}")),
-                (inner.clone(), inner).prop_map(|(a, b)| format!("{a} {b}")),
-            ]
-        })
-        .boxed()
-}
-
-fn program() -> impl Strategy<Value = Prog> {
-    (proptest::collection::vec(stmt(2), 1..5), any::<bool>()).prop_map(|(stmts, unroll_loop)| {
-        let body = stmts.join("\n            ");
-        let tail = if unroll_loop {
-            // A loop over the annotated parameter: unrolls when positive.
-            "int k = 0; int q = p0 % 5; while (k < q) { y = y + x + k; k = k + 1; }"
-        } else {
-            ""
-        };
-        let src = format!(
-            r#"
+fn program(rng: &mut SplitMix64) -> String {
+    let n = rng.gen_range(1i64..5);
+    let stmts: Vec<String> = (0..n).map(|_| stmt(rng, 2)).collect();
+    let body = stmts.join("\n            ");
+    let tail = if rng.gen_range(0i64..2) == 0 {
+        // A loop over the annotated parameter: unrolls when positive.
+        "int k = 0; int q = p0 % 5; while (k < q) { y = y + x + k; k = k + 1; }"
+    } else {
+        ""
+    };
+    format!(
+        r#"
         int f(int p0, int p1, int p2, int a[8]) {{
             int x = 0;
             int y = 0;
@@ -102,9 +119,7 @@ fn program() -> impl Strategy<Value = Prog> {
             return x * 31 + y + a[0] + i;
         }}
         "#
-        );
-        Prog { src }
-    })
+    )
 }
 
 /// Observable behavior of one run: result, printed output, final memory.
@@ -117,67 +132,80 @@ fn run_build(
     args: &[i64],
     mem_init: &[i64],
 ) -> Result<Observation, dyc::VmError> {
-    let mut sess = if dynamic { program.dynamic_session() } else { program.static_session() };
+    let mut sess = if dynamic {
+        program.dynamic_session()
+    } else {
+        program.static_session()
+    };
     sess.set_step_limit(4_000_000);
     let a = sess.alloc(8);
     sess.mem().write_ints(a, mem_init);
-    let vals: Vec<Value> =
-        args.iter().map(|v| Value::I(*v)).chain([Value::I(a)]).collect();
+    let vals: Vec<Value> = args
+        .iter()
+        .map(|v| Value::I(*v))
+        .chain([Value::I(a)])
+        .collect();
     let out = sess.run("f", &vals)?;
     let printed = sess.output().to_vec();
     let mem = sess.mem().read_ints(a, 8);
     Ok((out, printed, mem))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+fn case_inputs(rng: &mut SplitMix64) -> (i64, i64, i64, Vec<i64>) {
+    let p0 = rng.gen_range(-6i64..6);
+    let p1 = rng.gen_range(-50i64..50);
+    let p2 = rng.gen_range(-50i64..50);
+    let mem: Vec<i64> = (0..8).map(|_| rng.gen_range(-9i64..9)).collect();
+    (p0, p1, p2, mem)
+}
 
-    #[test]
-    fn static_and_dynamic_builds_agree(
-        prog in program(),
-        p0 in -6i64..6,
-        p1 in -50i64..50,
-        p2 in -50i64..50,
-        mem in proptest::collection::vec(-9i64..9, 8),
-    ) {
-        let compiled = match Compiler::new().compile(&prog.src) {
+#[test]
+fn static_and_dynamic_builds_agree() {
+    let mut rng = SplitMix64::seed_from_u64(0xE0_0001);
+    for case in 0..48 {
+        let src = program(&mut rng);
+        let (p0, p1, p2, mem) = case_inputs(&mut rng);
+        let compiled = match Compiler::new().compile(&src) {
             Ok(c) => c,
-            Err(e) => panic!("generated program failed to compile: {e}\n{}", prog.src),
+            Err(e) => panic!("case {case}: generated program failed to compile: {e}\n{src}"),
         };
         let stat = run_build(&compiled, false, &[p0, p1, p2], &mem);
         let dynm = run_build(&compiled, true, &[p0, p1, p2], &mem);
         match (stat, dynm) {
-            (Ok(s), Ok(d)) => prop_assert_eq!(s, d, "program:\n{}", prog.src),
+            (Ok(s), Ok(d)) => assert_eq!(s, d, "case {case}: program:\n{src}"),
             (Err(se), Err(de)) => {
                 // Both fault (e.g. division by zero): the *kind* must
                 // match, modulo faults surfacing at specialization time as
                 // dispatch errors.
                 let same = std::mem::discriminant(&se) == std::mem::discriminant(&de)
                     || matches!(de, dyc::VmError::Dispatch(_));
-                prop_assert!(same, "static err {:?} vs dynamic err {:?}\n{}", se, de, prog.src);
+                assert!(
+                    same,
+                    "case {case}: static err {se:?} vs dynamic err {de:?}\n{src}"
+                );
             }
-            (s, d) => prop_assert!(false, "one build faulted: {s:?} vs {d:?}\n{}", prog.src),
+            (s, d) => panic!("case {case}: one build faulted: {s:?} vs {d:?}\n{src}"),
         }
     }
+}
 
-    #[test]
-    fn every_ablation_preserves_semantics(
-        prog in program(),
-        p0 in -6i64..6,
-        p1 in -50i64..50,
-        mem in proptest::collection::vec(-9i64..9, 8),
-    ) {
+#[test]
+fn every_ablation_preserves_semantics() {
+    let mut rng = SplitMix64::seed_from_u64(0xE0_0002);
+    for case in 0..24 {
+        let src = program(&mut rng);
+        let (p0, p1, _, mem) = case_inputs(&mut rng);
         let reference = {
-            let compiled = Compiler::new().compile(&prog.src).unwrap();
+            let compiled = Compiler::new().compile(&src).unwrap();
             run_build(&compiled, false, &[p0, p1, 3], &mem).ok()
         };
         for feature in OptConfig::feature_names() {
             let cfg = OptConfig::all().without(feature).unwrap();
-            let compiled = Compiler::with_config(cfg).compile(&prog.src).unwrap();
+            let compiled = Compiler::with_config(cfg).compile(&src).unwrap();
             let got = run_build(&compiled, true, &[p0, p1, 3], &mem).ok();
-            prop_assert_eq!(
-                &reference, &got,
-                "ablation '{}' changed behavior of:\n{}", feature, prog.src
+            assert_eq!(
+                reference, got,
+                "case {case}: ablation '{feature}' changed behavior of:\n{src}"
             );
         }
     }

@@ -62,7 +62,14 @@ fn oracle_check(name: &str) {
 
 #[test]
 fn oracle_agrees_on_the_kernels() {
-    for name in ["binary", "chebyshev", "dotproduct", "query", "romberg", "unrle"] {
+    for name in [
+        "binary",
+        "chebyshev",
+        "dotproduct",
+        "query",
+        "romberg",
+        "unrle",
+    ] {
         oracle_check(name);
     }
 }

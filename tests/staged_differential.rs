@@ -1,0 +1,150 @@
+//! Differential test of the two specialization paths.
+//!
+//! The staged generating-extension executor must be a *pure* staging of
+//! the online specializer: on every benchmark it has to emit
+//! byte-identical specialized code and produce identical observable
+//! behavior — only the dynamic-compilation cycle meter (and the run-time
+//! analysis counter it retires) may move. This drives every workload in
+//! the suite through both paths and compares:
+//!
+//! * the full disassembled module after specialization (stubs + every
+//!   generated `$spec` function) — byte equality;
+//! * region results and printed output;
+//! * the run-time statistics, which must agree exactly on everything
+//!   except the cycle split and `runtime_bta_calls`;
+//! * `runtime_bta_calls` itself: **exactly zero** on the staged path
+//!   (no binding-time classification, liveness query, or loop analysis
+//!   survives to run time), strictly positive online;
+//! * dynamic-compilation overhead: strictly lower staged than online.
+
+use dyc::{Compiler, OptConfig, RtStats, Value};
+use dyc_workloads::{all, Workload};
+
+struct PathRun {
+    module_disasm: String,
+    result: Option<Value>,
+    output: Vec<Value>,
+    rt: RtStats,
+}
+
+fn run_path(w: &dyn Workload, cfg: OptConfig) -> PathRun {
+    let meta = w.meta();
+    let program = Compiler::with_config(cfg)
+        .compile(&w.source())
+        .unwrap_or_else(|e| panic!("{}: compile error: {e}", meta.name));
+    let mut sess = program.dynamic_session();
+    let args = w.setup_region(&mut sess);
+    let result = sess
+        .run(meta.region_func, &args)
+        .unwrap_or_else(|e| panic!("{}: region run failed: {e}", meta.name));
+    assert!(
+        w.check_region(result, &mut sess),
+        "{}: wrong region result",
+        meta.name
+    );
+    // A second, steady-state invocation: everything must come from the
+    // code cache on both paths.
+    w.reset(&mut sess, &args);
+    sess.run(meta.region_func, &args)
+        .unwrap_or_else(|e| panic!("{}: steady-state run failed: {e}", meta.name));
+    PathRun {
+        module_disasm: sess.disassemble_matching(""),
+        result,
+        output: sess.output().to_vec(),
+        rt: sess
+            .rt_stats()
+            .expect("dynamic session has a runtime")
+            .clone(),
+    }
+}
+
+/// Copy of the stats with the fields staging is *allowed* to change
+/// zeroed out, so the rest can be compared exactly.
+fn normalized(rt: &RtStats) -> RtStats {
+    RtStats {
+        dyncomp_cycles: 0,
+        ge_exec_cycles: 0,
+        emit_cycles: 0,
+        runtime_bta_calls: 0,
+        ..rt.clone()
+    }
+}
+
+#[test]
+fn staged_ge_is_byte_identical_and_strictly_cheaper_on_every_benchmark() {
+    let staged_cfg = OptConfig::all();
+    let online_cfg = OptConfig::all().without("staged_ge").unwrap();
+    assert!(staged_cfg.staged_ge && !online_cfg.staged_ge);
+
+    for w in all() {
+        let name = w.meta().name;
+        let staged = run_path(w.as_ref(), staged_cfg);
+        let online = run_path(w.as_ref(), online_cfg);
+
+        // Identical observable behavior.
+        assert_eq!(
+            staged.result, online.result,
+            "{name}: region results differ"
+        );
+        assert_eq!(
+            staged.output, online.output,
+            "{name}: printed output differs"
+        );
+
+        // Byte-identical code: the whole module, stubs and every
+        // dynamically generated function included.
+        assert_eq!(
+            staged.module_disasm, online.module_disasm,
+            "{name}: staged and online paths emitted different code"
+        );
+
+        // The staged path performs zero run-time analysis; the online
+        // path cannot avoid it.
+        assert_eq!(
+            staged.rt.runtime_bta_calls, 0,
+            "{name}: staged path performed run-time BTA/liveness work"
+        );
+        assert!(
+            online.rt.runtime_bta_calls > 0,
+            "{name}: online path reported no run-time analysis (counter broken?)"
+        );
+
+        // Every other statistic agrees exactly: same units, same folds,
+        // same DAE removals, same promotions, same dispatch behavior.
+        assert_eq!(
+            normalized(&staged.rt),
+            normalized(&online.rt),
+            "{name}: specialization statistics diverged"
+        );
+
+        // And staging is the cheaper way to run the generating extension.
+        assert!(
+            staged.rt.dyncomp_cycles < online.rt.dyncomp_cycles,
+            "{name}: staged overhead {} !< online overhead {}",
+            staged.rt.dyncomp_cycles,
+            online.rt.dyncomp_cycles
+        );
+        assert_eq!(
+            staged.rt.instrs_generated, online.rt.instrs_generated,
+            "{name}: generated instruction counts differ"
+        );
+    }
+}
+
+#[test]
+fn staged_ge_overhead_split_accounts_for_all_cycles() {
+    // The exec/emit split must tile the region's pre-dispatch overhead:
+    // dyncomp = ge_exec + emit + per-site install charges.
+    for w in all() {
+        let name = w.meta().name;
+        let run = run_path(w.as_ref(), OptConfig::all());
+        let install_charges = run.rt.dyncomp_cycles - run.rt.ge_exec_cycles - run.rt.emit_cycles;
+        assert!(
+            install_charges > 0,
+            "{name}: install cycles should be positive, split: {} + {} vs total {}",
+            run.rt.ge_exec_cycles,
+            run.rt.emit_cycles,
+            run.rt.dyncomp_cycles
+        );
+    }
+}
