@@ -1,0 +1,88 @@
+//! CI bench-smoke: per-workload staged dynamic-compilation overhead with
+//! the copy-and-patch split, written as `BENCH_dyncompile.json` so the
+//! perf trajectory is tracked from commit to commit.
+//!
+//! For every workload this runs one specialization under three
+//! configurations — fused (templates on), unfused (staged GE, hole by
+//! hole), and online (run-time specializer) — and records the cycle
+//! meters. The JSON is hand-rolled: the numbers are all `u64`/`f64` and
+//! a serializer dependency would be the only reason to have one.
+//!
+//! Usage: `bench_smoke [output.json]` (default `BENCH_dyncompile.json`).
+
+use dyc::{Compiler, OptConfig, RtStats};
+use dyc_workloads::{all, Workload};
+use std::fmt::Write as _;
+
+fn run_once(w: &dyn Workload, cfg: OptConfig) -> RtStats {
+    let meta = w.meta();
+    let program = Compiler::with_config(cfg)
+        .compile(&w.source())
+        .unwrap_or_else(|e| panic!("{}: compile error: {e}", meta.name));
+    let mut sess = program.dynamic_session();
+    let args = w.setup_region(&mut sess);
+    let result = sess
+        .run(meta.region_func, &args)
+        .unwrap_or_else(|e| panic!("{}: region run failed: {e}", meta.name));
+    assert!(
+        w.check_region(result, &mut sess),
+        "{}: wrong region result",
+        meta.name
+    );
+    sess.rt_stats().expect("dynamic session").clone()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_dyncompile.json".to_string());
+
+    let fused_cfg = OptConfig::all();
+    let unfused_cfg = OptConfig::all().without("template_fusion").unwrap();
+    let online_cfg = OptConfig::all().without("staged_ge").unwrap();
+
+    let mut json = String::from("{\n  \"workloads\": {\n");
+    let workloads = all();
+    for (i, w) in workloads.iter().enumerate() {
+        let name = w.meta().name;
+        let fused = run_once(w.as_ref(), fused_cfg);
+        let unfused = run_once(w.as_ref(), unfused_cfg);
+        let online = run_once(w.as_ref(), online_cfg);
+        assert_eq!(
+            fused.instrs_generated, online.instrs_generated,
+            "{name}: paths generated different code"
+        );
+        let per_instr = fused.dyncomp_cycles as f64 / fused.instrs_generated as f64;
+        println!(
+            "{name:<22} staged {:>8} cy ({per_instr:>6.1}/instr)  \
+             template copy {:>7} cy, hole patch {:>7} cy",
+            fused.dyncomp_cycles, fused.template_copy_cycles, fused.hole_patch_cycles
+        );
+        write!(
+            json,
+            "    \"{name}\": {{\n      \
+             \"instrs_generated\": {},\n      \
+             \"staged_overhead_cycles\": {},\n      \
+             \"staged_overhead_per_instr\": {per_instr:.2},\n      \
+             \"template_copy_cycles\": {},\n      \
+             \"hole_patch_cycles\": {},\n      \
+             \"template_instrs\": {},\n      \
+             \"holes_patched\": {},\n      \
+             \"unfused_overhead_cycles\": {},\n      \
+             \"online_overhead_cycles\": {}\n    }}{}\n",
+            fused.instrs_generated,
+            fused.dyncomp_cycles,
+            fused.template_copy_cycles,
+            fused.hole_patch_cycles,
+            fused.template_instrs,
+            fused.holes_patched,
+            unfused.dyncomp_cycles,
+            online.dyncomp_cycles,
+            if i + 1 == workloads.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("\nwrote {out_path}");
+}

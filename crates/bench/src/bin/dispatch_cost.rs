@@ -28,11 +28,17 @@ fn per_dispatch(func: &str, keys: &[i64]) -> f64 {
         d.run(func, &[Value::I(k), Value::I(1)]).unwrap();
     }
     let before = d.stats().dispatch_cycles;
+    let allocs_warm = d.rt_stats().unwrap().dispatch_allocs;
     let reps = 1000;
     for i in 0..reps {
         let k = keys[i % keys.len()];
         d.run(func, &[Value::I(k), Value::I(2)]).unwrap();
     }
+    assert_eq!(
+        d.rt_stats().unwrap().dispatch_allocs,
+        allocs_warm,
+        "{func}: steady-state dispatch touched the heap"
+    );
     (d.stats().dispatch_cycles - before) as f64 / reps as f64
 }
 

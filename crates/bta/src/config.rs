@@ -40,6 +40,12 @@ pub struct OptConfig {
     /// binding-time classification and liveness queries. Not a Table 5
     /// column — an escape hatch for differential testing.
     pub staged_ge: bool,
+    /// Fuse runs of shape-stable `EmitHole` ops in GE programs into
+    /// contiguous copy-and-patch templates (prebuilt instructions plus a
+    /// hole-descriptor side table). Purely a staging of the emitter: the
+    /// fused path emits byte-identical code. Not a Table 5 column — an
+    /// escape hatch for differential testing against the unfused GE path.
+    pub template_fusion: bool,
 }
 
 impl OptConfig {
@@ -56,6 +62,7 @@ impl OptConfig {
             internal_promotions: true,
             polyvariant_division: true,
             staged_ge: true,
+            template_fusion: true,
         }
     }
 
@@ -74,6 +81,7 @@ impl OptConfig {
             "internal_promotions" => c.internal_promotions = false,
             "polyvariant_division" => c.polyvariant_division = false,
             "staged_ge" => c.staged_ge = false,
+            "template_fusion" => c.template_fusion = false,
             _ => return None,
         }
         Some(c)

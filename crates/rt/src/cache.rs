@@ -19,6 +19,26 @@ pub struct Probed<T> {
     pub probes: u32,
 }
 
+/// Result of an entry-style lookup: a hit, or a reserved vacant slot the
+/// caller fills after specializing (one hash for the miss+insert pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEntry {
+    /// The key is cached.
+    Hit {
+        /// The cached specialization.
+        value: FuncId,
+        /// Slots inspected.
+        probes: u32,
+    },
+    /// The key is absent; `slot` is where it belongs.
+    Vacant {
+        /// Slot index to pass to [`DoubleHashCache::fill`].
+        slot: usize,
+        /// Slots inspected.
+        probes: u32,
+    },
+}
+
 /// An open-addressing hash table with double hashing, keyed by the values
 /// of the static variables at a promotion point.
 #[derive(Debug, Clone)]
@@ -69,7 +89,9 @@ impl DoubleHashCache {
         for w in key {
             h = h.rotate_left(13) ^ w.wrapping_mul(0xff51_afd7_ed55_8ccd);
         }
-        (((h as usize) | 1) % m) | 1
+        // `m` is always a power of two, so `(h % m) | 1` keeps the step
+        // odd without changing which residue class is probed.
+        ((h as usize) % m) | 1
     }
 
     /// Look up `key`, metering probes.
@@ -110,6 +132,47 @@ impl DoubleHashCache {
                 }
             }
         }
+    }
+
+    /// Entry-style lookup: find `key` or reserve the slot where it would
+    /// be inserted, hashing the key once. A dispatch miss followed by
+    /// specialization calls [`DoubleHashCache::fill`] with the returned
+    /// slot instead of re-hashing through [`DoubleHashCache::insert`].
+    ///
+    /// The table is grown *before* probing when the next insert would
+    /// push the load factor over 0.5, so a reserved slot stays valid
+    /// while the caller specializes.
+    pub fn lookup_or_reserve(&mut self, key: &[u64]) -> CacheEntry {
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        self.lookups += 1;
+        let m = self.slots.len();
+        let start = Self::h1(key, m);
+        let step = Self::h2(key, m);
+        let mut idx = start;
+        let mut probes = 0;
+        loop {
+            probes += 1;
+            match &self.slots[idx] {
+                None => {
+                    self.total_probes += u64::from(probes);
+                    return CacheEntry::Vacant { slot: idx, probes };
+                }
+                Some((k, v)) if k.as_slice() == key => {
+                    self.total_probes += u64::from(probes);
+                    return CacheEntry::Hit { value: *v, probes };
+                }
+                Some(_) => idx = (idx + step) % m,
+            }
+        }
+    }
+
+    /// Fill a slot reserved by [`DoubleHashCache::lookup_or_reserve`].
+    pub fn fill(&mut self, slot: usize, key: Vec<u64>, value: FuncId) {
+        debug_assert!(self.slots[slot].is_none(), "slot already filled");
+        self.slots[slot] = Some((key, value));
+        self.len += 1;
     }
 
     /// Insert (or overwrite) a specialization for `key`.
@@ -217,6 +280,84 @@ mod tests {
         let mut c = DoubleHashCache::new();
         c.insert(vec![], FuncId(3));
         assert_eq!(c.lookup(&[]).value, Some(FuncId(3)));
+    }
+
+    #[test]
+    fn grow_preserves_every_entry() {
+        let mut c = DoubleHashCache::new();
+        // Enough inserts to force several doublings from the initial 16.
+        for i in 0..500u64 {
+            c.insert(vec![i, !i], FuncId(i as u32));
+        }
+        assert!(c.slots.len() >= 1024, "table did not grow");
+        assert_eq!(c.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(c.lookup(&[i, !i]).value, Some(FuncId(i as u32)), "key {i}");
+        }
+    }
+
+    #[test]
+    fn full_table_lookup_of_absent_key_terminates() {
+        // Build a pathologically full table directly (insert() would have
+        // grown it): every slot occupied by some other key. The lookup
+        // must detect the full cycle via the probes > m guard and report
+        // a miss instead of spinning.
+        let mut c = DoubleHashCache::new();
+        let m = c.slots.len();
+        for (i, s) in c.slots.iter_mut().enumerate() {
+            *s = Some((vec![i as u64 + 1000], FuncId(i as u32)));
+        }
+        c.len = m;
+        let p = c.lookup(&[7]);
+        assert_eq!(p.value, None);
+        assert!(p.probes as usize > m, "miss path should exhaust the table");
+    }
+
+    #[test]
+    fn h2_step_is_odd_for_any_key() {
+        for key in [vec![], vec![0u64], vec![1, 2, 3], vec![u64::MAX]] {
+            for m in [16usize, 64, 1024] {
+                assert_eq!(DoubleHashCache::h2(&key, m) % 2, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_or_reserve_hits_and_fills() {
+        let mut c = DoubleHashCache::new();
+        let key = vec![4u64, 2];
+        let slot = match c.lookup_or_reserve(&key) {
+            CacheEntry::Vacant { slot, probes } => {
+                assert!(probes >= 1);
+                slot
+            }
+            CacheEntry::Hit { .. } => panic!("empty cache cannot hit"),
+        };
+        c.fill(slot, key.clone(), FuncId(9));
+        assert_eq!(c.len(), 1);
+        match c.lookup_or_reserve(&key) {
+            CacheEntry::Hit { value, .. } => assert_eq!(value, FuncId(9)),
+            CacheEntry::Vacant { .. } => panic!("filled key must hit"),
+        }
+        assert_eq!(c.lookup(&key).value, Some(FuncId(9)));
+    }
+
+    #[test]
+    fn lookup_or_reserve_grows_before_reserving() {
+        let mut c = DoubleHashCache::new();
+        for i in 0..1000u64 {
+            match c.lookup_or_reserve(&[i]) {
+                CacheEntry::Vacant { slot, .. } => c.fill(slot, vec![i], FuncId(i as u32)),
+                CacheEntry::Hit { .. } => panic!("fresh key hit"),
+            }
+        }
+        assert_eq!(c.len(), 1000);
+        // Load factor stays at or under one half, so probing always
+        // terminates at an empty slot.
+        assert!(c.slots.len() >= 2 * c.len());
+        for i in 0..1000u64 {
+            assert_eq!(c.lookup(&[i]).value, Some(FuncId(i as u32)), "key {i}");
+        }
     }
 
     #[test]

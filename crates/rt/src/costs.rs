@@ -56,6 +56,14 @@ pub struct DynCosts {
     /// Staged GE executor: interpreting one precompiled GE op (a table
     /// fetch and a jump through its discriminant).
     pub ge_op: u64,
+    /// Copying one prebuilt template instruction into the emit buffer
+    /// (the memcpy-style fast path of §2's "copy … templates"; no
+    /// per-instruction classification or construction).
+    pub template_copy: u64,
+    /// Patching one template hole: a dense-table lookup (register hole)
+    /// or a static-store read (immediate hole) plus the store into the
+    /// copied instruction.
+    pub hole_patch: u64,
 }
 
 impl DynCosts {
@@ -79,6 +87,8 @@ impl DynCosts {
             classify: 4,
             edge_plan_per_var: 2,
             ge_op: 1,
+            template_copy: 2,
+            hole_patch: 2,
         }
     }
 

@@ -24,8 +24,43 @@ use dyc_bta::OptConfig;
 use dyc_ir::inst::{Callee, Inst};
 use dyc_ir::VReg;
 use dyc_vm::{Cc, FAluOp, FuncId, IAluOp, Instr, Module, Operand, Reg, UnOp, Value, Vm, VmError};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::hash::Hash;
+
+/// A dense bitset over machine registers — the unit-local live-register
+/// set dead-assignment elimination sweeps against. Replaces the old
+/// `HashSet<Reg>` so the per-instruction DAE bookkeeping is two shifts
+/// and a mask instead of a hash.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RegSet {
+    words: Vec<u64>,
+}
+
+impl RegSet {
+    pub(crate) fn new() -> RegSet {
+        RegSet::default()
+    }
+
+    pub(crate) fn insert(&mut self, r: Reg) {
+        let (w, b) = (r as usize / 64, r as usize % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << b;
+    }
+
+    pub(crate) fn remove(&mut self, r: Reg) {
+        let (w, b) = (r as usize / 64, r as usize % 64);
+        if let Some(word) = self.words.get_mut(w) {
+            *word &= !(1 << b);
+        }
+    }
+
+    pub(crate) fn contains(&self, r: Reg) -> bool {
+        let (w, b) = (r as usize / 64, r as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+}
 
 /// A resolved operand at emit time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,23 +74,44 @@ pub(crate) enum Opnd {
 }
 
 /// One instruction in the per-unit emit buffer.
-pub(crate) struct Emitted<K> {
+pub(crate) struct Emitted {
     pub(crate) ins: Instr,
     /// Candidate for dead-assignment elimination.
     pub(crate) deletable: bool,
-    /// Branch fixup: patch the target to this unit's label afterwards.
-    pub(crate) fixup: Option<K>,
+    /// Branch fixup: patch the target to this unit id's label afterwards.
+    pub(crate) fixup: Option<u32>,
+    /// Emitted by the copy-and-patch template path (metered at template
+    /// cost, not full construction cost).
+    pub(crate) templated: bool,
+    /// Holes patched into this instruction (template path only). Kept per
+    /// instruction so the seal-time meter can charge patch work against
+    /// the instructions that survive the dead-assignment sweep, matching
+    /// the convention that `emit_instr` is only paid for survivors.
+    pub(crate) patches: u16,
 }
 
+/// Sentinel for "no register assigned yet" in the dense vreg table.
+const NO_REG: Reg = u32::MAX;
+
 /// The shared emit-time machinery, generic over the unit key.
+///
+/// Unit keys are *interned*: each distinct key hashes once and receives a
+/// dense `u32` id; labels, fixups, and the executors' worklists and
+/// instrumentation all run on ids, so the emit hot path does no further
+/// hash-map traffic. The register map is likewise a dense vector indexed
+/// by vreg number.
 pub(crate) struct Emitter<K> {
     pub(crate) cfg: OptConfig,
     /// Per-vreg float flag (move/flush selection).
     float_vreg: Vec<bool>,
     pub(crate) code: Vec<Instr>,
-    pub(crate) labels: HashMap<K, u32>,
-    fixups: Vec<(usize, K)>,
-    reg_map: HashMap<VReg, Reg>,
+    /// Unit-key interner: the only hash per unit reference.
+    key_ids: HashMap<K, u32>,
+    /// Code offset per unit id; `u32::MAX` until the unit is sealed.
+    labels: Vec<u32>,
+    fixups: Vec<(usize, u32)>,
+    /// Dense vreg → machine-register table (`NO_REG` = unassigned).
+    reg_map: Vec<Reg>,
     pub(crate) next_reg: u32,
     /// Cycles spent executing the generating extension itself.
     pub(crate) exec_cycles: u64,
@@ -65,13 +121,15 @@ pub(crate) struct Emitter<K> {
 
 impl<K: Clone + Eq + Hash> Emitter<K> {
     pub(crate) fn new(cfg: OptConfig, float_vreg: Vec<bool>) -> Emitter<K> {
+        let reg_map = vec![NO_REG; float_vreg.len()];
         Emitter {
             cfg,
             float_vreg,
             code: Vec::new(),
-            labels: HashMap::new(),
+            key_ids: HashMap::new(),
+            labels: Vec::new(),
             fixups: Vec::new(),
-            reg_map: HashMap::new(),
+            reg_map,
             next_reg: 0,
             exec_cycles: 0,
             emit_cycles: 0,
@@ -82,22 +140,47 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
         self.exec_cycles + self.emit_cycles
     }
 
+    /// Intern a unit key, returning its dense id (allocating one — and
+    /// cloning the key — only on first sight).
+    pub(crate) fn intern(&mut self, key: &K) -> u32 {
+        if let Some(&id) = self.key_ids.get(key) {
+            return id;
+        }
+        let id = self.labels.len() as u32;
+        self.key_ids.insert(key.clone(), id);
+        self.labels.push(u32::MAX);
+        id
+    }
+
+    /// Has this unit id been sealed (its code emitted and labeled)?
+    pub(crate) fn sealed(&self, id: u32) -> bool {
+        self.labels[id as usize] != u32::MAX
+    }
+
     fn is_float(&self, v: VReg) -> bool {
         self.float_vreg.get(v.0 as usize).copied().unwrap_or(false)
     }
 
     /// Pre-assign a register (dynamic pass-through parameters).
     pub(crate) fn set_reg(&mut self, v: VReg, r: Reg) {
-        self.reg_map.insert(v, r);
+        let i = v.0 as usize;
+        if i >= self.reg_map.len() {
+            self.reg_map.resize(i + 1, NO_REG);
+        }
+        self.reg_map[i] = r;
     }
 
     pub(crate) fn reg_of(&mut self, v: VReg) -> Reg {
-        if let Some(r) = self.reg_map.get(&v) {
-            return *r;
+        let i = v.0 as usize;
+        if i >= self.reg_map.len() {
+            self.reg_map.resize(i + 1, NO_REG);
+        }
+        if self.reg_map[i] != NO_REG {
+            return self.reg_map[i];
         }
         let r = self.next_reg;
         self.next_reg += 1;
-        self.reg_map.insert(v, r);
+        self.reg_map[i] = r;
         r
     }
 
@@ -126,7 +209,7 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
         &mut self,
         val: Value,
         scratch: &mut HashMap<u64, Reg>,
-        buf: &mut Vec<Emitted<K>>,
+        buf: &mut Vec<Emitted>,
     ) -> Reg {
         let key = val.key_bits();
         if let Some(r) = scratch.get(&key) {
@@ -137,6 +220,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
             ins: mov_const(r, val),
             deletable: true,
             fixup: None,
+            templated: false,
+            patches: 0,
         });
         scratch.insert(key, r);
         r
@@ -146,7 +231,7 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
         &mut self,
         o: Opnd,
         scratch: &mut HashMap<u64, Reg>,
-        buf: &mut Vec<Emitted<K>>,
+        buf: &mut Vec<Emitted>,
     ) -> Reg {
         match o {
             Opnd::R(r) => r,
@@ -163,7 +248,7 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
         dst: VReg,
         k: Opnd,
         rename: &mut HashMap<VReg, Opnd>,
-        buf: &mut Vec<Emitted<K>>,
+        buf: &mut Vec<Emitted>,
         stats: &mut RtStats,
     ) {
         if self.cfg.zero_copy_propagation {
@@ -175,6 +260,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                 ins: mov_const(r, opnd_value(k)),
                 deletable: true,
                 fixup: None,
+                templated: false,
+                patches: 0,
             });
         }
     }
@@ -184,9 +271,9 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
     pub(crate) fn flush_renames(
         &mut self,
         rename: &mut HashMap<VReg, Opnd>,
-        buf: &mut Vec<Emitted<K>>,
+        buf: &mut Vec<Emitted>,
         keep: impl Fn(VReg) -> bool,
-        mut live_regs: Option<&mut HashSet<Reg>>,
+        mut live_regs: Option<&mut RegSet>,
     ) {
         let mut entries: Vec<(VReg, Opnd)> = rename.drain().collect();
         entries.sort_by_key(|(v, _)| *v);
@@ -213,6 +300,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                 ins,
                 deletable: true,
                 fixup: None,
+                templated: false,
+                patches: 0,
             });
             if let Some(lr) = live_regs.as_deref_mut() {
                 lr.insert(r);
@@ -309,7 +398,7 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
         store: &mut Store,
         rename: &mut HashMap<VReg, Opnd>,
         scratch: &mut HashMap<u64, Reg>,
-        buf: &mut Vec<Emitted<K>>,
+        buf: &mut Vec<Emitted>,
         costs: &DynCosts,
         stats: &mut RtStats,
     ) {
@@ -346,6 +435,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                     ins,
                     deletable: true,
                     fixup: None,
+                    templated: false,
+                    patches: 0,
                 });
             }
             rename.remove(&d);
@@ -363,6 +454,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                         ins: Instr::MovI { dst: r, imm: *v },
                         deletable: true,
                         fixup: None,
+                        templated: false,
+                        patches: 0,
                     });
                 }
             }
@@ -375,6 +468,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                         ins: Instr::MovF { dst: r, imm: *v },
                         deletable: true,
                         fixup: None,
+                        templated: false,
+                        patches: 0,
                     });
                 }
             }
@@ -401,6 +496,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                                 ins,
                                 deletable: true,
                                 fixup: None,
+                                templated: false,
+                                patches: 0,
                             });
                         }
                     }
@@ -414,6 +511,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                                 ins: mov_const(r, opnd_value(k)),
                                 deletable: true,
                                 fixup: None,
+                                templated: false,
+                                patches: 0,
                             });
                         }
                     }
@@ -450,6 +549,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                         },
                         deletable: true,
                         fixup: None,
+                        templated: false,
+                        patches: 0,
                     });
                 }
                 (Opnd::KI(x), Opnd::R(y)) => {
@@ -463,6 +564,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                         },
                         deletable: true,
                         fixup: None,
+                        templated: false,
+                        patches: 0,
                     });
                 }
                 (x, y) => {
@@ -478,6 +581,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                         },
                         deletable: true,
                         fixup: None,
+                        templated: false,
+                        patches: 0,
                     });
                 }
             },
@@ -504,6 +609,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                         },
                         deletable: true,
                         fixup: None,
+                        templated: false,
+                        patches: 0,
                     });
                 }
             }
@@ -518,6 +625,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                         },
                         deletable: true,
                         fixup: None,
+                        templated: false,
+                        patches: 0,
                     });
                 }
                 k => {
@@ -558,6 +667,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                     },
                     deletable: true,
                     fixup: None,
+                    templated: false,
+                    patches: 0,
                 });
             }
             Inst::Store { ty, .. } => {
@@ -584,6 +695,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                     },
                     deletable: false,
                     fixup: None,
+                    templated: false,
+                    patches: 0,
                 });
             }
             Inst::Call { callee, dst, .. } => {
@@ -608,6 +721,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                     ins,
                     deletable: false,
                     fixup: None,
+                    templated: false,
+                    patches: 0,
                 });
             }
             _ => unreachable!("annotations handled by the caller"),
@@ -623,7 +738,7 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
         rb: Opnd,
         rename: &mut HashMap<VReg, Opnd>,
         scratch: &mut HashMap<u64, Reg>,
-        buf: &mut Vec<Emitted<K>>,
+        buf: &mut Vec<Emitted>,
         costs: &DynCosts,
         stats: &mut RtStats,
     ) {
@@ -683,6 +798,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                         ins,
                         deletable: true,
                         fixup: None,
+                        templated: false,
+                        patches: 0,
                     });
                     return;
                 }
@@ -703,6 +820,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                             },
                             deletable: true,
                             fixup: None,
+                            templated: false,
+                            patches: 0,
                         });
                         return;
                     }
@@ -729,6 +848,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                             },
                             deletable: true,
                             fixup: None,
+                            templated: false,
+                            patches: 0,
                         });
                         buf.push(Emitted {
                             ins: Instr::IAlu {
@@ -739,6 +860,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                             },
                             deletable: true,
                             fixup: None,
+                            templated: false,
+                            patches: 0,
                         });
                         return;
                     }
@@ -757,6 +880,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                 },
                 deletable: true,
                 fixup: None,
+                templated: false,
+                patches: 0,
             });
             return;
         }
@@ -776,12 +901,14 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
             },
             deletable: true,
             fixup: None,
+            templated: false,
+            patches: 0,
         });
     }
 
     /// Truncating (C-semantics) signed division by a power of two:
     /// bias negative dividends before shifting.
-    fn emit_div_pow2(&mut self, a: Reg, k: i64, n: i64, dst: Reg, buf: &mut Vec<Emitted<K>>) {
+    fn emit_div_pow2(&mut self, a: Reg, k: i64, n: i64, dst: Reg, buf: &mut Vec<Emitted>) {
         let sign = self.fresh_reg();
         let bias = self.fresh_reg();
         let sum = self.fresh_reg();
@@ -794,6 +921,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
             },
             deletable: true,
             fixup: None,
+            templated: false,
+            patches: 0,
         });
         buf.push(Emitted {
             ins: Instr::IAlu {
@@ -804,6 +933,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
             },
             deletable: true,
             fixup: None,
+            templated: false,
+            patches: 0,
         });
         buf.push(Emitted {
             ins: Instr::IAlu {
@@ -814,6 +945,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
             },
             deletable: true,
             fixup: None,
+            templated: false,
+            patches: 0,
         });
         buf.push(Emitted {
             ins: Instr::IAlu {
@@ -824,6 +957,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
             },
             deletable: true,
             fixup: None,
+            templated: false,
+            patches: 0,
         });
     }
 
@@ -836,7 +971,7 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
         rb: Opnd,
         rename: &mut HashMap<VReg, Opnd>,
         scratch: &mut HashMap<u64, Reg>,
-        buf: &mut Vec<Emitted<K>>,
+        buf: &mut Vec<Emitted>,
         costs: &DynCosts,
         stats: &mut RtStats,
     ) {
@@ -896,6 +1031,8 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                         ins,
                         deletable: true,
                         fixup: None,
+                        templated: false,
+                        patches: 0,
                     });
                     return;
                 }
@@ -913,32 +1050,36 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
             },
             deletable: true,
             fixup: None,
+            templated: false,
+            patches: 0,
         });
     }
 
     fn dae_sweep(
         &mut self,
-        buf: Vec<Emitted<K>>,
-        mut live: HashSet<Reg>,
+        buf: Vec<Emitted>,
+        mut live: RegSet,
         stats: &mut RtStats,
-    ) -> Vec<Emitted<K>> {
+    ) -> Vec<Emitted> {
         if !self.cfg.dead_assignment_elimination {
             return buf;
         }
-        let mut keep_rev: Vec<Emitted<K>> = Vec::with_capacity(buf.len());
+        let mut keep_rev: Vec<Emitted> = Vec::with_capacity(buf.len());
         for e in buf.into_iter().rev() {
             if e.deletable {
                 if let Some(d) = e.ins.def() {
-                    if !live.contains(&d) {
+                    if !live.contains(d) {
                         stats.dae_removed += 1;
                         continue;
                     }
                 }
             }
             if let Some(d) = e.ins.def() {
-                live.remove(&d);
+                live.remove(d);
             }
-            live.extend(e.ins.uses());
+            for u in e.ins.uses() {
+                live.insert(u);
+            }
             keep_rev.push(e);
         }
         keep_rev.reverse();
@@ -947,35 +1088,47 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
 
     /// Finish a unit: run the dead-assignment sweep (§2.2.7), record the
     /// unit's label, and append the surviving instructions with their
-    /// branch fixups.
+    /// branch fixups. Emission work is metered here, against survivors
+    /// only — the cost model treats instructions the sweep deletes as
+    /// free (their removal is what `dae_check` pays for). Constructed
+    /// instructions pay `emit_instr`; template-copied instructions pay
+    /// `template_copy` plus `hole_patch` per patched hole, which is what
+    /// makes copy-and-patch the cheaper path per generated instruction.
     pub(crate) fn seal_unit(
         &mut self,
-        key: K,
-        buf: Vec<Emitted<K>>,
-        live_regs: HashSet<Reg>,
+        id: u32,
+        buf: Vec<Emitted>,
+        live_regs: RegSet,
         costs: &DynCosts,
         stats: &mut RtStats,
     ) {
         self.exec_cycles += costs.dae_check * buf.len() as u64;
         let kept = self.dae_sweep(buf, live_regs, stats);
         let label = self.code.len() as u32;
-        self.labels.insert(key, label);
+        self.labels[id as usize] = label;
         for e in kept {
             if let Some(fk) = e.fixup {
                 self.fixups.push((self.code.len(), fk));
             }
             self.code.push(e.ins);
-            self.emit_cycles += costs.emit_instr;
+            if e.templated {
+                let patch = costs.hole_patch * u64::from(e.patches);
+                self.emit_cycles += costs.template_copy + patch;
+                stats.template_copy_cycles += costs.template_copy;
+                stats.hole_patch_cycles += patch;
+                stats.template_instrs += 1;
+                stats.holes_patched += u64::from(e.patches);
+            } else {
+                self.emit_cycles += costs.emit_instr;
+            }
         }
     }
 
     /// Patch every recorded branch target once all units are emitted.
     pub(crate) fn patch_fixups(&mut self, costs: &DynCosts) {
         for (at, key) in std::mem::take(&mut self.fixups) {
-            let dest = *self
-                .labels
-                .get(&key)
-                .expect("all units emitted before patching");
+            let dest = self.labels[key as usize];
+            debug_assert!(dest != u32::MAX, "all units emitted before patching");
             match &mut self.code[at] {
                 Instr::Jmp { target } | Instr::Brz { target, .. } | Instr::Brnz { target, .. } => {
                     *target = dest;

@@ -12,8 +12,11 @@
 //! pre-optimized templates"):
 //!
 //! * executing `Eval` ops against the static store and live VM state,
-//! * filling holes while emitting `EmitHole` templates (with dynamic
-//!   zero/copy propagation and strength reduction on the actual values),
+//! * copying fused `EmitTemplate` runs — `extend_from_slice` plus a hole-
+//!   patch loop — after checking their value guards,
+//! * filling holes while emitting unfused `EmitHole` templates (with
+//!   dynamic zero/copy propagation and strength reduction on the actual
+//!   values),
 //! * folding `StaticBr`/`StaticSwitch` on store values — complete loop
 //!   unrolling — and memoizing units by `(division, value vector)`,
 //! * materializing demotions listed in the precomputed `EdgePlan`s.
@@ -21,12 +24,19 @@
 //! It performs **zero** run-time binding-time classifications or liveness
 //! queries (`RtStats::runtime_bta_calls` stays untouched here) and emits
 //! code byte-identical to the online path, because all value-dependent
-//! machinery is the shared [`Emitter`], driven in the same order.
+//! machinery is the shared [`Emitter`], driven in the same order. Units
+//! are interned to dense ids on first sight, so the worklist, labels, and
+//! edge instrumentation do no repeated key hashing.
 
-use crate::emitter::{mov_const, opnd_value, Emitted, Emitter, Opnd};
+use crate::costs::DynCosts;
+use crate::emitter::{mov_const, opnd_value, Emitted, Emitter, Opnd, RegSet};
 use crate::runtime::{Runtime, Site, Store};
+use crate::stats::RtStats;
 use dyc_ir::{BlockId, VReg};
-use dyc_stage::{EdgePlan, GeDivision, GeFunc, GeOp, GeTerm};
+use dyc_stage::{
+    ibin_special_case, AbsAlias, EdgePlan, GeDivision, GeFunc, GeOp, GeTerm, Guard, PatchOp, Slot,
+    Template,
+};
 use dyc_vm::{Cc, FuncId, Instr, Module, Operand, Reg, Value, Vm, VmError};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -53,12 +63,15 @@ pub(crate) struct GeExecutor {
     gef: Arc<GeFunc>,
     fidx: usize,
     em: Emitter<GeKey>,
-    worklist: Vec<(GeKey, Store)>,
+    worklist: Vec<(u32, Store)>,
     budget: u64,
+    /// Division of each interned unit id (parallel to the emitter's
+    /// label table).
+    unit_division: Vec<u32>,
     // Instrumentation (mirrors the online specializer exactly).
-    header_units: HashMap<BlockId, HashSet<GeKey>>,
-    unit_edges: Vec<(GeKey, GeKey)>,
-    cur_unit: Option<GeKey>,
+    header_units: HashMap<BlockId, HashSet<u32>>,
+    unit_edges: Vec<(u32, u32)>,
+    cur_unit: Option<u32>,
     division_sets: HashMap<BlockId, HashSet<Vec<u32>>>,
 }
 
@@ -83,6 +96,7 @@ impl GeExecutor {
             em: Emitter::new(rt.staged.cfg, gef.float_vreg.clone()),
             worklist: Vec::new(),
             budget: rt.spec_budget,
+            unit_division: Vec::new(),
             header_units: HashMap::new(),
             unit_edges: Vec::new(),
             cur_unit: None,
@@ -102,13 +116,13 @@ impl GeExecutor {
         }
         ex.em.next_reg = dyn_params.len() as u32;
 
-        let entry = ge_key(division, &store);
+        let entry = ex.unit_id(division, &store);
         ex.worklist.push((entry, store));
-        while let Some((key, st)) = ex.worklist.pop() {
-            if ex.em.labels.contains_key(&key) {
+        while let Some((id, st)) = ex.worklist.pop() {
+            if ex.em.sealed(id) {
                 continue;
             }
-            ex.emit_chain(key, st, rt, module, vm)?;
+            ex.emit_chain(id, st, rt, module, vm)?;
         }
 
         ex.em.patch_fixups(&rt.costs);
@@ -137,17 +151,32 @@ impl GeExecutor {
         Ok(module.add_func(cf))
     }
 
+    /// Intern the unit `(division, store values)`, recording the id's
+    /// division on first sight.
+    fn unit_id(&mut self, division: u32, store: &Store) -> u32 {
+        let key = ge_key(division, store);
+        let id = self.em.intern(&key);
+        if id as usize == self.unit_division.len() {
+            self.unit_division.push(division);
+        }
+        id
+    }
+
+    fn division_of(&self, id: u32) -> u32 {
+        self.unit_division[id as usize]
+    }
+
     fn emit_chain(
         &mut self,
-        key: GeKey,
+        id: u32,
         store: Store,
         rt: &mut Runtime,
         module: &mut Module,
         vm: &mut Vm,
     ) -> Result<(), VmError> {
-        let mut cur = Some((key, store));
-        while let Some((key, store)) = cur.take() {
-            if self.em.labels.contains_key(&key) {
+        let mut cur = Some((id, store));
+        while let Some((id, store)) = cur.take() {
+            if self.em.sealed(id) {
                 break;
             }
             if self.em.code.len() as u64 > self.budget {
@@ -156,17 +185,14 @@ impl GeExecutor {
                         .into(),
                 ));
             }
-            let d = &self.gef.divisions[key.division as usize];
+            let d = &self.gef.divisions[self.division_of(id) as usize];
             let block = d.block;
             if self.gef.loop_headers.contains(&block) && !d.vars.is_empty() {
-                self.header_units
-                    .entry(block)
-                    .or_default()
-                    .insert(key.clone());
+                self.header_units.entry(block).or_default().insert(id);
             }
             let var_set: Vec<u32> = d.vars.iter().map(|v| v.0).collect();
             self.division_sets.entry(block).or_default().insert(var_set);
-            cur = self.emit_unit(key, store, rt, module, vm)?;
+            cur = self.emit_unit(id, store, rt, module, vm)?;
         }
         Ok(())
     }
@@ -174,20 +200,26 @@ impl GeExecutor {
     #[allow(clippy::too_many_lines)]
     fn emit_unit(
         &mut self,
-        key: GeKey,
+        id: u32,
         mut store: Store,
         rt: &mut Runtime,
         module: &mut Module,
         vm: &mut Vm,
-    ) -> Result<Option<(GeKey, Store)>, VmError> {
-        let d: GeDivision = self.gef.divisions[key.division as usize].clone();
-        self.cur_unit = Some(key.clone());
+    ) -> Result<Option<(u32, Store)>, VmError> {
+        let d: GeDivision = self.gef.divisions[self.division_of(id) as usize].clone();
+        self.cur_unit = Some(id);
         let mut rename: HashMap<VReg, Opnd> = HashMap::new();
         let mut scratch: HashMap<u64, Reg> = HashMap::new();
-        let mut buf: Vec<Emitted<GeKey>> = Vec::new();
+        let mut buf: Vec<Emitted> = Vec::new();
         let costs = rt.costs;
         self.em.exec_cycles += costs.per_unit;
         rt.stats.units_emitted += 1;
+        // Set to false by the first failed template guard: a value hit an
+        // emit-time special case the templates preassumed away, so the
+        // concrete rename state diverges from what later templates were
+        // compiled against. The rest of the unit then re-emits every
+        // template's `fallback` ops per-instruction (the pre-fusion path).
+        let mut templates_ok = true;
 
         for op in &d.ops {
             // One table fetch + dispatch per precompiled GE op — the whole
@@ -228,15 +260,27 @@ impl GeExecutor {
                             ins: mov_const(r, val),
                             deletable: true,
                             fixup: None,
+                            templated: false,
+                            patches: 0,
                         });
                     }
                 }
+                GeOp::EmitTemplate(t) => self.exec_template(
+                    t,
+                    &mut templates_ok,
+                    &mut store,
+                    &mut rename,
+                    &mut scratch,
+                    &mut buf,
+                    &costs,
+                    &mut rt.stats,
+                ),
             }
         }
 
         // Regs that must survive the unit (for dead-assignment elimination).
-        let mut live_regs: HashSet<Reg> = HashSet::new();
-        let mut chain: Option<(GeKey, Store)> = None;
+        let mut live_regs = RegSet::new();
+        let mut chain: Option<(u32, Store)> = None;
 
         if let GeTerm::Promote(p) = &d.term {
             // Internal dynamic-to-static promotion, fully precomputed: the
@@ -257,10 +301,14 @@ impl GeExecutor {
                 arg_vars: p.args.clone(),
                 policy: p.policy,
                 division: Some(p.resume_division),
+                key_pos: Vec::new(),
+                dyn_pos: Vec::new(),
             });
             self.em.exec_cycles += costs.new_site;
             let args: Vec<Reg> = p.args.iter().map(|v| self.em.reg_of(*v)).collect();
-            live_regs.extend(args.iter().copied());
+            for r in &args {
+                live_regs.insert(*r);
+            }
             let dst = self.gef.ret_has_value.then(|| self.em.fresh_reg());
             buf.push(Emitted {
                 ins: Instr::Dispatch {
@@ -270,11 +318,15 @@ impl GeExecutor {
                 },
                 deletable: false,
                 fixup: None,
+                templated: false,
+                patches: 0,
             });
             buf.push(Emitted {
                 ins: Instr::Ret { src: dst },
                 deletable: false,
                 fixup: None,
+                templated: false,
+                patches: 0,
             });
         } else {
             // Terminator: precomputed flush/keep sets, then the edge plans.
@@ -317,26 +369,30 @@ impl GeExecutor {
                         }
                         Opnd::R(r) => {
                             live_regs.insert(r);
-                            let (key_t, store_t) =
+                            let (id_t, store_t) =
                                 self.apply_edge(t, &store, &mut buf, &mut live_regs);
-                            let (key_f, store_f) =
+                            let (id_f, store_f) =
                                 self.apply_edge(f, &store, &mut buf, &mut live_regs);
                             buf.push(Emitted {
                                 ins: Instr::Brnz { cond: r, target: 0 },
                                 deletable: false,
-                                fixup: Some(key_t.clone()),
+                                fixup: Some(id_t),
+                                templated: false,
+                                patches: 0,
                             });
-                            if !self.em.labels.contains_key(&key_t) {
-                                self.worklist.push((key_t, store_t));
+                            if !self.em.sealed(id_t) {
+                                self.worklist.push((id_t, store_t));
                             }
-                            if self.em.labels.contains_key(&key_f) {
+                            if self.em.sealed(id_f) {
                                 buf.push(Emitted {
                                     ins: Instr::Jmp { target: 0 },
                                     deletable: false,
-                                    fixup: Some(key_f),
+                                    fixup: Some(id_f),
+                                    templated: false,
+                                    patches: 0,
                                 });
                             } else {
-                                chain = Some((key_f, store_f));
+                                chain = Some((id_f, store_f));
                             }
                         }
                     }
@@ -365,7 +421,7 @@ impl GeExecutor {
                             live_regs.insert(r);
                             let tmp = self.em.fresh_reg();
                             for (k, plan) in cases {
-                                let (key, st) =
+                                let (cid, st) =
                                     self.apply_edge(plan, &store, &mut buf, &mut live_regs);
                                 buf.push(Emitted {
                                     ins: Instr::ICmp {
@@ -376,6 +432,8 @@ impl GeExecutor {
                                     },
                                     deletable: false,
                                     fixup: None,
+                                    templated: false,
+                                    patches: 0,
                                 });
                                 buf.push(Emitted {
                                     ins: Instr::Brnz {
@@ -383,22 +441,26 @@ impl GeExecutor {
                                         target: 0,
                                     },
                                     deletable: false,
-                                    fixup: Some(key.clone()),
+                                    fixup: Some(cid),
+                                    templated: false,
+                                    patches: 0,
                                 });
-                                if !self.em.labels.contains_key(&key) {
-                                    self.worklist.push((key, st));
+                                if !self.em.sealed(cid) {
+                                    self.worklist.push((cid, st));
                                 }
                             }
-                            let (key_d, store_d) =
+                            let (id_d, store_d) =
                                 self.apply_edge(default, &store, &mut buf, &mut live_regs);
-                            if self.em.labels.contains_key(&key_d) {
+                            if self.em.sealed(id_d) {
                                 buf.push(Emitted {
                                     ins: Instr::Jmp { target: 0 },
                                     deletable: false,
-                                    fixup: Some(key_d),
+                                    fixup: Some(id_d),
+                                    templated: false,
+                                    patches: 0,
                                 });
                             } else {
-                                chain = Some((key_d, store_d));
+                                chain = Some((id_d, store_d));
                             }
                         }
                     }
@@ -412,6 +474,8 @@ impl GeExecutor {
                                 ins: mov_const(r, opnd_value(k)),
                                 deletable: false,
                                 fixup: None,
+                                templated: false,
+                                patches: 0,
                             });
                             r
                         }
@@ -423,28 +487,151 @@ impl GeExecutor {
                         ins: Instr::Ret { src },
                         deletable: false,
                         fixup: None,
+                        templated: false,
+                        patches: 0,
                     });
                 }
                 GeTerm::Promote(_) => unreachable!("handled above"),
             }
         }
 
-        self.em
-            .seal_unit(key, buf, live_regs, &costs, &mut rt.stats);
+        self.em.seal_unit(id, buf, live_regs, &costs, &mut rt.stats);
         Ok(chain)
+    }
+
+    /// Execute one fused template: check its value guards, copy the
+    /// prebuilt instruction block wholesale, replay the patch list, and
+    /// apply the run's net rename/store effects. On a failed guard — or
+    /// any earlier failure in this unit — re-emit the template's original
+    /// ops per-instruction instead (the exact pre-fusion path).
+    #[allow(clippy::too_many_arguments)]
+    fn exec_template(
+        &mut self,
+        t: &Template,
+        templates_ok: &mut bool,
+        store: &mut Store,
+        rename: &mut HashMap<VReg, Opnd>,
+        scratch: &mut HashMap<u64, Reg>,
+        buf: &mut Vec<Emitted>,
+        costs: &DynCosts,
+        stats: &mut RtStats,
+    ) {
+        if *templates_ok {
+            for g in &t.guards {
+                let Guard::IBinFoldFree { op, var } = g;
+                let k = store[var].as_i();
+                if ibin_special_case(
+                    self.em.cfg.zero_copy_propagation,
+                    self.em.cfg.strength_reduction,
+                    *op,
+                    k,
+                ) {
+                    stats.template_fallbacks += 1;
+                    *templates_ok = false;
+                    break;
+                }
+            }
+            if *templates_ok {
+                // The guard pass replaces the emitter's per-op special-case
+                // checks, so it is charged at the same rate — but only on
+                // success: when a guard fails, the fallback's `emit_dynamic`
+                // redoes (and re-charges) the same classification, so the
+                // failed attempt must not pay for it twice.
+                self.em.exec_cycles += costs.opt_check * t.guards.len() as u64;
+            }
+        }
+        if !*templates_ok {
+            for (i, (inst, reads_after)) in t.fallback.iter().enumerate() {
+                // Interpreting the constituent ops individually replaces
+                // the template op's own `ge_op` charge (already paid by the
+                // op loop), so the first one rides on that.
+                if i > 0 {
+                    self.em.exec_cycles += costs.ge_op;
+                }
+                let rl = |v: VReg| reads_after.binary_search(&v).is_ok();
+                self.em
+                    .emit_dynamic(inst, &rl, store, rename, scratch, buf, costs, stats);
+            }
+            return;
+        }
+
+        // Copy: one contiguous extend into the unit buffer. The copy and
+        // patch work is metered at seal time against the instructions
+        // that survive the dead-assignment sweep (see
+        // `Emitter::seal_unit`), so here each instruction only records
+        // how many holes were patched into it.
+        let base = buf.len();
+        buf.extend(t.instrs.iter().map(|ti| Emitted {
+            ins: ti.ins.clone(),
+            deletable: ti.deletable,
+            fixup: None,
+            templated: true,
+            patches: 0,
+        }));
+
+        // Patch: registers through the first-touch allocator (in the same
+        // order the unfused path would touch them), immediates from the
+        // static store.
+        for p in &t.patches {
+            match p {
+                PatchOp::Touch { v } => {
+                    self.em.reg_of(*v);
+                }
+                PatchOp::Reg { at, slot, v } => {
+                    let r = self.em.reg_of(*v);
+                    let e = &mut buf[base + *at as usize];
+                    patch_reg(&mut e.ins, *slot, r);
+                    e.patches += 1;
+                }
+                PatchOp::ImmI { at, slot, var } => {
+                    let k = store[var].as_i();
+                    let e = &mut buf[base + *at as usize];
+                    patch_imm_i(&mut e.ins, *slot, k);
+                    e.patches += 1;
+                }
+                PatchOp::ImmF { at, var } => {
+                    let k = store[var].as_f();
+                    let e = &mut buf[base + *at as usize];
+                    patch_imm_f(&mut e.ins, k);
+                    e.patches += 1;
+                }
+            }
+        }
+
+        // Net bookkeeping of the whole run: kills first, then inserts
+        // (which may read the pre-kill store), then store removals.
+        for v in &t.effects.rename_kill {
+            rename.remove(v);
+        }
+        for (v, a) in &t.effects.rename_set {
+            let o = match a {
+                AbsAlias::Reg(w) => Opnd::R(self.em.reg_of(*w)),
+                AbsAlias::LitI(k) => Opnd::KI(*k),
+                AbsAlias::LitF(k) => Opnd::KF(*k),
+                AbsAlias::FromStore(w) => match store[w] {
+                    Value::I(i) => Opnd::KI(i),
+                    Value::F(f) => Opnd::KF(f),
+                },
+            };
+            rename.insert(*v, o);
+        }
+        for v in &t.effects.store_kill {
+            store.remove(v);
+        }
+        stats.zero_copy_folds += t.zcp_folds;
     }
 
     /// Apply a precomputed edge plan: materialize the planned demotions
     /// (values cross into run time here), build the successor's store from
-    /// the carry list, and form its unit key. The per-variable *decisions*
+    /// the carry list, and form its unit id. The per-variable *decisions*
     /// were all taken at static compile time.
     fn apply_edge(
         &mut self,
         plan: &EdgePlan,
         store: &Store,
-        buf: &mut Vec<Emitted<GeKey>>,
-        live_regs: &mut HashSet<Reg>,
-    ) -> (GeKey, Store) {
+        buf: &mut Vec<Emitted>,
+        live_regs: &mut RegSet,
+    ) -> (u32, Store) {
         // carry and demote are each sorted by variable; the online path
         // interleaves them in one sorted walk of the store, and demotions
         // are the only ones that emit code — so emitting all demotions in
@@ -456,15 +643,17 @@ impl GeExecutor {
                 ins: mov_const(r, val),
                 deletable: true,
                 fixup: None,
+                templated: false,
+                patches: 0,
             });
             live_regs.insert(r);
         }
         let out: Store = plan.carry.iter().map(|v| (*v, store[v])).collect();
-        let key = ge_key(plan.target, &out);
-        if let Some(from) = &self.cur_unit {
-            self.unit_edges.push((from.clone(), key.clone()));
+        let id = self.unit_id(plan.target, &out);
+        if let Some(from) = self.cur_unit {
+            self.unit_edges.push((from, id));
         }
-        (key, out)
+        (id, out)
     }
 
     /// Take an unconditional edge: tail-continue if the target is fresh,
@@ -473,59 +662,61 @@ impl GeExecutor {
         &mut self,
         plan: &EdgePlan,
         store: &Store,
-        buf: &mut Vec<Emitted<GeKey>>,
-        live_regs: &mut HashSet<Reg>,
-    ) -> Option<(GeKey, Store)> {
-        let (key, st) = self.apply_edge(plan, store, buf, live_regs);
-        if self.em.labels.contains_key(&key) {
+        buf: &mut Vec<Emitted>,
+        live_regs: &mut RegSet,
+    ) -> Option<(u32, Store)> {
+        let (id, st) = self.apply_edge(plan, store, buf, live_regs);
+        if self.em.sealed(id) {
             buf.push(Emitted {
                 ins: Instr::Jmp { target: 0 },
                 deletable: false,
-                fixup: Some(key),
+                fixup: Some(id),
+                templated: false,
+                patches: 0,
             });
             None
         } else {
-            Some((key, st))
+            Some((id, st))
         }
     }
 
     /// Multi-way-unroll classification over the emitted unit graph —
     /// identical in structure to the online specializer's, with blocks
     /// read off the divisions.
-    fn loop_is_multiway(&self, header: BlockId, units: &HashSet<GeKey>) -> bool {
+    fn loop_is_multiway(&self, header: BlockId, units: &HashSet<u32>) -> bool {
         let Some(l) = self.gef.loops.iter().find(|l| l.header == header) else {
             return false;
         };
-        let block_of = |k: &GeKey| self.gef.divisions[k.division as usize].block;
-        let mut succs: HashMap<&GeKey, Vec<&GeKey>> = HashMap::new();
-        let mut in_deg: HashMap<&GeKey, u32> = HashMap::new();
+        let block_of = |id: u32| self.gef.divisions[self.division_of(id) as usize].block;
+        let mut succs: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut in_deg: HashMap<u32, u32> = HashMap::new();
         for (from, to) in &self.unit_edges {
-            if !l.body.contains(&block_of(from)) {
+            if !l.body.contains(&block_of(*from)) {
                 continue;
             }
             if units.contains(to) {
-                *in_deg.entry(to).or_insert(0) += 1;
+                *in_deg.entry(*to).or_insert(0) += 1;
             }
-            succs.entry(from).or_default().push(to);
+            succs.entry(*from).or_default().push(*to);
         }
         if in_deg.values().any(|d| *d >= 2) {
             return true;
         }
         for k in units {
-            let mut reached: HashSet<&GeKey> = HashSet::new();
-            let mut seen: HashSet<&GeKey> = HashSet::new();
-            let mut stack: Vec<&GeKey> = vec![k];
+            let mut reached: HashSet<u32> = HashSet::new();
+            let mut seen: HashSet<u32> = HashSet::new();
+            let mut stack: Vec<u32> = vec![*k];
             while let Some(u) = stack.pop() {
-                for v in succs.get(u).map(Vec::as_slice).unwrap_or(&[]) {
-                    if !l.body.contains(&block_of(v)) {
+                for v in succs.get(&u).map(Vec::as_slice).unwrap_or(&[]) {
+                    if !l.body.contains(&block_of(*v)) {
                         continue;
                     }
-                    if units.contains(*v) {
-                        reached.insert(v);
+                    if units.contains(v) {
+                        reached.insert(*v);
                         continue;
                     }
-                    if seen.insert(v) {
-                        stack.push(v);
+                    if seen.insert(*v) {
+                        stack.push(*v);
                     }
                 }
             }
@@ -534,5 +725,101 @@ impl GeExecutor {
             }
         }
         false
+    }
+}
+
+/// Write register `r` into `slot` of a template instruction.
+fn patch_reg(ins: &mut Instr, slot: Slot, r: Reg) {
+    match (&mut *ins, slot) {
+        (
+            Instr::Mov { dst, .. }
+            | Instr::FMov { dst, .. }
+            | Instr::MovI { dst, .. }
+            | Instr::MovF { dst, .. }
+            | Instr::IAlu { dst, .. }
+            | Instr::FAlu { dst, .. }
+            | Instr::ICmp { dst, .. }
+            | Instr::FCmp { dst, .. }
+            | Instr::Un { dst, .. }
+            | Instr::Load { dst, .. },
+            Slot::Dst,
+        ) => *dst = r,
+        (Instr::Call { dst, .. } | Instr::CallHost { dst, .. }, Slot::Dst) => *dst = Some(r),
+        (
+            Instr::Mov { src, .. }
+            | Instr::FMov { src, .. }
+            | Instr::Un { src, .. }
+            | Instr::Store { src, .. },
+            Slot::Src,
+        ) => *src = r,
+        (
+            Instr::IAlu { a, .. }
+            | Instr::ICmp { a, .. }
+            | Instr::FAlu { a, .. }
+            | Instr::FCmp { a, .. },
+            Slot::A,
+        ) => *a = r,
+        (
+            Instr::IAlu {
+                b: Operand::Reg(b), ..
+            }
+            | Instr::ICmp {
+                b: Operand::Reg(b), ..
+            },
+            Slot::B,
+        ) => *b = r,
+        (Instr::FAlu { b, .. } | Instr::FCmp { b, .. }, Slot::B) => *b = r,
+        (Instr::Load { base, .. } | Instr::Store { base, .. }, Slot::Base) => *base = r,
+        (
+            Instr::Load {
+                idx: Operand::Reg(x),
+                ..
+            }
+            | Instr::Store {
+                idx: Operand::Reg(x),
+                ..
+            },
+            Slot::Idx,
+        ) => *x = r,
+        (Instr::Call { args, .. } | Instr::CallHost { args, .. }, Slot::Arg(i)) => {
+            args[i as usize] = r;
+        }
+        (other, slot) => unreachable!("register hole {slot:?} does not exist on {other:?}"),
+    }
+}
+
+/// Write integer immediate `k` into `slot` of a template instruction.
+fn patch_imm_i(ins: &mut Instr, slot: Slot, k: i64) {
+    match (&mut *ins, slot) {
+        (Instr::MovI { imm, .. }, Slot::Imm) => *imm = k,
+        (
+            Instr::IAlu {
+                b: Operand::Imm(b), ..
+            }
+            | Instr::ICmp {
+                b: Operand::Imm(b), ..
+            },
+            Slot::B,
+        ) => *b = k,
+        (
+            Instr::Load {
+                idx: Operand::Imm(x),
+                ..
+            }
+            | Instr::Store {
+                idx: Operand::Imm(x),
+                ..
+            },
+            Slot::Idx,
+        ) => *x = k,
+        (other, slot) => unreachable!("immediate hole {slot:?} does not exist on {other:?}"),
+    }
+}
+
+/// Write float immediate `k` into a template `MovF`.
+fn patch_imm_f(ins: &mut Instr, k: f64) {
+    match ins {
+        Instr::MovF { imm, .. } => *imm = k,
+        other => unreachable!("float immediate hole on {other:?}"),
     }
 }

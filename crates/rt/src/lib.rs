@@ -31,7 +31,7 @@ pub mod runtime;
 pub mod specializer;
 pub mod stats;
 
-pub use cache::DoubleHashCache;
+pub use cache::{CacheEntry, DoubleHashCache};
 pub use costs::DynCosts;
 pub use runtime::{Runtime, Site, Store};
 pub use stats::RtStats;

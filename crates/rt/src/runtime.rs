@@ -7,7 +7,7 @@
 //! that was compiled for the values of the annotated variables. If one is
 //! found, it is reused." (§2.1)
 
-use crate::cache::DoubleHashCache;
+use crate::cache::{CacheEntry, DoubleHashCache};
 use crate::costs::DynCosts;
 use crate::ge_exec::GeExecutor;
 use crate::specializer::Specializer;
@@ -44,6 +44,37 @@ pub struct Site {
     /// `None` routes through the online [`Specializer`] (staging disabled
     /// or the function fell back).
     pub division: Option<u32>,
+    /// Position of each `key_vars` entry within `arg_vars`. Derived once
+    /// when the site is registered, so a dispatch extracts its cache key
+    /// by direct indexing instead of per-call position searches.
+    pub key_pos: Vec<usize>,
+    /// Positions of the pass-through (dynamic) arguments within
+    /// `arg_vars`: everything not in `base_store` or `key_vars`. Derived
+    /// once, so the cache-hit path subsets the arguments without
+    /// rebuilding the static store.
+    pub dyn_pos: Vec<usize>,
+}
+
+impl Site {
+    fn precompute_layout(&mut self) {
+        self.key_pos = self
+            .key_vars
+            .iter()
+            .map(|kv| {
+                self.arg_vars
+                    .iter()
+                    .position(|a| a == kv)
+                    .expect("key vars are live at their own promotion point")
+            })
+            .collect();
+        self.dyn_pos = self
+            .arg_vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !self.base_store.contains_key(v) && !self.key_vars.contains(v))
+            .map(|(i, _)| i)
+            .collect();
+    }
 }
 
 #[derive(Debug)]
@@ -83,6 +114,11 @@ pub struct Runtime {
     pub stats: RtStats,
     sites: Vec<Site>,
     caches: Vec<CacheState>,
+    /// Reusable cache-key buffer: hashed dispatches build their key here
+    /// instead of allocating per call.
+    scratch_key: Vec<u64>,
+    /// Reusable promoted-value buffer for the miss path.
+    scratch_vals: Vec<Value>,
     /// Specialization instruction budget (guards non-terminating static
     /// loops).
     pub spec_budget: u64,
@@ -94,7 +130,7 @@ impl Runtime {
         let mut sites = Vec::new();
         let mut caches = Vec::new();
         for (i, e) in staged.entry_sites.iter().enumerate() {
-            sites.push(Site {
+            let mut site = Site {
                 func: e.func,
                 block: e.block,
                 inst_idx: e.inst_idx,
@@ -103,7 +139,11 @@ impl Runtime {
                 arg_vars: e.arg_vars.clone(),
                 policy: e.policy,
                 division: staged.ge.entry_divisions[i],
-            });
+                key_pos: Vec::new(),
+                dyn_pos: Vec::new(),
+            };
+            site.precompute_layout();
+            sites.push(site);
             caches.push(CacheState::for_policy(e.policy));
         }
         Runtime {
@@ -112,14 +152,17 @@ impl Runtime {
             stats: RtStats::new(),
             sites,
             caches,
+            scratch_key: Vec::new(),
+            scratch_vals: Vec::new(),
             spec_budget: 4_000_000,
         }
     }
 
     /// Register an internal promotion site created during specialization;
     /// returns its dispatch point id.
-    pub(crate) fn add_site(&mut self, site: Site) -> u32 {
+    pub(crate) fn add_site(&mut self, mut site: Site) -> u32 {
         let id = self.sites.len() as u32;
+        site.precompute_layout();
         self.caches.push(CacheState::for_policy(site.policy));
         self.sites.push(site);
         self.stats.internal_promotions += 1;
@@ -173,15 +216,21 @@ impl Runtime {
         vm.stats.dispatch_cycles += cycles;
     }
 
-    /// Positions of the dynamic (pass-through) arguments of a site, given
-    /// the static store after promotion.
-    fn dyn_positions(site: &Site, store: &Store) -> Vec<usize> {
-        site.arg_vars
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| !store.contains_key(v))
-            .map(|(i, _)| i)
-            .collect()
+    /// Cache-miss path: gather the promoted values (through the reusable
+    /// scratch buffer) and specialize.
+    fn miss(
+        &mut self,
+        point: u32,
+        args: &[Value],
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<FuncId, VmError> {
+        let mut key_vals = std::mem::take(&mut self.scratch_vals);
+        key_vals.clear();
+        key_vals.extend(self.sites[point as usize].key_pos.iter().map(|&p| args[p]));
+        let r = self.specialize(point, &key_vals, module, vm);
+        self.scratch_vals = key_vals;
+        r
     }
 }
 
@@ -190,6 +239,7 @@ impl DispatchHandler for Runtime {
         &mut self,
         point: u32,
         args: &[Value],
+        out_args: &mut Vec<Value>,
         module: &mut Module,
         vm: &mut Vm,
     ) -> Result<DispatchOutcome, VmError> {
@@ -201,27 +251,6 @@ impl DispatchHandler for Runtime {
                 args.len()
             )));
         }
-        // Extract the promoted key values from the argument vector.
-        let key_vals: Vec<Value> = site
-            .key_vars
-            .iter()
-            .map(|kv| {
-                let pos = site
-                    .arg_vars
-                    .iter()
-                    .position(|a| a == kv)
-                    .expect("key vars are live at their own promotion point");
-                args[pos]
-            })
-            .collect();
-
-        // The store the continuation will run under (needed to subset the
-        // pass-through arguments deterministically).
-        let mut store = site.base_store.clone();
-        for (v, val) in site.key_vars.iter().zip(&key_vals) {
-            store.insert(*v, *val);
-        }
-        let dyn_pos = Self::dyn_positions(site, &store);
         let policy = site.policy;
 
         let func = match policy {
@@ -237,7 +266,7 @@ impl DispatchHandler for Runtime {
                     Some(f) => f,
                     None => {
                         vm.stats.dispatch_misses += 1;
-                        let f = self.specialize(point, &key_vals, module, vm)?;
+                        let f = self.miss(point, args, module, vm)?;
                         self.caches[point as usize] = CacheState::One(Some(f));
                         f
                     }
@@ -247,7 +276,8 @@ impl DispatchHandler for Runtime {
                 // §3.1's proposed fast dispatch: "the lookup could be
                 // implemented as a simple array indexing, in place of
                 // DyC's current general-purpose hash-table lookup."
-                let v = key_vals[0].as_i();
+                let kv = args[self.sites[point as usize].key_pos[0]];
+                let v = kv.as_i();
                 if (0..256).contains(&v) {
                     let idx = v as usize;
                     let cost = self.costs.dispatch_indexed;
@@ -261,7 +291,7 @@ impl DispatchHandler for Runtime {
                         Some(f) => f,
                         None => {
                             vm.stats.dispatch_misses += 1;
-                            let f = self.specialize(point, &key_vals, module, vm)?;
+                            let f = self.miss(point, args, module, vm)?;
                             match &mut self.caches[point as usize] {
                                 CacheState::Indexed { slots, .. } => slots[idx] = Some(f),
                                 _ => unreachable!(),
@@ -270,25 +300,32 @@ impl DispatchHandler for Runtime {
                         }
                     }
                 } else {
-                    // Out of the indexed range: safe hashed fallback.
-                    let key = vec![key_vals[0].key_bits()];
-                    let (hit, probes) = match &mut self.caches[point as usize] {
-                        CacheState::Indexed { overflow, .. } => {
-                            let p = overflow.lookup(&key);
-                            (p.value, p.probes)
-                        }
+                    // Out of the indexed range: safe hashed fallback. One
+                    // probe sequence serves both hit and miss — a miss
+                    // reserves the slot the post-specialization fill uses.
+                    let kb = [kv.key_bits()];
+                    let entry = match &mut self.caches[point as usize] {
+                        CacheState::Indexed { overflow, .. } => overflow.lookup_or_reserve(&kb),
                         _ => unreachable!("policy/cache mismatch"),
+                    };
+                    let probes = match entry {
+                        CacheEntry::Hit { probes, .. } | CacheEntry::Vacant { probes, .. } => {
+                            probes
+                        }
                     };
                     let cost = self.costs.hashed_dispatch(1, probes);
                     self.charge_dispatch(vm, cost);
                     self.stats.dispatch_hashed += 1;
-                    match hit {
-                        Some(f) => f,
-                        None => {
+                    match entry {
+                        CacheEntry::Hit { value, .. } => value,
+                        CacheEntry::Vacant { slot, .. } => {
                             vm.stats.dispatch_misses += 1;
-                            let f = self.specialize(point, &key_vals, module, vm)?;
+                            self.stats.dispatch_allocs += 1;
+                            let f = self.miss(point, args, module, vm)?;
                             match &mut self.caches[point as usize] {
-                                CacheState::Indexed { overflow, .. } => overflow.insert(key, f),
+                                CacheState::Indexed { overflow, .. } => {
+                                    overflow.fill(slot, kb.to_vec(), f);
+                                }
                                 _ => unreachable!(),
                             }
                             f
@@ -297,37 +334,53 @@ impl DispatchHandler for Runtime {
                 }
             }
             SitePolicy::CacheAll => {
-                let key: Vec<u64> = key_vals.iter().map(|v| v.key_bits()).collect();
-                let (hit, probes) = match &mut self.caches[point as usize] {
-                    CacheState::All(c) => {
-                        let p = c.lookup(&key);
-                        (p.value, p.probes)
-                    }
+                let mut key = std::mem::take(&mut self.scratch_key);
+                key.clear();
+                if key.capacity() < self.sites[point as usize].key_pos.len() {
+                    self.stats.dispatch_allocs += 1;
+                }
+                key.extend(
+                    self.sites[point as usize]
+                        .key_pos
+                        .iter()
+                        .map(|&p| args[p].key_bits()),
+                );
+                let entry = match &mut self.caches[point as usize] {
+                    CacheState::All(c) => c.lookup_or_reserve(&key),
                     _ => unreachable!("policy/cache mismatch"),
+                };
+                let probes = match entry {
+                    CacheEntry::Hit { probes, .. } | CacheEntry::Vacant { probes, .. } => probes,
                 };
                 let cost = self.costs.hashed_dispatch(key.len(), probes);
                 self.charge_dispatch(vm, cost);
                 self.stats.dispatch_hashed += 1;
                 self.stats.dispatch_probes += u64::from(probes);
-                match hit {
-                    Some(f) => f,
-                    None => {
+                let func = match entry {
+                    CacheEntry::Hit { value, .. } => value,
+                    CacheEntry::Vacant { slot, .. } => {
                         vm.stats.dispatch_misses += 1;
-                        let f = self.specialize(point, &key_vals, module, vm)?;
+                        self.stats.dispatch_allocs += 1;
+                        let f = self.miss(point, args, module, vm)?;
                         match &mut self.caches[point as usize] {
-                            CacheState::All(c) => c.insert(key, f),
+                            CacheState::All(c) => c.fill(slot, key.clone(), f),
                             _ => unreachable!(),
                         }
                         f
                     }
-                }
+                };
+                self.scratch_key = key;
+                func
             }
         };
 
-        let call_args: Vec<Value> = dyn_pos.iter().map(|&i| args[i]).collect();
-        Ok(DispatchOutcome::Invoke {
-            func,
-            args: call_args,
-        })
+        // Pass-through arguments, subset by the precomputed layout into
+        // the interpreter's reusable buffer.
+        let site = &self.sites[point as usize];
+        if out_args.capacity() < site.dyn_pos.len() {
+            self.stats.dispatch_allocs += 1;
+        }
+        out_args.extend(site.dyn_pos.iter().map(|&i| args[i]));
+        Ok(DispatchOutcome::Invoke { func })
     }
 }

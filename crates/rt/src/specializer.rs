@@ -29,7 +29,7 @@
 //! staged path via [`crate::emitter::Emitter`], which is what keeps the
 //! two paths' output byte-identical.
 
-use crate::emitter::{mov_const, opnd_value, Emitted, Emitter, Opnd};
+use crate::emitter::{mov_const, opnd_value, Emitted, Emitter, Opnd, RegSet};
 use crate::runtime::{Runtime, Site, Store};
 use dyc_bta::{inst_binding, Binding, OptConfig};
 use dyc_ir::analysis::{natural_loops, Liveness, NaturalLoop};
@@ -71,16 +71,18 @@ pub(crate) struct Specializer {
     fidx: usize,
 
     em: Emitter<UnitKey>,
-    worklist: Vec<(UnitKey, Store)>,
+    worklist: Vec<(u32, Store)>,
     budget: u64,
+    /// Program point `(block, start)` of each interned unit id.
+    unit_point: Vec<(u32, u32)>,
     // Instrumentation.
-    header_units: HashMap<BlockId, HashSet<UnitKey>>,
+    header_units: HashMap<BlockId, HashSet<u32>>,
     /// The emitted unit graph: every control edge between specialization
     /// units. Analyzed afterwards to classify unrolled loops as single-way
     /// (a chain of bodies) or multi-way (a tree or general graph, §2.2.4).
-    unit_edges: Vec<(UnitKey, UnitKey)>,
+    unit_edges: Vec<(u32, u32)>,
     /// Unit currently being emitted (source of recorded edges).
-    cur_unit: Option<UnitKey>,
+    cur_unit: Option<u32>,
     /// Distinct static-variable *sets* (divisions) seen per block.
     division_sets: HashMap<BlockId, HashSet<Vec<u32>>>,
 }
@@ -118,6 +120,7 @@ impl Specializer {
             em: Emitter::new(rt.staged.cfg, float_vreg),
             worklist: Vec::new(),
             budget: rt.spec_budget,
+            unit_point: Vec::new(),
             header_units: HashMap::new(),
             unit_edges: Vec::new(),
             cur_unit: None,
@@ -137,13 +140,13 @@ impl Specializer {
         }
         spec.em.next_reg = dyn_params.len() as u32;
 
-        let entry = unit_key(site.block, site.inst_idx, &store);
+        let entry = spec.unit_id(site.block, site.inst_idx, &store);
         spec.worklist.push((entry, store));
-        while let Some((key, st)) = spec.worklist.pop() {
-            if spec.em.labels.contains_key(&key) {
+        while let Some((id, st)) = spec.worklist.pop() {
+            if spec.em.sealed(id) {
                 continue;
             }
-            spec.emit_chain(key, st, rt, module, vm)?;
+            spec.emit_chain(id, st, rt, module, vm)?;
         }
 
         // Patch branch targets.
@@ -176,19 +179,34 @@ impl Specializer {
         Ok(module.add_func(cf))
     }
 
-    /// Emit a chain of units starting at `key`, tail-continuing through
+    /// Intern the unit `(block, start, store)`, recording its program
+    /// point on first sight.
+    fn unit_id(&mut self, block: BlockId, start: usize, store: &Store) -> u32 {
+        let key = unit_key(block, start, store);
+        let id = self.em.intern(&key);
+        if id as usize == self.unit_point.len() {
+            self.unit_point.push((key.block, key.start));
+        }
+        id
+    }
+
+    fn block_of(&self, id: u32) -> BlockId {
+        BlockId(self.unit_point[id as usize].0)
+    }
+
+    /// Emit a chain of units starting at `id`, tail-continuing through
     /// unconditional successors that are not yet emitted.
     fn emit_chain(
         &mut self,
-        key: UnitKey,
+        id: u32,
         store: Store,
         rt: &mut Runtime,
         module: &mut Module,
         vm: &mut Vm,
     ) -> Result<(), VmError> {
-        let mut cur = Some((key, store));
-        while let Some((key, store)) = cur.take() {
-            if self.em.labels.contains_key(&key) {
+        let mut cur = Some((id, store));
+        while let Some((id, store)) = cur.take() {
+            if self.em.sealed(id) {
                 break;
             }
             if self.em.code.len() as u64 > self.budget {
@@ -197,18 +215,15 @@ impl Specializer {
                         .into(),
                 ));
             }
-            let block = BlockId(key.block);
-            if self.loop_headers.contains(&block) && !key.statics.is_empty() {
-                self.header_units
-                    .entry(block)
-                    .or_default()
-                    .insert(key.clone());
+            let block = self.block_of(id);
+            if self.loop_headers.contains(&block) && !store.is_empty() {
+                self.header_units.entry(block).or_default().insert(id);
             }
             // Polyvariant division: the same point analyzed/compiled under
             // different static-variable *sets* (§2.2.5).
-            let var_set: Vec<u32> = key.statics.iter().map(|(v, _)| *v).collect();
+            let var_set: Vec<u32> = store.keys().map(|v| v.0).collect();
             self.division_sets.entry(block).or_default().insert(var_set);
-            cur = self.emit_unit(key, store, rt, module, vm)?;
+            cur = self.emit_unit(id, store, rt, module, vm)?;
         }
         Ok(())
     }
@@ -216,18 +231,18 @@ impl Specializer {
     #[allow(clippy::too_many_lines)]
     fn emit_unit(
         &mut self,
-        key: UnitKey,
+        id: u32,
         mut store: Store,
         rt: &mut Runtime,
         module: &mut Module,
         vm: &mut Vm,
-    ) -> Result<Option<(UnitKey, Store)>, VmError> {
-        let block = BlockId(key.block);
-        let start = key.start as usize;
-        self.cur_unit = Some(key.clone());
+    ) -> Result<Option<(u32, Store)>, VmError> {
+        let (block, start) = self.unit_point[id as usize];
+        let (block, start) = (BlockId(block), start as usize);
+        self.cur_unit = Some(id);
         let mut rename: HashMap<VReg, Opnd> = HashMap::new();
         let mut scratch: HashMap<u64, Reg> = HashMap::new();
-        let mut buf: Vec<Emitted<UnitKey>> = Vec::new();
+        let mut buf: Vec<Emitted> = Vec::new();
         let costs = rt.costs;
         self.em.exec_cycles += costs.per_unit;
         rt.stats.units_emitted += 1;
@@ -265,6 +280,8 @@ impl Specializer {
                                 ins: mov_const(r, val),
                                 deletable: true,
                                 fixup: None,
+                                templated: false,
+                                patches: 0,
                             });
                         }
                     }
@@ -309,8 +326,8 @@ impl Specializer {
         }
 
         // Regs that must survive the unit (for dead-assignment elimination).
-        let mut live_regs: HashSet<Reg> = HashSet::new();
-        let mut chain: Option<(UnitKey, Store)> = None;
+        let mut live_regs = RegSet::new();
+        let mut chain: Option<(u32, Store)> = None;
 
         if let Some((idx, missing)) = promotion {
             // Internal dynamic-to-static promotion: end the unit with a
@@ -347,10 +364,14 @@ impl Specializer {
                 arg_vars: arg_vars.clone(),
                 policy,
                 division: None,
+                key_pos: Vec::new(),
+                dyn_pos: Vec::new(),
             });
             self.em.exec_cycles += costs.new_site;
             let args: Vec<Reg> = arg_vars.iter().map(|v| self.em.reg_of(*v)).collect();
-            live_regs.extend(args.iter().copied());
+            for r in &args {
+                live_regs.insert(*r);
+            }
             let dst = self.f.ret_ty.map(|_| self.em.fresh_reg());
             buf.push(Emitted {
                 ins: Instr::Dispatch {
@@ -360,11 +381,15 @@ impl Specializer {
                 },
                 deletable: false,
                 fixup: None,
+                templated: false,
+                patches: 0,
             });
             buf.push(Emitted {
                 ins: Instr::Ret { src: dst },
                 deletable: false,
                 fixup: None,
+                templated: false,
+                patches: 0,
             });
         } else {
             // Terminator.
@@ -406,27 +431,31 @@ impl Specializer {
                         Opnd::R(r) => {
                             live_regs.insert(r);
                             // Demote for both successors before branching.
-                            let (key_t, store_t) =
+                            let (id_t, store_t) =
                                 self.edge_unit(t, &store, &mut buf, &mut live_regs, rt);
-                            let (key_f, store_f) =
+                            let (id_f, store_f) =
                                 self.edge_unit(fb, &store, &mut buf, &mut live_regs, rt);
                             // Branch to the true side; fall through to false.
                             buf.push(Emitted {
                                 ins: Instr::Brnz { cond: r, target: 0 },
                                 deletable: false,
-                                fixup: Some(key_t.clone()),
+                                fixup: Some(id_t),
+                                templated: false,
+                                patches: 0,
                             });
-                            if !self.em.labels.contains_key(&key_t) {
-                                self.worklist.push((key_t, store_t));
+                            if !self.em.sealed(id_t) {
+                                self.worklist.push((id_t, store_t));
                             }
-                            if self.em.labels.contains_key(&key_f) {
+                            if self.em.sealed(id_f) {
                                 buf.push(Emitted {
                                     ins: Instr::Jmp { target: 0 },
                                     deletable: false,
-                                    fixup: Some(key_f),
+                                    fixup: Some(id_f),
+                                    templated: false,
+                                    patches: 0,
                                 });
                             } else {
-                                chain = Some((key_f, store_f));
+                                chain = Some((id_f, store_f));
                             }
                         }
                     }
@@ -445,7 +474,7 @@ impl Specializer {
                         live_regs.insert(r);
                         let tmp = self.em.fresh_reg();
                         for (k, target) in &cases {
-                            let (key, st) =
+                            let (cid, st) =
                                 self.edge_unit(*target, &store, &mut buf, &mut live_regs, rt);
                             buf.push(Emitted {
                                 ins: Instr::ICmp {
@@ -456,6 +485,8 @@ impl Specializer {
                                 },
                                 deletable: false,
                                 fixup: None,
+                                templated: false,
+                                patches: 0,
                             });
                             buf.push(Emitted {
                                 ins: Instr::Brnz {
@@ -463,22 +494,26 @@ impl Specializer {
                                     target: 0,
                                 },
                                 deletable: false,
-                                fixup: Some(key.clone()),
+                                fixup: Some(cid),
+                                templated: false,
+                                patches: 0,
                             });
-                            if !self.em.labels.contains_key(&key) {
-                                self.worklist.push((key, st));
+                            if !self.em.sealed(cid) {
+                                self.worklist.push((cid, st));
                             }
                         }
-                        let (key_d, store_d) =
+                        let (id_d, store_d) =
                             self.edge_unit(default, &store, &mut buf, &mut live_regs, rt);
-                        if self.em.labels.contains_key(&key_d) {
+                        if self.em.sealed(id_d) {
                             buf.push(Emitted {
                                 ins: Instr::Jmp { target: 0 },
                                 deletable: false,
-                                fixup: Some(key_d),
+                                fixup: Some(id_d),
+                                templated: false,
+                                patches: 0,
                             });
                         } else {
-                            chain = Some((key_d, store_d));
+                            chain = Some((id_d, store_d));
                         }
                     }
                 },
@@ -491,6 +526,8 @@ impl Specializer {
                                 ins: mov_const(r, opnd_value(k)),
                                 deletable: false,
                                 fixup: None,
+                                templated: false,
+                                patches: 0,
                             });
                             r
                         }
@@ -502,14 +539,15 @@ impl Specializer {
                         ins: Instr::Ret { src },
                         deletable: false,
                         fixup: None,
+                        templated: false,
+                        patches: 0,
                     });
                 }
             }
         }
 
         // Dynamic dead-assignment elimination + append (§2.2.7).
-        self.em
-            .seal_unit(key, buf, live_regs, &costs, &mut rt.stats);
+        self.em.seal_unit(id, buf, live_regs, &costs, &mut rt.stats);
         Ok(chain)
     }
 
@@ -521,10 +559,10 @@ impl Specializer {
         &mut self,
         target: BlockId,
         store: &Store,
-        buf: &mut Vec<Emitted<UnitKey>>,
-        live_regs: &mut HashSet<Reg>,
+        buf: &mut Vec<Emitted>,
+        live_regs: &mut RegSet,
         rt: &mut Runtime,
-    ) -> (UnitKey, Store) {
+    ) -> (u32, Store) {
         rt.stats.runtime_bta_calls += store.len() as u64;
         self.em.exec_cycles += rt.costs.edge_plan_per_var * store.len() as u64;
         let live_in = self.live.live_in[target.index()].clone();
@@ -568,15 +606,17 @@ impl Specializer {
                     ins: mov_const(r, *val),
                     deletable: true,
                     fixup: None,
+                    templated: false,
+                    patches: 0,
                 });
                 live_regs.insert(r);
             }
         }
-        let key = unit_key(target, 0, &out);
-        if let Some(from) = &self.cur_unit {
-            self.unit_edges.push((from.clone(), key.clone()));
+        let id = self.unit_id(target, 0, &out);
+        if let Some(from) = self.cur_unit {
+            self.unit_edges.push((from, id));
         }
-        (key, out)
+        (id, out)
     }
 
     /// Take an unconditional edge: tail-continue if the target is fresh,
@@ -585,20 +625,22 @@ impl Specializer {
         &mut self,
         target: BlockId,
         store: &Store,
-        buf: &mut Vec<Emitted<UnitKey>>,
-        live_regs: &mut HashSet<Reg>,
+        buf: &mut Vec<Emitted>,
+        live_regs: &mut RegSet,
         rt: &mut Runtime,
-    ) -> Option<(UnitKey, Store)> {
-        let (key, st) = self.edge_unit(target, store, buf, live_regs, rt);
-        if self.em.labels.contains_key(&key) {
+    ) -> Option<(u32, Store)> {
+        let (id, st) = self.edge_unit(target, store, buf, live_regs, rt);
+        if self.em.sealed(id) {
             buf.push(Emitted {
                 ins: Instr::Jmp { target: 0 },
                 deletable: false,
-                fixup: Some(key),
+                fixup: Some(id),
+                templated: false,
+                patches: 0,
             });
             None
         } else {
-            Some((key, st))
+            Some((id, st))
         }
     }
 
@@ -606,21 +648,21 @@ impl Specializer {
     /// can reach two or more distinct header units (a tree, like binary
     /// search), or a header unit is entered from two places (a graph,
     /// like an interpreted guest loop).
-    fn loop_is_multiway(&self, header: BlockId, units: &HashSet<UnitKey>) -> bool {
+    fn loop_is_multiway(&self, header: BlockId, units: &HashSet<u32>) -> bool {
         let Some(l) = self.loops.iter().find(|l| l.header == header) else {
             return false;
         };
         // Adjacency restricted to units whose blocks are in the loop body.
-        let mut succs: HashMap<&UnitKey, Vec<&UnitKey>> = HashMap::new();
-        let mut in_deg: HashMap<&UnitKey, u32> = HashMap::new();
+        let mut succs: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut in_deg: HashMap<u32, u32> = HashMap::new();
         for (from, to) in &self.unit_edges {
-            if !l.body.contains(&BlockId(from.block)) {
+            if !l.body.contains(&self.block_of(*from)) {
                 continue;
             }
             if units.contains(to) {
-                *in_deg.entry(to).or_insert(0) += 1;
+                *in_deg.entry(*to).or_insert(0) += 1;
             }
-            succs.entry(from).or_default().push(to);
+            succs.entry(*from).or_default().push(*to);
         }
         if in_deg.values().any(|d| *d >= 2) {
             return true;
@@ -628,20 +670,20 @@ impl Specializer {
         // From each header unit, walk the body without passing through
         // other header units; reaching two of them means divergence.
         for k in units {
-            let mut reached: HashSet<&UnitKey> = HashSet::new();
-            let mut seen: HashSet<&UnitKey> = HashSet::new();
-            let mut stack: Vec<&UnitKey> = vec![k];
+            let mut reached: HashSet<u32> = HashSet::new();
+            let mut seen: HashSet<u32> = HashSet::new();
+            let mut stack: Vec<u32> = vec![*k];
             while let Some(u) = stack.pop() {
-                for v in succs.get(u).map(Vec::as_slice).unwrap_or(&[]) {
-                    if !l.body.contains(&BlockId(v.block)) {
+                for v in succs.get(&u).map(Vec::as_slice).unwrap_or(&[]) {
+                    if !l.body.contains(&self.block_of(*v)) {
                         continue;
                     }
-                    if units.contains(*v) {
-                        reached.insert(v);
+                    if units.contains(v) {
+                        reached.insert(*v);
                         continue;
                     }
-                    if seen.insert(v) {
-                        stack.push(v);
+                    if seen.insert(*v) {
+                        stack.push(*v);
                     }
                 }
             }

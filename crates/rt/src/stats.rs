@@ -60,6 +60,25 @@ pub struct RtStats {
     /// Dynamic-compilation cycles spent constructing, emitting, and
     /// patching code.
     pub emit_cycles: u64,
+    /// Instructions emitted through the copy-and-patch template path
+    /// (before dead-assignment elimination).
+    pub template_instrs: u64,
+    /// Template holes patched (register and immediate holes).
+    pub holes_patched: u64,
+    /// Sub-split of [`RtStats::emit_cycles`]: cycles copying prebuilt
+    /// template instructions.
+    pub template_copy_cycles: u64,
+    /// Sub-split of [`RtStats::emit_cycles`]: cycles patching template
+    /// holes.
+    pub hole_patch_cycles: u64,
+    /// Templates whose guards failed at run time (a value hit an emit-time
+    /// special case, e.g. a zero/copy fold), falling back to per-
+    /// instruction emission for the rest of the unit.
+    pub template_fallbacks: u64,
+    /// Heap allocations attributable to dispatch (scratch-buffer growth).
+    /// Zero on every cache-hit region entry once warm: the dispatch path
+    /// reuses its key and argument buffers.
+    pub dispatch_allocs: u64,
 }
 
 impl RtStats {

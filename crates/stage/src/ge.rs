@@ -78,6 +78,12 @@ pub enum GeOp {
         /// The variables demoted (all static in this division).
         vars: Vec<VReg>,
     },
+    /// A fused run of consecutive emits: a prebuilt contiguous
+    /// instruction block copied wholesale at run time, with a side table
+    /// of holes to patch (§2.1's "copy the pre-optimized templates").
+    /// Produced by [`crate::template::fuse_ge_func`] when
+    /// `OptConfig::template_fusion` is on.
+    EmitTemplate(Box<crate::template::Template>),
 }
 
 /// A unit-boundary transfer plan: what happens to each static variable
@@ -292,7 +298,7 @@ fn lower_func(
     let float_vreg: Vec<bool> = (0..f.n_vregs())
         .map(|i| f.ty(VReg(i as u32)) == IrTy::Float)
         .collect();
-    let gef = GeFunc {
+    let mut gef = GeFunc {
         divisions: lw
             .divisions
             .into_iter()
@@ -303,6 +309,9 @@ fn lower_func(
         loops,
         loop_headers,
     };
+    if cfg.template_fusion {
+        crate::template::fuse_ge_func(&mut gef, cfg);
+    }
     Some((gef, entries))
 }
 

@@ -25,8 +25,12 @@
 
 pub mod ge;
 pub mod plan;
+pub mod template;
 
 pub use ge::{EdgePlan, GeDivision, GeFunc, GeOp, GeProgram, GeTerm, PromotePlan};
 pub use plan::{
     live_at_point, site_policy, stage_program, EntrySite, SitePolicy, StagedFunc, StagedProgram,
+};
+pub use template::{
+    ibin_special_case, AbsAlias, Guard, PatchOp, Slot, TInstr, Template, TemplateEffects,
 };

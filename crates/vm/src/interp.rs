@@ -56,14 +56,20 @@ impl Error for VmError {}
 /// What the run-time system decided at a dispatch point.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DispatchOutcome {
-    /// Invoke this function with these arguments; its return value becomes
-    /// the `Dispatch` instruction's result.
-    Invoke { func: FuncId, args: Vec<Value> },
+    /// Invoke this function with the arguments the handler wrote into
+    /// `out_args`; its return value becomes the `Dispatch` instruction's
+    /// result.
+    Invoke { func: FuncId },
 }
 
 /// The run-time system's hook into the interpreter.
 pub trait DispatchHandler {
     /// Handle the dispatch at `point` with the given live values.
+    ///
+    /// `out_args` arrives empty; the handler appends the arguments for
+    /// the function it names in the outcome. The buffer is owned and
+    /// reused by the interpreter's run loop, so a steady-state dispatch
+    /// performs no heap allocation.
     ///
     /// The handler must charge its own cycles into `vm.stats`
     /// (`dispatch_cycles` for the lookup, `dyncomp_cycles` for any
@@ -76,6 +82,7 @@ pub trait DispatchHandler {
         &mut self,
         point: u32,
         args: &[Value],
+        out_args: &mut Vec<Value>,
         module: &mut Module,
         vm: &mut Vm,
     ) -> Result<DispatchOutcome, VmError>;
@@ -96,6 +103,10 @@ pub struct Vm {
     /// Values printed by the guest (the observable output).
     pub output: Vec<Value>,
     max_steps: u64,
+    /// Reusable heavy-instruction argument buffers, persisted across runs
+    /// so a steady-state call or dispatch never touches the heap.
+    buf_call: Vec<Value>,
+    buf_disp: Vec<Value>,
 }
 
 struct Frame {
@@ -116,6 +127,8 @@ impl Vm {
             stats: ExecStats::new(),
             output: Vec::new(),
             max_steps: u64::MAX,
+            buf_call: Vec::new(),
+            buf_disp: Vec::new(),
         }
     }
 
@@ -187,13 +200,35 @@ impl Vm {
         }
     }
 
-    #[allow(clippy::too_many_lines)]
     fn run(
+        &mut self,
+        module: &mut Module,
+        handler: Option<&mut dyn DispatchHandler>,
+        func: FuncId,
+        args: &[Value],
+    ) -> Result<Option<Value>, VmError> {
+        // Borrow the persistent argument buffers out of `self` for the
+        // duration of the run (the handler needs `&mut Vm` alongside
+        // them), then hand them back so their capacity carries over to
+        // the next run. A reentrant run sees empty buffers and restores
+        // its own on the way out — still allocation-free once warm.
+        let mut call_vals = std::mem::take(&mut self.buf_call);
+        let mut disp_args = std::mem::take(&mut self.buf_disp);
+        let r = self.run_inner(module, handler, func, args, &mut call_vals, &mut disp_args);
+        self.buf_call = call_vals;
+        self.buf_disp = disp_args;
+        r
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_inner(
         &mut self,
         module: &mut Module,
         mut handler: Option<&mut dyn DispatchHandler>,
         func: FuncId,
         args: &[Value],
+        call_vals: &mut Vec<Value>,
+        disp_args: &mut Vec<Value>,
     ) -> Result<Option<Value>, VmError> {
         let mut stack: Vec<Frame> = vec![Self::new_frame(module, func, args, None)];
         let mut steps = 0u64;
@@ -218,19 +253,13 @@ impl Vm {
             self.stats.instrs_executed += 1;
 
             // Decode. Cheap instructions are handled by reference; the two
-            // that need `&mut Module` (Call frame setup, Dispatch) are
-            // cloned out so the borrow of `module` can be released.
+            // that need `&mut Module` (Call frame setup, Dispatch) read
+            // their argument values into the reusable buffer so the borrow
+            // of `module` can be released without cloning the register
+            // list.
             enum Heavy {
-                Call {
-                    func: FuncId,
-                    dst: Option<Reg>,
-                    args: Vec<Reg>,
-                },
-                Dispatch {
-                    point: u32,
-                    dst: Option<Reg>,
-                    args: Vec<Reg>,
-                },
+                Call { func: FuncId, dst: Option<Reg> },
+                Dispatch { point: u32, dst: Option<Reg> },
             }
             let mut heavy: Option<Heavy> = None;
             {
@@ -319,17 +348,19 @@ impl Vm {
                         }
                     }
                     Instr::Call { func, dst, args } => {
+                        call_vals.clear();
+                        call_vals.extend(args.iter().map(|&r| frame.regs[r as usize]));
                         heavy = Some(Heavy::Call {
                             func: *func,
                             dst: *dst,
-                            args: args.clone(),
                         });
                     }
                     Instr::Dispatch { point, dst, args } => {
+                        call_vals.clear();
+                        call_vals.extend(args.iter().map(|&r| frame.regs[r as usize]));
                         heavy = Some(Heavy::Dispatch {
                             point: *point,
                             dst: *dst,
-                            args: args.clone(),
                         });
                     }
                 }
@@ -341,31 +372,23 @@ impl Vm {
 
             // Heavy instructions: the borrow of `module` is released here.
             match heavy.unwrap() {
-                Heavy::Call {
-                    func: callee,
-                    dst,
-                    args,
-                } => {
-                    let vals: Vec<Value> = args.iter().map(|&r| frame.regs[r as usize]).collect();
+                Heavy::Call { func: callee, dst } => {
                     frame.pc += 1;
-                    let new = Self::new_frame(module, callee, &vals, dst);
+                    let new = Self::new_frame(module, callee, call_vals, dst);
                     stack.push(new);
                 }
-                Heavy::Dispatch { point, dst, args } => {
-                    let vals: Vec<Value> = args.iter().map(|&r| frame.regs[r as usize]).collect();
+                Heavy::Dispatch { point, dst } => {
                     frame.pc += 1;
                     self.stats.dispatches += 1;
+                    disp_args.clear();
                     let outcome = match handler.as_deref_mut() {
                         None => return Err(VmError::NoDispatchHandler),
-                        Some(h) => h.dispatch(point, &vals, module, self)?,
+                        Some(h) => h.dispatch(point, call_vals, disp_args, module, self)?,
                     };
                     match outcome {
-                        DispatchOutcome::Invoke {
-                            func: callee,
-                            args: cargs,
-                        } => {
+                        DispatchOutcome::Invoke { func: callee } => {
                             self.stats.exec_cycles += self.cost.call;
-                            let new = Self::new_frame(module, callee, &cargs, dst);
+                            let new = Self::new_frame(module, callee, disp_args, dst);
                             stack.push(new);
                         }
                     }
@@ -700,6 +723,7 @@ mod tests {
                 &mut self,
                 point: u32,
                 args: &[Value],
+                out_args: &mut Vec<Value>,
                 module: &mut Module,
                 vm: &mut Vm,
             ) -> Result<DispatchOutcome, VmError> {
@@ -715,10 +739,8 @@ mod tests {
                 });
                 g.push(Instr::Ret { src: Some(1) });
                 let gid = module.add_func(g);
-                Ok(DispatchOutcome::Invoke {
-                    func: gid,
-                    args: args.to_vec(),
-                })
+                out_args.extend_from_slice(args);
+                Ok(DispatchOutcome::Invoke { func: gid })
             }
         }
         let mut m = Module::new();
@@ -750,6 +772,7 @@ mod tests {
                 &mut self,
                 _point: u32,
                 args: &[Value],
+                _out_args: &mut Vec<Value>,
                 module: &mut Module,
                 vm: &mut Vm,
             ) -> Result<DispatchOutcome, VmError> {
@@ -764,10 +787,7 @@ mod tests {
                 });
                 g.push(Instr::Ret { src: Some(0) });
                 let gid = module.add_func(g);
-                Ok(DispatchOutcome::Invoke {
-                    func: gid,
-                    args: vec![],
-                })
+                Ok(DispatchOutcome::Invoke { func: gid })
             }
         }
         let mut m = Module::new();

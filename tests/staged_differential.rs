@@ -1,21 +1,26 @@
-//! Differential test of the two specialization paths.
+//! Differential test of the three specialization paths.
 //!
 //! The staged generating-extension executor must be a *pure* staging of
-//! the online specializer: on every benchmark it has to emit
-//! byte-identical specialized code and produce identical observable
-//! behavior — only the dynamic-compilation cycle meter (and the run-time
-//! analysis counter it retires) may move. This drives every workload in
-//! the suite through both paths and compares:
+//! the online specializer, and template fusion must be a *pure* batching
+//! of the staged executor: on every benchmark all three paths have to
+//! emit byte-identical specialized code and produce identical observable
+//! behavior — only the dynamic-compilation cycle meter (and the counters
+//! that explain it) may move. This drives every workload in the suite
+//! through all three paths and compares:
 //!
 //! * the full disassembled module after specialization (stubs + every
-//!   generated `$spec` function) — byte equality;
+//!   generated `$spec` function) — byte equality, three ways;
 //! * region results and printed output;
 //! * the run-time statistics, which must agree exactly on everything
-//!   except the cycle split and `runtime_bta_calls`;
-//! * `runtime_bta_calls` itself: **exactly zero** on the staged path
+//!   except the cycle split, `runtime_bta_calls`, and the template
+//!   counters (zero off the template path by definition);
+//! * `runtime_bta_calls` itself: **exactly zero** on both staged paths
 //!   (no binding-time classification, liveness query, or loop analysis
 //!   survives to run time), strictly positive online;
-//! * dynamic-compilation overhead: strictly lower staged than online.
+//! * dynamic-compilation overhead, strictly ordered: templates < staged
+//!   unfused < online — fusing emit runs must pay on every benchmark;
+//! * the copy-and-patch meters: the fused path emits through templates
+//!   (`template_instrs > 0`) and the unfused path never does.
 
 use dyc::{Compiler, OptConfig, RtStats, Value};
 use dyc_workloads::{all, Workload};
@@ -58,51 +63,76 @@ fn run_path(w: &dyn Workload, cfg: OptConfig) -> PathRun {
     }
 }
 
-/// Copy of the stats with the fields staging is *allowed* to change
-/// zeroed out, so the rest can be compared exactly.
+/// Copy of the stats with the fields the paths are *allowed* to differ on
+/// zeroed out, so the rest can be compared exactly: the cycle meters, the
+/// run-time-analysis counter, and the copy-and-patch counters (templates
+/// exist only on the fused path).
 fn normalized(rt: &RtStats) -> RtStats {
     RtStats {
         dyncomp_cycles: 0,
         ge_exec_cycles: 0,
         emit_cycles: 0,
         runtime_bta_calls: 0,
+        template_instrs: 0,
+        holes_patched: 0,
+        template_copy_cycles: 0,
+        hole_patch_cycles: 0,
+        template_fallbacks: 0,
         ..rt.clone()
     }
 }
 
 #[test]
 fn staged_ge_is_byte_identical_and_strictly_cheaper_on_every_benchmark() {
-    let staged_cfg = OptConfig::all();
+    let fused_cfg = OptConfig::all();
+    let unfused_cfg = OptConfig::all().without("template_fusion").unwrap();
     let online_cfg = OptConfig::all().without("staged_ge").unwrap();
-    assert!(staged_cfg.staged_ge && !online_cfg.staged_ge);
+    assert!(fused_cfg.staged_ge && fused_cfg.template_fusion);
+    assert!(unfused_cfg.staged_ge && !unfused_cfg.template_fusion);
+    assert!(!online_cfg.staged_ge);
 
+    let mut template_free: Vec<&str> = Vec::new();
     for w in all() {
         let name = w.meta().name;
-        let staged = run_path(w.as_ref(), staged_cfg);
+        let fused = run_path(w.as_ref(), fused_cfg);
+        let unfused = run_path(w.as_ref(), unfused_cfg);
         let online = run_path(w.as_ref(), online_cfg);
 
-        // Identical observable behavior.
+        // Identical observable behavior, three ways.
+        assert_eq!(fused.result, online.result, "{name}: region results differ");
         assert_eq!(
-            staged.result, online.result,
-            "{name}: region results differ"
+            unfused.result, online.result,
+            "{name}: region results differ (unfused)"
         );
         assert_eq!(
-            staged.output, online.output,
+            fused.output, online.output,
             "{name}: printed output differs"
+        );
+        assert_eq!(
+            unfused.output, online.output,
+            "{name}: printed output differs (unfused)"
         );
 
         // Byte-identical code: the whole module, stubs and every
         // dynamically generated function included.
         assert_eq!(
-            staged.module_disasm, online.module_disasm,
+            unfused.module_disasm, online.module_disasm,
             "{name}: staged and online paths emitted different code"
         );
+        assert_eq!(
+            fused.module_disasm, online.module_disasm,
+            "{name}: template fusion changed the emitted code"
+        );
 
-        // The staged path performs zero run-time analysis; the online
+        // The staged paths perform zero run-time analysis; the online
         // path cannot avoid it.
         assert_eq!(
-            staged.rt.runtime_bta_calls, 0,
-            "{name}: staged path performed run-time BTA/liveness work"
+            fused.rt.runtime_bta_calls, 0,
+            "{name}: fused path performed run-time BTA/liveness work"
+        );
+        assert_eq!(
+            unfused.rt.runtime_bta_calls, 0,
+            "{name}: unfused staged path performed run-time BTA/liveness work"
         );
         assert!(
             online.rt.runtime_bta_calls > 0,
@@ -112,29 +142,74 @@ fn staged_ge_is_byte_identical_and_strictly_cheaper_on_every_benchmark() {
         // Every other statistic agrees exactly: same units, same folds,
         // same DAE removals, same promotions, same dispatch behavior.
         assert_eq!(
-            normalized(&staged.rt),
+            normalized(&unfused.rt),
             normalized(&online.rt),
-            "{name}: specialization statistics diverged"
+            "{name}: specialization statistics diverged (unfused vs online)"
+        );
+        assert_eq!(
+            normalized(&fused.rt),
+            normalized(&unfused.rt),
+            "{name}: specialization statistics diverged (fused vs unfused)"
         );
 
-        // And staging is the cheaper way to run the generating extension.
+        // Templates exist only on the fused path. A benchmark whose
+        // emit runs are all singletons (m88ksim: complete unrolling
+        // leaves one dynamic compare per unit) legitimately has none —
+        // a lone emit is cheaper left as a plain hole.
+        assert_eq!(
+            unfused.rt.template_instrs, 0,
+            "{name}: unfused path reported template instructions"
+        );
+        if fused.rt.template_instrs == 0 {
+            template_free.push(name);
+        } else {
+            assert!(
+                fused.rt.template_copy_cycles > 0,
+                "{name}: templates used but no copy cycles metered"
+            );
+            // Strict overhead ordering wherever templates fire:
+            // copy-and-patch beats per-instruction staged emission.
+            assert!(
+                fused.rt.dyncomp_cycles < unfused.rt.dyncomp_cycles,
+                "{name}: fused overhead {} !< unfused overhead {}",
+                fused.rt.dyncomp_cycles,
+                unfused.rt.dyncomp_cycles
+            );
+        }
         assert!(
-            staged.rt.dyncomp_cycles < online.rt.dyncomp_cycles,
+            fused.rt.dyncomp_cycles <= unfused.rt.dyncomp_cycles,
+            "{name}: template fusion made dynamic compilation dearer: {} > {}",
+            fused.rt.dyncomp_cycles,
+            unfused.rt.dyncomp_cycles
+        );
+        assert!(
+            unfused.rt.dyncomp_cycles < online.rt.dyncomp_cycles,
             "{name}: staged overhead {} !< online overhead {}",
-            staged.rt.dyncomp_cycles,
+            unfused.rt.dyncomp_cycles,
             online.rt.dyncomp_cycles
         );
         assert_eq!(
-            staged.rt.instrs_generated, online.rt.instrs_generated,
+            fused.rt.instrs_generated, online.rt.instrs_generated,
             "{name}: generated instruction counts differ"
         );
     }
+
+    // The suite as a whole must exercise the copy-and-patch path hard.
+    // Exactly two benchmarks are structurally template-free: m88ksim
+    // (complete unrolling leaves a single dynamic compare per division)
+    // and binary (two singleton emits in separate divisions). Everything
+    // else must fuse at least one run.
+    assert!(
+        template_free.len() <= 2,
+        "template fusion missed too many benchmarks: {template_free:?}"
+    );
 }
 
 #[test]
 fn staged_ge_overhead_split_accounts_for_all_cycles() {
     // The exec/emit split must tile the region's pre-dispatch overhead:
-    // dyncomp = ge_exec + emit + per-site install charges.
+    // dyncomp = ge_exec + emit + per-site install charges. And the
+    // template sub-split must stay inside the emit meter.
     for w in all() {
         let name = w.meta().name;
         let run = run_path(w.as_ref(), OptConfig::all());
@@ -145,6 +220,13 @@ fn staged_ge_overhead_split_accounts_for_all_cycles() {
             run.rt.ge_exec_cycles,
             run.rt.emit_cycles,
             run.rt.dyncomp_cycles
+        );
+        assert!(
+            run.rt.template_copy_cycles + run.rt.hole_patch_cycles <= run.rt.emit_cycles,
+            "{name}: template cycles {} + {} exceed the emit meter {}",
+            run.rt.template_copy_cycles,
+            run.rt.hole_patch_cycles,
+            run.rt.emit_cycles
         );
     }
 }

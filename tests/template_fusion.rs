@@ -1,0 +1,256 @@
+//! Edge cases of stage-time copy-and-patch template fusion: what must
+//! fuse, what must split a run, and what must be left as a plain hole.
+//!
+//! These tests inspect the precompiled GE programs directly
+//! (`Program::staged`) and then execute both the fused and unfused
+//! configurations to confirm the structural expectations translate into
+//! byte-identical code and correct results.
+
+use dyc::{Compiler, OptConfig, Value};
+use dyc_stage::GeOp;
+
+/// Flatten every division's ops of every staged function.
+fn all_ops(p: &dyc::Program) -> Vec<&GeOp> {
+    p.staged()
+        .ge
+        .funcs
+        .iter()
+        .flatten()
+        .flat_map(|f| f.divisions.iter())
+        .flat_map(|d| d.ops.iter())
+        .collect()
+}
+
+fn count_templates(ops: &[&GeOp]) -> usize {
+    ops.iter()
+        .filter(|op| matches!(op, GeOp::EmitTemplate(_)))
+        .count()
+}
+
+fn count_holes(ops: &[&GeOp]) -> usize {
+    ops.iter()
+        .filter(|op| matches!(op, GeOp::EmitHole { .. }))
+        .count()
+}
+
+/// Run `src` under both the fused and unfused configurations and check
+/// behavior and emitted code agree; returns (fused stats, unfused stats).
+fn differential(src: &str, func: &str, args: &[Value]) -> (dyc::RtStats, dyc::RtStats) {
+    let fused_p = Compiler::with_config(OptConfig::all())
+        .compile(src)
+        .unwrap();
+    let unfused_p = Compiler::with_config(OptConfig::all().without("template_fusion").unwrap())
+        .compile(src)
+        .unwrap();
+    let mut fused = fused_p.dynamic_session();
+    let mut unfused = unfused_p.dynamic_session();
+    let rf = fused.run(func, args).unwrap();
+    let ru = unfused.run(func, args).unwrap();
+    assert_eq!(rf, ru, "results diverged");
+    assert_eq!(
+        fused.disassemble_matching(""),
+        unfused.disassemble_matching(""),
+        "template fusion changed the emitted code"
+    );
+    (
+        fused.rt_stats().unwrap().clone(),
+        unfused.rt_stats().unwrap().clone(),
+    )
+}
+
+#[test]
+fn single_instruction_run_stays_a_plain_hole() {
+    // Exactly one dynamic instruction: a template would buy nothing over
+    // one hole-filling emit, so the fusion pass must leave it alone.
+    let src = "int f(int s, int d) { make_static(s); return d + s; }";
+    let p = Compiler::with_config(OptConfig::all())
+        .compile(src)
+        .unwrap();
+    let ops = all_ops(&p);
+    assert_eq!(count_templates(&ops), 0, "singleton run was fused");
+    assert!(count_holes(&ops) >= 1, "expected a plain EmitHole");
+
+    let (fused, _) = differential(src, "f", &[Value::I(4), Value::I(10)]);
+    assert_eq!(fused.template_instrs, 0);
+    assert_eq!(fused.template_copy_cycles, 0);
+}
+
+#[test]
+fn demote_splits_an_emit_run() {
+    // `make_dynamic` in the middle of a dynamic region materializes the
+    // demoted variable, which must end the current run: two separate
+    // templates around the DemoteMaterialize, never one across it.
+    let src = r#"
+        int f(int s, int d) {
+            make_static(s);
+            int a = d + s;
+            int b = a + d;
+            make_dynamic(s);
+            int c = b + s;
+            int e = c + b;
+            return e;
+        }
+    "#;
+    let p = Compiler::with_config(OptConfig::all())
+        .compile(src)
+        .unwrap();
+    let staged = p.staged();
+    // Find the division that carries the demotion and check op order:
+    // template, demote, template.
+    let mut shape_ok = false;
+    for gef in staged.ge.funcs.iter().flatten() {
+        for d in &gef.divisions {
+            let kinds: Vec<&str> = d
+                .ops
+                .iter()
+                .map(|op| match op {
+                    GeOp::Eval(_) => "eval",
+                    GeOp::EmitHole { .. } => "hole",
+                    GeOp::DemoteMaterialize { .. } => "demote",
+                    GeOp::EmitTemplate(_) => "template",
+                })
+                .collect();
+            if let Some(at) = kinds.iter().position(|k| *k == "demote") {
+                assert!(
+                    kinds[..at].contains(&"template"),
+                    "no template before the demotion: {kinds:?}"
+                );
+                assert!(
+                    kinds[at..].contains(&"template"),
+                    "no template after the demotion: {kinds:?}"
+                );
+                shape_ok = true;
+            }
+        }
+    }
+    assert!(shape_ok, "no division carried a DemoteMaterialize");
+
+    let (fused, unfused) = differential(src, "f", &[Value::I(5), Value::I(2)]);
+    assert!(fused.template_instrs > 0);
+    assert!(fused.dyncomp_cycles < unfused.dyncomp_cycles);
+}
+
+#[test]
+fn promotion_resume_point_bounds_each_template() {
+    // An internal `promote` ends the unit: the ops before it and the ops
+    // in the resume division fuse independently. Both sides must still
+    // produce templates when they have multi-instruction runs.
+    let src = r#"
+        int f(int s, int d) {
+            make_static(s);
+            int a = d * 3 + s;
+            int b = a * 5 + a;
+            s = b & 7;
+            promote(s);
+            int c = d * 9 + s;
+            int e = c * 11 + c;
+            return e;
+        }
+    "#;
+    let p = Compiler::with_config(OptConfig::all())
+        .compile(src)
+        .unwrap();
+    let staged = p.staged();
+    // At least two distinct divisions must carry a template (the entry
+    // division and the promotion resume division).
+    let divisions_with_templates: usize = staged
+        .ge
+        .funcs
+        .iter()
+        .flatten()
+        .flat_map(|f| f.divisions.iter())
+        .filter(|d| d.ops.iter().any(|op| matches!(op, GeOp::EmitTemplate(_))))
+        .count();
+    assert!(
+        divisions_with_templates >= 2,
+        "expected templates on both sides of the promotion, found them in \
+         {divisions_with_templates} division(s)"
+    );
+
+    let (fused, unfused) = differential(src, "f", &[Value::I(1), Value::I(6)]);
+    assert!(fused.template_instrs > 0);
+    assert!(fused.dyncomp_cycles < unfused.dyncomp_cycles);
+}
+
+#[test]
+fn branch_fixup_may_target_template_emitted_code() {
+    // A dynamic conditional: the branch emitted for `if (d > 0)` is
+    // fixed up to the join block, whose instructions are bulk-copied
+    // from a template. The fixup must resolve to the right offset inside
+    // the copied span, and both arms must execute correctly.
+    let src = r#"
+        int f(int s, int d) {
+            make_static(s);
+            int r = 0;
+            if (d > 0) { r = d * 3 + s; } else { r = d * 5 - s; }
+            int t = r * 9 + r;
+            int u = t * 13 + t;
+            return u + s;
+        }
+    "#;
+    let fused_p = Compiler::with_config(OptConfig::all())
+        .compile(src)
+        .unwrap();
+    assert!(
+        count_templates(&all_ops(&fused_p)) > 0,
+        "join block should have fused"
+    );
+    let unfused_p = Compiler::with_config(OptConfig::all().without("template_fusion").unwrap())
+        .compile(src)
+        .unwrap();
+    let mut fused = fused_p.dynamic_session();
+    let mut unfused = unfused_p.dynamic_session();
+    // Drive both arms of the branch through the same specialization.
+    for d in [7i64, -7] {
+        let args = [Value::I(2), Value::I(d)];
+        assert_eq!(
+            fused.run("f", &args).unwrap(),
+            unfused.run("f", &args).unwrap(),
+            "d = {d}"
+        );
+    }
+    assert_eq!(fused.rt_stats().unwrap().specializations, 1);
+    assert_eq!(
+        fused.disassemble_matching(""),
+        unfused.disassemble_matching(""),
+        "template fusion changed the emitted code"
+    );
+    let code = fused.disassemble_matching("f$spec");
+    assert!(
+        code.contains("brz") || code.contains("brnz"),
+        "specialized code kept no dynamic branch:\n{code}"
+    );
+    assert!(fused.rt_stats().unwrap().template_instrs > 0);
+}
+
+#[test]
+fn steady_state_dispatch_is_allocation_free() {
+    // After the first (miss) entry, a cache-hit region entry must not
+    // touch the heap: keys and pass-through arguments go through
+    // preallocated buffers, and the entry lookup reserves its slot
+    // instead of re-hashing on insert.
+    let src = r#"
+        int f(int s, int d) {
+            make_static(s);
+            int a = d * 3 + s;
+            int b = a * 5 + a;
+            return b;
+        }
+    "#;
+    let p = Compiler::with_config(OptConfig::all())
+        .compile(src)
+        .unwrap();
+    let mut sess = p.dynamic_session();
+    for s in 0..4 {
+        sess.run("f", &[Value::I(s), Value::I(9)]).unwrap();
+    }
+    let warm = sess.rt_stats().unwrap().dispatch_allocs;
+    for s in 0..4 {
+        sess.run("f", &[Value::I(s), Value::I(9)]).unwrap();
+    }
+    let steady = sess.rt_stats().unwrap().dispatch_allocs;
+    assert_eq!(
+        steady, warm,
+        "cache-hit dispatches allocated ({warm} -> {steady})"
+    );
+}
