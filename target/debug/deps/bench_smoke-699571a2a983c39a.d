@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_smoke-699571a2a983c39a.d: crates/bench/src/bin/bench_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_smoke-699571a2a983c39a.rmeta: crates/bench/src/bin/bench_smoke.rs Cargo.toml
+
+crates/bench/src/bin/bench_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_smoke-74ab82a87a3c55f9.d: crates/bench/src/bin/bench_smoke.rs
+
+/root/repo/target/debug/deps/bench_smoke-74ab82a87a3c55f9: crates/bench/src/bin/bench_smoke.rs
+
+crates/bench/src/bin/bench_smoke.rs:

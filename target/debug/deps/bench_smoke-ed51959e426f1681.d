@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_smoke-ed51959e426f1681.d: crates/bench/src/bin/bench_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_smoke-ed51959e426f1681.rmeta: crates/bench/src/bin/bench_smoke.rs Cargo.toml
+
+crates/bench/src/bin/bench_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

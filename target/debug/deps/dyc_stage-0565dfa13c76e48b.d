@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/dyc_stage-0565dfa13c76e48b.d: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs Cargo.toml
+/root/repo/target/debug/deps/dyc_stage-0565dfa13c76e48b.d: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdyc_stage-0565dfa13c76e48b.rmeta: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs Cargo.toml
+/root/repo/target/debug/deps/libdyc_stage-0565dfa13c76e48b.rmeta: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs Cargo.toml
 
 crates/stage/src/lib.rs:
 crates/stage/src/ge.rs:
 crates/stage/src/plan.rs:
+crates/stage/src/template.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/dyc_stage-965040ac8bc8917a.d: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs
+/root/repo/target/debug/deps/dyc_stage-965040ac8bc8917a.d: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs
 
-/root/repo/target/debug/deps/libdyc_stage-965040ac8bc8917a.rlib: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs
+/root/repo/target/debug/deps/libdyc_stage-965040ac8bc8917a.rlib: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs
 
-/root/repo/target/debug/deps/libdyc_stage-965040ac8bc8917a.rmeta: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs
+/root/repo/target/debug/deps/libdyc_stage-965040ac8bc8917a.rmeta: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs
 
 crates/stage/src/lib.rs:
 crates/stage/src/ge.rs:
 crates/stage/src/plan.rs:
+crates/stage/src/template.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/dyc_stage-af61ed87dd7f22de.d: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs Cargo.toml
+/root/repo/target/debug/deps/dyc_stage-af61ed87dd7f22de.d: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdyc_stage-af61ed87dd7f22de.rmeta: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs Cargo.toml
+/root/repo/target/debug/deps/libdyc_stage-af61ed87dd7f22de.rmeta: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs Cargo.toml
 
 crates/stage/src/lib.rs:
 crates/stage/src/ge.rs:
 crates/stage/src/plan.rs:
+crates/stage/src/template.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=

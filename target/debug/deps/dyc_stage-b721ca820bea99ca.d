@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/dyc_stage-b721ca820bea99ca.d: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs
+/root/repo/target/debug/deps/dyc_stage-b721ca820bea99ca.d: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs
 
-/root/repo/target/debug/deps/dyc_stage-b721ca820bea99ca: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs
+/root/repo/target/debug/deps/dyc_stage-b721ca820bea99ca: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs
 
 crates/stage/src/lib.rs:
 crates/stage/src/ge.rs:
 crates/stage/src/plan.rs:
+crates/stage/src/template.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/template_fusion-47608805f2e3a367.d: tests/template_fusion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtemplate_fusion-47608805f2e3a367.rmeta: tests/template_fusion.rs Cargo.toml
+
+tests/template_fusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/template_fusion-a6e6a14efbd9a1ec.d: tests/template_fusion.rs
+
+/root/repo/target/debug/deps/template_fusion-a6e6a14efbd9a1ec: tests/template_fusion.rs
+
+tests/template_fusion.rs:

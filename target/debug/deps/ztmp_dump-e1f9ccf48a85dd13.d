@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ztmp_dump-e1f9ccf48a85dd13.d: tests/ztmp_dump.rs
+
+/root/repo/target/debug/deps/ztmp_dump-e1f9ccf48a85dd13: tests/ztmp_dump.rs
+
+tests/ztmp_dump.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ztmp_dump2-c9f3b5783f9f9616.d: tests/ztmp_dump2.rs
+
+/root/repo/target/debug/deps/ztmp_dump2-c9f3b5783f9f9616: tests/ztmp_dump2.rs
+
+tests/ztmp_dump2.rs:

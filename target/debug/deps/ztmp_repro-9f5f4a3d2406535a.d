@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ztmp_repro-9f5f4a3d2406535a.d: tests/ztmp_repro.rs
+
+/root/repo/target/debug/deps/ztmp_repro-9f5f4a3d2406535a: tests/ztmp_repro.rs
+
+tests/ztmp_repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_smoke-c3df87733395d001.d: crates/bench/src/bin/bench_smoke.rs
+
+/root/repo/target/release/deps/bench_smoke-c3df87733395d001: crates/bench/src/bin/bench_smoke.rs
+
+crates/bench/src/bin/bench_smoke.rs:

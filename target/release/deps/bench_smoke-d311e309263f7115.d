@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_smoke-d311e309263f7115.d: crates/bench/src/bin/bench_smoke.rs
+
+/root/repo/target/release/deps/bench_smoke-d311e309263f7115: crates/bench/src/bin/bench_smoke.rs
+
+crates/bench/src/bin/bench_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conditional_specialization-677fc300916ecd96.d: tests/conditional_specialization.rs
+
+/root/repo/target/release/deps/conditional_specialization-677fc300916ecd96: tests/conditional_specialization.rs
+
+tests/conditional_specialization.rs:

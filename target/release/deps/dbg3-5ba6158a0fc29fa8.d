@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dbg3-5ba6158a0fc29fa8.d: crates/bench/src/bin/dbg3.rs
+
+/root/repo/target/release/deps/dbg3-5ba6158a0fc29fa8: crates/bench/src/bin/dbg3.rs
+
+crates/bench/src/bin/dbg3.rs:

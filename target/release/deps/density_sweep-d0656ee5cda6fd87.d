@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/density_sweep-d0656ee5cda6fd87.d: crates/bench/src/bin/density_sweep.rs
+
+/root/repo/target/release/deps/density_sweep-d0656ee5cda6fd87: crates/bench/src/bin/density_sweep.rs
+
+crates/bench/src/bin/density_sweep.rs:

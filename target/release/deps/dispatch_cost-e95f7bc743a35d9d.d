@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dispatch_cost-e95f7bc743a35d9d.d: crates/bench/src/bin/dispatch_cost.rs
+
+/root/repo/target/release/deps/dispatch_cost-e95f7bc743a35d9d: crates/bench/src/bin/dispatch_cost.rs
+
+crates/bench/src/bin/dispatch_cost.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dyc-36873ce7b1a961ae.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/program.rs crates/core/src/session.rs
+
+/root/repo/target/release/deps/dyc-36873ce7b1a961ae: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/program.rs crates/core/src/session.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/program.rs:
+crates/core/src/session.rs:

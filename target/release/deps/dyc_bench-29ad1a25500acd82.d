@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/dyc_bench-29ad1a25500acd82.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/dyc_bench-29ad1a25500acd82: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

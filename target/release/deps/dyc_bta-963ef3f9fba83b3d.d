@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dyc_bta-963ef3f9fba83b3d.d: crates/bta/src/lib.rs crates/bta/src/analysis.rs crates/bta/src/config.rs crates/bta/src/transfer.rs
+
+/root/repo/target/release/deps/dyc_bta-963ef3f9fba83b3d: crates/bta/src/lib.rs crates/bta/src/analysis.rs crates/bta/src/config.rs crates/bta/src/transfer.rs
+
+crates/bta/src/lib.rs:
+crates/bta/src/analysis.rs:
+crates/bta/src/config.rs:
+crates/bta/src/transfer.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/dyc_ir-be070ded2dd8e23e.d: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/codegen.rs crates/ir/src/func.rs crates/ir/src/ids.rs crates/ir/src/inst.rs crates/ir/src/lower.rs crates/ir/src/opt/mod.rs crates/ir/src/opt/constfold.rs crates/ir/src/opt/cse.rs crates/ir/src/opt/dce.rs crates/ir/src/opt/licm.rs crates/ir/src/opt/simplify_cfg.rs crates/ir/src/pretty.rs crates/ir/src/verify.rs
+
+/root/repo/target/release/deps/dyc_ir-be070ded2dd8e23e: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/codegen.rs crates/ir/src/func.rs crates/ir/src/ids.rs crates/ir/src/inst.rs crates/ir/src/lower.rs crates/ir/src/opt/mod.rs crates/ir/src/opt/constfold.rs crates/ir/src/opt/cse.rs crates/ir/src/opt/dce.rs crates/ir/src/opt/licm.rs crates/ir/src/opt/simplify_cfg.rs crates/ir/src/pretty.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/analysis.rs:
+crates/ir/src/codegen.rs:
+crates/ir/src/func.rs:
+crates/ir/src/ids.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/opt/mod.rs:
+crates/ir/src/opt/constfold.rs:
+crates/ir/src/opt/cse.rs:
+crates/ir/src/opt/dce.rs:
+crates/ir/src/opt/licm.rs:
+crates/ir/src/opt/simplify_cfg.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/verify.rs:

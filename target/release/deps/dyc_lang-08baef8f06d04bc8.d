@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dyc_lang-08baef8f06d04bc8.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/eval.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs
+
+/root/repo/target/release/deps/dyc_lang-08baef8f06d04bc8: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/eval.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/eval.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/token.rs:

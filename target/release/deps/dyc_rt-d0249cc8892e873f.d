@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dyc_rt-d0249cc8892e873f.d: crates/rt/src/lib.rs crates/rt/src/cache.rs crates/rt/src/costs.rs crates/rt/src/emitter.rs crates/rt/src/ge_exec.rs crates/rt/src/runtime.rs crates/rt/src/specializer.rs crates/rt/src/stats.rs
+
+/root/repo/target/release/deps/dyc_rt-d0249cc8892e873f: crates/rt/src/lib.rs crates/rt/src/cache.rs crates/rt/src/costs.rs crates/rt/src/emitter.rs crates/rt/src/ge_exec.rs crates/rt/src/runtime.rs crates/rt/src/specializer.rs crates/rt/src/stats.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/cache.rs:
+crates/rt/src/costs.rs:
+crates/rt/src/emitter.rs:
+crates/rt/src/ge_exec.rs:
+crates/rt/src/runtime.rs:
+crates/rt/src/specializer.rs:
+crates/rt/src/stats.rs:

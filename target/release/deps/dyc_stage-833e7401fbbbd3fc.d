@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dyc_stage-833e7401fbbbd3fc.d: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs
+
+/root/repo/target/release/deps/dyc_stage-833e7401fbbbd3fc: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs
+
+crates/stage/src/lib.rs:
+crates/stage/src/ge.rs:
+crates/stage/src/plan.rs:
+crates/stage/src/template.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/dyc_stage-ec2b80b928a79833.d: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs
+/root/repo/target/release/deps/dyc_stage-ec2b80b928a79833.d: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs
 
-/root/repo/target/release/deps/libdyc_stage-ec2b80b928a79833.rlib: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs
+/root/repo/target/release/deps/libdyc_stage-ec2b80b928a79833.rlib: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs
 
-/root/repo/target/release/deps/libdyc_stage-ec2b80b928a79833.rmeta: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs
+/root/repo/target/release/deps/libdyc_stage-ec2b80b928a79833.rmeta: crates/stage/src/lib.rs crates/stage/src/ge.rs crates/stage/src/plan.rs crates/stage/src/template.rs
 
 crates/stage/src/lib.rs:
 crates/stage/src/ge.rs:
 crates/stage/src/plan.rs:
+crates/stage/src/template.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dyc_suite-35dabe8c9d898a24.d: src/lib.rs
+
+/root/repo/target/release/deps/dyc_suite-35dabe8c9d898a24: src/lib.rs
+
+src/lib.rs:

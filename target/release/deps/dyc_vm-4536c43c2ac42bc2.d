@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dyc_vm-4536c43c2ac42bc2.d: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/host.rs crates/vm/src/icache.rs crates/vm/src/interp.rs crates/vm/src/isa.rs crates/vm/src/mem.rs crates/vm/src/module.rs crates/vm/src/pretty.rs crates/vm/src/stats.rs crates/vm/src/value.rs
+
+/root/repo/target/release/deps/dyc_vm-4536c43c2ac42bc2: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/host.rs crates/vm/src/icache.rs crates/vm/src/interp.rs crates/vm/src/isa.rs crates/vm/src/mem.rs crates/vm/src/module.rs crates/vm/src/pretty.rs crates/vm/src/stats.rs crates/vm/src/value.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/cost.rs:
+crates/vm/src/host.rs:
+crates/vm/src/icache.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/isa.rs:
+crates/vm/src/mem.rs:
+crates/vm/src/module.rs:
+crates/vm/src/pretty.rs:
+crates/vm/src/stats.rs:
+crates/vm/src/value.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/dyc_workloads-af3df65ddb4d6c6e.d: crates/workloads/src/lib.rs crates/workloads/src/binary.rs crates/workloads/src/chebyshev.rs crates/workloads/src/dinero.rs crates/workloads/src/dotproduct.rs crates/workloads/src/m88ksim.rs crates/workloads/src/measure.rs crates/workloads/src/mipsi.rs crates/workloads/src/pnmconvol.rs crates/workloads/src/query.rs crates/workloads/src/rng.rs crates/workloads/src/romberg.rs crates/workloads/src/unrle.rs crates/workloads/src/viewperf.rs
+
+/root/repo/target/release/deps/dyc_workloads-af3df65ddb4d6c6e: crates/workloads/src/lib.rs crates/workloads/src/binary.rs crates/workloads/src/chebyshev.rs crates/workloads/src/dinero.rs crates/workloads/src/dotproduct.rs crates/workloads/src/m88ksim.rs crates/workloads/src/measure.rs crates/workloads/src/mipsi.rs crates/workloads/src/pnmconvol.rs crates/workloads/src/query.rs crates/workloads/src/rng.rs crates/workloads/src/romberg.rs crates/workloads/src/unrle.rs crates/workloads/src/viewperf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/binary.rs:
+crates/workloads/src/chebyshev.rs:
+crates/workloads/src/dinero.rs:
+crates/workloads/src/dotproduct.rs:
+crates/workloads/src/m88ksim.rs:
+crates/workloads/src/measure.rs:
+crates/workloads/src/mipsi.rs:
+crates/workloads/src/pnmconvol.rs:
+crates/workloads/src/query.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/romberg.rs:
+crates/workloads/src/unrle.rs:
+crates/workloads/src/viewperf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/edge_cases-8b2be0f43f02fa61.d: tests/edge_cases.rs
+
+/root/repo/target/release/deps/edge_cases-8b2be0f43f02fa61: tests/edge_cases.rs
+
+tests/edge_cases.rs:

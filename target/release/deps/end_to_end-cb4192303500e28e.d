@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-cb4192303500e28e.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-cb4192303500e28e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

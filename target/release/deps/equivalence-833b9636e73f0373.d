@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence-833b9636e73f0373.d: tests/equivalence.rs
+
+/root/repo/target/release/deps/equivalence-833b9636e73f0373: tests/equivalence.rs
+
+tests/equivalence.rs:

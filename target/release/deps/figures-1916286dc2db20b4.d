@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-1916286dc2db20b4.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-1916286dc2db20b4: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

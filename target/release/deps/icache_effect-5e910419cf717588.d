@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/icache_effect-5e910419cf717588.d: crates/bench/src/bin/icache_effect.rs
+
+/root/repo/target/release/deps/icache_effect-5e910419cf717588: crates/bench/src/bin/icache_effect.rs
+
+crates/bench/src/bin/icache_effect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/indexed_dispatch-cfa139d4e94c7548.d: crates/bench/src/bin/indexed_dispatch.rs
+
+/root/repo/target/release/deps/indexed_dispatch-cfa139d4e94c7548: crates/bench/src/bin/indexed_dispatch.rs
+
+crates/bench/src/bin/indexed_dispatch.rs:

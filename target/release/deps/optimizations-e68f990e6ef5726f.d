@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizations-e68f990e6ef5726f.d: crates/core/tests/optimizations.rs
+
+/root/repo/target/release/deps/optimizations-e68f990e6ef5726f: crates/core/tests/optimizations.rs
+
+crates/core/tests/optimizations.rs:

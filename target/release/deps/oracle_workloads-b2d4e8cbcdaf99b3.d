@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oracle_workloads-b2d4e8cbcdaf99b3.d: tests/oracle_workloads.rs
+
+/root/repo/target/release/deps/oracle_workloads-b2d4e8cbcdaf99b3: tests/oracle_workloads.rs
+
+tests/oracle_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-06cf49f64672d739.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-06cf49f64672d739: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/staged_differential-10dbf0c09a3be286.d: tests/staged_differential.rs
+
+/root/repo/target/release/deps/staged_differential-10dbf0c09a3be286: tests/staged_differential.rs
+
+tests/staged_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-31ddcd23d53c6a1b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-31ddcd23d53c6a1b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-1338d132be6dd5e5.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-1338d132be6dd5e5: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

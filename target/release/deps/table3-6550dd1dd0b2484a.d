@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-6550dd1dd0b2484a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-6550dd1dd0b2484a: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-58b1d5935ef0cb5b.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-58b1d5935ef0cb5b: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-83dc1f4f94fa8b8a.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-83dc1f4f94fa8b8a: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

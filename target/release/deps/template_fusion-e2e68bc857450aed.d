@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/template_fusion-e2e68bc857450aed.d: tests/template_fusion.rs
+
+/root/repo/target/release/deps/template_fusion-e2e68bc857450aed: tests/template_fusion.rs
+
+tests/template_fusion.rs:

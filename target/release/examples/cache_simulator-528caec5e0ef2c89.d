@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cache_simulator-528caec5e0ef2c89.d: examples/cache_simulator.rs
+
+/root/repo/target/release/examples/cache_simulator-528caec5e0ef2c89: examples/cache_simulator.rs
+
+examples/cache_simulator.rs:

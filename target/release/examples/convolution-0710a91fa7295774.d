@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/convolution-0710a91fa7295774.d: examples/convolution.rs
+
+/root/repo/target/release/examples/convolution-0710a91fa7295774: examples/convolution.rs
+
+examples/convolution.rs:

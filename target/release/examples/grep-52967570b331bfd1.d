@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/grep-52967570b331bfd1.d: examples/grep.rs
+
+/root/repo/target/release/examples/grep-52967570b331bfd1: examples/grep.rs
+
+examples/grep.rs:

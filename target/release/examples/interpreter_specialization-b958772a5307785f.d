@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/interpreter_specialization-b958772a5307785f.d: examples/interpreter_specialization.rs
+
+/root/repo/target/release/examples/interpreter_specialization-b958772a5307785f: examples/interpreter_specialization.rs
+
+examples/interpreter_specialization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ac67cce3956874b9.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ac67cce3956874b9: examples/quickstart.rs
+
+examples/quickstart.rs:
