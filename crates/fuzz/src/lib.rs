@@ -1,0 +1,70 @@
+//! # dyc-fuzz — generative differential fuzzing of the specialization paths
+//!
+//! The repo's strongest correctness claim is that the three dynamic
+//! compilation paths — online specializer, staged GE executor, fused
+//! copy-and-patch templates — are *pure refinements* of each other and of
+//! the plain interpreter: same results, same output, byte-identical
+//! generated code, same statistics modulo the cycle split. The existing
+//! differential test (`tests/staged_differential.rs`) checks this on the
+//! eight hand-written benchmarks; this crate checks it on an unbounded
+//! stream of machine-generated annotated programs (DESIGN.md §10).
+//!
+//! * [`gen`] — seeded, deterministic generation of annotated DyCL
+//!   programs (arithmetic, branches, bounded loops, switches, memory,
+//!   helper calls, `make_static` regions with sampled caching policies,
+//!   promotions, static loads) plus their invocation tuples.
+//! * [`oracle`] — the 4-way differential oracle and its run-time
+//!   invariants.
+//! * [`shrink`] — a delta-debugging minimizer that reduces a failing
+//!   case while preserving its [`oracle::Violation::kind`].
+//!
+//! The `dyc-fuzz` binary drives the loop:
+//!
+//! ```text
+//! cargo run --release -p dyc-fuzz -- --seed 1 --iters 500
+//! ```
+//!
+//! Every failure is printed as a self-contained repro (minimized DyCL
+//! source, array contents, invocation tuples, and the case seed);
+//! re-running with `--case-seed N` reproduces the identical minimized
+//! case. Minimized finds get pinned in `tests/fuzz_regressions.rs`.
+
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+pub use gen::{generate_case, GenConfig, ScalarArg, TestCase, ARRAY_LEN, TARGET};
+pub use oracle::{run_case, CaseReport, Coverage, Violation};
+pub use shrink::{shrink, violation_key, violation_kind};
+
+use dyc_workloads::rng::SplitMix64;
+
+/// Derive the per-case seed for iteration `iter` of a run with base
+/// `seed`. One SplitMix64 step per iteration keeps case seeds stable
+/// under `--iters` changes: case `i` is the same whether the run does 10
+/// iterations or 10,000.
+pub fn case_seed(seed: u64, iter: u64) -> u64 {
+    SplitMix64::seed_from_u64(seed.wrapping_add(iter.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        .next_u64()
+}
+
+/// Rebuild a [`TestCase`] from DyCL source plus inputs — the form pinned
+/// regressions are stored in.
+///
+/// # Errors
+///
+/// Returns the parse error as a string if `src` is not valid DyCL.
+pub fn case_from_source(
+    src: &str,
+    arr: Option<Vec<i64>>,
+    wbuf: Option<Vec<i64>>,
+    tuples: Vec<Vec<ScalarArg>>,
+) -> Result<TestCase, String> {
+    let program = dyc_lang::parse_program(src).map_err(|e| e.to_string())?;
+    Ok(TestCase {
+        program,
+        arr,
+        wbuf,
+        tuples,
+    })
+}

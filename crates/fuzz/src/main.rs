@@ -1,0 +1,186 @@
+//! The fuzzing driver: generate → check → shrink → report.
+//!
+//! ```text
+//! dyc-fuzz --seed 1 --iters 500          # a fuzzing run
+//! dyc-fuzz --case-seed 12345678          # replay one case by its seed
+//! ```
+//!
+//! Exit status is 0 iff every case passed the oracle. Each failure
+//! prints a self-contained repro block: the minimized DyCL source, the
+//! array contents and invocation tuples, the violation, and the
+//! `--case-seed` replay command. Everything is deterministic: the same
+//! seed always generates, fails, and minimizes identically.
+
+use dyc_fuzz::{
+    case_seed, generate_case, run_case, shrink, violation_key, GenConfig, ScalarArg, TestCase,
+};
+use dyc_lang::pretty::program_to_string;
+use std::process::ExitCode;
+
+/// Oracle evaluations the minimizer may spend per failing case.
+const SHRINK_BUDGET: usize = 1500;
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    case_seed: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 1,
+        iters: 500,
+        case_seed: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad value for {name}: {e}"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = grab("--seed")?,
+            "--iters" => args.iters = grab("--iters")?,
+            "--case-seed" => args.case_seed = Some(grab("--case-seed")?),
+            "--help" | "-h" => {
+                println!(
+                    "dyc-fuzz: differential fuzzing of the DyC-RS specialization paths\n\n\
+                     USAGE: dyc-fuzz [--seed N] [--iters M] [--case-seed S]\n\n\
+                     --seed N       base seed for the run (default 1)\n\
+                     --iters M      number of generated cases (default 500)\n\
+                     --case-seed S  replay a single case by its printed seed"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn fmt_tuples(tuples: &[Vec<ScalarArg>]) -> String {
+    tuples
+        .iter()
+        .map(|t| {
+            let parts: Vec<String> = t
+                .iter()
+                .map(|a| match a {
+                    ScalarArg::I(v) => v.to_string(),
+                    ScalarArg::F(v) => format!("{v:?}"),
+                })
+                .collect();
+            format!("  ({})", parts.join(", "))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn report_failure(cs: u64, case: &TestCase, kind: &str, key: &str) {
+    let minimized = shrink(case, key, SHRINK_BUDGET);
+    // Re-derive the violation from the minimized case for the report.
+    let detail = match run_case(&minimized) {
+        Err(v) => v.to_string(),
+        Ok(_) => "violation did not reproduce on minimized case (flaky?)".to_string(),
+    };
+    println!("\n================ ORACLE VIOLATION ================");
+    println!("case seed : {cs}");
+    println!("kind      : {kind}");
+    println!("violation : {detail}");
+    println!("replay    : cargo run --release -p dyc-fuzz -- --case-seed {cs}");
+    println!("--- minimized source ---");
+    println!("{}", program_to_string(&minimized.program));
+    if let Some(arr) = &minimized.arr {
+        println!("--- arr (read-only) ---\n  {arr:?}");
+    }
+    if let Some(wbuf) = &minimized.wbuf {
+        println!("--- wbuf (initial) ---\n  {wbuf:?}");
+    }
+    println!("--- invocation tuples (scalar args) ---");
+    println!("{}", fmt_tuples(&minimized.tuples));
+    println!("==================================================");
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dyc-fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cfg = GenConfig::default();
+    let case_seeds: Vec<u64> = match args.case_seed {
+        Some(cs) => vec![cs],
+        None => (0..args.iters).map(|i| case_seed(args.seed, i)).collect(),
+    };
+
+    let mut failures = 0u64;
+    let mut skipped = 0u64;
+    let mut cov_specialized = 0u64;
+    let mut cov_unrolled = 0u64;
+    let mut cov_promoted = 0u64;
+    let mut cov_templated = 0u64;
+    let mut cov_indexed = 0u64;
+    let mut cov_unchecked = 0u64;
+    let mut cov_polyvariant = 0u64;
+    let mut cov_static_loads = 0u64;
+    let mut cov_static_calls = 0u64;
+    let mut cov_folded = 0u64;
+    let mut cov_zero_copy = 0u64;
+
+    for (i, cs) in case_seeds.iter().enumerate() {
+        let case = generate_case(*cs, cfg);
+        match run_case(&case) {
+            Ok(report) => {
+                if let Some(why) = report.skipped {
+                    skipped += 1;
+                    if args.case_seed.is_some() {
+                        println!("case {cs}: skipped ({why})");
+                    }
+                } else {
+                    let c = report.coverage;
+                    cov_specialized += c.specialized as u64;
+                    cov_unrolled += c.unrolled as u64;
+                    cov_promoted += c.promoted as u64;
+                    cov_templated += c.templated as u64;
+                    cov_indexed += c.indexed_dispatch as u64;
+                    cov_unchecked += c.unchecked_dispatch as u64;
+                    cov_polyvariant += c.polyvariant as u64;
+                    cov_static_loads += c.static_loads as u64;
+                    cov_static_calls += c.static_calls as u64;
+                    cov_folded += c.branches_folded as u64;
+                    cov_zero_copy += c.zero_copy_folds as u64;
+                }
+            }
+            Err(v) => {
+                failures += 1;
+                // Shrinking preserves the key, re-deriving it through the
+                // panic-catching wrapper in case the violation only shows
+                // up as a crash there.
+                let key = violation_key(&case).unwrap_or_else(|| v.kind().to_string());
+                report_failure(*cs, &case, v.kind(), &key);
+            }
+        }
+        if args.case_seed.is_none() && (i + 1) % 100 == 0 {
+            println!("... {}/{} cases", i + 1, case_seeds.len());
+        }
+    }
+
+    let total = case_seeds.len() as u64;
+    println!("\n==== dyc-fuzz summary ====");
+    println!("cases     : {total}");
+    println!("failures  : {failures}");
+    println!("skipped   : {skipped} (non-finite float observables)");
+    println!("coverage  : specialized {cov_specialized}, unrolled {cov_unrolled}, promoted {cov_promoted}, templated {cov_templated}");
+    println!("            indexed-dispatch {cov_indexed}, unchecked-dispatch {cov_unchecked}, polyvariant {cov_polyvariant}");
+    println!("            static-loads {cov_static_loads}, static-calls {cov_static_calls}, branches-folded {cov_folded}, zero/copy-folds {cov_zero_copy}");
+
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,563 @@
+//! The 4-way differential oracle.
+//!
+//! Every test case runs through four executions of the same DyCL source:
+//!
+//! | path    | build                                      | specialization   |
+//! |---------|--------------------------------------------|------------------|
+//! | interp  | `static_session()` (annotations compiled away) | none         |
+//! | online  | `OptConfig::all().without("staged_ge")`    | run-time BTA     |
+//! | staged  | `OptConfig::all().without("template_fusion")` | GE executor   |
+//! | fused   | `OptConfig::all()`                         | copy-and-patch   |
+//!
+//! and the oracle asserts that the three dynamic paths are *pure*
+//! refinements of each other and of the reference interpreter:
+//!
+//! * identical results, printed output, and final memory, four ways
+//!   (floats compared with `==`, so DyC's `x*0.0 → 0.0` fold is allowed
+//!   to canonicalize a negative zero; non-finite observables skip the
+//!   case — the paper's optimizations assume finite floats);
+//! * byte-identical disassembly of the whole specialized module across
+//!   the three dynamic paths;
+//! * `RtStats` agreement modulo the cycle meters ([`normalized`]),
+//!   `runtime_bta_calls == 0` on both staged paths and `> 0` online
+//!   whenever specialization happened, template instructions only on the
+//!   fused path, and the overhead ordering fused ≤ unfused ≤ online;
+//! * dispatch accounting balances: per-policy dispatch counts sum to the
+//!   VM's dispatch count, and specializations equal dispatch misses;
+//! * steady state is allocation-free: re-running the first tuple moves
+//!   neither `specializations` nor `dispatch_allocs`.
+
+use crate::gen::{ScalarArg, TestCase, ARRAY_LEN, TARGET};
+use dyc::{Compiler, OptConfig, RtStats, Session, Value};
+use dyc_lang::pretty::program_to_string;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Step budget per invocation — converts a runaway loop (a generator or
+/// lowering bug) into a comparable `StepLimit` error instead of a hang.
+const STEP_LIMIT: u64 = 10_000_000;
+
+const PATHS: [&str; 4] = ["interp", "online", "staged", "fused"];
+
+/// An oracle violation: the smallest unit the shrinker preserves is the
+/// [`Violation::kind`] label, so a shrink step may not turn one failure
+/// into a different one.
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// The rendered program failed to compile on some path.
+    Compile { path: &'static str, msg: String },
+    /// A path panicked (compiler, runtime, or VM).
+    Crash { path: &'static str, msg: String },
+    /// Paths disagreed on whether (or how) the run fails.
+    ErrorMismatch { tuple: usize, details: String },
+    /// Paths returned different values.
+    ResultMismatch { tuple: usize, details: String },
+    /// Paths printed different output.
+    OutputMismatch { tuple: usize, details: String },
+    /// Paths left different contents in the writable array.
+    MemoryMismatch { tuple: usize, details: String },
+    /// The three dynamic paths emitted different specialized code.
+    CodeMismatch { details: String },
+    /// Normalized `RtStats` diverged between dynamic paths.
+    StatsMismatch { details: String },
+    /// A runtime invariant failed (dispatch accounting, staged-zero-BTA,
+    /// overhead ordering, steady-state allocation-freedom, ...).
+    Invariant { details: String },
+}
+
+impl Violation {
+    /// A stable label naming the failure class; shrinking preserves it.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Compile { .. } => "compile",
+            Violation::Crash { .. } => "crash",
+            Violation::ErrorMismatch { .. } => "error-mismatch",
+            Violation::ResultMismatch { .. } => "result-mismatch",
+            Violation::OutputMismatch { .. } => "output-mismatch",
+            Violation::MemoryMismatch { .. } => "memory-mismatch",
+            Violation::CodeMismatch { .. } => "code-mismatch",
+            Violation::StatsMismatch { .. } => "stats-mismatch",
+            Violation::Invariant { .. } => "invariant",
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Compile { path, msg } => write!(f, "compile error on {path}: {msg}"),
+            Violation::Crash { path, msg } => write!(f, "panic on {path}: {msg}"),
+            Violation::ErrorMismatch { tuple, details } => {
+                write!(f, "error mismatch on tuple {tuple}: {details}")
+            }
+            Violation::ResultMismatch { tuple, details } => {
+                write!(f, "result mismatch on tuple {tuple}: {details}")
+            }
+            Violation::OutputMismatch { tuple, details } => {
+                write!(f, "output mismatch on tuple {tuple}: {details}")
+            }
+            Violation::MemoryMismatch { tuple, details } => {
+                write!(f, "memory mismatch on tuple {tuple}: {details}")
+            }
+            Violation::CodeMismatch { details } => write!(f, "code mismatch: {details}"),
+            Violation::StatsMismatch { details } => write!(f, "stats mismatch: {details}"),
+            Violation::Invariant { details } => write!(f, "invariant violation: {details}"),
+        }
+    }
+}
+
+/// Optimization features the case actually exercised (from the fused
+/// path's counters) — the fuzzer's coverage report aggregates these.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Coverage {
+    pub specialized: bool,
+    pub unrolled: bool,
+    pub promoted: bool,
+    pub templated: bool,
+    pub indexed_dispatch: bool,
+    pub unchecked_dispatch: bool,
+    pub polyvariant: bool,
+    pub static_loads: bool,
+    pub static_calls: bool,
+    pub branches_folded: bool,
+    pub zero_copy_folds: bool,
+}
+
+/// The outcome of a clean (non-violating) case.
+#[derive(Debug, Clone, Default)]
+pub struct CaseReport {
+    /// Which features fired.
+    pub coverage: Coverage,
+    /// `Some(reason)` if the case was skipped (non-finite float
+    /// observable) rather than fully checked.
+    pub skipped: Option<String>,
+}
+
+/// Zero the fields the dynamic paths are *allowed* to differ on — the
+/// cycle split, the run-time-analysis counter, and the template meters —
+/// mirroring `tests/staged_differential.rs`.
+fn normalized(rt: &RtStats) -> RtStats {
+    RtStats {
+        dyncomp_cycles: 0,
+        ge_exec_cycles: 0,
+        emit_cycles: 0,
+        runtime_bta_calls: 0,
+        template_instrs: 0,
+        holes_patched: 0,
+        template_copy_cycles: 0,
+        hole_patch_cycles: 0,
+        template_fallbacks: 0,
+        ..rt.clone()
+    }
+}
+
+fn value_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::I(x), Value::I(y)) => x == y,
+        // `==` deliberately: the zero-fold may canonicalize -0.0 to 0.0.
+        // NaN observables never reach this point (the case is skipped).
+        (Value::F(x), Value::F(y)) => x == y || x.to_bits() == y.to_bits(),
+        _ => false,
+    }
+}
+
+fn values_eq(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| value_eq(x, y))
+}
+
+fn non_finite(v: &Value) -> bool {
+    matches!(v, Value::F(f) if !f.is_finite())
+}
+
+fn fmt_vals(vs: &[Value]) -> String {
+    let parts: Vec<String> = vs
+        .iter()
+        .map(|v| match v {
+            Value::I(i) => i.to_string(),
+            Value::F(f) => format!("{f:?}"),
+        })
+        .collect();
+    format!("[{}]", parts.join(", "))
+}
+
+/// One path's per-tuple observation.
+struct Obs {
+    result: Result<Option<Value>, String>,
+    output: Vec<Value>,
+    wbuf: Option<Vec<i64>>,
+}
+
+struct Path {
+    name: &'static str,
+    sess: Session,
+    arr_base: Option<i64>,
+    wbuf_base: Option<i64>,
+}
+
+impl Path {
+    fn invoke(&mut self, case: &TestCase, tuple: &[ScalarArg]) -> Result<Obs, Violation> {
+        // Reset the writable array so every invocation — including the
+        // steady-state re-run — sees identical memory, keeping promoted
+        // keys repeatable.
+        if let (Some(base), Some(init)) = (self.wbuf_base, case.wbuf.as_ref()) {
+            self.sess.mem().write_ints(base, init);
+        }
+        self.sess.take_output();
+        let mut args: Vec<Value> = tuple
+            .iter()
+            .map(|a| match a {
+                ScalarArg::I(v) => Value::I(*v),
+                ScalarArg::F(v) => Value::F(*v),
+            })
+            .collect();
+        if let Some(base) = self.arr_base {
+            args.push(Value::I(base));
+            args.push(Value::I(ARRAY_LEN as i64));
+        }
+        if let Some(base) = self.wbuf_base {
+            args.push(Value::I(base));
+            args.push(Value::I(ARRAY_LEN as i64));
+        }
+        let name = self.name;
+        let ran = catch_unwind(AssertUnwindSafe(|| self.sess.run(TARGET, &args)));
+        let result = match ran {
+            Err(payload) => {
+                return Err(Violation::Crash {
+                    path: name,
+                    msg: panic_message(&payload),
+                })
+            }
+            Ok(r) => r.map_err(|e| e.to_string()),
+        };
+        let output = self.sess.take_output();
+        let wbuf = self
+            .wbuf_base
+            .map(|base| self.sess.mem().read_ints(base, ARRAY_LEN));
+        Ok(Obs {
+            result,
+            output,
+            wbuf,
+        })
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn build_path(
+    name: &'static str,
+    case: &TestCase,
+    src: &str,
+    cfg: OptConfig,
+    dynamic: bool,
+) -> Result<Path, Violation> {
+    let program = catch_unwind(AssertUnwindSafe(|| Compiler::with_config(cfg).compile(src)))
+        .map_err(|p| Violation::Crash {
+            path: name,
+            msg: format!("compiler panic: {}", panic_message(&p)),
+        })?
+        .map_err(|e| Violation::Compile {
+            path: name,
+            msg: e.to_string(),
+        })?;
+    let mut sess = if dynamic {
+        program.dynamic_session()
+    } else {
+        program.static_session()
+    };
+    sess.set_step_limit(STEP_LIMIT);
+    let arr_base = case.arr.as_ref().map(|init| {
+        let base = sess.alloc(ARRAY_LEN);
+        sess.mem().write_ints(base, init);
+        base
+    });
+    let wbuf_base = case.wbuf.as_ref().map(|_| sess.alloc(ARRAY_LEN));
+    Ok(Path {
+        name,
+        sess,
+        arr_base,
+        wbuf_base,
+    })
+}
+
+/// Run one case through all four paths and check every oracle property.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+pub fn run_case(case: &TestCase) -> Result<CaseReport, Box<Violation>> {
+    let src = program_to_string(&case.program);
+    run_case_src(case, &src)
+}
+
+fn run_case_src(case: &TestCase, src: &str) -> Result<CaseReport, Box<Violation>> {
+    let fused_cfg = OptConfig::all();
+    let unfused_cfg = OptConfig::all()
+        .without("template_fusion")
+        .expect("feature name");
+    let online_cfg = OptConfig::all().without("staged_ge").expect("feature name");
+
+    let mut paths = [
+        build_path("interp", case, src, fused_cfg, false)?,
+        build_path("online", case, src, online_cfg, true)?,
+        build_path("staged", case, src, unfused_cfg, true)?,
+        build_path("fused", case, src, fused_cfg, true)?,
+    ];
+
+    // Data memory layout must agree or address-typed arguments diverge
+    // for reasons that have nothing to do with specialization.
+    for p in &paths[1..] {
+        if p.arr_base != paths[0].arr_base || p.wbuf_base != paths[0].wbuf_base {
+            return Err(Box::new(Violation::Invariant {
+                details: format!("allocation bases diverged between interp and {}", p.name),
+            }));
+        }
+    }
+
+    let mut report = CaseReport::default();
+    let mut tuple0_ok = true;
+    for (t, tuple) in case.tuples.iter().enumerate() {
+        let mut obs: Vec<Obs> = Vec::with_capacity(4);
+        for p in paths.iter_mut() {
+            obs.push(p.invoke(case, tuple)?);
+        }
+        let n_err = obs.iter().filter(|o| o.result.is_err()).count();
+        if n_err > 0 {
+            if t == 0 {
+                tuple0_ok = false;
+            }
+            // All four must fail, and identically: a fault (division by
+            // zero, step limit) is an observable like any other.
+            let msgs: Vec<&String> = obs.iter().filter_map(|o| o.result.as_ref().err()).collect();
+            if n_err < 4 || msgs.windows(2).any(|w| w[0] != w[1]) {
+                let details = obs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, o)| format!("{}: {:?}", PATHS[i], o.result))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(Box::new(Violation::ErrorMismatch { tuple: t, details }));
+            }
+            continue;
+        }
+
+        // Skip (not fail) on non-finite observables: every float-folding
+        // rule in the paper assumes finite arithmetic.
+        let observables_nonfinite = obs.iter().any(|o| {
+            o.result
+                .as_ref()
+                .ok()
+                .and_then(|r| r.as_ref())
+                .is_some_and(non_finite)
+                || o.output.iter().any(non_finite)
+        });
+        if observables_nonfinite {
+            report.skipped = Some(format!("non-finite float observable on tuple {t}"));
+            return Ok(report);
+        }
+
+        let r0 = obs[0].result.as_ref().ok().unwrap();
+        for (i, o) in obs.iter().enumerate().skip(1) {
+            let ri = o.result.as_ref().ok().unwrap();
+            let same = match (r0, ri) {
+                (None, None) => true,
+                (Some(a), Some(b)) => value_eq(a, b),
+                _ => false,
+            };
+            if !same {
+                return Err(Box::new(Violation::ResultMismatch {
+                    tuple: t,
+                    details: format!("interp: {r0:?} vs {}: {ri:?}", PATHS[i]),
+                }));
+            }
+            if !values_eq(&obs[0].output, &o.output) {
+                return Err(Box::new(Violation::OutputMismatch {
+                    tuple: t,
+                    details: format!(
+                        "interp: {} vs {}: {}",
+                        fmt_vals(&obs[0].output),
+                        PATHS[i],
+                        fmt_vals(&o.output)
+                    ),
+                }));
+            }
+            if obs[0].wbuf != o.wbuf {
+                return Err(Box::new(Violation::MemoryMismatch {
+                    tuple: t,
+                    details: format!("interp: {:?} vs {}: {:?}", obs[0].wbuf, PATHS[i], o.wbuf),
+                }));
+            }
+        }
+    }
+
+    // Steady state: the first tuple has been run twice already (tuples
+    // ends with a repeat); a third run must move neither the
+    // specialization counter nor the dispatch allocator.
+    if tuple0_ok {
+        for p in paths.iter_mut().skip(1) {
+            let before = p.sess.rt_stats().expect("dynamic path").clone();
+            p.invoke(case, &case.tuples[0])?;
+            let after = p.sess.rt_stats().expect("dynamic path");
+            if after.specializations != before.specializations {
+                return Err(Box::new(Violation::Invariant {
+                    details: format!(
+                        "{}: steady-state re-run respecialized ({} -> {})",
+                        p.name, before.specializations, after.specializations
+                    ),
+                }));
+            }
+            if after.dispatch_allocs != before.dispatch_allocs {
+                return Err(Box::new(Violation::Invariant {
+                    details: format!(
+                        "{}: steady-state re-run allocated ({} -> {})",
+                        p.name, before.dispatch_allocs, after.dispatch_allocs
+                    ),
+                }));
+            }
+        }
+    }
+
+    // Byte-identical code across the three dynamic paths: stubs plus
+    // every dynamically generated `$spec` function.
+    let online_code = paths[1].sess.disassemble_matching("");
+    for p in &paths[2..] {
+        let code = p.sess.disassemble_matching("");
+        if code != online_code {
+            return Err(Box::new(Violation::CodeMismatch {
+                details: format!("online and {} emitted different code", p.name),
+            }));
+        }
+    }
+
+    // Runtime-statistics invariants.
+    let online = paths[1].sess.rt_stats().expect("dynamic path").clone();
+    let staged = paths[2].sess.rt_stats().expect("dynamic path").clone();
+    let fused = paths[3].sess.rt_stats().expect("dynamic path").clone();
+
+    for p in &paths[1..] {
+        let rt = p.sess.rt_stats().expect("dynamic path");
+        let vm = p.sess.stats();
+        let served = rt.dispatch_unchecked + rt.dispatch_hashed + rt.dispatch_indexed;
+        if served != vm.dispatches {
+            return Err(Box::new(Violation::Invariant {
+                details: format!(
+                    "{}: dispatch accounting off: {} + {} + {} != {} dispatches",
+                    p.name,
+                    rt.dispatch_unchecked,
+                    rt.dispatch_hashed,
+                    rt.dispatch_indexed,
+                    vm.dispatches
+                ),
+            }));
+        }
+        if rt.specializations != vm.dispatch_misses {
+            return Err(Box::new(Violation::Invariant {
+                details: format!(
+                    "{}: specializations {} != dispatch misses {}",
+                    p.name, rt.specializations, vm.dispatch_misses
+                ),
+            }));
+        }
+    }
+
+    for (name, rt) in [("staged", &staged), ("fused", &fused)] {
+        if rt.runtime_bta_calls != 0 {
+            return Err(Box::new(Violation::Invariant {
+                details: format!(
+                    "{name}: staged path performed {} run-time BTA calls",
+                    rt.runtime_bta_calls
+                ),
+            }));
+        }
+        if name == "staged" && rt.template_instrs != 0 {
+            return Err(Box::new(Violation::Invariant {
+                details: "staged (unfused) path reported template instructions".into(),
+            }));
+        }
+    }
+    if online.template_instrs != 0 {
+        return Err(Box::new(Violation::Invariant {
+            details: "online path reported template instructions".into(),
+        }));
+    }
+    if online.specializations > 0 {
+        if online.runtime_bta_calls == 0 {
+            return Err(Box::new(Violation::Invariant {
+                details: "online path specialized without run-time BTA calls".into(),
+            }));
+        }
+        // Staging never costs more than online specialization; ties
+        // happen on regions trivial enough that the run-time analysis
+        // contributes no measured cycles.
+        if staged.dyncomp_cycles > online.dyncomp_cycles {
+            return Err(Box::new(Violation::Invariant {
+                details: format!(
+                    "staged overhead {} > online overhead {}",
+                    staged.dyncomp_cycles, online.dyncomp_cycles
+                ),
+            }));
+        }
+    }
+    if fused.dyncomp_cycles > staged.dyncomp_cycles {
+        return Err(Box::new(Violation::Invariant {
+            details: format!(
+                "template fusion made dynamic compilation dearer: {} > {}",
+                fused.dyncomp_cycles, staged.dyncomp_cycles
+            ),
+        }));
+    }
+
+    let (n_online, n_staged, n_fused) =
+        (normalized(&online), normalized(&staged), normalized(&fused));
+    if n_staged != n_online {
+        return Err(Box::new(Violation::StatsMismatch {
+            details: format!("staged vs online:\n{n_staged:#?}\nvs\n{n_online:#?}"),
+        }));
+    }
+    if n_fused != n_staged {
+        return Err(Box::new(Violation::StatsMismatch {
+            details: format!("fused vs staged:\n{n_fused:#?}\nvs\n{n_staged:#?}"),
+        }));
+    }
+
+    report.coverage = Coverage {
+        specialized: fused.specializations > 0,
+        unrolled: fused.loops_unrolled > 0,
+        promoted: fused.internal_promotions > 0,
+        templated: fused.template_instrs > 0,
+        indexed_dispatch: fused.dispatch_indexed > 0,
+        unchecked_dispatch: fused.dispatch_unchecked > 0,
+        polyvariant: fused.divisions_observed > 0,
+        static_loads: fused.static_loads > 0,
+        static_calls: fused.static_calls > 0,
+        branches_folded: fused.branches_folded > 0,
+        zero_copy_folds: fused.zero_copy_folds > 0,
+    };
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_case, GenConfig};
+
+    #[test]
+    fn first_seeds_pass_the_oracle() {
+        for seed in 0..25u64 {
+            let case = generate_case(seed, GenConfig::default());
+            match run_case(&case) {
+                Ok(_) => {}
+                Err(v) => panic!(
+                    "seed {seed} violated the oracle: {v}\n--- source ---\n{}",
+                    program_to_string(&case.program)
+                ),
+            }
+        }
+    }
+}

@@ -68,9 +68,23 @@ pub fn codegen_func_with_splices(f: &FuncIr, splices: &[DispatchSplice]) -> Code
 
         // Decide which in-block integer constants can live purely in
         // immediate fields (all uses are imm-capable and not live-out).
+        let splice = splices.iter().find(|s| s.block == b);
         let mut fold_ok: HashMap<usize, bool> = HashMap::new(); // inst idx -> ok
         let mut latest_def: HashMap<VReg, usize> = HashMap::new(); // vreg -> inst idx
         for (i, inst) in block.insts.iter().enumerate() {
+            if let Some(s) = splice {
+                if i == s.inst_idx {
+                    // The dispatch reads every arg from a register, so a
+                    // constant feeding it must be materialized; nothing
+                    // past the splice is emitted.
+                    for a in &s.args {
+                        if let Some(&di) = latest_def.get(a) {
+                            fold_ok.insert(di, false);
+                        }
+                    }
+                    break;
+                }
+            }
             // Check uses first (an inst may read its own previous value).
             let imm_positions = imm_capable_uses(inst);
             for u in inst.uses() {
@@ -106,7 +120,6 @@ pub fn codegen_func_with_splices(f: &FuncIr, splices: &[DispatchSplice]) -> Code
         }
 
         // Emit instructions, tracking current immediate bindings.
-        let splice = splices.iter().find(|s| s.block == b);
         let mut spliced = false;
         let mut imm: HashMap<VReg, i64> = HashMap::new();
         for (i, inst) in block.insts.iter().enumerate() {

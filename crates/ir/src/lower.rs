@@ -181,9 +181,23 @@ fn lower_function(src: &Function, sigs: &HashMap<String, Sig>) -> Result<FuncIr,
     for st in &src.body {
         lw.stmt(st)?;
     }
-    // Implicit return at the end of a void function.
+    // Implicit return at the end of the function. A non-void function
+    // that falls off the end returns a defined zero: the region-entry
+    // dispatch stub unconditionally forwards a return register for
+    // non-void functions, so an undefined fall-off value would let the
+    // specialized and unspecialized builds disagree.
     if !lw.term_set[lw.cur.index()] {
-        lw.set_term(Term::Ret(None));
+        match lw.f.ret_ty {
+            None => lw.set_term(Term::Ret(None)),
+            Some(ty) => {
+                let dst = lw.temp(ty);
+                match ty {
+                    IrTy::Int => lw.emit(Inst::ConstI { dst, v: 0 }),
+                    IrTy::Float => lw.emit(Inst::ConstF { dst, v: 0.0 }),
+                }
+                lw.set_term(Term::Ret(Some(dst)));
+            }
+        }
     }
     Ok(lw.f)
 }

@@ -156,7 +156,15 @@ impl<'p> Evaluator<'p> {
         }
         Ok(match flow {
             Flow::Return(v) => v,
-            _ => None,
+            // Falling off the end of a non-void function returns a
+            // defined zero, matching the lowered builds (the region-entry
+            // dispatch stub always forwards a return register, so the
+            // fall-off value must be defined for all builds to agree).
+            _ => match f.ret {
+                Type::Void => None,
+                Type::Float => Some(EvalValue::F(0.0)),
+                _ => Some(EvalValue::I(0)),
+            },
         })
     }
 

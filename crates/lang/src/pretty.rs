@@ -246,7 +246,13 @@ pub fn expr_str(e: &Expr) -> String {
                 UnaryOp::CastInt => "(int) ",
                 UnaryOp::CastFloat => "(float) ",
             };
-            format!("{o}{}", wrap(inner))
+            // A nested unary must be parenthesized: `-(-x)` lexes, `--x`
+            // does not (and the parser has no `--` token).
+            let inner_s = match inner.as_ref() {
+                Expr::Unary(..) => format!("({})", expr_str(inner)),
+                _ => wrap(inner),
+            };
+            format!("{o}{inner_s}")
         }
         Expr::Binary(op, l, r) => {
             let o = match op {

@@ -1231,3 +1231,319 @@ fn eval_fcmp(cc: Cc, a: f64, b: f64) -> bool {
         Cc::Ge => a >= b,
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::DynCosts;
+    use crate::stats::RtStats;
+
+    fn emitter(cfg: OptConfig, float_vreg: Vec<bool>) -> Emitter<u32> {
+        Emitter::new(cfg, float_vreg)
+    }
+
+    fn plain(ins: Instr) -> Emitted {
+        Emitted {
+            ins,
+            deletable: true,
+            fixup: None,
+            templated: false,
+            patches: 0,
+        }
+    }
+
+    fn kept(ins: Instr) -> Emitted {
+        Emitted {
+            deletable: false,
+            ..plain(ins)
+        }
+    }
+
+    #[test]
+    fn regset_spans_word_boundaries() {
+        let mut s = RegSet::new();
+        for r in [0u32, 63, 64, 127, 128, 200] {
+            s.insert(r);
+        }
+        for r in [0u32, 63, 64, 127, 128, 200] {
+            assert!(s.contains(r), "r{r} should be present");
+        }
+        for r in [1u32, 62, 65, 126, 129, 199, 201] {
+            assert!(!s.contains(r), "r{r} should be absent");
+        }
+        // Removing a bit clears only that bit, even mid-word.
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert!(s.contains(63) && s.contains(127));
+        // Removing past the last allocated word is a no-op, not a panic.
+        s.remove(100_000);
+        assert!(!s.contains(100_000));
+    }
+
+    #[test]
+    fn interning_assigns_dense_ids_once() {
+        let mut em = emitter(OptConfig::all(), vec![]);
+        let a = em.intern(&7);
+        let b = em.intern(&9);
+        assert_eq!((a, b), (0, 1), "ids are dense in first-sight order");
+        assert_eq!(em.intern(&7), a, "re-interning hits the cache");
+        assert!(!em.sealed(a) && !em.sealed(b));
+
+        let costs = DynCosts::calibrated();
+        let mut stats = RtStats::default();
+        em.seal_unit(a, Vec::new(), RegSet::new(), &costs, &mut stats);
+        assert!(em.sealed(a));
+        assert!(!em.sealed(b), "sealing one unit does not label another");
+        assert_eq!(
+            em.intern(&7),
+            a,
+            "interning after sealing still reuses the id"
+        );
+    }
+
+    #[test]
+    fn forward_and_backward_fixups_patch_all_branch_kinds() {
+        let mut em = emitter(OptConfig::all(), vec![]);
+        let costs = DynCosts::calibrated();
+        let mut stats = RtStats::default();
+        let a = em.intern(&0);
+        let b = em.intern(&1);
+
+        // Unit a branches forward to b (unsealed at fixup-record time)
+        // with both an unconditional and a conditional branch.
+        let buf_a = vec![
+            kept(Instr::MovI { dst: 0, imm: 1 }),
+            Emitted {
+                fixup: Some(b),
+                ..kept(Instr::Jmp { target: u32::MAX })
+            },
+            Emitted {
+                fixup: Some(b),
+                ..kept(Instr::Brnz {
+                    cond: 0,
+                    target: u32::MAX,
+                })
+            },
+        ];
+        em.seal_unit(a, buf_a, RegSet::new(), &costs, &mut stats);
+
+        // Unit b branches backward to the already-sealed a.
+        let buf_b = vec![Emitted {
+            fixup: Some(a),
+            ..kept(Instr::Brz {
+                cond: 0,
+                target: u32::MAX,
+            })
+        }];
+        em.seal_unit(b, buf_b, RegSet::new(), &costs, &mut stats);
+
+        let before = em.emit_cycles;
+        em.patch_fixups(&costs);
+        assert_eq!(
+            em.emit_cycles - before,
+            3 * costs.branch_patch,
+            "each recorded fixup pays one branch patch"
+        );
+        // a's label is 0, b's label is 3 (a emitted three instructions).
+        assert_eq!(em.code[1], Instr::Jmp { target: 3 });
+        assert_eq!(em.code[2], Instr::Brnz { cond: 0, target: 3 });
+        assert_eq!(em.code[3], Instr::Brz { cond: 0, target: 0 });
+        assert!(em.fixups.is_empty(), "patching drains the fixup table");
+    }
+
+    #[test]
+    fn fixup_into_a_templated_instruction() {
+        let mut em = emitter(OptConfig::all(), vec![]);
+        let costs = DynCosts::calibrated();
+        let mut stats = RtStats::default();
+        let id = em.intern(&0);
+
+        // A template-copied branch: metered at copy+patch cost, and its
+        // fixup must be recorded exactly like a constructed branch's.
+        let buf = vec![Emitted {
+            ins: Instr::Jmp { target: u32::MAX },
+            deletable: false,
+            fixup: Some(id),
+            templated: true,
+            patches: 2,
+        }];
+        em.seal_unit(id, buf, RegSet::new(), &costs, &mut stats);
+        assert_eq!(stats.template_instrs, 1);
+        assert_eq!(stats.holes_patched, 2);
+        assert_eq!(
+            em.emit_cycles,
+            costs.template_copy + 2 * costs.hole_patch,
+            "templated instructions pay copy + per-hole patch, not emit_instr"
+        );
+
+        em.patch_fixups(&costs);
+        assert_eq!(
+            em.code[0],
+            Instr::Jmp { target: 0 },
+            "self-loop patched to own label"
+        );
+    }
+
+    #[test]
+    fn fixups_from_different_units_reuse_one_label() {
+        let mut em = emitter(OptConfig::all(), vec![]);
+        let costs = DynCosts::calibrated();
+        let mut stats = RtStats::default();
+        let target = em.intern(&0);
+        let u1 = em.intern(&1);
+        let u2 = em.intern(&2);
+
+        em.seal_unit(
+            u1,
+            vec![Emitted {
+                fixup: Some(target),
+                ..kept(Instr::Jmp { target: u32::MAX })
+            }],
+            RegSet::new(),
+            &costs,
+            &mut stats,
+        );
+        em.seal_unit(
+            u2,
+            vec![Emitted {
+                fixup: Some(target),
+                ..kept(Instr::Jmp { target: u32::MAX })
+            }],
+            RegSet::new(),
+            &costs,
+            &mut stats,
+        );
+        em.seal_unit(
+            target,
+            vec![kept(Instr::MovI { dst: 0, imm: 0 })],
+            RegSet::new(),
+            &costs,
+            &mut stats,
+        );
+        em.patch_fixups(&costs);
+        assert_eq!(em.code[0], Instr::Jmp { target: 2 });
+        assert_eq!(em.code[1], Instr::Jmp { target: 2 });
+    }
+
+    #[test]
+    fn flush_renames_selects_moves_by_float_flag() {
+        // v0 int ← r5, v1 float ← r6, v2 int ← 9, v3 float ← 2.5.
+        let mut em = emitter(OptConfig::all(), vec![false, true, false, true]);
+        let mut rename: HashMap<VReg, Opnd> = HashMap::new();
+        rename.insert(VReg(0), Opnd::R(5));
+        rename.insert(VReg(1), Opnd::R(6));
+        rename.insert(VReg(2), Opnd::KI(9));
+        rename.insert(VReg(3), Opnd::KF(2.5));
+        // Burn registers so the flushed homes don't collide with r5/r6.
+        em.next_reg = 10;
+
+        let mut buf = Vec::new();
+        let mut live = RegSet::new();
+        em.flush_renames(&mut rename, &mut buf, |_| true, Some(&mut live));
+        assert!(rename.is_empty(), "flushing drains the rename table");
+
+        let ins: Vec<Instr> = buf.iter().map(|e| e.ins.clone()).collect();
+        assert_eq!(
+            ins,
+            vec![
+                Instr::Mov { dst: 10, src: 5 },
+                Instr::FMov { dst: 11, src: 6 },
+                Instr::MovI { dst: 12, imm: 9 },
+                Instr::MovF { dst: 13, imm: 2.5 },
+            ],
+            "deterministic vreg order; FMov only for float-flagged vregs"
+        );
+        for r in 10..14 {
+            assert!(live.contains(r), "flushed homes are marked live");
+        }
+    }
+
+    #[test]
+    fn flush_renames_respects_keep_and_skips_self_moves() {
+        let mut em = emitter(OptConfig::all(), vec![false, false]);
+        // v0's home *is* r3: a rename back to it needs no move.
+        em.set_reg(VReg(0), 3);
+        let mut rename: HashMap<VReg, Opnd> = HashMap::new();
+        rename.insert(VReg(0), Opnd::R(3));
+        rename.insert(VReg(1), Opnd::KI(7));
+
+        let mut buf = Vec::new();
+        em.flush_renames(&mut rename, &mut buf, |v| v == VReg(0), None);
+        assert!(
+            buf.is_empty(),
+            "v0 is a self-move and v1 is dropped by the keep filter"
+        );
+    }
+
+    #[test]
+    fn seal_unit_sweeps_dead_assignments_against_live_regs() {
+        let costs = DynCosts::calibrated();
+
+        // r0 is dead, r1 is live; the deletable write to r0 vanishes.
+        let mut em = emitter(OptConfig::all(), vec![]);
+        let mut stats = RtStats::default();
+        let id = em.intern(&0);
+        let buf = vec![
+            plain(Instr::MovI { dst: 0, imm: 1 }),
+            plain(Instr::MovI { dst: 1, imm: 2 }),
+        ];
+        let exec_before = em.exec_cycles;
+        let mut live = RegSet::new();
+        live.insert(1);
+        em.seal_unit(id, buf, live, &costs, &mut stats);
+        assert_eq!(em.code, vec![Instr::MovI { dst: 1, imm: 2 }]);
+        assert_eq!(stats.dae_removed, 1);
+        assert_eq!(
+            em.exec_cycles - exec_before,
+            2 * costs.dae_check,
+            "the sweep is metered per buffered instruction, survivors or not"
+        );
+        assert_eq!(
+            em.emit_cycles, costs.emit_instr,
+            "only survivors pay emission"
+        );
+
+        // The sweep is a backward liveness pass: a def consumed by a kept
+        // instruction survives even if not live at the unit boundary.
+        let mut em = emitter(OptConfig::all(), vec![]);
+        let mut stats = RtStats::default();
+        let id = em.intern(&0);
+        let buf = vec![
+            plain(Instr::MovI { dst: 0, imm: 1 }),
+            plain(Instr::Mov { dst: 1, src: 0 }),
+        ];
+        let mut live = RegSet::new();
+        live.insert(1);
+        em.seal_unit(id, buf, live, &costs, &mut stats);
+        assert_eq!(em.code.len(), 2);
+        assert_eq!(stats.dae_removed, 0);
+
+        // With the optimization off the dead write is kept.
+        let cfg = OptConfig::all()
+            .without("dead_assignment_elimination")
+            .unwrap();
+        let mut em = emitter(cfg, vec![]);
+        let mut stats = RtStats::default();
+        let id = em.intern(&0);
+        let buf = vec![plain(Instr::MovI { dst: 0, imm: 1 })];
+        em.seal_unit(id, buf, RegSet::new(), &costs, &mut stats);
+        assert_eq!(em.code.len(), 1);
+        assert_eq!(stats.dae_removed, 0);
+    }
+
+    #[test]
+    fn constants_materialize_at_most_once_per_unit() {
+        let mut em = emitter(OptConfig::all(), vec![]);
+        let mut scratch: HashMap<u64, Reg> = HashMap::new();
+        let mut buf = Vec::new();
+        let r1 = em.opnd_reg(Opnd::KI(42), &mut scratch, &mut buf);
+        let r2 = em.opnd_reg(Opnd::KI(42), &mut scratch, &mut buf);
+        let r3 = em.opnd_reg(Opnd::KI(43), &mut scratch, &mut buf);
+        assert_eq!(r1, r2, "same value reuses the scratch register");
+        assert_ne!(r1, r3);
+        assert_eq!(buf.len(), 2, "one materializing move per distinct value");
+        // An existing register passes through untouched.
+        assert_eq!(em.opnd_reg(Opnd::R(99), &mut scratch, &mut buf), 99);
+        assert_eq!(buf.len(), 2);
+    }
+}

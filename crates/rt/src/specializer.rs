@@ -252,6 +252,15 @@ impl Specializer {
         let mut i = start;
         while i < n_insts {
             let inst = self.f.block(block).insts[i].clone();
+            if matches!(
+                inst,
+                Inst::MakeStatic { .. } | Inst::Promote { .. } | Inst::MakeDynamic { .. }
+            ) {
+                // The online walk inspects annotation directives at run
+                // time (store-membership checks, demotions) — per-region
+                // work the staged path precompiles into its op tables.
+                self.em.exec_cycles += costs.classify;
+            }
             match &inst {
                 Inst::MakeStatic { vars } => {
                     let missing: Vec<VReg> = vars

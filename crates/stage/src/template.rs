@@ -1292,6 +1292,8 @@ fn fuse_division(d: &mut GeDivision, cfg: &OptConfig, fv: &[bool]) {
                     }
                     None => {
                         let reverted = flush_run(&mut run, &mut out, &r0, &set0, &mut rename, &set);
+                        let uses = inst.uses();
+                        let consumed_reverted = reverted.iter().any(|v| uses.contains(v));
                         for v in reverted {
                             // The flush reverted a guarded singleton after
                             // this op's successor state was planned:
@@ -1299,6 +1301,22 @@ fn fuse_division(d: &mut GeDivision, cfg: &OptConfig, fv: &[bool]) {
                             // redefines `v` the entry is really dead, but
                             // unknown is a sound over-approximation.)
                             new_rename.insert(v, AbsVal::Unknown);
+                        }
+                        if consumed_reverted {
+                            // This op's own plan read a reverted vreg as a
+                            // register; with that operand unknown again its
+                            // emission shape — and whether its destination
+                            // gains a rename entry — is value-dependent
+                            // too. (Loads, stores, and calls never rename
+                            // their destination.)
+                            if let Some(dd) = inst.def() {
+                                if !matches!(
+                                    inst,
+                                    Inst::Call { .. } | Inst::Load { .. } | Inst::Store { .. }
+                                ) {
+                                    new_rename.insert(dd, AbsVal::Unknown);
+                                }
+                            }
                         }
                         out.push(GeOp::EmitHole { inst, reads_after });
                     }
