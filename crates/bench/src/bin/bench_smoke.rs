@@ -5,14 +5,19 @@
 //! For every workload this runs one specialization under three
 //! configurations — fused (templates on), unfused (staged GE, hole by
 //! hole), and online (run-time specializer) — and records the cycle
-//! meters. The JSON is hand-rolled: the numbers are all `u64`/`f64` and
-//! a serializer dependency would be the only reason to have one.
+//! meters. A second section measures threaded scaling: T ∈ {1, 2, 4, 8}
+//! threads over one shared concurrent runtime, recording wall-clock time
+//! plus the contention meters (single-flight waits, suppressed duplicate
+//! specializations, shard probe rates). The JSON is hand-rolled: the
+//! numbers are all `u64`/`f64` and a serializer dependency would be the
+//! only reason to have one.
 //!
 //! Usage: `bench_smoke [output.json]` (default `BENCH_dyncompile.json`).
 
-use dyc::{Compiler, OptConfig, RtStats};
+use dyc::{Compiler, OptConfig, Program, RtStats};
 use dyc_workloads::{all, Workload};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 fn run_once(w: &dyn Workload, cfg: OptConfig) -> RtStats {
     let meta = w.meta();
@@ -30,6 +35,43 @@ fn run_once(w: &dyn Workload, cfg: OptConfig) -> RtStats {
         meta.name
     );
     sess.rt_stats().expect("dynamic session").clone()
+}
+
+/// One threaded-scaling measurement: `threads` threads, each running
+/// `reps` region invocations over one shared concurrent runtime.
+/// Returns (wall-clock µs, shared-runtime snapshot).
+fn run_threaded(
+    w: &dyn Workload,
+    program: &Program,
+    threads: usize,
+    reps: usize,
+) -> (u128, dyc_rt::ConcSnapshot) {
+    let meta = w.meta();
+    let shared = program.shared_runtime();
+    let sessions: Vec<_> = (0..threads)
+        .map(|_| program.threaded_session(&shared))
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for mut sess in sessions {
+            scope.spawn(move || {
+                let args = w.setup_region(&mut sess);
+                sess.set_step_limit(200_000_000);
+                for _ in 0..reps {
+                    let r = sess
+                        .run(meta.region_func, &args)
+                        .unwrap_or_else(|e| panic!("{}: region run failed: {e}", meta.name));
+                    assert!(
+                        w.check_region(r, &mut sess),
+                        "{}: wrong region result",
+                        meta.name
+                    );
+                    w.reset(&mut sess, &args);
+                }
+            });
+        }
+    });
+    (start.elapsed().as_micros(), shared.stats())
 }
 
 fn main() {
@@ -78,6 +120,63 @@ fn main() {
             fused.holes_patched,
             unfused.dyncomp_cycles,
             online.dyncomp_cycles,
+            if i + 1 == workloads.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    json.push_str("  },\n  \"threaded_scaling\": {\n");
+
+    // Threaded scaling: same region sequence on every thread; the
+    // blocking single-flight policy must suppress every duplicate
+    // specialization, so the interesting numbers are wall-clock scaling
+    // and the contention meters.
+    const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    const REPS: usize = 16;
+    println!("\nthreaded scaling ({REPS} invocations/thread, wall-clock \u{b5}s):");
+    for (i, w) in workloads.iter().enumerate() {
+        let name = w.meta().name;
+        let program = Compiler::with_config(fused_cfg)
+            .compile(&w.source())
+            .unwrap_or_else(|e| panic!("{name}: compile error: {e}"));
+        write!(json, "    \"{name}\": {{").unwrap();
+        print!("{name:<22}");
+        for (j, &t) in THREAD_COUNTS.iter().enumerate() {
+            let (wall_us, s) = run_threaded(w.as_ref(), &program, t, REPS);
+            let (lookups, probes) = s
+                .shards
+                .iter()
+                .fold((0u64, 0u64), |(l, p), m| (l + m.lookups, p + m.probes));
+            let probes_per_lookup = if lookups == 0 {
+                0.0
+            } else {
+                probes as f64 / lookups as f64
+            };
+            print!("  t{t}: {wall_us:>7}");
+            if t == THREAD_COUNTS[THREAD_COUNTS.len() - 1] {
+                print!(
+                    "  (suppressed {} dup specs, {:.2} probes/lookup)",
+                    s.single_flight_suppressed(),
+                    probes_per_lookup
+                );
+            }
+            write!(
+                json,
+                "{}\n      \"t{t}\": {{ \"wall_us\": {wall_us}, \
+                 \"specializations\": {}, \"single_flight_waits\": {}, \
+                 \"single_flight_suppressed\": {}, \"cache_evictions\": {}, \
+                 \"cache_lookups\": {lookups}, \"probes_per_lookup\": {probes_per_lookup:.3} }}",
+                if j == 0 { "" } else { "," },
+                s.specializations,
+                s.single_flight_waits,
+                s.single_flight_suppressed(),
+                s.cache_evictions,
+            )
+            .unwrap();
+        }
+        println!();
+        writeln!(
+            json,
+            "\n    }}{}",
             if i + 1 == workloads.len() { "" } else { "," }
         )
         .unwrap();

@@ -46,8 +46,8 @@ pub mod program;
 pub mod session;
 
 pub use dyc_bta::OptConfig;
-pub use dyc_rt::RtStats;
-pub use dyc_vm::{CostModel, ExecStats, Value, VmError};
+pub use dyc_rt::{MissPolicy, RtStats, SharedOptions, SharedRuntime};
+pub use dyc_vm::{CodeFunc, CostModel, ExecStats, Value, VmError};
 pub use error::CompileError;
 pub use program::{Compiler, Program};
 pub use session::Session;

@@ -6,9 +6,10 @@ use dyc_bta::OptConfig;
 use dyc_ir::codegen::codegen_program;
 use dyc_ir::{lower_program, ProgramIr};
 use dyc_lang::parse_program;
-use dyc_rt::Runtime;
+use dyc_rt::{Runtime, SharedOptions, SharedRuntime};
 use dyc_stage::{stage_program, StagedProgram};
 use dyc_vm::{CostModel, Module, Vm};
+use std::sync::Arc;
 
 /// Compiles DyCL source into runnable [`Program`]s.
 ///
@@ -123,6 +124,28 @@ impl Program {
         let module = self.staged.build_module();
         let runtime = Runtime::new(self.staged.clone());
         Session::new_dynamic(module, Vm::new(self.cost.clone()), runtime)
+    }
+
+    /// A thread-shared concurrent runtime for this program with default
+    /// options (16 cache shards, blocking single-flight). Hand it to
+    /// [`Program::threaded_session`] once per thread.
+    pub fn shared_runtime(&self) -> Arc<SharedRuntime> {
+        Arc::new(SharedRuntime::new(self.staged.clone()))
+    }
+
+    /// A thread-shared concurrent runtime with explicit [`SharedOptions`]
+    /// (shard count, miss policy, specialization budget).
+    pub fn shared_runtime_with(&self, opts: SharedOptions) -> Arc<SharedRuntime> {
+        Arc::new(SharedRuntime::with_options(self.staged.clone(), opts))
+    }
+
+    /// One thread's execution environment over a shared concurrent
+    /// runtime: a private module replica and VM, dispatching through the
+    /// shared sharded code cache with single-flight specialization.
+    pub fn threaded_session(&self, shared: &Arc<SharedRuntime>) -> Session {
+        let module = shared.base_module();
+        let runtime = SharedRuntime::thread(shared);
+        Session::new_threaded(module, Vm::new(self.cost.clone()), runtime)
     }
 }
 

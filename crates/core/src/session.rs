@@ -2,19 +2,35 @@
 //! run-time system, with the measurement helpers the experiment harnesses
 //! use.
 
-use dyc_rt::{RtStats, Runtime};
+use dyc_rt::{RtStats, Runtime, ThreadRuntime};
 use dyc_vm::{ExecStats, Mem, Module, Value, Vm, VmError};
+
+/// How a session executes dispatches.
+#[derive(Debug)]
+enum Exec {
+    /// Statically compiled build: no dispatches exist.
+    Static,
+    /// Single-threaded dynamic build with its own [`Runtime`].
+    ///
+    /// Both runtime variants are boxed so dispatch-free static sessions
+    /// don't pay for the (large) runtime state inline.
+    Single(Box<Runtime>),
+    /// One thread of a concurrent dynamic build: a [`ThreadRuntime`]
+    /// over an `Arc`-shared [`dyc_rt::SharedRuntime`].
+    Threaded(Box<ThreadRuntime>),
+}
 
 /// One execution environment for a compiled program.
 ///
 /// Owns the VM (data memory, cycle counters, I-cache model), the code
 /// module — which grows at run time in dynamic sessions — and, for dynamic
-/// sessions, the [`Runtime`].
+/// sessions, the run-time system (a whole [`Runtime`], or one thread's
+/// [`ThreadRuntime`] handle onto a shared one).
 #[derive(Debug)]
 pub struct Session {
     vm: Vm,
     module: Module,
-    runtime: Option<Runtime>,
+    exec: Exec,
 }
 
 impl Session {
@@ -22,7 +38,7 @@ impl Session {
         Session {
             vm,
             module,
-            runtime: None,
+            exec: Exec::Static,
         }
     }
 
@@ -30,7 +46,15 @@ impl Session {
         Session {
             vm,
             module,
-            runtime: Some(runtime),
+            exec: Exec::Single(Box::new(runtime)),
+        }
+    }
+
+    pub(crate) fn new_threaded(module: Module, vm: Vm, runtime: ThreadRuntime) -> Session {
+        Session {
+            vm,
+            module,
+            exec: Exec::Threaded(Box::new(runtime)),
         }
     }
 
@@ -60,9 +84,15 @@ impl Session {
             .module
             .func_by_name(func)
             .ok_or_else(|| VmError::Dispatch(format!("unknown function '{func}'")))?;
-        match &mut self.runtime {
-            None => self.vm.call(&mut self.module, id, args),
-            Some(rt) => self.vm.call_with_handler(&mut self.module, rt, id, args),
+        match &mut self.exec {
+            Exec::Static => self.vm.call(&mut self.module, id, args),
+            Exec::Single(rt) => self
+                .vm
+                .call_with_handler(&mut self.module, rt.as_mut(), id, args),
+            Exec::Threaded(rt) => {
+                self.vm
+                    .call_with_handler(&mut self.module, rt.as_mut(), id, args)
+            }
         }
     }
 
@@ -87,9 +117,24 @@ impl Session {
         &self.vm.stats
     }
 
-    /// Run-time-system counters (dynamic sessions only).
+    /// Run-time-system counters (dynamic sessions only). For a threaded
+    /// session these are *this thread's* meters; global meters live on
+    /// the shared runtime ([`dyc_rt::SharedRuntime::stats`]).
     pub fn rt_stats(&self) -> Option<&RtStats> {
-        self.runtime.as_ref().map(|r| &r.stats)
+        match &self.exec {
+            Exec::Static => None,
+            Exec::Single(rt) => Some(&rt.stats),
+            Exec::Threaded(rt) => Some(&rt.stats),
+        }
+    }
+
+    /// The single-threaded runtime, for dynamic sessions (diagnostics,
+    /// cache introspection, explicit invalidation).
+    pub fn runtime(&mut self) -> Option<&mut Runtime> {
+        match &mut self.exec {
+            Exec::Single(rt) => Some(rt.as_mut()),
+            _ => None,
+        }
     }
 
     /// Values printed by the guest so far.
@@ -125,6 +170,30 @@ impl Session {
             }
         }
         out
+    }
+
+    /// Every `(site, key, code)` binding currently cached by a dynamic
+    /// session's runtime, code included — the differential harnesses
+    /// compare these across runtimes instruction for instruction. Empty
+    /// for static sessions. For a threaded session the bindings come
+    /// from the shared cache (they are the same for every thread).
+    pub fn cached_code(&self) -> Vec<(u32, Vec<u64>, dyc_vm::CodeFunc)> {
+        match &self.exec {
+            Exec::Static => Vec::new(),
+            Exec::Single(rt) => rt
+                .cache_entries()
+                .into_iter()
+                .map(|(s, k, f)| (s, k, self.module.func(f).clone()))
+                .collect(),
+            Exec::Threaded(rt) => {
+                let shared = rt.shared();
+                shared
+                    .cache_snapshot()
+                    .into_iter()
+                    .map(|(s, k, gid)| (s, k, shared.code(gid).as_ref().clone()))
+                    .collect()
+            }
+        }
     }
 
     /// Names of dynamically generated functions.

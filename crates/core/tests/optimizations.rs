@@ -560,3 +560,72 @@ fn dynamic_regions_called_from_plain_functions() {
     // One specialization per exponent value.
     assert_eq!(d.rt_stats().unwrap().specializations, 6);
 }
+
+// --------------------------------------------- bounded caches & invalidation
+
+const BOUNDED_SRC: &str = r#"
+    int poly(int x, int d) {
+        make_static(x: cache_all(2));
+        return x * d;
+    }
+"#;
+
+#[test]
+fn bounded_cache_respecializes_evicted_keys_correctly() {
+    let p = compile(BOUNDED_SRC);
+    let mut d = p.dynamic_session();
+    // Fill the two-entry cache, then overflow it with a third key: the
+    // second-chance clock must evict exactly one resident version.
+    for x in [1i64, 2, 3] {
+        let out = d.run("poly", &[Value::I(x), Value::I(10)]).unwrap();
+        assert_eq!(out, Some(Value::I(x * 10)));
+    }
+    let rt = d.rt_stats().unwrap();
+    assert_eq!(rt.specializations, 3);
+    assert_eq!(rt.cache_evictions, 1);
+    assert!(d.runtime().unwrap().cache_entries().len() <= 2);
+    // Revisiting every key — including whichever one was evicted — must
+    // transparently re-specialize and still compute the right answers.
+    let specs_before = d.rt_stats().unwrap().specializations;
+    for x in [1i64, 2, 3] {
+        let out = d.run("poly", &[Value::I(x), Value::I(7)]).unwrap();
+        assert_eq!(out, Some(Value::I(x * 7)), "evicted key must respecialize");
+    }
+    let rt = d.rt_stats().unwrap();
+    assert!(
+        rt.specializations > specs_before,
+        "the evicted key cannot still be cached"
+    );
+    assert!(d.runtime().unwrap().cache_entries().len() <= 2);
+}
+
+#[test]
+fn invalidation_never_serves_stale_code() {
+    // Plain make_static under the default cache-all policy (unchecked
+    // upgrading disabled so the site keeps a keyed hash table).
+    let src = r#"
+        int poly(int x, int d) {
+            make_static(x);
+            return x * d;
+        }
+    "#;
+    let cfg = OptConfig::all().without("unchecked_dispatching").unwrap();
+    let p = compile_cfg(src, cfg);
+    let mut d = p.dynamic_session();
+    assert_eq!(
+        d.run("poly", &[Value::I(5), Value::I(3)]).unwrap(),
+        Some(Value::I(15))
+    );
+    assert_eq!(d.rt_stats().unwrap().specializations, 1);
+    d.runtime().unwrap().invalidate_site(0);
+    assert_eq!(d.rt_stats().unwrap().cache_invalidations, 1);
+    assert!(d.runtime().unwrap().cache_entries().is_empty());
+    // The same key must miss and re-specialize — never reuse the stale
+    // FuncId dropped by the invalidation.
+    assert_eq!(
+        d.run("poly", &[Value::I(5), Value::I(4)]).unwrap(),
+        Some(Value::I(20))
+    );
+    assert_eq!(d.rt_stats().unwrap().specializations, 2);
+    assert_eq!(d.stats().dispatch_misses, 2);
+}

@@ -15,7 +15,7 @@
 //!   promotions, static loads) plus their invocation tuples.
 //! * [`oracle`] — the 4-way differential oracle and its run-time
 //!   invariants.
-//! * [`shrink`] — a delta-debugging minimizer that reduces a failing
+//! * [`shrink`](mod@shrink) — a delta-debugging minimizer that reduces a failing
 //!   case while preserving its [`oracle::Violation::kind`].
 //!
 //! The `dyc-fuzz` binary drives the loop:

@@ -18,17 +18,21 @@
 //!   case — the paper's optimizations assume finite floats);
 //! * byte-identical disassembly of the whole specialized module across
 //!   the three dynamic paths;
-//! * `RtStats` agreement modulo the cycle meters ([`normalized`]),
+//! * `RtStats` agreement modulo the cycle meters (`normalized`),
 //!   `runtime_bta_calls == 0` on both staged paths and `> 0` online
 //!   whenever specialization happened, template instructions only on the
 //!   fused path, and the overhead ordering fused ≤ unfused ≤ online;
 //! * dispatch accounting balances: per-policy dispatch counts sum to the
 //!   VM's dispatch count, and specializations equal dispatch misses;
 //! * steady state is allocation-free: re-running the first tuple moves
-//!   neither `specializations` nor `dispatch_allocs`.
+//!   neither `specializations` nor `dispatch_allocs`;
+//! * threaded equivalence: four threads over one shared concurrent
+//!   runtime (blocking single-flight) reproduce the fused path's
+//!   results, output, memory, cached `(site, key, code)` bindings, and
+//!   global specialization count exactly.
 
 use crate::gen::{ScalarArg, TestCase, ARRAY_LEN, TARGET};
-use dyc::{Compiler, OptConfig, RtStats, Session, Value};
+use dyc::{CodeFunc, Compiler, OptConfig, RtStats, Session, Value};
 use dyc_lang::pretty::program_to_string;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -62,6 +66,10 @@ pub enum Violation {
     /// A runtime invariant failed (dispatch accounting, staged-zero-BTA,
     /// overhead ordering, steady-state allocation-freedom, ...).
     Invariant { details: String },
+    /// Threads over a shared concurrent runtime diverged from the fused
+    /// single-threaded path (results, memory, cached code, or the
+    /// global specialization count).
+    ThreadMismatch { details: String },
 }
 
 impl Violation {
@@ -77,6 +85,7 @@ impl Violation {
             Violation::CodeMismatch { .. } => "code-mismatch",
             Violation::StatsMismatch { .. } => "stats-mismatch",
             Violation::Invariant { .. } => "invariant",
+            Violation::ThreadMismatch { .. } => "thread-mismatch",
         }
     }
 }
@@ -101,6 +110,7 @@ impl std::fmt::Display for Violation {
             Violation::CodeMismatch { details } => write!(f, "code mismatch: {details}"),
             Violation::StatsMismatch { details } => write!(f, "stats mismatch: {details}"),
             Violation::Invariant { details } => write!(f, "invariant violation: {details}"),
+            Violation::ThreadMismatch { details } => write!(f, "thread mismatch: {details}"),
         }
     }
 }
@@ -322,6 +332,7 @@ fn run_case_src(case: &TestCase, src: &str) -> Result<CaseReport, Box<Violation>
 
     let mut report = CaseReport::default();
     let mut tuple0_ok = true;
+    let mut fused_obs: Vec<Obs> = Vec::with_capacity(case.tuples.len());
     for (t, tuple) in case.tuples.iter().enumerate() {
         let mut obs: Vec<Obs> = Vec::with_capacity(4);
         for p in paths.iter_mut() {
@@ -344,6 +355,7 @@ fn run_case_src(case: &TestCase, src: &str) -> Result<CaseReport, Box<Violation>
                     .join("; ");
                 return Err(Box::new(Violation::ErrorMismatch { tuple: t, details }));
             }
+            fused_obs.push(obs.pop().expect("four observations"));
             continue;
         }
 
@@ -394,6 +406,7 @@ fn run_case_src(case: &TestCase, src: &str) -> Result<CaseReport, Box<Violation>
                 }));
             }
         }
+        fused_obs.push(obs.pop().expect("four observations"));
     }
 
     // Steady state: the first tuple has been run twice already (tuples
@@ -526,6 +539,8 @@ fn run_case_src(case: &TestCase, src: &str) -> Result<CaseReport, Box<Violation>
         }));
     }
 
+    check_threaded(case, src, &fused_obs, &paths[3], fused.specializations)?;
+
     report.coverage = Coverage {
         specialized: fused.specializations > 0,
         unrolled: fused.loops_unrolled > 0,
@@ -540,6 +555,180 @@ fn run_case_src(case: &TestCase, src: &str) -> Result<CaseReport, Box<Violation>
         zero_copy_folds: fused.zero_copy_folds > 0,
     };
     Ok(report)
+}
+
+/// Threads racing one shared concurrent runtime per case.
+const N_THREADS: usize = 4;
+
+/// Cached bindings in comparable form: `(site, key, rendered code)`.
+type NormalizedCode = Vec<(u32, Vec<u64>, String)>;
+
+/// Sort cached `(site, key, code)` bindings into a comparable form,
+/// dropping the function name and base address (both embed module-local,
+/// order-dependent detail that legitimately differs between replicas).
+fn normalized_code(mut entries: Vec<(u32, Vec<u64>, CodeFunc)>) -> NormalizedCode {
+    entries.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    entries
+        .into_iter()
+        .map(|(s, k, f)| {
+            (
+                s,
+                k,
+                format!("params={} regs={} code={:?}", f.n_params, f.n_regs, f.code),
+            )
+        })
+        .collect()
+}
+
+/// Threaded-equivalence check: [`N_THREADS`] threads over one shared
+/// concurrent runtime (blocking single-flight policy), each running the
+/// whole tuple sequence, must reproduce the fused path's per-tuple
+/// observables, end with the fused path's cached bindings
+/// instruction-for-instruction, and perform exactly the fused path's
+/// number of specializations globally (single-flight suppresses every
+/// duplicate). Error tuples must fail on every thread too, though the
+/// message may carry a racer's single-flight wrapping.
+fn check_threaded(
+    case: &TestCase,
+    src: &str,
+    fused_obs: &[Obs],
+    fused_path: &Path,
+    fused_specs: u64,
+) -> Result<(), Box<Violation>> {
+    let program = catch_unwind(AssertUnwindSafe(|| {
+        Compiler::with_config(OptConfig::all()).compile(src)
+    }))
+    .map_err(|p| Violation::Crash {
+        path: "threaded",
+        msg: format!("compiler panic: {}", panic_message(&p)),
+    })?
+    .map_err(|e| Violation::Compile {
+        path: "threaded",
+        msg: e.to_string(),
+    })?;
+    let shared = program.shared_runtime();
+    let fused_code = normalized_code(fused_path.sess.cached_code());
+
+    // Build every thread's session (and its deterministic data-memory
+    // layout) up front; threads only run the tuple sequence.
+    let mut thread_paths = Vec::with_capacity(N_THREADS);
+    for _ in 0..N_THREADS {
+        let mut sess = program.threaded_session(&shared);
+        sess.set_step_limit(STEP_LIMIT);
+        let arr_base = case.arr.as_ref().map(|init| {
+            let base = sess.alloc(ARRAY_LEN);
+            sess.mem().write_ints(base, init);
+            base
+        });
+        let wbuf_base = case.wbuf.as_ref().map(|_| sess.alloc(ARRAY_LEN));
+        if arr_base != fused_path.arr_base || wbuf_base != fused_path.wbuf_base {
+            return Err(Box::new(Violation::ThreadMismatch {
+                details: "allocation bases diverged from the fused path".into(),
+            }));
+        }
+        thread_paths.push(Path {
+            name: "threaded",
+            sess,
+            arr_base,
+            wbuf_base,
+        });
+    }
+
+    let snapshots: Vec<Result<NormalizedCode, Violation>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = thread_paths
+            .into_iter()
+            .map(|mut p| {
+                scope.spawn(move || {
+                    for (t, tuple) in case.tuples.iter().enumerate() {
+                        let o = p.invoke(case, tuple)?;
+                        let want = &fused_obs[t];
+                        let same = match (&want.result, &o.result) {
+                            // Racers receive the winner's error via the
+                            // single-flight wait, possibly rewrapped:
+                            // require failure, not the exact message.
+                            (Err(_), Err(_)) => true,
+                            (Ok(a), Ok(b)) => match (a, b) {
+                                (None, None) => true,
+                                (Some(x), Some(y)) => value_eq(x, y),
+                                _ => false,
+                            },
+                            _ => false,
+                        };
+                        if !same {
+                            return Err(Violation::ThreadMismatch {
+                                details: format!(
+                                    "tuple {t}: fused {:?} vs threaded {:?}",
+                                    want.result, o.result
+                                ),
+                            });
+                        }
+                        if want.result.is_err() {
+                            continue;
+                        }
+                        if !values_eq(&want.output, &o.output) {
+                            return Err(Violation::ThreadMismatch {
+                                details: format!(
+                                    "tuple {t}: fused output {} vs threaded {}",
+                                    fmt_vals(&want.output),
+                                    fmt_vals(&o.output)
+                                ),
+                            });
+                        }
+                        if want.wbuf != o.wbuf {
+                            return Err(Violation::ThreadMismatch {
+                                details: format!(
+                                    "tuple {t}: fused wbuf {:?} vs threaded {:?}",
+                                    want.wbuf, o.wbuf
+                                ),
+                            });
+                        }
+                    }
+                    Ok(normalized_code(p.sess.cached_code()))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|p| {
+                    Err(Violation::Crash {
+                        path: "threaded",
+                        msg: panic_message(&p),
+                    })
+                })
+            })
+            .collect()
+    });
+
+    for snap in snapshots {
+        let code = snap.map_err(Box::new)?;
+        if code != fused_code {
+            return Err(Box::new(Violation::ThreadMismatch {
+                details: format!(
+                    "shared cache diverged from fused cache:\n{code:#?}\nvs\n{fused_code:#?}"
+                ),
+            }));
+        }
+    }
+    let stats = shared.stats();
+    if stats.specializations != fused_specs {
+        return Err(Box::new(Violation::ThreadMismatch {
+            details: format!(
+                "global specializations {} != fused {} (single-flight failed to \
+                 suppress duplicates)",
+                stats.specializations, fused_specs
+            ),
+        }));
+    }
+    if stats.single_flight_fallbacks != 0 {
+        return Err(Box::new(Violation::ThreadMismatch {
+            details: format!(
+                "{} fallbacks under the blocking policy",
+                stats.single_flight_fallbacks
+            ),
+        }));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -65,59 +65,8 @@ pub fn codegen_func_with_splices(f: &FuncIr, splices: &[DispatchSplice]) -> Code
         block_start.insert(b, out.len() as u32);
         let block = f.block(b);
         let live_out = &lv.live_out[b.index()];
-
-        // Decide which in-block integer constants can live purely in
-        // immediate fields (all uses are imm-capable and not live-out).
         let splice = splices.iter().find(|s| s.block == b);
-        let mut fold_ok: HashMap<usize, bool> = HashMap::new(); // inst idx -> ok
-        let mut latest_def: HashMap<VReg, usize> = HashMap::new(); // vreg -> inst idx
-        for (i, inst) in block.insts.iter().enumerate() {
-            if let Some(s) = splice {
-                if i == s.inst_idx {
-                    // The dispatch reads every arg from a register, so a
-                    // constant feeding it must be materialized; nothing
-                    // past the splice is emitted.
-                    for a in &s.args {
-                        if let Some(&di) = latest_def.get(a) {
-                            fold_ok.insert(di, false);
-                        }
-                    }
-                    break;
-                }
-            }
-            // Check uses first (an inst may read its own previous value).
-            let imm_positions = imm_capable_uses(inst);
-            for u in inst.uses() {
-                if let Some(&di) = latest_def.get(&u) {
-                    if !imm_positions.contains(&u) {
-                        fold_ok.insert(di, false);
-                    }
-                }
-            }
-            crate::analysis::annotation_uses(inst, |v| {
-                if let Some(&di) = latest_def.get(&v) {
-                    fold_ok.insert(di, false);
-                }
-            });
-            if let Some(d) = inst.def() {
-                if let Inst::ConstI { .. } = inst {
-                    fold_ok.insert(i, true);
-                    latest_def.insert(d, i);
-                } else {
-                    latest_def.remove(&d);
-                }
-            }
-        }
-        for u in block.term.uses() {
-            if let Some(&di) = latest_def.get(&u) {
-                fold_ok.insert(di, false);
-            }
-        }
-        for (v, di) in &latest_def {
-            if live_out.contains(v) {
-                fold_ok.insert(*di, false);
-            }
-        }
+        let fold_ok = fold_analysis(block, live_out, splice);
 
         // Emit instructions, tracking current immediate bindings.
         let mut spliced = false;
@@ -137,124 +86,13 @@ pub fn codegen_func_with_splices(f: &FuncIr, splices: &[DispatchSplice]) -> Code
                     break;
                 }
             }
-            if let Some(d) = inst.def() {
-                // A redefinition ends any immediate binding.
-                if !matches!(inst, Inst::ConstI { .. }) {
-                    imm.remove(&d);
-                }
-            }
-            match inst {
-                Inst::ConstI { dst, v } => {
-                    if fold_ok.get(&i).copied().unwrap_or(false) {
-                        imm.insert(*dst, *v);
-                    } else {
-                        imm.remove(dst);
-                        out.push(Instr::MovI {
-                            dst: dst.0,
-                            imm: *v,
-                        });
-                    }
-                }
-                Inst::ConstF { dst, v } => {
-                    out.push(Instr::MovF {
-                        dst: dst.0,
-                        imm: *v,
-                    });
-                }
-                Inst::Copy { dst, src } => {
-                    // Float moves run in the FP pipeline (and cost like an
-                    // FP op on the 21164) — keep both builds honest.
-                    if f.ty(*dst) == crate::ids::IrTy::Float {
-                        out.push(Instr::FMov {
-                            dst: dst.0,
-                            src: src.0,
-                        });
-                    } else {
-                        out.push(Instr::Mov {
-                            dst: dst.0,
-                            src: src.0,
-                        });
-                    }
-                }
-                Inst::IBin { op, dst, a, b } => {
-                    let bo = operand(&imm, *b);
-                    out.push(Instr::IAlu {
-                        op: *op,
-                        dst: dst.0,
-                        a: a.0,
-                        b: bo,
-                    });
-                }
-                Inst::FBin { op, dst, a, b } => {
-                    out.push(Instr::FAlu {
-                        op: *op,
-                        dst: dst.0,
-                        a: a.0,
-                        b: b.0,
-                    });
-                }
-                Inst::ICmp { cc, dst, a, b } => {
-                    let bo = operand(&imm, *b);
-                    out.push(Instr::ICmp {
-                        cc: *cc,
-                        dst: dst.0,
-                        a: a.0,
-                        b: bo,
-                    });
-                }
-                Inst::FCmp { cc, dst, a, b } => {
-                    out.push(Instr::FCmp {
-                        cc: *cc,
-                        dst: dst.0,
-                        a: a.0,
-                        b: b.0,
-                    });
-                }
-                Inst::Un { op, dst, src } => {
-                    out.push(Instr::Un {
-                        op: *op,
-                        dst: dst.0,
-                        src: src.0,
-                    });
-                }
-                Inst::Load {
-                    ty, dst, base, idx, ..
-                } => {
-                    let io = operand(&imm, *idx);
-                    out.push(Instr::Load {
-                        ty: ty.vm_ty(),
-                        dst: dst.0,
-                        base: base.0,
-                        idx: io,
-                    });
-                }
-                Inst::Store { ty, base, idx, src } => {
-                    let io = operand(&imm, *idx);
-                    out.push(Instr::Store {
-                        ty: ty.vm_ty(),
-                        base: base.0,
-                        idx: io,
-                        src: src.0,
-                    });
-                }
-                Inst::Call { callee, dst, args } => {
-                    let args: Vec<u32> = args.iter().map(|a| a.0).collect();
-                    match callee {
-                        Callee::Func { index, .. } => out.push(Instr::Call {
-                            func: FuncId(*index as u32),
-                            dst: dst.map(|d| d.0),
-                            args,
-                        }),
-                        Callee::Host(h) => out.push(Instr::CallHost {
-                            f: *h,
-                            dst: dst.map(|d| d.0),
-                            args,
-                        }),
-                    };
-                }
-                // Annotations vanish in the static build.
-                Inst::MakeStatic { .. } | Inst::MakeDynamic { .. } | Inst::Promote { .. } => {}
-            }
+            emit_inst(
+                f,
+                &mut out,
+                inst,
+                &mut imm,
+                fold_ok.get(&i).copied().unwrap_or(false),
+            );
         }
 
         if spliced {
@@ -262,74 +100,383 @@ pub fn codegen_func_with_splices(f: &FuncIr, splices: &[DispatchSplice]) -> Code
         }
         // Terminator, with fallthrough to the next block in layout.
         let next = layout.get(li + 1).copied();
-        match &block.term {
-            Term::Jmp(t) => {
-                if Some(*t) != next {
-                    let at = out.push(Instr::Jmp { target: 0 });
-                    fixups.push((at, *t));
+        emit_term(&mut out, &block.term, next, scratch, &mut fixups);
+    }
+
+    patch_branch_fixups(&mut out, &fixups, &block_start);
+    out
+}
+
+/// Generate a *generic continuation* for a region: plain (unspecialized)
+/// code that resumes execution at `(block, inst_idx)` — a region entry or
+/// internal promotion point — taking `params` (the live variables the
+/// dispatch passes, in dispatch-argument order) as its parameters.
+/// `consts` carries the site's baked static context (an internal site's
+/// `base_store`), materialized as literal moves in the preamble because
+/// those values are *not* passed at dispatch. Annotations vanish exactly
+/// as in the static build, so any later `make_static`/`promote` in the
+/// region runs through unspecialized.
+///
+/// This is the concurrent runtime's single-flight *fallback* path: a
+/// thread that loses the race to specialize a (site, key) can invoke this
+/// continuation immediately instead of blocking on the winner.
+pub fn codegen_region_generic(
+    f: &FuncIr,
+    entry: BlockId,
+    inst_idx: usize,
+    params: &[VReg],
+    consts: &[(VReg, dyc_vm::Value)],
+) -> CodeFunc {
+    let lv = liveness(f);
+    let scratch = f.n_vregs() as u32;
+    // Registers: every vreg + the switch scratch + one relocation
+    // temporary per parameter (see the preamble below).
+    let name = format!("{}$generic_b{}_i{}", f.name, entry.index(), inst_idx);
+    let mut out = CodeFunc::new(name, params.len(), f.n_vregs() + 1 + params.len());
+
+    // Preamble: the VM places arguments in registers 0..n, but the region
+    // body reads each value from its vreg's own register. A direct move
+    // loop could clobber a still-pending source, so relocate in two
+    // phases through the temporaries above the scratch register.
+    if params.iter().enumerate().any(|(i, v)| v.0 != i as u32) {
+        let mv = |dst: u32, src: u32, v: &VReg| {
+            if f.ty(*v) == crate::ids::IrTy::Float {
+                Instr::FMov { dst, src }
+            } else {
+                Instr::Mov { dst, src }
+            }
+        };
+        for (i, v) in params.iter().enumerate() {
+            out.push(mv(scratch + 1 + i as u32, i as u32, v));
+        }
+        for (i, v) in params.iter().enumerate() {
+            out.push(mv(v.0, scratch + 1 + i as u32, v));
+        }
+    }
+    // Baked static context (disjoint from `params` by construction).
+    for (v, val) in consts {
+        match val {
+            dyc_vm::Value::I(i) => out.push(Instr::MovI { dst: v.0, imm: *i }),
+            dyc_vm::Value::F(x) => out.push(Instr::MovF { dst: v.0, imm: *x }),
+        };
+    }
+
+    let layout = f.reverse_postorder();
+    let mut block_start: HashMap<BlockId, u32> = HashMap::new();
+    let mut fixups: Vec<(u32, BlockId)> = Vec::new();
+
+    // The entry tail: the entry block from `inst_idx` on. Immediate
+    // folding is disabled here — a constant defined before the entry
+    // point arrives as a parameter, not as a known literal.
+    {
+        let block = f.block(entry);
+        let mut imm: HashMap<VReg, i64> = HashMap::new();
+        for inst in &block.insts[inst_idx..] {
+            emit_inst(f, &mut out, inst, &mut imm, false);
+        }
+        emit_term(
+            &mut out,
+            &block.term,
+            layout.first().copied(),
+            scratch,
+            &mut fixups,
+        );
+    }
+
+    // Then every block in the normal layout: loop-back edges (including
+    // into the entry block's own start) land on these full copies.
+    for (li, &b) in layout.iter().enumerate() {
+        block_start.insert(b, out.len() as u32);
+        let block = f.block(b);
+        let fold_ok = fold_analysis(block, &lv.live_out[b.index()], None);
+        let mut imm: HashMap<VReg, i64> = HashMap::new();
+        for (i, inst) in block.insts.iter().enumerate() {
+            emit_inst(
+                f,
+                &mut out,
+                inst,
+                &mut imm,
+                fold_ok.get(&i).copied().unwrap_or(false),
+            );
+        }
+        let next = layout.get(li + 1).copied();
+        emit_term(&mut out, &block.term, next, scratch, &mut fixups);
+    }
+
+    patch_branch_fixups(&mut out, &fixups, &block_start);
+    out
+}
+
+/// Decide which in-block integer constants can live purely in immediate
+/// fields (all uses are imm-capable and not live-out). Returns
+/// `inst idx -> ok` for the block's `ConstI`s.
+fn fold_analysis(
+    block: &crate::func::Block,
+    live_out: &std::collections::HashSet<VReg>,
+    splice: Option<&DispatchSplice>,
+) -> HashMap<usize, bool> {
+    let mut fold_ok: HashMap<usize, bool> = HashMap::new(); // inst idx -> ok
+    let mut latest_def: HashMap<VReg, usize> = HashMap::new(); // vreg -> inst idx
+    for (i, inst) in block.insts.iter().enumerate() {
+        if let Some(s) = splice {
+            if i == s.inst_idx {
+                // The dispatch reads every arg from a register, so a
+                // constant feeding it must be materialized; nothing
+                // past the splice is emitted.
+                for a in &s.args {
+                    if let Some(&di) = latest_def.get(a) {
+                        fold_ok.insert(di, false);
+                    }
+                }
+                return fold_ok;
+            }
+        }
+        // Check uses first (an inst may read its own previous value).
+        let imm_positions = imm_capable_uses(inst);
+        for u in inst.uses() {
+            if let Some(&di) = latest_def.get(&u) {
+                if !imm_positions.contains(&u) {
+                    fold_ok.insert(di, false);
                 }
             }
-            Term::Br { cond, t, f: fb } => {
-                if Some(*fb) == next {
-                    let at = out.push(Instr::Brnz {
-                        cond: cond.0,
-                        target: 0,
-                    });
-                    fixups.push((at, *t));
-                } else if Some(*t) == next {
-                    let at = out.push(Instr::Brz {
-                        cond: cond.0,
-                        target: 0,
-                    });
-                    fixups.push((at, *fb));
-                } else {
-                    let at = out.push(Instr::Brnz {
-                        cond: cond.0,
-                        target: 0,
-                    });
-                    fixups.push((at, *t));
-                    let at2 = out.push(Instr::Jmp { target: 0 });
-                    fixups.push((at2, *fb));
-                }
+        }
+        crate::analysis::annotation_uses(inst, |v| {
+            if let Some(&di) = latest_def.get(&v) {
+                fold_ok.insert(di, false);
             }
-            Term::Switch { on, cases, default } => {
-                // Compare-and-branch chain (sparse cases).
-                for (k, target) in cases {
-                    out.push(Instr::ICmp {
-                        cc: dyc_vm::Cc::Eq,
-                        dst: scratch,
-                        a: on.0,
-                        b: Operand::Imm(*k),
-                    });
-                    let at = out.push(Instr::Brnz {
-                        cond: scratch,
-                        target: 0,
-                    });
-                    fixups.push((at, *target));
-                }
-                if Some(*default) != next {
-                    let at = out.push(Instr::Jmp { target: 0 });
-                    fixups.push((at, *default));
-                }
-            }
-            Term::Ret(v) => {
-                out.push(Instr::Ret {
-                    src: v.map(|r| r.0),
-                });
+        });
+        if let Some(d) = inst.def() {
+            if let Inst::ConstI { .. } = inst {
+                fold_ok.insert(i, true);
+                latest_def.insert(d, i);
+            } else {
+                latest_def.remove(&d);
             }
         }
     }
+    for u in block.term.uses() {
+        if let Some(&di) = latest_def.get(&u) {
+            fold_ok.insert(di, false);
+        }
+    }
+    for (v, di) in &latest_def {
+        if live_out.contains(v) {
+            fold_ok.insert(*di, false);
+        }
+    }
+    fold_ok
+}
 
+/// Lower one IR instruction, tracking current immediate bindings in `imm`.
+/// `fold_this` is the [`fold_analysis`] verdict for a `ConstI` at this
+/// position.
+fn emit_inst(
+    f: &FuncIr,
+    out: &mut CodeFunc,
+    inst: &Inst,
+    imm: &mut HashMap<VReg, i64>,
+    fold_this: bool,
+) {
+    if let Some(d) = inst.def() {
+        // A redefinition ends any immediate binding.
+        if !matches!(inst, Inst::ConstI { .. }) {
+            imm.remove(&d);
+        }
+    }
+    match inst {
+        Inst::ConstI { dst, v } => {
+            if fold_this {
+                imm.insert(*dst, *v);
+            } else {
+                imm.remove(dst);
+                out.push(Instr::MovI {
+                    dst: dst.0,
+                    imm: *v,
+                });
+            }
+        }
+        Inst::ConstF { dst, v } => {
+            out.push(Instr::MovF {
+                dst: dst.0,
+                imm: *v,
+            });
+        }
+        Inst::Copy { dst, src } => {
+            // Float moves run in the FP pipeline (and cost like an
+            // FP op on the 21164) — keep both builds honest.
+            if f.ty(*dst) == crate::ids::IrTy::Float {
+                out.push(Instr::FMov {
+                    dst: dst.0,
+                    src: src.0,
+                });
+            } else {
+                out.push(Instr::Mov {
+                    dst: dst.0,
+                    src: src.0,
+                });
+            }
+        }
+        Inst::IBin { op, dst, a, b } => {
+            let bo = operand(imm, *b);
+            out.push(Instr::IAlu {
+                op: *op,
+                dst: dst.0,
+                a: a.0,
+                b: bo,
+            });
+        }
+        Inst::FBin { op, dst, a, b } => {
+            out.push(Instr::FAlu {
+                op: *op,
+                dst: dst.0,
+                a: a.0,
+                b: b.0,
+            });
+        }
+        Inst::ICmp { cc, dst, a, b } => {
+            let bo = operand(imm, *b);
+            out.push(Instr::ICmp {
+                cc: *cc,
+                dst: dst.0,
+                a: a.0,
+                b: bo,
+            });
+        }
+        Inst::FCmp { cc, dst, a, b } => {
+            out.push(Instr::FCmp {
+                cc: *cc,
+                dst: dst.0,
+                a: a.0,
+                b: b.0,
+            });
+        }
+        Inst::Un { op, dst, src } => {
+            out.push(Instr::Un {
+                op: *op,
+                dst: dst.0,
+                src: src.0,
+            });
+        }
+        Inst::Load {
+            ty, dst, base, idx, ..
+        } => {
+            let io = operand(imm, *idx);
+            out.push(Instr::Load {
+                ty: ty.vm_ty(),
+                dst: dst.0,
+                base: base.0,
+                idx: io,
+            });
+        }
+        Inst::Store { ty, base, idx, src } => {
+            let io = operand(imm, *idx);
+            out.push(Instr::Store {
+                ty: ty.vm_ty(),
+                base: base.0,
+                idx: io,
+                src: src.0,
+            });
+        }
+        Inst::Call { callee, dst, args } => {
+            let args: Vec<u32> = args.iter().map(|a| a.0).collect();
+            match callee {
+                Callee::Func { index, .. } => out.push(Instr::Call {
+                    func: FuncId(*index as u32),
+                    dst: dst.map(|d| d.0),
+                    args,
+                }),
+                Callee::Host(h) => out.push(Instr::CallHost {
+                    f: *h,
+                    dst: dst.map(|d| d.0),
+                    args,
+                }),
+            };
+        }
+        // Annotations vanish in the static build.
+        Inst::MakeStatic { .. } | Inst::MakeDynamic { .. } | Inst::Promote { .. } => {}
+    }
+}
+
+/// Lower a block terminator, with fallthrough to `next` when possible.
+fn emit_term(
+    out: &mut CodeFunc,
+    term: &Term,
+    next: Option<BlockId>,
+    scratch: u32,
+    fixups: &mut Vec<(u32, BlockId)>,
+) {
+    match term {
+        Term::Jmp(t) => {
+            if Some(*t) != next {
+                let at = out.push(Instr::Jmp { target: 0 });
+                fixups.push((at, *t));
+            }
+        }
+        Term::Br { cond, t, f: fb } => {
+            if Some(*fb) == next {
+                let at = out.push(Instr::Brnz {
+                    cond: cond.0,
+                    target: 0,
+                });
+                fixups.push((at, *t));
+            } else if Some(*t) == next {
+                let at = out.push(Instr::Brz {
+                    cond: cond.0,
+                    target: 0,
+                });
+                fixups.push((at, *fb));
+            } else {
+                let at = out.push(Instr::Brnz {
+                    cond: cond.0,
+                    target: 0,
+                });
+                fixups.push((at, *t));
+                let at2 = out.push(Instr::Jmp { target: 0 });
+                fixups.push((at2, *fb));
+            }
+        }
+        Term::Switch { on, cases, default } => {
+            // Compare-and-branch chain (sparse cases).
+            for (k, target) in cases {
+                out.push(Instr::ICmp {
+                    cc: dyc_vm::Cc::Eq,
+                    dst: scratch,
+                    a: on.0,
+                    b: Operand::Imm(*k),
+                });
+                let at = out.push(Instr::Brnz {
+                    cond: scratch,
+                    target: 0,
+                });
+                fixups.push((at, *target));
+            }
+            if Some(*default) != next {
+                let at = out.push(Instr::Jmp { target: 0 });
+                fixups.push((at, *default));
+            }
+        }
+        Term::Ret(v) => {
+            out.push(Instr::Ret {
+                src: v.map(|r| r.0),
+            });
+        }
+    }
+}
+
+fn patch_branch_fixups(
+    out: &mut CodeFunc,
+    fixups: &[(u32, BlockId)],
+    starts: &HashMap<BlockId, u32>,
+) {
     for (at, target) in fixups {
-        let dest = block_start[&target];
-        match &mut out.code[at as usize] {
+        let dest = starts[target];
+        match &mut out.code[*at as usize] {
             Instr::Jmp { target } | Instr::Brz { target, .. } | Instr::Brnz { target, .. } => {
                 *target = dest;
             }
             other => unreachable!("fixup on non-branch {other:?}"),
         }
     }
-    out
 }
 
 /// Registers appearing in immediate-capable positions of `inst`.

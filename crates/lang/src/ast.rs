@@ -34,6 +34,11 @@ pub enum Policy {
     /// Hash-table lookup at each dispatch; safe default.
     #[default]
     CacheAll,
+    /// Hash-table lookup with at most `k` retained specializations
+    /// (`cache_all(k)`); second-chance eviction reclaims the coldest
+    /// entry when the site overflows. Bounds the §2.2.3 cache-all policy
+    /// for long-running servers where key populations grow without bound.
+    CacheAllBounded(u32),
     /// Single cached version, dispatched with an unchecked load+jump.
     /// Unsafe if the variable's value actually varies.
     CacheOneUnchecked,

@@ -221,7 +221,27 @@ impl Parser {
                     let name = self.ident()?;
                     let policy = if self.eat(&TokenKind::Colon) {
                         match self.ident()?.as_str() {
-                            "cache_all" => Policy::CacheAll,
+                            // `cache_all` optionally takes a capacity:
+                            // `cache_all(k)` bounds the site to k retained
+                            // specializations (second-chance eviction).
+                            "cache_all" => {
+                                if self.eat(&TokenKind::LParen) {
+                                    let k =
+                                        match self.peek().clone() {
+                                            TokenKind::Int(k) if k >= 1 => {
+                                                self.bump();
+                                                k
+                                            }
+                                            _ => return self.err(
+                                                "cache_all(k) requires an integer capacity >= 1",
+                                            ),
+                                        };
+                                    self.expect(&TokenKind::RParen)?;
+                                    Policy::CacheAllBounded(k as u32)
+                                } else {
+                                    Policy::CacheAll
+                                }
+                            }
                             "cache_one_unchecked" => Policy::CacheOneUnchecked,
                             "cache_indexed" => Policy::CacheIndexed,
                             other => return self.err(format!("unknown caching policy '{other}'")),

@@ -180,6 +180,7 @@ fn stmt_to(s: &mut String, st: &Stmt, depth: usize) {
                 .iter()
                 .map(|(n, p)| match p {
                     Policy::CacheAll => n.clone(),
+                    Policy::CacheAllBounded(k) => format!("{n}: cache_all({k})"),
                     Policy::CacheOneUnchecked => format!("{n}: cache_one_unchecked"),
                     Policy::CacheIndexed => format!("{n}: cache_indexed"),
                 })

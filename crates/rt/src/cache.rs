@@ -7,6 +7,12 @@
 //! open-addressing double-hash table and meter its probe counts so the
 //! dispatch-cost analysis of §4.4.3 (~90 cycles per hashed dispatch,
 //! rising to ~150 under collisions as in mipsi) can be reproduced.
+//!
+//! The table is generic over its value type: single-threaded dispatch
+//! stores [`FuncId`]s directly, while the sharded concurrent cache
+//! ([`crate::concurrent`]) stores registry handles. Deletion (needed by
+//! the bounded `cache_all(k)` eviction policy) uses tombstones so probe
+//! chains through deleted slots stay intact.
 
 use dyc_vm::FuncId;
 
@@ -22,11 +28,11 @@ pub struct Probed<T> {
 /// Result of an entry-style lookup: a hit, or a reserved vacant slot the
 /// caller fills after specializing (one hash for the miss+insert pair).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CacheEntry {
+pub enum CacheEntry<V = FuncId> {
     /// The key is cached.
     Hit {
         /// The cached specialization.
-        value: FuncId,
+        value: V,
         /// Slots inspected.
         probes: u32,
     },
@@ -39,24 +45,55 @@ pub enum CacheEntry {
     },
 }
 
+/// One open-addressed slot. `Tomb` marks a deleted entry: probes continue
+/// through it (the chain may have been built around the dead key) but
+/// inserts may reuse it.
+#[derive(Debug, Clone, PartialEq)]
+enum Slot<V> {
+    Empty,
+    Tomb,
+    Full(Vec<u64>, V),
+}
+
 /// An open-addressing hash table with double hashing, keyed by the values
 /// of the static variables at a promotion point.
+///
+/// # Examples
+///
+/// ```
+/// use dyc_rt::DoubleHashCache;
+/// use dyc_vm::FuncId;
+///
+/// let mut c = DoubleHashCache::new();
+/// assert_eq!(c.lookup(&[42]).value, None);          // miss
+/// c.insert(vec![42], FuncId(7));
+/// assert_eq!(c.lookup(&[42]).value, Some(FuncId(7))); // hit
+/// assert_eq!(c.remove(&[42]), Some(FuncId(7)));     // evict
+/// assert_eq!(c.lookup(&[42]).value, None);
+/// // Probe metering feeds the §4.4.3 dispatch-cost analysis.
+/// assert_eq!(c.lookups, 3);
+/// assert!(c.mean_probes() >= 1.0);
+/// ```
 #[derive(Debug, Clone)]
-pub struct DoubleHashCache {
-    slots: Vec<Option<(Vec<u64>, FuncId)>>,
+pub struct DoubleHashCache<V = FuncId> {
+    slots: Vec<Slot<V>>,
     len: usize,
+    /// Tombstones currently in the table (count toward the load factor so
+    /// probe chains stay short even under heavy eviction churn).
+    tombs: usize,
     /// Total probes across all lookups (for dispatch-cost reporting).
     pub total_probes: u64,
     /// Total lookups.
     pub lookups: u64,
 }
 
-impl DoubleHashCache {
+impl<V: Copy> DoubleHashCache<V> {
     /// An empty cache with a small initial capacity.
-    pub fn new() -> DoubleHashCache {
+    pub fn new() -> DoubleHashCache<V> {
         DoubleHashCache {
-            slots: vec![None; 16],
+            slots: (0..16).map(|_| Slot::Empty).collect(),
             len: 0,
+            tombs: 0,
             total_probes: 0,
             lookups: 0,
         }
@@ -94,9 +131,10 @@ impl DoubleHashCache {
         ((h as usize) % m) | 1
     }
 
-    /// Look up `key`, metering probes.
-    pub fn lookup(&mut self, key: &[u64]) -> Probed<FuncId> {
-        self.lookups += 1;
+    /// Probe for `key` without touching the meters — the shared-cache hit
+    /// path calls this under a read lock and accumulates the probe count
+    /// into per-shard atomics instead.
+    pub fn probe(&self, key: &[u64]) -> Probed<V> {
         let m = self.slots.len();
         let start = Self::h1(key, m);
         let step = Self::h2(key, m);
@@ -105,25 +143,22 @@ impl DoubleHashCache {
         loop {
             probes += 1;
             match &self.slots[idx] {
-                None => {
-                    self.total_probes += u64::from(probes);
+                Slot::Empty => {
                     return Probed {
                         value: None,
                         probes,
-                    };
+                    }
                 }
-                Some((k, v)) if k.as_slice() == key => {
-                    self.total_probes += u64::from(probes);
+                Slot::Full(k, v) if k.as_slice() == key => {
                     return Probed {
                         value: Some(*v),
                         probes,
                     };
                 }
-                Some(_) => {
+                Slot::Full(..) | Slot::Tomb => {
                     idx = (idx + step) % m;
                     if probes as usize > m {
                         // Table full of other keys; treat as a miss.
-                        self.total_probes += u64::from(probes);
                         return Probed {
                             value: None,
                             probes,
@@ -134,6 +169,14 @@ impl DoubleHashCache {
         }
     }
 
+    /// Look up `key`, metering probes.
+    pub fn lookup(&mut self, key: &[u64]) -> Probed<V> {
+        let p = self.probe(key);
+        self.lookups += 1;
+        self.total_probes += u64::from(p.probes);
+        p
+    }
+
     /// Entry-style lookup: find `key` or reserve the slot where it would
     /// be inserted, hashing the key once. A dispatch miss followed by
     /// specialization calls [`DoubleHashCache::fill`] with the returned
@@ -142,8 +185,8 @@ impl DoubleHashCache {
     /// The table is grown *before* probing when the next insert would
     /// push the load factor over 0.5, so a reserved slot stays valid
     /// while the caller specializes.
-    pub fn lookup_or_reserve(&mut self, key: &[u64]) -> CacheEntry {
-        if (self.len + 1) * 2 > self.slots.len() {
+    pub fn lookup_or_reserve(&mut self, key: &[u64]) -> CacheEntry<V> {
+        if (self.len + self.tombs + 1) * 2 > self.slots.len() {
             self.grow();
         }
         self.lookups += 1;
@@ -152,61 +195,153 @@ impl DoubleHashCache {
         let step = Self::h2(key, m);
         let mut idx = start;
         let mut probes = 0;
+        // First tombstone on the probe path: reused for the insert (the
+        // chain up to here already skips it, so lookups stay correct).
+        let mut reuse: Option<usize> = None;
         loop {
             probes += 1;
             match &self.slots[idx] {
-                None => {
+                Slot::Empty => {
                     self.total_probes += u64::from(probes);
-                    return CacheEntry::Vacant { slot: idx, probes };
+                    return CacheEntry::Vacant {
+                        slot: reuse.unwrap_or(idx),
+                        probes,
+                    };
                 }
-                Some((k, v)) if k.as_slice() == key => {
+                Slot::Full(k, v) if k.as_slice() == key => {
                     self.total_probes += u64::from(probes);
                     return CacheEntry::Hit { value: *v, probes };
                 }
-                Some(_) => idx = (idx + step) % m,
+                Slot::Tomb => {
+                    reuse.get_or_insert(idx);
+                    idx = (idx + step) % m;
+                }
+                Slot::Full(..) => idx = (idx + step) % m,
             }
         }
     }
 
     /// Fill a slot reserved by [`DoubleHashCache::lookup_or_reserve`].
-    pub fn fill(&mut self, slot: usize, key: Vec<u64>, value: FuncId) {
-        debug_assert!(self.slots[slot].is_none(), "slot already filled");
-        self.slots[slot] = Some((key, value));
+    pub fn fill(&mut self, slot: usize, key: Vec<u64>, value: V) {
+        debug_assert!(
+            !matches!(self.slots[slot], Slot::Full(..)),
+            "slot already filled"
+        );
+        if matches!(self.slots[slot], Slot::Tomb) {
+            self.tombs -= 1;
+        }
+        self.slots[slot] = Slot::Full(key, value);
         self.len += 1;
     }
 
     /// Insert (or overwrite) a specialization for `key`.
-    pub fn insert(&mut self, key: Vec<u64>, value: FuncId) {
-        if (self.len + 1) * 2 > self.slots.len() {
+    pub fn insert(&mut self, key: Vec<u64>, value: V) {
+        if (self.len + self.tombs + 1) * 2 > self.slots.len() {
             self.grow();
         }
         let m = self.slots.len();
         let start = Self::h1(&key, m);
         let step = Self::h2(&key, m);
         let mut idx = start;
+        let mut reuse: Option<usize> = None;
         loop {
             match &self.slots[idx] {
-                None => {
-                    self.slots[idx] = Some((key, value));
+                Slot::Empty => {
+                    let at = reuse.unwrap_or(idx);
+                    if matches!(self.slots[at], Slot::Tomb) {
+                        self.tombs -= 1;
+                    }
+                    self.slots[at] = Slot::Full(key, value);
                     self.len += 1;
                     return;
                 }
-                Some((k, _)) if *k == key => {
-                    self.slots[idx] = Some((key, value));
+                Slot::Full(k, _) if *k == key => {
+                    self.slots[idx] = Slot::Full(key, value);
                     return;
                 }
-                Some(_) => idx = (idx + step) % m,
+                Slot::Tomb => {
+                    reuse.get_or_insert(idx);
+                    idx = (idx + step) % m;
+                }
+                Slot::Full(..) => idx = (idx + step) % m,
             }
         }
     }
 
-    fn grow(&mut self) {
-        let new_size = self.slots.len() * 2;
-        let old = std::mem::replace(&mut self.slots, vec![None; new_size]);
+    /// Remove `key`, returning its cached value. The slot becomes a
+    /// tombstone (probe chains through it are preserved); tombstones are
+    /// purged wholesale on the next rehash.
+    pub fn remove(&mut self, key: &[u64]) -> Option<V> {
+        let m = self.slots.len();
+        let start = Self::h1(key, m);
+        let step = Self::h2(key, m);
+        let mut idx = start;
+        let mut probes = 0usize;
+        loop {
+            probes += 1;
+            match &self.slots[idx] {
+                Slot::Empty => return None,
+                Slot::Full(k, v) if k.as_slice() == key => {
+                    let v = *v;
+                    self.slots[idx] = Slot::Tomb;
+                    self.len -= 1;
+                    self.tombs += 1;
+                    return Some(v);
+                }
+                Slot::Full(..) | Slot::Tomb => {
+                    idx = (idx + step) % m;
+                    if probes > m {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop every cached entry (capacity is kept). The probe meters are
+    /// deliberately **not** touched: `total_probes`/`lookups` feed the
+    /// cumulative §4.4.3 dispatch-cost analysis and survive invalidation.
+    /// Call [`DoubleHashCache::reset_counters`] to zero them explicitly.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = Slot::Empty;
+        }
         self.len = 0;
-        for e in old.into_iter().flatten() {
-            let (k, v) = e;
-            self.insert(k, v);
+        self.tombs = 0;
+    }
+
+    /// Explicitly zero the probe meters (`total_probes` and `lookups`).
+    pub fn reset_counters(&mut self) {
+        self.total_probes = 0;
+        self.lookups = 0;
+    }
+
+    /// Iterate over the cached `(key, value)` pairs, in table order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u64], V)> + '_ {
+        self.slots.iter().filter_map(|s| match s {
+            Slot::Full(k, v) => Some((k.as_slice(), *v)),
+            _ => None,
+        })
+    }
+
+    fn grow(&mut self) {
+        // Rehashing drops tombstones; only double if the *live* entries
+        // actually crowd the table (eviction churn alone just compacts).
+        let new_size = if (self.len + 1) * 2 > self.slots.len() {
+            self.slots.len() * 2
+        } else {
+            self.slots.len()
+        };
+        let old = std::mem::replace(
+            &mut self.slots,
+            (0..new_size).map(|_| Slot::Empty).collect(),
+        );
+        self.len = 0;
+        self.tombs = 0;
+        for e in old {
+            if let Slot::Full(k, v) = e {
+                self.insert(k, v);
+            }
         }
     }
 
@@ -220,7 +355,7 @@ impl DoubleHashCache {
     }
 }
 
-impl Default for DoubleHashCache {
+impl<V: Copy> Default for DoubleHashCache<V> {
     fn default() -> Self {
         DoubleHashCache::new()
     }
@@ -238,6 +373,15 @@ mod tests {
         c.insert(key.clone(), FuncId(7));
         assert_eq!(c.lookup(&key).value, Some(FuncId(7)));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn default_is_an_empty_cache() {
+        let mut c: DoubleHashCache = DoubleHashCache::default();
+        assert!(c.is_empty());
+        assert_eq!(c.lookups, 0);
+        assert_eq!(c.total_probes, 0);
+        assert_eq!(c.lookup(&[1]).value, None);
     }
 
     #[test]
@@ -276,6 +420,15 @@ mod tests {
     }
 
     #[test]
+    fn probe_is_unmetered() {
+        let mut c = DoubleHashCache::new();
+        c.insert(vec![5], FuncId(1));
+        let before = (c.lookups, c.total_probes);
+        assert_eq!(c.probe(&[5]).value, Some(FuncId(1)));
+        assert_eq!((c.lookups, c.total_probes), before);
+    }
+
+    #[test]
     fn empty_key_is_a_valid_key() {
         let mut c = DoubleHashCache::new();
         c.insert(vec![], FuncId(3));
@@ -305,7 +458,7 @@ mod tests {
         let mut c = DoubleHashCache::new();
         let m = c.slots.len();
         for (i, s) in c.slots.iter_mut().enumerate() {
-            *s = Some((vec![i as u64 + 1000], FuncId(i as u32)));
+            *s = Slot::Full(vec![i as u64 + 1000], FuncId(i as u32));
         }
         c.len = m;
         let p = c.lookup(&[7]);
@@ -317,7 +470,7 @@ mod tests {
     fn h2_step_is_odd_for_any_key() {
         for key in [vec![], vec![0u64], vec![1, 2, 3], vec![u64::MAX]] {
             for m in [16usize, 64, 1024] {
-                assert_eq!(DoubleHashCache::h2(&key, m) % 2, 1);
+                assert_eq!(DoubleHashCache::<FuncId>::h2(&key, m) % 2, 1);
             }
         }
     }
@@ -368,5 +521,88 @@ mod tests {
         }
         assert_eq!(c.len(), 1000);
         assert_eq!(c.lookup(&[999]).value, Some(FuncId(999)));
+    }
+
+    #[test]
+    fn remove_leaves_probe_chains_intact() {
+        // Insert enough keys that probe chains form, delete half, and
+        // check every survivor is still reachable through the tombstones.
+        let mut c = DoubleHashCache::new();
+        for i in 0..200u64 {
+            c.insert(vec![i], FuncId(i as u32));
+        }
+        for i in (0..200u64).step_by(2) {
+            assert_eq!(c.remove(&[i]), Some(FuncId(i as u32)), "remove {i}");
+        }
+        assert_eq!(c.len(), 100);
+        for i in 0..200u64 {
+            let want = (i % 2 == 1).then_some(FuncId(i as u32));
+            assert_eq!(c.lookup(&[i]).value, want, "key {i}");
+        }
+        assert_eq!(c.remove(&[4]), None, "double remove");
+    }
+
+    #[test]
+    fn tombstones_are_reused_and_purged() {
+        let mut c = DoubleHashCache::new();
+        // Churn a bounded working set: the table must not grow without
+        // bound under insert/remove cycles (tombstones get compacted).
+        for round in 0..200u64 {
+            c.insert(vec![round], FuncId(round as u32));
+            if round >= 4 {
+                assert_eq!(c.remove(&[round - 4]), Some(FuncId((round - 4) as u32)));
+            }
+        }
+        assert_eq!(c.len(), 4);
+        assert!(
+            c.slots.len() <= 64,
+            "bounded churn must not balloon the table (got {})",
+            c.slots.len()
+        );
+    }
+
+    #[test]
+    fn reserve_reuses_tombstones() {
+        let mut c = DoubleHashCache::new();
+        c.insert(vec![1], FuncId(1));
+        c.remove(&[1]);
+        match c.lookup_or_reserve(&[1]) {
+            CacheEntry::Vacant { slot, .. } => c.fill(slot, vec![1], FuncId(2)),
+            CacheEntry::Hit { .. } => panic!("removed key must miss"),
+        }
+        assert_eq!(c.lookup(&[1]).value, Some(FuncId(2)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_meters_reset_counters_zeroes_them() {
+        let mut c = DoubleHashCache::new();
+        c.insert(vec![1], FuncId(1));
+        c.insert(vec![2], FuncId(2));
+        c.lookup(&[1]);
+        c.lookup(&[3]);
+        let (lk, tp) = (c.lookups, c.total_probes);
+        assert!(lk == 2 && tp >= 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.lookup(&[1]).value, None, "cleared entries are gone");
+        // clear() preserved the cumulative meters (plus the lookup above).
+        assert_eq!(c.lookups, lk + 1);
+        assert!(c.total_probes > tp);
+        c.reset_counters();
+        assert_eq!((c.lookups, c.total_probes), (0, 0));
+        assert_eq!(c.mean_probes(), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_every_live_entry() {
+        let mut c = DoubleHashCache::new();
+        for i in 0..10u64 {
+            c.insert(vec![i], FuncId(i as u32));
+        }
+        c.remove(&[3]);
+        let mut got: Vec<u64> = c.iter().map(|(k, _)| k[0]).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 4, 5, 6, 7, 8, 9]);
     }
 }

@@ -1,0 +1,1259 @@
+//! Concurrent dispatch: a sharded, `Arc`-shared code cache with
+//! single-flight specialization and bounded eviction.
+//!
+//! The single-threaded [`Runtime`](crate::Runtime) owns its caches and
+//! module outright; this module makes the same staged pipeline safely
+//! callable from many threads:
+//!
+//! * **[`SharedRuntime`]** holds everything immutable or lock-guarded that
+//!   threads share: the staged program, the [`ShardedCache`] mapping
+//!   `(site, key)` to published code, an append-only site table (internal
+//!   promotion sites discovered by any thread become visible to all), an
+//!   append-only code registry, and the single-flight wait-map.
+//! * **[`ThreadRuntime`]** is one thread's [`DispatchHandler`]: it owns a
+//!   private [`Module`] replica and [`Vm`], so *execution* never takes a
+//!   lock — only dispatch lookups touch the shared cache, and a
+//!   steady-state hit is one shard read-lock with zero allocations.
+//! * **Single-flight**: exactly one thread runs the GE executor per
+//!   `(site, key)`. Racers either block on the winner's `Flight`
+//!   ([`MissPolicy::Block`]) or immediately run a *generic continuation*
+//!   — unspecialized code for the region compiled on demand
+//!   ([`MissPolicy::Fallback`]) — so no duplicate specializations are
+//!   ever performed.
+//! * **Bounded eviction**: `cache_all(k)` sites keep at most `k`
+//!   specializations, evicted by a second-chance clock whose reference
+//!   bits are lock-free atomics set on the hit path.
+//!
+//! # Memory ordering
+//!
+//! Publication is lock-mediated: a winner appends the new [`CodeFunc`] to
+//! the registry (write lock), inserts the cache binding (shard write
+//! lock), and only then resolves and removes its flight (wait-map mutex).
+//! Any thread that observes the cache binding or the flight result
+//! acquired one of those locks after the winner released it, so it also
+//! observes the registry entry — plain `Relaxed` atomics are only used
+//! for meters and clock reference bits, never to publish data.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dyc_bta::OptConfig;
+//! use dyc_rt::concurrent::SharedRuntime;
+//! use dyc_vm::{CostModel, Value, Vm};
+//!
+//! let src = "int pow(int b, int e) { make_static(e);
+//!            int r = 1; while (e > 0) { r = r * b; e = e - 1; } return r; }";
+//! let mut ir = dyc_ir::lower_program(&dyc_lang::parse_program(src).unwrap()).unwrap();
+//! dyc_ir::opt::optimize_program(&mut ir);
+//! let staged = dyc_stage::stage_program(ir, OptConfig::all());
+//! let shared = Arc::new(SharedRuntime::new(staged));
+//!
+//! // Each thread gets its own handler, module replica, and VM.
+//! let mut handler = SharedRuntime::thread(&shared);
+//! let mut module = shared.base_module();
+//! let mut vm = Vm::new(CostModel::alpha21164());
+//! let id = module.func_by_name("pow").unwrap();
+//! for _ in 0..3 {
+//!     let out = vm
+//!         .call_with_handler(&mut module, &mut handler, id, &[Value::I(3), Value::I(4)])
+//!         .unwrap();
+//!     assert_eq!(out, Some(Value::I(81)));
+//! }
+//! // One specialization served all three calls (two were shard hits).
+//! assert_eq!(shared.stats().specializations, 1);
+//! ```
+
+use crate::cache::{DoubleHashCache, Probed};
+use crate::costs::DynCosts;
+use crate::ge_exec::{GeExecutor, SpecEnv, SpecHost};
+use crate::runtime::{Site, Store};
+use crate::stats::RtStats;
+use dyc_stage::{SitePolicy, StagedProgram};
+use dyc_vm::{CodeFunc, DispatchHandler, DispatchOutcome, FuncId, Module, Value, Vm, VmError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+/// What a racing thread does when another thread is already specializing
+/// the same `(site, key)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MissPolicy {
+    /// Wait for the winner and invoke its specialized code — preserves
+    /// the single-threaded runtime's code and cache contents exactly.
+    #[default]
+    Block,
+    /// Run a *generic continuation* (unspecialized code for the region)
+    /// immediately instead of waiting. Results are identical; the racing
+    /// call just doesn't benefit from specialization.
+    Fallback,
+}
+
+/// Cached binding: the published code's global id plus, for bounded
+/// sites, its slot in the site's second-chance clock (so a hit can set
+/// the reference bit without a second hash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CacheVal {
+    gid: u32,
+    clock_idx: u32,
+}
+
+/// Per-shard meter snapshot (feeds the §4.4.3 dispatch-cost tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardMeter {
+    /// Lookups routed to this shard.
+    pub lookups: u64,
+    /// Total probe count across those lookups.
+    pub probes: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Shard<V> {
+    table: RwLock<DoubleHashCache<V>>,
+    lookups: AtomicU64,
+    probes: AtomicU64,
+}
+
+/// A sharded double-hash code cache: N independent
+/// [`DoubleHashCache`] shards, each behind its own reader-writer lock,
+/// selected by a hash of the key. Readers on different shards never
+/// contend, and readers on the same shard share the read lock; only an
+/// insert or removal takes a shard's write lock.
+///
+/// # Examples
+///
+/// ```
+/// use dyc_rt::concurrent::ShardedCache;
+/// use dyc_vm::FuncId;
+///
+/// let c: ShardedCache = ShardedCache::new(8);
+/// c.insert(vec![1, 42], FuncId(7));
+/// assert_eq!(c.get(&[1, 42]).value, Some(FuncId(7)));
+/// assert_eq!(c.get(&[2, 42]).value, None);
+/// assert_eq!(c.len(), 1);
+/// ```
+pub struct ShardedCache<V = FuncId> {
+    shards: Box<[Shard<V>]>,
+    mask: u64,
+}
+
+impl<V: Copy> ShardedCache<V> {
+    /// A cache with `shards` shards (rounded up to a power of two).
+    pub fn new(shards: usize) -> ShardedCache<V> {
+        let n = shards.max(1).next_power_of_two();
+        let shards = (0..n)
+            .map(|_| Shard {
+                table: RwLock::new(DoubleHashCache::new()),
+                lookups: AtomicU64::new(0),
+                probes: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedCache {
+            shards,
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// FNV-1a over the key words — independent of the double-hash
+    /// functions inside each shard, so shard choice doesn't correlate
+    /// with probe position.
+    fn shard_of(&self, key: &[u64]) -> &Shard<V> {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in key {
+            h ^= *w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Metered lookup: one shard read-lock, no allocations.
+    pub fn get(&self, key: &[u64]) -> Probed<V> {
+        let s = self.shard_of(key);
+        let p = s.table.read().unwrap().probe(key);
+        s.lookups.fetch_add(1, Ordering::Relaxed);
+        s.probes.fetch_add(u64::from(p.probes), Ordering::Relaxed);
+        p
+    }
+
+    /// Insert (or overwrite) a binding.
+    pub fn insert(&self, key: Vec<u64>, value: V) {
+        self.shard_of(&key)
+            .table
+            .write()
+            .unwrap()
+            .insert(key, value);
+    }
+
+    /// Remove a binding, returning it if present.
+    pub fn remove(&self, key: &[u64]) -> Option<V> {
+        self.shard_of(key).table.write().unwrap().remove(key)
+    }
+
+    /// Remove every binding whose first key word equals `first` (the
+    /// shared cache prefixes every key with its site id). Returns the
+    /// number of bindings removed.
+    pub fn purge_prefix(&self, first: u64) -> usize {
+        let mut removed = 0;
+        for s in &self.shards {
+            let mut t = s.table.write().unwrap();
+            let doomed: Vec<Vec<u64>> = t
+                .iter()
+                .filter(|(k, _)| k.first() == Some(&first))
+                .map(|(k, _)| k.to_vec())
+                .collect();
+            for k in &doomed {
+                t.remove(k);
+            }
+            removed += doomed.len();
+        }
+        removed
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.table.read().unwrap().len())
+            .sum()
+    }
+
+    /// True if no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard meters, in shard order.
+    pub fn meters(&self) -> Vec<ShardMeter> {
+        self.shards
+            .iter()
+            .map(|s| ShardMeter {
+                lookups: s.lookups.load(Ordering::Relaxed),
+                probes: s.probes.load(Ordering::Relaxed),
+                entries: s.table.read().unwrap().len(),
+            })
+            .collect()
+    }
+
+    /// Every `(key, value)` binding currently cached.
+    pub fn snapshot(&self) -> Vec<(Vec<u64>, V)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let t = s.table.read().unwrap();
+            out.extend(t.iter().map(|(k, v)| (k.to_vec(), v)));
+        }
+        out
+    }
+}
+
+impl<V: Copy> std::fmt::Debug for ShardedCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+/// Second-chance clock for one bounded (`cache_all(k)`) site. Reference
+/// bits are atomics so the cache-hit path can mark an entry recently
+/// used without taking the clock mutex; the key ring and hand are only
+/// touched under the mutex by the (already-serialized) insert path.
+#[derive(Debug)]
+struct EvictCtl {
+    bits: Box<[AtomicBool]>,
+    clock: Mutex<ClockKeys>,
+}
+
+#[derive(Debug)]
+struct ClockKeys {
+    /// Full shared-cache key per retained entry, indexed by clock slot.
+    keys: Vec<Vec<u64>>,
+    hand: usize,
+}
+
+impl EvictCtl {
+    fn new(cap: usize) -> EvictCtl {
+        EvictCtl {
+            bits: (0..cap).map(|_| AtomicBool::new(false)).collect(),
+            clock: Mutex::new(ClockKeys {
+                keys: Vec::new(),
+                hand: 0,
+            }),
+        }
+    }
+
+    fn touch(&self, idx: u32) {
+        self.bits[idx as usize].store(true, Ordering::Relaxed);
+    }
+
+    /// Admit `key`, evicting a victim from `cache` if the site is at
+    /// capacity. Returns the clock slot for the new entry and the evicted
+    /// key, if any.
+    fn admit(&self, key: &[u64], cache: &ShardedCache<CacheVal>) -> (u32, Option<Vec<u64>>) {
+        let cap = self.bits.len();
+        let mut c = self.clock.lock().unwrap();
+        if c.keys.len() < cap {
+            c.keys.push(key.to_vec());
+            let idx = c.keys.len() - 1;
+            self.bits[idx].store(true, Ordering::Relaxed);
+            return (idx as u32, None);
+        }
+        // Sweep, clearing reference bits until an unreferenced victim
+        // turns up. Concurrent hits can re-set bits mid-sweep, so bound
+        // the sweep at two revolutions and then take the hand's slot.
+        let mut steps = 0;
+        let victim = loop {
+            steps += 1;
+            if steps > 2 * cap || !self.bits[c.hand].swap(false, Ordering::Relaxed) {
+                break c.hand;
+            }
+            c.hand = (c.hand + 1) % cap;
+        };
+        c.hand = (victim + 1) % cap;
+        let old = std::mem::replace(&mut c.keys[victim], key.to_vec());
+        cache.remove(&old);
+        self.bits[victim].store(true, Ordering::Relaxed);
+        (victim as u32, Some(old))
+    }
+
+    fn reset(&self) {
+        let mut c = self.clock.lock().unwrap();
+        c.keys.clear();
+        c.hand = 0;
+        for b in self.bits.iter() {
+            b.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One shared dispatch site: the [`Site`] itself plus the concurrent
+/// per-site state (eviction clock, lazily built generic continuation).
+#[derive(Debug)]
+struct SiteEntry {
+    site: Site,
+    evict: Option<EvictCtl>,
+    /// Global id of the site's generic continuation, built on first use
+    /// by the [`MissPolicy::Fallback`] path.
+    fallback: Mutex<Option<u32>>,
+}
+
+impl SiteEntry {
+    fn new(site: Site) -> SiteEntry {
+        let evict = match site.policy {
+            SitePolicy::CacheAllBounded(k) => Some(EvictCtl::new(k.max(1) as usize)),
+            _ => None,
+        };
+        SiteEntry {
+            site,
+            evict,
+            fallback: Mutex::new(None),
+        }
+    }
+}
+
+/// One in-flight specialization: racers park on the condvar until the
+/// winner resolves it with the published global id (or the error).
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<Option<Result<u32, String>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, r: Result<u32, String>) {
+        *self.state.lock().unwrap() = Some(r);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<u32, String> {
+        let mut g = self.state.lock().unwrap();
+        loop {
+            if let Some(r) = g.clone() {
+                return r;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}
+
+/// Atomic global meters (per-thread meters live in each
+/// [`ThreadRuntime`]'s [`RtStats`]).
+#[derive(Debug, Default)]
+struct ConcStats {
+    specializations: AtomicU64,
+    single_flight_waits: AtomicU64,
+    single_flight_fallbacks: AtomicU64,
+    cache_evictions: AtomicU64,
+    cache_invalidations: AtomicU64,
+    generic_continuations: AtomicU64,
+}
+
+/// Plain snapshot of the shared runtime's meters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConcSnapshot {
+    /// Specializations performed across all threads. With
+    /// [`MissPolicy::Block`] this equals what a single-threaded oracle
+    /// running the same call sequence performs — single-flight suppresses
+    /// every duplicate.
+    pub specializations: u64,
+    /// Times a racing thread blocked on another thread's in-flight
+    /// specialization.
+    pub single_flight_waits: u64,
+    /// Times a racing thread took the generic continuation instead.
+    pub single_flight_fallbacks: u64,
+    /// Bounded-site evictions performed by the second-chance clock.
+    pub cache_evictions: u64,
+    /// Explicit site invalidations.
+    pub cache_invalidations: u64,
+    /// Generic continuations compiled (at most one per site).
+    pub generic_continuations: u64,
+    /// Code functions published to the shared registry.
+    pub published: u64,
+    /// Per-shard cache meters.
+    pub shards: Vec<ShardMeter>,
+}
+
+impl ConcSnapshot {
+    /// Duplicate specializations avoided by single-flight (waits plus
+    /// fallbacks — each one is a miss that did *not* redundantly run the
+    /// GE executor).
+    pub fn single_flight_suppressed(&self) -> u64 {
+        self.single_flight_waits + self.single_flight_fallbacks
+    }
+}
+
+/// Construction options for [`SharedRuntime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedOptions {
+    /// Shard count for the code cache (rounded up to a power of two).
+    pub shards: usize,
+    /// What racing threads do on a miss that is already in flight.
+    pub miss_policy: MissPolicy,
+    /// Specialization instruction budget (guards non-terminating static
+    /// loops), per specialization.
+    pub spec_budget: u64,
+}
+
+impl Default for SharedOptions {
+    fn default() -> SharedOptions {
+        SharedOptions {
+            shards: 16,
+            miss_policy: MissPolicy::Block,
+            spec_budget: 4_000_000,
+        }
+    }
+}
+
+/// The thread-shared half of the concurrent runtime. Wrap it in an
+/// [`Arc`] and hand each thread a [`ThreadRuntime`] from
+/// [`SharedRuntime::thread`]; see the [module docs](self) for the full
+/// protocol.
+pub struct SharedRuntime {
+    staged: StagedProgram,
+    costs: DynCosts,
+    opts: SharedOptions,
+    /// The statically compiled module every thread replica starts from;
+    /// global code ids below `base_len` are base functions with the same
+    /// [`FuncId`] in every replica.
+    base_module: Module,
+    base_len: usize,
+    /// Append-only site table. Entry sites occupy the prefix; internal
+    /// promotion sites discovered during any thread's specialization are
+    /// appended under the write lock and never mutated afterwards.
+    sites: RwLock<Vec<Arc<SiteEntry>>>,
+    /// `[site, key bits...]` → published code.
+    cache: ShardedCache<CacheVal>,
+    /// Published specialized code, in publication order. Global id =
+    /// `base_len + index`; threads copy entries into their own modules on
+    /// first use.
+    registry: RwLock<Vec<Arc<CodeFunc>>>,
+    /// Single-flight wait-map, keyed like the cache.
+    inflight: Mutex<HashMap<Vec<u64>, Arc<Flight>>>,
+    stats: ConcStats,
+}
+
+impl std::fmt::Debug for SharedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedRuntime")
+            .field("base_len", &self.base_len)
+            .field("n_sites", &self.n_sites())
+            .field("published", &self.registry.read().unwrap().len())
+            .field("opts", &self.opts)
+            .finish()
+    }
+}
+
+/// [`SpecHost`] that appends internal promotion sites to the shared site
+/// table, making them visible to every thread.
+struct SharedSiteHost<'a> {
+    shared: &'a SharedRuntime,
+}
+
+impl SpecHost for SharedSiteHost<'_> {
+    fn add_site(&mut self, mut site: Site) -> u32 {
+        site.precompute_layout();
+        let mut sites = self.shared.sites.write().unwrap();
+        let id = sites.len() as u32;
+        sites.push(Arc::new(SiteEntry::new(site)));
+        id
+    }
+}
+
+impl SharedRuntime {
+    /// Build the shared runtime for a staged program with default
+    /// options (16 shards, [`MissPolicy::Block`]).
+    pub fn new(staged: StagedProgram) -> SharedRuntime {
+        SharedRuntime::with_options(staged, SharedOptions::default())
+    }
+
+    /// Build the shared runtime with explicit [`SharedOptions`].
+    pub fn with_options(staged: StagedProgram, opts: SharedOptions) -> SharedRuntime {
+        let base_module = staged.build_module();
+        let base_len = base_module.len();
+        let mut sites = Vec::new();
+        for (i, e) in staged.entry_sites.iter().enumerate() {
+            let mut site = Site {
+                func: e.func,
+                block: e.block,
+                inst_idx: e.inst_idx,
+                base_store: Store::new(),
+                key_vars: e.key_vars.iter().map(|(v, _)| *v).collect(),
+                arg_vars: e.arg_vars.clone(),
+                policy: e.policy,
+                division: staged.ge.entry_divisions[i],
+                key_pos: Vec::new(),
+                dyn_pos: Vec::new(),
+            };
+            site.precompute_layout();
+            sites.push(Arc::new(SiteEntry::new(site)));
+        }
+        SharedRuntime {
+            cache: ShardedCache::new(opts.shards),
+            costs: DynCosts::calibrated(),
+            opts,
+            base_module,
+            base_len,
+            sites: RwLock::new(sites),
+            registry: RwLock::new(Vec::new()),
+            inflight: Mutex::new(HashMap::new()),
+            stats: ConcStats::default(),
+            staged,
+        }
+    }
+
+    /// A fresh per-thread dispatch handler. Pair it with
+    /// [`SharedRuntime::base_module`] and the thread's own [`Vm`].
+    pub fn thread(shared: &Arc<SharedRuntime>) -> ThreadRuntime {
+        ThreadRuntime {
+            shared: Arc::clone(shared),
+            stats: RtStats::new(),
+            scratch_key: Vec::new(),
+            local_ids: Vec::new(),
+            site_cache: Vec::new(),
+        }
+    }
+
+    /// A fresh copy of the statically compiled base module for a thread
+    /// replica.
+    pub fn base_module(&self) -> Module {
+        self.base_module.clone()
+    }
+
+    /// The staged program being run.
+    pub fn staged(&self) -> &StagedProgram {
+        &self.staged
+    }
+
+    /// Number of dispatch sites (entries + internal promotions so far).
+    pub fn n_sites(&self) -> usize {
+        self.sites.read().unwrap().len()
+    }
+
+    /// Number of code functions published to the shared registry.
+    pub fn published(&self) -> usize {
+        self.registry.read().unwrap().len()
+    }
+
+    /// The published code with global id `gid` (diagnostics / the stress
+    /// harness's byte-identity check).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gid` is a base-module id or out of range.
+    pub fn code(&self, gid: u32) -> Arc<CodeFunc> {
+        Arc::clone(&self.registry.read().unwrap()[gid as usize - self.base_len])
+    }
+
+    /// Drop every specialization cached at `point`, exactly like
+    /// [`Runtime::invalidate_site`](crate::Runtime::invalidate_site). The
+    /// next dispatch through the site re-specializes; published code is
+    /// unreachable through this site afterwards but stays in the registry
+    /// (ids are never reused, so a stale [`FuncId`] can never be served).
+    /// An invalidation racing an in-flight specialization may see that
+    /// specialization's binding appear after the purge — that binding is
+    /// freshly generated code, not stale code.
+    pub fn invalidate_site(&self, point: u32) {
+        self.stats
+            .cache_invalidations
+            .fetch_add(1, Ordering::Relaxed);
+        self.cache.purge_prefix(u64::from(point));
+        let entry = self.sites.read().unwrap().get(point as usize).cloned();
+        if let Some(e) = entry {
+            if let Some(ev) = &e.evict {
+                ev.reset();
+            }
+        }
+    }
+
+    /// Snapshot of every `(site, key, global id)` binding currently
+    /// cached, with the site prefix stripped from the key (matching
+    /// [`Runtime::cache_entries`](crate::Runtime::cache_entries)).
+    pub fn cache_snapshot(&self) -> Vec<(u32, Vec<u64>, u32)> {
+        self.cache
+            .snapshot()
+            .into_iter()
+            .map(|(k, v)| (k[0] as u32, k[1..].to_vec(), v.gid))
+            .collect()
+    }
+
+    /// Snapshot of the global meters.
+    pub fn stats(&self) -> ConcSnapshot {
+        ConcSnapshot {
+            specializations: self.stats.specializations.load(Ordering::Relaxed),
+            single_flight_waits: self.stats.single_flight_waits.load(Ordering::Relaxed),
+            single_flight_fallbacks: self.stats.single_flight_fallbacks.load(Ordering::Relaxed),
+            cache_evictions: self.stats.cache_evictions.load(Ordering::Relaxed),
+            cache_invalidations: self.stats.cache_invalidations.load(Ordering::Relaxed),
+            generic_continuations: self.stats.generic_continuations.load(Ordering::Relaxed),
+            published: self.registry.read().unwrap().len() as u64,
+            shards: self.cache.meters(),
+        }
+    }
+
+    /// The global id of `entry`'s generic continuation, compiling and
+    /// publishing it on first use. The continuation is ordinary
+    /// unspecialized code (annotations vanish, the site's baked static
+    /// context is materialized as constants), so it is charged like
+    /// statically compiled code — no dynamic-compilation cycles.
+    fn generic_continuation(&self, entry: &SiteEntry) -> u32 {
+        let mut slot = entry.fallback.lock().unwrap();
+        if let Some(g) = *slot {
+            return g;
+        }
+        let site = &entry.site;
+        let consts: Vec<_> = site.base_store.iter().map(|(v, val)| (*v, *val)).collect();
+        let cf = dyc_ir::codegen::codegen_region_generic(
+            &self.staged.ir.funcs[site.func],
+            site.block,
+            site.inst_idx,
+            &site.arg_vars,
+            &consts,
+        );
+        let gid = {
+            let mut reg = self.registry.write().unwrap();
+            let gid = (self.base_len + reg.len()) as u32;
+            reg.push(Arc::new(cf));
+            gid
+        };
+        self.stats
+            .generic_continuations
+            .fetch_add(1, Ordering::Relaxed);
+        *slot = Some(gid);
+        gid
+    }
+}
+
+/// Outcome of the single-flight miss path.
+enum MissResult {
+    /// Specialized code (winner's own, or the winner we waited for).
+    Spec(u32),
+    /// The generic continuation — invoked with the *full* dispatch
+    /// arguments, not the dynamic subset.
+    Generic(u32),
+}
+
+/// One thread's dispatch handler over a [`SharedRuntime`]. Owns the
+/// thread-local state — per-thread [`RtStats`], the reusable key buffer,
+/// and the lazy map from global code ids to this thread's module-local
+/// [`FuncId`]s — so the steady-state hit path takes one shard read-lock
+/// and performs no heap allocation.
+#[derive(Debug)]
+pub struct ThreadRuntime {
+    shared: Arc<SharedRuntime>,
+    /// This thread's run-time meters. `specializations` counts only
+    /// specializations this thread won; the global total lives in
+    /// [`SharedRuntime::stats`].
+    pub stats: RtStats,
+    scratch_key: Vec<u64>,
+    /// Global registry id − `base_len` → this thread's local [`FuncId`],
+    /// filled on first use.
+    local_ids: Vec<Option<FuncId>>,
+    /// Locally cached prefix of the shared site table (append-only, so a
+    /// prefix is never stale).
+    site_cache: Vec<Arc<SiteEntry>>,
+}
+
+impl ThreadRuntime {
+    /// The shared runtime this handler dispatches against.
+    pub fn shared(&self) -> &Arc<SharedRuntime> {
+        &self.shared
+    }
+
+    fn charge(&mut self, vm: &mut Vm, cycles: u64) {
+        self.stats.dyncomp_cycles += cycles;
+        vm.stats.dyncomp_cycles += cycles;
+    }
+
+    fn charge_dispatch(&mut self, vm: &mut Vm, cycles: u64) {
+        self.stats.dispatch_cycles += cycles;
+        vm.stats.dispatch_cycles += cycles;
+    }
+
+    /// The site entry for `point`, refreshing the local prefix from the
+    /// shared table only when `point` is beyond it (i.e. another thread
+    /// registered a new internal promotion site).
+    fn site_entry(&mut self, point: u32) -> Arc<SiteEntry> {
+        if point as usize >= self.site_cache.len() {
+            let sites = self.shared.sites.read().unwrap();
+            let have = self.site_cache.len();
+            self.site_cache.extend(sites[have..].iter().cloned());
+        }
+        Arc::clone(&self.site_cache[point as usize])
+    }
+
+    /// Copy published code `gid` into this thread's module on first use;
+    /// base-module ids map to themselves.
+    fn materialize(&mut self, gid: u32, module: &mut Module, vm: &mut Vm) -> FuncId {
+        if (gid as usize) < self.shared.base_len {
+            return FuncId(gid);
+        }
+        let idx = gid as usize - self.shared.base_len;
+        if idx >= self.local_ids.len() {
+            self.local_ids.resize(idx + 1, None);
+        }
+        if let Some(f) = self.local_ids[idx] {
+            return f;
+        }
+        let cf = self.shared.registry.read().unwrap()[idx].as_ref().clone();
+        let fid = module.add_func(cf);
+        // Installing code in this replica models the same `imb` + install
+        // cost the winner paid in its own module.
+        vm.flush_icache();
+        let install = self.shared.costs.install;
+        self.charge(vm, install);
+        self.local_ids[idx] = Some(fid);
+        fid
+    }
+
+    /// Run the GE executor for this site/key in this thread's module.
+    fn do_specialize(
+        &mut self,
+        entry: &SiteEntry,
+        args: &[Value],
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<FuncId, VmError> {
+        let site = &entry.site;
+        let mut store = site.base_store.clone();
+        for (v, &p) in site.key_vars.iter().zip(&site.key_pos) {
+            store.insert(*v, args[p]);
+        }
+        self.stats.specializations += 1;
+        let Some(d) = site.division else {
+            return Err(VmError::Dispatch(
+                "concurrent dispatch requires a staged GE division \
+                 (online-specializer fallback is single-threaded only)"
+                    .into(),
+            ));
+        };
+        let shared = Arc::clone(&self.shared);
+        let mut env = SpecEnv {
+            staged: &shared.staged,
+            costs: shared.costs,
+            budget: shared.opts.spec_budget,
+            stats: &mut self.stats,
+        };
+        let mut host = SharedSiteHost { shared: &shared };
+        let f = GeExecutor::run(&mut env, &mut host, site, store, d, module, vm)?;
+        vm.flush_icache();
+        let install = shared.costs.install;
+        self.charge(vm, install);
+        Ok(f)
+    }
+
+    /// Winner path: specialize, publish to the registry and cache, then
+    /// resolve and remove the flight (in that order — see the module docs
+    /// on memory ordering).
+    fn specialize_publish(
+        &mut self,
+        entry: &SiteEntry,
+        key: &[u64],
+        args: &[Value],
+        flight: &Flight,
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<u32, VmError> {
+        let out = match self.do_specialize(entry, args, module, vm) {
+            Ok(fid) => {
+                let cf = module.func(fid).clone();
+                let gid = {
+                    let mut reg = self.shared.registry.write().unwrap();
+                    let gid = (self.shared.base_len + reg.len()) as u32;
+                    reg.push(Arc::new(cf));
+                    gid
+                };
+                let idx = gid as usize - self.shared.base_len;
+                if idx >= self.local_ids.len() {
+                    self.local_ids.resize(idx + 1, None);
+                }
+                self.local_ids[idx] = Some(fid);
+                let clock_idx = match &entry.evict {
+                    Some(ev) => {
+                        let (ci, evicted) = ev.admit(key, &self.shared.cache);
+                        if evicted.is_some() {
+                            self.stats.cache_evictions += 1;
+                            self.shared
+                                .stats
+                                .cache_evictions
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        ci
+                    }
+                    None => 0,
+                };
+                self.shared
+                    .cache
+                    .insert(key.to_vec(), CacheVal { gid, clock_idx });
+                self.shared
+                    .stats
+                    .specializations
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(gid)
+            }
+            Err(e) => Err(e),
+        };
+        self.shared.inflight.lock().unwrap().remove(key);
+        flight.resolve(match &out {
+            Ok(g) => Ok(*g),
+            Err(e) => Err(e.to_string()),
+        });
+        out
+    }
+
+    /// Single-flight miss path: become the winner or follow the policy.
+    fn miss(
+        &mut self,
+        entry: &SiteEntry,
+        key: &[u64],
+        args: &[Value],
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<MissResult, VmError> {
+        enum Role {
+            Winner(Arc<Flight>),
+            Racer(Arc<Flight>),
+            Published(u32),
+        }
+        let role = {
+            let mut map = self.shared.inflight.lock().unwrap();
+            if let Some(fl) = map.get(key) {
+                Role::Racer(Arc::clone(fl))
+            } else if let Some(v) = self.shared.cache.get(key).value {
+                // Published between our probe and taking the map lock.
+                Role::Published(v.gid)
+            } else {
+                let fl = Arc::new(Flight::new());
+                map.insert(key.to_vec(), Arc::clone(&fl));
+                Role::Winner(fl)
+            }
+        };
+        match role {
+            Role::Published(gid) => Ok(MissResult::Spec(gid)),
+            Role::Winner(fl) => {
+                vm.stats.dispatch_misses += 1;
+                self.specialize_publish(entry, key, args, &fl, module, vm)
+                    .map(MissResult::Spec)
+            }
+            Role::Racer(fl) => match self.shared.opts.miss_policy {
+                MissPolicy::Block => {
+                    self.stats.single_flight_waits += 1;
+                    self.shared
+                        .stats
+                        .single_flight_waits
+                        .fetch_add(1, Ordering::Relaxed);
+                    match fl.wait() {
+                        Ok(gid) => Ok(MissResult::Spec(gid)),
+                        Err(m) => Err(VmError::Dispatch(m)),
+                    }
+                }
+                MissPolicy::Fallback => {
+                    self.stats.single_flight_fallbacks += 1;
+                    self.shared
+                        .stats
+                        .single_flight_fallbacks
+                        .fetch_add(1, Ordering::Relaxed);
+                    Ok(MissResult::Generic(self.shared.generic_continuation(entry)))
+                }
+            },
+        }
+    }
+}
+
+impl DispatchHandler for ThreadRuntime {
+    fn dispatch(
+        &mut self,
+        point: u32,
+        args: &[Value],
+        out_args: &mut Vec<Value>,
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<DispatchOutcome, VmError> {
+        let entry = self.site_entry(point);
+        let site = &entry.site;
+        if args.len() != site.arg_vars.len() {
+            return Err(VmError::Dispatch(format!(
+                "site {point}: expected {} args, got {}",
+                site.arg_vars.len(),
+                args.len()
+            )));
+        }
+
+        // Build the shared-cache key: [site, promoted key bits...]
+        // (cache-one-unchecked sites key on the site alone).
+        let mut key = std::mem::take(&mut self.scratch_key);
+        key.clear();
+        if key.capacity() < site.key_pos.len() + 1 {
+            self.stats.dispatch_allocs += 1;
+        }
+        key.push(u64::from(point));
+        if site.policy != SitePolicy::CacheOneUnchecked {
+            key.extend(site.key_pos.iter().map(|&p| args[p].key_bits()));
+        }
+
+        // Hit path: one shard read-lock, metered per policy with the same
+        // cost constants as the single-threaded dispatcher.
+        let probed = self.shared.cache.get(&key);
+        match site.policy {
+            SitePolicy::CacheOneUnchecked => {
+                let c = self.shared.costs.dispatch_unchecked;
+                self.charge_dispatch(vm, c);
+                self.stats.dispatch_unchecked += 1;
+            }
+            SitePolicy::CacheIndexed => {
+                let c = self.shared.costs.dispatch_indexed;
+                self.charge_dispatch(vm, c);
+                self.stats.dispatch_indexed += 1;
+            }
+            SitePolicy::CacheAll | SitePolicy::CacheAllBounded(_) => {
+                let c = self
+                    .shared
+                    .costs
+                    .hashed_dispatch(key.len() - 1, probed.probes);
+                self.charge_dispatch(vm, c);
+                self.stats.dispatch_hashed += 1;
+                self.stats.dispatch_probes += u64::from(probed.probes);
+            }
+        }
+
+        let gid = match probed.value {
+            Some(v) => {
+                if let Some(ev) = &entry.evict {
+                    ev.touch(v.clock_idx);
+                }
+                v.gid
+            }
+            None => match self.miss(&entry, &key, args, module, vm)? {
+                MissResult::Spec(gid) => gid,
+                MissResult::Generic(gid) => {
+                    // The generic continuation takes every dispatch
+                    // argument (nothing is baked in but the base store).
+                    let fid = self.materialize(gid, module, vm);
+                    self.scratch_key = key;
+                    out_args.extend_from_slice(args);
+                    return Ok(DispatchOutcome::Invoke { func: fid });
+                }
+            },
+        };
+
+        let fid = self.materialize(gid, module, vm);
+        self.scratch_key = key;
+        out_args.extend(entry.site.dyn_pos.iter().map(|&i| args[i]));
+        Ok(DispatchOutcome::Invoke { func: fid })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyc_bta::OptConfig;
+    use dyc_vm::CostModel;
+
+    fn staged(src: &str) -> StagedProgram {
+        let mut ir = dyc_ir::lower_program(&dyc_lang::parse_program(src).unwrap()).unwrap();
+        dyc_ir::opt::optimize_program(&mut ir);
+        dyc_stage::stage_program(ir, OptConfig::all())
+    }
+
+    const POWER: &str = "int pow(int b, int e) { make_static(e);
+        int r = 1; while (e > 0) { r = r * b; e = e - 1; } return r; }";
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn shared_runtime_is_send_and_sync() {
+        assert_send_sync::<SharedRuntime>();
+        assert_send_sync::<ThreadRuntime>();
+    }
+
+    #[test]
+    fn sharded_cache_basics() {
+        let c: ShardedCache<u32> = ShardedCache::new(3); // rounds to 4
+        assert_eq!(c.n_shards(), 4);
+        assert!(c.is_empty());
+        for i in 0..100u64 {
+            c.insert(vec![i % 7, i], i as u32);
+        }
+        assert_eq!(c.len(), 100);
+        for i in 0..100u64 {
+            assert_eq!(c.get(&[i % 7, i]).value, Some(i as u32));
+        }
+        assert_eq!(c.remove(&[0, 0]), Some(0));
+        assert_eq!(c.get(&[0, 0]).value, None);
+        // Purge everything with site prefix 3.
+        let purged = c.purge_prefix(3);
+        assert!(purged > 0);
+        assert!(c.snapshot().iter().all(|(k, _)| k[0] != 3));
+        let m = c.meters();
+        assert_eq!(m.len(), 4);
+        assert!(m.iter().map(|s| s.lookups).sum::<u64>() >= 101);
+    }
+
+    #[test]
+    fn single_thread_end_to_end_with_cache_hits() {
+        let shared = Arc::new(SharedRuntime::new(staged(POWER)));
+        let mut t = SharedRuntime::thread(&shared);
+        let mut module = shared.base_module();
+        let mut vm = Vm::new(CostModel::alpha21164());
+        let id = module.func_by_name("pow").unwrap();
+        for _ in 0..4 {
+            let out = vm
+                .call_with_handler(&mut module, &mut t, id, &[Value::I(3), Value::I(4)])
+                .unwrap();
+            assert_eq!(out, Some(Value::I(81)));
+        }
+        let s = shared.stats();
+        assert_eq!(s.specializations, 1);
+        assert_eq!(s.published, 1);
+        assert_eq!(s.single_flight_suppressed(), 0);
+        assert_eq!(t.stats.specializations, 1);
+        assert_eq!(t.stats.runtime_bta_calls, 0);
+        // New key, new specialization.
+        let out = vm
+            .call_with_handler(&mut module, &mut t, id, &[Value::I(2), Value::I(10)])
+            .unwrap();
+        assert_eq!(out, Some(Value::I(1024)));
+        assert_eq!(shared.stats().specializations, 2);
+    }
+
+    #[test]
+    fn threads_race_without_duplicate_specializations() {
+        let shared = Arc::new(SharedRuntime::new(staged(POWER)));
+        let n = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut t = SharedRuntime::thread(&shared);
+                    let mut module = shared.base_module();
+                    let mut vm = Vm::new(CostModel::alpha21164());
+                    let id = module.func_by_name("pow").unwrap();
+                    barrier.wait();
+                    for e in [4i64, 4, 7, 7, 4, 9] {
+                        let out = vm
+                            .call_with_handler(&mut module, &mut t, id, &[Value::I(2), Value::I(e)])
+                            .unwrap();
+                        assert_eq!(out, Some(Value::I(1i64 << e)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Three distinct keys → exactly three specializations globally,
+        // no matter how the eight threads interleaved.
+        let s = shared.stats();
+        assert_eq!(s.specializations, 3);
+        assert_eq!(s.published, 3);
+        assert_eq!(shared.cache_snapshot().len(), 3);
+    }
+
+    #[test]
+    fn fallback_policy_produces_correct_results_under_races() {
+        let shared = Arc::new(SharedRuntime::with_options(
+            staged(POWER),
+            SharedOptions {
+                miss_policy: MissPolicy::Fallback,
+                ..SharedOptions::default()
+            },
+        ));
+        let n = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut t = SharedRuntime::thread(&shared);
+                    let mut module = shared.base_module();
+                    let mut vm = Vm::new(CostModel::alpha21164());
+                    let id = module.func_by_name("pow").unwrap();
+                    barrier.wait();
+                    for e in [5i64, 5, 8, 8, 5] {
+                        let out = vm
+                            .call_with_handler(&mut module, &mut t, id, &[Value::I(2), Value::I(e)])
+                            .unwrap();
+                        assert_eq!(out, Some(Value::I(1i64 << e)));
+                    }
+                    t.stats.single_flight_fallbacks
+                })
+            })
+            .collect();
+        let fallbacks: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let s = shared.stats();
+        assert_eq!(s.specializations, 2); // two distinct keys
+        assert_eq!(s.single_flight_fallbacks, fallbacks);
+        // Whether any race actually happened is scheduling-dependent, but
+        // a compiled continuation implies at least one fallback occurred.
+        assert!(s.generic_continuations <= 1);
+        assert!((s.generic_continuations == 0) == (fallbacks == 0));
+    }
+
+    #[test]
+    fn generic_continuation_matches_specialized_results() {
+        let shared = Arc::new(SharedRuntime::new(staged(POWER)));
+        let mut t = SharedRuntime::thread(&shared);
+        let mut module = shared.base_module();
+        let mut vm = Vm::new(CostModel::alpha21164());
+        // Force-build the continuation for the entry site and run it with
+        // the full dispatch arguments [b, e] (arg order).
+        let sites = shared.sites.read().unwrap();
+        let entry = Arc::clone(&sites[0]);
+        drop(sites);
+        let gid = shared.generic_continuation(&entry);
+        let fid = t.materialize(gid, &mut module, &mut vm);
+        for (b, e) in [(3i64, 4i64), (2, 0), (5, 3), (-2, 5)] {
+            let args: Vec<Value> = entry
+                .site
+                .arg_vars
+                .iter()
+                .map(|v| {
+                    // pow's arg_vars are its two params in order (b, e).
+                    let idx = entry.site.arg_vars.iter().position(|x| x == v).unwrap();
+                    if idx == 0 {
+                        Value::I(b)
+                    } else {
+                        Value::I(e)
+                    }
+                })
+                .collect();
+            let generic = vm.call(&mut module, fid, &args).unwrap();
+            assert_eq!(generic, Some(Value::I(b.pow(e as u32))), "pow({b},{e})");
+        }
+        // Only one continuation is ever compiled per site.
+        assert_eq!(shared.generic_continuation(&entry), gid);
+        assert_eq!(shared.stats().generic_continuations, 1);
+    }
+
+    #[test]
+    fn bounded_sites_evict_and_respecialize() {
+        let src = "int pow(int b, int e) { make_static(e: cache_all(2));
+            int r = 1; while (e > 0) { r = r * b; e = e - 1; } return r; }";
+        let shared = Arc::new(SharedRuntime::new(staged(src)));
+        let mut t = SharedRuntime::thread(&shared);
+        let mut module = shared.base_module();
+        let mut vm = Vm::new(CostModel::alpha21164());
+        let id = module.func_by_name("pow").unwrap();
+        let mut run = |e: i64| {
+            let out = vm
+                .call_with_handler(&mut module, &mut t, id, &[Value::I(2), Value::I(e)])
+                .unwrap();
+            assert_eq!(out, Some(Value::I(1i64 << e)));
+        };
+        run(1);
+        run(2);
+        run(3); // capacity 2: someone is evicted
+        let s = shared.stats();
+        assert_eq!(s.specializations, 3);
+        assert_eq!(s.cache_evictions, 1);
+        assert!(shared.cache_snapshot().len() <= 2);
+        // The evicted key re-specializes correctly (never a stale id).
+        let before = shared.stats().specializations;
+        run(1);
+        run(2);
+        run(3);
+        let after = shared.stats().specializations;
+        assert!(after > before, "an evicted key must re-specialize");
+        assert!(shared.cache_snapshot().len() <= 2);
+    }
+
+    #[test]
+    fn invalidate_site_forces_respecialization() {
+        let shared = Arc::new(SharedRuntime::new(staged(POWER)));
+        let mut t = SharedRuntime::thread(&shared);
+        let mut module = shared.base_module();
+        let mut vm = Vm::new(CostModel::alpha21164());
+        let id = module.func_by_name("pow").unwrap();
+        let args = [Value::I(3), Value::I(4)];
+        vm.call_with_handler(&mut module, &mut t, id, &args)
+            .unwrap();
+        assert_eq!(shared.stats().specializations, 1);
+        shared.invalidate_site(0);
+        assert!(shared.cache_snapshot().is_empty());
+        let out = vm
+            .call_with_handler(&mut module, &mut t, id, &args)
+            .unwrap();
+        assert_eq!(out, Some(Value::I(81)));
+        let s = shared.stats();
+        assert_eq!(s.specializations, 2);
+        assert_eq!(s.cache_invalidations, 1);
+    }
+
+    #[test]
+    fn steady_state_hits_do_not_allocate_in_dispatch() {
+        let shared = Arc::new(SharedRuntime::new(staged(POWER)));
+        let mut t = SharedRuntime::thread(&shared);
+        let mut module = shared.base_module();
+        let mut vm = Vm::new(CostModel::alpha21164());
+        let id = module.func_by_name("pow").unwrap();
+        let args = [Value::I(3), Value::I(4)];
+        // Warm up: specialize + materialize + grow the scratch key.
+        vm.call_with_handler(&mut module, &mut t, id, &args)
+            .unwrap();
+        vm.call_with_handler(&mut module, &mut t, id, &args)
+            .unwrap();
+        let allocs = t.stats.dispatch_allocs;
+        for _ in 0..50 {
+            vm.call_with_handler(&mut module, &mut t, id, &args)
+                .unwrap();
+        }
+        assert_eq!(
+            t.stats.dispatch_allocs, allocs,
+            "hit path must not allocate"
+        );
+    }
+}

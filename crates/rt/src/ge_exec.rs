@@ -1,7 +1,7 @@
 //! The staged generating-extension executor — the run-time half of true
 //! staging.
 //!
-//! Where the online [`crate::specializer::Specializer`] re-derives
+//! Where the online `Specializer` re-derives
 //! binding times, liveness, and unroll legality on every specialization,
 //! this executor just **interprets a precompiled GE program**
 //! ([`dyc_stage::GeProgram`], built once at static compile time): a flat
@@ -24,22 +24,57 @@
 //! It performs **zero** run-time binding-time classifications or liveness
 //! queries (`RtStats::runtime_bta_calls` stays untouched here) and emits
 //! code byte-identical to the online path, because all value-dependent
-//! machinery is the shared [`Emitter`], driven in the same order. Units
+//! machinery is the shared `Emitter`, driven in the same order. Units
 //! are interned to dense ids on first sight, so the worklist, labels, and
 //! edge instrumentation do no repeated key hashing.
 
 use crate::costs::DynCosts;
 use crate::emitter::{mov_const, opnd_value, Emitted, Emitter, Opnd, RegSet};
-use crate::runtime::{Runtime, Site, Store};
+use crate::runtime::{Site, Store};
 use crate::stats::RtStats;
 use dyc_ir::{BlockId, VReg};
 use dyc_stage::{
     ibin_special_case, AbsAlias, EdgePlan, GeDivision, GeFunc, GeOp, GeTerm, Guard, PatchOp, Slot,
-    Template,
+    StagedProgram, Template,
 };
 use dyc_vm::{Cc, FuncId, Instr, Module, Operand, Reg, Value, Vm, VmError};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// Where freshly created internal promotion sites are registered.
+///
+/// The GE executor itself is host-agnostic: the single-threaded
+/// [`crate::Runtime`] appends to its private site vector, while the
+/// concurrent runtime ([`crate::concurrent`]) appends to an `Arc`-shared
+/// site table under a write lock. Returns the new site's dispatch point
+/// id — the id is embedded in the emitted `Dispatch` instruction, so
+/// hosts must hand out ids from the same numbering the dispatch handler
+/// resolves later.
+pub(crate) trait SpecHost {
+    /// Register `site`, returning its dispatch point id.
+    fn add_site(&mut self, site: Site) -> u32;
+}
+
+/// The read/metering context a specialization runs against, split off
+/// from the runtime so the executor never borrows a whole `&mut Runtime`
+/// (the concurrent runtime has no such object to lend).
+pub(crate) struct SpecEnv<'a> {
+    /// The staged program (GE programs, IR, config).
+    pub staged: &'a StagedProgram,
+    /// Cost constants.
+    pub costs: DynCosts,
+    /// Specialization instruction budget.
+    pub budget: u64,
+    /// Statistics sink (thread-local in the concurrent runtime).
+    pub stats: &'a mut RtStats,
+}
+
+impl SpecEnv<'_> {
+    pub(crate) fn charge(&mut self, vm: &mut Vm, cycles: u64) {
+        self.stats.dyncomp_cycles += cycles;
+        vm.stats.dyncomp_cycles += cycles;
+    }
+}
 
 /// Unit identity in the staged path: the division (which *is* the program
 /// point plus static-variable set, interned at stage time) plus the
@@ -58,8 +93,38 @@ fn ge_key(division: u32, store: &Store) -> GeKey {
     }
 }
 
-/// The flat GE-program executor. See module docs.
-pub(crate) struct GeExecutor {
+/// The flat GE-program executor. See the module docs for what it stages
+/// away; it is driven by the dispatch handlers ([`crate::Runtime`] and
+/// the concurrent runtime) on cache misses and is not invoked directly.
+///
+/// # Examples
+///
+/// The executor is exercised through the staged dynamic path; the
+/// `runtime_bta_calls` counter proves no binding-time analysis ran at
+/// dynamic-compile time:
+///
+/// ```
+/// use dyc_bta::OptConfig;
+/// use dyc_rt::Runtime;
+/// use dyc_vm::{CostModel, Value, Vm};
+///
+/// let src = "int pow(int b, int e) { make_static(e);
+///            int r = 1; while (e > 0) { r = r * b; e = e - 1; } return r; }";
+/// let mut ir = dyc_ir::lower_program(&dyc_lang::parse_program(src).unwrap()).unwrap();
+/// dyc_ir::opt::optimize_program(&mut ir);
+/// let staged = dyc_stage::stage_program(ir, OptConfig::all());
+/// let mut module = staged.build_module();
+/// let mut rt = Runtime::new(staged);
+/// let mut vm = Vm::new(CostModel::alpha21164());
+/// let id = module.func_by_name("pow").unwrap();
+/// let out = vm
+///     .call_with_handler(&mut module, &mut rt, id, &[Value::I(3), Value::I(4)])
+///     .unwrap();
+/// assert_eq!(out, Some(Value::I(81)));
+/// assert_eq!(rt.stats.specializations, 1);
+/// assert_eq!(rt.stats.runtime_bta_calls, 0); // all BTA happened at stage time
+/// ```
+pub struct GeExecutor {
     gef: Arc<GeFunc>,
     fidx: usize,
     em: Emitter<GeKey>,
@@ -77,25 +142,28 @@ pub(crate) struct GeExecutor {
 
 impl GeExecutor {
     /// Specialize `site` for the given store by executing its function's
-    /// GE program from `division`.
+    /// GE program from `division`. New internal promotion sites are
+    /// registered through `host`; everything read or metered comes from
+    /// `env`.
     pub(crate) fn run(
-        rt: &mut Runtime,
+        env: &mut SpecEnv<'_>,
+        host: &mut dyn SpecHost,
         site: &Site,
         store: Store,
         division: u32,
         module: &mut Module,
         vm: &mut Vm,
     ) -> Result<FuncId, VmError> {
-        let gef = rt.staged.ge.funcs[site.func]
+        let gef = env.staged.ge.funcs[site.func]
             .as_ref()
             .expect("site carries a division only for staged functions")
             .clone();
-        let fname = rt.staged.ir.funcs[site.func].name.clone();
+        let fname = env.staged.ir.funcs[site.func].name.clone();
         let mut ex = GeExecutor {
             fidx: site.func,
-            em: Emitter::new(rt.staged.cfg, gef.float_vreg.clone()),
+            em: Emitter::new(env.staged.cfg, gef.float_vreg.clone()),
             worklist: Vec::new(),
-            budget: rt.spec_budget,
+            budget: env.budget,
             unit_division: Vec::new(),
             header_units: HashMap::new(),
             unit_edges: Vec::new(),
@@ -122,28 +190,28 @@ impl GeExecutor {
             if ex.em.sealed(id) {
                 continue;
             }
-            ex.emit_chain(id, st, rt, module, vm)?;
+            ex.emit_chain(id, st, env, host, module, vm)?;
         }
 
-        ex.em.patch_fixups(&rt.costs);
+        ex.em.patch_fixups(&env.costs);
 
         for (h, units) in &ex.header_units {
             if units.len() < 2 {
                 continue;
             }
-            rt.stats.loops_unrolled += 1;
+            env.stats.loops_unrolled += 1;
             if ex.loop_is_multiway(*h, units) {
-                rt.stats.multi_way_unroll = true;
+                env.stats.multi_way_unroll = true;
             }
         }
 
-        rt.stats.divisions_observed +=
+        env.stats.divisions_observed +=
             ex.division_sets.values().filter(|s| s.len() >= 2).count() as u64;
-        rt.stats.instrs_generated += ex.em.code.len() as u64;
-        rt.stats.ge_exec_cycles += ex.em.exec_cycles;
-        rt.stats.emit_cycles += ex.em.emit_cycles;
+        env.stats.instrs_generated += ex.em.code.len() as u64;
+        env.stats.ge_exec_cycles += ex.em.exec_cycles;
+        env.stats.emit_cycles += ex.em.emit_cycles;
         let cycles = ex.em.total_cycles();
-        rt.charge(vm, cycles);
+        env.charge(vm, cycles);
 
         let name = format!("{fname}$spec{}", module.len());
         let mut cf = dyc_vm::CodeFunc::new(name, dyn_params.len(), ex.em.next_reg.max(1) as usize);
@@ -170,7 +238,8 @@ impl GeExecutor {
         &mut self,
         id: u32,
         store: Store,
-        rt: &mut Runtime,
+        env: &mut SpecEnv<'_>,
+        host: &mut dyn SpecHost,
         module: &mut Module,
         vm: &mut Vm,
     ) -> Result<(), VmError> {
@@ -192,17 +261,18 @@ impl GeExecutor {
             }
             let var_set: Vec<u32> = d.vars.iter().map(|v| v.0).collect();
             self.division_sets.entry(block).or_default().insert(var_set);
-            cur = self.emit_unit(id, store, rt, module, vm)?;
+            cur = self.emit_unit(id, store, env, host, module, vm)?;
         }
         Ok(())
     }
 
-    #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn emit_unit(
         &mut self,
         id: u32,
         mut store: Store,
-        rt: &mut Runtime,
+        env: &mut SpecEnv<'_>,
+        host: &mut dyn SpecHost,
         module: &mut Module,
         vm: &mut Vm,
     ) -> Result<Option<(u32, Store)>, VmError> {
@@ -211,9 +281,9 @@ impl GeExecutor {
         let mut rename: HashMap<VReg, Opnd> = HashMap::new();
         let mut scratch: HashMap<u64, Reg> = HashMap::new();
         let mut buf: Vec<Emitted> = Vec::new();
-        let costs = rt.costs;
+        let costs = env.costs;
         self.em.exec_cycles += costs.per_unit;
-        rt.stats.units_emitted += 1;
+        env.stats.units_emitted += 1;
         // Set to false by the first failed template guard: a value hit an
         // emit-time special case the templates preassumed away, so the
         // concrete rename state diverges from what later templates were
@@ -232,7 +302,7 @@ impl GeExecutor {
                         &mut store,
                         &mut rename,
                         &costs,
-                        &mut rt.stats,
+                        env.stats,
                         module,
                         vm,
                     )?;
@@ -247,7 +317,7 @@ impl GeExecutor {
                         &mut scratch,
                         &mut buf,
                         &costs,
-                        &mut rt.stats,
+                        env.stats,
                     );
                 }
                 GeOp::DemoteMaterialize { vars } => {
@@ -273,7 +343,7 @@ impl GeExecutor {
                     &mut scratch,
                     &mut buf,
                     &costs,
-                    &mut rt.stats,
+                    env.stats,
                 ),
             }
         }
@@ -292,7 +362,8 @@ impl GeExecutor {
                 None,
             );
             let base_store: Store = p.carried.iter().map(|v| (*v, store[v])).collect();
-            let site_id = rt.add_site(Site {
+            env.stats.internal_promotions += 1;
+            let site_id = host.add_site(Site {
                 func: self.fidx,
                 block: d.block,
                 inst_idx: p.at,
@@ -345,7 +416,7 @@ impl GeExecutor {
                     chain = self.take_edge(plan, &store, &mut buf, &mut live_regs);
                 }
                 GeTerm::StaticBr { cond, t, f } => {
-                    rt.stats.branches_folded += 1;
+                    env.stats.branches_folded += 1;
                     let taken = match store[cond] {
                         Value::I(v) => v != 0,
                         Value::F(v) => v != 0.0,
@@ -358,12 +429,12 @@ impl GeExecutor {
                         // The rename table can still fold a "dynamic"
                         // branch when the condition renamed to a constant.
                         Opnd::KI(v) => {
-                            rt.stats.branches_folded += 1;
+                            env.stats.branches_folded += 1;
                             let plan = if v != 0 { t } else { f };
                             chain = self.take_edge(plan, &store, &mut buf, &mut live_regs);
                         }
                         Opnd::KF(v) => {
-                            rt.stats.branches_folded += 1;
+                            env.stats.branches_folded += 1;
                             let plan = if v != 0.0 { t } else { f };
                             chain = self.take_edge(plan, &store, &mut buf, &mut live_regs);
                         }
@@ -398,7 +469,7 @@ impl GeExecutor {
                     }
                 }
                 GeTerm::StaticSwitch { on, cases, default } => {
-                    rt.stats.branches_folded += 1;
+                    env.stats.branches_folded += 1;
                     let v = store[on].as_i();
                     let plan = cases
                         .iter()
@@ -409,7 +480,7 @@ impl GeExecutor {
                 GeTerm::DynSwitch { on, cases, default } => {
                     match self.em.resolve(*on, &store, &rename) {
                         Opnd::KI(v) => {
-                            rt.stats.branches_folded += 1;
+                            env.stats.branches_folded += 1;
                             let plan = cases
                                 .iter()
                                 .find_map(|(k, p)| (*k == v).then_some(p))
@@ -495,7 +566,7 @@ impl GeExecutor {
             }
         }
 
-        self.em.seal_unit(id, buf, live_regs, &costs, &mut rt.stats);
+        self.em.seal_unit(id, buf, live_regs, &costs, env.stats);
         Ok(chain)
     }
 

@@ -17,13 +17,21 @@
 //!    with **zero** run-time binding-time or liveness analysis (the
 //!    [`RtStats::runtime_bta_calls`] counter proves it). The legacy
 //!    online [`specializer`] is kept as the reference path
-//!    (`OptConfig::staged_ge = false`); both drive the shared [`emitter`]
+//!    (`OptConfig::staged_ge = false`); both drive the shared `emitter`
 //!    and emit byte-identical code.
 //! 3. The new code is installed in the running [`dyc_vm::Module`], the
 //!    I-cache is flushed, and every cycle of the work is charged to the
 //!    dynamic-compilation counters that feed Table 3.
+//!
+//! The [`concurrent`] module makes the same pipeline callable from many
+//! threads: an `Arc`-shared [`concurrent::SharedRuntime`] (sharded code
+//! cache, single-flight specialization, bounded eviction) hands each
+//! thread its own [`concurrent::ThreadRuntime`] dispatch handler.
+
+#![deny(missing_docs)]
 
 pub mod cache;
+pub mod concurrent;
 pub mod costs;
 pub(crate) mod emitter;
 pub mod ge_exec;
@@ -31,7 +39,11 @@ pub mod runtime;
 pub mod specializer;
 pub mod stats;
 
-pub use cache::{CacheEntry, DoubleHashCache};
+pub use cache::{CacheEntry, DoubleHashCache, Probed};
+pub use concurrent::{
+    ConcSnapshot, MissPolicy, ShardMeter, SharedOptions, SharedRuntime, ThreadRuntime,
+};
 pub use costs::DynCosts;
+pub use ge_exec::GeExecutor;
 pub use runtime::{Runtime, Site, Store};
 pub use stats::RtStats;

@@ -9,7 +9,7 @@
 
 use crate::cache::{CacheEntry, DoubleHashCache};
 use crate::costs::DynCosts;
-use crate::ge_exec::GeExecutor;
+use crate::ge_exec::{GeExecutor, SpecEnv, SpecHost};
 use crate::specializer::Specializer;
 use crate::stats::RtStats;
 use dyc_ir::{BlockId, VReg};
@@ -41,7 +41,7 @@ pub struct Site {
     pub policy: SitePolicy,
     /// Entry division in the function's precompiled GE program, when one
     /// exists: specialization runs through the staged [`GeExecutor`].
-    /// `None` routes through the online [`Specializer`] (staging disabled
+    /// `None` routes through the online `Specializer` (staging disabled
     /// or the function fell back).
     pub division: Option<u32>,
     /// Position of each `key_vars` entry within `arg_vars`. Derived once
@@ -56,7 +56,7 @@ pub struct Site {
 }
 
 impl Site {
-    fn precompute_layout(&mut self) {
+    pub(crate) fn precompute_layout(&mut self) {
         self.key_pos = self
             .key_vars
             .iter()
@@ -87,18 +87,52 @@ enum CacheState {
         slots: Box<[Option<FuncId>; 256]>,
         overflow: DoubleHashCache,
     },
+    /// Bounded `cache_all(k)`: the hashed table holds at most `cap`
+    /// specializations; the clock runs second-chance eviction over them.
+    /// Cached values carry their clock index so a hit can set the
+    /// reference bit without a second hash.
+    Bounded {
+        cache: DoubleHashCache<(FuncId, u32)>,
+        cap: usize,
+        /// Second-chance state: `(key, referenced)` per retained entry.
+        clock: Vec<(Vec<u64>, bool)>,
+        hand: usize,
+    },
 }
 
 impl CacheState {
     fn for_policy(policy: SitePolicy) -> CacheState {
         match policy {
             SitePolicy::CacheAll => CacheState::All(DoubleHashCache::new()),
+            SitePolicy::CacheAllBounded(k) => CacheState::Bounded {
+                cache: DoubleHashCache::new(),
+                cap: k.max(1) as usize,
+                clock: Vec::new(),
+                hand: 0,
+            },
             SitePolicy::CacheOneUnchecked => CacheState::One(None),
             SitePolicy::CacheIndexed => CacheState::Indexed {
                 slots: Box::new([None; 256]),
                 overflow: DoubleHashCache::new(),
             },
         }
+    }
+}
+
+/// [`SpecHost`] over plain site/cache vectors — the single-threaded
+/// runtime's storage for internal promotion sites.
+struct VecSiteHost<'a> {
+    sites: &'a mut Vec<Site>,
+    caches: &'a mut Vec<CacheState>,
+}
+
+impl SpecHost for VecSiteHost<'_> {
+    fn add_site(&mut self, mut site: Site) -> u32 {
+        let id = self.sites.len() as u32;
+        site.precompute_layout();
+        self.caches.push(CacheState::for_policy(site.policy));
+        self.sites.push(site);
+        id
     }
 }
 
@@ -160,13 +194,13 @@ impl Runtime {
 
     /// Register an internal promotion site created during specialization;
     /// returns its dispatch point id.
-    pub(crate) fn add_site(&mut self, mut site: Site) -> u32 {
-        let id = self.sites.len() as u32;
-        site.precompute_layout();
-        self.caches.push(CacheState::for_policy(site.policy));
-        self.sites.push(site);
+    pub(crate) fn add_site(&mut self, site: Site) -> u32 {
         self.stats.internal_promotions += 1;
-        id
+        let mut host = VecSiteHost {
+            sites: &mut self.sites,
+            caches: &mut self.caches,
+        };
+        host.add_site(site)
     }
 
     /// Number of dispatch sites (entries + internal promotions so far).
@@ -177,6 +211,63 @@ impl Runtime {
     /// The site table (diagnostics).
     pub fn site(&self, id: u32) -> &Site {
         &self.sites[id as usize]
+    }
+
+    /// Drop every specialization cached at `point`. The next dispatch
+    /// through the site re-specializes from scratch; the already-installed
+    /// code stays in the module (it is never re-entered through this site)
+    /// and cumulative probe meters survive via
+    /// [`DoubleHashCache::clear`]'s explicit-reset contract.
+    pub fn invalidate_site(&mut self, point: u32) {
+        self.stats.cache_invalidations += 1;
+        match &mut self.caches[point as usize] {
+            CacheState::All(c) => c.clear(),
+            CacheState::One(f) => *f = None,
+            CacheState::Indexed { slots, overflow } => {
+                **slots = [None; 256];
+                overflow.clear();
+            }
+            CacheState::Bounded {
+                cache, clock, hand, ..
+            } => {
+                cache.clear();
+                clock.clear();
+                *hand = 0;
+            }
+        }
+    }
+
+    /// Snapshot of every `(site, key, code)` binding currently cached —
+    /// the differential harnesses compare this against the concurrent
+    /// runtime's shared cache. `CacheOneUnchecked` sites report an empty
+    /// key; indexed sites report the canonical hashed key they would use.
+    pub fn cache_entries(&self) -> Vec<(u32, Vec<u64>, FuncId)> {
+        let mut out = Vec::new();
+        for (i, c) in self.caches.iter().enumerate() {
+            let site = i as u32;
+            match c {
+                CacheState::All(c) => {
+                    out.extend(c.iter().map(|(k, v)| (site, k.to_vec(), v)));
+                }
+                CacheState::Bounded { cache, .. } => {
+                    out.extend(cache.iter().map(|(k, (f, _))| (site, k.to_vec(), f)));
+                }
+                CacheState::One(f) => {
+                    if let Some(f) = f {
+                        out.push((site, Vec::new(), *f));
+                    }
+                }
+                CacheState::Indexed { slots, overflow } => {
+                    for (v, f) in slots.iter().enumerate() {
+                        if let Some(f) = f {
+                            out.push((site, vec![Value::I(v as i64).key_bits()], *f));
+                        }
+                    }
+                    out.extend(overflow.iter().map(|(k, v)| (site, k.to_vec(), v)));
+                }
+            }
+        }
+        out
     }
 
     fn specialize(
@@ -196,7 +287,22 @@ impl Runtime {
         // flat GE program; everything else falls back to the online
         // specializer. Both paths emit byte-identical code.
         let func = match site.division {
-            Some(d) => GeExecutor::run(self, &site, store, d, module, vm)?,
+            Some(d) => {
+                // Disjoint field borrows: the executor reads the staged
+                // program and meters into stats, while new promotion
+                // sites land in the site/cache vectors through the host.
+                let mut env = SpecEnv {
+                    staged: &self.staged,
+                    costs: self.costs,
+                    budget: self.spec_budget,
+                    stats: &mut self.stats,
+                };
+                let mut host = VecSiteHost {
+                    sites: &mut self.sites,
+                    caches: &mut self.caches,
+                };
+                GeExecutor::run(&mut env, &mut host, &site, store, d, module, vm)?
+            }
             None => Specializer::run(self, &site, store, module, vm)?,
         };
         // Install: i-cache coherence + bookkeeping.
@@ -364,6 +470,84 @@ impl DispatchHandler for Runtime {
                         let f = self.miss(point, args, module, vm)?;
                         match &mut self.caches[point as usize] {
                             CacheState::All(c) => c.fill(slot, key.clone(), f),
+                            _ => unreachable!(),
+                        }
+                        f
+                    }
+                };
+                self.scratch_key = key;
+                func
+            }
+            SitePolicy::CacheAllBounded(_) => {
+                let mut key = std::mem::take(&mut self.scratch_key);
+                key.clear();
+                if key.capacity() < self.sites[point as usize].key_pos.len() {
+                    self.stats.dispatch_allocs += 1;
+                }
+                key.extend(
+                    self.sites[point as usize]
+                        .key_pos
+                        .iter()
+                        .map(|&p| args[p].key_bits()),
+                );
+                let entry = match &mut self.caches[point as usize] {
+                    CacheState::Bounded { cache, .. } => cache.lookup_or_reserve(&key),
+                    _ => unreachable!("policy/cache mismatch"),
+                };
+                let probes = match entry {
+                    CacheEntry::Hit { probes, .. } | CacheEntry::Vacant { probes, .. } => probes,
+                };
+                let cost = self.costs.hashed_dispatch(key.len(), probes);
+                self.charge_dispatch(vm, cost);
+                self.stats.dispatch_hashed += 1;
+                self.stats.dispatch_probes += u64::from(probes);
+                let func = match entry {
+                    CacheEntry::Hit {
+                        value: (f, idx), ..
+                    } => {
+                        // Second chance: mark the entry recently used.
+                        match &mut self.caches[point as usize] {
+                            CacheState::Bounded { clock, .. } => clock[idx as usize].1 = true,
+                            _ => unreachable!(),
+                        }
+                        f
+                    }
+                    CacheEntry::Vacant { slot, .. } => {
+                        vm.stats.dispatch_misses += 1;
+                        self.stats.dispatch_allocs += 1;
+                        let f = self.miss(point, args, module, vm)?;
+                        match &mut self.caches[point as usize] {
+                            CacheState::Bounded {
+                                cache,
+                                cap,
+                                clock,
+                                hand,
+                            } => {
+                                let idx = if clock.len() < *cap {
+                                    clock.push((key.clone(), true));
+                                    (clock.len() - 1) as u32
+                                } else {
+                                    // At capacity: sweep, clearing
+                                    // reference bits until an unreferenced
+                                    // victim is found (bounded by one full
+                                    // revolution — every bit cleared means
+                                    // the hand's own slot comes up clear).
+                                    let victim = loop {
+                                        if clock[*hand].1 {
+                                            clock[*hand].1 = false;
+                                            *hand = (*hand + 1) % *cap;
+                                        } else {
+                                            break *hand;
+                                        }
+                                    };
+                                    *hand = (victim + 1) % *cap;
+                                    cache.remove(&clock[victim].0);
+                                    clock[victim] = (key.clone(), true);
+                                    self.stats.cache_evictions += 1;
+                                    victim as u32
+                                };
+                                cache.fill(slot, key.clone(), (f, idx));
+                            }
                             _ => unreachable!(),
                         }
                         f

@@ -26,7 +26,7 @@
 //! metered as [`crate::RtStats::runtime_bta_calls`] and charged
 //! (`classify`, `edge_plan_per_var`) so Table 3 can show what true
 //! staging saves. All value-dependent emit work is shared with the
-//! staged path via [`crate::emitter::Emitter`], which is what keeps the
+//! staged path via `Emitter`, which is what keeps the
 //! two paths' output byte-identical.
 
 use crate::emitter::{mov_const, opnd_value, Emitted, Emitter, Opnd, RegSet};

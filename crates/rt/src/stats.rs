@@ -79,6 +79,18 @@ pub struct RtStats {
     /// Zero on every cache-hit region entry once warm: the dispatch path
     /// reuses its key and argument buffers.
     pub dispatch_allocs: u64,
+    /// Bounded `cache_all(k)` evictions: specializations dropped by the
+    /// second-chance sweep when a site hit its capacity.
+    pub cache_evictions: u64,
+    /// Explicit site invalidations (all cached code for the site dropped).
+    pub cache_invalidations: u64,
+    /// Concurrent dispatch only: times this thread blocked on another
+    /// thread's in-flight specialization of the same (site, key).
+    pub single_flight_waits: u64,
+    /// Concurrent dispatch only: times this thread, racing an in-flight
+    /// specialization, took the generic (unspecialized) continuation
+    /// instead of blocking.
+    pub single_flight_fallbacks: u64,
 }
 
 impl RtStats {
@@ -100,6 +112,14 @@ impl RtStats {
     /// True if complete loop unrolling fired.
     pub fn used_loop_unrolling(&self) -> bool {
         self.loops_unrolled > 0
+    }
+
+    /// Duplicate specializations *avoided* by single-flight: every time a
+    /// racing thread either waited for or routed around another thread's
+    /// in-flight specialization instead of redundantly running the GE
+    /// executor itself.
+    pub fn single_flight_suppressed(&self) -> u64 {
+        self.single_flight_waits + self.single_flight_fallbacks
     }
 }
 

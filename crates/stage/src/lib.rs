@@ -23,6 +23,8 @@
 //!
 //! The run-time half (the generating-extension executor) lives in `dyc-rt`.
 
+#![deny(missing_docs)]
+
 pub mod ge;
 pub mod plan;
 pub mod template;

@@ -14,6 +14,11 @@ use std::collections::BTreeSet;
 pub enum SitePolicy {
     /// Double-hashing cache keyed on the promoted values; safe default.
     CacheAll,
+    /// Double-hashing cache bounded to `k` retained specializations;
+    /// overflow evicts the coldest entry (second-chance). Chosen when any
+    /// key variable carries a `cache_all(k)` annotation (the smallest
+    /// bound wins) and no faster policy applies.
+    CacheAllBounded(u32),
     /// One cached version, reused without any key check (a single load
     /// and indirect jump, ~10 cycles).
     CacheOneUnchecked,
@@ -136,14 +141,21 @@ pub fn site_policy(
 ) -> SitePolicy {
     let mut all_unchecked = n_keys > 0;
     let mut all_indexed = n_keys == 1;
+    let mut bound: Option<u32> = None;
     for p in policies.by_ref() {
         all_unchecked &= p == Policy::CacheOneUnchecked;
         all_indexed &= p == Policy::CacheIndexed;
+        if let Policy::CacheAllBounded(k) = p {
+            // Several bounded keys on one site: the tightest bound wins.
+            bound = Some(bound.map_or(k, |b| b.min(k)));
+        }
     }
     if cfg.unchecked_dispatching && all_unchecked {
         SitePolicy::CacheOneUnchecked
     } else if all_indexed {
         SitePolicy::CacheIndexed
+    } else if let Some(k) = bound {
+        SitePolicy::CacheAllBounded(k)
     } else {
         SitePolicy::CacheAll
     }

@@ -37,7 +37,7 @@
 //!   strength-reduced expansions) simply stays an unfused `EmitHole`,
 //!   splitting the run. When a value-dependent *fold* may or may not
 //!   insert a rename entry, only the destination vreg becomes
-//!   [`AbsVal::Unknown`]: downstream ops reading it stay unfused, while
+//!   `AbsVal::Unknown`: downstream ops reading it stay unfused, while
 //!   runs over unrelated vregs keep fusing.
 //!
 //! Runs of fewer than two templatable emits are left alone — a template
@@ -78,15 +78,37 @@ pub enum Slot {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PatchOp {
     /// Write `reg_of(v)` into `slot` of template instruction `at`.
-    Reg { at: u32, slot: Slot, v: VReg },
+    Reg {
+        /// Template-relative instruction index.
+        at: u32,
+        /// Which operand of that instruction to patch.
+        slot: Slot,
+        /// The virtual register whose allocation fills the hole.
+        v: VReg,
+    },
     /// Write the static store's integer value of `var` into `slot`.
-    ImmI { at: u32, slot: Slot, var: VReg },
+    ImmI {
+        /// Template-relative instruction index.
+        at: u32,
+        /// Which operand of that instruction to patch.
+        slot: Slot,
+        /// The static variable whose store value fills the hole.
+        var: VReg,
+    },
     /// Write the static store's float value of `var` into the `MovF`
     /// immediate of instruction `at`.
-    ImmF { at: u32, var: VReg },
+    ImmF {
+        /// Template-relative instruction index.
+        at: u32,
+        /// The static variable whose store value fills the hole.
+        var: VReg,
+    },
     /// Call `reg_of(v)` for its allocation side effect only — a register
     /// the unfused path would first-touch here without leaving a hole.
-    Touch { v: VReg },
+    Touch {
+        /// The virtual register to first-touch.
+        v: VReg,
+    },
 }
 
 /// A value guard checked before a template is copied.
@@ -96,7 +118,12 @@ pub enum Guard {
     /// `var`: no zero/copy fold or strength reduction fires for this
     /// operand, so the prebuilt `IAlu … Imm` shape is exactly what the
     /// optimizing emitter would produce.
-    IBinFoldFree { op: IAluOp, var: VReg },
+    IBinFoldFree {
+        /// The ALU operation the template prebuilt.
+        op: IAluOp,
+        /// The static operand whose run-time value is checked.
+        var: VReg,
+    },
 }
 
 /// Stage-time abstraction of one rename-table value.

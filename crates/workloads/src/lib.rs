@@ -60,7 +60,9 @@ pub struct Meta {
 }
 
 /// A benchmark: DyCL source plus input setup and result checking.
-pub trait Workload {
+/// Workloads are stateless descriptions, so they are `Send + Sync` and
+/// can drive per-thread sessions of one shared concurrent runtime.
+pub trait Workload: Send + Sync {
     /// Static description (Table 1).
     fn meta(&self) -> Meta;
 
