@@ -8,9 +8,10 @@
 //! meters. A second section measures threaded scaling: T ∈ {1, 2, 4, 8}
 //! threads over one shared concurrent runtime, recording wall-clock time
 //! plus the contention meters (single-flight waits, suppressed duplicate
-//! specializations, shard probe rates). The JSON is hand-rolled: the
-//! numbers are all `u64`/`f64` and a serializer dependency would be the
-//! only reason to have one.
+//! specializations, shard probe rates). A third section aggregates a
+//! traced run into per-site §4.2 break-even profiles (see `dycstat`).
+//! The JSON is hand-rolled: the numbers are all `u64`/`f64` and a
+//! serializer dependency would be the only reason to have one.
 //!
 //! Usage: `bench_smoke [output.json]` (default `BENCH_dyncompile.json`).
 
@@ -72,6 +73,46 @@ fn run_threaded(
         }
     });
     (start.elapsed().as_micros(), shared.stats())
+}
+
+/// A traced run's per-site profiles plus the region-level measurement
+/// that prices a specialized use: (profiles, saved cycles per use).
+fn run_per_site(w: &dyn Workload, reps: u64) -> (Vec<dyc::obs::SiteProfile>, f64) {
+    let meta = w.meta();
+    let mut cfg = OptConfig::all();
+    cfg.trace = true;
+    let program = Compiler::with_config(cfg)
+        .compile(&w.source())
+        .unwrap_or_else(|e| panic!("{}: compile error: {e}", meta.name));
+
+    let measure = |mut sess: dyc::Session| {
+        let args = w.setup_region(&mut sess);
+        sess.set_step_limit(200_000_000);
+        let (out, _) = sess.run_measured(meta.region_func, &args).unwrap();
+        assert!(
+            w.check_region(out, &mut sess),
+            "{}: wrong result",
+            meta.name
+        );
+        let mut total = 0u64;
+        for _ in 0..reps {
+            w.reset(&mut sess, &args);
+            let (_, d) = sess.run_measured(meta.region_func, &args).unwrap();
+            total += d.run_cycles();
+        }
+        (total / reps, sess)
+    };
+    let (static_cycles, _) = measure(program.static_session());
+    let (dyn_cycles, traced) = measure(program.dynamic_session());
+
+    let profiles = dyc::obs::site_profiles(&traced.trace_events());
+    let total_uses: u64 = profiles.iter().map(|p| p.uses()).sum();
+    let saved = if total_uses == 0 || static_cycles <= dyn_cycles {
+        0.0
+    } else {
+        (static_cycles - dyn_cycles) as f64 * (reps + 1) as f64 / total_uses as f64
+    };
+    (profiles, saved)
 }
 
 fn main() {
@@ -170,6 +211,50 @@ fn main() {
                 s.single_flight_waits,
                 s.single_flight_suppressed(),
                 s.cache_evictions,
+            )
+            .unwrap();
+        }
+        println!();
+        writeln!(
+            json,
+            "\n    }}{}",
+            if i + 1 == workloads.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    json.push_str("  },\n  \"per_site\": {\n");
+
+    // Per-site break-even profiles from a traced run (§4.2): every
+    // specialized site must amortize in finitely many uses.
+    println!("\nper-site break-even (uses to amortize dynamic compilation):");
+    for (i, w) in workloads.iter().enumerate() {
+        let name = w.meta().name;
+        let (profiles, saved) = run_per_site(w.as_ref(), 8);
+        write!(json, "    \"{name}\": {{").unwrap();
+        print!("{name:<22}");
+        for (j, p) in profiles.iter().enumerate() {
+            let be = p.break_even(saved);
+            if p.specializations > 0 {
+                assert!(
+                    be.is_some(),
+                    "{name} site {}: specialized but never breaks even",
+                    p.site
+                );
+                print!("  site {}: {:.1}", p.site, be.unwrap());
+            }
+            write!(
+                json,
+                "{}\n      \"site{}\": {{ \"specializations\": {}, \"variants\": {}, \
+                 \"uses\": {}, \"dispatch_cycles\": {}, \"dyncomp_cycles\": {}, \
+                 \"break_even_uses\": {} }}",
+                if j == 0 { "" } else { "," },
+                p.site,
+                p.specializations,
+                p.variants,
+                p.uses(),
+                p.dispatch_cycles,
+                p.dyncomp_cycles,
+                be.map_or("null".to_string(), |b| format!("{b:.2}")),
             )
             .unwrap();
         }

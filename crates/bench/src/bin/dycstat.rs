@@ -1,0 +1,446 @@
+//! `dycstat` — the staged-pipeline trace reporter.
+//!
+//! Runs a workload with the event recorder on (or re-reads a dumped
+//! Chrome trace) and prints a paper-style per-site table: variants
+//! cached, dispatch mix, probe rate, dynamic-compilation cycles, and
+//! the §4.2 break-even point per site, plus a per-thread contention
+//! summary for concurrent runs.
+//!
+//! ```text
+//! dycstat run <workload> [--threads N] [--reps N] [--out trace.json]
+//!                        [--prom metrics.txt] [--require cat,cat,...]
+//! dycstat report <trace.json> [--require cat,cat,...]
+//! dycstat list
+//! ```
+//!
+//! `--require` exits nonzero unless the trace holds at least one event
+//! of every named category (`dispatch`, `flight`, `spec`, `template`,
+//! `cache`, `promote`) — CI's smoke check.
+
+use dyc::obs::{
+    chrome_trace, contention, merge, parse_chrome_trace, render_metrics, site_profiles, Category,
+    Event, Metric, SiteProfile,
+};
+use dyc::{Compiler, OptConfig, SharedOptions};
+use dyc_bench::{cell, rule};
+use dyc_workloads::{all, by_name};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Everything the report needs beyond the events themselves. Carried in
+/// the Chrome trace's `otherData` so `dycstat report` can rebuild the
+/// break-even column from a dump.
+struct RunMeta {
+    workload: String,
+    threads: usize,
+    invocations: u64,
+    static_cycles: u64,
+    dyn_cycles: u64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dycstat run <workload> [--threads N] [--reps N] [--out FILE] \
+         [--prom FILE] [--require cat,...]\n  dycstat report <trace.json> [--require cat,...]\n  \
+         dycstat list"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("list") => {
+            for w in all() {
+                let m = w.meta();
+                println!("{:<12} {}", m.name, m.description);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+/// Parse `--flag value` pairs after the positional argument.
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_require(args: &[String]) -> Result<Vec<Category>, String> {
+    let Some(list) = flag(args, "--require") else {
+        return Ok(Vec::new());
+    };
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            [
+                Category::Dispatch,
+                Category::Flight,
+                Category::Spec,
+                Category::Template,
+                Category::Cache,
+                Category::Promote,
+            ]
+            .into_iter()
+            .find(|c| c.name() == s)
+            .ok_or_else(|| format!("unknown category '{s}'"))
+        })
+        .collect()
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    let Some(w) = by_name(name) else {
+        eprintln!("unknown workload '{name}' (try `dycstat list`)");
+        return ExitCode::FAILURE;
+    };
+    let threads: usize = flag(args, "--threads").map_or(1, |v| v.parse().expect("--threads"));
+    let reps: u64 = flag(args, "--reps").map_or(12, |v| v.parse().expect("--reps"));
+    let require = match parse_require(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cfg = OptConfig::all();
+    cfg.trace = true;
+    let program = Compiler::with_config(cfg)
+        .compile(&w.source())
+        .expect("workload compiles");
+    let meta = w.meta();
+
+    // Static baseline: cycles per region invocation.
+    let mut s = program.static_session();
+    let sargs = w.setup_region(&mut s);
+    s.set_step_limit(200_000_000);
+    let (out, _) = s.run_measured(meta.region_func, &sargs).unwrap();
+    assert!(w.check_region(out, &mut s), "static result wrong");
+    let mut static_total = 0u64;
+    for _ in 0..reps {
+        w.reset(&mut s, &sargs);
+        let (_, d) = s.run_measured(meta.region_func, &sargs).unwrap();
+        static_total += d.run_cycles();
+    }
+    let static_cycles = static_total / reps;
+
+    // Traced dynamic run(s).
+    let (events, dyn_cycles) = if threads <= 1 {
+        let mut d = program.dynamic_session();
+        let dargs = w.setup_region(&mut d);
+        d.set_step_limit(200_000_000);
+        let (out, _) = d.run_measured(meta.region_func, &dargs).unwrap();
+        assert!(w.check_region(out, &mut d), "dynamic result wrong");
+        let mut dyn_total = 0u64;
+        for _ in 0..reps {
+            w.reset(&mut d, &dargs);
+            let (_, st) = d.run_measured(meta.region_func, &dargs).unwrap();
+            dyn_total += st.run_cycles();
+        }
+        (d.trace_events(), dyn_total / reps)
+    } else {
+        let shared = program.shared_runtime_with(SharedOptions {
+            trace: true,
+            ..SharedOptions::default()
+        });
+        let w = Arc::new(w);
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let w = Arc::clone(&w);
+                let shared = Arc::clone(&shared);
+                let sess = program.threaded_session(&shared);
+                std::thread::spawn(move || {
+                    let mut sess = sess;
+                    let wl = w.as_ref().as_ref();
+                    let m = wl.meta();
+                    let dargs = wl.setup_region(&mut sess);
+                    sess.set_step_limit(200_000_000);
+                    let (out, _) = sess.run_measured(m.region_func, &dargs).unwrap();
+                    assert!(wl.check_region(out, &mut sess), "threaded result wrong");
+                    let mut total = 0u64;
+                    for _ in 0..reps {
+                        wl.reset(&mut sess, &dargs);
+                        let (_, st) = sess.run_measured(m.region_func, &dargs).unwrap();
+                        total += st.run_cycles();
+                    }
+                    (sess.trace_events(), total / reps)
+                })
+            })
+            .collect();
+        let mut streams = Vec::new();
+        let mut dyn_cycles = u64::MAX;
+        for h in handles {
+            let (ev, cyc) = h.join().unwrap();
+            dyn_cycles = dyn_cycles.min(cyc); // steady-state: all equal
+            streams.push(ev);
+        }
+        (merge(streams), dyn_cycles)
+    };
+
+    let run = RunMeta {
+        workload: meta.name.to_string(),
+        threads,
+        // First call compiles, then `reps` steady-state calls, per thread.
+        invocations: (1 + reps) * threads as u64,
+        static_cycles,
+        dyn_cycles,
+    };
+
+    if let Some(path) = flag(args, "--out") {
+        let meta_kv = [
+            ("workload".to_string(), run.workload.clone()),
+            ("threads".to_string(), run.threads.to_string()),
+            ("invocations".to_string(), run.invocations.to_string()),
+            ("static_cycles".to_string(), run.static_cycles.to_string()),
+            ("dyn_cycles".to_string(), run.dyn_cycles.to_string()),
+        ];
+        std::fs::write(path, chrome_trace(&events, &meta_kv)).expect("write trace");
+        println!("wrote {} events to {path}", events.len());
+    }
+    if let Some(path) = flag(args, "--prom") {
+        std::fs::write(path, prometheus(&events, &run)).expect("write metrics");
+        println!("wrote metrics to {path}");
+    }
+
+    print_report(&events, &run);
+    check_required(&events, &require)
+}
+
+fn cmd_report(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let require = match parse_require(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match parse_chrome_trace(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: not a dycstat Chrome trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let get = |k: &str| {
+        trace
+            .meta
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.clone())
+    };
+    let num = |k: &str| get(k).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+    let run = RunMeta {
+        workload: get("workload").unwrap_or_else(|| "<unknown>".into()),
+        threads: num("threads").max(1) as usize,
+        invocations: num("invocations"),
+        static_cycles: num("static_cycles"),
+        dyn_cycles: num("dyn_cycles"),
+    };
+    print_report(&trace.events, &run);
+    check_required(&trace.events, &require)
+}
+
+fn check_required(events: &[Event], require: &[Category]) -> ExitCode {
+    for cat in require {
+        let n = events.iter().filter(|e| e.kind.category() == *cat).count();
+        if n == 0 {
+            eprintln!("required category '{}' recorded no events", cat.name());
+            return ExitCode::FAILURE;
+        }
+        println!("require {}: {} events", cat.name(), n);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Per-site cycles saved by one *use* of a specialized region, from the
+/// region-level static-vs-dynamic measurement. The region saving is
+/// attributed evenly over all dispatch uses it drove (for a region with
+/// one site used once per invocation this is exactly the paper's
+/// `s − d`).
+fn saved_per_use(profiles: &[SiteProfile], run: &RunMeta) -> f64 {
+    let total_uses: u64 = profiles.iter().map(|p| p.uses()).sum();
+    if total_uses == 0 || run.static_cycles <= run.dyn_cycles {
+        return 0.0;
+    }
+    (run.static_cycles - run.dyn_cycles) as f64 * run.invocations as f64 / total_uses as f64
+}
+
+fn print_report(events: &[Event], run: &RunMeta) {
+    let profiles = site_profiles(events);
+    let saved = saved_per_use(&profiles, run);
+    println!(
+        "dycstat: {} — {} events, {} thread(s), {} invocations",
+        run.workload,
+        events.len(),
+        run.threads,
+        run.invocations
+    );
+    println!(
+        "region: static {} cyc/use, specialized {} cyc/use ({}x asymptotic)\n",
+        run.static_cycles,
+        run.dyn_cycles,
+        if run.dyn_cycles > 0 {
+            format!("{:.1}", run.static_cycles as f64 / run.dyn_cycles as f64)
+        } else {
+            "?".into()
+        }
+    );
+
+    let header = [
+        ("site", 5),
+        ("specs", 6),
+        ("vars", 5),
+        ("uses", 7),
+        ("miss", 5),
+        ("probe", 6),
+        ("disp cyc", 9),
+        ("dyncomp", 9),
+        ("instrs", 7),
+        ("tmpl", 6),
+        ("holes", 6),
+        ("evict", 6),
+        ("promo", 6),
+        ("break-even", 11),
+    ];
+    let mut line = String::new();
+    for (h, w) in header {
+        line.push_str(&cell(h, w));
+    }
+    println!("{line}");
+    rule(line.len());
+    for p in &profiles {
+        let be = match p.break_even(saved) {
+            Some(b) if p.specializations > 0 => format!("{:.1} uses", b),
+            Some(_) => "-".into(),
+            None => "never".into(),
+        };
+        let row = [
+            (p.site.to_string(), 5),
+            (p.specializations.to_string(), 6),
+            (p.variants.to_string(), 5),
+            (p.uses().to_string(), 7),
+            (p.misses.to_string(), 5),
+            (format!("{:.2}", p.probe_rate()), 6),
+            (p.dispatch_cycles.to_string(), 9),
+            (p.dyncomp_cycles.to_string(), 9),
+            (p.instrs_generated.to_string(), 7),
+            (p.template_instrs.to_string(), 6),
+            (p.holes_patched.to_string(), 6),
+            (p.evictions.to_string(), 6),
+            (p.promotions.to_string(), 6),
+            (be, 11),
+        ];
+        let mut out = String::new();
+        for (v, w) in row {
+            out.push_str(&cell(&v, w));
+        }
+        println!("{out}");
+    }
+
+    let loads = contention(events);
+    if loads.len() > 1 || loads.iter().any(|t| t.waits + t.fallbacks > 0) {
+        println!("\ncontention:");
+        println!(
+            "{}{}{}{}{}{}",
+            cell("thread", 8),
+            cell("events", 8),
+            cell("misses", 8),
+            cell("waits", 7),
+            cell("wait us", 9),
+            cell("fallbacks", 10)
+        );
+        for t in &loads {
+            println!(
+                "{}{}{}{}{}{}",
+                cell(&t.thread.to_string(), 8),
+                cell(&t.events.to_string(), 8),
+                cell(&t.misses.to_string(), 8),
+                cell(&t.waits.to_string(), 7),
+                cell(&format!("{:.1}", t.wait_ns as f64 / 1000.0), 9),
+                cell(&t.fallbacks.to_string(), 10)
+            );
+        }
+    }
+}
+
+/// Prometheus text exposition of the run: per-site counters plus the
+/// region-level gauges.
+fn prometheus(events: &[Event], run: &RunMeta) -> String {
+    let profiles = site_profiles(events);
+    let saved = saved_per_use(&profiles, run);
+    let mut ms = Vec::new();
+    ms.push(Metric::gauge(
+        "dyc_region_static_cycles",
+        "Static-build cycles per region invocation",
+        &[("workload", run.workload.clone())],
+        run.static_cycles as f64,
+    ));
+    ms.push(Metric::gauge(
+        "dyc_region_specialized_cycles",
+        "Specialized cycles per region invocation",
+        &[("workload", run.workload.clone())],
+        run.dyn_cycles as f64,
+    ));
+    for p in &profiles {
+        let site = [("site", p.site.to_string())];
+        let c = |name: &str, help: &str, v: u64| Metric::counter(name, help, &site, v as f64);
+        ms.push(c(
+            "dyc_site_specializations_total",
+            "Specializations started at the site",
+            p.specializations,
+        ));
+        ms.push(c(
+            "dyc_site_variants_total",
+            "Distinct cache keys specialized at the site",
+            p.variants,
+        ));
+        ms.push(c("dyc_site_hits_total", "Dispatch cache hits", p.hits));
+        ms.push(c(
+            "dyc_site_misses_total",
+            "Dispatch cache misses",
+            p.misses,
+        ));
+        ms.push(c(
+            "dyc_site_dispatch_cycles_total",
+            "Cycles charged to dispatch at the site",
+            p.dispatch_cycles,
+        ));
+        ms.push(c(
+            "dyc_site_dyncomp_cycles_total",
+            "Dynamic-compilation cycles charged at the site",
+            p.dyncomp_cycles,
+        ));
+        ms.push(c(
+            "dyc_site_flight_waits_total",
+            "Single-flight waits at the site",
+            p.waits,
+        ));
+        if let Some(be) = p.break_even(saved) {
+            ms.push(Metric::gauge(
+                "dyc_site_break_even_uses",
+                "Uses needed to amortize the site's dynamic compilation",
+                &site,
+                be,
+            ));
+        }
+    }
+    render_metrics(&ms)
+}

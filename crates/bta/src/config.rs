@@ -46,6 +46,12 @@ pub struct OptConfig {
     /// fused path emits byte-identical code. Not a Table 5 column — an
     /// escape hatch for differential testing against the unfused GE path.
     pub template_fusion: bool,
+    /// Record cycle-stamped trace events (dispatch, specialization,
+    /// templates, cache churn) into the runtime's per-thread ring
+    /// buffer. Purely observational: enabling it never changes results,
+    /// emitted code, or `RtStats`. Not a Table 5 column — off by
+    /// default, including in [`OptConfig::all`].
+    pub trace: bool,
 }
 
 impl OptConfig {
@@ -63,6 +69,7 @@ impl OptConfig {
             polyvariant_division: true,
             staged_ge: true,
             template_fusion: true,
+            trace: false,
         }
     }
 

@@ -46,6 +46,7 @@ pub mod program;
 pub mod session;
 
 pub use dyc_bta::OptConfig;
+pub use dyc_obs as obs;
 pub use dyc_rt::{MissPolicy, RtStats, SharedOptions, SharedRuntime};
 pub use dyc_vm::{CodeFunc, CostModel, ExecStats, Value, VmError};
 pub use error::CompileError;

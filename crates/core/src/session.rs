@@ -137,6 +137,28 @@ impl Session {
         }
     }
 
+    /// Trace events recorded so far (oldest first), when the session was
+    /// built with [`OptConfig::trace`](dyc_bta::OptConfig) (or, for
+    /// threaded sessions, [`dyc_rt::SharedOptions::trace`]). Empty when
+    /// tracing is off or the session is static.
+    pub fn trace_events(&self) -> Vec<dyc_obs::Event> {
+        match &self.exec {
+            Exec::Static => Vec::new(),
+            Exec::Single(rt) => rt.trace.events(),
+            Exec::Threaded(rt) => rt.trace.events(),
+        }
+    }
+
+    /// Events dropped from this session's trace ring (oldest-first
+    /// overwrite once the fixed ring fills). Zero when tracing is off.
+    pub fn trace_dropped(&self) -> u64 {
+        match &self.exec {
+            Exec::Static => 0,
+            Exec::Single(rt) => rt.trace.dropped(),
+            Exec::Threaded(rt) => rt.trace.dropped(),
+        }
+    }
+
     /// Values printed by the guest so far.
     pub fn output(&self) -> &[Value] {
         &self.vm.output

@@ -29,7 +29,11 @@
 //! * threaded equivalence: four threads over one shared concurrent
 //!   runtime (blocking single-flight) reproduce the fused path's
 //!   results, output, memory, cached `(site, key, code)` bindings, and
-//!   global specialization count exactly.
+//!   global specialization count exactly;
+//! * trace equivalence: a fifth, fused run with the event recorder on
+//!   reproduces the fused path's observables, emitted code bytes, and
+//!   *every* `RtStats` counter (tracing is observational), while
+//!   recording events whenever specialization happened.
 
 use crate::gen::{ScalarArg, TestCase, ARRAY_LEN, TARGET};
 use dyc::{CodeFunc, Compiler, OptConfig, RtStats, Session, Value};
@@ -70,6 +74,10 @@ pub enum Violation {
     /// single-threaded path (results, memory, cached code, or the
     /// global specialization count).
     ThreadMismatch { details: String },
+    /// Enabling event tracing changed an observable: results, output,
+    /// memory, emitted code bytes, or any `RtStats` counter — or a
+    /// traced run that specialized recorded no events at all.
+    TraceMismatch { details: String },
 }
 
 impl Violation {
@@ -86,6 +94,7 @@ impl Violation {
             Violation::StatsMismatch { .. } => "stats-mismatch",
             Violation::Invariant { .. } => "invariant",
             Violation::ThreadMismatch { .. } => "thread-mismatch",
+            Violation::TraceMismatch { .. } => "trace-mismatch",
         }
     }
 }
@@ -111,6 +120,7 @@ impl std::fmt::Display for Violation {
             Violation::StatsMismatch { details } => write!(f, "stats mismatch: {details}"),
             Violation::Invariant { details } => write!(f, "invariant violation: {details}"),
             Violation::ThreadMismatch { details } => write!(f, "thread mismatch: {details}"),
+            Violation::TraceMismatch { details } => write!(f, "trace mismatch: {details}"),
         }
     }
 }
@@ -539,6 +549,7 @@ fn run_case_src(case: &TestCase, src: &str) -> Result<CaseReport, Box<Violation>
         }));
     }
 
+    check_traced(case, src, &fused_obs, &paths[3], tuple0_ok)?;
     check_threaded(case, src, &fused_obs, &paths[3], fused.specializations)?;
 
     report.coverage = Coverage {
@@ -555,6 +566,94 @@ fn run_case_src(case: &TestCase, src: &str) -> Result<CaseReport, Box<Violation>
         zero_copy_folds: fused.zero_copy_folds > 0,
     };
     Ok(report)
+}
+
+/// Trace-equivalence check: a fifth execution of the fused configuration
+/// with the event recorder on must be indistinguishable from the
+/// untraced fused path — same per-tuple observables, byte-identical
+/// emitted code, and `RtStats` equal counter for counter (recording
+/// writes only to its own ring, never to the meters). A traced run that
+/// specialized must also have actually recorded events.
+fn check_traced(
+    case: &TestCase,
+    src: &str,
+    fused_obs: &[Obs],
+    fused_path: &Path,
+    tuple0_ok: bool,
+) -> Result<(), Box<Violation>> {
+    let mut cfg = OptConfig::all();
+    cfg.trace = true;
+    let mut p = build_path("traced", case, src, cfg, true)?;
+    if p.arr_base != fused_path.arr_base || p.wbuf_base != fused_path.wbuf_base {
+        return Err(Box::new(Violation::TraceMismatch {
+            details: "allocation bases diverged from the fused path".into(),
+        }));
+    }
+    for (t, tuple) in case.tuples.iter().enumerate() {
+        let o = p.invoke(case, tuple)?;
+        let want = &fused_obs[t];
+        let same = match (&want.result, &o.result) {
+            // Same config, same thread: even the error text must match.
+            (Err(a), Err(b)) => a == b,
+            (Ok(a), Ok(b)) => match (a, b) {
+                (None, None) => true,
+                (Some(x), Some(y)) => value_eq(x, y),
+                _ => false,
+            },
+            _ => false,
+        };
+        if !same {
+            return Err(Box::new(Violation::TraceMismatch {
+                details: format!(
+                    "tuple {t}: fused {:?} vs traced {:?}",
+                    want.result, o.result
+                ),
+            }));
+        }
+        if want.result.is_err() {
+            continue;
+        }
+        if !values_eq(&want.output, &o.output) {
+            return Err(Box::new(Violation::TraceMismatch {
+                details: format!(
+                    "tuple {t}: fused output {} vs traced {}",
+                    fmt_vals(&want.output),
+                    fmt_vals(&o.output)
+                ),
+            }));
+        }
+        if want.wbuf != o.wbuf {
+            return Err(Box::new(Violation::TraceMismatch {
+                details: format!(
+                    "tuple {t}: fused wbuf {:?} vs traced {:?}",
+                    want.wbuf, o.wbuf
+                ),
+            }));
+        }
+    }
+    // Mirror the fused path's steady-state re-run so the cumulative
+    // counters line up tick for tick.
+    if tuple0_ok {
+        p.invoke(case, &case.tuples[0])?;
+    }
+    if p.sess.disassemble_matching("") != fused_path.sess.disassemble_matching("") {
+        return Err(Box::new(Violation::TraceMismatch {
+            details: "tracing changed the emitted code bytes".into(),
+        }));
+    }
+    let fused_rt = fused_path.sess.rt_stats().expect("dynamic path");
+    let traced_rt = p.sess.rt_stats().expect("dynamic path");
+    if traced_rt != fused_rt {
+        return Err(Box::new(Violation::TraceMismatch {
+            details: format!("tracing perturbed RtStats:\n{traced_rt:#?}\nvs\n{fused_rt:#?}"),
+        }));
+    }
+    if fused_rt.specializations > 0 && p.sess.trace_events().is_empty() {
+        return Err(Box::new(Violation::TraceMismatch {
+            details: "traced run specialized but recorded no events".into(),
+        }));
+    }
+    Ok(())
 }
 
 /// Threads racing one shared concurrent runtime per case.

@@ -1,0 +1,198 @@
+//! The typed events the run-time system records.
+
+/// What happened. Every variant maps to one [`Category`]; the payload
+/// words `a`/`b` on [`Event`] are kind-specific (documented per
+/// variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EventKind {
+    /// Hashed (`cache_all`/`cache_all(k)`, or indexed-overflow) dispatch
+    /// that hit cached code. `a` = dispatch cycles charged, `b` =
+    /// probes.
+    #[default]
+    DispatchHit,
+    /// Dispatch that missed and triggered a specialization (or, in the
+    /// concurrent runtime, entered the single-flight miss path). `a` =
+    /// dispatch cycles charged, `b` = probes (0 for non-hashed
+    /// policies).
+    DispatchMiss,
+    /// `cache_one_unchecked` dispatch that hit. `a` = dispatch cycles.
+    DispatchUnchecked,
+    /// Array-indexed (§3.1) dispatch that hit. `a` = dispatch cycles.
+    DispatchIndexed,
+    /// Concurrent only: this thread blocked on another thread's
+    /// in-flight specialization of the same (site, key). `a` = wall
+    /// nanoseconds spent waiting.
+    FlightWait,
+    /// Concurrent only: this thread, racing an in-flight
+    /// specialization, ran the generic continuation instead of waiting.
+    FlightFallback,
+    /// A specialization (GE execution) started at this site.
+    GeExecBegin,
+    /// The specialization finished. `a` = dynamic-compilation cycles it
+    /// charged, `b` = VM instructions generated.
+    GeExecEnd,
+    /// Copy-and-patch templates contributed instructions to a sealed
+    /// unit (post dead-assignment elimination, matching
+    /// `RtStats::template_instrs`). `a` = instructions copied.
+    TemplateCopy,
+    /// Template holes were patched in a sealed unit (matching
+    /// `RtStats::holes_patched`). `a` = holes patched.
+    HolePatch,
+    /// A bounded `cache_all(k)` site evicted a resident specialization.
+    /// The event's `key` is the hash of the *evicted* key; `a` = the
+    /// victim's clock slot.
+    CacheEvict,
+    /// All cached code for the site was explicitly invalidated.
+    CacheInvalidate,
+    /// An internal dynamic-to-static promotion created a new dispatch
+    /// site mid-specialization. The event's `site` is the parent
+    /// (specializing) site; `a` = the new site's id.
+    Promotion,
+}
+
+/// Event categories — the `cat` field of the Chrome trace, and the
+/// granularity at which CI's `dycstat check` asserts coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Dispatch hits and misses, all policies.
+    Dispatch,
+    /// Single-flight waits and fallbacks.
+    Flight,
+    /// GE-executor (specialization) begin/end spans.
+    Spec,
+    /// Template copies and hole patches.
+    Template,
+    /// Cache evictions and invalidations.
+    Cache,
+    /// Internal dynamic-to-static promotions.
+    Promote,
+}
+
+impl Category {
+    /// The category's stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Dispatch => "dispatch",
+            Category::Flight => "flight",
+            Category::Spec => "spec",
+            Category::Template => "template",
+            Category::Cache => "cache",
+            Category::Promote => "promote",
+        }
+    }
+}
+
+impl EventKind {
+    /// The kind's stable kebab-case name (the Chrome trace's `name`
+    /// field, except that [`EventKind::GeExecBegin`]/[`EventKind::GeExecEnd`]
+    /// share the name `ge-exec` so Chrome pairs them into a span).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::DispatchHit => "dispatch-hit",
+            EventKind::DispatchMiss => "dispatch-miss",
+            EventKind::DispatchUnchecked => "dispatch-unchecked",
+            EventKind::DispatchIndexed => "dispatch-indexed",
+            EventKind::FlightWait => "flight-wait",
+            EventKind::FlightFallback => "flight-fallback",
+            EventKind::GeExecBegin | EventKind::GeExecEnd => "ge-exec",
+            EventKind::TemplateCopy => "template-copy",
+            EventKind::HolePatch => "hole-patch",
+            EventKind::CacheEvict => "cache-evict",
+            EventKind::CacheInvalidate => "cache-invalidate",
+            EventKind::Promotion => "promotion",
+        }
+    }
+
+    /// The kind's [`Category`].
+    pub fn category(self) -> Category {
+        match self {
+            EventKind::DispatchHit
+            | EventKind::DispatchMiss
+            | EventKind::DispatchUnchecked
+            | EventKind::DispatchIndexed => Category::Dispatch,
+            EventKind::FlightWait | EventKind::FlightFallback => Category::Flight,
+            EventKind::GeExecBegin | EventKind::GeExecEnd => Category::Spec,
+            EventKind::TemplateCopy | EventKind::HolePatch => Category::Template,
+            EventKind::CacheEvict | EventKind::CacheInvalidate => Category::Cache,
+            EventKind::Promotion => Category::Promote,
+        }
+    }
+}
+
+/// One recorded event: 72 bytes, `Copy`, written into the ring buffer
+/// without any allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// The dispatch site (for [`EventKind::Promotion`], the parent
+    /// site).
+    pub site: u32,
+    /// Recording thread (0 for the single-threaded runtime; assigned
+    /// per thread handle in the concurrent one).
+    pub thread: u32,
+    /// FNV-1a hash of the cache-key words ([`crate::key_hash`]).
+    pub key: u64,
+    /// Strictly increasing per-recorder sequence number.
+    pub seq: u64,
+    /// Wall nanoseconds since the process trace epoch
+    /// ([`crate::now_ns`]).
+    pub t_ns: u64,
+    /// Model-cycle stamp: the recording VM's cumulative cycle count at
+    /// record time (0 where no VM is in reach, e.g. explicit
+    /// invalidation from outside a run).
+    pub cycle: u64,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub a: u64,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub b: u64,
+}
+
+/// Every kind, in declaration order (test and exporter support).
+pub const ALL_KINDS: [EventKind; 13] = [
+    EventKind::DispatchHit,
+    EventKind::DispatchMiss,
+    EventKind::DispatchUnchecked,
+    EventKind::DispatchIndexed,
+    EventKind::FlightWait,
+    EventKind::FlightFallback,
+    EventKind::GeExecBegin,
+    EventKind::GeExecEnd,
+    EventKind::TemplateCopy,
+    EventKind::HolePatch,
+    EventKind::CacheEvict,
+    EventKind::CacheInvalidate,
+    EventKind::Promotion,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_except_the_span_pair() {
+        let mut names: Vec<&str> = ALL_KINDS.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        // 13 kinds, but begin/end share "ge-exec".
+        assert_eq!(names.len(), ALL_KINDS.len() - 1);
+    }
+
+    #[test]
+    fn every_category_is_covered() {
+        for c in [
+            Category::Dispatch,
+            Category::Flight,
+            Category::Spec,
+            Category::Template,
+            Category::Cache,
+            Category::Promote,
+        ] {
+            assert!(
+                ALL_KINDS.iter().any(|k| k.category() == c),
+                "no kind maps to {:?}",
+                c.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The aggregation pass: events → per-site profiles and the threaded
+//! contention summary.
+
+use crate::event::{Event, EventKind};
+
+/// Everything a recorded run says about one dispatch site — the row of
+/// `dycstat`'s paper-style table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SiteProfile {
+    /// The site id.
+    pub site: u32,
+    /// Specializations started here ([`EventKind::GeExecBegin`]).
+    pub specializations: u64,
+    /// Distinct cache-key hashes seen across misses — the cached
+    /// variants the site accumulated (eviction can later shrink the
+    /// resident set below this).
+    pub variants: u64,
+    /// Cache hits, all policies.
+    pub hits: u64,
+    /// Dispatch misses.
+    pub misses: u64,
+    /// Hits served unchecked (`cache_one_unchecked`).
+    pub unchecked: u64,
+    /// Hits served by array indexing (§3.1).
+    pub indexed: u64,
+    /// Hits served by the hashed `cache_all` table.
+    pub hashed: u64,
+    /// Total probes across hashed lookups (hits and misses).
+    pub probes: u64,
+    /// Cycles charged to dispatching at this site.
+    pub dispatch_cycles: u64,
+    /// Dynamic-compilation cycles charged by this site's
+    /// specializations ([`EventKind::GeExecEnd`] payloads).
+    pub dyncomp_cycles: u64,
+    /// VM instructions those specializations generated.
+    pub instrs_generated: u64,
+    /// Instructions contributed by copy-and-patch templates.
+    pub template_instrs: u64,
+    /// Template holes patched.
+    pub holes_patched: u64,
+    /// Bounded-cache evictions at this site.
+    pub evictions: u64,
+    /// Explicit invalidations of this site.
+    pub invalidations: u64,
+    /// Internal promotion sites created while specializing this site.
+    pub promotions: u64,
+    /// Single-flight waits at this site (concurrent runs).
+    pub waits: u64,
+    /// Wall nanoseconds spent in those waits.
+    pub wait_ns: u64,
+    /// Single-flight generic-continuation fallbacks (concurrent runs).
+    pub fallbacks: u64,
+}
+
+impl SiteProfile {
+    /// Dispatches through the site (hits + misses).
+    pub fn uses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Mean probes per hashed lookup (0 when the site never hashed).
+    pub fn probe_rate(&self) -> f64 {
+        let lookups = self.hashed + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.probes as f64 / lookups as f64
+        }
+    }
+
+    /// The §4.2 break-even estimate: how many uses of the region pay
+    /// off this site's dynamic-compilation investment, given the cycles
+    /// each specialized use saves over the static build. `None` when
+    /// the savings are non-positive (specialization never pays off) —
+    /// a *finite* break-even exists exactly when `saved_per_use > 0`.
+    pub fn break_even(&self, saved_per_use: f64) -> Option<f64> {
+        if saved_per_use > 0.0 {
+            Some(self.dyncomp_cycles as f64 / saved_per_use)
+        } else {
+            None
+        }
+    }
+}
+
+/// Aggregate a merged event stream into per-site profiles, ordered by
+/// site id. Sites appear if any event mentions them.
+pub fn site_profiles(events: &[Event]) -> Vec<SiteProfile> {
+    fn at(site: u32, out: &mut Vec<SiteProfile>, variant_keys: &mut Vec<Vec<u64>>) -> usize {
+        match out.binary_search_by_key(&site, |p| p.site) {
+            Ok(i) => i,
+            Err(i) => {
+                out.insert(
+                    i,
+                    SiteProfile {
+                        site,
+                        ..SiteProfile::default()
+                    },
+                );
+                variant_keys.insert(i, Vec::new());
+                i
+            }
+        }
+    }
+    let mut out: Vec<SiteProfile> = Vec::new();
+    let mut variant_keys: Vec<Vec<u64>> = Vec::new();
+    for e in events {
+        let i = at(e.site, &mut out, &mut variant_keys);
+        let p = &mut out[i];
+        match e.kind {
+            EventKind::DispatchHit => {
+                p.hits += 1;
+                p.hashed += 1;
+                p.probes += e.b;
+                p.dispatch_cycles += e.a;
+            }
+            EventKind::DispatchMiss => {
+                p.misses += 1;
+                p.probes += e.b;
+                p.dispatch_cycles += e.a;
+                let keys = &mut variant_keys[i];
+                if let Err(j) = keys.binary_search(&e.key) {
+                    keys.insert(j, e.key);
+                    p.variants += 1;
+                }
+            }
+            EventKind::DispatchUnchecked => {
+                p.hits += 1;
+                p.unchecked += 1;
+                p.dispatch_cycles += e.a;
+            }
+            EventKind::DispatchIndexed => {
+                p.hits += 1;
+                p.indexed += 1;
+                p.dispatch_cycles += e.a;
+            }
+            EventKind::FlightWait => {
+                p.waits += 1;
+                p.wait_ns += e.a;
+            }
+            EventKind::FlightFallback => p.fallbacks += 1,
+            EventKind::GeExecBegin => p.specializations += 1,
+            EventKind::GeExecEnd => {
+                p.dyncomp_cycles += e.a;
+                p.instrs_generated += e.b;
+            }
+            EventKind::TemplateCopy => p.template_instrs += e.a,
+            EventKind::HolePatch => p.holes_patched += e.a,
+            EventKind::CacheEvict => p.evictions += 1,
+            EventKind::CacheInvalidate => p.invalidations += 1,
+            EventKind::Promotion => p.promotions += 1,
+        }
+    }
+    out
+}
+
+/// One thread's share of a concurrent run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadLoad {
+    /// The thread id.
+    pub thread: u32,
+    /// Events this thread recorded.
+    pub events: u64,
+    /// Dispatch misses it took.
+    pub misses: u64,
+    /// Single-flight waits it suffered.
+    pub waits: u64,
+    /// Wall nanoseconds spent waiting.
+    pub wait_ns: u64,
+    /// Generic-continuation fallbacks it took.
+    pub fallbacks: u64,
+}
+
+/// The threaded contention summary: per-thread loads, ordered by
+/// thread id.
+pub fn contention(events: &[Event]) -> Vec<ThreadLoad> {
+    let mut out: Vec<ThreadLoad> = Vec::new();
+    for e in events {
+        let i = match out.binary_search_by_key(&e.thread, |t| t.thread) {
+            Ok(i) => i,
+            Err(i) => {
+                out.insert(
+                    i,
+                    ThreadLoad {
+                        thread: e.thread,
+                        ..ThreadLoad::default()
+                    },
+                );
+                i
+            }
+        };
+        let t = &mut out[i];
+        t.events += 1;
+        match e.kind {
+            EventKind::DispatchMiss => t.misses += 1,
+            EventKind::FlightWait => {
+                t.waits += 1;
+                t.wait_ns += e.a;
+            }
+            EventKind::FlightFallback => t.fallbacks += 1,
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, site: u32, key: u64, a: u64, b: u64) -> Event {
+        Event {
+            kind,
+            site,
+            key,
+            a,
+            b,
+            ..Event::default()
+        }
+    }
+
+    #[test]
+    fn profiles_aggregate_per_site() {
+        let events = vec![
+            ev(EventKind::DispatchMiss, 0, 11, 90, 1),
+            ev(EventKind::GeExecBegin, 0, 11, 0, 0),
+            ev(EventKind::TemplateCopy, 0, 11, 5, 0),
+            ev(EventKind::HolePatch, 0, 11, 3, 0),
+            ev(EventKind::GeExecEnd, 0, 11, 700, 12),
+            ev(EventKind::DispatchHit, 0, 11, 90, 1),
+            ev(EventKind::DispatchMiss, 0, 22, 98, 2),
+            ev(EventKind::GeExecBegin, 0, 22, 0, 0),
+            ev(EventKind::GeExecEnd, 0, 22, 300, 6),
+            ev(EventKind::DispatchMiss, 1, 11, 10, 0),
+            ev(EventKind::DispatchUnchecked, 1, 11, 10, 0),
+        ];
+        let ps = site_profiles(&events);
+        assert_eq!(ps.len(), 2);
+        let p0 = &ps[0];
+        assert_eq!(p0.site, 0);
+        assert_eq!(p0.specializations, 2);
+        assert_eq!(p0.variants, 2);
+        assert_eq!((p0.hits, p0.misses), (1, 2));
+        assert_eq!(p0.dyncomp_cycles, 1000);
+        assert_eq!(p0.instrs_generated, 18);
+        assert_eq!(p0.template_instrs, 5);
+        assert_eq!(p0.holes_patched, 3);
+        assert_eq!(p0.dispatch_cycles, 90 + 90 + 98);
+        assert_eq!(p0.uses(), 3);
+        // 4 probes over 3 hashed lookups (1 hashed hit + 2 misses).
+        assert!((p0.probe_rate() - 4.0 / 3.0).abs() < 1e-9);
+        let p1 = &ps[1];
+        assert_eq!(p1.site, 1);
+        assert_eq!((p1.unchecked, p1.misses), (1, 1));
+        // A repeated miss key is one variant.
+        assert_eq!(p1.variants, 1);
+    }
+
+    #[test]
+    fn break_even_is_finite_iff_savings_positive() {
+        let p = SiteProfile {
+            dyncomp_cycles: 1000,
+            ..SiteProfile::default()
+        };
+        assert_eq!(p.break_even(50.0), Some(20.0));
+        assert_eq!(p.break_even(0.0), None);
+        assert_eq!(p.break_even(-3.0), None);
+    }
+
+    #[test]
+    fn contention_groups_by_thread() {
+        let mut e1 = ev(EventKind::FlightWait, 0, 0, 500, 0);
+        e1.thread = 1;
+        let mut e2 = ev(EventKind::DispatchMiss, 0, 0, 90, 1);
+        e2.thread = 0;
+        let mut e3 = ev(EventKind::FlightFallback, 0, 0, 0, 0);
+        e3.thread = 1;
+        let loads = contention(&[e1, e2, e3]);
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].thread, 0);
+        assert_eq!(loads[0].misses, 1);
+        assert_eq!(loads[1].thread, 1);
+        assert_eq!(
+            (loads[1].waits, loads[1].wait_ns, loads[1].fallbacks),
+            (1, 500, 1)
+        );
+    }
+}

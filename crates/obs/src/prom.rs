@@ -1,0 +1,154 @@
+//! Prometheus-style text exposition (version 0.0.4) for named meters.
+//!
+//! `dycstat` renders the runtime's counter sets ([`crate::SiteProfile`]
+//! fields, `RtStats`, the concurrent runtime's global snapshot) in the
+//! standard scrape format so a run's numbers can be diffed, plotted, or
+//! shipped to any Prometheus-compatible tooling without bespoke
+//! parsing.
+
+use crate::json::escape;
+
+/// The metric's exposition type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone count (events, cycles, probes).
+    Counter,
+    /// Point-in-time level (resident entries, ring occupancy).
+    Gauge,
+}
+
+impl MetricKind {
+    fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One sample: a metric name, help text, kind, label set, and value.
+/// Samples sharing a name (e.g. one per site) share one
+/// `# HELP`/`# TYPE` header and differ by labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name (`snake_case`, conventionally `dyc_`-prefixed).
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// Label pairs, rendered in order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Metric {
+    /// A counter sample.
+    pub fn counter(name: &str, help: &str, labels: &[(&str, String)], value: f64) -> Metric {
+        Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: MetricKind::Counter,
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            value,
+        }
+    }
+
+    /// A gauge sample.
+    pub fn gauge(name: &str, help: &str, labels: &[(&str, String)], value: f64) -> Metric {
+        Metric {
+            kind: MetricKind::Gauge,
+            ..Metric::counter(name, help, labels, value)
+        }
+    }
+}
+
+fn render_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render samples in the Prometheus text format. Consecutive samples
+/// with the same name are grouped under one header; pass samples
+/// already ordered by name for a well-formed exposition.
+pub fn render_metrics(metrics: &[Metric]) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for m in metrics {
+        if last_name != Some(m.name.as_str()) {
+            out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+            out.push_str(&format!("# TYPE {} {}\n", m.name, m.kind.name()));
+            last_name = Some(m.name.as_str());
+        }
+        out.push_str(&m.name);
+        if !m.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in m.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}={}", k, escape(v)));
+            }
+            out.push('}');
+        }
+        out.push(' ');
+        out.push_str(&render_value(m.value));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_grouped_families() {
+        let ms = vec![
+            Metric::counter(
+                "dyc_site_hits_total",
+                "Cache hits per site.",
+                &[("site", "0".to_string())],
+                12.0,
+            ),
+            Metric::counter(
+                "dyc_site_hits_total",
+                "Cache hits per site.",
+                &[("site", "1".to_string())],
+                3.0,
+            ),
+            Metric::gauge("dyc_ring_events", "Resident events.", &[], 1.5),
+        ];
+        let text = render_metrics(&ms);
+        assert_eq!(
+            text,
+            "# HELP dyc_site_hits_total Cache hits per site.\n\
+             # TYPE dyc_site_hits_total counter\n\
+             dyc_site_hits_total{site=\"0\"} 12\n\
+             dyc_site_hits_total{site=\"1\"} 3\n\
+             # HELP dyc_ring_events Resident events.\n\
+             # TYPE dyc_ring_events gauge\n\
+             dyc_ring_events 1.5\n"
+        );
+    }
+
+    #[test]
+    fn integral_values_render_without_fraction() {
+        assert_eq!(render_value(42.0), "42");
+        assert_eq!(render_value(0.25), "0.25");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let m = Metric::counter("x_total", "h", &[("k", "a\"b".to_string())], 1.0);
+        let text = render_metrics(&[m]);
+        assert!(text.contains("x_total{k=\"a\\\"b\"} 1\n"));
+    }
+}

@@ -1,0 +1,268 @@
+//! The per-thread ring-buffer recorder and its zero-cost-when-off
+//! wrapper.
+
+use crate::event::{Event, EventKind};
+use crate::now_ns;
+
+/// Default ring capacity: 65 536 events (≈4.7 MB). Old events are
+/// overwritten once the ring is full — a trace always holds the
+/// *newest* window of the run.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// A fixed-capacity event ring buffer owned by exactly one thread.
+/// Recording is lock-free and allocation-free: the buffer is sized at
+/// construction and never grows; when full, the oldest event is
+/// overwritten and `dropped` counts the loss.
+///
+/// # Examples
+///
+/// ```
+/// use dyc_obs::{EventKind, Recorder};
+///
+/// let mut r = Recorder::with_capacity(4, 0);
+/// for site in 0..6u32 {
+///     r.record(EventKind::DispatchHit, site, 0, 0, 0, 0);
+/// }
+/// // Capacity 4: the two oldest events were overwritten.
+/// let ev = r.events();
+/// assert_eq!(ev.len(), 4);
+/// assert_eq!(r.dropped(), 2);
+/// assert_eq!(ev[0].site, 2); // oldest surviving
+/// assert_eq!(ev[3].site, 5); // newest
+/// ```
+#[derive(Debug)]
+pub struct Recorder {
+    ring: Box<[Event]>,
+    /// Next write position.
+    head: usize,
+    /// Events currently resident (≤ capacity).
+    len: usize,
+    /// Events overwritten after the ring filled.
+    dropped: u64,
+    /// Next sequence number (strictly increasing for this recorder's
+    /// lifetime, surviving overwrites).
+    seq: u64,
+    thread: u32,
+}
+
+impl Recorder {
+    /// A recorder for `thread` holding at most `cap` events
+    /// (minimum 1).
+    pub fn with_capacity(cap: usize, thread: u32) -> Recorder {
+        Recorder {
+            ring: vec![Event::default(); cap.max(1)].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            dropped: 0,
+            seq: 0,
+            thread,
+        }
+    }
+
+    /// Record one event. Allocation-free: writes into the preallocated
+    /// ring, overwriting the oldest event when full.
+    #[inline]
+    pub fn record(&mut self, kind: EventKind, site: u32, key: u64, cycle: u64, a: u64, b: u64) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.ring[self.head] = Event {
+            kind,
+            site,
+            thread: self.thread,
+            key,
+            seq,
+            t_ns: now_ns(),
+            cycle,
+            a,
+            b,
+        };
+        self.head = (self.head + 1) % self.ring.len();
+        if self.len < self.ring.len() {
+            self.len += 1;
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The resident events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let cap = self.ring.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len)
+            .map(|i| self.ring[(start + i) % cap])
+            .collect()
+    }
+
+    /// Events currently resident.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Events lost to overwriting.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (resident + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// The recording thread's id.
+    pub fn thread(&self) -> u32 {
+        self.thread
+    }
+}
+
+/// An optional [`Recorder`]: the runtime knob. When off (the default),
+/// [`Trace::rec`] is a single branch on a `None` — no recorder is
+/// allocated at all, so tracing is zero-cost for untraced runs.
+#[derive(Debug, Default)]
+pub struct Trace(Option<Box<Recorder>>);
+
+impl Trace {
+    /// Tracing disabled (records nothing).
+    pub fn off() -> Trace {
+        Trace(None)
+    }
+
+    /// Tracing enabled for `thread` with [`DEFAULT_CAPACITY`].
+    pub fn on(thread: u32) -> Trace {
+        Trace::with_capacity(DEFAULT_CAPACITY, thread)
+    }
+
+    /// Tracing enabled with an explicit ring capacity.
+    pub fn with_capacity(cap: usize, thread: u32) -> Trace {
+        Trace(Some(Box::new(Recorder::with_capacity(cap, thread))))
+    }
+
+    /// True if events are being recorded.
+    pub fn is_on(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record one event (no-op when off).
+    #[inline]
+    pub fn rec(&mut self, kind: EventKind, site: u32, key: u64, cycle: u64, a: u64, b: u64) {
+        if let Some(r) = &mut self.0 {
+            r.record(kind, site, key, cycle, a, b);
+        }
+    }
+
+    /// The underlying recorder, if tracing is on.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.0.as_deref()
+    }
+
+    /// The resident events, oldest first (empty when off).
+    pub fn events(&self) -> Vec<Event> {
+        self.0.as_deref().map(Recorder::events).unwrap_or_default()
+    }
+
+    /// Events lost to overwriting (0 when off).
+    pub fn dropped(&self) -> u64 {
+        self.0.as_deref().map(Recorder::dropped).unwrap_or(0)
+    }
+}
+
+/// Merge per-thread event streams into one timeline, ordered by
+/// (wall time, thread, sequence) — the order the exporters and the
+/// aggregation pass expect.
+pub fn merge(streams: Vec<Vec<Event>>) -> Vec<Event> {
+    let mut all: Vec<Event> = streams.into_iter().flatten().collect();
+    all.sort_by_key(|e| (e.t_ns, e.thread, e.seq));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraparound_keeps_the_newest_events() {
+        let mut r = Recorder::with_capacity(8, 3);
+        for i in 0..20u64 {
+            r.record(EventKind::DispatchHit, i as u32, i, 0, i, 0);
+        }
+        let ev = r.events();
+        assert_eq!(ev.len(), 8);
+        assert_eq!(r.dropped(), 12);
+        assert_eq!(r.recorded(), 20);
+        // The surviving window is exactly the last 8 records, in order.
+        for (i, e) in ev.iter().enumerate() {
+            assert_eq!(e.site, 12 + i as u32);
+            assert_eq!(e.thread, 3);
+        }
+    }
+
+    #[test]
+    fn ordering_is_monotone_per_thread() {
+        let mut r = Recorder::with_capacity(64, 0);
+        for i in 0..200u32 {
+            r.record(EventKind::DispatchMiss, i, 0, u64::from(i), 0, 0);
+        }
+        let ev = r.events();
+        for w in ev.windows(2) {
+            assert!(w[1].seq == w[0].seq + 1, "seq strictly increasing");
+            assert!(w[1].t_ns >= w[0].t_ns, "wall clock non-decreasing");
+        }
+    }
+
+    #[test]
+    fn partial_fill_returns_in_insertion_order() {
+        let mut r = Recorder::with_capacity(16, 0);
+        r.record(EventKind::GeExecBegin, 1, 0, 0, 0, 0);
+        r.record(EventKind::GeExecEnd, 1, 0, 0, 9, 0);
+        let ev = r.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].kind, EventKind::GeExecBegin);
+        assert_eq!(ev[1].kind, EventKind::GeExecEnd);
+        assert_eq!(ev[1].a, 9);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn trace_off_records_nothing() {
+        let mut t = Trace::off();
+        t.rec(EventKind::DispatchHit, 0, 0, 0, 0, 0);
+        assert!(!t.is_on());
+        assert!(t.events().is_empty());
+        assert!(t.recorder().is_none());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn trace_on_records() {
+        let mut t = Trace::with_capacity(4, 7);
+        t.rec(EventKind::CacheEvict, 2, 99, 0, 1, 0);
+        assert!(t.is_on());
+        let ev = t.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].thread, 7);
+        assert_eq!(ev[0].key, 99);
+    }
+
+    #[test]
+    fn merge_orders_across_threads() {
+        let mut a = Recorder::with_capacity(8, 0);
+        let mut b = Recorder::with_capacity(8, 1);
+        a.record(EventKind::DispatchHit, 0, 0, 0, 0, 0);
+        b.record(EventKind::DispatchHit, 1, 0, 0, 0, 0);
+        a.record(EventKind::DispatchHit, 2, 0, 0, 0, 0);
+        let merged = merge(vec![a.events(), b.events()]);
+        assert_eq!(merged.len(), 3);
+        for w in merged.windows(2) {
+            assert!((w[0].t_ns, w[0].thread, w[0].seq) <= (w[1].t_ns, w[1].thread, w[1].seq));
+        }
+    }
+}

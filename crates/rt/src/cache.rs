@@ -109,6 +109,11 @@ impl<V: Copy> DoubleHashCache<V> {
         self.len == 0
     }
 
+    /// Current slot-table size (grows by doubling on rehash).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     fn h1(key: &[u64], m: usize) -> usize {
         // FNV-style fold of the key words.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;

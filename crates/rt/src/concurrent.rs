@@ -67,10 +67,11 @@ use crate::costs::DynCosts;
 use crate::ge_exec::{GeExecutor, SpecEnv, SpecHost};
 use crate::runtime::{Site, Store};
 use crate::stats::RtStats;
+use dyc_obs::{now_ns, EventKind, Trace};
 use dyc_stage::{SitePolicy, StagedProgram};
 use dyc_vm::{CodeFunc, DispatchHandler, DispatchOutcome, FuncId, Module, Value, Vm, VmError};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// What a racing thread does when another thread is already specializing
@@ -105,6 +106,8 @@ pub struct ShardMeter {
     pub probes: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Slot-table size (open-addressing capacity, grows by doubling).
+    pub slots: usize,
 }
 
 struct Shard<V> {
@@ -231,10 +234,14 @@ impl<V: Copy> ShardedCache<V> {
     pub fn meters(&self) -> Vec<ShardMeter> {
         self.shards
             .iter()
-            .map(|s| ShardMeter {
-                lookups: s.lookups.load(Ordering::Relaxed),
-                probes: s.probes.load(Ordering::Relaxed),
-                entries: s.table.read().unwrap().len(),
+            .map(|s| {
+                let t = s.table.read().unwrap();
+                ShardMeter {
+                    lookups: s.lookups.load(Ordering::Relaxed),
+                    probes: s.probes.load(Ordering::Relaxed),
+                    entries: t.len(),
+                    slots: t.capacity(),
+                }
             })
             .collect()
     }
@@ -444,6 +451,12 @@ pub struct SharedOptions {
     /// Specialization instruction budget (guards non-terminating static
     /// loops), per specialization.
     pub spec_budget: u64,
+    /// Give every [`ThreadRuntime`] a cycle-stamped event recorder (see
+    /// [`dyc_obs`]). Purely observational: enabling it changes no
+    /// results, no published code bytes, and no [`RtStats`] counters.
+    /// Also switched on by [`OptConfig::trace`](dyc_bta::OptConfig) on
+    /// the staged program's config.
+    pub trace: bool,
 }
 
 impl Default for SharedOptions {
@@ -452,6 +465,7 @@ impl Default for SharedOptions {
             shards: 16,
             miss_policy: MissPolicy::Block,
             spec_budget: 4_000_000,
+            trace: false,
         }
     }
 }
@@ -482,6 +496,9 @@ pub struct SharedRuntime {
     /// Single-flight wait-map, keyed like the cache.
     inflight: Mutex<HashMap<Vec<u64>, Arc<Flight>>>,
     stats: ConcStats,
+    /// Trace thread-id allocator: each [`ThreadRuntime`] takes the next
+    /// id so merged event streams distinguish recorders.
+    next_thread: AtomicU32,
 }
 
 impl std::fmt::Debug for SharedRuntime {
@@ -549,6 +566,7 @@ impl SharedRuntime {
             registry: RwLock::new(Vec::new()),
             inflight: Mutex::new(HashMap::new()),
             stats: ConcStats::default(),
+            next_thread: AtomicU32::new(0),
             staged,
         }
     }
@@ -556,12 +574,19 @@ impl SharedRuntime {
     /// A fresh per-thread dispatch handler. Pair it with
     /// [`SharedRuntime::base_module`] and the thread's own [`Vm`].
     pub fn thread(shared: &Arc<SharedRuntime>) -> ThreadRuntime {
+        let tid = shared.next_thread.fetch_add(1, Ordering::Relaxed);
+        let trace = if shared.opts.trace || shared.staged.cfg.trace {
+            Trace::on(tid)
+        } else {
+            Trace::off()
+        };
         ThreadRuntime {
             shared: Arc::clone(shared),
             stats: RtStats::new(),
             scratch_key: Vec::new(),
             local_ids: Vec::new(),
             site_cache: Vec::new(),
+            trace,
         }
     }
 
@@ -703,12 +728,25 @@ pub struct ThreadRuntime {
     /// Locally cached prefix of the shared site table (append-only, so a
     /// prefix is never stale).
     site_cache: Vec<Arc<SiteEntry>>,
+    /// This thread's event recorder ([`Trace::off`] unless
+    /// [`SharedOptions::trace`] or the staged config's `trace` flag is
+    /// set). Recording never touches [`RtStats`], published code, or
+    /// results; drain it with [`Trace::events`] after the run.
+    pub trace: Trace,
 }
 
 impl ThreadRuntime {
     /// The shared runtime this handler dispatches against.
     pub fn shared(&self) -> &Arc<SharedRuntime> {
         &self.shared
+    }
+
+    /// [`SharedRuntime::invalidate_site`], recorded in this thread's
+    /// trace (the shared method is `&self` and has no recorder).
+    pub fn invalidate_site(&mut self, point: u32) {
+        self.shared.invalidate_site(point);
+        self.trace
+            .rec(EventKind::CacheInvalidate, point, 0, 0, 0, 0);
     }
 
     fn charge(&mut self, vm: &mut Vm, cycles: u64) {
@@ -758,9 +796,12 @@ impl ThreadRuntime {
     }
 
     /// Run the GE executor for this site/key in this thread's module.
+    /// `key` is the shared-cache key (`[site, key bits...]`), used only
+    /// to tag trace events.
     fn do_specialize(
         &mut self,
         entry: &SiteEntry,
+        key: &[u64],
         args: &[Value],
         module: &mut Module,
         vm: &mut Vm,
@@ -778,18 +819,42 @@ impl ThreadRuntime {
                     .into(),
             ));
         };
+        let point = key[0] as u32;
+        let kh = if self.trace.is_on() {
+            dyc_obs::key_hash(&key[1..])
+        } else {
+            0
+        };
+        let (dyn0, instr0) = (self.stats.dyncomp_cycles, self.stats.instrs_generated);
+        self.trace.rec(
+            EventKind::GeExecBegin,
+            point,
+            kh,
+            vm.stats.total_cycles(),
+            0,
+            0,
+        );
         let shared = Arc::clone(&self.shared);
         let mut env = SpecEnv {
             staged: &shared.staged,
             costs: shared.costs,
             budget: shared.opts.spec_budget,
             stats: &mut self.stats,
+            trace: &mut self.trace,
         };
         let mut host = SharedSiteHost { shared: &shared };
-        let f = GeExecutor::run(&mut env, &mut host, site, store, d, module, vm)?;
+        let f = GeExecutor::run(&mut env, &mut host, point, site, store, d, module, vm)?;
         vm.flush_icache();
         let install = shared.costs.install;
         self.charge(vm, install);
+        self.trace.rec(
+            EventKind::GeExecEnd,
+            point,
+            kh,
+            vm.stats.total_cycles(),
+            self.stats.dyncomp_cycles - dyn0,
+            self.stats.instrs_generated - instr0,
+        );
         Ok(f)
     }
 
@@ -805,7 +870,7 @@ impl ThreadRuntime {
         module: &mut Module,
         vm: &mut Vm,
     ) -> Result<u32, VmError> {
-        let out = match self.do_specialize(entry, args, module, vm) {
+        let out = match self.do_specialize(entry, key, args, module, vm) {
             Ok(fid) => {
                 let cf = module.func(fid).clone();
                 let gid = {
@@ -822,12 +887,22 @@ impl ThreadRuntime {
                 let clock_idx = match &entry.evict {
                     Some(ev) => {
                         let (ci, evicted) = ev.admit(key, &self.shared.cache);
-                        if evicted.is_some() {
+                        if let Some(old) = evicted {
                             self.stats.cache_evictions += 1;
                             self.shared
                                 .stats
                                 .cache_evictions
                                 .fetch_add(1, Ordering::Relaxed);
+                            if self.trace.is_on() {
+                                self.trace.rec(
+                                    EventKind::CacheEvict,
+                                    key[0] as u32,
+                                    dyc_obs::key_hash(&old[1..]),
+                                    vm.stats.total_cycles(),
+                                    u64::from(ci),
+                                    0,
+                                );
+                            }
                         }
                         ci
                     }
@@ -893,7 +968,19 @@ impl ThreadRuntime {
                         .stats
                         .single_flight_waits
                         .fetch_add(1, Ordering::Relaxed);
-                    match fl.wait() {
+                    let t0 = self.trace.is_on().then(now_ns);
+                    let res = fl.wait();
+                    if let Some(t0) = t0 {
+                        self.trace.rec(
+                            EventKind::FlightWait,
+                            key[0] as u32,
+                            dyc_obs::key_hash(&key[1..]),
+                            vm.stats.total_cycles(),
+                            now_ns().saturating_sub(t0),
+                            0,
+                        );
+                    }
+                    match res {
                         Ok(gid) => Ok(MissResult::Spec(gid)),
                         Err(m) => Err(VmError::Dispatch(m)),
                     }
@@ -904,6 +991,16 @@ impl ThreadRuntime {
                         .stats
                         .single_flight_fallbacks
                         .fetch_add(1, Ordering::Relaxed);
+                    if self.trace.is_on() {
+                        self.trace.rec(
+                            EventKind::FlightFallback,
+                            key[0] as u32,
+                            dyc_obs::key_hash(&key[1..]),
+                            vm.stats.total_cycles(),
+                            0,
+                            0,
+                        );
+                    }
                     Ok(MissResult::Generic(self.shared.generic_continuation(entry)))
                 }
             },
@@ -945,16 +1042,18 @@ impl DispatchHandler for ThreadRuntime {
         // Hit path: one shard read-lock, metered per policy with the same
         // cost constants as the single-threaded dispatcher.
         let probed = self.shared.cache.get(&key);
-        match site.policy {
+        let cost = match site.policy {
             SitePolicy::CacheOneUnchecked => {
                 let c = self.shared.costs.dispatch_unchecked;
                 self.charge_dispatch(vm, c);
                 self.stats.dispatch_unchecked += 1;
+                c
             }
             SitePolicy::CacheIndexed => {
                 let c = self.shared.costs.dispatch_indexed;
                 self.charge_dispatch(vm, c);
                 self.stats.dispatch_indexed += 1;
+                c
             }
             SitePolicy::CacheAll | SitePolicy::CacheAllBounded(_) => {
                 let c = self
@@ -964,27 +1063,63 @@ impl DispatchHandler for ThreadRuntime {
                 self.charge_dispatch(vm, c);
                 self.stats.dispatch_hashed += 1;
                 self.stats.dispatch_probes += u64::from(probed.probes);
+                c
             }
-        }
+        };
+
+        // Trace tags: events record into the preallocated per-thread ring,
+        // so the warm path stays allocation-free even while tracing.
+        let trace_on = self.trace.is_on();
+        let kh = if trace_on {
+            dyc_obs::key_hash(&key[1..])
+        } else {
+            0
+        };
+        let hashed = matches!(
+            site.policy,
+            SitePolicy::CacheAll | SitePolicy::CacheAllBounded(_)
+        );
+        let probes = if hashed { u64::from(probed.probes) } else { 0 };
 
         let gid = match probed.value {
             Some(v) => {
                 if let Some(ev) = &entry.evict {
                     ev.touch(v.clock_idx);
                 }
+                if trace_on {
+                    let kind = match site.policy {
+                        SitePolicy::CacheOneUnchecked => EventKind::DispatchUnchecked,
+                        SitePolicy::CacheIndexed => EventKind::DispatchIndexed,
+                        _ => EventKind::DispatchHit,
+                    };
+                    self.trace
+                        .rec(kind, point, kh, vm.stats.total_cycles(), cost, probes);
+                }
                 v.gid
             }
-            None => match self.miss(&entry, &key, args, module, vm)? {
-                MissResult::Spec(gid) => gid,
-                MissResult::Generic(gid) => {
-                    // The generic continuation takes every dispatch
-                    // argument (nothing is baked in but the base store).
-                    let fid = self.materialize(gid, module, vm);
-                    self.scratch_key = key;
-                    out_args.extend_from_slice(args);
-                    return Ok(DispatchOutcome::Invoke { func: fid });
+            None => {
+                if trace_on {
+                    self.trace.rec(
+                        EventKind::DispatchMiss,
+                        point,
+                        kh,
+                        vm.stats.total_cycles(),
+                        cost,
+                        probes,
+                    );
                 }
-            },
+                match self.miss(&entry, &key, args, module, vm)? {
+                    MissResult::Spec(gid) => gid,
+                    MissResult::Generic(gid) => {
+                        // The generic continuation takes every dispatch
+                        // argument (nothing is baked in but the base store).
+                        let fid = self.materialize(gid, module, vm);
+                        self.scratch_key = key;
+                        out_args.extend_from_slice(args);
+                        return Ok(DispatchOutcome::Invoke { func: fid });
+                    }
+                }
+            }
         };
 
         let fid = self.materialize(gid, module, vm);

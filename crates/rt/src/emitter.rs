@@ -1094,6 +1094,10 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
     /// instructions pay `emit_instr`; template-copied instructions pay
     /// `template_copy` plus `hole_patch` per patched hole, which is what
     /// makes copy-and-patch the cheaper path per generated instruction.
+    ///
+    /// Returns `(template_instrs, holes_patched)` for this unit — the
+    /// post-sweep template contribution, which the tracing layer records
+    /// so event sums reconcile exactly with the `RtStats` totals.
     pub(crate) fn seal_unit(
         &mut self,
         id: u32,
@@ -1101,11 +1105,12 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
         live_regs: RegSet,
         costs: &DynCosts,
         stats: &mut RtStats,
-    ) {
+    ) -> (u64, u64) {
         self.exec_cycles += costs.dae_check * buf.len() as u64;
         let kept = self.dae_sweep(buf, live_regs, stats);
         let label = self.code.len() as u32;
         self.labels[id as usize] = label;
+        let (mut tmpl, mut holes) = (0u64, 0u64);
         for e in kept {
             if let Some(fk) = e.fixup {
                 self.fixups.push((self.code.len(), fk));
@@ -1118,10 +1123,13 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
                 stats.hole_patch_cycles += patch;
                 stats.template_instrs += 1;
                 stats.holes_patched += u64::from(e.patches);
+                tmpl += 1;
+                holes += u64::from(e.patches);
             } else {
                 self.emit_cycles += costs.emit_instr;
             }
         }
+        (tmpl, holes)
     }
 
     /// Patch every recorded branch target once all units are emitted.

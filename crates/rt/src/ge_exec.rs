@@ -33,6 +33,7 @@ use crate::emitter::{mov_const, opnd_value, Emitted, Emitter, Opnd, RegSet};
 use crate::runtime::{Site, Store};
 use crate::stats::RtStats;
 use dyc_ir::{BlockId, VReg};
+use dyc_obs::{EventKind, Trace};
 use dyc_stage::{
     ibin_special_case, AbsAlias, EdgePlan, GeDivision, GeFunc, GeOp, GeTerm, Guard, PatchOp, Slot,
     StagedProgram, Template,
@@ -67,6 +68,8 @@ pub(crate) struct SpecEnv<'a> {
     pub budget: u64,
     /// Statistics sink (thread-local in the concurrent runtime).
     pub stats: &'a mut RtStats,
+    /// Event sink (a no-op unless the owning runtime enabled tracing).
+    pub trace: &'a mut Trace,
 }
 
 impl SpecEnv<'_> {
@@ -130,6 +133,10 @@ pub struct GeExecutor {
     em: Emitter<GeKey>,
     worklist: Vec<(u32, Store)>,
     budget: u64,
+    /// The dispatch point being specialized (tags trace events).
+    point: u32,
+    /// Hash of the entry store's value vector (tags trace events).
+    key_hash: u64,
     /// Division of each interned unit id (parallel to the emitter's
     /// label table).
     unit_division: Vec<u32>,
@@ -145,9 +152,11 @@ impl GeExecutor {
     /// GE program from `division`. New internal promotion sites are
     /// registered through `host`; everything read or metered comes from
     /// `env`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run(
         env: &mut SpecEnv<'_>,
         host: &mut dyn SpecHost,
+        point: u32,
         site: &Site,
         store: Store,
         division: u32,
@@ -159,11 +168,19 @@ impl GeExecutor {
             .expect("site carries a division only for staged functions")
             .clone();
         let fname = env.staged.ir.funcs[site.func].name.clone();
+        let key_hash = if env.trace.is_on() {
+            let vals: Vec<u64> = store.values().map(|v| v.key_bits()).collect();
+            dyc_obs::key_hash(&vals)
+        } else {
+            0
+        };
         let mut ex = GeExecutor {
             fidx: site.func,
             em: Emitter::new(env.staged.cfg, gef.float_vreg.clone()),
             worklist: Vec::new(),
             budget: env.budget,
+            point,
+            key_hash,
             unit_division: Vec::new(),
             header_units: HashMap::new(),
             unit_edges: Vec::new(),
@@ -217,6 +234,12 @@ impl GeExecutor {
         let mut cf = dyc_vm::CodeFunc::new(name, dyn_params.len(), ex.em.next_reg.max(1) as usize);
         cf.code = ex.em.code;
         Ok(module.add_func(cf))
+    }
+
+    /// Record a seal-time event tagged with this specialization's point
+    /// and key hash.
+    fn trace_rec(&self, env: &mut SpecEnv<'_>, kind: EventKind, cycle: u64, a: u64) {
+        env.trace.rec(kind, self.point, self.key_hash, cycle, a, 0);
     }
 
     /// Intern the unit `(division, store values)`, recording the id's
@@ -363,7 +386,7 @@ impl GeExecutor {
             );
             let base_store: Store = p.carried.iter().map(|v| (*v, store[v])).collect();
             env.stats.internal_promotions += 1;
-            let site_id = host.add_site(Site {
+            let new_site = host.add_site(Site {
                 func: self.fidx,
                 block: d.block,
                 inst_idx: p.at,
@@ -376,6 +399,14 @@ impl GeExecutor {
                 dyn_pos: Vec::new(),
             });
             self.em.exec_cycles += costs.new_site;
+            env.trace.rec(
+                EventKind::Promotion,
+                self.point,
+                self.key_hash,
+                vm.stats.total_cycles(),
+                u64::from(new_site),
+                0,
+            );
             let args: Vec<Reg> = p.args.iter().map(|v| self.em.reg_of(*v)).collect();
             for r in &args {
                 live_regs.insert(*r);
@@ -383,7 +414,7 @@ impl GeExecutor {
             let dst = self.gef.ret_has_value.then(|| self.em.fresh_reg());
             buf.push(Emitted {
                 ins: Instr::Dispatch {
-                    point: site_id,
+                    point: new_site,
                     dst,
                     args,
                 },
@@ -566,7 +597,14 @@ impl GeExecutor {
             }
         }
 
-        self.em.seal_unit(id, buf, live_regs, &costs, env.stats);
+        let (tmpl, holes) = self.em.seal_unit(id, buf, live_regs, &costs, env.stats);
+        if tmpl > 0 {
+            let cyc = vm.stats.total_cycles();
+            self.trace_rec(env, EventKind::TemplateCopy, cyc, tmpl);
+            if holes > 0 {
+                self.trace_rec(env, EventKind::HolePatch, cyc, holes);
+            }
+        }
         Ok(chain)
     }
 

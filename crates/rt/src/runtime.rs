@@ -13,6 +13,7 @@ use crate::ge_exec::{GeExecutor, SpecEnv, SpecHost};
 use crate::specializer::Specializer;
 use crate::stats::RtStats;
 use dyc_ir::{BlockId, VReg};
+use dyc_obs::{EventKind, Trace};
 use dyc_stage::{SitePolicy, StagedProgram};
 use dyc_vm::{DispatchHandler, DispatchOutcome, FuncId, Module, Value, Vm, VmError};
 use std::collections::BTreeMap;
@@ -146,6 +147,10 @@ pub struct Runtime {
     pub costs: DynCosts,
     /// Run-time statistics (Table 2/3 instrumentation).
     pub stats: RtStats,
+    /// Event recorder, enabled by `OptConfig::trace` (off by default).
+    /// Purely observational: recording never touches [`RtStats`], the
+    /// emitted code, or results.
+    pub trace: Trace,
     sites: Vec<Site>,
     caches: Vec<CacheState>,
     /// Reusable cache-key buffer: hashed dispatches build their key here
@@ -180,10 +185,16 @@ impl Runtime {
             sites.push(site);
             caches.push(CacheState::for_policy(e.policy));
         }
+        let trace = if staged.cfg.trace {
+            Trace::on(0)
+        } else {
+            Trace::off()
+        };
         Runtime {
             staged,
             costs: DynCosts::calibrated(),
             stats: RtStats::new(),
+            trace,
             sites,
             caches,
             scratch_key: Vec::new(),
@@ -220,6 +231,8 @@ impl Runtime {
     /// [`DoubleHashCache::clear`]'s explicit-reset contract.
     pub fn invalidate_site(&mut self, point: u32) {
         self.stats.cache_invalidations += 1;
+        self.trace
+            .rec(EventKind::CacheInvalidate, point, 0, 0, 0, 0);
         match &mut self.caches[point as usize] {
             CacheState::All(c) => c.clear(),
             CacheState::One(f) => *f = None,
@@ -283,6 +296,21 @@ impl Runtime {
             store.insert(*v, *val);
         }
         self.stats.specializations += 1;
+        let key_hash = if self.trace.is_on() {
+            let kb: Vec<u64> = key_vals.iter().map(|v| v.key_bits()).collect();
+            dyc_obs::key_hash(&kb)
+        } else {
+            0
+        };
+        let (dyn0, instr0) = (self.stats.dyncomp_cycles, self.stats.instrs_generated);
+        self.trace.rec(
+            EventKind::GeExecBegin,
+            point,
+            key_hash,
+            vm.stats.total_cycles(),
+            0,
+            0,
+        );
         // True staging: sites with a precompiled entry division run the
         // flat GE program; everything else falls back to the online
         // specializer. Both paths emit byte-identical code.
@@ -296,12 +324,13 @@ impl Runtime {
                     costs: self.costs,
                     budget: self.spec_budget,
                     stats: &mut self.stats,
+                    trace: &mut self.trace,
                 };
                 let mut host = VecSiteHost {
                     sites: &mut self.sites,
                     caches: &mut self.caches,
                 };
-                GeExecutor::run(&mut env, &mut host, &site, store, d, module, vm)?
+                GeExecutor::run(&mut env, &mut host, point, &site, store, d, module, vm)?
             }
             None => Specializer::run(self, &site, store, module, vm)?,
         };
@@ -309,6 +338,14 @@ impl Runtime {
         vm.flush_icache();
         let install = self.costs.install;
         self.charge(vm, install);
+        self.trace.rec(
+            EventKind::GeExecEnd,
+            point,
+            key_hash,
+            vm.stats.total_cycles(),
+            self.stats.dyncomp_cycles - dyn0,
+            self.stats.instrs_generated - instr0,
+        );
         Ok(func)
     }
 
@@ -358,6 +395,7 @@ impl DispatchHandler for Runtime {
             )));
         }
         let policy = site.policy;
+        let trace_on = self.trace.is_on();
 
         let func = match policy {
             SitePolicy::CacheOneUnchecked => {
@@ -368,10 +406,31 @@ impl DispatchHandler for Runtime {
                     CacheState::One(f) => *f,
                     _ => unreachable!("policy/cache mismatch"),
                 };
+                // Unchecked dispatch never builds a key; events carry the
+                // empty key's hash (the FNV offset basis).
+                let kh = dyc_obs::key_hash(&[]);
                 match cached {
-                    Some(f) => f,
+                    Some(f) => {
+                        self.trace.rec(
+                            EventKind::DispatchUnchecked,
+                            point,
+                            kh,
+                            vm.stats.total_cycles(),
+                            unchecked,
+                            0,
+                        );
+                        f
+                    }
                     None => {
                         vm.stats.dispatch_misses += 1;
+                        self.trace.rec(
+                            EventKind::DispatchMiss,
+                            point,
+                            kh,
+                            vm.stats.total_cycles(),
+                            unchecked,
+                            0,
+                        );
                         let f = self.miss(point, args, module, vm)?;
                         self.caches[point as usize] = CacheState::One(Some(f));
                         f
@@ -393,10 +452,33 @@ impl DispatchHandler for Runtime {
                         CacheState::Indexed { slots, .. } => slots[idx],
                         _ => unreachable!("policy/cache mismatch"),
                     };
+                    let kh = if trace_on {
+                        dyc_obs::key_hash(&[kv.key_bits()])
+                    } else {
+                        0
+                    };
                     match cached {
-                        Some(f) => f,
+                        Some(f) => {
+                            self.trace.rec(
+                                EventKind::DispatchIndexed,
+                                point,
+                                kh,
+                                vm.stats.total_cycles(),
+                                cost,
+                                0,
+                            );
+                            f
+                        }
                         None => {
                             vm.stats.dispatch_misses += 1;
+                            self.trace.rec(
+                                EventKind::DispatchMiss,
+                                point,
+                                kh,
+                                vm.stats.total_cycles(),
+                                cost,
+                                0,
+                            );
                             let f = self.miss(point, args, module, vm)?;
                             match &mut self.caches[point as usize] {
                                 CacheState::Indexed { slots, .. } => slots[idx] = Some(f),
@@ -422,11 +504,30 @@ impl DispatchHandler for Runtime {
                     let cost = self.costs.hashed_dispatch(1, probes);
                     self.charge_dispatch(vm, cost);
                     self.stats.dispatch_hashed += 1;
+                    let kh = if trace_on { dyc_obs::key_hash(&kb) } else { 0 };
                     match entry {
-                        CacheEntry::Hit { value, .. } => value,
+                        CacheEntry::Hit { value, .. } => {
+                            self.trace.rec(
+                                EventKind::DispatchHit,
+                                point,
+                                kh,
+                                vm.stats.total_cycles(),
+                                cost,
+                                u64::from(probes),
+                            );
+                            value
+                        }
                         CacheEntry::Vacant { slot, .. } => {
                             vm.stats.dispatch_misses += 1;
                             self.stats.dispatch_allocs += 1;
+                            self.trace.rec(
+                                EventKind::DispatchMiss,
+                                point,
+                                kh,
+                                vm.stats.total_cycles(),
+                                cost,
+                                u64::from(probes),
+                            );
                             let f = self.miss(point, args, module, vm)?;
                             match &mut self.caches[point as usize] {
                                 CacheState::Indexed { overflow, .. } => {
@@ -462,11 +563,30 @@ impl DispatchHandler for Runtime {
                 self.charge_dispatch(vm, cost);
                 self.stats.dispatch_hashed += 1;
                 self.stats.dispatch_probes += u64::from(probes);
+                let kh = if trace_on { dyc_obs::key_hash(&key) } else { 0 };
                 let func = match entry {
-                    CacheEntry::Hit { value, .. } => value,
+                    CacheEntry::Hit { value, .. } => {
+                        self.trace.rec(
+                            EventKind::DispatchHit,
+                            point,
+                            kh,
+                            vm.stats.total_cycles(),
+                            cost,
+                            u64::from(probes),
+                        );
+                        value
+                    }
                     CacheEntry::Vacant { slot, .. } => {
                         vm.stats.dispatch_misses += 1;
                         self.stats.dispatch_allocs += 1;
+                        self.trace.rec(
+                            EventKind::DispatchMiss,
+                            point,
+                            kh,
+                            vm.stats.total_cycles(),
+                            cost,
+                            u64::from(probes),
+                        );
                         let f = self.miss(point, args, module, vm)?;
                         match &mut self.caches[point as usize] {
                             CacheState::All(c) => c.fill(slot, key.clone(), f),
@@ -501,6 +621,7 @@ impl DispatchHandler for Runtime {
                 self.charge_dispatch(vm, cost);
                 self.stats.dispatch_hashed += 1;
                 self.stats.dispatch_probes += u64::from(probes);
+                let kh = if trace_on { dyc_obs::key_hash(&key) } else { 0 };
                 let func = match entry {
                     CacheEntry::Hit {
                         value: (f, idx), ..
@@ -510,12 +631,32 @@ impl DispatchHandler for Runtime {
                             CacheState::Bounded { clock, .. } => clock[idx as usize].1 = true,
                             _ => unreachable!(),
                         }
+                        self.trace.rec(
+                            EventKind::DispatchHit,
+                            point,
+                            kh,
+                            vm.stats.total_cycles(),
+                            cost,
+                            u64::from(probes),
+                        );
                         f
                     }
                     CacheEntry::Vacant { slot, .. } => {
                         vm.stats.dispatch_misses += 1;
                         self.stats.dispatch_allocs += 1;
+                        self.trace.rec(
+                            EventKind::DispatchMiss,
+                            point,
+                            kh,
+                            vm.stats.total_cycles(),
+                            cost,
+                            u64::from(probes),
+                        );
                         let f = self.miss(point, args, module, vm)?;
+                        // `(evicted key hash, victim slot)` when the fill
+                        // displaced a resident entry, recorded after the
+                        // cache borrow ends.
+                        let mut evicted: Option<(u64, u32)> = None;
                         match &mut self.caches[point as usize] {
                             CacheState::Bounded {
                                 cache,
@@ -542,6 +683,12 @@ impl DispatchHandler for Runtime {
                                     };
                                     *hand = (victim + 1) % *cap;
                                     cache.remove(&clock[victim].0);
+                                    if trace_on {
+                                        evicted = Some((
+                                            dyc_obs::key_hash(&clock[victim].0),
+                                            victim as u32,
+                                        ));
+                                    }
                                     clock[victim] = (key.clone(), true);
                                     self.stats.cache_evictions += 1;
                                     victim as u32
@@ -549,6 +696,16 @@ impl DispatchHandler for Runtime {
                                 cache.fill(slot, key.clone(), (f, idx));
                             }
                             _ => unreachable!(),
+                        }
+                        if let Some((ek, slot_idx)) = evicted {
+                            self.trace.rec(
+                                EventKind::CacheEvict,
+                                point,
+                                ek,
+                                vm.stats.total_cycles(),
+                                u64::from(slot_idx),
+                                0,
+                            );
                         }
                         f
                     }

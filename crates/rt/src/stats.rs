@@ -93,10 +93,79 @@ pub struct RtStats {
     pub single_flight_fallbacks: u64,
 }
 
+/// Every `u64` counter field of [`RtStats`], listed once. `delta` and
+/// `counters` both expand through this list, so a field added to the
+/// struct but not here breaks the size-accounting test below.
+macro_rules! counter_fields {
+    ($with:ident) => {
+        $with!(
+            specializations,
+            units_emitted,
+            instrs_generated,
+            static_ops,
+            static_loads,
+            static_calls,
+            branches_folded,
+            zero_copy_folds,
+            dae_removed,
+            strength_reductions,
+            internal_promotions,
+            loops_unrolled,
+            divisions_observed,
+            dispatch_unchecked,
+            dispatch_hashed,
+            dispatch_indexed,
+            dispatch_probes,
+            dyncomp_cycles,
+            dispatch_cycles,
+            runtime_bta_calls,
+            ge_exec_cycles,
+            emit_cycles,
+            template_instrs,
+            holes_patched,
+            template_copy_cycles,
+            hole_patch_cycles,
+            template_fallbacks,
+            dispatch_allocs,
+            cache_evictions,
+            cache_invalidations,
+            single_flight_waits,
+            single_flight_fallbacks
+        )
+    };
+}
+
 impl RtStats {
     /// Fresh counters.
     pub fn new() -> RtStats {
         RtStats::default()
+    }
+
+    /// Counter-wise difference `self - baseline` (saturating), for
+    /// measuring what one phase of a run contributed: snapshot, run the
+    /// phase, `after.delta(&snapshot)`. The `multi_way_unroll` flag is
+    /// set only if it became true during the phase.
+    pub fn delta(&self, baseline: &RtStats) -> RtStats {
+        macro_rules! sub_each {
+            ($($f:ident),*) => {
+                RtStats {
+                    $($f: self.$f.saturating_sub(baseline.$f),)*
+                    multi_way_unroll: self.multi_way_unroll && !baseline.multi_way_unroll,
+                }
+            };
+        }
+        counter_fields!(sub_each)
+    }
+
+    /// Every counter as a `(name, value)` pair, in declaration order —
+    /// the export surface for `dycstat`'s Prometheus exposition.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        macro_rules! list_each {
+            ($($f:ident),*) => {
+                vec![$((stringify!($f), self.$f),)*]
+            };
+        }
+        counter_fields!(list_each)
     }
 
     /// Dynamic-compilation overhead per generated instruction — Table 3's
@@ -126,6 +195,52 @@ impl RtStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let mut before = RtStats::new();
+        before.specializations = 3;
+        before.dyncomp_cycles = 1000;
+        before.dispatch_probes = 7;
+        let mut after = before.clone();
+        after.specializations = 5;
+        after.dyncomp_cycles = 1800;
+        after.dispatch_probes = 7;
+        after.multi_way_unroll = true;
+        let d = after.delta(&before);
+        assert_eq!(d.specializations, 2);
+        assert_eq!(d.dyncomp_cycles, 800);
+        assert_eq!(d.dispatch_probes, 0);
+        assert!(d.multi_way_unroll);
+        // Identical snapshots difference to all-zero.
+        assert_eq!(after.delta(&after), RtStats::new());
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_underflowing() {
+        let mut a = RtStats::new();
+        a.cache_evictions = 2;
+        let mut b = RtStats::new();
+        b.cache_evictions = 5;
+        assert_eq!(a.delta(&b).cache_evictions, 0);
+    }
+
+    #[test]
+    fn counters_cover_every_u64_field() {
+        let s = RtStats::new();
+        let counters = s.counters();
+        // 32 u64 counters + the one bool (padded to 8 bytes) accounts
+        // for the whole struct; a counter field missing from the macro
+        // breaks this equation.
+        assert_eq!(
+            std::mem::size_of::<RtStats>(),
+            (counters.len() + 1) * std::mem::size_of::<u64>()
+        );
+        let mut names: Vec<_> = counters.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), counters.len(), "duplicate counter names");
+    }
 
     #[test]
     fn overhead_per_instr_handles_zero() {

@@ -121,11 +121,12 @@ fn all_workloads_threads_match_single_threaded_oracle() {
                     // Steady state: every specialization is cached by
                     // now, so further invocations must not allocate in
                     // dispatch.
-                    let allocs = sess.rt_stats().unwrap().dispatch_allocs;
+                    let warm_base = sess.rt_stats().unwrap().clone();
                     run_invocations(wl, &mut sess, &args, 2);
+                    let warm = sess.rt_stats().unwrap().delta(&warm_base);
                     assert_eq!(
-                        sess.rt_stats().unwrap().dispatch_allocs,
-                        allocs,
+                        warm.dispatch_allocs,
+                        0,
                         "{}: warm dispatch allocated",
                         wl.meta().name
                     );
@@ -182,6 +183,86 @@ fn all_workloads_threads_match_single_threaded_oracle() {
 fn reps_independent_site_count(sess: &mut Session, w: &dyn Workload, reps: usize) -> usize {
     run_sequence(w, sess, reps);
     sess.runtime().map(|rt| rt.n_sites()).unwrap_or(0)
+}
+
+#[test]
+fn traced_threads_match_untraced_oracle_and_stay_allocation_free() {
+    // Tracing is observational: with per-thread recorders on, every
+    // thread must produce the same results and the same cached code
+    // bytes as the untraced single-threaded oracle, keep the warm
+    // dispatch path allocation-free, and actually record events.
+    for w in all() {
+        let meta = w.meta();
+        let program = Compiler::new()
+            .compile(&w.source())
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", meta.name));
+        let reps = n_reps();
+
+        let mut oracle = program.dynamic_session();
+        let oracle_results = run_sequence(w.as_ref(), &mut oracle, reps);
+        let oracle_specs = oracle.rt_stats().unwrap().specializations;
+        let oracle_code = normalize(oracle.cached_code());
+
+        let shared = program.shared_runtime_with(SharedOptions {
+            trace: true,
+            ..SharedOptions::default()
+        });
+        let threads = n_threads();
+        let w = Arc::new(w);
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let w = Arc::clone(&w);
+                let shared = Arc::clone(&shared);
+                let sess = program.threaded_session(&shared);
+                std::thread::spawn(move || {
+                    let mut sess = sess;
+                    let wl = w.as_ref().as_ref();
+                    let args = wl.setup_region(&mut sess);
+                    sess.set_step_limit(200_000_000);
+                    let results = run_invocations(wl, &mut sess, &args, reps);
+                    let warm_base = sess.rt_stats().unwrap().clone();
+                    run_invocations(wl, &mut sess, &args, 2);
+                    let warm = sess.rt_stats().unwrap().delta(&warm_base);
+                    assert_eq!(
+                        warm.dispatch_allocs,
+                        0,
+                        "{}: traced warm dispatch allocated",
+                        wl.meta().name
+                    );
+                    (results, sess.cached_code(), sess.trace_events())
+                })
+            })
+            .collect();
+
+        for h in handles {
+            let (results, snapshot, events) = h.join().unwrap();
+            assert_eq!(
+                results, oracle_results,
+                "{}: traced results diverge from oracle",
+                meta.name
+            );
+            assert_eq!(
+                normalize(snapshot),
+                oracle_code,
+                "{}: traced cache diverges from oracle cache",
+                meta.name
+            );
+            // Every thread dispatched, so every thread recorded.
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.kind.category() == dyc::obs::Category::Dispatch),
+                "{}: traced thread recorded no dispatch events",
+                meta.name
+            );
+        }
+        assert_eq!(
+            shared.stats().specializations,
+            oracle_specs,
+            "{}: tracing changed the specialization count",
+            meta.name
+        );
+    }
 }
 
 #[test]

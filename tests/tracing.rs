@@ -1,0 +1,150 @@
+//! Tracing is free of observer effects: enabling the per-thread event
+//! recorder must not change results, printed output, cached code bytes,
+//! or a single [`dyc::RtStats`] counter — and the warm dispatch path
+//! must stay allocation-free while recording.
+
+use dyc::obs::{Category, EventKind};
+use dyc::{CodeFunc, Compiler, OptConfig, Value};
+use dyc_workloads::all;
+
+fn traced_config() -> OptConfig {
+    let mut cfg = OptConfig::all();
+    cfg.trace = true;
+    cfg
+}
+
+/// Strip module-local naming/address detail so code bodies compare
+/// byte-for-byte across sessions.
+fn normalize(mut entries: Vec<(u32, Vec<u64>, CodeFunc)>) -> Vec<(u32, Vec<u64>, String)> {
+    entries.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    entries
+        .into_iter()
+        .map(|(s, k, f)| {
+            (
+                s,
+                k,
+                format!("params={} regs={} code={:?}", f.n_params, f.n_regs, f.code),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn tracing_changes_nothing_observable_on_all_workloads() {
+    for w in all() {
+        let meta = w.meta();
+        let src = w.source();
+        let plain = Compiler::new().compile(&src).unwrap();
+        let traced = Compiler::with_config(traced_config())
+            .compile(&src)
+            .unwrap();
+
+        let mut off = plain.dynamic_session();
+        let mut on = traced.dynamic_session();
+        let (args_off, args_on) = (w.setup_region(&mut off), w.setup_region(&mut on));
+        assert_eq!(args_off, args_on, "{}: deterministic setup", meta.name);
+        off.set_step_limit(200_000_000);
+        on.set_step_limit(200_000_000);
+
+        for rep in 0..4 {
+            let a = off.run(meta.region_func, &args_off).unwrap();
+            let b = on.run(meta.region_func, &args_on).unwrap();
+            assert_eq!(a, b, "{} rep {rep}: traced result diverged", meta.name);
+            w.reset(&mut off, &args_off);
+            w.reset(&mut on, &args_on);
+        }
+
+        assert_eq!(off.take_output(), on.take_output(), "{}: output", meta.name);
+        assert_eq!(
+            off.rt_stats(),
+            on.rt_stats(),
+            "{}: tracing perturbed RtStats",
+            meta.name
+        );
+        assert_eq!(
+            normalize(off.cached_code()),
+            normalize(on.cached_code()),
+            "{}: tracing changed emitted code bytes",
+            meta.name
+        );
+        assert!(
+            off.trace_events().is_empty(),
+            "{}: untraced session recorded events",
+            meta.name
+        );
+        assert!(
+            !on.trace_events().is_empty(),
+            "{}: traced session recorded nothing",
+            meta.name
+        );
+    }
+}
+
+#[test]
+fn traced_session_records_the_staged_pipeline() {
+    const SRC: &str = r#"
+        int power(int base, int exp) {
+            make_static(exp);
+            int r = 1;
+            while (exp > 0) { r = r * base; exp = exp - 1; }
+            return r;
+        }
+    "#;
+    let p = Compiler::with_config(traced_config()).compile(SRC).unwrap();
+    let mut d = p.dynamic_session();
+    d.run("power", &[Value::I(3), Value::I(4)]).unwrap();
+    d.run("power", &[Value::I(5), Value::I(4)]).unwrap(); // hit
+    d.run("power", &[Value::I(5), Value::I(6)]).unwrap(); // miss
+
+    let events = d.trace_events();
+    let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+    assert_eq!(count(EventKind::DispatchMiss), 2);
+    assert_eq!(count(EventKind::GeExecBegin), 2);
+    assert_eq!(count(EventKind::GeExecEnd), 2);
+    assert!(count(EventKind::DispatchHit) + count(EventKind::DispatchUnchecked) >= 1);
+
+    // Begin/end pair up and carry the dyncomp cycles actually charged.
+    let spent: u64 = events
+        .iter()
+        .filter(|e| e.kind == EventKind::GeExecEnd)
+        .map(|e| e.a)
+        .sum();
+    assert_eq!(spent, d.rt_stats().unwrap().dyncomp_cycles);
+
+    // Per-site aggregation sees the same story.
+    let profiles = dyc::obs::site_profiles(&events);
+    assert_eq!(profiles.len(), 1);
+    let prof = &profiles[0];
+    assert_eq!(prof.specializations, 2);
+    assert_eq!(prof.misses, 2);
+    assert!(prof.break_even(10.0).is_some());
+}
+
+#[test]
+fn warm_traced_dispatch_does_not_allocate() {
+    const SRC: &str = r#"
+        int scale(int x, int k) {
+            make_static(k);
+            return x * k;
+        }
+    "#;
+    let p = Compiler::with_config(traced_config()).compile(SRC).unwrap();
+    let mut d = p.dynamic_session();
+    for x in 0..4 {
+        d.run("scale", &[Value::I(x), Value::I(9)]).unwrap();
+    }
+    let before = d.rt_stats().unwrap().clone();
+    let events_before = d.trace_events().len();
+    for x in 0..64 {
+        d.run("scale", &[Value::I(x), Value::I(9)]).unwrap();
+    }
+    let warm = d.rt_stats().unwrap().delta(&before);
+    assert_eq!(warm.dispatch_allocs, 0, "traced warm dispatch allocated");
+    assert_eq!(warm.specializations, 0, "warm phase must be all hits");
+    // Recording kept happening the whole time, into the fixed ring.
+    assert!(d.trace_events().len() > events_before);
+    assert!(d
+        .trace_events()
+        .iter()
+        .any(|e| e.kind.category() == Category::Dispatch));
+}
