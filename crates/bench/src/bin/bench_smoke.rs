@@ -10,6 +10,9 @@
 //! plus the contention meters (single-flight waits, suppressed duplicate
 //! specializations, shard probe rates). A third section aggregates a
 //! traced run into per-site §4.2 break-even profiles (see `dycstat`).
+//! A fourth section prices the snapshot/warm-start path: the first
+//! region invocation cold (specializing) vs. warm-started from the cold
+//! session's cache bundle (every dispatch hits restored code).
 //! The JSON is hand-rolled: the numbers are all `u64`/`f64` and a
 //! serializer dependency would be the only reason to have one.
 //!
@@ -113,6 +116,51 @@ fn run_per_site(w: &dyn Workload, reps: u64) -> (Vec<dyc::obs::SiteProfile>, f64
         (static_cycles - dyn_cycles) as f64 * (reps + 1) as f64 / total_uses as f64
     };
     (profiles, saved)
+}
+
+/// Cold-vs-warm first-dispatch cost. Runs the region once cold
+/// (specializing), snapshots the session's cache bundle, warm-starts a
+/// fresh session from it, and prices both first invocations including
+/// dynamic-compilation cycles. Returns (cold cycles, warm cycles,
+/// entries restored).
+fn run_warm_start(w: &dyn Workload) -> (u64, u64, u64) {
+    let meta = w.meta();
+    let program = Compiler::new()
+        .compile(&w.source())
+        .unwrap_or_else(|e| panic!("{}: compile error: {e}", meta.name));
+
+    let first_invocation = |mut sess: dyc::Session| {
+        let args = w.setup_region(&mut sess);
+        sess.set_step_limit(200_000_000);
+        let (out, d) = sess.run_measured(meta.region_func, &args).unwrap();
+        assert!(
+            w.check_region(out, &mut sess),
+            "{}: wrong region result",
+            meta.name
+        );
+        (d.total_cycles(), sess)
+    };
+
+    let (cold_cycles, cold) = first_invocation(program.dynamic_session());
+    let bundle = cold.cache_bundle().expect("dynamic session");
+    let restored = cold.cached_code().len() as u64;
+
+    let warm = program
+        .warm_start_from_str(&bundle)
+        .unwrap_or_else(|e| panic!("{}: warm start failed: {e}", meta.name));
+    let (warm_cycles, warm) = first_invocation(warm);
+    let rt = warm.rt_stats().expect("dynamic session");
+    assert_eq!(
+        rt.cache_warm_loads, restored,
+        "{}: bundle restored partially",
+        meta.name
+    );
+    assert_eq!(
+        rt.specializations, 0,
+        "{}: warm first dispatch re-specialized",
+        meta.name
+    );
+    (cold_cycles, warm_cycles, restored)
 }
 
 fn main() {
@@ -262,6 +310,27 @@ fn main() {
         writeln!(
             json,
             "\n    }}{}",
+            if i + 1 == workloads.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    json.push_str("  },\n  \"warm_start\": {\n");
+
+    // Snapshot / warm-start: the cycles a warm start saves on the first
+    // region invocation by restoring serialized specializations instead
+    // of compiling them.
+    println!("\nwarm start (first region invocation, cycles):");
+    for (i, w) in workloads.iter().enumerate() {
+        let name = w.meta().name;
+        let (cold, warm, restored) = run_warm_start(w.as_ref());
+        println!(
+            "{name:<22} cold {cold:>9}  warm {warm:>9}  ({:.1}x, {restored} entries restored)",
+            cold as f64 / warm.max(1) as f64
+        );
+        writeln!(
+            json,
+            "    \"{name}\": {{ \"cold_first_cycles\": {cold}, \"warm_first_cycles\": {warm}, \
+             \"entries_restored\": {restored} }}{}",
             if i + 1 == workloads.len() { "" } else { "," }
         )
         .unwrap();

@@ -10,12 +10,19 @@
 //! dycstat run <workload> [--threads N] [--reps N] [--out trace.json]
 //!                        [--prom metrics.txt] [--require cat,cat,...]
 //! dycstat report <trace.json> [--require cat,cat,...]
+//! dycstat snapshot <workload> [--reps N] [--out bundle.json]
+//! dycstat warm <workload> <bundle.json> [--reps N]
 //! dycstat list
 //! ```
 //!
 //! `--require` exits nonzero unless the trace holds at least one event
 //! of every named category (`dispatch`, `flight`, `spec`, `template`,
 //! `cache`, `promote`) — CI's smoke check.
+//!
+//! `snapshot` runs a workload cold and serializes its code cache as an
+//! artifact bundle; `warm` restores the bundle into a fresh session and
+//! prices the first region invocation cold vs. warm — the cycles a
+//! warm start saves by skipping first-dispatch specialization.
 
 use dyc::obs::{
     chrome_trace, contention, merge, parse_chrome_trace, render_metrics, site_profiles, Category,
@@ -42,6 +49,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dycstat run <workload> [--threads N] [--reps N] [--out FILE] \
          [--prom FILE] [--require cat,...]\n  dycstat report <trace.json> [--require cat,...]\n  \
+         dycstat snapshot <workload> [--reps N] [--out FILE]\n  \
+         dycstat warm <workload> <bundle.json> [--reps N]\n  \
          dycstat list"
     );
     ExitCode::FAILURE
@@ -52,6 +61,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("warm") => cmd_warm(&args[1..]),
         Some("list") => {
             for w in all() {
                 let m = w.meta();
@@ -256,6 +267,114 @@ fn cmd_report(args: &[String]) -> ExitCode {
     };
     print_report(&trace.events, &run);
     check_required(&trace.events, &require)
+}
+
+/// Compile `name` with the normal configuration and run one cold region
+/// sequence: first invocation measured on its own (specialization cost
+/// included), then `reps` steady-state invocations. Returns the session
+/// plus (first-invocation total cycles, steady-state cycles/use).
+fn cold_region_run(
+    w: &dyn dyc_workloads::Workload,
+    mut sess: dyc::Session,
+    reps: u64,
+) -> (dyc::Session, u64, u64) {
+    let meta = w.meta();
+    let args = w.setup_region(&mut sess);
+    sess.set_step_limit(200_000_000);
+    let (out, first) = sess.run_measured(meta.region_func, &args).unwrap();
+    assert!(w.check_region(out, &mut sess), "wrong region result");
+    let mut steady = 0u64;
+    for _ in 0..reps {
+        w.reset(&mut sess, &args);
+        let (_, d) = sess.run_measured(meta.region_func, &args).unwrap();
+        steady += d.run_cycles();
+    }
+    (sess, first.total_cycles(), steady / reps.max(1))
+}
+
+fn cmd_snapshot(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    let Some(w) = by_name(name) else {
+        eprintln!("unknown workload '{name}' (try `dycstat list`)");
+        return ExitCode::FAILURE;
+    };
+    let reps: u64 = flag(args, "--reps").map_or(4, |v| v.parse().expect("--reps"));
+    let default_out = format!("{}.snapshot.json", name.replace(':', "-"));
+    let out = flag(args, "--out").unwrap_or(&default_out);
+
+    let program = Compiler::new().compile(&w.source()).expect("compiles");
+    let (sess, first, steady) = cold_region_run(w.as_ref(), program.dynamic_session(), reps);
+    let rt = sess.rt_stats().expect("dynamic session");
+    if let Err(e) = sess.snapshot_cache(out) {
+        eprintln!("snapshot failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "dycstat snapshot: {name} — {} specializations, {} cached entries",
+        rt.specializations,
+        sess.cached_code().len()
+    );
+    println!(
+        "cold first invocation : {first} cycles (incl. {} dyncomp)",
+        rt.dyncomp_cycles
+    );
+    println!("steady state          : {steady} cycles/use");
+    println!("wrote {out} ({bytes} bytes)");
+    ExitCode::SUCCESS
+}
+
+fn cmd_warm(args: &[String]) -> ExitCode {
+    let (Some(name), Some(bundle)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let Some(w) = by_name(name) else {
+        eprintln!("unknown workload '{name}' (try `dycstat list`)");
+        return ExitCode::FAILURE;
+    };
+    let reps: u64 = flag(args, "--reps").map_or(4, |v| v.parse().expect("--reps"));
+
+    let program = Compiler::new().compile(&w.source()).expect("compiles");
+    // Cold reference in-process, so the two first invocations are priced
+    // by the same cost model on the same build.
+    let (cold_sess, cold_first, cold_steady) =
+        cold_region_run(w.as_ref(), program.dynamic_session(), reps);
+    let warm_sess = match program.warm_start(bundle) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("warm start failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (loads, rejects) = {
+        let rt = warm_sess.rt_stats().expect("dynamic session");
+        (rt.cache_warm_loads, rt.cache_warm_rejects)
+    };
+    let (warm_sess, warm_first, warm_steady) = cold_region_run(w.as_ref(), warm_sess, reps);
+    let warm_rt = warm_sess.rt_stats().expect("dynamic session");
+    let cold_rt = cold_sess.rt_stats().expect("dynamic session");
+
+    println!("dycstat warm: {name} — restored {loads} entries, rejected {rejects}");
+    println!(
+        "first invocation : cold {cold_first} cycles ({} dyncomp)  warm {warm_first} cycles \
+         ({} dyncomp)  — {:.1}x",
+        cold_rt.dyncomp_cycles,
+        warm_rt.dyncomp_cycles,
+        cold_first as f64 / warm_first.max(1) as f64
+    );
+    println!("steady state     : cold {cold_steady} cycles/use  warm {warm_steady} cycles/use");
+    println!(
+        "warm run re-specialized {} key(s){}",
+        warm_rt.specializations,
+        if warm_rt.specializations == 0 {
+            " — every dispatch hit restored code"
+        } else {
+            " (stale or rejected entries re-specialize on first use)"
+        }
+    );
+    ExitCode::SUCCESS
 }
 
 fn check_required(events: &[Event], require: &[Category]) -> ExitCode {

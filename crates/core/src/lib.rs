@@ -47,7 +47,9 @@ pub mod session;
 
 pub use dyc_bta::OptConfig;
 pub use dyc_obs as obs;
-pub use dyc_rt::{MissPolicy, RtStats, SharedOptions, SharedRuntime};
+pub use dyc_rt::{
+    CacheBundle, CodeArtifact, MissPolicy, RtStats, SharedOptions, SharedRuntime, ARTIFACT_VERSION,
+};
 pub use dyc_vm::{CodeFunc, CostModel, ExecStats, Value, VmError};
 pub use error::CompileError;
 pub use program::{Compiler, Program};

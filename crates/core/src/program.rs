@@ -147,6 +147,59 @@ impl Program {
         let runtime = SharedRuntime::thread(shared);
         Session::new_threaded(module, Vm::new(self.cost.clone()), runtime)
     }
+
+    /// A fresh dynamic session *warm-started* from a snapshot bundle
+    /// string (see [`Session::cache_bundle`]): every verifiable cached
+    /// specialization is re-installed before the first dispatch, so
+    /// restored keys hit the cache instead of re-specializing.
+    ///
+    /// # Errors
+    ///
+    /// Only malformed JSON / a structurally invalid bundle is an error.
+    /// A parseable bundle with stale or corrupted fingerprints still
+    /// yields a working session — the bad entries are rejected
+    /// per-entry and metered in
+    /// [`RtStats::cache_warm_rejects`](dyc_rt::RtStats), and their keys
+    /// simply re-specialize on first use.
+    pub fn warm_start_from_str(&self, bundle: &str) -> Result<Session, String> {
+        let bundle = dyc_rt::CacheBundle::parse(bundle)?;
+        let mut module = self.staged.build_module();
+        let mut runtime = Runtime::new(self.staged.clone());
+        runtime.restore_bundle(&bundle, &mut module);
+        Ok(Session::new_dynamic(
+            module,
+            Vm::new(self.cost.clone()),
+            runtime,
+        ))
+    }
+
+    /// [`Program::warm_start_from_str`], reading the bundle from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors and malformed bundles.
+    pub fn warm_start(&self, path: impl AsRef<std::path::Path>) -> Result<Session, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("reading {}: {e}", path.as_ref().display()))?;
+        self.warm_start_from_str(&text)
+    }
+
+    /// A thread-shared concurrent runtime warm-started from a snapshot
+    /// bundle string: the bundle's entries are published into the
+    /// shared registry and cache before any thread dispatches.
+    /// Verification and metering mirror
+    /// [`Program::warm_start_from_str`], with the meters on
+    /// [`SharedRuntime::stats`].
+    ///
+    /// # Errors
+    ///
+    /// Only malformed JSON / a structurally invalid bundle is an error.
+    pub fn warm_shared_runtime(&self, bundle: &str) -> Result<Arc<SharedRuntime>, String> {
+        let bundle = dyc_rt::CacheBundle::parse(bundle)?;
+        let shared = Arc::new(SharedRuntime::new(self.staged.clone()));
+        shared.restore_bundle(&bundle);
+        Ok(shared)
+    }
 }
 
 #[cfg(test)]

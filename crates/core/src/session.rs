@@ -218,6 +218,33 @@ impl Session {
         }
     }
 
+    /// Serialize this dynamic session's entire code cache — every
+    /// cached specialization plus the internal promotion sites — as a
+    /// versioned, fingerprinted JSON bundle a future process can
+    /// [`crate::Program::warm_start`] from. `None` for static sessions
+    /// (they have no dynamic-code cache). For a threaded session the
+    /// bundle is the *shared* cache, identical from every thread.
+    pub fn cache_bundle(&self) -> Option<String> {
+        match &self.exec {
+            Exec::Static => None,
+            Exec::Single(rt) => Some(rt.snapshot_bundle(&self.module).to_json()),
+            Exec::Threaded(rt) => Some(rt.shared().snapshot_bundle().to_json()),
+        }
+    }
+
+    /// Write [`Session::cache_bundle`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for static sessions and on I/O errors.
+    pub fn snapshot_cache(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
+        let bundle = self
+            .cache_bundle()
+            .ok_or("static sessions have no dynamic-code cache to snapshot")?;
+        std::fs::write(path.as_ref(), bundle)
+            .map_err(|e| format!("writing {}: {e}", path.as_ref().display()))
+    }
+
     /// Names of dynamically generated functions.
     pub fn generated_functions(&self) -> Vec<String> {
         self.module
@@ -306,6 +333,115 @@ mod tests {
         assert!(d.stats().dyncomp_cycles > 0);
         assert!(d.stats().dispatch_cycles > 0);
         assert!(d.rt_stats().unwrap().instrs_generated > 0);
+    }
+
+    #[test]
+    fn snapshot_then_warm_start_skips_respecialization() {
+        let p = Compiler::new().compile(POWER).unwrap();
+        let mut d = p.dynamic_session();
+        let cases = [(3i64, 4i64), (2, 7), (5, 2)];
+        let mut want = Vec::new();
+        for (b, e) in cases {
+            want.push(d.run("power", &[Value::I(b), Value::I(e)]).unwrap());
+        }
+        assert_eq!(d.rt_stats().unwrap().specializations, 3);
+        let bundle = d.cache_bundle().unwrap();
+
+        let mut w = p.warm_start_from_str(&bundle).unwrap();
+        let rt = w.rt_stats().unwrap();
+        assert_eq!(rt.cache_warm_loads, 3);
+        assert_eq!(rt.cache_warm_rejects, 0);
+        for ((b, e), want) in cases.iter().zip(&want) {
+            let got = w.run("power", &[Value::I(*b), Value::I(*e)]).unwrap();
+            assert_eq!(got, *want, "power({b}, {e}) after warm start");
+        }
+        // Every dispatch hit restored code; nothing re-specialized.
+        assert_eq!(w.rt_stats().unwrap().specializations, 0);
+
+        // The restored code is byte-identical to what the cold session
+        // cached, binding for binding. (Base addresses are module-layout
+        // artifacts, not code bytes — the two modules install in
+        // different orders.)
+        let norm = |mut v: Vec<(u32, Vec<u64>, crate::CodeFunc)>| {
+            for (_, _, f) in &mut v {
+                f.base_addr = 0;
+            }
+            v.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+            v
+        };
+        assert_eq!(norm(d.cached_code()), norm(w.cached_code()));
+    }
+
+    #[test]
+    fn corrupted_fingerprint_is_rejected_per_entry_not_fatal() {
+        let p = Compiler::new().compile(POWER).unwrap();
+        let mut d = p.dynamic_session();
+        for e in [4i64, 7, 2] {
+            d.run("power", &[Value::I(3), Value::I(e)]).unwrap();
+        }
+        let mut bundle = crate::CacheBundle::parse(&d.cache_bundle().unwrap()).unwrap();
+        bundle.entries[0].config_hash ^= 1;
+        let corrupted_key = bundle.entries[0].key.clone();
+
+        let mut w = p.warm_start_from_str(&bundle.to_json()).unwrap();
+        let rt = w.rt_stats().unwrap();
+        assert_eq!(rt.cache_warm_rejects, 1, "only the corrupted entry drops");
+        assert_eq!(rt.cache_warm_loads, 2);
+        // The rejected key still computes correctly — it just pays one
+        // re-specialization.
+        let e = corrupted_key[0] as i64;
+        assert_eq!(
+            w.run("power", &[Value::I(3), Value::I(e)]).unwrap(),
+            Some(Value::I(3i64.pow(e as u32)))
+        );
+        assert_eq!(w.rt_stats().unwrap().specializations, 1);
+    }
+
+    #[test]
+    fn warm_start_rejects_a_mismatched_program_wholesale() {
+        let p = Compiler::new().compile(POWER).unwrap();
+        let mut d = p.dynamic_session();
+        d.run("power", &[Value::I(3), Value::I(4)]).unwrap();
+        let bundle = d.cache_bundle().unwrap();
+        // A different program parses the bundle fine but must reject
+        // every entry at the fingerprint check.
+        let q = Compiler::new()
+            .compile("int twice(int x) { make_static(x); return x + x; }")
+            .unwrap();
+        let mut w = q.warm_start_from_str(&bundle).unwrap();
+        let rt = w.rt_stats().unwrap();
+        assert_eq!(rt.cache_warm_loads, 0);
+        assert_eq!(rt.cache_warm_rejects, 1);
+        assert_eq!(w.run("twice", &[Value::I(21)]).unwrap(), Some(Value::I(42)));
+        // Unparseable input is the only hard error.
+        assert!(q.warm_start_from_str("{not a bundle").is_err());
+    }
+
+    #[test]
+    fn warm_shared_runtime_serves_restored_code_to_threads() {
+        let p = Compiler::new().compile(POWER).unwrap();
+        let shared = p.shared_runtime();
+        let mut t = p.threaded_session(&shared);
+        for e in [4i64, 7] {
+            t.run("power", &[Value::I(3), Value::I(e)]).unwrap();
+        }
+        let bundle = t.cache_bundle().unwrap();
+
+        let warm = p.warm_shared_runtime(&bundle).unwrap();
+        let stats = warm.stats();
+        assert_eq!(stats.cache_warm_loads, 2);
+        assert_eq!(stats.cache_warm_rejects, 0);
+        let mut wt = p.threaded_session(&warm);
+        assert_eq!(
+            wt.run("power", &[Value::I(3), Value::I(4)]).unwrap(),
+            Some(Value::I(81))
+        );
+        assert_eq!(
+            wt.run("power", &[Value::I(3), Value::I(7)]).unwrap(),
+            Some(Value::I(2187))
+        );
+        // Both dispatches hit restored bindings: no specialization ran.
+        assert_eq!(warm.stats().specializations, 0);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //!   programs (arithmetic, branches, bounded loops, switches, memory,
 //!   helper calls, `make_static` regions with sampled caching policies,
 //!   promotions, static loads) plus their invocation tuples.
-//! * [`oracle`] — the 4-way differential oracle and its run-time
-//!   invariants.
+//! * [`oracle`] — the 4-way differential oracle, its run-time
+//!   invariants, and the traced / threaded / snapshot-warm-start
+//!   replays layered on the fused path.
 //! * [`shrink`](mod@shrink) — a delta-debugging minimizer that reduces a failing
 //!   case while preserving its [`oracle::Violation::kind`].
 //!

@@ -33,10 +33,18 @@
 //! * trace equivalence: a fifth, fused run with the event recorder on
 //!   reproduces the fused path's observables, emitted code bytes, and
 //!   *every* `RtStats` counter (tracing is observational), while
-//!   recording events whenever specialization happened.
+//!   recording events whenever specialization happened;
+//! * snapshot equivalence: a sixth run warm-started from the fused
+//!   session's cache bundle restores every cached binding
+//!   (`cache_warm_loads` equals the snapshot size, zero rejects),
+//!   reproduces the fused observables, re-specializes nothing when the
+//!   cold cache saw no evictions or invalidations, and ends with
+//!   instruction-identical cached code — while a bundle with one
+//!   corrupted entry fingerprint loses exactly that entry (rejected and
+//!   metered, never fatal) and still computes exact results.
 
 use crate::gen::{ScalarArg, TestCase, ARRAY_LEN, TARGET};
-use dyc::{CodeFunc, Compiler, OptConfig, RtStats, Session, Value};
+use dyc::{CacheBundle, CodeFunc, Compiler, OptConfig, Program, RtStats, Session, Value};
 use dyc_lang::pretty::program_to_string;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -78,6 +86,11 @@ pub enum Violation {
     /// memory, emitted code bytes, or any `RtStats` counter — or a
     /// traced run that specialized recorded no events at all.
     TraceMismatch { details: String },
+    /// A session warm-started from the fused path's snapshot bundle
+    /// diverged: wrong warm-load accounting, different observables,
+    /// re-specialization of restored keys, non-identical cached code —
+    /// or a corrupted bundle entry that was not rejected per-entry.
+    WarmMismatch { details: String },
 }
 
 impl Violation {
@@ -95,6 +108,7 @@ impl Violation {
             Violation::Invariant { .. } => "invariant",
             Violation::ThreadMismatch { .. } => "thread-mismatch",
             Violation::TraceMismatch { .. } => "trace-mismatch",
+            Violation::WarmMismatch { .. } => "warm-mismatch",
         }
     }
 }
@@ -121,6 +135,7 @@ impl std::fmt::Display for Violation {
             Violation::Invariant { details } => write!(f, "invariant violation: {details}"),
             Violation::ThreadMismatch { details } => write!(f, "thread mismatch: {details}"),
             Violation::TraceMismatch { details } => write!(f, "trace mismatch: {details}"),
+            Violation::WarmMismatch { details } => write!(f, "warm-start mismatch: {details}"),
         }
     }
 }
@@ -551,6 +566,7 @@ fn run_case_src(case: &TestCase, src: &str) -> Result<CaseReport, Box<Violation>
 
     check_traced(case, src, &fused_obs, &paths[3], tuple0_ok)?;
     check_threaded(case, src, &fused_obs, &paths[3], fused.specializations)?;
+    check_warm(case, src, &fused_obs, &paths[3], &fused)?;
 
     report.coverage = Coverage {
         specialized: fused.specializations > 0,
@@ -826,6 +842,197 @@ fn check_threaded(
                 stats.single_flight_fallbacks
             ),
         }));
+    }
+    Ok(())
+}
+
+/// Build a warm-started [`Path`] from a snapshot bundle string, with the
+/// case's data memory laid out exactly as on the fused path.
+fn warm_path(case: &TestCase, program: &Program, bundle: &str) -> Result<Path, Box<Violation>> {
+    let mut sess = program
+        .warm_start_from_str(bundle)
+        .map_err(|e| Violation::WarmMismatch {
+            details: format!("warm start rejected the bundle wholesale: {e}"),
+        })?;
+    sess.set_step_limit(STEP_LIMIT);
+    let arr_base = case.arr.as_ref().map(|init| {
+        let base = sess.alloc(ARRAY_LEN);
+        sess.mem().write_ints(base, init);
+        base
+    });
+    let wbuf_base = case.wbuf.as_ref().map(|_| sess.alloc(ARRAY_LEN));
+    Ok(Path {
+        name: "warm",
+        sess,
+        arr_base,
+        wbuf_base,
+    })
+}
+
+/// Re-run the whole tuple sequence on a warm-started path and require
+/// the fused path's exact per-tuple observables (same config, same
+/// thread: even error text must match).
+fn warm_replay(case: &TestCase, p: &mut Path, fused_obs: &[Obs]) -> Result<(), Box<Violation>> {
+    for (t, tuple) in case.tuples.iter().enumerate() {
+        let o = p.invoke(case, tuple)?;
+        let want = &fused_obs[t];
+        let same = match (&want.result, &o.result) {
+            (Err(a), Err(b)) => a == b,
+            (Ok(a), Ok(b)) => match (a, b) {
+                (None, None) => true,
+                (Some(x), Some(y)) => value_eq(x, y),
+                _ => false,
+            },
+            _ => false,
+        };
+        if !same {
+            return Err(Box::new(Violation::WarmMismatch {
+                details: format!("tuple {t}: fused {:?} vs warm {:?}", want.result, o.result),
+            }));
+        }
+        if want.result.is_err() {
+            continue;
+        }
+        if !values_eq(&want.output, &o.output) {
+            return Err(Box::new(Violation::WarmMismatch {
+                details: format!(
+                    "tuple {t}: fused output {} vs warm {}",
+                    fmt_vals(&want.output),
+                    fmt_vals(&o.output)
+                ),
+            }));
+        }
+        if want.wbuf != o.wbuf {
+            return Err(Box::new(Violation::WarmMismatch {
+                details: format!("tuple {t}: fused wbuf {:?} vs warm {:?}", want.wbuf, o.wbuf),
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// Snapshot / warm-start equivalence: serialize the fused session's code
+/// cache, warm-start a fresh session from the bundle, and replay the
+/// whole tuple sequence. Restored bindings must be counted exactly
+/// (`cache_warm_loads` = snapshot size, zero rejects), the observables
+/// must match the fused path's tuple for tuple, and — when the cold
+/// cache saw neither evictions nor invalidations, so the snapshot is
+/// complete — the warm run must perform **zero** specializations and end
+/// with instruction-identical cached code. A second warm start from the
+/// same bundle with one entry's config fingerprint corrupted must lose
+/// exactly that entry (rejected per-entry and metered, never fatal) and
+/// still compute exact results, re-specializing only on misses.
+fn check_warm(
+    case: &TestCase,
+    src: &str,
+    fused_obs: &[Obs],
+    fused_path: &Path,
+    fused_rt: &RtStats,
+) -> Result<(), Box<Violation>> {
+    let Some(bundle) = fused_path.sess.cache_bundle() else {
+        return Ok(());
+    };
+    let program = catch_unwind(AssertUnwindSafe(|| {
+        Compiler::with_config(OptConfig::all()).compile(src)
+    }))
+    .map_err(|p| Violation::Crash {
+        path: "warm",
+        msg: format!("compiler panic: {}", panic_message(&p)),
+    })?
+    .map_err(|e| Violation::Compile {
+        path: "warm",
+        msg: e.to_string(),
+    })?;
+
+    // With evictions or invalidations the snapshot is incomplete — some
+    // once-specialized keys are no longer cached — so the guarantee
+    // weakens from "zero re-specializations" to "no more than cold".
+    let complete = fused_rt.cache_evictions == 0 && fused_rt.cache_invalidations == 0;
+    let restored = fused_path.sess.cached_code().len() as u64;
+
+    let mut p = warm_path(case, &program, &bundle)?;
+    if p.arr_base != fused_path.arr_base || p.wbuf_base != fused_path.wbuf_base {
+        return Err(Box::new(Violation::WarmMismatch {
+            details: "allocation bases diverged from the fused path".into(),
+        }));
+    }
+    {
+        let rt = p.sess.rt_stats().expect("dynamic path");
+        if rt.cache_warm_loads != restored || rt.cache_warm_rejects != 0 {
+            return Err(Box::new(Violation::WarmMismatch {
+                details: format!(
+                    "pristine bundle of {restored} entries restored {} with {} rejects",
+                    rt.cache_warm_loads, rt.cache_warm_rejects
+                ),
+            }));
+        }
+    }
+    warm_replay(case, &mut p, fused_obs)?;
+    let warm_specs = p.sess.rt_stats().expect("dynamic path").specializations;
+    if complete && warm_specs != 0 {
+        return Err(Box::new(Violation::WarmMismatch {
+            details: format!("warm run re-specialized {warm_specs} complete-snapshot keys"),
+        }));
+    }
+    if warm_specs > fused_rt.specializations {
+        return Err(Box::new(Violation::WarmMismatch {
+            details: format!(
+                "warm run specialized more than cold: {warm_specs} > {}",
+                fused_rt.specializations
+            ),
+        }));
+    }
+    if complete {
+        let warm_code = normalized_code(p.sess.cached_code());
+        let fused_code = normalized_code(fused_path.sess.cached_code());
+        if warm_code != fused_code {
+            return Err(Box::new(Violation::WarmMismatch {
+                details: format!(
+                    "restored cache diverged from fused cache:\n{warm_code:#?}\nvs\n{fused_code:#?}"
+                ),
+            }));
+        }
+    }
+
+    // Corrupted-fingerprint variant: flip one bit in one entry's config
+    // hash. Exactly that entry must be rejected (and metered); the
+    // session still runs and produces exact results, re-specializing the
+    // lost key on its first miss.
+    if complete && restored > 0 {
+        let mut corrupt = CacheBundle::parse(&bundle).map_err(|e| Violation::WarmMismatch {
+            details: format!("own snapshot bundle failed to re-parse: {e}"),
+        })?;
+        corrupt.entries[0].config_hash ^= 1;
+        let mut q = warm_path(case, &program, &corrupt.to_json())?;
+        {
+            let rt = q.sess.rt_stats().expect("dynamic path");
+            if rt.cache_warm_rejects != 1 || rt.cache_warm_loads != restored - 1 {
+                return Err(Box::new(Violation::WarmMismatch {
+                    details: format!(
+                        "one corrupted entry of {restored}: expected 1 reject / {} loads, \
+                         got {} / {}",
+                        restored - 1,
+                        rt.cache_warm_rejects,
+                        rt.cache_warm_loads
+                    ),
+                }));
+            }
+        }
+        warm_replay(case, &mut q, fused_obs)?;
+        let specs = q.sess.rt_stats().expect("dynamic path").specializations;
+        if specs == 0 {
+            return Err(Box::new(Violation::WarmMismatch {
+                details: "rejected entry's key never re-specialized".into(),
+            }));
+        }
+        if specs > fused_rt.specializations {
+            return Err(Box::new(Violation::WarmMismatch {
+                details: format!(
+                    "corrupted warm run specialized more than cold: {specs} > {}",
+                    fused_rt.specializations
+                ),
+            }));
+        }
     }
     Ok(())
 }

@@ -48,6 +48,10 @@ pub enum EventKind {
     /// site mid-specialization. The event's `site` is the parent
     /// (specializing) site; `a` = the new site's id.
     Promotion,
+    /// A cached specialization was restored from a snapshot bundle at
+    /// warm-start (no GE execution ran). `a` = instructions in the
+    /// restored code.
+    CacheWarmLoad,
 }
 
 /// Event categories — the `cat` field of the Chrome trace, and the
@@ -100,6 +104,7 @@ impl EventKind {
             EventKind::CacheEvict => "cache-evict",
             EventKind::CacheInvalidate => "cache-invalidate",
             EventKind::Promotion => "promotion",
+            EventKind::CacheWarmLoad => "cache-warm-load",
         }
     }
 
@@ -113,7 +118,9 @@ impl EventKind {
             EventKind::FlightWait | EventKind::FlightFallback => Category::Flight,
             EventKind::GeExecBegin | EventKind::GeExecEnd => Category::Spec,
             EventKind::TemplateCopy | EventKind::HolePatch => Category::Template,
-            EventKind::CacheEvict | EventKind::CacheInvalidate => Category::Cache,
+            EventKind::CacheEvict | EventKind::CacheInvalidate | EventKind::CacheWarmLoad => {
+                Category::Cache
+            }
             EventKind::Promotion => Category::Promote,
         }
     }
@@ -149,7 +156,7 @@ pub struct Event {
 }
 
 /// Every kind, in declaration order (test and exporter support).
-pub const ALL_KINDS: [EventKind; 13] = [
+pub const ALL_KINDS: [EventKind; 14] = [
     EventKind::DispatchHit,
     EventKind::DispatchMiss,
     EventKind::DispatchUnchecked,
@@ -163,6 +170,7 @@ pub const ALL_KINDS: [EventKind; 13] = [
     EventKind::CacheEvict,
     EventKind::CacheInvalidate,
     EventKind::Promotion,
+    EventKind::CacheWarmLoad,
 ];
 
 #[cfg(test)]
@@ -174,7 +182,7 @@ mod tests {
         let mut names: Vec<&str> = ALL_KINDS.iter().map(|k| k.name()).collect();
         names.sort_unstable();
         names.dedup();
-        // 13 kinds, but begin/end share "ge-exec".
+        // 14 kinds, but begin/end share "ge-exec".
         assert_eq!(names.len(), ALL_KINDS.len() - 1);
     }
 

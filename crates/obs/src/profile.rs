@@ -44,6 +44,12 @@ pub struct SiteProfile {
     pub invalidations: u64,
     /// Internal promotion sites created while specializing this site.
     pub promotions: u64,
+    /// Specializations restored from a snapshot bundle at warm-start.
+    /// Each restored variant serves hits without this run ever paying
+    /// its specialization cost, so break-even accounting must treat the
+    /// site's `dyncomp_cycles` as covering only the *non*-restored
+    /// variants.
+    pub warm_loads: u64,
     /// Single-flight waits at this site (concurrent runs).
     pub waits: u64,
     /// Wall nanoseconds spent in those waits.
@@ -148,6 +154,7 @@ pub fn site_profiles(events: &[Event]) -> Vec<SiteProfile> {
             EventKind::CacheEvict => p.evictions += 1,
             EventKind::CacheInvalidate => p.invalidations += 1,
             EventKind::Promotion => p.promotions += 1,
+            EventKind::CacheWarmLoad => p.warm_loads += 1,
         }
     }
     out

@@ -567,6 +567,36 @@ mod tests {
     }
 
     #[test]
+    fn colliding_insert_reuses_the_tombstone_without_growing() {
+        let mut c = DoubleHashCache::new();
+        let m = c.capacity();
+        let first = vec![1u64];
+        // Brute-force a *different* key whose h1 lands on the same slot,
+        // so its probe path starts exactly where the removed entry was.
+        let h = DoubleHashCache::<FuncId>::h1(&first, m);
+        let collider = (2u64..)
+            .map(|w| vec![w])
+            .find(|k| DoubleHashCache::<FuncId>::h1(k, m) == h)
+            .expect("a 16-slot table has colliding single-word keys");
+        c.insert(first.clone(), FuncId(1));
+        c.remove(&first);
+        assert_eq!((c.len(), c.tombs), (0, 1));
+        c.insert(collider.clone(), FuncId(2));
+        assert_eq!(c.capacity(), m, "colliding insert must not grow the table");
+        assert_eq!(
+            (c.len(), c.tombs),
+            (1, 0),
+            "the tombstone slot must be reused, not accumulated"
+        );
+        assert!(
+            matches!(&c.slots[h], Slot::Full(k, _) if *k == collider),
+            "collider must occupy the removed entry's slot"
+        );
+        assert_eq!(c.lookup(&collider).value, Some(FuncId(2)));
+        assert_eq!(c.lookup(&first).value, None);
+    }
+
+    #[test]
     fn reserve_reuses_tombstones() {
         let mut c = DoubleHashCache::new();
         c.insert(vec![1], FuncId(1));

@@ -62,6 +62,7 @@
 //! assert_eq!(shared.stats().specializations, 1);
 //! ```
 
+use crate::artifact::{self, CacheBundle, SiteSpec, ARTIFACT_VERSION};
 use crate::cache::{DoubleHashCache, Probed};
 use crate::costs::DynCosts;
 use crate::ge_exec::{GeExecutor, SpecEnv, SpecHost};
@@ -336,6 +337,13 @@ impl EvictCtl {
             b.store(false, Ordering::Relaxed);
         }
     }
+
+    /// True when the clock already retains `cap` entries — admitting
+    /// another key would evict. Warm-start uses this to reject surplus
+    /// bundle entries instead of evicting ones it just restored.
+    fn at_capacity(&self) -> bool {
+        self.clock.lock().unwrap().keys.len() >= self.bits.len()
+    }
 }
 
 /// One shared dispatch site: the [`Site`] itself plus the concurrent
@@ -405,6 +413,8 @@ struct ConcStats {
     cache_evictions: AtomicU64,
     cache_invalidations: AtomicU64,
     generic_continuations: AtomicU64,
+    cache_warm_loads: AtomicU64,
+    cache_warm_rejects: AtomicU64,
 }
 
 /// Plain snapshot of the shared runtime's meters.
@@ -426,6 +436,14 @@ pub struct ConcSnapshot {
     pub cache_invalidations: u64,
     /// Generic continuations compiled (at most one per site).
     pub generic_continuations: u64,
+    /// Cached specializations restored from a snapshot bundle at
+    /// warm-start (each skips a future first-dispatch specialization).
+    pub cache_warm_loads: u64,
+    /// Snapshot entries rejected at warm-start: stale or corrupted
+    /// fingerprints, schema mismatches, or bounded-capacity surplus.
+    /// Per-entry and never fatal — rejected keys re-specialize on first
+    /// dispatch.
+    pub cache_warm_rejects: u64,
     /// Code functions published to the shared registry.
     pub published: u64,
     /// Per-shard cache meters.
@@ -653,6 +671,119 @@ impl SharedRuntime {
             .collect()
     }
 
+    /// Serialize the shared dynamic-code cache — every `(site, key,
+    /// code)` binding plus the internal promotion sites — as a
+    /// versioned, fingerprinted [`CacheBundle`]. The published registry
+    /// supplies the code bytes, so no thread module is needed. Safe to
+    /// call while threads run, though a bundle snapshotted mid-burst
+    /// simply misses in-flight specializations.
+    pub fn snapshot_bundle(&self) -> CacheBundle {
+        let cfg = artifact::config_hash(&self.staged.cfg);
+        let prog = artifact::program_hash(&self.staged);
+        let n_entry = self.staged.entry_sites.len();
+        let guard = self.sites.read().unwrap();
+        let sites = guard[n_entry..]
+            .iter()
+            .map(|e| SiteSpec::from_site(&e.site))
+            .collect();
+        let entries = self
+            .cache_snapshot()
+            .into_iter()
+            .map(|(site, key, gid)| {
+                let schema = guard[site as usize]
+                    .site
+                    .key_vars
+                    .iter()
+                    .map(|v| v.0)
+                    .collect();
+                artifact::artifact_for_func(cfg, prog, site, key, schema, &self.code(gid))
+            })
+            .collect();
+        CacheBundle {
+            version: ARTIFACT_VERSION,
+            config_hash: cfg,
+            program_hash: prog,
+            n_entry_sites: n_entry as u32,
+            sites,
+            entries,
+        }
+    }
+
+    /// Warm-start the shared runtime from a snapshot bundle, mirroring
+    /// [`Runtime::restore_bundle`](crate::Runtime::restore_bundle): the
+    /// header's `(version, config-hash, program-hash)` triple and site
+    /// layout must match and the runtime must be fresh (nothing
+    /// published or promoted yet), else every entry is rejected; each
+    /// entry then re-verifies its own triple and site binding. Accepted
+    /// code is published to the registry and bound in the sharded cache
+    /// — threads spawned afterwards hit it on their first dispatch.
+    /// Rejections and loads are metered in [`ConcSnapshot`]
+    /// (`cache_warm_rejects` / `cache_warm_loads`); nothing panics.
+    pub fn restore_bundle(&self, bundle: &CacheBundle) {
+        let expect_cfg = artifact::config_hash(&self.staged.cfg);
+        let expect_prog = artifact::program_hash(&self.staged);
+        let fresh = self.n_sites() == self.staged.entry_sites.len() && self.published() == 0;
+        let header_ok = bundle.version == ARTIFACT_VERSION
+            && bundle.config_hash == expect_cfg
+            && bundle.program_hash == expect_prog
+            && bundle.n_entry_sites as usize == self.staged.entry_sites.len()
+            && fresh;
+        let internal: Option<Vec<Site>> = if header_ok {
+            bundle.sites.iter().map(|s| s.to_site().ok()).collect()
+        } else {
+            None
+        };
+        let Some(internal) = internal else {
+            self.stats
+                .cache_warm_rejects
+                .fetch_add(bundle.entries.len() as u64, Ordering::Relaxed);
+            return;
+        };
+        {
+            let mut host = SharedSiteHost { shared: self };
+            for site in internal {
+                host.add_site(site);
+            }
+        }
+        let guard = self.sites.read().unwrap();
+        for art in &bundle.entries {
+            let entry = guard.get(art.site as usize);
+            let site_ok = entry.is_some_and(|e| {
+                art.key_schema == e.site.key_vars.iter().map(|v| v.0).collect::<Vec<_>>()
+            });
+            if art.verify(expect_cfg, expect_prog).is_err() || !site_ok {
+                self.stats
+                    .cache_warm_rejects
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let entry = entry.expect("checked above");
+            let mut full_key = Vec::with_capacity(art.key.len() + 1);
+            full_key.push(u64::from(art.site));
+            full_key.extend_from_slice(&art.key);
+            let clock_idx = match &entry.evict {
+                Some(ev) => {
+                    if ev.at_capacity() {
+                        self.stats
+                            .cache_warm_rejects
+                            .fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    ev.admit(&full_key, &self.cache).0
+                }
+                None => 0,
+            };
+            let gid = {
+                let mut reg = self.registry.write().unwrap();
+                let gid = (self.base_len + reg.len()) as u32;
+                reg.push(Arc::new(art.to_func()));
+                gid
+            };
+            self.cache.insert(full_key, CacheVal { gid, clock_idx });
+            self.stats.cache_warm_loads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Snapshot of the global meters.
     pub fn stats(&self) -> ConcSnapshot {
         ConcSnapshot {
@@ -662,6 +793,8 @@ impl SharedRuntime {
             cache_evictions: self.stats.cache_evictions.load(Ordering::Relaxed),
             cache_invalidations: self.stats.cache_invalidations.load(Ordering::Relaxed),
             generic_continuations: self.stats.generic_continuations.load(Ordering::Relaxed),
+            cache_warm_loads: self.stats.cache_warm_loads.load(Ordering::Relaxed),
+            cache_warm_rejects: self.stats.cache_warm_rejects.load(Ordering::Relaxed),
             published: self.registry.read().unwrap().len() as u64,
             shards: self.cache.meters(),
         }

@@ -19,6 +19,7 @@
 
 use crate::costs::DynCosts;
 use crate::runtime::Store;
+use crate::sink::{CodeSink, FnvBuild, VmSink};
 use crate::stats::RtStats;
 use dyc_bta::OptConfig;
 use dyc_ir::inst::{Callee, Inst};
@@ -93,20 +94,27 @@ pub(crate) struct Emitted {
 /// Sentinel for "no register assigned yet" in the dense vreg table.
 const NO_REG: Reg = u32::MAX;
 
-/// The shared emit-time machinery, generic over the unit key.
+/// The shared emit-time machinery, generic over the unit key and the
+/// [`CodeSink`] backend instructions land in.
 ///
-/// Unit keys are *interned*: each distinct key hashes once and receives a
-/// dense `u32` id; labels, fixups, and the executors' worklists and
+/// Unit keys are *interned*: each distinct key hashes once (FNV-1a — the
+/// same family as the shard selector and `dyc-obs`) and receives a dense
+/// `u32` id; labels, fixups, and the executors' worklists and
 /// instrumentation all run on ids, so the emit hot path does no further
 /// hash-map traffic. The register map is likewise a dense vector indexed
 /// by vreg number.
-pub(crate) struct Emitter<K> {
+///
+/// All label/fixup resolution stays here: the sink receives sealed
+/// instructions and final branch targets only, so every backend observes
+/// the identical instruction stream (see `crate::sink`).
+pub(crate) struct Emitter<K, S: CodeSink = VmSink> {
     pub(crate) cfg: OptConfig,
     /// Per-vreg float flag (move/flush selection).
     float_vreg: Vec<bool>,
-    pub(crate) code: Vec<Instr>,
+    /// The emission backend.
+    pub(crate) sink: S,
     /// Unit-key interner: the only hash per unit reference.
-    key_ids: HashMap<K, u32>,
+    key_ids: HashMap<K, u32, FnvBuild>,
     /// Code offset per unit id; `u32::MAX` until the unit is sealed.
     labels: Vec<u32>,
     fixups: Vec<(usize, u32)>,
@@ -119,14 +127,28 @@ pub(crate) struct Emitter<K> {
     pub(crate) emit_cycles: u64,
 }
 
-impl<K: Clone + Eq + Hash> Emitter<K> {
-    pub(crate) fn new(cfg: OptConfig, float_vreg: Vec<bool>) -> Emitter<K> {
+impl<K: Clone + Eq + Hash> Emitter<K, VmSink> {
+    /// Take the finished code out of the default VM backend (the install
+    /// path of both specialization executors).
+    pub(crate) fn take_code(&mut self) -> Vec<Instr> {
+        std::mem::take(&mut self.sink.code)
+    }
+
+    /// The emitted code so far (VM backend only; tests and diagnostics).
+    #[cfg(test)]
+    pub(crate) fn code(&self) -> &[Instr] {
+        &self.sink.code
+    }
+}
+
+impl<K: Clone + Eq + Hash, S: CodeSink + Default> Emitter<K, S> {
+    pub(crate) fn new(cfg: OptConfig, float_vreg: Vec<bool>) -> Emitter<K, S> {
         let reg_map = vec![NO_REG; float_vreg.len()];
         Emitter {
             cfg,
             float_vreg,
-            code: Vec::new(),
-            key_ids: HashMap::new(),
+            sink: S::default(),
+            key_ids: HashMap::default(),
             labels: Vec::new(),
             fixups: Vec::new(),
             reg_map,
@@ -135,9 +157,17 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
             emit_cycles: 0,
         }
     }
+}
 
+impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
     pub(crate) fn total_cycles(&self) -> u64 {
         self.exec_cycles + self.emit_cycles
+    }
+
+    /// Number of instructions written to the sink so far (budget checks
+    /// and `instrs_generated` accounting).
+    pub(crate) fn emitted(&self) -> usize {
+        self.sink.emitted()
     }
 
     /// Intern a unit key, returning its dense id (allocating one — and
@@ -161,20 +191,23 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
         self.float_vreg.get(v.0 as usize).copied().unwrap_or(false)
     }
 
-    /// Pre-assign a register (dynamic pass-through parameters).
-    pub(crate) fn set_reg(&mut self, v: VReg, r: Reg) {
-        let i = v.0 as usize;
+    /// Grow the dense vreg table so index `i` is addressable.
+    fn ensure_vreg(&mut self, i: usize) {
         if i >= self.reg_map.len() {
             self.reg_map.resize(i + 1, NO_REG);
         }
+    }
+
+    /// Pre-assign a register (dynamic pass-through parameters).
+    pub(crate) fn set_reg(&mut self, v: VReg, r: Reg) {
+        let i = v.0 as usize;
+        self.ensure_vreg(i);
         self.reg_map[i] = r;
     }
 
     pub(crate) fn reg_of(&mut self, v: VReg) -> Reg {
         let i = v.0 as usize;
-        if i >= self.reg_map.len() {
-            self.reg_map.resize(i + 1, NO_REG);
-        }
+        self.ensure_vreg(i);
         if self.reg_map[i] != NO_REG {
             return self.reg_map[i];
         }
@@ -1108,14 +1141,15 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
     ) -> (u64, u64) {
         self.exec_cycles += costs.dae_check * buf.len() as u64;
         let kept = self.dae_sweep(buf, live_regs, stats);
-        let label = self.code.len() as u32;
+        let label = self.sink.emitted() as u32;
         self.labels[id as usize] = label;
+        self.sink.begin_unit(id, label);
         let (mut tmpl, mut holes) = (0u64, 0u64);
         for e in kept {
             if let Some(fk) = e.fixup {
-                self.fixups.push((self.code.len(), fk));
+                self.fixups.push((self.sink.emitted(), fk));
             }
-            self.code.push(e.ins);
+            self.sink.push(e.ins, e.templated, e.patches);
             if e.templated {
                 let patch = costs.hole_patch * u64::from(e.patches);
                 self.emit_cycles += costs.template_copy + patch;
@@ -1132,17 +1166,14 @@ impl<K: Clone + Eq + Hash> Emitter<K> {
         (tmpl, holes)
     }
 
-    /// Patch every recorded branch target once all units are emitted.
+    /// Patch every recorded branch target once all units are emitted. The
+    /// fixup keys resolve to labels here; the sink receives only final
+    /// offsets.
     pub(crate) fn patch_fixups(&mut self, costs: &DynCosts) {
         for (at, key) in std::mem::take(&mut self.fixups) {
             let dest = self.labels[key as usize];
             debug_assert!(dest != u32::MAX, "all units emitted before patching");
-            match &mut self.code[at] {
-                Instr::Jmp { target } | Instr::Brz { target, .. } | Instr::Brnz { target, .. } => {
-                    *target = dest;
-                }
-                other => unreachable!("fixup on non-branch {other:?}"),
-            }
+            self.sink.patch_branch(at, dest);
             self.emit_cycles += costs.branch_patch;
         }
     }
@@ -1353,9 +1384,9 @@ mod tests {
             "each recorded fixup pays one branch patch"
         );
         // a's label is 0, b's label is 3 (a emitted three instructions).
-        assert_eq!(em.code[1], Instr::Jmp { target: 3 });
-        assert_eq!(em.code[2], Instr::Brnz { cond: 0, target: 3 });
-        assert_eq!(em.code[3], Instr::Brz { cond: 0, target: 0 });
+        assert_eq!(em.code()[1], Instr::Jmp { target: 3 });
+        assert_eq!(em.code()[2], Instr::Brnz { cond: 0, target: 3 });
+        assert_eq!(em.code()[3], Instr::Brz { cond: 0, target: 0 });
         assert!(em.fixups.is_empty(), "patching drains the fixup table");
     }
 
@@ -1386,7 +1417,7 @@ mod tests {
 
         em.patch_fixups(&costs);
         assert_eq!(
-            em.code[0],
+            em.code()[0],
             Instr::Jmp { target: 0 },
             "self-loop patched to own label"
         );
@@ -1429,8 +1460,8 @@ mod tests {
             &mut stats,
         );
         em.patch_fixups(&costs);
-        assert_eq!(em.code[0], Instr::Jmp { target: 2 });
-        assert_eq!(em.code[1], Instr::Jmp { target: 2 });
+        assert_eq!(em.code()[0], Instr::Jmp { target: 2 });
+        assert_eq!(em.code()[1], Instr::Jmp { target: 2 });
     }
 
     #[test]
@@ -1499,7 +1530,7 @@ mod tests {
         let mut live = RegSet::new();
         live.insert(1);
         em.seal_unit(id, buf, live, &costs, &mut stats);
-        assert_eq!(em.code, vec![Instr::MovI { dst: 1, imm: 2 }]);
+        assert_eq!(em.code(), vec![Instr::MovI { dst: 1, imm: 2 }]);
         assert_eq!(stats.dae_removed, 1);
         assert_eq!(
             em.exec_cycles - exec_before,
@@ -1523,7 +1554,7 @@ mod tests {
         let mut live = RegSet::new();
         live.insert(1);
         em.seal_unit(id, buf, live, &costs, &mut stats);
-        assert_eq!(em.code.len(), 2);
+        assert_eq!(em.code().len(), 2);
         assert_eq!(stats.dae_removed, 0);
 
         // With the optimization off the dead write is kept.
@@ -1535,8 +1566,61 @@ mod tests {
         let id = em.intern(&0);
         let buf = vec![plain(Instr::MovI { dst: 0, imm: 1 })];
         em.seal_unit(id, buf, RegSet::new(), &costs, &mut stats);
-        assert_eq!(em.code.len(), 1);
+        assert_eq!(em.code().len(), 1);
         assert_eq!(stats.dae_removed, 0);
+    }
+
+    /// Drive an identical seal/patch sequence into any backend.
+    fn drive<S: CodeSink>(em: &mut Emitter<u32, S>, stats: &mut RtStats, costs: &DynCosts) {
+        let a = em.intern(&0);
+        let b = em.intern(&1);
+        let buf_a = vec![
+            kept(Instr::MovI { dst: 0, imm: 1 }),
+            Emitted {
+                fixup: Some(b),
+                ..kept(Instr::Jmp { target: u32::MAX })
+            },
+        ];
+        em.seal_unit(a, buf_a, RegSet::new(), costs, stats);
+        let buf_b = vec![Emitted {
+            ins: Instr::Brz {
+                cond: 0,
+                target: u32::MAX,
+            },
+            deletable: false,
+            fixup: Some(a),
+            templated: true,
+            patches: 1,
+        }];
+        em.seal_unit(b, buf_b, RegSet::new(), costs, stats);
+        em.patch_fixups(costs);
+    }
+
+    #[test]
+    fn emission_is_sink_agnostic() {
+        use crate::sink::{RecordingSink, SinkOp};
+        let costs = DynCosts::calibrated();
+        let mut vm: Emitter<u32> = emitter(OptConfig::all(), vec![]);
+        let mut stats = RtStats::default();
+        drive(&mut vm, &mut stats, &costs);
+
+        let mut rec: Emitter<u32, RecordingSink> = Emitter::new(OptConfig::all(), vec![]);
+        let mut stats2 = RtStats::default();
+        drive(&mut rec, &mut stats2, &costs);
+
+        assert_eq!(
+            rec.sink.replay(),
+            vm.code(),
+            "every backend observes the identical instruction stream"
+        );
+        assert_eq!(
+            (vm.exec_cycles, vm.emit_cycles),
+            (rec.exec_cycles, rec.emit_cycles),
+            "cycle metering lives in the emitter, not the sink"
+        );
+        // The recording backend also sees the unit boundaries VmSink
+        // ignores: unit b starts at offset 2.
+        assert!(rec.sink.ops.contains(&SinkOp::Begin(1, 2)));
     }
 
     #[test]

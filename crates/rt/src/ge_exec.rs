@@ -224,7 +224,7 @@ impl GeExecutor {
 
         env.stats.divisions_observed +=
             ex.division_sets.values().filter(|s| s.len() >= 2).count() as u64;
-        env.stats.instrs_generated += ex.em.code.len() as u64;
+        env.stats.instrs_generated += ex.em.emitted() as u64;
         env.stats.ge_exec_cycles += ex.em.exec_cycles;
         env.stats.emit_cycles += ex.em.emit_cycles;
         let cycles = ex.em.total_cycles();
@@ -232,7 +232,7 @@ impl GeExecutor {
 
         let name = format!("{fname}$spec{}", module.len());
         let mut cf = dyc_vm::CodeFunc::new(name, dyn_params.len(), ex.em.next_reg.max(1) as usize);
-        cf.code = ex.em.code;
+        cf.code = ex.em.take_code();
         Ok(module.add_func(cf))
     }
 
@@ -271,7 +271,7 @@ impl GeExecutor {
             if self.em.sealed(id) {
                 break;
             }
-            if self.em.code.len() as u64 > self.budget {
+            if self.em.emitted() as u64 > self.budget {
                 return Err(VmError::Dispatch(
                     "specialization exceeded its instruction budget (non-terminating static control flow?)"
                         .into(),

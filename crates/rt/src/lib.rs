@@ -30,15 +30,18 @@
 
 #![deny(missing_docs)]
 
+pub mod artifact;
 pub mod cache;
 pub mod concurrent;
 pub mod costs;
 pub(crate) mod emitter;
 pub mod ge_exec;
 pub mod runtime;
+pub mod sink;
 pub mod specializer;
 pub mod stats;
 
+pub use artifact::{CacheBundle, CodeArtifact, ARTIFACT_VERSION};
 pub use cache::{CacheEntry, DoubleHashCache, Probed};
 pub use concurrent::{
     ConcSnapshot, MissPolicy, ShardMeter, SharedOptions, SharedRuntime, ThreadRuntime,
@@ -46,4 +49,5 @@ pub use concurrent::{
 pub use costs::DynCosts;
 pub use ge_exec::GeExecutor;
 pub use runtime::{Runtime, Site, Store};
+pub use sink::{fnv1a, CodeSink, FnvBuild, RecordingSink, VmSink};
 pub use stats::RtStats;

@@ -7,6 +7,7 @@
 //! that was compiled for the values of the annotated variables. If one is
 //! found, it is reused." (§2.1)
 
+use crate::artifact::{self, CacheBundle, SiteSpec, ARTIFACT_VERSION};
 use crate::cache::{CacheEntry, DoubleHashCache};
 use crate::costs::DynCosts;
 use crate::ge_exec::{GeExecutor, SpecEnv, SpecHost};
@@ -281,6 +282,155 @@ impl Runtime {
             }
         }
         out
+    }
+
+    /// Serialize the entire dynamic-code cache — every `(site, key,
+    /// code)` binding plus the internal promotion sites created while
+    /// specializing — as a versioned, fingerprinted [`CacheBundle`].
+    /// `module` must be the module this runtime installed its code into
+    /// (the bundle captures the cached functions' instruction streams).
+    pub fn snapshot_bundle(&self, module: &Module) -> CacheBundle {
+        let cfg = artifact::config_hash(&self.staged.cfg);
+        let prog = artifact::program_hash(&self.staged);
+        let n_entry = self.staged.entry_sites.len();
+        let sites = self.sites[n_entry..]
+            .iter()
+            .map(SiteSpec::from_site)
+            .collect();
+        let entries = self
+            .cache_entries()
+            .into_iter()
+            .map(|(site, key, fid)| {
+                let schema = self.sites[site as usize]
+                    .key_vars
+                    .iter()
+                    .map(|v| v.0)
+                    .collect();
+                artifact::artifact_for_func(cfg, prog, site, key, schema, module.func(fid))
+            })
+            .collect();
+        CacheBundle {
+            version: ARTIFACT_VERSION,
+            config_hash: cfg,
+            program_hash: prog,
+            n_entry_sites: n_entry as u32,
+            sites,
+            entries,
+        }
+    }
+
+    /// Warm-start: re-install a snapshot bundle's specializations into
+    /// this (fresh) runtime and `module`, so their first dispatches hit
+    /// the cache instead of re-specializing.
+    ///
+    /// Verification is layered and *never* fatal. The bundle header's
+    /// `(version, config-hash, program-hash)` triple and site layout
+    /// must match this runtime exactly, and the runtime must not have
+    /// specialized yet (internal promotion sites are restored with
+    /// their snapshot ids, which emitted `Dispatch` instructions bake
+    /// in); otherwise every entry is rejected. Each entry then
+    /// re-verifies its own triple plus its site binding, so a corrupted
+    /// entry is dropped individually. Every rejection is metered in
+    /// [`RtStats::cache_warm_rejects`]; every installed entry in
+    /// [`RtStats::cache_warm_loads`] (and traced as a
+    /// [`EventKind::CacheWarmLoad`] event). A rejected key simply
+    /// re-specializes on its first dispatch.
+    pub fn restore_bundle(&mut self, bundle: &CacheBundle, module: &mut Module) {
+        let expect_cfg = artifact::config_hash(&self.staged.cfg);
+        let expect_prog = artifact::program_hash(&self.staged);
+        let fresh = self.sites.len() == self.staged.entry_sites.len();
+        let header_ok = bundle.version == ARTIFACT_VERSION
+            && bundle.config_hash == expect_cfg
+            && bundle.program_hash == expect_prog
+            && bundle.n_entry_sites as usize == self.staged.entry_sites.len()
+            && fresh;
+        // Internal sites must all be reconstructible before any is
+        // registered — a partial site table would shift every later id.
+        let internal: Option<Vec<Site>> = if header_ok {
+            bundle.sites.iter().map(|s| s.to_site().ok()).collect()
+        } else {
+            None
+        };
+        let Some(internal) = internal else {
+            self.stats.cache_warm_rejects += bundle.entries.len() as u64;
+            return;
+        };
+        {
+            // Through the host, not `add_site`: restored sites are not
+            // *new* promotions and must not inflate that Table 2 counter.
+            let mut host = VecSiteHost {
+                sites: &mut self.sites,
+                caches: &mut self.caches,
+            };
+            for site in internal {
+                host.add_site(site);
+            }
+        }
+        let trace_on = self.trace.is_on();
+        for art in &bundle.entries {
+            let site_ok = (art.site as usize) < self.sites.len()
+                && art.key_schema
+                    == self.sites[art.site as usize]
+                        .key_vars
+                        .iter()
+                        .map(|v| v.0)
+                        .collect::<Vec<_>>();
+            if art.verify(expect_cfg, expect_prog).is_err() || !site_ok {
+                self.stats.cache_warm_rejects += 1;
+                continue;
+            }
+            let installed = match &mut self.caches[art.site as usize] {
+                CacheState::All(c) => {
+                    let fid = module.add_func(art.to_func());
+                    c.insert(art.key.clone(), fid);
+                    true
+                }
+                CacheState::One(slot) => {
+                    let fid = module.add_func(art.to_func());
+                    *slot = Some(fid);
+                    true
+                }
+                CacheState::Indexed { slots, overflow } => {
+                    let fid = module.add_func(art.to_func());
+                    match art.key.as_slice() {
+                        [v] if *v < 256 => slots[*v as usize] = Some(fid),
+                        key => overflow.insert(key.to_vec(), fid),
+                    }
+                    true
+                }
+                CacheState::Bounded {
+                    cache, cap, clock, ..
+                } => {
+                    // An over-capacity bundle (snapshotted under a larger
+                    // bound, say) cannot be admitted without evicting —
+                    // the surplus is rejected, not installed.
+                    if clock.len() < *cap {
+                        let fid = module.add_func(art.to_func());
+                        clock.push((art.key.clone(), true));
+                        cache.insert(art.key.clone(), (fid, (clock.len() - 1) as u32));
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if installed {
+                self.stats.cache_warm_loads += 1;
+                if trace_on {
+                    let kh = dyc_obs::key_hash(&art.key);
+                    self.trace.rec(
+                        EventKind::CacheWarmLoad,
+                        art.site,
+                        kh,
+                        0,
+                        art.code.len() as u64,
+                        0,
+                    );
+                }
+            } else {
+                self.stats.cache_warm_rejects += 1;
+            }
+        }
     }
 
     fn specialize(

@@ -1,0 +1,256 @@
+//! The `CodeSink` backend abstraction of the emit pipeline.
+//!
+//! The shared emitter (`crate::emitter`) is the single place both specialization
+//! paths construct instructions, but *where those instructions land* is a
+//! backend decision: the VM wants a plain `Vec<Instr>` it can install as a
+//! [`dyc_vm::CodeFunc`], the cache-persistence layer wants a
+//! self-contained [`crate::artifact::CodeArtifact`] carrying unit labels,
+//! resolved fixups, and template-hole descriptors, and tests want a raw
+//! operation log to assert that emission is sink-agnostic. This module
+//! factors that decision behind the [`CodeSink`] trait: the emitter keeps
+//! all value-dependent work (register allocation, renames, folds, the
+//! dead-assignment sweep, cycle metering) and writes only *final* data —
+//! sealed instructions and resolved branch targets — through the sink.
+//!
+//! Three implementations:
+//!
+//! * [`VmSink`] — today's behavior, byte-identical: an append-only
+//!   `Vec<Instr>` with in-place branch patching.
+//! * [`crate::artifact::ArtifactSink`] — additionally records unit
+//!   boundaries, fixups, and per-instruction hole counts, producing a
+//!   serializable artifact.
+//! * [`RecordingSink`] — logs every sink call verbatim for tests.
+//!
+//! The module also hosts the FNV-1a hasher the emitter's unit-key
+//! interner uses (the same function the concurrent shard selector and
+//! `dyc-obs` key hashing use), replacing the std SipHash state that
+//! dominated intern cost.
+
+use dyc_vm::Instr;
+
+/// Where the emitter's sealed instructions land.
+///
+/// The emitter resolves everything before calling in: `push` receives the
+/// final instruction (holes already patched), and `patch_branch` receives
+/// the final target offset. A sink therefore never needs to understand
+/// labels, units, or fixup keys — `begin_unit` exists only so artifact
+/// backends can record unit boundaries.
+pub trait CodeSink {
+    /// Number of instructions emitted so far (the next push's offset).
+    fn emitted(&self) -> usize;
+
+    /// A unit seal is starting: unit `id` begins at instruction offset
+    /// `label`. Purely informational; `VmSink` ignores it.
+    fn begin_unit(&mut self, id: u32, label: u32);
+
+    /// Append one instruction. `templated` marks a copy-and-patch
+    /// template copy and `patches` the number of holes patched into it —
+    /// metadata the artifact backend records as hole descriptors.
+    fn push(&mut self, ins: Instr, templated: bool, patches: u16);
+
+    /// Resolve the branch at instruction offset `at` to `target`.
+    fn patch_branch(&mut self, at: usize, target: u32);
+}
+
+/// The default sink: instructions land in a plain vector, branches are
+/// patched in place. Byte-identical to the pre-`CodeSink` emitter.
+#[derive(Debug, Default)]
+pub struct VmSink {
+    /// The emitted instructions, install-ready for a [`dyc_vm::CodeFunc`].
+    pub code: Vec<Instr>,
+}
+
+impl CodeSink for VmSink {
+    fn emitted(&self) -> usize {
+        self.code.len()
+    }
+
+    fn begin_unit(&mut self, _id: u32, _label: u32) {}
+
+    fn push(&mut self, ins: Instr, _templated: bool, _patches: u16) {
+        self.code.push(ins);
+    }
+
+    fn patch_branch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Instr::Jmp { target: t }
+            | Instr::Brz { target: t, .. }
+            | Instr::Brnz { target: t, .. } => {
+                *t = target;
+            }
+            other => unreachable!("fixup on non-branch {other:?}"),
+        }
+    }
+}
+
+/// One recorded sink call (see [`RecordingSink`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SinkOp {
+    /// `begin_unit(id, label)`.
+    Begin(u32, u32),
+    /// `push(ins, templated, patches)`.
+    Push(Instr, bool, u16),
+    /// `patch_branch(at, target)`.
+    Patch(usize, u32),
+}
+
+/// A sink that logs every call verbatim — used by tests to assert the
+/// emitter drives every backend identically (sink-agnostic emission).
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    /// The call log, in order.
+    pub ops: Vec<SinkOp>,
+    emitted: usize,
+}
+
+impl RecordingSink {
+    /// Replay the log into a fresh code vector, reproducing exactly what a
+    /// [`VmSink`] would hold after the same calls.
+    pub fn replay(&self) -> Vec<Instr> {
+        let mut vm = VmSink::default();
+        for op in &self.ops {
+            match op {
+                SinkOp::Begin(id, label) => vm.begin_unit(*id, *label),
+                SinkOp::Push(ins, t, p) => vm.push(ins.clone(), *t, *p),
+                SinkOp::Patch(at, target) => vm.patch_branch(*at, *target),
+            }
+        }
+        vm.code
+    }
+}
+
+impl CodeSink for RecordingSink {
+    fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    fn begin_unit(&mut self, id: u32, label: u32) {
+        self.ops.push(SinkOp::Begin(id, label));
+    }
+
+    fn push(&mut self, ins: Instr, templated: bool, patches: u16) {
+        self.ops.push(SinkOp::Push(ins, templated, patches));
+        self.emitted += 1;
+    }
+
+    fn patch_branch(&mut self, at: usize, target: u32) {
+        self.ops.push(SinkOp::Patch(at, target));
+    }
+}
+
+/// FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a over arbitrary bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` plugging [`FnvHasher`] into std collections. Unit-key
+/// interning is one hash per unit *reference* on the specialization hot
+/// path; FNV-1a over the key bytes is both cheaper than SipHash and the
+/// hash family the rest of the runtime (shard selector, `dyc-obs`
+/// key hashing) already standardizes on.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FnvBuild;
+
+impl std::hash::BuildHasher for FnvBuild {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher::default()
+    }
+}
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = FnvHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_sink_appends_and_patches_in_place() {
+        let mut s = VmSink::default();
+        s.push(Instr::MovI { dst: 0, imm: 7 }, false, 0);
+        s.push(Instr::Jmp { target: u32::MAX }, true, 2);
+        assert_eq!(s.emitted(), 2);
+        s.patch_branch(1, 0);
+        assert_eq!(s.code[1], Instr::Jmp { target: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-branch")]
+    fn vm_sink_rejects_patching_non_branches() {
+        let mut s = VmSink::default();
+        s.push(Instr::Halt, false, 0);
+        s.patch_branch(0, 3);
+    }
+
+    #[test]
+    fn recording_sink_replays_to_vm_code() {
+        let mut r = RecordingSink::default();
+        r.begin_unit(0, 0);
+        r.push(Instr::MovI { dst: 1, imm: 4 }, false, 0);
+        r.push(
+            Instr::Brnz {
+                cond: 1,
+                target: u32::MAX,
+            },
+            false,
+            0,
+        );
+        r.patch_branch(1, 0);
+        assert_eq!(r.emitted(), 2);
+        assert_eq!(
+            r.replay(),
+            vec![
+                Instr::MovI { dst: 1, imm: 4 },
+                Instr::Brnz { cond: 1, target: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Known FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv_build_hashes_via_std_hasher_plumbing() {
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = FnvBuild.build_hasher();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+}

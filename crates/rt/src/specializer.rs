@@ -166,7 +166,7 @@ impl Specializer {
 
         rt.stats.divisions_observed +=
             spec.division_sets.values().filter(|s| s.len() >= 2).count() as u64;
-        rt.stats.instrs_generated += spec.em.code.len() as u64;
+        rt.stats.instrs_generated += spec.em.emitted() as u64;
         rt.stats.ge_exec_cycles += spec.em.exec_cycles;
         rt.stats.emit_cycles += spec.em.emit_cycles;
         let cycles = spec.em.total_cycles();
@@ -175,7 +175,7 @@ impl Specializer {
         let name = format!("{}$spec{}", spec.f.name, module.len());
         let mut cf =
             dyc_vm::CodeFunc::new(name, dyn_params.len(), spec.em.next_reg.max(1) as usize);
-        cf.code = spec.em.code;
+        cf.code = spec.em.take_code();
         Ok(module.add_func(cf))
     }
 
@@ -209,7 +209,7 @@ impl Specializer {
             if self.em.sealed(id) {
                 break;
             }
-            if self.em.code.len() as u64 > self.budget {
+            if self.em.emitted() as u64 > self.budget {
                 return Err(VmError::Dispatch(
                     "specialization exceeded its instruction budget (non-terminating static control flow?)"
                         .into(),

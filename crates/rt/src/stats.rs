@@ -91,6 +91,14 @@ pub struct RtStats {
     /// specialization, took the generic (unspecialized) continuation
     /// instead of blocking.
     pub single_flight_fallbacks: u64,
+    /// Cached specializations restored from a snapshot bundle at
+    /// warm-start (each skips one future first-dispatch specialization).
+    pub cache_warm_loads: u64,
+    /// Snapshot entries rejected at warm-start — a stale or corrupted
+    /// (config-hash, program-hash, artifact-version) fingerprint, or a
+    /// malformed artifact. Rejection is per-entry and never fatal; the
+    /// key simply re-specializes on first dispatch.
+    pub cache_warm_rejects: u64,
 }
 
 /// Every `u64` counter field of [`RtStats`], listed once. `delta` and
@@ -130,7 +138,9 @@ macro_rules! counter_fields {
             cache_evictions,
             cache_invalidations,
             single_flight_waits,
-            single_flight_fallbacks
+            single_flight_fallbacks,
+            cache_warm_loads,
+            cache_warm_rejects
         )
     };
 }
@@ -229,7 +239,7 @@ mod tests {
     fn counters_cover_every_u64_field() {
         let s = RtStats::new();
         let counters = s.counters();
-        // 32 u64 counters + the one bool (padded to 8 bytes) accounts
+        // 34 u64 counters + the one bool (padded to 8 bytes) accounts
         // for the whole struct; a counter field missing from the macro
         // breaks this equation.
         assert_eq!(

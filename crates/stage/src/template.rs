@@ -42,6 +42,15 @@
 //!
 //! Runs of fewer than two templatable emits are left alone — a template
 //! would buy nothing over a single hole-filling emit.
+//!
+//! At run time the copied block flows through the emitter's pluggable
+//! `CodeSink` backend (`dyc-rt`'s `sink` module) like any other
+//! emission: each patched instruction is pushed with a `templated` flag
+//! and its filled-hole count, so an installing sink (`VmSink`) receives
+//! the identical byte stream the unfused path would produce, while a
+//! serializing sink (`ArtifactSink`) additionally records which
+//! instructions were template copies and where their holes were — the
+//! per-unit hole descriptors carried by persisted `CodeArtifact`s.
 
 use crate::ge::{GeDivision, GeFunc, GeOp};
 use dyc_bta::OptConfig;

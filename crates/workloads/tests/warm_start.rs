@@ -1,0 +1,110 @@
+//! Snapshot → warm-start round-trip over the full benchmark suite.
+//!
+//! For every workload: run the region cold (specializing), snapshot the
+//! session's code cache as a bundle, warm-start a fresh session from it,
+//! and re-run the same deterministic invocations. The warm session must
+//! produce identical, validated results with **zero** specializations —
+//! every dispatch, entry sites and internal promotions alike, hits
+//! restored code — and its cached bindings must be instruction-identical
+//! to the cold session's.
+
+use dyc::{CodeFunc, Compiler, Session, Value};
+use dyc_workloads::{all, Workload};
+
+/// Region invocations (enough to exercise cache hits after the miss).
+fn n_reps() -> usize {
+    if cfg!(debug_assertions) {
+        2
+    } else {
+        4
+    }
+}
+
+fn run_sequence(w: &dyn Workload, sess: &mut Session, reps: usize) -> Vec<Option<Value>> {
+    let meta = w.meta();
+    let args = w.setup_region(sess);
+    sess.set_step_limit(200_000_000);
+    let mut out = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let r = sess
+            .run(meta.region_func, &args)
+            .unwrap_or_else(|e| panic!("{}: region run failed: {e}", meta.name));
+        assert!(
+            w.check_region(r, sess),
+            "{}: region result failed validation",
+            meta.name
+        );
+        w.reset(sess, &args);
+        out.push(r);
+    }
+    out
+}
+
+/// Sort cached bindings into a comparable form, dropping the base
+/// address (a module-layout artifact, not code bytes).
+fn normalize(mut entries: Vec<(u32, Vec<u64>, CodeFunc)>) -> Vec<(u32, Vec<u64>, String)> {
+    entries.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    entries
+        .into_iter()
+        .map(|(s, k, f)| {
+            (
+                s,
+                k,
+                format!(
+                    "name={} params={} regs={} code={:?}",
+                    f.name, f.n_params, f.n_regs, f.code
+                ),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn every_workload_warm_starts_with_zero_respecializations() {
+    for w in all() {
+        let meta = w.meta();
+        let program = Compiler::new()
+            .compile(&w.source())
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", meta.name));
+
+        // Cold: specialize and validate.
+        let mut cold = program.dynamic_session();
+        let cold_results = run_sequence(w.as_ref(), &mut cold, n_reps());
+        let cold_stats = cold.rt_stats().unwrap().clone();
+        assert!(
+            cold_stats.specializations > 0,
+            "{}: cold run never specialized",
+            meta.name
+        );
+        let bundle = cold.cache_bundle().unwrap();
+
+        // Warm: restore, re-run, compare.
+        let mut warm = program
+            .warm_start_from_str(&bundle)
+            .unwrap_or_else(|e| panic!("{}: warm start failed: {e}", meta.name));
+        {
+            let rt = warm.rt_stats().unwrap();
+            assert!(rt.cache_warm_loads > 0, "{}: nothing restored", meta.name);
+            assert_eq!(rt.cache_warm_rejects, 0, "{}: rejected entries", meta.name);
+            assert_eq!(
+                rt.cache_warm_loads, cold_stats.specializations,
+                "{}: restored count != cold specializations",
+                meta.name
+            );
+        }
+        let warm_results = run_sequence(w.as_ref(), &mut warm, n_reps());
+        assert_eq!(warm_results, cold_results, "{}: results differ", meta.name);
+        assert_eq!(
+            warm.rt_stats().unwrap().specializations,
+            0,
+            "{}: warm run re-specialized",
+            meta.name
+        );
+        assert_eq!(
+            normalize(cold.cached_code()),
+            normalize(warm.cached_code()),
+            "{}: cached code differs after warm start",
+            meta.name
+        );
+    }
+}
