@@ -13,6 +13,10 @@
 //! A fourth section prices the snapshot/warm-start path: the first
 //! region invocation cold (specializing) vs. warm-started from the cold
 //! session's cache bundle (every dispatch hits restored code).
+//! A fifth section measures real time: steady-state wall-clock per
+//! region invocation (median of N after warmup) under the fused VM vs.
+//! the native x86-64 backend, so the modeled cycle numbers sit next to
+//! nanoseconds and the backend's speedup is tracked per commit.
 //! The JSON is hand-rolled: the numbers are all `u64`/`f64` and a
 //! serializer dependency would be the only reason to have one.
 //!
@@ -161,6 +165,45 @@ fn run_warm_start(w: &dyn Workload) -> (u64, u64, u64) {
         meta.name
     );
     (cold_cycles, warm_cycles, restored)
+}
+
+/// Steady-state wall-clock per region invocation under `cfg`: one
+/// specializing invocation plus a few unmeasured steady-state rounds to
+/// warm caches, then `reps` timed rounds. Returns the median
+/// nanoseconds and the session's native-install count (zero under a
+/// pure-VM config, or on hosts without the backend).
+fn run_wall(w: &dyn Workload, cfg: OptConfig, reps: usize) -> (u64, u64) {
+    let meta = w.meta();
+    let program = Compiler::with_config(cfg)
+        .compile(&w.source())
+        .unwrap_or_else(|e| panic!("{}: compile error: {e}", meta.name));
+    let mut sess = program.dynamic_session();
+    sess.set_step_limit(200_000_000);
+    let args = w.setup_region(&mut sess);
+    let out = sess
+        .run(meta.region_func, &args)
+        .unwrap_or_else(|e| panic!("{}: region run failed: {e}", meta.name));
+    assert!(
+        w.check_region(out, &mut sess),
+        "{}: wrong region result",
+        meta.name
+    );
+    for _ in 0..3 {
+        w.reset(&mut sess, &args);
+        sess.run(meta.region_func, &args).unwrap();
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        w.reset(&mut sess, &args);
+        let start = Instant::now();
+        let r = sess.run(meta.region_func, &args);
+        samples.push(start.elapsed().as_nanos() as u64);
+        r.unwrap_or_else(|e| panic!("{}: timed run failed: {e}", meta.name));
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let rt = sess.rt_stats().expect("dynamic session");
+    (median, rt.native_installs)
 }
 
 fn main() {
@@ -331,6 +374,35 @@ fn main() {
             json,
             "    \"{name}\": {{ \"cold_first_cycles\": {cold}, \"warm_first_cycles\": {warm}, \
              \"entries_restored\": {restored} }}{}",
+            if i + 1 == workloads.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    json.push_str("  },\n  \"wall_clock\": {\n");
+
+    // Wall clock: the same steady-state region invocation through the
+    // fused VM and through the native backend. The modeled cycle
+    // numbers above are backend-independent; this is where the cycle-
+    // model speedups have to show up as real nanoseconds.
+    const WALL_REPS: usize = 33;
+    let native_cfg = OptConfig {
+        native: true,
+        ..OptConfig::all()
+    };
+    println!("\nsteady-state wall clock (median of {WALL_REPS} invocations, ns):");
+    for (i, w) in workloads.iter().enumerate() {
+        let name = w.meta().name;
+        let (vm_ns, _) = run_wall(w.as_ref(), fused_cfg, WALL_REPS);
+        let (native_ns, installs) = run_wall(w.as_ref(), native_cfg, WALL_REPS);
+        let speedup = vm_ns as f64 / native_ns.max(1) as f64;
+        println!(
+            "{name:<22} vm {vm_ns:>9} ns  native {native_ns:>9} ns  \
+             ({speedup:.2}x, {installs} installs)"
+        );
+        writeln!(
+            json,
+            "    \"{name}\": {{ \"vm_ns\": {vm_ns}, \"native_ns\": {native_ns}, \
+             \"native_installs\": {installs}, \"native_speedup\": {speedup:.3} }}{}",
             if i + 1 == workloads.len() { "" } else { "," }
         )
         .unwrap();

@@ -7,8 +7,9 @@
 //! summary for concurrent runs.
 //!
 //! ```text
-//! dycstat run <workload> [--threads N] [--reps N] [--out trace.json]
-//!                        [--prom metrics.txt] [--require cat,cat,...]
+//! dycstat run <workload> [--threads N] [--reps N] [--native]
+//!                        [--out trace.json] [--prom metrics.txt]
+//!                        [--require cat,cat,...]
 //! dycstat report <trace.json> [--require cat,cat,...]
 //! dycstat snapshot <workload> [--reps N] [--out bundle.json]
 //! dycstat warm <workload> <bundle.json> [--reps N]
@@ -23,6 +24,10 @@
 //! artifact bundle; `warm` restores the bundle into a fresh session and
 //! prices the first region invocation cold vs. warm — the cycles a
 //! warm start saves by skipping first-dispatch specialization.
+//!
+//! `--native` runs through the native x86-64 backend; traces recorded
+//! that way (and reports over them) grow per-site native-vs-VM columns:
+//! machine-code installs and bytes published per site.
 
 use dyc::obs::{
     chrome_trace, contention, merge, parse_chrome_trace, render_metrics, site_profiles, Category,
@@ -47,7 +52,7 @@ struct RunMeta {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dycstat run <workload> [--threads N] [--reps N] [--out FILE] \
+        "usage:\n  dycstat run <workload> [--threads N] [--reps N] [--native] [--out FILE] \
          [--prom FILE] [--require cat,...]\n  dycstat report <trace.json> [--require cat,...]\n  \
          dycstat snapshot <workload> [--reps N] [--out FILE]\n  \
          dycstat warm <workload> <bundle.json> [--reps N]\n  \
@@ -122,8 +127,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     };
 
+    let native = args.iter().any(|a| a == "--native");
     let mut cfg = OptConfig::all();
     cfg.trace = true;
+    cfg.native = native;
     let program = Compiler::with_config(cfg)
         .compile(&w.source())
         .expect("workload compiles");
@@ -160,6 +167,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     } else {
         let shared = program.shared_runtime_with(SharedOptions {
             trace: true,
+            native,
             ..SharedOptions::default()
         });
         let w = Arc::new(w);
@@ -423,7 +431,12 @@ fn print_report(events: &[Event], run: &RunMeta) {
         }
     );
 
-    let header = [
+    // Native-vs-VM columns only when the trace actually holds native
+    // events — a pure-VM report stays byte-identical to before.
+    let native = profiles
+        .iter()
+        .any(|p| p.native_installs + p.native_fallbacks > 0);
+    let mut header = vec![
         ("site", 5),
         ("specs", 6),
         ("vars", 5),
@@ -437,10 +450,14 @@ fn print_report(events: &[Event], run: &RunMeta) {
         ("holes", 6),
         ("evict", 6),
         ("promo", 6),
-        ("break-even", 11),
     ];
+    if native {
+        header.push(("native", 8));
+        header.push(("nat B", 7));
+    }
+    header.push(("break-even", 11));
     let mut line = String::new();
-    for (h, w) in header {
+    for &(h, w) in &header {
         line.push_str(&cell(h, w));
     }
     println!("{line}");
@@ -451,7 +468,7 @@ fn print_report(events: &[Event], run: &RunMeta) {
             Some(_) => "-".into(),
             None => "never".into(),
         };
-        let row = [
+        let mut row = vec![
             (p.site.to_string(), 5),
             (p.specializations.to_string(), 6),
             (p.variants.to_string(), 5),
@@ -465,8 +482,19 @@ fn print_report(events: &[Event], run: &RunMeta) {
             (p.holes_patched.to_string(), 6),
             (p.evictions.to_string(), 6),
             (p.promotions.to_string(), 6),
-            (be, 11),
         ];
+        if native {
+            // "2" = all installs took; "2+1f" = one lowering fell back
+            // to the VM for this site.
+            let nat = if p.native_fallbacks == 0 {
+                p.native_installs.to_string()
+            } else {
+                format!("{}+{}f", p.native_installs, p.native_fallbacks)
+            };
+            row.push((nat, 8));
+            row.push((p.native_bytes.to_string(), 7));
+        }
+        row.push((be, 11));
         let mut out = String::new();
         for (v, w) in row {
             out.push_str(&cell(&v, w));
@@ -551,6 +579,21 @@ fn prometheus(events: &[Event], run: &RunMeta) -> String {
             "dyc_site_flight_waits_total",
             "Single-flight waits at the site",
             p.waits,
+        ));
+        ms.push(c(
+            "dyc_site_native_installs_total",
+            "Specializations published as native machine code",
+            p.native_installs,
+        ));
+        ms.push(c(
+            "dyc_site_native_bytes_total",
+            "Bytes of native machine code published for the site",
+            p.native_bytes,
+        ));
+        ms.push(c(
+            "dyc_site_native_fallbacks_total",
+            "Native lowerings that fell back to the VM",
+            p.native_fallbacks,
         ));
         if let Some(be) = p.break_even(saved) {
             ms.push(Metric::gauge(

@@ -52,6 +52,15 @@ pub struct OptConfig {
     /// emitted code, or `RtStats`. Not a Table 5 column — off by
     /// default, including in [`OptConfig::all`].
     pub trace: bool,
+    /// Execute specializations through the native x86-64 copy-and-patch
+    /// backend where the host supports it: specialized code is lowered to
+    /// machine code at emit time and dispatch invokes the native entry
+    /// directly, falling back to VM interpretation for unsupported
+    /// constructs or platforms. Results, outputs, and memory states are
+    /// identical to the VM; only wall-clock time changes (modeled-cycle
+    /// accounting still reflects the VM pipeline). Not a Table 5 column —
+    /// off by default, including in [`OptConfig::all`].
+    pub native: bool,
 }
 
 impl OptConfig {
@@ -70,6 +79,7 @@ impl OptConfig {
             staged_ge: true,
             template_fusion: true,
             trace: false,
+            native: false,
         }
     }
 
@@ -89,6 +99,7 @@ impl OptConfig {
             "polyvariant_division" => c.polyvariant_division = false,
             "staged_ge" => c.staged_ge = false,
             "template_fusion" => c.template_fusion = false,
+            "native" => c.native = false,
             _ => return None,
         }
         Some(c)

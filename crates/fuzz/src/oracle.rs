@@ -41,7 +41,12 @@
 //!   cold cache saw no evictions or invalidations, and ends with
 //!   instruction-identical cached code — while a bundle with one
 //!   corrupted entry fingerprint loses exactly that entry (rejected and
-//!   metered, never fatal) and still computes exact results.
+//!   metered, never fatal) and still computes exact results;
+//! * native equivalence: a seventh, fused run through the native x86-64
+//!   backend (`OptConfig::native`) reproduces the fused path's results,
+//!   output, and writable-array contents tuple for tuple, and on hosts
+//!   with the backend actually installs machine code whenever it
+//!   specializes (the suite's specialized ISA is fully lowerable).
 
 use crate::gen::{ScalarArg, TestCase, ARRAY_LEN, TARGET};
 use dyc::{CacheBundle, CodeFunc, Compiler, OptConfig, Program, RtStats, Session, Value};
@@ -91,6 +96,11 @@ pub enum Violation {
     /// re-specialization of restored keys, non-identical cached code —
     /// or a corrupted bundle entry that was not rejected per-entry.
     WarmMismatch { details: String },
+    /// The native x86-64 backend diverged from the fused VM path:
+    /// different results, output, or writable-array contents — or a
+    /// host with the backend that specialized without installing any
+    /// machine code.
+    NativeMismatch { tuple: usize, details: String },
 }
 
 impl Violation {
@@ -109,6 +119,7 @@ impl Violation {
             Violation::ThreadMismatch { .. } => "thread-mismatch",
             Violation::TraceMismatch { .. } => "trace-mismatch",
             Violation::WarmMismatch { .. } => "warm-mismatch",
+            Violation::NativeMismatch { .. } => "native-mismatch",
         }
     }
 }
@@ -136,6 +147,9 @@ impl std::fmt::Display for Violation {
             Violation::ThreadMismatch { details } => write!(f, "thread mismatch: {details}"),
             Violation::TraceMismatch { details } => write!(f, "trace mismatch: {details}"),
             Violation::WarmMismatch { details } => write!(f, "warm-start mismatch: {details}"),
+            Violation::NativeMismatch { tuple, details } => {
+                write!(f, "native mismatch on tuple {tuple}: {details}")
+            }
         }
     }
 }
@@ -567,6 +581,7 @@ fn run_case_src(case: &TestCase, src: &str) -> Result<CaseReport, Box<Violation>
     check_traced(case, src, &fused_obs, &paths[3], tuple0_ok)?;
     check_threaded(case, src, &fused_obs, &paths[3], fused.specializations)?;
     check_warm(case, src, &fused_obs, &paths[3], &fused)?;
+    check_native(case, src, &fused_obs, &paths[3])?;
 
     report.coverage = Coverage {
         specialized: fused.specializations > 0,
@@ -1033,6 +1048,99 @@ fn check_warm(
                 ),
             }));
         }
+    }
+    Ok(())
+}
+
+/// Fifth dynamic path: the fused configuration with the native x86-64
+/// backend switched on (`OptConfig::native`).
+///
+/// Every tuple whose fused run completed must reproduce the fused
+/// observables exactly — result, printed output, and writable-array
+/// contents. Tuples whose fused run *failed* are skipped rather than
+/// replayed: the dominant failure is the interpreter step limit, which
+/// machine code deliberately does not meter, so replaying such a tuple
+/// natively could run unboundedly. (Genuine faults — division by zero,
+/// out-of-bounds — still surface on the tuples that complete before
+/// them, and the workload-level differential test covers fault parity
+/// directly.)
+///
+/// On hosts with the backend compiled in, the path must also have
+/// installed machine code for every specialization: the generator's ISA
+/// contains no instruction the encoder cannot lower, so a fallback here
+/// is a lowering bug, not a coverage gap.
+fn check_native(
+    case: &TestCase,
+    src: &str,
+    fused_obs: &[Obs],
+    fused_path: &Path,
+) -> Result<(), Box<Violation>> {
+    let native_cfg = OptConfig {
+        native: true,
+        ..OptConfig::all()
+    };
+    let mut p = build_path("native", case, src, native_cfg, true)?;
+    if p.arr_base != fused_path.arr_base || p.wbuf_base != fused_path.wbuf_base {
+        return Err(Box::new(Violation::NativeMismatch {
+            tuple: 0,
+            details: "allocation bases diverged from the fused path".into(),
+        }));
+    }
+
+    for (t, tuple) in case.tuples.iter().enumerate() {
+        if fused_obs[t].result.is_err() {
+            continue;
+        }
+        let o = p.invoke(case, tuple)?;
+        let f = &fused_obs[t];
+        let same = match (&o.result, &f.result) {
+            (Ok(None), Ok(None)) => true,
+            (Ok(Some(a)), Ok(Some(b))) => value_eq(a, b),
+            _ => false,
+        };
+        if !same {
+            return Err(Box::new(Violation::NativeMismatch {
+                tuple: t,
+                details: format!("fused: {:?} vs native: {:?}", f.result, o.result),
+            }));
+        }
+        if !values_eq(&f.output, &o.output) {
+            return Err(Box::new(Violation::NativeMismatch {
+                tuple: t,
+                details: format!(
+                    "output fused: {} vs native: {}",
+                    fmt_vals(&f.output),
+                    fmt_vals(&o.output)
+                ),
+            }));
+        }
+        if f.wbuf != o.wbuf {
+            return Err(Box::new(Violation::NativeMismatch {
+                tuple: t,
+                details: format!("wbuf fused: {:?} vs native: {:?}", f.wbuf, o.wbuf),
+            }));
+        }
+    }
+
+    let rt = p.sess.rt_stats().expect("dynamic path");
+    if rt.specializations > 0 && rt.native_installs + rt.native_fallbacks == 0 {
+        return Err(Box::new(Violation::NativeMismatch {
+            tuple: 0,
+            details: format!(
+                "specialized {} times but never attempted a native lowering",
+                rt.specializations
+            ),
+        }));
+    }
+    #[cfg(all(target_arch = "x86_64", unix, not(dyc_no_native)))]
+    if rt.specializations > 0 && rt.native_installs == 0 {
+        return Err(Box::new(Violation::NativeMismatch {
+            tuple: 0,
+            details: format!(
+                "specialized {} times but installed no machine code ({} fallbacks)",
+                rt.specializations, rt.native_fallbacks
+            ),
+        }));
     }
     Ok(())
 }

@@ -52,6 +52,14 @@ pub enum EventKind {
     /// warm-start (no GE execution ran). `a` = instructions in the
     /// restored code.
     CacheWarmLoad,
+    /// A specialization was additionally lowered to native x86-64
+    /// machine code and installed in the executable arena. `a` = bytes
+    /// of machine code published.
+    NativeInstall,
+    /// A specialization stayed on the VM backend despite the native
+    /// config — the lowering declined or the platform has no native
+    /// backend.
+    NativeFallback,
 }
 
 /// Event categories — the `cat` field of the Chrome trace, and the
@@ -105,6 +113,8 @@ impl EventKind {
             EventKind::CacheInvalidate => "cache-invalidate",
             EventKind::Promotion => "promotion",
             EventKind::CacheWarmLoad => "cache-warm-load",
+            EventKind::NativeInstall => "native-install",
+            EventKind::NativeFallback => "native-fallback",
         }
     }
 
@@ -116,7 +126,10 @@ impl EventKind {
             | EventKind::DispatchUnchecked
             | EventKind::DispatchIndexed => Category::Dispatch,
             EventKind::FlightWait | EventKind::FlightFallback => Category::Flight,
-            EventKind::GeExecBegin | EventKind::GeExecEnd => Category::Spec,
+            EventKind::GeExecBegin
+            | EventKind::GeExecEnd
+            | EventKind::NativeInstall
+            | EventKind::NativeFallback => Category::Spec,
             EventKind::TemplateCopy | EventKind::HolePatch => Category::Template,
             EventKind::CacheEvict | EventKind::CacheInvalidate | EventKind::CacheWarmLoad => {
                 Category::Cache
@@ -156,7 +169,7 @@ pub struct Event {
 }
 
 /// Every kind, in declaration order (test and exporter support).
-pub const ALL_KINDS: [EventKind; 14] = [
+pub const ALL_KINDS: [EventKind; 16] = [
     EventKind::DispatchHit,
     EventKind::DispatchMiss,
     EventKind::DispatchUnchecked,
@@ -171,6 +184,8 @@ pub const ALL_KINDS: [EventKind; 14] = [
     EventKind::CacheInvalidate,
     EventKind::Promotion,
     EventKind::CacheWarmLoad,
+    EventKind::NativeInstall,
+    EventKind::NativeFallback,
 ];
 
 #[cfg(test)]
@@ -182,7 +197,7 @@ mod tests {
         let mut names: Vec<&str> = ALL_KINDS.iter().map(|k| k.name()).collect();
         names.sort_unstable();
         names.dedup();
-        // 14 kinds, but begin/end share "ge-exec".
+        // 16 kinds, but begin/end share "ge-exec".
         assert_eq!(names.len(), ALL_KINDS.len() - 1);
     }
 

@@ -56,6 +56,14 @@ pub struct SiteProfile {
     pub wait_ns: u64,
     /// Single-flight generic-continuation fallbacks (concurrent runs).
     pub fallbacks: u64,
+    /// Specializations additionally installed as native x86-64 machine
+    /// code at this site.
+    pub native_installs: u64,
+    /// Total machine-code bytes those installs published.
+    pub native_bytes: u64,
+    /// Specializations that stayed on the VM backend despite the native
+    /// config (lowering declined, or no backend on this platform).
+    pub native_fallbacks: u64,
 }
 
 impl SiteProfile {
@@ -155,6 +163,11 @@ pub fn site_profiles(events: &[Event]) -> Vec<SiteProfile> {
             EventKind::CacheInvalidate => p.invalidations += 1,
             EventKind::Promotion => p.promotions += 1,
             EventKind::CacheWarmLoad => p.warm_loads += 1,
+            EventKind::NativeInstall => {
+                p.native_installs += 1;
+                p.native_bytes += e.a;
+            }
+            EventKind::NativeFallback => p.native_fallbacks += 1,
         }
     }
     out

@@ -50,7 +50,10 @@ pub const ARTIFACT_VERSION: u32 = 1;
 /// `trace` flag is deliberately excluded: it is purely observational
 /// (recording events never changes results, code bytes, or caches), so
 /// a bundle snapshotted with tracing on warm-starts a traced *or*
-/// untraced runtime.
+/// untraced runtime. The `native` flag is excluded for the same reason:
+/// the VM code bytes in a bundle are backend-independent (native
+/// lowering happens after restore, per run), so a bundle snapshotted
+/// with either backend warm-starts the other.
 pub fn config_hash(cfg: &OptConfig) -> u64 {
     let flags: [(&str, bool); 11] = [
         ("complete_loop_unrolling", cfg.complete_loop_unrolling),

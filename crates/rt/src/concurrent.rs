@@ -66,6 +66,7 @@ use crate::artifact::{self, CacheBundle, SiteSpec, ARTIFACT_VERSION};
 use crate::cache::{DoubleHashCache, Probed};
 use crate::costs::DynCosts;
 use crate::ge_exec::{GeExecutor, SpecEnv, SpecHost};
+use crate::native::{exec_entry, lower_func, NativeArtifact, NativeDispatch, NativeEngine};
 use crate::runtime::{Site, Store};
 use crate::stats::RtStats;
 use dyc_obs::{now_ns, EventKind, Trace};
@@ -415,6 +416,8 @@ struct ConcStats {
     generic_continuations: AtomicU64,
     cache_warm_loads: AtomicU64,
     cache_warm_rejects: AtomicU64,
+    native_installs: AtomicU64,
+    native_fallbacks: AtomicU64,
 }
 
 /// Plain snapshot of the shared runtime's meters.
@@ -444,6 +447,15 @@ pub struct ConcSnapshot {
     /// Per-entry and never fatal — rejected keys re-specialize on first
     /// dispatch.
     pub cache_warm_rejects: u64,
+    /// Materialized functions additionally lowered to native x86-64
+    /// machine code across all threads (each thread installs into its
+    /// own engine, so one published specialization can count once per
+    /// thread that runs it).
+    pub native_installs: u64,
+    /// Materializations that stayed on the VM backend despite the
+    /// native option — the lowering declined or the platform lacks the
+    /// backend.
+    pub native_fallbacks: u64,
     /// Code functions published to the shared registry.
     pub published: u64,
     /// Per-shard cache meters.
@@ -475,6 +487,12 @@ pub struct SharedOptions {
     /// Also switched on by [`OptConfig::trace`](dyc_bta::OptConfig) on
     /// the staged program's config.
     pub trace: bool,
+    /// Lower materialized specializations to native x86-64 machine code
+    /// (each thread owns its own executable arena) and run them instead
+    /// of interpreting. Also switched on by
+    /// [`OptConfig::native`](dyc_bta::OptConfig) on the staged program's
+    /// config. A no-op on platforms without the native backend.
+    pub native: bool,
 }
 
 impl Default for SharedOptions {
@@ -484,6 +502,7 @@ impl Default for SharedOptions {
             miss_policy: MissPolicy::Block,
             spec_budget: 4_000_000,
             trace: false,
+            native: false,
         }
     }
 }
@@ -605,6 +624,7 @@ impl SharedRuntime {
             local_ids: Vec::new(),
             site_cache: Vec::new(),
             trace,
+            native: NativeEngine::new(),
         }
     }
 
@@ -795,6 +815,8 @@ impl SharedRuntime {
             generic_continuations: self.stats.generic_continuations.load(Ordering::Relaxed),
             cache_warm_loads: self.stats.cache_warm_loads.load(Ordering::Relaxed),
             cache_warm_rejects: self.stats.cache_warm_rejects.load(Ordering::Relaxed),
+            native_installs: self.stats.native_installs.load(Ordering::Relaxed),
+            native_fallbacks: self.stats.native_fallbacks.load(Ordering::Relaxed),
             published: self.registry.read().unwrap().len() as u64,
             shards: self.cache.meters(),
         }
@@ -866,6 +888,11 @@ pub struct ThreadRuntime {
     /// set). Recording never touches [`RtStats`], published code, or
     /// results; drain it with [`Trace::events`] after the run.
     pub trace: Trace,
+    /// This thread's native x86-64 engine. Each thread owns its own
+    /// executable arena (mirroring the private module replica), keyed by
+    /// the thread-local [`FuncId`]s from [`ThreadRuntime::materialize`].
+    /// Inert on platforms without the backend.
+    native: NativeEngine,
 }
 
 impl ThreadRuntime {
@@ -880,6 +907,54 @@ impl ThreadRuntime {
         self.shared.invalidate_site(point);
         self.trace
             .rec(EventKind::CacheInvalidate, point, 0, 0, 0, 0);
+    }
+
+    /// Native backend gate: [`SharedOptions::native`] or the staged
+    /// config's `native` flag.
+    fn native_on(&self) -> bool {
+        self.shared.opts.native || self.shared.staged.cfg.native
+    }
+
+    /// Hand a lowered artifact to this thread's native engine, metering
+    /// the outcome locally and globally.
+    fn install_native(&mut self, point: u32, fid: FuncId, art: Option<NativeArtifact>) {
+        match self.native.install(fid, art) {
+            Some(len) => {
+                self.stats.native_installs += 1;
+                self.shared
+                    .stats
+                    .native_installs
+                    .fetch_add(1, Ordering::Relaxed);
+                self.trace
+                    .rec(EventKind::NativeInstall, point, 0, 0, len as u64, 0);
+            }
+            None => {
+                self.stats.native_fallbacks += 1;
+                self.shared
+                    .stats
+                    .native_fallbacks
+                    .fetch_add(1, Ordering::Relaxed);
+                self.trace.rec(EventKind::NativeFallback, point, 0, 0, 0, 0);
+            }
+        }
+    }
+
+    /// Native fast path for an invocation tail: when `fid` has an
+    /// installed machine-code entry, run it here and hand the
+    /// interpreter a completed result. Charges nothing to the cycle
+    /// model.
+    fn finish_invoke(
+        &mut self,
+        fid: FuncId,
+        out_args: &[Value],
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<DispatchOutcome, VmError> {
+        if let Some(entry) = self.native.entry(fid) {
+            let value = exec_entry(&entry, out_args, self, module, vm)?;
+            return Ok(DispatchOutcome::Completed { value });
+        }
+        Ok(DispatchOutcome::Invoke { func: fid })
     }
 
     fn charge(&mut self, vm: &mut Vm, cycles: u64) {
@@ -905,8 +980,9 @@ impl ThreadRuntime {
     }
 
     /// Copy published code `gid` into this thread's module on first use;
-    /// base-module ids map to themselves.
-    fn materialize(&mut self, gid: u32, module: &mut Module, vm: &mut Vm) -> FuncId {
+    /// base-module ids map to themselves. `point` tags the native-install
+    /// trace event.
+    fn materialize(&mut self, point: u32, gid: u32, module: &mut Module, vm: &mut Vm) -> FuncId {
         if (gid as usize) < self.shared.base_len {
             return FuncId(gid);
         }
@@ -925,6 +1001,13 @@ impl ThreadRuntime {
         let install = self.shared.costs.install;
         self.charge(vm, install);
         self.local_ids[idx] = Some(fid);
+        // First materialization in this thread: lower to machine code in
+        // this thread's own arena (the winner thread did the same in
+        // `do_specialize`).
+        if self.native_on() {
+            let art = lower_func(module.func(fid));
+            self.install_native(point, fid, art);
+        }
         fid
     }
 
@@ -976,10 +1059,17 @@ impl ThreadRuntime {
             trace: &mut self.trace,
         };
         let mut host = SharedSiteHost { shared: &shared };
-        let f = GeExecutor::run(&mut env, &mut host, point, site, store, d, module, vm)?;
+        let (f, native_art) =
+            GeExecutor::run(&mut env, &mut host, point, site, store, d, module, vm)?;
         vm.flush_icache();
         let install = shared.costs.install;
         self.charge(vm, install);
+        if self.native_on() {
+            // The GE path lowered during emission when the staged config
+            // asked for it; lower the finished code otherwise.
+            let art = native_art.or_else(|| lower_func(module.func(f)));
+            self.install_native(point, f, art);
+        }
         self.trace.rec(
             EventKind::GeExecEnd,
             point,
@@ -1246,19 +1336,52 @@ impl DispatchHandler for ThreadRuntime {
                     MissResult::Generic(gid) => {
                         // The generic continuation takes every dispatch
                         // argument (nothing is baked in but the base store).
-                        let fid = self.materialize(gid, module, vm);
+                        let fid = self.materialize(point, gid, module, vm);
                         self.scratch_key = key;
                         out_args.extend_from_slice(args);
-                        return Ok(DispatchOutcome::Invoke { func: fid });
+                        return self.finish_invoke(fid, out_args, module, vm);
                     }
                 }
             }
         };
 
-        let fid = self.materialize(gid, module, vm);
+        let fid = self.materialize(point, gid, module, vm);
         self.scratch_key = key;
         out_args.extend(entry.site.dyn_pos.iter().map(|&i| args[i]));
-        Ok(DispatchOutcome::Invoke { func: fid })
+        self.finish_invoke(fid, out_args, module, vm)
+    }
+}
+
+impl NativeDispatch for ThreadRuntime {
+    fn native_dispatch(
+        &mut self,
+        point: u32,
+        args: &[Value],
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<Option<Value>, VmError> {
+        // Mirror of the interpreter's `Dispatch` arm: count it, run the
+        // handler, then either take the completed value (the callee ran
+        // natively too) or interpret the specialized function.
+        vm.stats.dispatches += 1;
+        let mut out_args = Vec::new();
+        match self.dispatch(point, args, &mut out_args, module, vm)? {
+            DispatchOutcome::Completed { value } => Ok(value),
+            DispatchOutcome::Invoke { func } => vm.call_with_handler(module, self, func, &out_args),
+        }
+    }
+
+    fn native_call(
+        &mut self,
+        func: FuncId,
+        args: &[Value],
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<Option<Value>, VmError> {
+        if let Some(entry) = self.native.entry(func) {
+            return exec_entry(&entry, args, self, module, vm);
+        }
+        vm.call_with_handler(module, self, func, args)
     }
 }
 
@@ -1423,7 +1546,7 @@ mod tests {
         let entry = Arc::clone(&sites[0]);
         drop(sites);
         let gid = shared.generic_continuation(&entry);
-        let fid = t.materialize(gid, &mut module, &mut vm);
+        let fid = t.materialize(0, gid, &mut module, &mut vm);
         for (b, e) in [(3i64, 4i64), (2, 0), (5, 3), (-2, 5)] {
             let args: Vec<Value> = entry
                 .site

@@ -89,6 +89,11 @@ pub(crate) struct Emitted {
     /// the instructions that survive the dead-assignment sweep, matching
     /// the convention that `emit_instr` is only paid for survivors.
     pub(crate) patches: u16,
+    /// The instruction's [`dyc_vm::instr_shape`], when the producer
+    /// pre-computed it (the fused template path carries shapes from
+    /// stage time); `0` otherwise. Forwarded to the sink so a native
+    /// backend can reuse prebuilt byte encodings.
+    pub(crate) shape: u16,
 }
 
 /// Sentinel for "no register assigned yet" in the dense vreg table.
@@ -138,6 +143,15 @@ impl<K: Clone + Eq + Hash> Emitter<K, VmSink> {
     #[cfg(test)]
     pub(crate) fn code(&self) -> &[Instr] {
         &self.sink.code
+    }
+}
+
+impl<K: Clone + Eq + Hash> Emitter<K, crate::sink::InstallSink> {
+    /// Take the finished code — plus the native lowering, when the
+    /// backend was upgraded to a [`crate::sink::NativeSink`] — out of
+    /// the install backend.
+    pub(crate) fn take_install(&mut self) -> (Vec<Instr>, Option<crate::native::NativeArtifact>) {
+        std::mem::take(&mut self.sink).take_install()
     }
 }
 
@@ -255,6 +269,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
             fixup: None,
             templated: false,
             patches: 0,
+            shape: 0,
         });
         scratch.insert(key, r);
         r
@@ -295,6 +310,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                 fixup: None,
                 templated: false,
                 patches: 0,
+                shape: 0,
             });
         }
     }
@@ -335,6 +351,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                 fixup: None,
                 templated: false,
                 patches: 0,
+                shape: 0,
             });
             if let Some(lr) = live_regs.as_deref_mut() {
                 lr.insert(r);
@@ -470,6 +487,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                     fixup: None,
                     templated: false,
                     patches: 0,
+                    shape: 0,
                 });
             }
             rename.remove(&d);
@@ -489,6 +507,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                         fixup: None,
                         templated: false,
                         patches: 0,
+                        shape: 0,
                     });
                 }
             }
@@ -503,6 +522,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                         fixup: None,
                         templated: false,
                         patches: 0,
+                        shape: 0,
                     });
                 }
             }
@@ -531,6 +551,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                                 fixup: None,
                                 templated: false,
                                 patches: 0,
+                                shape: 0,
                             });
                         }
                     }
@@ -546,6 +567,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                                 fixup: None,
                                 templated: false,
                                 patches: 0,
+                                shape: 0,
                             });
                         }
                     }
@@ -584,6 +606,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                         fixup: None,
                         templated: false,
                         patches: 0,
+                        shape: 0,
                     });
                 }
                 (Opnd::KI(x), Opnd::R(y)) => {
@@ -599,6 +622,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                         fixup: None,
                         templated: false,
                         patches: 0,
+                        shape: 0,
                     });
                 }
                 (x, y) => {
@@ -616,6 +640,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                         fixup: None,
                         templated: false,
                         patches: 0,
+                        shape: 0,
                     });
                 }
             },
@@ -644,6 +669,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                         fixup: None,
                         templated: false,
                         patches: 0,
+                        shape: 0,
                     });
                 }
             }
@@ -660,6 +686,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                         fixup: None,
                         templated: false,
                         patches: 0,
+                        shape: 0,
                     });
                 }
                 k => {
@@ -702,6 +729,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                     fixup: None,
                     templated: false,
                     patches: 0,
+                    shape: 0,
                 });
             }
             Inst::Store { ty, .. } => {
@@ -730,6 +758,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                     fixup: None,
                     templated: false,
                     patches: 0,
+                    shape: 0,
                 });
             }
             Inst::Call { callee, dst, .. } => {
@@ -756,6 +785,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                     fixup: None,
                     templated: false,
                     patches: 0,
+                    shape: 0,
                 });
             }
             _ => unreachable!("annotations handled by the caller"),
@@ -833,6 +863,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                         fixup: None,
                         templated: false,
                         patches: 0,
+                        shape: 0,
                     });
                     return;
                 }
@@ -855,6 +886,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                             fixup: None,
                             templated: false,
                             patches: 0,
+                            shape: 0,
                         });
                         return;
                     }
@@ -883,6 +915,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                             fixup: None,
                             templated: false,
                             patches: 0,
+                            shape: 0,
                         });
                         buf.push(Emitted {
                             ins: Instr::IAlu {
@@ -895,6 +928,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                             fixup: None,
                             templated: false,
                             patches: 0,
+                            shape: 0,
                         });
                         return;
                     }
@@ -915,6 +949,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                 fixup: None,
                 templated: false,
                 patches: 0,
+                shape: 0,
             });
             return;
         }
@@ -936,6 +971,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
             fixup: None,
             templated: false,
             patches: 0,
+            shape: 0,
         });
     }
 
@@ -956,6 +992,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
             fixup: None,
             templated: false,
             patches: 0,
+            shape: 0,
         });
         buf.push(Emitted {
             ins: Instr::IAlu {
@@ -968,6 +1005,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
             fixup: None,
             templated: false,
             patches: 0,
+            shape: 0,
         });
         buf.push(Emitted {
             ins: Instr::IAlu {
@@ -980,6 +1018,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
             fixup: None,
             templated: false,
             patches: 0,
+            shape: 0,
         });
         buf.push(Emitted {
             ins: Instr::IAlu {
@@ -992,6 +1031,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
             fixup: None,
             templated: false,
             patches: 0,
+            shape: 0,
         });
     }
 
@@ -1066,6 +1106,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
                         fixup: None,
                         templated: false,
                         patches: 0,
+                        shape: 0,
                     });
                     return;
                 }
@@ -1085,6 +1126,7 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
             fixup: None,
             templated: false,
             patches: 0,
+            shape: 0,
         });
     }
 
@@ -1149,7 +1191,8 @@ impl<K: Clone + Eq + Hash, S: CodeSink> Emitter<K, S> {
             if let Some(fk) = e.fixup {
                 self.fixups.push((self.sink.emitted(), fk));
             }
-            self.sink.push(e.ins, e.templated, e.patches);
+            self.sink
+                .push_shaped(e.ins, e.templated, e.patches, e.shape);
             if e.templated {
                 let patch = costs.hole_patch * u64::from(e.patches);
                 self.emit_cycles += costs.template_copy + patch;
@@ -1288,6 +1331,7 @@ mod tests {
             fixup: None,
             templated: false,
             patches: 0,
+            shape: 0,
         }
     }
 
@@ -1405,6 +1449,7 @@ mod tests {
             fixup: Some(id),
             templated: true,
             patches: 2,
+            shape: 0,
         }];
         em.seal_unit(id, buf, RegSet::new(), &costs, &mut stats);
         assert_eq!(stats.template_instrs, 1);
@@ -1591,6 +1636,7 @@ mod tests {
             fixup: Some(a),
             templated: true,
             patches: 1,
+            shape: 0,
         }];
         em.seal_unit(b, buf_b, RegSet::new(), costs, stats);
         em.patch_fixups(costs);

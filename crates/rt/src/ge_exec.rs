@@ -30,7 +30,9 @@
 
 use crate::costs::DynCosts;
 use crate::emitter::{mov_const, opnd_value, Emitted, Emitter, Opnd, RegSet};
+use crate::native::NativeArtifact;
 use crate::runtime::{Site, Store};
+use crate::sink::{InstallSink, NativeSink};
 use crate::stats::RtStats;
 use dyc_ir::{BlockId, VReg};
 use dyc_obs::{EventKind, Trace};
@@ -130,7 +132,7 @@ fn ge_key(division: u32, store: &Store) -> GeKey {
 pub struct GeExecutor {
     gef: Arc<GeFunc>,
     fidx: usize,
-    em: Emitter<GeKey>,
+    em: Emitter<GeKey, InstallSink>,
     worklist: Vec<(u32, Store)>,
     budget: u64,
     /// The dispatch point being specialized (tags trace events).
@@ -162,7 +164,7 @@ impl GeExecutor {
         division: u32,
         module: &mut Module,
         vm: &mut Vm,
-    ) -> Result<FuncId, VmError> {
+    ) -> Result<(FuncId, Option<NativeArtifact>), VmError> {
         let gef = env.staged.ge.funcs[site.func]
             .as_ref()
             .expect("site carries a division only for staged functions")
@@ -188,6 +190,12 @@ impl GeExecutor {
             division_sets: HashMap::new(),
             gef,
         };
+        if env.staged.cfg.native {
+            // Upgrade the install backend: lower each sealed
+            // instruction to x86-64 bytes as it lands. The VM mirror
+            // stays authoritative and byte-identical either way.
+            ex.em.sink = InstallSink::Native(NativeSink::default());
+        }
 
         // Dynamic pass-through parameters, in arg order.
         let dyn_params: Vec<VReg> = site
@@ -232,8 +240,9 @@ impl GeExecutor {
 
         let name = format!("{fname}$spec{}", module.len());
         let mut cf = dyc_vm::CodeFunc::new(name, dyn_params.len(), ex.em.next_reg.max(1) as usize);
-        cf.code = ex.em.take_code();
-        Ok(module.add_func(cf))
+        let (code, native) = ex.em.take_install();
+        cf.code = code;
+        Ok((module.add_func(cf), native))
     }
 
     /// Record a seal-time event tagged with this specialization's point
@@ -355,6 +364,7 @@ impl GeExecutor {
                             fixup: None,
                             templated: false,
                             patches: 0,
+                            shape: 0,
                         });
                     }
                 }
@@ -422,6 +432,7 @@ impl GeExecutor {
                 fixup: None,
                 templated: false,
                 patches: 0,
+                shape: 0,
             });
             buf.push(Emitted {
                 ins: Instr::Ret { src: dst },
@@ -429,6 +440,7 @@ impl GeExecutor {
                 fixup: None,
                 templated: false,
                 patches: 0,
+                shape: 0,
             });
         } else {
             // Terminator: precomputed flush/keep sets, then the edge plans.
@@ -481,6 +493,7 @@ impl GeExecutor {
                                 fixup: Some(id_t),
                                 templated: false,
                                 patches: 0,
+                                shape: 0,
                             });
                             if !self.em.sealed(id_t) {
                                 self.worklist.push((id_t, store_t));
@@ -492,6 +505,7 @@ impl GeExecutor {
                                     fixup: Some(id_f),
                                     templated: false,
                                     patches: 0,
+                                    shape: 0,
                                 });
                             } else {
                                 chain = Some((id_f, store_f));
@@ -536,6 +550,7 @@ impl GeExecutor {
                                     fixup: None,
                                     templated: false,
                                     patches: 0,
+                                    shape: 0,
                                 });
                                 buf.push(Emitted {
                                     ins: Instr::Brnz {
@@ -546,6 +561,7 @@ impl GeExecutor {
                                     fixup: Some(cid),
                                     templated: false,
                                     patches: 0,
+                                    shape: 0,
                                 });
                                 if !self.em.sealed(cid) {
                                     self.worklist.push((cid, st));
@@ -560,6 +576,7 @@ impl GeExecutor {
                                     fixup: Some(id_d),
                                     templated: false,
                                     patches: 0,
+                                    shape: 0,
                                 });
                             } else {
                                 chain = Some((id_d, store_d));
@@ -578,6 +595,7 @@ impl GeExecutor {
                                 fixup: None,
                                 templated: false,
                                 patches: 0,
+                                shape: 0,
                             });
                             r
                         }
@@ -591,6 +609,7 @@ impl GeExecutor {
                         fixup: None,
                         templated: false,
                         patches: 0,
+                        shape: 0,
                     });
                 }
                 GeTerm::Promote(_) => unreachable!("handled above"),
@@ -676,6 +695,7 @@ impl GeExecutor {
             fixup: None,
             templated: true,
             patches: 0,
+            shape: ti.shape,
         }));
 
         // Patch: registers through the first-touch allocator (in the same
@@ -754,6 +774,7 @@ impl GeExecutor {
                 fixup: None,
                 templated: false,
                 patches: 0,
+                shape: 0,
             });
             live_regs.insert(r);
         }
@@ -782,6 +803,7 @@ impl GeExecutor {
                 fixup: Some(id),
                 templated: false,
                 patches: 0,
+                shape: 0,
             });
             None
         } else {

@@ -36,6 +36,7 @@ pub mod concurrent;
 pub mod costs;
 pub(crate) mod emitter;
 pub mod ge_exec;
+pub mod native;
 pub mod runtime;
 pub mod sink;
 pub mod specializer;
@@ -48,6 +49,7 @@ pub use concurrent::{
 };
 pub use costs::DynCosts;
 pub use ge_exec::GeExecutor;
+pub use native::{lower_func, NativeArtifact, NativeDispatch, NativeEngine};
 pub use runtime::{Runtime, Site, Store};
-pub use sink::{fnv1a, CodeSink, FnvBuild, RecordingSink, VmSink};
+pub use sink::{fnv1a, CodeSink, FnvBuild, InstallSink, NativeSink, RecordingSink, VmSink};
 pub use stats::RtStats;

@@ -11,6 +11,7 @@ use crate::artifact::{self, CacheBundle, SiteSpec, ARTIFACT_VERSION};
 use crate::cache::{CacheEntry, DoubleHashCache};
 use crate::costs::DynCosts;
 use crate::ge_exec::{GeExecutor, SpecEnv, SpecHost};
+use crate::native::{exec_entry, lower_func, NativeArtifact, NativeDispatch, NativeEngine};
 use crate::specializer::Specializer;
 use crate::stats::RtStats;
 use dyc_ir::{BlockId, VReg};
@@ -162,6 +163,10 @@ pub struct Runtime {
     /// Specialization instruction budget (guards non-terminating static
     /// loops).
     pub spec_budget: u64,
+    /// Native x86-64 engine: owns the executable code arena and the map
+    /// from specialized functions to their installed machine-code
+    /// entries. Inert (a no-op stub) on platforms without the backend.
+    native: NativeEngine,
 }
 
 impl Runtime {
@@ -201,6 +206,7 @@ impl Runtime {
             scratch_key: Vec::new(),
             scratch_vals: Vec::new(),
             spec_budget: 4_000_000,
+            native: NativeEngine::new(),
         }
     }
 
@@ -218,6 +224,13 @@ impl Runtime {
     /// Number of dispatch sites (entries + internal promotions so far).
     pub fn n_sites(&self) -> usize {
         self.sites.len()
+    }
+
+    /// Number of specializations with an installed native machine-code
+    /// entry (always zero unless `OptConfig::native` is set, and on
+    /// platforms without the backend).
+    pub fn native_installed(&self) -> usize {
+        self.native.installed()
     }
 
     /// The site table (diagnostics).
@@ -383,12 +396,12 @@ impl Runtime {
                 CacheState::All(c) => {
                     let fid = module.add_func(art.to_func());
                     c.insert(art.key.clone(), fid);
-                    true
+                    Some(fid)
                 }
                 CacheState::One(slot) => {
                     let fid = module.add_func(art.to_func());
                     *slot = Some(fid);
-                    true
+                    Some(fid)
                 }
                 CacheState::Indexed { slots, overflow } => {
                     let fid = module.add_func(art.to_func());
@@ -396,7 +409,7 @@ impl Runtime {
                         [v] if *v < 256 => slots[*v as usize] = Some(fid),
                         key => overflow.insert(key.to_vec(), fid),
                     }
-                    true
+                    Some(fid)
                 }
                 CacheState::Bounded {
                     cache, cap, clock, ..
@@ -408,14 +421,20 @@ impl Runtime {
                         let fid = module.add_func(art.to_func());
                         clock.push((art.key.clone(), true));
                         cache.insert(art.key.clone(), (fid, (clock.len() - 1) as u32));
-                        true
+                        Some(fid)
                     } else {
-                        false
+                        None
                     }
                 }
             };
-            if installed {
+            if let Some(fid) = installed {
                 self.stats.cache_warm_loads += 1;
+                if self.staged.cfg.native {
+                    // Warm-started code never passed through a
+                    // NativeSink; lower the restored function directly.
+                    let nat = lower_func(module.func(fid));
+                    self.native_install(art.site, fid, nat);
+                }
                 if trace_on {
                     let kh = dyc_obs::key_hash(&art.key);
                     self.trace.rec(
@@ -464,7 +483,7 @@ impl Runtime {
         // True staging: sites with a precompiled entry division run the
         // flat GE program; everything else falls back to the online
         // specializer. Both paths emit byte-identical code.
-        let func = match site.division {
+        let (func, native_art) = match site.division {
             Some(d) => {
                 // Disjoint field borrows: the executor reads the staged
                 // program and meters into stats, while new promotion
@@ -482,12 +501,20 @@ impl Runtime {
                 };
                 GeExecutor::run(&mut env, &mut host, point, &site, store, d, module, vm)?
             }
-            None => Specializer::run(self, &site, store, module, vm)?,
+            None => (Specializer::run(self, &site, store, module, vm)?, None),
         };
         // Install: i-cache coherence + bookkeeping.
         vm.flush_icache();
         let install = self.costs.install;
         self.charge(vm, install);
+        if self.staged.cfg.native {
+            // The GE path lowered during emission (through NativeSink);
+            // the online specializer's code is lowered here from the
+            // finished function. Either way the VM code stays installed
+            // as the always-correct fallback.
+            let art = native_art.or_else(|| lower_func(module.func(func)));
+            self.native_install(point, func, art);
+        }
         self.trace.rec(
             EventKind::GeExecEnd,
             point,
@@ -497,6 +524,24 @@ impl Runtime {
             self.stats.instrs_generated - instr0,
         );
         Ok(func)
+    }
+
+    /// Hand a lowered artifact to the native engine, metering the
+    /// outcome: a successful publication counts as a native install
+    /// (traced with the machine-code size); a declined lowering or an
+    /// inert platform backend counts as a fallback to the VM.
+    fn native_install(&mut self, point: u32, func: FuncId, art: Option<NativeArtifact>) {
+        match self.native.install(func, art) {
+            Some(len) => {
+                self.stats.native_installs += 1;
+                self.trace
+                    .rec(EventKind::NativeInstall, point, 0, 0, len as u64, 0);
+            }
+            None => {
+                self.stats.native_fallbacks += 1;
+                self.trace.rec(EventKind::NativeFallback, point, 0, 0, 0, 0);
+            }
+        }
     }
 
     pub(crate) fn charge(&mut self, vm: &mut Vm, cycles: u64) {
@@ -872,6 +917,50 @@ impl DispatchHandler for Runtime {
             self.stats.dispatch_allocs += 1;
         }
         out_args.extend(site.dyn_pos.iter().map(|&i| args[i]));
+        // Native fast path: when the specialized function has an
+        // installed machine-code entry, run it right here and hand the
+        // interpreter a completed result instead of a frame to push.
+        // Deliberately charges nothing to the cycle model — the modeled
+        // staged pipeline is unchanged; only wall-clock improves.
+        if self.staged.cfg.native {
+            if let Some(entry) = self.native.entry(func) {
+                let value = exec_entry(&entry, out_args, self, module, vm)?;
+                return Ok(DispatchOutcome::Completed { value });
+            }
+        }
         Ok(DispatchOutcome::Invoke { func })
+    }
+}
+
+impl NativeDispatch for Runtime {
+    fn native_dispatch(
+        &mut self,
+        point: u32,
+        args: &[Value],
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<Option<Value>, VmError> {
+        // Mirror of the interpreter's `Dispatch` arm: count it, run the
+        // handler, then either take the completed value (the callee ran
+        // natively too) or interpret the specialized function.
+        vm.stats.dispatches += 1;
+        let mut out_args = Vec::new();
+        match self.dispatch(point, args, &mut out_args, module, vm)? {
+            DispatchOutcome::Completed { value } => Ok(value),
+            DispatchOutcome::Invoke { func } => vm.call_with_handler(module, self, func, &out_args),
+        }
+    }
+
+    fn native_call(
+        &mut self,
+        func: FuncId,
+        args: &[Value],
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<Option<Value>, VmError> {
+        if let Some(entry) = self.native.entry(func) {
+            return exec_entry(&entry, args, self, module, vm);
+        }
+        vm.call_with_handler(module, self, func, args)
     }
 }

@@ -48,6 +48,15 @@ pub trait CodeSink {
     /// metadata the artifact backend records as hole descriptors.
     fn push(&mut self, ins: Instr, templated: bool, patches: u16);
 
+    /// [`CodeSink::push`] plus the instruction's pre-computed
+    /// [`dyc_vm::instr_shape`] (`0` when unknown). Sinks that lower to
+    /// machine bytes use the shape to reuse prebuilt encodings; every
+    /// other sink ignores it, so the default forwards to `push`.
+    fn push_shaped(&mut self, ins: Instr, templated: bool, patches: u16, shape: u16) {
+        let _ = shape;
+        self.push(ins, templated, patches);
+    }
+
     /// Resolve the branch at instruction offset `at` to `target`.
     fn patch_branch(&mut self, at: usize, target: u32);
 }
@@ -79,6 +88,128 @@ impl CodeSink for VmSink {
                 *t = target;
             }
             other => unreachable!("fixup on non-branch {other:?}"),
+        }
+    }
+}
+
+/// A [`VmSink`] that *also* lowers every sealed instruction to x86-64
+/// bytes as it lands, via the copy-and-patch
+/// [`FnEncoder`](crate::native::FnEncoder). The instruction mirror
+/// stays authoritative: branch patches touch only the mirror, and
+/// [`NativeSink::finish`] resolves the machine-code rel32s from the
+/// mirror's final targets. If the encoder hits an unsupported
+/// construct the mirror is still complete, so the caller installs the
+/// VM function and records a native fallback.
+#[derive(Debug, Default)]
+pub struct NativeSink {
+    /// The emitted instructions (identical to what a [`VmSink`] would
+    /// hold after the same calls).
+    pub code: Vec<Instr>,
+    enc: crate::native::FnEncoder,
+}
+
+impl NativeSink {
+    /// Consume the sink: the install-ready instruction vector plus the
+    /// lowered machine code (`None` if anything was unsupported).
+    pub fn finish(self) -> (Vec<Instr>, Option<crate::native::NativeArtifact>) {
+        let NativeSink { code, enc } = self;
+        let art = enc.finish(&code);
+        (code, art)
+    }
+}
+
+impl CodeSink for NativeSink {
+    fn emitted(&self) -> usize {
+        self.code.len()
+    }
+
+    fn begin_unit(&mut self, _id: u32, _label: u32) {}
+
+    fn push(&mut self, ins: Instr, templated: bool, patches: u16) {
+        self.push_shaped(ins, templated, patches, 0);
+    }
+
+    fn push_shaped(&mut self, ins: Instr, _templated: bool, _patches: u16, shape: u16) {
+        self.enc.emit(&ins, shape);
+        self.code.push(ins);
+    }
+
+    fn patch_branch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Instr::Jmp { target: t }
+            | Instr::Brz { target: t, .. }
+            | Instr::Brnz { target: t, .. } => {
+                *t = target;
+            }
+            other => unreachable!("fixup on non-branch {other:?}"),
+        }
+    }
+}
+
+/// The sink the specialization executors actually instantiate: a
+/// [`VmSink`] by default, upgraded to a [`NativeSink`] when
+/// `OptConfig::native` asks for machine code. An enum (rather than a
+/// generic parameter on the executor) so the choice can be made per
+/// dispatch at run time without monomorphizing the GE interpreter
+/// twice.
+#[derive(Debug)]
+pub enum InstallSink {
+    /// Plain VM emission.
+    Vm(VmSink),
+    /// VM emission plus native lowering.
+    Native(NativeSink),
+}
+
+impl Default for InstallSink {
+    fn default() -> Self {
+        InstallSink::Vm(VmSink::default())
+    }
+}
+
+impl InstallSink {
+    /// Consume the sink: the instruction vector plus the native
+    /// artifact (always `None` on the VM variant).
+    pub fn take_install(self) -> (Vec<Instr>, Option<crate::native::NativeArtifact>) {
+        match self {
+            InstallSink::Vm(s) => (s.code, None),
+            InstallSink::Native(s) => s.finish(),
+        }
+    }
+}
+
+impl CodeSink for InstallSink {
+    fn emitted(&self) -> usize {
+        match self {
+            InstallSink::Vm(s) => s.emitted(),
+            InstallSink::Native(s) => s.emitted(),
+        }
+    }
+
+    fn begin_unit(&mut self, id: u32, label: u32) {
+        match self {
+            InstallSink::Vm(s) => s.begin_unit(id, label),
+            InstallSink::Native(s) => s.begin_unit(id, label),
+        }
+    }
+
+    fn push(&mut self, ins: Instr, templated: bool, patches: u16) {
+        match self {
+            InstallSink::Vm(s) => s.push(ins, templated, patches),
+            InstallSink::Native(s) => s.push(ins, templated, patches),
+        }
+    }
+
+    fn push_shaped(&mut self, ins: Instr, templated: bool, patches: u16, shape: u16) {
+        match self {
+            InstallSink::Vm(s) => s.push_shaped(ins, templated, patches, shape),
+            InstallSink::Native(s) => s.push_shaped(ins, templated, patches, shape),
+        }
+    }
+
+    fn patch_branch(&mut self, at: usize, target: u32) {
+        match self {
+            InstallSink::Vm(s) => s.patch_branch(at, target),
+            InstallSink::Native(s) => s.patch_branch(at, target),
         }
     }
 }
@@ -236,6 +367,42 @@ mod tests {
                 Instr::Brnz { cond: 1, target: 0 },
             ]
         );
+    }
+
+    #[test]
+    fn native_sink_mirror_matches_vm_sink_and_lowers() {
+        use dyc_vm::{instr_shape, IAluOp, Operand};
+        let prog: Vec<Instr> = vec![
+            Instr::MovI { dst: 1, imm: 4 },
+            Instr::IAlu {
+                op: IAluOp::Add,
+                dst: 1,
+                a: 1,
+                b: Operand::Imm(1),
+            },
+            Instr::Brnz {
+                cond: 1,
+                target: u32::MAX,
+            },
+            Instr::Ret { src: Some(1) },
+        ];
+        let mut vm = VmSink::default();
+        let mut native = NativeSink::default();
+        for ins in &prog {
+            let shape = instr_shape(ins);
+            vm.push_shaped(ins.clone(), false, 0, shape);
+            native.push_shaped(ins.clone(), false, 0, shape);
+        }
+        vm.patch_branch(2, 1);
+        native.patch_branch(2, 1);
+        let (code, art) = native.finish();
+        assert_eq!(code, vm.code, "mirror must be byte-identical to VmSink");
+        let art = art.expect("fully supported program must lower");
+        assert!(art.calls.is_empty());
+        assert_eq!(art.n_regs, 2);
+        // InstallSink default is the plain VM path.
+        let (code2, art2) = InstallSink::default().take_install();
+        assert!(code2.is_empty() && art2.is_none());
     }
 
     #[test]

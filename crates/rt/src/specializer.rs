@@ -291,6 +291,7 @@ impl Specializer {
                                 fixup: None,
                                 templated: false,
                                 patches: 0,
+                                shape: 0,
                             });
                         }
                     }
@@ -392,6 +393,7 @@ impl Specializer {
                 fixup: None,
                 templated: false,
                 patches: 0,
+                shape: 0,
             });
             buf.push(Emitted {
                 ins: Instr::Ret { src: dst },
@@ -399,6 +401,7 @@ impl Specializer {
                 fixup: None,
                 templated: false,
                 patches: 0,
+                shape: 0,
             });
         } else {
             // Terminator.
@@ -451,6 +454,7 @@ impl Specializer {
                                 fixup: Some(id_t),
                                 templated: false,
                                 patches: 0,
+                                shape: 0,
                             });
                             if !self.em.sealed(id_t) {
                                 self.worklist.push((id_t, store_t));
@@ -462,6 +466,7 @@ impl Specializer {
                                     fixup: Some(id_f),
                                     templated: false,
                                     patches: 0,
+                                    shape: 0,
                                 });
                             } else {
                                 chain = Some((id_f, store_f));
@@ -496,6 +501,7 @@ impl Specializer {
                                 fixup: None,
                                 templated: false,
                                 patches: 0,
+                                shape: 0,
                             });
                             buf.push(Emitted {
                                 ins: Instr::Brnz {
@@ -506,6 +512,7 @@ impl Specializer {
                                 fixup: Some(cid),
                                 templated: false,
                                 patches: 0,
+                                shape: 0,
                             });
                             if !self.em.sealed(cid) {
                                 self.worklist.push((cid, st));
@@ -520,6 +527,7 @@ impl Specializer {
                                 fixup: Some(id_d),
                                 templated: false,
                                 patches: 0,
+                                shape: 0,
                             });
                         } else {
                             chain = Some((id_d, store_d));
@@ -537,6 +545,7 @@ impl Specializer {
                                 fixup: None,
                                 templated: false,
                                 patches: 0,
+                                shape: 0,
                             });
                             r
                         }
@@ -550,6 +559,7 @@ impl Specializer {
                         fixup: None,
                         templated: false,
                         patches: 0,
+                        shape: 0,
                     });
                 }
             }
@@ -617,6 +627,7 @@ impl Specializer {
                     fixup: None,
                     templated: false,
                     patches: 0,
+                    shape: 0,
                 });
                 live_regs.insert(r);
             }
@@ -646,6 +657,7 @@ impl Specializer {
                 fixup: Some(id),
                 templated: false,
                 patches: 0,
+                shape: 0,
             });
             None
         } else {

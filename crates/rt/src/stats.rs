@@ -99,6 +99,14 @@ pub struct RtStats {
     /// malformed artifact. Rejection is per-entry and never fatal; the
     /// key simply re-specializes on first dispatch.
     pub cache_warm_rejects: u64,
+    /// Specializations whose code was additionally lowered to native
+    /// x86-64 machine code and installed in the executable arena.
+    pub native_installs: u64,
+    /// Specializations that stayed on the VM backend despite
+    /// `OptConfig::native` — the lowering declined (an unsupported
+    /// instruction or an out-of-range branch) or the platform lacks the
+    /// native backend. The VM path is always a correct fallback.
+    pub native_fallbacks: u64,
 }
 
 /// Every `u64` counter field of [`RtStats`], listed once. `delta` and
@@ -140,7 +148,9 @@ macro_rules! counter_fields {
             single_flight_waits,
             single_flight_fallbacks,
             cache_warm_loads,
-            cache_warm_rejects
+            cache_warm_rejects,
+            native_installs,
+            native_fallbacks
         )
     };
 }
@@ -239,7 +249,7 @@ mod tests {
     fn counters_cover_every_u64_field() {
         let s = RtStats::new();
         let counters = s.counters();
-        // 34 u64 counters + the one bool (padded to 8 bytes) accounts
+        // 36 u64 counters + the one bool (padded to 8 bytes) accounts
         // for the whole struct; a counter field missing from the macro
         // breaks this equation.
         assert_eq!(

@@ -172,6 +172,14 @@ pub struct TInstr {
     /// Candidate for dead-assignment elimination (mirrors what the
     /// unfused emitter would have marked).
     pub deletable: bool,
+    /// The instruction's [`dyc_vm::instr_shape`], pre-computed here at
+    /// static compile time. Hole patching substitutes registers and
+    /// immediates but never changes an operand's kind, so every
+    /// run-time instance of this template instruction shares the
+    /// shape — which is exactly what lets a native backend lower it by
+    /// copying prebuilt bytes and patching displacement/immediate
+    /// holes instead of re-encoding.
+    pub shape: u16,
 }
 
 /// A fused run of emits: copy `instrs`, replay `patches`, apply
@@ -306,7 +314,12 @@ struct OpPlan {
 impl OpPlan {
     fn push_ins(&mut self, ins: Instr, deletable: bool) -> u32 {
         let at = self.instrs.len() as u32;
-        self.instrs.push(TInstr { ins, deletable });
+        let shape = dyc_vm::instr_shape(&ins);
+        self.instrs.push(TInstr {
+            ins,
+            deletable,
+            shape,
+        });
         at
     }
     fn reg(&mut self, at: u32, slot: Slot, v: VReg) {

@@ -60,6 +60,11 @@ pub enum DispatchOutcome {
     /// `out_args`; its return value becomes the `Dispatch` instruction's
     /// result.
     Invoke { func: FuncId },
+    /// The handler already executed the specialized code itself (the
+    /// native backend does this) and `value` is what the call returned;
+    /// the interpreter writes it to the `Dispatch` destination register
+    /// and continues without pushing a frame.
+    Completed { value: Option<Value> },
 }
 
 /// The run-time system's hook into the interpreter.
@@ -390,6 +395,11 @@ impl Vm {
                             self.stats.exec_cycles += self.cost.call;
                             let new = Self::new_frame(module, callee, disp_args, dst);
                             stack.push(new);
+                        }
+                        DispatchOutcome::Completed { value } => {
+                            if let (Some(d), Some(v)) = (dst, value) {
+                                frame.regs[d as usize] = v;
+                            }
                         }
                     }
                 }

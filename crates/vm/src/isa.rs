@@ -301,6 +301,80 @@ impl Instr {
     }
 }
 
+/// The instruction's *encoding shape* for the native copy-and-patch
+/// backend: two instructions share a shape iff their machine-code
+/// encodings are byte-identical except for register-slot displacements
+/// and 64-bit immediates (the "holes"). `0` means the instruction has no
+/// fixed-layout encoding (branches are position-dependent, calls carry
+/// variable-length argument lists) and must be lowered individually.
+///
+/// The stage-time template builder records one shape per template
+/// instruction so the native sink can instantiate prebuilt byte
+/// sequences with a hole-patch loop instead of re-encoding.
+pub fn instr_shape(ins: &Instr) -> u16 {
+    fn ialu_idx(op: IAluOp) -> u16 {
+        match op {
+            IAluOp::Add => 0,
+            IAluOp::Sub => 1,
+            IAluOp::Mul => 2,
+            IAluOp::Div => 3,
+            IAluOp::Rem => 4,
+            IAluOp::And => 5,
+            IAluOp::Or => 6,
+            IAluOp::Xor => 7,
+            IAluOp::Shl => 8,
+            IAluOp::Shr => 9,
+        }
+    }
+    fn falu_idx(op: FAluOp) -> u16 {
+        match op {
+            FAluOp::Add => 0,
+            FAluOp::Sub => 1,
+            FAluOp::Mul => 2,
+            FAluOp::Div => 3,
+        }
+    }
+    fn cc_idx(cc: Cc) -> u16 {
+        match cc {
+            Cc::Eq => 0,
+            Cc::Ne => 1,
+            Cc::Lt => 2,
+            Cc::Le => 3,
+            Cc::Gt => 4,
+            Cc::Ge => 5,
+        }
+    }
+    fn un_idx(op: UnOp) -> u16 {
+        match op {
+            UnOp::NegI => 0,
+            UnOp::NotI => 1,
+            UnOp::NegF => 2,
+            UnOp::IToF => 3,
+            UnOp::FToI => 4,
+        }
+    }
+    fn ty_idx(ty: Ty) -> u16 {
+        match ty {
+            Ty::Int => 0,
+            Ty::Float => 1,
+        }
+    }
+    match ins {
+        Instr::MovI { .. } => 1,
+        Instr::MovF { .. } => 2,
+        Instr::Mov { .. } => 3,
+        Instr::FMov { .. } => 4,
+        Instr::IAlu { op, b, .. } => 8 + ialu_idx(*op) * 2 + u16::from(b.is_imm()),
+        Instr::FAlu { op, .. } => 28 + falu_idx(*op),
+        Instr::ICmp { cc, b, .. } => 32 + cc_idx(*cc) * 2 + u16::from(b.is_imm()),
+        Instr::FCmp { cc, .. } => 44 + cc_idx(*cc),
+        Instr::Un { op, .. } => 50 + un_idx(*op),
+        Instr::Load { ty, idx, .. } => 56 + ty_idx(*ty) * 2 + u16::from(idx.is_imm()),
+        Instr::Store { ty, idx, .. } => 60 + ty_idx(*ty) * 2 + u16::from(idx.is_imm()),
+        _ => 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

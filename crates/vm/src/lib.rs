@@ -48,7 +48,7 @@ pub mod prelude {
     pub use crate::host::HostFn;
     pub use crate::icache::ICache;
     pub use crate::interp::{DispatchHandler, DispatchOutcome, Vm, VmError};
-    pub use crate::isa::{Cc, FAluOp, IAluOp, Instr, Operand, Reg, Ty, UnOp};
+    pub use crate::isa::{instr_shape, Cc, FAluOp, IAluOp, Instr, Operand, Reg, Ty, UnOp};
     pub use crate::mem::Mem;
     pub use crate::module::{CodeFunc, FuncId, Module};
     pub use crate::stats::ExecStats;

@@ -31,6 +31,13 @@ impl Mem {
         self.words.len()
     }
 
+    /// Raw pointer to the word array, for the native backend's context
+    /// struct. Valid until the next allocation; generated code pairs it
+    /// with [`Mem::len`] for bounds checks.
+    pub fn as_mut_ptr(&mut self) -> *mut u64 {
+        self.words.as_mut_ptr()
+    }
+
     /// True if nothing has been allocated.
     pub fn is_empty(&self) -> bool {
         self.words.is_empty()

@@ -1,0 +1,153 @@
+//! Differential test of the native x86-64 backend against the VM oracle.
+//!
+//! The native backend is a pure *execution* substitution: specialized
+//! code is lowered to real machine code and dispatch invokes it
+//! directly, but the VM interpreter remains the semantic oracle. On
+//! every workload in the suite, a run with `OptConfig::native` must be
+//! observably identical to the plain fused-VM run — same region
+//! results, same printed output, and the same final heap image,
+//! word for word. Only wall-clock time (and the `native_installs` /
+//! `native_fallbacks` meters) may differ.
+//!
+//! On x86-64 Unix hosts the test additionally asserts the native path
+//! actually fired (at least one machine-code install per workload);
+//! elsewhere the stub backend reports every install as a fallback and
+//! the same assertions prove the clean degrade to pure interpretation.
+
+use dyc::{Compiler, OptConfig, Value};
+use dyc_workloads::{all, Workload};
+
+struct Observed {
+    result: Option<Value>,
+    output: Vec<Value>,
+    /// Final heap image, one `i64` per memory word.
+    memory: Vec<i64>,
+    native_installs: u64,
+    native_fallbacks: u64,
+}
+
+fn run_backend(w: &dyn Workload, cfg: OptConfig) -> Observed {
+    let meta = w.meta();
+    let program = Compiler::with_config(cfg)
+        .compile(&w.source())
+        .unwrap_or_else(|e| panic!("{}: compile error: {e}", meta.name));
+    let mut sess = program.dynamic_session();
+    let args = w.setup_region(&mut sess);
+    let result = sess
+        .run(meta.region_func, &args)
+        .unwrap_or_else(|e| panic!("{}: region run failed: {e}", meta.name));
+    assert!(
+        w.check_region(result, &mut sess),
+        "{}: wrong region result",
+        meta.name
+    );
+    // A second, steady-state invocation: cache hits must route through
+    // the same backend as the miss path did.
+    w.reset(&mut sess, &args);
+    let result = sess
+        .run(meta.region_func, &args)
+        .unwrap_or_else(|e| panic!("{}: steady-state run failed: {e}", meta.name));
+    let memory = {
+        let len = sess.mem().len();
+        (0..len).map(|i| sess.mem().read_int(i as i64)).collect()
+    };
+    let rt = sess.rt_stats().expect("dynamic session has a runtime");
+    Observed {
+        result,
+        output: sess.output().to_vec(),
+        memory,
+        native_installs: rt.native_installs,
+        native_fallbacks: rt.native_fallbacks,
+    }
+}
+
+#[test]
+fn native_backend_matches_vm_on_every_workload() {
+    let vm_cfg = OptConfig::all();
+    let native_cfg = OptConfig {
+        native: true,
+        ..OptConfig::all()
+    };
+    assert!(!vm_cfg.native && native_cfg.native);
+
+    for w in all() {
+        let name = w.meta().name;
+        let vm = run_backend(w.as_ref(), vm_cfg);
+        let nat = run_backend(w.as_ref(), native_cfg);
+
+        assert_eq!(nat.result, vm.result, "{name}: region results differ");
+        assert_eq!(nat.output, vm.output, "{name}: printed output differs");
+        assert_eq!(nat.memory, vm.memory, "{name}: final heap images differ");
+
+        // A plain VM run must never touch the native engine.
+        assert_eq!(
+            (vm.native_installs, vm.native_fallbacks),
+            (0, 0),
+            "{name}: VM-only run touched the native engine"
+        );
+
+        // The native config always *attempts* the lowering; on hosts
+        // with the backend it must succeed at least once per workload.
+        assert!(
+            nat.native_installs + nat.native_fallbacks > 0,
+            "{name}: native config never attempted a lowering"
+        );
+        #[cfg(all(target_arch = "x86_64", unix, not(dyc_no_native)))]
+        assert!(
+            nat.native_installs > 0,
+            "{name}: no specialization was installed natively \
+             ({} fallbacks)",
+            nat.native_fallbacks
+        );
+    }
+}
+
+/// The result/output/memory identity must also hold when the native run
+/// warm-starts from a bundle snapshotted by a VM run — restored code is
+/// lowered at restore time, never re-specialized.
+#[test]
+fn native_backend_matches_vm_after_warm_start() {
+    let native_cfg = OptConfig {
+        native: true,
+        ..OptConfig::all()
+    };
+    for w in all() {
+        let name = w.meta().name;
+        let meta = w.meta();
+
+        // Cold VM run, snapshotted.
+        let program = Compiler::with_config(native_cfg)
+            .compile(&w.source())
+            .unwrap_or_else(|e| panic!("{name}: compile error: {e}"));
+        let mut cold = program.dynamic_session();
+        let args = w.setup_region(&mut cold);
+        let cold_result = cold
+            .run(meta.region_func, &args)
+            .unwrap_or_else(|e| panic!("{name}: cold run failed: {e}"));
+        let Some(bundle) = cold.cache_bundle() else {
+            continue;
+        };
+
+        // Warm native run from the bundle.
+        let mut warm = program
+            .warm_start_from_str(&bundle)
+            .unwrap_or_else(|e| panic!("{name}: warm start failed: {e}"));
+        let warm_args = w.setup_region(&mut warm);
+        let warm_result = warm
+            .run(meta.region_func, &warm_args)
+            .unwrap_or_else(|e| panic!("{name}: warm run failed: {e}"));
+
+        assert_eq!(warm_result, cold_result, "{name}: warm result differs");
+        let rt = warm.rt_stats().expect("dynamic session has a runtime");
+        assert!(
+            rt.cache_warm_loads > 0,
+            "{name}: warm start restored nothing"
+        );
+        #[cfg(all(target_arch = "x86_64", unix, not(dyc_no_native)))]
+        assert!(
+            rt.native_installs > 0,
+            "{name}: restored code was not lowered natively"
+        );
+        let _ = rt;
+    }
+}

@@ -80,6 +80,94 @@ fn tracing_changes_nothing_observable_on_all_workloads() {
     }
 }
 
+/// The same observer-effect identity with the native x86-64 backend
+/// switched on: the recorder must not perturb results, output, the
+/// native install/fallback meters, or the cached (VM) code bytes — and
+/// every native install/fallback must show up as an event.
+#[test]
+fn tracing_changes_nothing_observable_with_native_backend() {
+    let native_cfg = OptConfig {
+        native: true,
+        ..OptConfig::all()
+    };
+    let native_traced_cfg = OptConfig {
+        trace: true,
+        ..native_cfg
+    };
+    for w in all() {
+        let meta = w.meta();
+        let src = w.source();
+        let plain = Compiler::with_config(native_cfg).compile(&src).unwrap();
+        let traced = Compiler::with_config(native_traced_cfg)
+            .compile(&src)
+            .unwrap();
+
+        let mut off = plain.dynamic_session();
+        let mut on = traced.dynamic_session();
+        let (args_off, args_on) = (w.setup_region(&mut off), w.setup_region(&mut on));
+        off.set_step_limit(200_000_000);
+        on.set_step_limit(200_000_000);
+
+        for rep in 0..4 {
+            let a = off.run(meta.region_func, &args_off).unwrap();
+            let b = on.run(meta.region_func, &args_on).unwrap();
+            assert_eq!(
+                a, b,
+                "{} rep {rep}: traced native result diverged",
+                meta.name
+            );
+            w.reset(&mut off, &args_off);
+            w.reset(&mut on, &args_on);
+        }
+
+        assert_eq!(off.take_output(), on.take_output(), "{}: output", meta.name);
+        assert_eq!(
+            off.rt_stats(),
+            on.rt_stats(),
+            "{}: tracing perturbed RtStats under the native backend",
+            meta.name
+        );
+        assert_eq!(
+            normalize(off.cached_code()),
+            normalize(on.cached_code()),
+            "{}: tracing changed emitted code bytes under the native backend",
+            meta.name
+        );
+
+        // Every lowering attempt is an event: installs and fallbacks in
+        // the meters must match the recorded event stream one for one.
+        let rt = on.rt_stats().expect("dynamic session");
+        let events = on.trace_events();
+        let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count() as u64;
+        assert_eq!(
+            count(EventKind::NativeInstall),
+            rt.native_installs,
+            "{}: install events out of step with the meter",
+            meta.name
+        );
+        assert_eq!(
+            count(EventKind::NativeFallback),
+            rt.native_fallbacks,
+            "{}: fallback events out of step with the meter",
+            meta.name
+        );
+        assert!(
+            rt.native_installs + rt.native_fallbacks > 0,
+            "{}: native config never attempted a lowering",
+            meta.name
+        );
+        // Install events carry the published code size.
+        assert!(
+            events
+                .iter()
+                .filter(|e| e.kind == EventKind::NativeInstall)
+                .all(|e| e.a > 0),
+            "{}: a native install published zero bytes",
+            meta.name
+        );
+    }
+}
+
 #[test]
 fn traced_session_records_the_staged_pipeline() {
     const SRC: &str = r#"
