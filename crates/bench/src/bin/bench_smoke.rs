@@ -17,12 +17,19 @@
 //! region invocation (median of N after warmup) under the fused VM vs.
 //! the native x86-64 backend, so the modeled cycle numbers sit next to
 //! nanoseconds and the backend's speedup is tracked per commit.
+//! A sixth section prices the adaptive specialization policy on a
+//! parametric region: a low-reuse key sequence (every key dispatched
+//! once — specializing is pure loss) and a high-reuse sequence (few hot
+//! keys — specializing is pure win), always vs. adaptive, in both
+//! cycle-model overhead (dyncomp + dispatch) and native wall-clock
+//! terms. The adaptive policy must strictly beat always-specialize on
+//! the low-reuse sequence and stay within 2% on the high-reuse one.
 //! The JSON is hand-rolled: the numbers are all `u64`/`f64` and a
 //! serializer dependency would be the only reason to have one.
 //!
 //! Usage: `bench_smoke [output.json]` (default `BENCH_dyncompile.json`).
 
-use dyc::{Compiler, OptConfig, Program, RtStats};
+use dyc::{Compiler, OptConfig, PolicyMode, Program, RtStats, Value};
 use dyc_workloads::{all, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -204,6 +211,53 @@ fn run_wall(w: &dyn Workload, cfg: OptConfig, reps: usize) -> (u64, u64) {
     let median = samples[samples.len() / 2];
     let rt = sess.rt_stats().expect("dynamic session");
     (median, rt.native_installs)
+}
+
+/// The parametric region for the policy comparison: completely unrolled
+/// on the (static) exponent, so every distinct exponent is a distinct
+/// cache key with a real specialization cost.
+const POLICY_SRC: &str = r#"
+    int power(int base, int exp) {
+        make_static(exp);
+        int r = 1;
+        while (exp > 0) { r = r * base; exp = exp - 1; }
+        return r;
+    }
+"#;
+
+/// Drive `reps` rounds of the key sequence through a fresh session of
+/// `program`, validating every result, and return the final counters
+/// plus the cycle-model overhead total (dyncomp + dispatch cycles).
+fn run_policy_cycles(program: &Program, keys: &[i64], reps: usize) -> (RtStats, u64) {
+    let mut sess = program.dynamic_session();
+    for _ in 0..reps {
+        for &e in keys {
+            let r = sess.run("power", &[Value::I(2), Value::I(e)]).unwrap();
+            assert_eq!(r, Some(Value::I(1i64 << e)), "power(2, {e}) wrong");
+        }
+    }
+    let rt = sess.rt_stats().expect("dynamic session").clone();
+    let overhead = rt.dyncomp_cycles + rt.dispatch_cycles;
+    (rt, overhead)
+}
+
+/// Wall-clock for the same sequence: each sample times a *fresh* session
+/// end to end (the specialization overhead is exactly what is being
+/// priced), returning the median nanoseconds over `samples` runs.
+fn run_policy_wall(program: &Program, keys: &[i64], reps: usize, samples: usize) -> u64 {
+    let mut ns = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut sess = program.dynamic_session();
+        let start = Instant::now();
+        for _ in 0..reps {
+            for &e in keys {
+                sess.run("power", &[Value::I(2), Value::I(e)]).unwrap();
+            }
+        }
+        ns.push(start.elapsed().as_nanos() as u64);
+    }
+    ns.sort_unstable();
+    ns[ns.len() / 2]
 }
 
 fn main() {
@@ -407,6 +461,104 @@ fn main() {
         )
         .unwrap();
     }
+    json.push_str("  },\n  \"policy\": {\n");
+
+    // Adaptive policy: the same parametric region under two key-reuse
+    // regimes. Low reuse (every key once) is the case specialization
+    // cannot amortize — the adaptive engine must defer everything and
+    // strictly beat always-specialize on total overhead. High reuse
+    // (few hot keys, many dispatches each) is the case specialization
+    // always wins — deferring each key once must cost at most 2%.
+    let low_keys: Vec<i64> = (5..25).collect();
+    let high_keys: Vec<i64> = vec![4, 9, 14];
+    const HIGH_REPS: usize = 32;
+    const POLICY_WALL_SAMPLES: usize = 9;
+    let always_prog = |cfg: OptConfig| {
+        Compiler::with_config(cfg)
+            .compile(POLICY_SRC)
+            .expect("policy bench source compiles")
+    };
+    let vm_always = always_prog(fused_cfg);
+    let vm_adaptive = always_prog(fused_cfg.with_policy(PolicyMode::Adaptive));
+    let native_always = always_prog(native_cfg);
+    let native_adaptive = always_prog(native_cfg.with_policy(PolicyMode::Adaptive));
+
+    println!("\nadaptive policy (overhead = dyncomp + dispatch cycles; wall = native ns):");
+    let mut policy_json = String::new();
+    for (i, (regime, keys, reps)) in [
+        ("low_reuse", &low_keys, 1),
+        ("high_reuse", &high_keys, HIGH_REPS),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let (al_rt, al_cy) = run_policy_cycles(&vm_always, keys, reps);
+        let (ad_rt, ad_cy) = run_policy_cycles(&vm_adaptive, keys, reps);
+        let al_ns = run_policy_wall(&native_always, keys, reps, POLICY_WALL_SAMPLES);
+        let ad_ns = run_policy_wall(&native_adaptive, keys, reps, POLICY_WALL_SAMPLES);
+        println!(
+            "{regime:<22} always {al_cy:>8} cy / {al_ns:>8} ns   adaptive {ad_cy:>8} cy / \
+             {ad_ns:>8} ns   ({} specs -> {}, {} defers)",
+            al_rt.specializations, ad_rt.specializations, ad_rt.policy_defers
+        );
+        writeln!(
+            policy_json,
+            "    \"{regime}\": {{\n      \
+             \"keys\": {}, \"dispatches\": {},\n      \
+             \"always\": {{ \"overhead_cycles\": {al_cy}, \"dyncomp_cycles\": {}, \
+             \"dispatch_cycles\": {}, \"specializations\": {}, \"wall_ns\": {al_ns} }},\n      \
+             \"adaptive\": {{ \"overhead_cycles\": {ad_cy}, \"dyncomp_cycles\": {}, \
+             \"dispatch_cycles\": {}, \"specializations\": {}, \"policy_defers\": {}, \
+             \"policy_promotes\": {}, \"wall_ns\": {ad_ns} }}\n    }}{}",
+            keys.len(),
+            keys.len() * reps,
+            al_rt.dyncomp_cycles,
+            al_rt.dispatch_cycles,
+            al_rt.specializations,
+            ad_rt.dyncomp_cycles,
+            ad_rt.dispatch_cycles,
+            ad_rt.specializations,
+            ad_rt.policy_defers,
+            ad_rt.policy_promotes,
+            if i == 0 { "," } else { "" }
+        )
+        .unwrap();
+        // The always path never consults the engine.
+        assert_eq!(
+            (
+                al_rt.policy_defers,
+                al_rt.policy_promotes,
+                al_rt.policy_throttled
+            ),
+            (0, 0, 0),
+            "{regime}: policy meters moved in always mode"
+        );
+        if regime == "low_reuse" {
+            // Single-use keys: the engine defers every one of them, and
+            // dropping the wasted specializations must win outright —
+            // in the cycle model and on the native-backend wall clock.
+            assert_eq!(ad_rt.specializations, 0, "low-reuse keys were specialized");
+            assert_eq!(ad_rt.policy_defers as usize, keys.len());
+            assert!(
+                ad_cy < al_cy,
+                "adaptive must strictly beat always on low reuse: {ad_cy} vs {al_cy}"
+            );
+            assert!(
+                ad_ns < al_ns,
+                "adaptive must beat always on low-reuse wall clock: {ad_ns} vs {al_ns}"
+            );
+        } else {
+            // Hot keys: everything is promoted on its second dispatch,
+            // so the one deferred round per key must cost at most 2%.
+            assert_eq!(ad_rt.specializations, al_rt.specializations);
+            assert_eq!(ad_rt.policy_promotes as usize, keys.len());
+            assert!(
+                ad_cy as f64 <= al_cy as f64 * 1.02,
+                "adaptive must stay within 2% on high reuse: {ad_cy} vs {al_cy}"
+            );
+        }
+    }
+    json.push_str(&policy_json);
     json.push_str("  }\n}\n");
     std::fs::write(&out_path, json).expect("write benchmark json");
     println!("\nwrote {out_path}");

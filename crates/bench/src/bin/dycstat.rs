@@ -7,7 +7,7 @@
 //! summary for concurrent runs.
 //!
 //! ```text
-//! dycstat run <workload> [--threads N] [--reps N] [--native]
+//! dycstat run <workload> [--threads N] [--reps N] [--native] [--policy]
 //!                        [--out trace.json] [--prom metrics.txt]
 //!                        [--require cat,cat,...]
 //! dycstat report <trace.json> [--require cat,cat,...]
@@ -18,7 +18,7 @@
 //!
 //! `--require` exits nonzero unless the trace holds at least one event
 //! of every named category (`dispatch`, `flight`, `spec`, `template`,
-//! `cache`, `promote`) — CI's smoke check.
+//! `cache`, `promote`, `policy`) — CI's smoke check.
 //!
 //! `snapshot` runs a workload cold and serializes its code cache as an
 //! artifact bundle; `warm` restores the bundle into a fresh session and
@@ -28,12 +28,18 @@
 //! `--native` runs through the native x86-64 backend; traces recorded
 //! that way (and reports over them) grow per-site native-vs-VM columns:
 //! machine-code installs and bytes published per site.
+//!
+//! `--policy` runs with the adaptive specialization policy
+//! (`PolicyMode::Adaptive`); traces recorded that way grow per-site
+//! policy columns: deferrals, threshold promotions, and throttled
+//! misses. Reports over policy-free traces stay byte-identical to
+//! before.
 
 use dyc::obs::{
     chrome_trace, contention, merge, parse_chrome_trace, render_metrics, site_profiles, Category,
     Event, Metric, SiteProfile,
 };
-use dyc::{Compiler, OptConfig, SharedOptions};
+use dyc::{Compiler, OptConfig, PolicyMode, SharedOptions};
 use dyc_bench::{cell, rule};
 use dyc_workloads::{all, by_name};
 use std::process::ExitCode;
@@ -52,8 +58,9 @@ struct RunMeta {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dycstat run <workload> [--threads N] [--reps N] [--native] [--out FILE] \
-         [--prom FILE] [--require cat,...]\n  dycstat report <trace.json> [--require cat,...]\n  \
+        "usage:\n  dycstat run <workload> [--threads N] [--reps N] [--native] [--policy] \
+         [--out FILE] [--prom FILE] [--require cat,...]\n  dycstat report <trace.json> \
+         [--require cat,...]\n  \
          dycstat snapshot <workload> [--reps N] [--out FILE]\n  \
          dycstat warm <workload> <bundle.json> [--reps N]\n  \
          dycstat list"
@@ -101,6 +108,7 @@ fn parse_require(args: &[String]) -> Result<Vec<Category>, String> {
                 Category::Template,
                 Category::Cache,
                 Category::Promote,
+                Category::Policy,
             ]
             .into_iter()
             .find(|c| c.name() == s)
@@ -128,9 +136,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
 
     let native = args.iter().any(|a| a == "--native");
+    let adaptive = args.iter().any(|a| a == "--policy");
     let mut cfg = OptConfig::all();
     cfg.trace = true;
     cfg.native = native;
+    if adaptive {
+        cfg.policy = PolicyMode::Adaptive;
+    }
     let program = Compiler::with_config(cfg)
         .compile(&w.source())
         .expect("workload compiles");
@@ -436,6 +448,12 @@ fn print_report(events: &[Event], run: &RunMeta) {
     let native = profiles
         .iter()
         .any(|p| p.native_installs + p.native_fallbacks > 0);
+    // Same rule for the adaptive-policy columns: they appear only when
+    // the trace holds policy events, so `always`-mode reports stay
+    // byte-identical to before.
+    let policy = profiles
+        .iter()
+        .any(|p| p.policy_defers + p.policy_promotes + p.policy_throttled > 0);
     let mut header = vec![
         ("site", 5),
         ("specs", 6),
@@ -454,6 +472,11 @@ fn print_report(events: &[Event], run: &RunMeta) {
     if native {
         header.push(("native", 8));
         header.push(("nat B", 7));
+    }
+    if policy {
+        header.push(("defer", 6));
+        header.push(("p-pro", 6));
+        header.push(("throt", 6));
     }
     header.push(("break-even", 11));
     let mut line = String::new();
@@ -493,6 +516,11 @@ fn print_report(events: &[Event], run: &RunMeta) {
             };
             row.push((nat, 8));
             row.push((p.native_bytes.to_string(), 7));
+        }
+        if policy {
+            row.push((p.policy_defers.to_string(), 6));
+            row.push((p.policy_promotes.to_string(), 6));
+            row.push((p.policy_throttled.to_string(), 6));
         }
         row.push((be, 11));
         let mut out = String::new();
@@ -594,6 +622,21 @@ fn prometheus(events: &[Event], run: &RunMeta) -> String {
             "dyc_site_native_fallbacks_total",
             "Native lowerings that fell back to the VM",
             p.native_fallbacks,
+        ));
+        ms.push(c(
+            "dyc_site_policy_defers_total",
+            "Adaptive-policy deferrals at the site",
+            p.policy_defers,
+        ));
+        ms.push(c(
+            "dyc_site_policy_promotes_total",
+            "Adaptive-policy threshold promotions at the site",
+            p.policy_promotes,
+        ));
+        ms.push(c(
+            "dyc_site_policy_throttled_total",
+            "Adaptive-policy throttled misses at the site",
+            p.policy_throttled,
         ));
         if let Some(be) = p.break_even(saved) {
             ms.push(Metric::gauge(

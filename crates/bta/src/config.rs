@@ -4,6 +4,26 @@
 //! optimizations enabled against configurations each of which disabled one
 //! optimization". Each field here corresponds to one column of Table 5.
 
+/// When the runtime specializes a dispatched (site, key) pair.
+///
+/// `Always` is the paper's behavior — specialize on the first dispatch
+/// miss, unconditionally — and stays the default so every existing
+/// table and benchmark is reproduced byte-for-byte. `Adaptive` engages
+/// the online policy engine (`dyc_rt::policy`), which counts dispatches
+/// per (site, key) and defers specialization below a predicted per-site
+/// break-even, executing a generic (unspecialized) continuation until
+/// the key proves hot. Purely a scheduling decision: once a key *is*
+/// specialized, the emitted code is byte-identical to `Always`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyMode {
+    /// Specialize every (site, key) on its first dispatch (the default).
+    #[default]
+    Always,
+    /// Defer specialization until a (site, key) crosses the predicted
+    /// break-even dispatch count; run the generic continuation meanwhile.
+    Adaptive,
+}
+
 /// Which of DyC's staged run-time optimizations are enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OptConfig {
@@ -61,6 +81,13 @@ pub struct OptConfig {
     /// accounting still reflects the VM pipeline). Not a Table 5 column —
     /// off by default, including in [`OptConfig::all`].
     pub native: bool,
+    /// When to specialize a dispatched (site, key): unconditionally on
+    /// first miss ([`PolicyMode::Always`], the default, the paper's
+    /// behavior) or adaptively once the key crosses a per-site
+    /// break-even dispatch count ([`PolicyMode::Adaptive`]). Affects
+    /// *when* code is generated, never *what* code — specialized bytes
+    /// are identical in both modes. Not a Table 5 column.
+    pub policy: PolicyMode,
 }
 
 impl OptConfig {
@@ -80,7 +107,14 @@ impl OptConfig {
             template_fusion: true,
             trace: false,
             native: false,
+            policy: PolicyMode::Always,
         }
+    }
+
+    /// Copy of this config with the given specialization policy mode.
+    pub fn with_policy(mut self, policy: PolicyMode) -> OptConfig {
+        self.policy = policy;
+        self
     }
 
     /// Copy of this config with one optimization disabled, by Table 5

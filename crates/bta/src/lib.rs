@@ -58,5 +58,5 @@ pub mod config;
 pub mod transfer;
 
 pub use analysis::{analyze, Bta, RegionEntry};
-pub use config::OptConfig;
+pub use config::{OptConfig, PolicyMode};
 pub use transfer::{binding_with_set, inst_binding, Binding};

@@ -45,10 +45,11 @@ pub mod error;
 pub mod program;
 pub mod session;
 
-pub use dyc_bta::OptConfig;
+pub use dyc_bta::{OptConfig, PolicyMode};
 pub use dyc_obs as obs;
 pub use dyc_rt::{
-    CacheBundle, CodeArtifact, MissPolicy, RtStats, SharedOptions, SharedRuntime, ARTIFACT_VERSION,
+    CacheBundle, CodeArtifact, MissPolicy, PolicyParams, RtStats, SharedOptions, SharedRuntime,
+    ARTIFACT_VERSION,
 };
 pub use dyc_vm::{CodeFunc, CostModel, ExecStats, Value, VmError};
 pub use error::CompileError;

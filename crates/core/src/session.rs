@@ -175,6 +175,18 @@ impl Session {
         self.module.len()
     }
 
+    /// Entry-site count of a dynamic session (0 for static sessions):
+    /// site ids at or above this are internal promotion sites, whose
+    /// numbering depends on the order specializations first created
+    /// them.
+    pub fn n_entry_sites(&self) -> usize {
+        match &self.exec {
+            Exec::Static => 0,
+            Exec::Single(rt) => rt.n_entry_sites(),
+            Exec::Threaded(rt) => rt.shared().n_entry_sites(),
+        }
+    }
+
     /// Disassemble a function by name (for the figures harness).
     pub fn disassemble(&self, func: &str) -> Option<String> {
         let id = self.module.func_by_name(func)?;

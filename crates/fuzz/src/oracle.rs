@@ -46,10 +46,20 @@
 //!   backend (`OptConfig::native`) reproduces the fused path's results,
 //!   output, and writable-array contents tuple for tuple, and on hosts
 //!   with the backend actually installs machine code whenever it
-//!   specializes (the suite's specialized ISA is fully lowerable).
+//!   specializes (the suite's specialized ISA is fully lowerable);
+//! * policy equivalence: an eighth, fused run under the adaptive
+//!   specialization policy (`PolicyMode::Adaptive`) reproduces the
+//!   fused path's results, output, and writable-array contents tuple
+//!   for tuple — deferral changes *when* code is generated, never what
+//!   a dispatch computes — its adaptive accounting balances
+//!   (specializations + deferrals + throttles = dispatch misses), and
+//!   every binding it did specialize is byte-identical to the
+//!   always-specialize path's code for that binding.
 
 use crate::gen::{ScalarArg, TestCase, ARRAY_LEN, TARGET};
-use dyc::{CacheBundle, CodeFunc, Compiler, OptConfig, Program, RtStats, Session, Value};
+use dyc::{
+    CacheBundle, CodeFunc, Compiler, OptConfig, PolicyMode, Program, RtStats, Session, Value,
+};
 use dyc_lang::pretty::program_to_string;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -101,6 +111,12 @@ pub enum Violation {
     /// host with the backend that specialized without installing any
     /// machine code.
     NativeMismatch { tuple: usize, details: String },
+    /// The adaptive specialization policy diverged from the fused
+    /// always-specialize path: different results, output, or
+    /// writable-array contents, unbalanced adaptive accounting, or a
+    /// specialized binding whose code is not byte-identical to the
+    /// always path's code for the same binding.
+    PolicyMismatch { tuple: usize, details: String },
 }
 
 impl Violation {
@@ -120,6 +136,7 @@ impl Violation {
             Violation::TraceMismatch { .. } => "trace-mismatch",
             Violation::WarmMismatch { .. } => "warm-mismatch",
             Violation::NativeMismatch { .. } => "native-mismatch",
+            Violation::PolicyMismatch { .. } => "policy-mismatch",
         }
     }
 }
@@ -149,6 +166,9 @@ impl std::fmt::Display for Violation {
             Violation::WarmMismatch { details } => write!(f, "warm-start mismatch: {details}"),
             Violation::NativeMismatch { tuple, details } => {
                 write!(f, "native mismatch on tuple {tuple}: {details}")
+            }
+            Violation::PolicyMismatch { tuple, details } => {
+                write!(f, "policy mismatch on tuple {tuple}: {details}")
             }
         }
     }
@@ -582,6 +602,7 @@ fn run_case_src(case: &TestCase, src: &str) -> Result<CaseReport, Box<Violation>
     check_threaded(case, src, &fused_obs, &paths[3], fused.specializations)?;
     check_warm(case, src, &fused_obs, &paths[3], &fused)?;
     check_native(case, src, &fused_obs, &paths[3])?;
+    check_policy(case, src, &fused_obs, &paths[3], &fused)?;
 
     report.coverage = Coverage {
         specialized: fused.specializations > 0,
@@ -1141,6 +1162,167 @@ fn check_native(
                 rt.specializations, rt.native_fallbacks
             ),
         }));
+    }
+    Ok(())
+}
+
+/// Rendered code with internal dispatch-site operands canonicalized to
+/// `#`. Deferral can renumber internal promotion sites (they are
+/// numbered in creation order, and the adaptive policy reorders — or
+/// suppresses — first specializations), and a parent's specialized code
+/// embeds its children's site ids as `Dispatch { point: N }` operands.
+/// Those operands are the *only* legitimate byte difference between the
+/// adaptive and always paths; everything else must still match exactly,
+/// and the children themselves are compared by `(key, code)` membership.
+fn canonicalize_internal_points(code: &str, n_entry: u32) -> String {
+    let mut out = String::with_capacity(code.len());
+    let mut rest = code;
+    const PAT: &str = "point: ";
+    while let Some(i) = rest.find(PAT) {
+        let at = i + PAT.len();
+        out.push_str(&rest[..at]);
+        rest = &rest[at..];
+        let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+        match rest[..digits].parse::<u32>() {
+            Ok(n) if n >= n_entry => out.push('#'),
+            _ => out.push_str(&rest[..digits]),
+        }
+        rest = &rest[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Sixth dynamic path: the fused configuration under the adaptive
+/// specialization policy (`PolicyMode::Adaptive`).
+///
+/// Deferral must change only *when* code is generated, never what a
+/// dispatch computes: every tuple whose fused run completed must
+/// reproduce the fused observables exactly. Tuples whose fused run
+/// failed are skipped for the same reason as on the native path — a
+/// deferred dispatch runs the generic continuation, which spends more
+/// interpreter steps than specialized code, so an error tuple near the
+/// step limit could legitimately fail at a different point (the
+/// adaptive path also runs with extra step headroom so a deferral can
+/// never *introduce* a limit error on a tuple the fused run completed).
+///
+/// Two structural properties are checked afterwards:
+///
+/// * adaptive accounting balances: every dispatch miss was either
+///   specialized, deferred, or throttled — exactly once;
+/// * once the policy does specialize a binding, the code is
+///   byte-identical to the always-specialize path's code for that
+///   binding. Entry-site ids are static, so entry bindings are matched
+///   by `(site, key)`; internal promotion sites can be *numbered*
+///   differently when deferral reorders first specializations, so
+///   internal bindings are matched by `(key, code)` membership —
+///   checked only when the fused cache is complete (no evictions or
+///   invalidations), since an evicted binding has no counterpart left
+///   to compare against.
+fn check_policy(
+    case: &TestCase,
+    src: &str,
+    fused_obs: &[Obs],
+    fused_path: &Path,
+    fused_rt: &RtStats,
+) -> Result<(), Box<Violation>> {
+    let cfg = OptConfig::all().with_policy(PolicyMode::Adaptive);
+    let mut p = build_path("policy", case, src, cfg, true)?;
+    p.sess.set_step_limit(STEP_LIMIT.saturating_mul(8));
+    if p.arr_base != fused_path.arr_base || p.wbuf_base != fused_path.wbuf_base {
+        return Err(Box::new(Violation::PolicyMismatch {
+            tuple: 0,
+            details: "allocation bases diverged from the fused path".into(),
+        }));
+    }
+
+    for (t, tuple) in case.tuples.iter().enumerate() {
+        if fused_obs[t].result.is_err() {
+            continue;
+        }
+        let o = p.invoke(case, tuple)?;
+        let f = &fused_obs[t];
+        let same = match (&o.result, &f.result) {
+            (Ok(None), Ok(None)) => true,
+            (Ok(Some(a)), Ok(Some(b))) => value_eq(a, b),
+            _ => false,
+        };
+        if !same {
+            return Err(Box::new(Violation::PolicyMismatch {
+                tuple: t,
+                details: format!("fused: {:?} vs adaptive: {:?}", f.result, o.result),
+            }));
+        }
+        if !values_eq(&f.output, &o.output) {
+            return Err(Box::new(Violation::PolicyMismatch {
+                tuple: t,
+                details: format!(
+                    "output fused: {} vs adaptive: {}",
+                    fmt_vals(&f.output),
+                    fmt_vals(&o.output)
+                ),
+            }));
+        }
+        if f.wbuf != o.wbuf {
+            return Err(Box::new(Violation::PolicyMismatch {
+                tuple: t,
+                details: format!("wbuf fused: {:?} vs adaptive: {:?}", f.wbuf, o.wbuf),
+            }));
+        }
+    }
+
+    let rt = p.sess.rt_stats().expect("dynamic path").clone();
+    let vm = p.sess.stats();
+    if rt.specializations + rt.policy_defers + rt.policy_throttled != vm.dispatch_misses {
+        return Err(Box::new(Violation::PolicyMismatch {
+            tuple: 0,
+            details: format!(
+                "adaptive accounting off: {} specs + {} defers + {} throttles != {} misses",
+                rt.specializations, rt.policy_defers, rt.policy_throttled, vm.dispatch_misses
+            ),
+        }));
+    }
+
+    let n_entry = p.sess.n_entry_sites() as u32;
+    let canon = |entries: Vec<(u32, Vec<u64>, String)>| -> Vec<(u32, Vec<u64>, String)> {
+        entries
+            .into_iter()
+            .map(|(s, k, c)| (s, k, canonicalize_internal_points(&c, n_entry)))
+            .collect()
+    };
+    let fused_code = canon(normalized_code(fused_path.sess.cached_code()));
+    let policy_code = canon(normalized_code(p.sess.cached_code()));
+    let fused_complete = fused_rt.cache_evictions == 0 && fused_rt.cache_invalidations == 0;
+    for (site, key, code) in &policy_code {
+        if *site < n_entry {
+            // The always path specialized every miss, so when both
+            // caches still hold a binding the bytes must agree. (An
+            // entry the always path later *evicted* has no counterpart
+            // to compare — absence is not a violation.)
+            if let Some((_, _, want)) = fused_code.iter().find(|(s, k, _)| s == site && k == key) {
+                if want != code {
+                    return Err(Box::new(Violation::PolicyMismatch {
+                        tuple: 0,
+                        details: format!(
+                            "site {site} key {key:?}: adaptive code diverged from always \
+                             path:\n{code}\nvs\n{want}"
+                        ),
+                    }));
+                }
+            }
+        } else if fused_complete
+            && !fused_code
+                .iter()
+                .any(|(s, k, c)| *s >= n_entry && k == key && c == code)
+        {
+            return Err(Box::new(Violation::PolicyMismatch {
+                tuple: 0,
+                details: format!(
+                    "internal site {site} key {key:?}: no byte-identical counterpart in \
+                     the always path's cache"
+                ),
+            }));
+        }
     }
     Ok(())
 }

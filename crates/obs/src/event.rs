@@ -60,6 +60,18 @@ pub enum EventKind {
     /// config — the lowering declined or the platform has no native
     /// backend.
     NativeFallback,
+    /// Adaptive policy deferred a below-threshold miss to the generic
+    /// continuation instead of specializing. `a` = the (site, key)
+    /// dispatch count so far.
+    PolicyDefer,
+    /// Adaptive policy promoted a (site, key) past its break-even
+    /// threshold: this miss specializes after earlier deferrals. `a` =
+    /// the dispatch count at promotion.
+    PolicyPromote,
+    /// Adaptive policy throttled an internal-promotion site whose
+    /// specializations never get re-dispatched; the generic
+    /// continuation ran instead. `a` = the (site, key) dispatch count.
+    PolicyThrottle,
 }
 
 /// Event categories — the `cat` field of the Chrome trace, and the
@@ -78,6 +90,9 @@ pub enum Category {
     Cache,
     /// Internal dynamic-to-static promotions.
     Promote,
+    /// Adaptive-policy decisions: defers, promotions past break-even,
+    /// and internal-site throttles.
+    Policy,
 }
 
 impl Category {
@@ -90,6 +105,7 @@ impl Category {
             Category::Template => "template",
             Category::Cache => "cache",
             Category::Promote => "promote",
+            Category::Policy => "policy",
         }
     }
 }
@@ -115,6 +131,9 @@ impl EventKind {
             EventKind::CacheWarmLoad => "cache-warm-load",
             EventKind::NativeInstall => "native-install",
             EventKind::NativeFallback => "native-fallback",
+            EventKind::PolicyDefer => "policy-defer",
+            EventKind::PolicyPromote => "policy-promote",
+            EventKind::PolicyThrottle => "policy-throttle",
         }
     }
 
@@ -135,6 +154,9 @@ impl EventKind {
                 Category::Cache
             }
             EventKind::Promotion => Category::Promote,
+            EventKind::PolicyDefer | EventKind::PolicyPromote | EventKind::PolicyThrottle => {
+                Category::Policy
+            }
         }
     }
 }
@@ -169,7 +191,7 @@ pub struct Event {
 }
 
 /// Every kind, in declaration order (test and exporter support).
-pub const ALL_KINDS: [EventKind; 16] = [
+pub const ALL_KINDS: [EventKind; 19] = [
     EventKind::DispatchHit,
     EventKind::DispatchMiss,
     EventKind::DispatchUnchecked,
@@ -186,6 +208,9 @@ pub const ALL_KINDS: [EventKind; 16] = [
     EventKind::CacheWarmLoad,
     EventKind::NativeInstall,
     EventKind::NativeFallback,
+    EventKind::PolicyDefer,
+    EventKind::PolicyPromote,
+    EventKind::PolicyThrottle,
 ];
 
 #[cfg(test)]
@@ -197,7 +222,7 @@ mod tests {
         let mut names: Vec<&str> = ALL_KINDS.iter().map(|k| k.name()).collect();
         names.sort_unstable();
         names.dedup();
-        // 16 kinds, but begin/end share "ge-exec".
+        // 19 kinds, but begin/end share "ge-exec".
         assert_eq!(names.len(), ALL_KINDS.len() - 1);
     }
 
@@ -210,6 +235,7 @@ mod tests {
             Category::Template,
             Category::Cache,
             Category::Promote,
+            Category::Policy,
         ] {
             assert!(
                 ALL_KINDS.iter().any(|k| k.category() == c),

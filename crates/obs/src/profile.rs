@@ -64,6 +64,16 @@ pub struct SiteProfile {
     /// Specializations that stayed on the VM backend despite the native
     /// config (lowering declined, or no backend on this platform).
     pub native_fallbacks: u64,
+    /// Adaptive-policy deferrals: below-threshold misses that ran the
+    /// generic continuation instead of specializing.
+    pub policy_defers: u64,
+    /// Adaptive-policy promotions: (site, key) pairs that crossed the
+    /// break-even threshold and specialized after earlier deferrals.
+    pub policy_promotes: u64,
+    /// Adaptive-policy throttles: internal-site misses routed to the
+    /// generic continuation because the site's specializations never
+    /// got re-dispatched.
+    pub policy_throttled: u64,
 }
 
 impl SiteProfile {
@@ -168,6 +178,9 @@ pub fn site_profiles(events: &[Event]) -> Vec<SiteProfile> {
                 p.native_bytes += e.a;
             }
             EventKind::NativeFallback => p.native_fallbacks += 1,
+            EventKind::PolicyDefer => p.policy_defers += 1,
+            EventKind::PolicyPromote => p.policy_promotes += 1,
+            EventKind::PolicyThrottle => p.policy_throttled += 1,
         }
     }
     out

@@ -53,7 +53,12 @@ pub const ARTIFACT_VERSION: u32 = 1;
 /// untraced runtime. The `native` flag is excluded for the same reason:
 /// the VM code bytes in a bundle are backend-independent (native
 /// lowering happens after restore, per run), so a bundle snapshotted
-/// with either backend warm-starts the other.
+/// with either backend warm-starts the other. `policy` is excluded
+/// too: the adaptive policy changes only *when* specializations
+/// happen, never their bytes, so bundles are portable across
+/// `always`/`adaptive` runs (an adaptive restore seeds the restored
+/// keys as already promoted — see
+/// [`PolicyEngine::seed_promoted`](crate::PolicyEngine::seed_promoted)).
 pub fn config_hash(cfg: &OptConfig) -> u64 {
     let flags: [(&str, bool); 11] = [
         ("complete_loop_unrolling", cfg.complete_loop_unrolling),

@@ -67,8 +67,10 @@ use crate::cache::{DoubleHashCache, Probed};
 use crate::costs::DynCosts;
 use crate::ge_exec::{GeExecutor, SpecEnv, SpecHost};
 use crate::native::{exec_entry, lower_func, NativeArtifact, NativeDispatch, NativeEngine};
+use crate::policy::{PolicyDecision, PolicyEngine, PolicyParams};
 use crate::runtime::{Site, Store};
 use crate::stats::RtStats;
+use dyc_bta::PolicyMode;
 use dyc_obs::{now_ns, EventKind, Trace};
 use dyc_stage::{SitePolicy, StagedProgram};
 use dyc_vm::{CodeFunc, DispatchHandler, DispatchOutcome, FuncId, Module, Value, Vm, VmError};
@@ -283,15 +285,22 @@ struct ClockKeys {
     /// Full shared-cache key per retained entry, indexed by clock slot.
     keys: Vec<Vec<u64>>,
     hand: usize,
+    /// Effective capacity. Starts at the declared `cache_all(k)` bound;
+    /// the adaptive policy may grow it (never past `bits.len()`, which
+    /// is pre-allocated at the maximum so reference bits are never
+    /// reallocated while the hit path touches them lock-free).
+    cap: usize,
 }
 
 impl EvictCtl {
-    fn new(cap: usize) -> EvictCtl {
+    fn new(cap: usize, max_cap: usize) -> EvictCtl {
+        let max_cap = max_cap.max(cap);
         EvictCtl {
-            bits: (0..cap).map(|_| AtomicBool::new(false)).collect(),
+            bits: (0..max_cap).map(|_| AtomicBool::new(false)).collect(),
             clock: Mutex::new(ClockKeys {
                 keys: Vec::new(),
                 hand: 0,
+                cap,
             }),
         }
     }
@@ -300,12 +309,19 @@ impl EvictCtl {
         self.bits[idx as usize].store(true, Ordering::Relaxed);
     }
 
+    /// Raise the effective capacity to `n` (clamped to the
+    /// pre-allocated maximum; never shrinks).
+    fn grow_to(&self, n: usize) {
+        let mut c = self.clock.lock().unwrap();
+        c.cap = c.cap.max(n.min(self.bits.len()));
+    }
+
     /// Admit `key`, evicting a victim from `cache` if the site is at
     /// capacity. Returns the clock slot for the new entry and the evicted
     /// key, if any.
     fn admit(&self, key: &[u64], cache: &ShardedCache<CacheVal>) -> (u32, Option<Vec<u64>>) {
-        let cap = self.bits.len();
         let mut c = self.clock.lock().unwrap();
+        let cap = c.cap;
         if c.keys.len() < cap {
             c.keys.push(key.to_vec());
             let idx = c.keys.len() - 1;
@@ -343,7 +359,8 @@ impl EvictCtl {
     /// another key would evict. Warm-start uses this to reject surplus
     /// bundle entries instead of evicting ones it just restored.
     fn at_capacity(&self) -> bool {
-        self.clock.lock().unwrap().keys.len() >= self.bits.len()
+        let c = self.clock.lock().unwrap();
+        c.keys.len() >= c.cap
     }
 }
 
@@ -359,9 +376,15 @@ struct SiteEntry {
 }
 
 impl SiteEntry {
-    fn new(site: Site) -> SiteEntry {
+    /// `cap_growth` is the adaptive policy's bound multiplier (1 in
+    /// `Always` mode): reference bits are pre-allocated at
+    /// `k * cap_growth` so capacity growth never reallocates them.
+    fn new(site: Site, cap_growth: usize) -> SiteEntry {
         let evict = match site.policy {
-            SitePolicy::CacheAllBounded(k) => Some(EvictCtl::new(k.max(1) as usize)),
+            SitePolicy::CacheAllBounded(k) => {
+                let k = k.max(1) as usize;
+                Some(EvictCtl::new(k, k.saturating_mul(cap_growth.max(1))))
+            }
             _ => None,
         };
         SiteEntry {
@@ -418,6 +441,9 @@ struct ConcStats {
     cache_warm_rejects: AtomicU64,
     native_installs: AtomicU64,
     native_fallbacks: AtomicU64,
+    policy_defers: AtomicU64,
+    policy_promotes: AtomicU64,
+    policy_throttled: AtomicU64,
 }
 
 /// Plain snapshot of the shared runtime's meters.
@@ -456,6 +482,16 @@ pub struct ConcSnapshot {
     /// native option — the lowering declined or the platform lacks the
     /// backend.
     pub native_fallbacks: u64,
+    /// Adaptive policy only: dispatch misses whose specialization was
+    /// deferred below the site's break-even threshold (the dispatch ran
+    /// the generic continuation). Always zero in `PolicyMode::Always`.
+    pub policy_defers: u64,
+    /// Adaptive policy only: keys specialized after at least one
+    /// deferral (the miss that crossed the threshold).
+    pub policy_promotes: u64,
+    /// Adaptive policy only: misses suppressed because the (internal)
+    /// site's specializations were never re-dispatched.
+    pub policy_throttled: u64,
     /// Code functions published to the shared registry.
     pub published: u64,
     /// Per-shard cache meters.
@@ -493,6 +529,14 @@ pub struct SharedOptions {
     /// [`OptConfig::native`](dyc_bta::OptConfig) on the staged program's
     /// config. A no-op on platforms without the native backend.
     pub native: bool,
+    /// When to specialize a dispatched (site, key):
+    /// [`PolicyMode::Always`] (the default — specialize on first miss,
+    /// today's behavior exactly) or [`PolicyMode::Adaptive`] (count
+    /// dispatches and defer below the per-site break-even; see
+    /// [`crate::policy`]). Also switched on by
+    /// [`OptConfig::policy`](dyc_bta::OptConfig) on the staged
+    /// program's config.
+    pub policy: PolicyMode,
 }
 
 impl Default for SharedOptions {
@@ -503,6 +547,7 @@ impl Default for SharedOptions {
             spec_budget: 4_000_000,
             trace: false,
             native: false,
+            policy: PolicyMode::Always,
         }
     }
 }
@@ -533,6 +578,9 @@ pub struct SharedRuntime {
     /// Single-flight wait-map, keyed like the cache.
     inflight: Mutex<HashMap<Vec<u64>, Arc<Flight>>>,
     stats: ConcStats,
+    /// Adaptive specialization policy, `None` in `Always` mode (the
+    /// default). Consulted only on the miss path; see [`crate::policy`].
+    policy: Option<PolicyEngine>,
     /// Trace thread-id allocator: each [`ThreadRuntime`] takes the next
     /// id so merged event streams distinguish recorders.
     next_thread: AtomicU32,
@@ -560,7 +608,7 @@ impl SpecHost for SharedSiteHost<'_> {
         site.precompute_layout();
         let mut sites = self.shared.sites.write().unwrap();
         let id = sites.len() as u32;
-        sites.push(Arc::new(SiteEntry::new(site)));
+        sites.push(Arc::new(SiteEntry::new(site, self.shared.cap_growth())));
         id
     }
 }
@@ -576,6 +624,12 @@ impl SharedRuntime {
     pub fn with_options(staged: StagedProgram, opts: SharedOptions) -> SharedRuntime {
         let base_module = staged.build_module();
         let base_len = base_module.len();
+        let adaptive =
+            opts.policy == PolicyMode::Adaptive || staged.cfg.policy == PolicyMode::Adaptive;
+        let policy = adaptive.then(|| PolicyEngine::new(PolicyParams::default()));
+        let cap_growth = policy
+            .as_ref()
+            .map_or(1, |e| e.params().cap_growth_limit.max(1));
         let mut sites = Vec::new();
         for (i, e) in staged.entry_sites.iter().enumerate() {
             let mut site = Site {
@@ -591,7 +645,7 @@ impl SharedRuntime {
                 dyn_pos: Vec::new(),
             };
             site.precompute_layout();
-            sites.push(Arc::new(SiteEntry::new(site)));
+            sites.push(Arc::new(SiteEntry::new(site, cap_growth)));
         }
         SharedRuntime {
             cache: ShardedCache::new(opts.shards),
@@ -603,9 +657,23 @@ impl SharedRuntime {
             registry: RwLock::new(Vec::new()),
             inflight: Mutex::new(HashMap::new()),
             stats: ConcStats::default(),
+            policy,
             next_thread: AtomicU32::new(0),
             staged,
         }
+    }
+
+    /// The adaptive policy engine, when enabled (diagnostics and tests).
+    pub fn policy_engine(&self) -> Option<&PolicyEngine> {
+        self.policy.as_ref()
+    }
+
+    /// Bounded-cap growth multiplier for new sites: the policy's
+    /// `cap_growth_limit` in adaptive mode, 1 otherwise.
+    fn cap_growth(&self) -> usize {
+        self.policy
+            .as_ref()
+            .map_or(1, |e| e.params().cap_growth_limit.max(1))
     }
 
     /// A fresh per-thread dispatch handler. Pair it with
@@ -642,6 +710,13 @@ impl SharedRuntime {
     /// Number of dispatch sites (entries + internal promotions so far).
     pub fn n_sites(&self) -> usize {
         self.sites.read().unwrap().len()
+    }
+
+    /// Number of entry (statically splice-created) dispatch sites. Site
+    /// ids at or above this are internal promotion sites, numbered in
+    /// the order their parent specializations first created them.
+    pub fn n_entry_sites(&self) -> usize {
+        self.staged.entry_sites.len()
     }
 
     /// Number of code functions published to the shared registry.
@@ -799,6 +874,12 @@ impl SharedRuntime {
                 reg.push(Arc::new(art.to_func()));
                 gid
             };
+            if let Some(eng) = &self.policy {
+                // Restored entries are already-proven keys: seed the
+                // engine so they never defer and re-specialize
+                // immediately if ever evicted.
+                eng.seed_promoted(full_key.clone());
+            }
             self.cache.insert(full_key, CacheVal { gid, clock_idx });
             self.stats.cache_warm_loads.fetch_add(1, Ordering::Relaxed);
         }
@@ -817,6 +898,9 @@ impl SharedRuntime {
             cache_warm_rejects: self.stats.cache_warm_rejects.load(Ordering::Relaxed),
             native_installs: self.stats.native_installs.load(Ordering::Relaxed),
             native_fallbacks: self.stats.native_fallbacks.load(Ordering::Relaxed),
+            policy_defers: self.stats.policy_defers.load(Ordering::Relaxed),
+            policy_promotes: self.stats.policy_promotes.load(Ordering::Relaxed),
+            policy_throttled: self.stats.policy_throttled.load(Ordering::Relaxed),
             published: self.registry.read().unwrap().len() as u64,
             shards: self.cache.meters(),
         }
@@ -1078,6 +1162,11 @@ impl ThreadRuntime {
             self.stats.dyncomp_cycles - dyn0,
             self.stats.instrs_generated - instr0,
         );
+        if let Some(eng) = &shared.policy {
+            // Feed the measured cost into the site's break-even
+            // threshold estimate.
+            eng.note_spec(point, self.stats.dyncomp_cycles - dyn0);
+        }
         Ok(f)
     }
 
@@ -1109,6 +1198,14 @@ impl ThreadRuntime {
                 self.local_ids[idx] = Some(fid);
                 let clock_idx = match &entry.evict {
                     Some(ev) => {
+                        if let Some(eng) = &self.shared.policy {
+                            // Auto-sizing: revivals observed at this site
+                            // grow the effective bound (pre-allocated
+                            // headroom, so no reallocation).
+                            if let SitePolicy::CacheAllBounded(k) = entry.site.policy {
+                                ev.grow_to(eng.cap_for(key[0] as u32, k.max(1) as usize));
+                            }
+                        }
                         let (ci, evicted) = ev.admit(key, &self.shared.cache);
                         if let Some(old) = evicted {
                             self.stats.cache_evictions += 1;
@@ -1159,6 +1256,74 @@ impl ThreadRuntime {
         module: &mut Module,
         vm: &mut Vm,
     ) -> Result<MissResult, VmError> {
+        // Adaptive-policy gate: decide *whether* to specialize before
+        // entering the single-flight protocol. A deferred or throttled
+        // miss runs the generic continuation and never takes a flight.
+        if self.shared.policy.is_some() {
+            let shared = Arc::clone(&self.shared);
+            let eng = shared.policy.as_ref().expect("checked above");
+            let point = key[0] as u32;
+            let entry_site = (point as usize) < shared.staged.entry_sites.len();
+            let decision = eng.on_miss(key, entry_site);
+            let count = u64::from(eng.count_of(key));
+            let trace_on = self.trace.is_on();
+            let kh = if trace_on {
+                dyc_obs::key_hash(&key[1..])
+            } else {
+                0
+            };
+            match decision {
+                PolicyDecision::Specialize { promoted } => {
+                    if promoted {
+                        self.stats.policy_promotes += 1;
+                        shared.stats.policy_promotes.fetch_add(1, Ordering::Relaxed);
+                        if trace_on {
+                            self.trace.rec(
+                                EventKind::PolicyPromote,
+                                point,
+                                kh,
+                                vm.stats.total_cycles(),
+                                count,
+                                0,
+                            );
+                        }
+                    }
+                }
+                PolicyDecision::Defer => {
+                    self.stats.policy_defers += 1;
+                    shared.stats.policy_defers.fetch_add(1, Ordering::Relaxed);
+                    if trace_on {
+                        self.trace.rec(
+                            EventKind::PolicyDefer,
+                            point,
+                            kh,
+                            vm.stats.total_cycles(),
+                            count,
+                            0,
+                        );
+                    }
+                    return Ok(MissResult::Generic(shared.generic_continuation(entry)));
+                }
+                PolicyDecision::Throttle => {
+                    self.stats.policy_throttled += 1;
+                    shared
+                        .stats
+                        .policy_throttled
+                        .fetch_add(1, Ordering::Relaxed);
+                    if trace_on {
+                        self.trace.rec(
+                            EventKind::PolicyThrottle,
+                            point,
+                            kh,
+                            vm.stats.total_cycles(),
+                            count,
+                            0,
+                        );
+                    }
+                    return Ok(MissResult::Generic(shared.generic_continuation(entry)));
+                }
+            }
+        }
         enum Role {
             Winner(Arc<Flight>),
             Racer(Arc<Flight>),
@@ -1306,6 +1471,9 @@ impl DispatchHandler for ThreadRuntime {
 
         let gid = match probed.value {
             Some(v) => {
+                if let Some(eng) = &self.shared.policy {
+                    eng.note_hit(point);
+                }
                 if let Some(ev) = &entry.evict {
                     ev.touch(v.clock_idx);
                 }
@@ -1646,5 +1814,181 @@ mod tests {
             t.stats.dispatch_allocs, allocs,
             "hit path must not allocate"
         );
+    }
+
+    #[test]
+    fn conc_snapshot_covers_every_meter() {
+        // Size accounting: adding an atomic to ConcStats or a field to
+        // ConcSnapshot without updating the other (and `stats()`) trips
+        // one of these, which forces the round-trip list below — and
+        // therefore the snapshot plumbing — to stay complete.
+        assert_eq!(std::mem::size_of::<ConcStats>(), 13 * 8);
+        assert_eq!(
+            std::mem::size_of::<ConcSnapshot>(),
+            std::mem::size_of::<Vec<ShardMeter>>() + 14 * 8
+        );
+        let shared = SharedRuntime::new(staged(POWER));
+        let fields: [&AtomicU64; 13] = [
+            &shared.stats.specializations,
+            &shared.stats.single_flight_waits,
+            &shared.stats.single_flight_fallbacks,
+            &shared.stats.cache_evictions,
+            &shared.stats.cache_invalidations,
+            &shared.stats.generic_continuations,
+            &shared.stats.cache_warm_loads,
+            &shared.stats.cache_warm_rejects,
+            &shared.stats.native_installs,
+            &shared.stats.native_fallbacks,
+            &shared.stats.policy_defers,
+            &shared.stats.policy_promotes,
+            &shared.stats.policy_throttled,
+        ];
+        for (i, f) in fields.iter().enumerate() {
+            f.store(i as u64 + 1, Ordering::Relaxed);
+        }
+        let s = shared.stats();
+        let got = [
+            s.specializations,
+            s.single_flight_waits,
+            s.single_flight_fallbacks,
+            s.cache_evictions,
+            s.cache_invalidations,
+            s.generic_continuations,
+            s.cache_warm_loads,
+            s.cache_warm_rejects,
+            s.native_installs,
+            s.native_fallbacks,
+            s.policy_defers,
+            s.policy_promotes,
+            s.policy_throttled,
+        ];
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1, "meter {i} dropped by stats()");
+        }
+        assert_eq!(s.published, 0);
+    }
+
+    #[test]
+    fn adaptive_policy_defers_then_promotes() {
+        let shared = Arc::new(SharedRuntime::with_options(
+            staged(POWER),
+            SharedOptions {
+                policy: PolicyMode::Adaptive,
+                ..SharedOptions::default()
+            },
+        ));
+        let mut t = SharedRuntime::thread(&shared);
+        let mut module = shared.base_module();
+        let mut vm = Vm::new(CostModel::alpha21164());
+        let id = module.func_by_name("pow").unwrap();
+        let run = |t: &mut ThreadRuntime, module: &mut Module, vm: &mut Vm| {
+            vm.call_with_handler(module, t, id, &[Value::I(3), Value::I(4)])
+                .unwrap()
+        };
+        // First dispatch: below the cold-start threshold (2) → the
+        // generic continuation runs, with the right answer.
+        assert_eq!(run(&mut t, &mut module, &mut vm), Some(Value::I(81)));
+        let s = shared.stats();
+        assert_eq!(
+            (s.specializations, s.policy_defers, s.generic_continuations),
+            (0, 1, 1)
+        );
+        // Second: crosses the threshold → promoted and specialized.
+        assert_eq!(run(&mut t, &mut module, &mut vm), Some(Value::I(81)));
+        let s = shared.stats();
+        assert_eq!((s.specializations, s.policy_promotes), (1, 1));
+        // Third: a plain cache hit.
+        assert_eq!(run(&mut t, &mut module, &mut vm), Some(Value::I(81)));
+        assert_eq!(shared.stats().specializations, 1);
+        // Per-thread meters agree with the global atomics.
+        assert_eq!((t.stats.policy_defers, t.stats.policy_promotes), (1, 1));
+    }
+
+    #[test]
+    fn adaptive_policy_counts_exactly_under_contention() {
+        let shared = Arc::new(SharedRuntime::with_options(
+            staged(POWER),
+            SharedOptions {
+                policy: PolicyMode::Adaptive,
+                ..SharedOptions::default()
+            },
+        ));
+        let n = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut t = SharedRuntime::thread(&shared);
+                    let mut module = shared.base_module();
+                    let mut vm = Vm::new(CostModel::alpha21164());
+                    let id = module.func_by_name("pow").unwrap();
+                    barrier.wait();
+                    for _ in 0..50 {
+                        let out = vm
+                            .call_with_handler(&mut module, &mut t, id, &[Value::I(2), Value::I(6)])
+                            .unwrap();
+                        assert_eq!(out, Some(Value::I(64)));
+                    }
+                    (t.stats.policy_defers, t.stats.policy_promotes)
+                })
+            })
+            .collect();
+        let (mut defers, mut promotes) = (0u64, 0u64);
+        for h in handles {
+            let (d, p) = h.join().unwrap();
+            defers += d;
+            promotes += p;
+        }
+        // Every per-key decision is serialized by the engine's map
+        // mutex, so for one shared key exactly one miss defers (count 1)
+        // and exactly one promotes (count 2), no matter how the eight
+        // threads interleave — and single-flight still collapses the
+        // post-promotion races into one specialization.
+        let s = shared.stats();
+        assert_eq!((s.policy_defers, s.policy_promotes), (1, 1));
+        assert_eq!((defers, promotes), (1, 1));
+        assert_eq!(s.specializations, 1);
+        assert_eq!(s.policy_throttled, 0);
+    }
+
+    #[test]
+    fn adaptive_grows_bounded_caps_to_fit_the_working_set() {
+        let src = "int pow(int b, int e) { make_static(e: cache_all(2));
+            int r = 1; while (e > 0) { r = r * b; e = e - 1; } return r; }";
+        let shared = Arc::new(SharedRuntime::with_options(
+            staged(src),
+            SharedOptions {
+                policy: PolicyMode::Adaptive,
+                ..SharedOptions::default()
+            },
+        ));
+        let mut t = SharedRuntime::thread(&shared);
+        let mut module = shared.base_module();
+        let mut vm = Vm::new(CostModel::alpha21164());
+        let id = module.func_by_name("pow").unwrap();
+        // Working set of 3 cycled through a declared bound of 2: each
+        // eviction's victim comes back (a revival), growing the
+        // effective cap until all three variants are co-resident.
+        for _round in 0..6 {
+            for e in [1i64, 2, 3] {
+                let out = vm
+                    .call_with_handler(&mut module, &mut t, id, &[Value::I(2), Value::I(e)])
+                    .unwrap();
+                assert_eq!(out, Some(Value::I(1i64 << e)));
+            }
+        }
+        assert_eq!(shared.cache_snapshot().len(), 3);
+        // Steady state: a further round is all hits — no re-specialization,
+        // no eviction (impossible under the fixed cap of 2).
+        let s0 = shared.stats();
+        for e in [1i64, 2, 3] {
+            vm.call_with_handler(&mut module, &mut t, id, &[Value::I(2), Value::I(e)])
+                .unwrap();
+        }
+        let s1 = shared.stats();
+        assert_eq!(s1.specializations, s0.specializations);
+        assert_eq!(s1.cache_evictions, s0.cache_evictions);
     }
 }

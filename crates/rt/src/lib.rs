@@ -37,6 +37,7 @@ pub mod costs;
 pub(crate) mod emitter;
 pub mod ge_exec;
 pub mod native;
+pub mod policy;
 pub mod runtime;
 pub mod sink;
 pub mod specializer;
@@ -50,6 +51,7 @@ pub use concurrent::{
 pub use costs::DynCosts;
 pub use ge_exec::GeExecutor;
 pub use native::{lower_func, NativeArtifact, NativeDispatch, NativeEngine};
+pub use policy::{PolicyDecision, PolicyEngine, PolicyParams};
 pub use runtime::{Runtime, Site, Store};
 pub use sink::{fnv1a, CodeSink, FnvBuild, InstallSink, NativeSink, RecordingSink, VmSink};
 pub use stats::RtStats;

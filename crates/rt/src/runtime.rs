@@ -12,8 +12,10 @@ use crate::cache::{CacheEntry, DoubleHashCache};
 use crate::costs::DynCosts;
 use crate::ge_exec::{GeExecutor, SpecEnv, SpecHost};
 use crate::native::{exec_entry, lower_func, NativeArtifact, NativeDispatch, NativeEngine};
+use crate::policy::{PolicyDecision, PolicyEngine, PolicyParams};
 use crate::specializer::Specializer;
 use crate::stats::RtStats;
+use dyc_bta::PolicyMode;
 use dyc_ir::{BlockId, VReg};
 use dyc_obs::{EventKind, Trace};
 use dyc_stage::{SitePolicy, StagedProgram};
@@ -167,6 +169,15 @@ pub struct Runtime {
     /// from specialized functions to their installed machine-code
     /// entries. Inert (a no-op stub) on platforms without the backend.
     native: NativeEngine,
+    /// Adaptive specialization policy (`OptConfig::policy`), `None` in
+    /// the default `Always` mode — the engine is consulted only on the
+    /// dispatch miss path, so `Always` behavior is bit-for-bit today's.
+    policy: Option<PolicyEngine>,
+    /// Per-site generic continuation, compiled on first deferral. The
+    /// continuation is ordinary unspecialized code (mirrors
+    /// `SharedRuntime`'s fallback path), charged like statically
+    /// compiled code — no dynamic-compilation cycles.
+    generic: Vec<Option<FuncId>>,
 }
 
 impl Runtime {
@@ -196,6 +207,8 @@ impl Runtime {
         } else {
             Trace::off()
         };
+        let policy = (staged.cfg.policy == PolicyMode::Adaptive)
+            .then(|| PolicyEngine::new(PolicyParams::default()));
         Runtime {
             staged,
             costs: DynCosts::calibrated(),
@@ -207,7 +220,15 @@ impl Runtime {
             scratch_vals: Vec::new(),
             spec_budget: 4_000_000,
             native: NativeEngine::new(),
+            policy,
+            generic: Vec::new(),
         }
+    }
+
+    /// The adaptive policy engine, when `OptConfig::policy` is
+    /// [`PolicyMode::Adaptive`] (diagnostics and tests).
+    pub fn policy_engine(&self) -> Option<&PolicyEngine> {
+        self.policy.as_ref()
     }
 
     /// Register an internal promotion site created during specialization;
@@ -224,6 +245,13 @@ impl Runtime {
     /// Number of dispatch sites (entries + internal promotions so far).
     pub fn n_sites(&self) -> usize {
         self.sites.len()
+    }
+
+    /// Number of entry (statically splice-created) dispatch sites. Site
+    /// ids at or above this are internal promotion sites, numbered in
+    /// the order their parent specializations first created them.
+    pub fn n_entry_sites(&self) -> usize {
+        self.staged.entry_sites.len()
     }
 
     /// Number of specializations with an installed native machine-code
@@ -429,6 +457,16 @@ impl Runtime {
             };
             if let Some(fid) = installed {
                 self.stats.cache_warm_loads += 1;
+                if let Some(eng) = &self.policy {
+                    // Restored entries are already-proven keys: seed the
+                    // engine so they never defer (their dispatches are
+                    // hits anyway) and re-specialize immediately if ever
+                    // evicted.
+                    let mut pkey = Vec::with_capacity(art.key.len() + 1);
+                    pkey.push(u64::from(art.site));
+                    pkey.extend_from_slice(&art.key);
+                    eng.seed_promoted(pkey);
+                }
                 if self.staged.cfg.native {
                     // Warm-started code never passed through a
                     // NativeSink; lower the restored function directly.
@@ -450,6 +488,138 @@ impl Runtime {
                 self.stats.cache_warm_rejects += 1;
             }
         }
+    }
+
+    /// This site's generic continuation, compiled and installed in
+    /// `module` on first use. Like the concurrent fallback path, the
+    /// continuation is ordinary unspecialized code, so it is charged
+    /// like statically compiled code — no dynamic-compilation cycles.
+    fn generic_continuation(&mut self, point: u32, module: &mut Module) -> FuncId {
+        if point as usize >= self.generic.len() {
+            self.generic.resize(point as usize + 1, None);
+        }
+        if let Some(f) = self.generic[point as usize] {
+            return f;
+        }
+        let site = &self.sites[point as usize];
+        let consts: Vec<_> = site.base_store.iter().map(|(v, val)| (*v, *val)).collect();
+        let cf = dyc_ir::codegen::codegen_region_generic(
+            &self.staged.ir.funcs[site.func],
+            site.block,
+            site.inst_idx,
+            &site.arg_vars,
+            &consts,
+        );
+        let fid = module.add_func(cf);
+        if self.staged.cfg.native {
+            // Deferred dispatches should enjoy the native backend too;
+            // the continuation is lowered once, like any installed code.
+            let art = lower_func(module.func(fid));
+            self.native_install(point, fid, art);
+        }
+        self.generic[point as usize] = Some(fid);
+        fid
+    }
+
+    /// Adaptive-mode hit hook: feeds the policy engine's throttling
+    /// heuristic. A no-op (no locks, no atomics) in `Always` mode.
+    fn policy_note_hit(&mut self, point: u32) {
+        if let Some(eng) = &self.policy {
+            eng.note_hit(point);
+        }
+    }
+
+    /// Adaptive-mode miss gate. Consulted after a cache miss is
+    /// detected and metered: returns the generic continuation to run
+    /// when the policy defers or throttles this specialization, `None`
+    /// when the miss should specialize as usual (always the case in
+    /// `Always` mode). `key_bits` is the site-relative cache key.
+    fn policy_gate(
+        &mut self,
+        point: u32,
+        key_bits: &[u64],
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Option<FuncId> {
+        let eng = self.policy.as_ref()?;
+        let entry_site = (point as usize) < self.staged.entry_sites.len();
+        let mut pkey = Vec::with_capacity(key_bits.len() + 1);
+        pkey.push(u64::from(point));
+        pkey.extend_from_slice(key_bits);
+        let decision = eng.on_miss(&pkey, entry_site);
+        let count = u64::from(eng.count_of(&pkey));
+        let trace_on = self.trace.is_on();
+        let kh = if trace_on {
+            dyc_obs::key_hash(key_bits)
+        } else {
+            0
+        };
+        match decision {
+            PolicyDecision::Specialize { promoted } => {
+                if promoted {
+                    self.stats.policy_promotes += 1;
+                    if trace_on {
+                        self.trace.rec(
+                            EventKind::PolicyPromote,
+                            point,
+                            kh,
+                            vm.stats.total_cycles(),
+                            count,
+                            0,
+                        );
+                    }
+                }
+                None
+            }
+            PolicyDecision::Defer => {
+                self.stats.policy_defers += 1;
+                if trace_on {
+                    self.trace.rec(
+                        EventKind::PolicyDefer,
+                        point,
+                        kh,
+                        vm.stats.total_cycles(),
+                        count,
+                        0,
+                    );
+                }
+                Some(self.generic_continuation(point, module))
+            }
+            PolicyDecision::Throttle => {
+                self.stats.policy_throttled += 1;
+                if trace_on {
+                    self.trace.rec(
+                        EventKind::PolicyThrottle,
+                        point,
+                        kh,
+                        vm.stats.total_cycles(),
+                        count,
+                        0,
+                    );
+                }
+                Some(self.generic_continuation(point, module))
+            }
+        }
+    }
+
+    /// Finish a deferred dispatch: the generic continuation takes every
+    /// dispatch argument (nothing is baked in but the base store).
+    fn finish_generic(
+        &mut self,
+        func: FuncId,
+        args: &[Value],
+        out_args: &mut Vec<Value>,
+        module: &mut Module,
+        vm: &mut Vm,
+    ) -> Result<DispatchOutcome, VmError> {
+        out_args.extend_from_slice(args);
+        if self.staged.cfg.native {
+            if let Some(entry) = self.native.entry(func) {
+                let value = exec_entry(&entry, out_args, self, module, vm)?;
+                return Ok(DispatchOutcome::Completed { value });
+            }
+        }
+        Ok(DispatchOutcome::Invoke { func })
     }
 
     fn specialize(
@@ -523,6 +693,11 @@ impl Runtime {
             self.stats.dyncomp_cycles - dyn0,
             self.stats.instrs_generated - instr0,
         );
+        if let Some(eng) = &self.policy {
+            // Feed the measured cost into the site's break-even
+            // threshold estimate.
+            eng.note_spec(point, self.stats.dyncomp_cycles - dyn0);
+        }
         Ok(func)
     }
 
@@ -606,6 +781,7 @@ impl DispatchHandler for Runtime {
                 let kh = dyc_obs::key_hash(&[]);
                 match cached {
                     Some(f) => {
+                        self.policy_note_hit(point);
                         self.trace.rec(
                             EventKind::DispatchUnchecked,
                             point,
@@ -626,6 +802,9 @@ impl DispatchHandler for Runtime {
                             unchecked,
                             0,
                         );
+                        if let Some(g) = self.policy_gate(point, &[], module, vm) {
+                            return self.finish_generic(g, args, out_args, module, vm);
+                        }
                         let f = self.miss(point, args, module, vm)?;
                         self.caches[point as usize] = CacheState::One(Some(f));
                         f
@@ -654,6 +833,7 @@ impl DispatchHandler for Runtime {
                     };
                     match cached {
                         Some(f) => {
+                            self.policy_note_hit(point);
                             self.trace.rec(
                                 EventKind::DispatchIndexed,
                                 point,
@@ -674,6 +854,9 @@ impl DispatchHandler for Runtime {
                                 cost,
                                 0,
                             );
+                            if let Some(g) = self.policy_gate(point, &[kv.key_bits()], module, vm) {
+                                return self.finish_generic(g, args, out_args, module, vm);
+                            }
                             let f = self.miss(point, args, module, vm)?;
                             match &mut self.caches[point as usize] {
                                 CacheState::Indexed { slots, .. } => slots[idx] = Some(f),
@@ -702,6 +885,7 @@ impl DispatchHandler for Runtime {
                     let kh = if trace_on { dyc_obs::key_hash(&kb) } else { 0 };
                     match entry {
                         CacheEntry::Hit { value, .. } => {
+                            self.policy_note_hit(point);
                             self.trace.rec(
                                 EventKind::DispatchHit,
                                 point,
@@ -723,6 +907,11 @@ impl DispatchHandler for Runtime {
                                 cost,
                                 u64::from(probes),
                             );
+                            if let Some(g) = self.policy_gate(point, &kb, module, vm) {
+                                // The reserved slot is just an index —
+                                // leaving it unfilled is harmless.
+                                return self.finish_generic(g, args, out_args, module, vm);
+                            }
                             let f = self.miss(point, args, module, vm)?;
                             match &mut self.caches[point as usize] {
                                 CacheState::Indexed { overflow, .. } => {
@@ -761,6 +950,7 @@ impl DispatchHandler for Runtime {
                 let kh = if trace_on { dyc_obs::key_hash(&key) } else { 0 };
                 let func = match entry {
                     CacheEntry::Hit { value, .. } => {
+                        self.policy_note_hit(point);
                         self.trace.rec(
                             EventKind::DispatchHit,
                             point,
@@ -782,6 +972,10 @@ impl DispatchHandler for Runtime {
                             cost,
                             u64::from(probes),
                         );
+                        if let Some(g) = self.policy_gate(point, &key, module, vm) {
+                            self.scratch_key = key;
+                            return self.finish_generic(g, args, out_args, module, vm);
+                        }
                         let f = self.miss(point, args, module, vm)?;
                         match &mut self.caches[point as usize] {
                             CacheState::All(c) => c.fill(slot, key.clone(), f),
@@ -821,6 +1015,7 @@ impl DispatchHandler for Runtime {
                     CacheEntry::Hit {
                         value: (f, idx), ..
                     } => {
+                        self.policy_note_hit(point);
                         // Second chance: mark the entry recently used.
                         match &mut self.caches[point as usize] {
                             CacheState::Bounded { clock, .. } => clock[idx as usize].1 = true,
@@ -847,7 +1042,22 @@ impl DispatchHandler for Runtime {
                             cost,
                             u64::from(probes),
                         );
+                        if let Some(g) = self.policy_gate(point, &key, module, vm) {
+                            self.scratch_key = key;
+                            return self.finish_generic(g, args, out_args, module, vm);
+                        }
                         let f = self.miss(point, args, module, vm)?;
+                        // Auto-sizing: a revival (promoted key missing
+                        // again) grows the effective bound, so keys with
+                        // reuse distance beyond the declared `k` stop
+                        // thrashing. Bounded by `k * cap_growth_limit`.
+                        let grown_cap = self.policy.as_ref().map(|eng| {
+                            let base = match self.sites[point as usize].policy {
+                                SitePolicy::CacheAllBounded(k) => k.max(1) as usize,
+                                _ => unreachable!("policy/cache mismatch"),
+                            };
+                            eng.cap_for(point, base)
+                        });
                         // `(evicted key hash, victim slot)` when the fill
                         // displaced a resident entry, recorded after the
                         // cache borrow ends.
@@ -859,6 +1069,11 @@ impl DispatchHandler for Runtime {
                                 clock,
                                 hand,
                             } => {
+                                if let Some(nc) = grown_cap {
+                                    if nc > *cap {
+                                        *cap = nc;
+                                    }
+                                }
                                 let idx = if clock.len() < *cap {
                                     clock.push((key.clone(), true));
                                     (clock.len() - 1) as u32

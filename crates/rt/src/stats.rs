@@ -107,6 +107,18 @@ pub struct RtStats {
     /// instruction or an out-of-range branch) or the platform lacks the
     /// native backend. The VM path is always a correct fallback.
     pub native_fallbacks: u64,
+    /// Adaptive policy only: dispatch misses whose specialization was
+    /// deferred (below the site's break-even threshold) — the dispatch
+    /// ran the generic continuation instead. Always zero in
+    /// `PolicyMode::Always`.
+    pub policy_defers: u64,
+    /// Adaptive policy only: keys specialized after at least one
+    /// deferral (the miss that crossed the break-even threshold).
+    pub policy_promotes: u64,
+    /// Adaptive policy only: dispatch misses suppressed because the
+    /// (internal) site's specializations were never re-dispatched — the
+    /// dispatch ran the generic continuation instead.
+    pub policy_throttled: u64,
 }
 
 /// Every `u64` counter field of [`RtStats`], listed once. `delta` and
@@ -150,7 +162,10 @@ macro_rules! counter_fields {
             cache_warm_loads,
             cache_warm_rejects,
             native_installs,
-            native_fallbacks
+            native_fallbacks,
+            policy_defers,
+            policy_promotes,
+            policy_throttled
         )
     };
 }
@@ -249,7 +264,7 @@ mod tests {
     fn counters_cover_every_u64_field() {
         let s = RtStats::new();
         let counters = s.counters();
-        // 36 u64 counters + the one bool (padded to 8 bytes) accounts
+        // 39 u64 counters + the one bool (padded to 8 bytes) accounts
         // for the whole struct; a counter field missing from the macro
         // breaks this equation.
         assert_eq!(
@@ -260,6 +275,42 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), counters.len(), "duplicate counter names");
+    }
+
+    #[test]
+    fn every_counter_round_trips_through_delta_and_counters() {
+        // Give every counter a distinct nonzero value, positionally, so
+        // a field silently dropped from `delta` (or swapped with a
+        // neighbor) is caught — the latent gap that once let new meters
+        // bypass phase accounting.
+        let mut s = RtStats::new();
+        let n = s.counters().len();
+        {
+            // Safety net: the size test above proves the struct is
+            // exactly `n` u64s + one bool-in-a-u64-slot, and the macro
+            // lists fields in declaration order.
+            let fields: Vec<*mut u64> = {
+                macro_rules! addrs {
+                    ($($f:ident),*) => { vec![$(std::ptr::addr_of_mut!(s.$f),)*] };
+                }
+                counter_fields!(addrs)
+            };
+            assert_eq!(fields.len(), n);
+            for (i, p) in fields.into_iter().enumerate() {
+                unsafe { *p = (i + 1) as u64 };
+            }
+        }
+        // counters() reports every value under its own name...
+        for (i, (name, v)) in s.counters().into_iter().enumerate() {
+            assert_eq!(v, (i + 1) as u64, "{name} lost its value");
+        }
+        // ...and delta against zero reproduces the struct exactly, so
+        // no field is dropped by phase subtraction.
+        assert_eq!(s.delta(&RtStats::new()), s);
+        let names: Vec<&str> = s.counters().iter().map(|(n, _)| *n).collect();
+        for meter in ["policy_defers", "policy_promotes", "policy_throttled"] {
+            assert!(names.contains(&meter), "{meter} missing from counters()");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! restored code — and its cached bindings must be instruction-identical
 //! to the cold session's.
 
-use dyc::{CodeFunc, Compiler, Session, Value};
+use dyc::{CodeFunc, Compiler, OptConfig, PolicyMode, Session, Value};
 use dyc_workloads::{all, Workload};
 
 /// Region invocations (enough to exercise cache hits after the miss).
@@ -104,6 +104,62 @@ fn every_workload_warm_starts_with_zero_respecializations() {
             normalize(cold.cached_code()),
             normalize(warm.cached_code()),
             "{}: cached code differs after warm start",
+            meta.name
+        );
+    }
+}
+
+/// Warm start into an *adaptive* session: restored cache entries are
+/// seeded as already promoted, so re-running the cold sequence hits
+/// restored code everywhere — zero re-specializations, and, critically,
+/// zero policy deferrals: the engine must not make a restored key climb
+/// the break-even threshold all over again. The bundle itself is
+/// policy-agnostic (`config_hash` excludes the policy mode), so an
+/// always-mode snapshot restores cleanly into an adaptive session.
+#[test]
+fn adaptive_warm_start_neither_respecializes_nor_defers() {
+    for w in all() {
+        let meta = w.meta();
+        let cold_prog = Compiler::with_config(OptConfig::all())
+            .compile(&w.source())
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", meta.name));
+
+        // Cold, always-specialize: populate and snapshot the cache.
+        let mut cold = cold_prog.dynamic_session();
+        let cold_results = run_sequence(w.as_ref(), &mut cold, n_reps());
+        let cold_stats = cold.rt_stats().unwrap().clone();
+        let bundle = cold.cache_bundle().unwrap();
+
+        // Warm, adaptive: every restored key is born promoted.
+        let adaptive_prog =
+            Compiler::with_config(OptConfig::all().with_policy(PolicyMode::Adaptive))
+                .compile(&w.source())
+                .unwrap_or_else(|e| panic!("{}: adaptive compile failed: {e}", meta.name));
+        let mut warm = adaptive_prog
+            .warm_start_from_str(&bundle)
+            .unwrap_or_else(|e| panic!("{}: adaptive warm start failed: {e}", meta.name));
+        {
+            let rt = warm.rt_stats().unwrap();
+            assert_eq!(
+                rt.cache_warm_loads, cold_stats.specializations,
+                "{}: restored count != cold specializations",
+                meta.name
+            );
+            assert_eq!(rt.cache_warm_rejects, 0, "{}: rejected entries", meta.name);
+        }
+        let warm_results = run_sequence(w.as_ref(), &mut warm, n_reps());
+        assert_eq!(warm_results, cold_results, "{}: results differ", meta.name);
+
+        let rt = warm.rt_stats().unwrap();
+        assert_eq!(
+            rt.specializations, 0,
+            "{}: adaptive warm run re-specialized",
+            meta.name
+        );
+        assert_eq!(
+            (rt.policy_defers, rt.policy_throttled, rt.policy_promotes),
+            (0, 0, 0),
+            "{}: restored entries tripped the policy engine",
             meta.name
         );
     }

@@ -1,0 +1,218 @@
+//! Property tests for the adaptive specialization policy.
+//!
+//! The policy engine only decides *when* a (site, key) pair is worth
+//! specializing — never *what* the specialized code computes. Deferral
+//! runs the region through the generic continuation, which must be
+//! observationally identical to the specialized code, so switching
+//! `PolicyMode::Always` to `PolicyMode::Adaptive` may never change a
+//! result, a printed value, or a heap word. This file checks that
+//! equivalence over every workload in the suite, plus the liveness side
+//! of the bargain: a key that keeps getting dispatched past the
+//! break-even threshold is eventually specialized, after which the
+//! deferral meters stop moving. (Counter exactness under 8-thread
+//! contention is covered in-crate by `dyc-rt`'s policy and concurrency
+//! unit tests.)
+
+use dyc::{Compiler, OptConfig, PolicyMode, PolicyParams, RtStats, Value};
+use dyc_workloads::{all, Workload};
+
+/// One full run of a workload: per-invocation observations, the final
+/// heap image, and the final counters.
+struct Trace {
+    /// `(result, printed output)` for every invocation in order.
+    invocations: Vec<(Option<Value>, Vec<Value>)>,
+    /// Every word of VM memory after the last invocation.
+    heap: Vec<i64>,
+    rt: RtStats,
+    dispatch_misses: u64,
+}
+
+/// Enough repeat invocations that every recurring key crosses the
+/// largest threshold the engine will ever predict.
+fn reps_past_threshold() -> usize {
+    PolicyParams::default().max_threshold as usize + 2
+}
+
+fn run_workload(w: &dyn Workload, mode: PolicyMode) -> Trace {
+    let meta = w.meta();
+    let cfg = OptConfig::all().with_policy(mode);
+    let program = Compiler::with_config(cfg)
+        .compile(&w.source())
+        .unwrap_or_else(|e| panic!("{}: compile error: {e}", meta.name));
+    let mut sess = program.dynamic_session();
+    let args = w.setup_region(&mut sess);
+    let mut invocations = Vec::new();
+    for rep in 0..=reps_past_threshold() {
+        if rep > 0 {
+            w.reset(&mut sess, &args);
+        }
+        let result = sess
+            .run(meta.region_func, &args)
+            .unwrap_or_else(|e| panic!("{}: rep {rep} failed: {e}", meta.name));
+        if rep == 0 {
+            assert!(
+                w.check_region(result, &mut sess),
+                "{}: wrong region result",
+                meta.name
+            );
+        }
+        invocations.push((result, sess.take_output()));
+    }
+    let words = sess.mem().len();
+    Trace {
+        invocations,
+        heap: sess.mem().read_ints(0, words),
+        rt: sess
+            .rt_stats()
+            .expect("dynamic session has a runtime")
+            .clone(),
+        dispatch_misses: sess.stats().dispatch_misses,
+    }
+}
+
+/// Deferral is invisible: on every workload, every invocation of the
+/// adaptive path returns the same result and prints the same output as
+/// the always-specialize path, and the final heap images are
+/// word-identical.
+#[test]
+fn adaptive_policy_never_changes_observable_behavior() {
+    let suite = all();
+    assert_eq!(suite.len(), 11, "workload suite grew: revisit this test");
+    for w in &suite {
+        let name = w.meta().name;
+        let always = run_workload(w.as_ref(), PolicyMode::Always);
+        let adaptive = run_workload(w.as_ref(), PolicyMode::Adaptive);
+        assert_eq!(
+            always.invocations.len(),
+            adaptive.invocations.len(),
+            "{name}: invocation counts diverged"
+        );
+        for (rep, (a, b)) in always
+            .invocations
+            .iter()
+            .zip(&adaptive.invocations)
+            .enumerate()
+        {
+            assert_eq!(a.0, b.0, "{name}: rep {rep} result diverged");
+            assert_eq!(a.1, b.1, "{name}: rep {rep} output diverged");
+        }
+        assert_eq!(
+            always.heap, adaptive.heap,
+            "{name}: final heap images diverged"
+        );
+        // The always path must never consult the policy engine.
+        assert_eq!(
+            (
+                always.rt.policy_defers,
+                always.rt.policy_promotes,
+                always.rt.policy_throttled
+            ),
+            (0, 0, 0),
+            "{name}: policy meters moved in always mode"
+        );
+    }
+}
+
+/// Every dispatch miss in adaptive mode is resolved one of exactly three
+/// ways — specialize, defer, or throttle — so the three meters must
+/// partition the VM's miss count on every workload.
+#[test]
+fn adaptive_meters_partition_the_dispatch_misses() {
+    for w in &all() {
+        let name = w.meta().name;
+        let t = run_workload(w.as_ref(), PolicyMode::Adaptive);
+        assert_eq!(
+            t.rt.specializations + t.rt.policy_defers + t.rt.policy_throttled,
+            t.dispatch_misses,
+            "{name}: specializations + defers + throttles != dispatch misses"
+        );
+    }
+}
+
+/// Liveness: a key dispatched at least `threshold` times is eventually
+/// specialized. After enough repeat invocations every recurring key has
+/// crossed the largest possible threshold, so (a) whatever the always
+/// path specialized, the adaptive path has specialized *something* too,
+/// and (b) a further steady-state invocation moves neither the deferral
+/// meter nor the specialization counter.
+#[test]
+fn hot_keys_are_eventually_specialized() {
+    for w in &all() {
+        let meta = w.meta();
+        let name = meta.name;
+        let always = run_workload(w.as_ref(), PolicyMode::Always);
+
+        let cfg = OptConfig::all().with_policy(PolicyMode::Adaptive);
+        let program = Compiler::with_config(cfg).compile(&w.source()).unwrap();
+        let mut sess = program.dynamic_session();
+        let args = w.setup_region(&mut sess);
+        sess.run(meta.region_func, &args)
+            .unwrap_or_else(|e| panic!("{name}: first run failed: {e}"));
+        for _ in 0..reps_past_threshold() {
+            w.reset(&mut sess, &args);
+            sess.run(meta.region_func, &args).unwrap();
+        }
+        let warm = sess.rt_stats().unwrap().clone();
+        if always.rt.specializations > 0 {
+            assert!(
+                warm.specializations > 0,
+                "{name}: recurring keys were never promoted"
+            );
+            assert!(
+                warm.policy_promotes > 0,
+                "{name}: specializations happened without a promote decision"
+            );
+        }
+
+        // Steady state: everything recurring is promoted and cached, so
+        // one more invocation defers nothing and specializes nothing.
+        w.reset(&mut sess, &args);
+        sess.run(meta.region_func, &args).unwrap();
+        let steady = sess.rt_stats().unwrap().clone();
+        assert_eq!(
+            steady.policy_defers, warm.policy_defers,
+            "{name}: steady-state invocation still deferred"
+        );
+        assert_eq!(
+            steady.specializations, warm.specializations,
+            "{name}: steady-state invocation re-specialized"
+        );
+    }
+}
+
+/// The single-key shape of the liveness property, stated exactly: with
+/// the default parameters a fresh key defers on its first
+/// `initial_threshold - 1` dispatches (executing generically), promotes
+/// on the dispatch that reaches the threshold, and hits the cache from
+/// then on.
+#[test]
+fn a_key_promotes_exactly_at_the_initial_threshold() {
+    let src = r#"
+        int power(int base, int exp) {
+            make_static(exp);
+            int r = 1;
+            while (exp > 0) { r = r * base; exp = exp - 1; }
+            return r;
+        }
+    "#;
+    let params = PolicyParams::default();
+    let cfg = OptConfig::all().with_policy(PolicyMode::Adaptive);
+    let program = Compiler::with_config(cfg).compile(src).unwrap();
+    let mut sess = program.dynamic_session();
+    for i in 1..=(params.initial_threshold as u64 + 2) {
+        let r = sess.run("power", &[Value::I(3), Value::I(4)]).unwrap();
+        assert_eq!(r, Some(Value::I(81)), "dispatch {i} computed wrong value");
+        let rt = sess.rt_stats().unwrap();
+        if i < params.initial_threshold as u64 {
+            assert_eq!((rt.specializations, rt.policy_defers), (0, i));
+        } else {
+            // Promoted exactly once the count reached the threshold;
+            // later dispatches are cache hits and move nothing.
+            assert_eq!(
+                (rt.specializations, rt.policy_defers, rt.policy_promotes),
+                (1, params.initial_threshold as u64 - 1, 1),
+                "after dispatch {i}"
+            );
+        }
+    }
+}
