@@ -24,6 +24,11 @@
 //! cycle-model overhead (dyncomp + dispatch) and native wall-clock
 //! terms. The adaptive policy must strictly beat always-specialize on
 //! the low-reuse sequence and stay within 2% on the high-reuse one.
+//! A seventh section replays the serving harness at CI scale: seeded
+//! zipfian and churn key streams from [`dyc_bench::traffic`] against one
+//! shared runtime, meter-balance checked, recording throughput, hit
+//! rate, and miss-path p50/p99 so serving regressions show up in the
+//! tracked JSON (the full campaign lives in `dyc_serve`).
 //! The JSON is hand-rolled: the numbers are all `u64`/`f64` and a
 //! serializer dependency would be the only reason to have one.
 //!
@@ -559,6 +564,56 @@ fn main() {
         }
     }
     json.push_str(&policy_json);
+    json.push_str("  },\n  \"serving\": {\n");
+
+    // Serving: CI-scale replay of the deterministic traffic streams.
+    // Every dispatch is oracle-validated and every run balance-checked
+    // inside `replay`, so this section doubles as a concurrency
+    // regression gate; `dyc_serve` runs the same streams at 10^6-10^8
+    // dispatches for the EXPERIMENTS.md campaign.
+    use dyc_bench::traffic::{replay, Pattern, ServeConfig, StreamConfig};
+    println!("\nserving (seeded streams, 50k dispatches x 4 threads):");
+    let serve_patterns = [Pattern::Zipfian, Pattern::Churn];
+    for (i, &pattern) in serve_patterns.iter().enumerate() {
+        let cfg = ServeConfig {
+            stream: StreamConfig::of(pattern),
+            dispatches: 50_000,
+            threads: 4,
+            ..ServeConfig::default()
+        };
+        let r = replay(&cfg).unwrap_or_else(|e| panic!("{} replay failed: {e}", pattern.name()));
+        r.balance_check()
+            .unwrap_or_else(|e| panic!("{} meters out of balance: {e}", pattern.name()));
+        let (p50, _, p99, _) = r.miss_hist.quantiles();
+        println!(
+            "{:<22} {:>9.0}/s  hit {:>7.3}%  miss p50/p99 {}/{} \u{b5}s",
+            r.pattern,
+            r.throughput,
+            r.hit_rate * 100.0,
+            p50 / 1000,
+            p99 / 1000
+        );
+        writeln!(
+            json,
+            "    \"{}\": {{ \"dispatches\": {}, \"threads\": {}, \
+             \"throughput_per_s\": {:.0}, \"hit_rate\": {:.5}, \
+             \"miss_p50_ns\": {p50}, \"miss_p99_ns\": {p99}, \
+             \"specializations\": {}, \"single_flight_waits\": {} }}{}",
+            r.pattern,
+            r.dispatches,
+            r.threads,
+            r.throughput,
+            r.hit_rate,
+            r.snapshot.specializations,
+            r.snapshot.single_flight_waits,
+            if i + 1 == serve_patterns.len() {
+                ""
+            } else {
+                ","
+            }
+        )
+        .unwrap();
+    }
     json.push_str("  }\n}\n");
     std::fs::write(&out_path, json).expect("write benchmark json");
     println!("\nwrote {out_path}");

@@ -553,6 +553,19 @@ fn print_report(events: &[Event], run: &RunMeta) {
                 cell(&t.fallbacks.to_string(), 10)
             );
         }
+        let hist = dyc::obs::miss_latency(events);
+        if !hist.is_empty() {
+            let (p50, p95, p99, max) = hist.quantiles();
+            println!(
+                "\nmiss-path latency ({} spans): p50 {:.1} us  p95 {:.1} us  \
+                 p99 {:.1} us  max {:.1} us",
+                hist.count(),
+                p50 as f64 / 1000.0,
+                p95 as f64 / 1000.0,
+                p99 as f64 / 1000.0,
+                max as f64 / 1000.0
+            );
+        }
     }
 }
 

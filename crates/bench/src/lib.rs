@@ -6,9 +6,13 @@
 //! (measurements of the real Rust dynamic compiler and VM, on the
 //! in-tree [`timing`] harness) live under `benches/`.
 //!
-//! Shared formatting helpers live here.
+//! Shared formatting helpers live here; [`traffic`] holds the serving
+//! harness (deterministic key streams + the `dyc_serve` replay driver).
+
+#![deny(missing_docs)]
 
 pub mod timing;
+pub mod traffic;
 
 use dyc_workloads::measure::RegionReport;
 

@@ -31,6 +31,7 @@ pub struct Group {
 }
 
 impl Group {
+    /// A named group (the prefix printed before each bench name).
     pub fn new(name: impl Into<String>) -> Group {
         Group {
             name: name.into(),

@@ -1,0 +1,268 @@
+//! A fixed-footprint log-linear latency histogram.
+//!
+//! The serving harness needs miss-path tail latency (p50/p95/p99) over
+//! runs of 10⁶–10⁸ dispatches. The event ring ([`crate::Recorder`]) holds
+//! only the newest window of a run, so percentiles computed from events
+//! alone silently degrade to "the last few seconds". This histogram is
+//! the complement: every sample lands in one of a fixed set of buckets —
+//! recording is a handful of integer ops and **never allocates**, so the
+//! runtime can fold every miss into it without perturbing the warm path,
+//! and merging per-thread histograms after a run is exact.
+//!
+//! Buckets are log-linear (HdrHistogram-style): values below 2^[`SUB_BITS`]
+//! are exact; above that, each power-of-two octave is split into
+//! 2^[`SUB_BITS`] linear sub-buckets, bounding the relative quantization
+//! error at 1/2^[`SUB_BITS`] (12.5%) across the full `u64` range.
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` linear
+/// buckets, so reported quantiles are within `1/2^SUB_BITS` (12.5%) of
+/// the true value.
+pub const SUB_BITS: u32 = 3;
+
+const SUBS: usize = 1 << SUB_BITS;
+/// Bucket count: the exact region (`SUBS` buckets) plus `SUBS` buckets
+/// for each of the `64 - SUB_BITS` remaining octaves.
+const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// A log-linear histogram of `u64` samples (nanoseconds, by convention).
+///
+/// # Examples
+///
+/// ```
+/// use dyc_obs::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ns in [100, 200, 300, 400, 10_000] {
+///     h.record(ns);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 10_000);
+/// // The median sample is 300; the reported value is its bucket's
+/// // lower bound, within 12.5% below.
+/// let p50 = h.percentile(50.0);
+/// assert!((263..=300).contains(&p50), "p50 within 12.5% of 300: {p50}");
+/// assert_eq!(h.percentile(99.9), 10_000); // top rank: exact max
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = (v >> (octave - SUB_BITS)) & (SUBS as u64 - 1);
+    ((octave - SUB_BITS + 1) as usize) * SUBS + sub as usize
+}
+
+/// Lower bound of the value range bucket `i` covers (its reported
+/// representative value).
+fn bucket_floor(i: usize) -> u64 {
+    if i < SUBS {
+        return i as u64;
+    }
+    let octave = (i / SUBS - 1) as u32 + SUB_BITS;
+    let sub = (i % SUBS) as u64;
+    (1u64 << octave) | (sub << (octave - SUB_BITS))
+}
+
+impl LatencyHistogram {
+    /// An empty histogram. One heap allocation (~4 KB), here and never
+    /// again.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Fold one sample in: two shifts, a mask, three adds. No
+    /// allocation, no branches on the histogram's state.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram's samples into this one (exact — buckets
+    /// are positionally identical).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (exact, not quantized).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at or below which `p` percent of samples fall, to
+    /// bucket resolution (the bucket's lower bound; within 12.5% of the
+    /// true value). Returns 0 for an empty histogram; `p` is clamped to
+    /// `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.max(1);
+        if rank >= self.count {
+            // The highest-ranked sample is the max, which is tracked
+            // exactly — skip the bucket walk and its quantization.
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The max is tracked exactly; never report a quantile
+                // above it.
+                return bucket_floor(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience tuple: (p50, p95, p99, max).
+    pub fn quantiles(&self) -> (u64, u64, u64, u64) {
+        (
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+            self.max,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        for v in 0..8u64 {
+            assert_eq!(bucket_floor(bucket_of(v)), v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 28);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket_of_within_resolution() {
+        for v in [8u64, 100, 1000, 12_345, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let f = bucket_floor(bucket_of(v));
+            assert!(f <= v, "floor {f} above sample {v}");
+            // Next bucket starts within 12.5% above the floor.
+            assert!(
+                v - f <= f / SUBS as u64 + 1,
+                "sample {v} quantized too coarsely (floor {f})"
+            );
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_in_range() {
+        let mut last = 0;
+        for v in (0..60).map(|s| 1u64 << s) {
+            let b = bucket_of(v);
+            assert!(b >= last && b < BUCKETS);
+            last = b;
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn percentiles_order_and_clamp_to_max() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 100);
+        }
+        let (p50, p95, p99, max) = h.quantiles();
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= max);
+        assert_eq!(max, 100_000);
+        // p50 of uniform 100..=100_000 is ~50_000; allow quantization.
+        assert!((40_000..=56_250).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= 86_000, "p99 = {p99}");
+        assert_eq!(h.percentile(100.0), max);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let v = i * 37 % 10_000;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.max(), all.max());
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(a.percentile(p), all.percentile(p));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.quantiles(), (0, 0, 0, 0));
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -19,6 +19,10 @@
 //!   specializations, cached variants, cumulative dyncomp/dispatch
 //!   cycles, probe rates, and the §4.2 break-even estimate
 //!   (dyncomp cycles ÷ cycles saved per use).
+//! * [`LatencyHistogram`] — a fixed-footprint log-linear histogram for
+//!   whole-run tail latency (p50/p95/p99) where the ring would have
+//!   dropped all but the newest window; [`miss_latency`] rebuilds one
+//!   from a recorded event stream.
 //! * [`chrome_trace`]/[`parse_chrome_trace`] — Chrome `trace_event`
 //!   JSON, loadable in `chrome://tracing` or Perfetto, with enough
 //!   metadata embedded to rebuild the profiles from the file alone.
@@ -34,6 +38,7 @@
 
 pub mod chrome;
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod profile;
 pub mod prom;
@@ -42,8 +47,9 @@ pub mod recorder;
 pub use chrome::{chrome_trace, parse_chrome_trace, ChromeTrace};
 pub use event::ALL_KINDS;
 pub use event::{Category, Event, EventKind};
+pub use hist::LatencyHistogram;
 pub use json::Json;
-pub use profile::{contention, site_profiles, SiteProfile, ThreadLoad};
+pub use profile::{contention, miss_latency, site_profiles, SiteProfile, ThreadLoad};
 pub use prom::{render_metrics, Metric, MetricKind};
 pub use recorder::{merge, Recorder, Trace, DEFAULT_CAPACITY};
 

@@ -1,7 +1,8 @@
-//! The aggregation pass: events → per-site profiles and the threaded
-//! contention summary.
+//! The aggregation pass: events → per-site profiles, the threaded
+//! contention summary, and the miss-path latency histogram.
 
 use crate::event::{Event, EventKind};
+use crate::hist::LatencyHistogram;
 
 /// Everything a recorded run says about one dispatch site — the row of
 /// `dycstat`'s paper-style table.
@@ -236,6 +237,52 @@ pub fn contention(events: &[Event]) -> Vec<ThreadLoad> {
     out
 }
 
+/// Miss-path latency spans recoverable from an event stream: each
+/// GE-executor run ([`EventKind::GeExecBegin`]→[`EventKind::GeExecEnd`]
+/// wall time, paired per thread, nesting-aware for internal promotion)
+/// and each single-flight wait ([`EventKind::FlightWait`]'s wall-ns
+/// payload). Together these are the two ways a dispatch miss stalls a
+/// serving thread.
+///
+/// Note the ring-buffer caveat: a [`crate::Recorder`] keeps only the
+/// newest [`crate::DEFAULT_CAPACITY`] events, so on long runs this
+/// histogram covers the trailing window. The serving harness instead
+/// uses the runtime's always-on per-thread histogram for whole-run
+/// percentiles; this aggregation is `dycstat`'s view over a recorded
+/// trace.
+pub fn miss_latency(events: &[Event]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    // Per-thread stacks of open GeExecBegin timestamps (promotion can
+    // nest a specialization inside a specialization on one thread).
+    let mut open: Vec<(u32, Vec<u64>)> = Vec::new();
+    let stack = |open: &mut Vec<(u32, Vec<u64>)>, thread: u32| -> usize {
+        match open.binary_search_by_key(&thread, |(t, _)| *t) {
+            Ok(i) => i,
+            Err(i) => {
+                open.insert(i, (thread, Vec::new()));
+                i
+            }
+        }
+    };
+    for e in events {
+        match e.kind {
+            EventKind::GeExecBegin => {
+                let i = stack(&mut open, e.thread);
+                open[i].1.push(e.t_ns);
+            }
+            EventKind::GeExecEnd => {
+                let i = stack(&mut open, e.thread);
+                if let Some(t0) = open[i].1.pop() {
+                    h.record(e.t_ns.saturating_sub(t0));
+                }
+            }
+            EventKind::FlightWait => h.record(e.a),
+            _ => {}
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +344,40 @@ mod tests {
         assert_eq!(p.break_even(50.0), Some(20.0));
         assert_eq!(p.break_even(0.0), None);
         assert_eq!(p.break_even(-3.0), None);
+    }
+
+    #[test]
+    fn miss_latency_pairs_spans_per_thread_and_counts_waits() {
+        let span = |kind, thread, t_ns| Event {
+            kind,
+            thread,
+            t_ns,
+            ..Event::default()
+        };
+        let events = vec![
+            // Thread 0: a 1000 ns specialization with a nested (promoted)
+            // 200 ns specialization inside it.
+            span(EventKind::GeExecBegin, 0, 100),
+            span(EventKind::GeExecBegin, 0, 500),
+            span(EventKind::GeExecEnd, 0, 700),
+            span(EventKind::GeExecEnd, 0, 1100),
+            // Thread 1: a 300 ns specialization, interleaved in time.
+            span(EventKind::GeExecBegin, 1, 400),
+            span(EventKind::GeExecEnd, 1, 700),
+            // Thread 2: a single-flight wait of 5000 ns.
+            Event {
+                kind: EventKind::FlightWait,
+                thread: 2,
+                a: 5000,
+                ..Event::default()
+            },
+            // A dangling End (its Begin fell off the ring) is dropped.
+            span(EventKind::GeExecEnd, 3, 900),
+        ];
+        let h = miss_latency(&events);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 5000);
+        assert_eq!(h.sum(), 1000 + 200 + 300 + 5000);
     }
 
     #[test]

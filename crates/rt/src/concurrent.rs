@@ -28,7 +28,9 @@
 //!
 //! Publication is lock-mediated: a winner appends the new [`CodeFunc`] to
 //! the registry (write lock), inserts the cache binding (shard write
-//! lock), and only then resolves and removes its flight (wait-map mutex).
+//! lock), and only then resolves and removes its flight (the key's
+//! flight-shard mutex — the wait-map is sharded by the same key hash as
+//! the cache, so each key's flight protocol runs under one mutex).
 //! Any thread that observes the cache binding or the flight result
 //! acquired one of those locks after the winner released it, so it also
 //! observes the registry entry — plain `Relaxed` atomics are only used
@@ -71,7 +73,7 @@ use crate::policy::{PolicyDecision, PolicyEngine, PolicyParams};
 use crate::runtime::{Site, Store};
 use crate::stats::RtStats;
 use dyc_bta::PolicyMode;
-use dyc_obs::{now_ns, EventKind, Trace};
+use dyc_obs::{now_ns, EventKind, LatencyHistogram, Trace};
 use dyc_stage::{SitePolicy, StagedProgram};
 use dyc_vm::{CodeFunc, DispatchHandler, DispatchOutcome, FuncId, Module, Value, Vm, VmError};
 use std::collections::HashMap;
@@ -120,6 +122,19 @@ struct Shard<V> {
     probes: AtomicU64,
 }
 
+/// FNV-1a over the key words — independent of the double-hash functions
+/// inside each cache shard, so shard choice doesn't correlate with probe
+/// position. Shared by [`ShardedCache`] and [`FlightMap`], so a key's
+/// cache shard and flight shard indices agree (modulo mask width).
+fn shard_hash(key: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in key {
+        h ^= *w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A sharded double-hash code cache: N independent
 /// [`DoubleHashCache`] shards, each behind its own reader-writer lock,
 /// selected by a hash of the key. Readers on different shards never
@@ -161,16 +176,9 @@ impl<V: Copy> ShardedCache<V> {
         }
     }
 
-    /// FNV-1a over the key words — independent of the double-hash
-    /// functions inside each shard, so shard choice doesn't correlate
-    /// with probe position.
+    /// Shard selection — see [`shard_hash`].
     fn shard_of(&self, key: &[u64]) -> &Shard<V> {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for w in key {
-            h ^= *w;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        &self.shards[(h & self.mask) as usize]
+        &self.shards[(shard_hash(key) & self.mask) as usize]
     }
 
     /// Metered lookup: one shard read-lock, no allocations.
@@ -316,10 +324,20 @@ impl EvictCtl {
         c.cap = c.cap.max(n.min(self.bits.len()));
     }
 
-    /// Admit `key`, evicting a victim from `cache` if the site is at
+    /// Admit `key`, choosing an eviction victim if the site is at
     /// capacity. Returns the clock slot for the new entry and the evicted
     /// key, if any.
-    fn admit(&self, key: &[u64], cache: &ShardedCache<CacheVal>) -> (u32, Option<Vec<u64>>) {
+    ///
+    /// The caller must remove the returned victim from the code cache
+    /// *after* this returns — the shard write-lock is deliberately not
+    /// taken while the clock mutex is held, so other threads' admits at
+    /// this site never queue behind a cache-shard lock. The window in
+    /// which the victim's slot is reassigned but its cache entry still
+    /// exists is benign: a hit on the victim during the window runs
+    /// still-valid code (registry entries are never freed), and a
+    /// concurrent re-specialization of the victim at worst loses its
+    /// fresh insert to our delayed remove and re-specializes once more.
+    fn admit(&self, key: &[u64]) -> (u32, Option<Vec<u64>>) {
         let mut c = self.clock.lock().unwrap();
         let cap = c.cap;
         if c.keys.len() < cap {
@@ -341,7 +359,6 @@ impl EvictCtl {
         };
         c.hand = (victim + 1) % cap;
         let old = std::mem::replace(&mut c.keys[victim], key.to_vec());
-        cache.remove(&old);
         self.bits[victim].store(true, Ordering::Relaxed);
         (victim as u32, Some(old))
     }
@@ -427,6 +444,47 @@ impl Flight {
     }
 }
 
+/// The single-flight wait-map, sharded by the same FNV-1a hash as the
+/// code cache so a key's flight entry and cache binding live in the
+/// same 1/Nth of the keyspace. Before the serving work this was one
+/// global `Mutex<HashMap>`: under a cold-start stampede every miss on
+/// *any* key serialized on it, convoying unrelated sites (see
+/// EXPERIMENTS.md, hypothesis H1). Sharding preserves the protocol
+/// exactly — single-flight is a per-key property, and one key always
+/// maps to one shard — while letting misses on unrelated keys proceed
+/// independently.
+/// One flight-map shard: the in-flight specializations whose keys hash
+/// into it.
+type FlightShard = Mutex<HashMap<Vec<u64>, Arc<Flight>>>;
+
+#[derive(Debug)]
+struct FlightMap {
+    shards: Box<[FlightShard]>,
+    mask: u64,
+}
+
+impl FlightMap {
+    fn new(shards: usize) -> FlightMap {
+        let n = shards.max(1).next_power_of_two();
+        FlightMap {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// The mutex guarding `key`'s flight entry. Both winner steps (insert
+    /// on entry, remove after publication) and every racer check go
+    /// through this one lock, so the per-key protocol is untouched by
+    /// sharding.
+    fn shard(&self, key: &[u64]) -> &Mutex<HashMap<Vec<u64>, Arc<Flight>>> {
+        &self.shards[(shard_hash(key) & self.mask) as usize]
+    }
+
+    fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
 /// Atomic global meters (per-thread meters live in each
 /// [`ThreadRuntime`]'s [`RtStats`]).
 #[derive(Debug, Default)]
@@ -434,6 +492,7 @@ struct ConcStats {
     specializations: AtomicU64,
     single_flight_waits: AtomicU64,
     single_flight_fallbacks: AtomicU64,
+    single_flight_races: AtomicU64,
     cache_evictions: AtomicU64,
     cache_invalidations: AtomicU64,
     generic_continuations: AtomicU64,
@@ -459,6 +518,13 @@ pub struct ConcSnapshot {
     pub single_flight_waits: u64,
     /// Times a racing thread took the generic continuation instead.
     pub single_flight_fallbacks: u64,
+    /// Times a miss lost the publication race: between the failed cache
+    /// probe and taking the flight-shard lock, the winner had already
+    /// published, so the miss was served from the cache with no
+    /// specialization, wait, or fallback. With this meter the serving
+    /// harness can balance its books exactly: `misses = specializations
+    /// + waits + fallbacks + races + policy defers + policy throttles`.
+    pub single_flight_races: u64,
     /// Bounded-site evictions performed by the second-chance clock.
     pub cache_evictions: u64,
     /// Explicit site invalidations.
@@ -511,9 +577,31 @@ impl ConcSnapshot {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SharedOptions {
     /// Shard count for the code cache (rounded up to a power of two).
+    /// `0` (the default) auto-sizes from the machine: 8 shards per
+    /// hardware thread, clamped to `[16, 512]`. The serving measurements
+    /// (EXPERIMENTS.md, "Serving under skewed traffic") found throughput
+    /// flat from 16 shards up but degrading below 4 on write-heavy churn,
+    /// so auto keeps a 16-shard floor even on small machines and scales
+    /// with the hardware instead of freezing yesterday's constant.
     pub shards: usize,
+    /// Shard count for the single-flight wait-map (rounded up to a power
+    /// of two). `0` (the default) matches the resolved cache shard
+    /// count, so one key contends with the same 1/Nth of the keyspace in
+    /// both structures. `1` reproduces the pre-serving global mutex —
+    /// kept selectable so the EXPERIMENTS.md before/after numbers stay
+    /// reproducible from one binary.
+    pub flight_shards: usize,
     /// What racing threads do on a miss that is already in flight.
     pub miss_policy: MissPolicy,
+    /// Give every [`ThreadRuntime`] an allocation-free miss-path latency
+    /// histogram ([`LatencyHistogram`]): each dispatch miss records the
+    /// wall nanoseconds from miss detection to having runnable code
+    /// (specialization, single-flight wait, or generic-continuation
+    /// build). Unlike the event ring this survives 10⁸-dispatch runs
+    /// whole, so the serving harness computes true p50/p95/p99 from it.
+    /// Off by default: the hit path is untouched either way, but each
+    /// miss pays two clock reads.
+    pub latency: bool,
     /// Specialization instruction budget (guards non-terminating static
     /// loops), per specialization.
     pub spec_budget: u64,
@@ -542,14 +630,27 @@ pub struct SharedOptions {
 impl Default for SharedOptions {
     fn default() -> SharedOptions {
         SharedOptions {
-            shards: 16,
+            shards: 0,
+            flight_shards: 0,
             miss_policy: MissPolicy::Block,
+            latency: false,
             spec_budget: 4_000_000,
             trace: false,
             native: false,
             policy: PolicyMode::Always,
         }
     }
+}
+
+/// Resolve a shard-count knob: `0` auto-sizes to 8 shards per hardware
+/// thread, clamped to `[16, 512]` (see [`SharedOptions::shards`] for the
+/// measured rationale).
+fn resolve_shards(n: usize) -> usize {
+    if n != 0 {
+        return n;
+    }
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    (hw * 8).clamp(16, 512)
 }
 
 /// The thread-shared half of the concurrent runtime. Wrap it in an
@@ -575,8 +676,8 @@ pub struct SharedRuntime {
     /// `base_len + index`; threads copy entries into their own modules on
     /// first use.
     registry: RwLock<Vec<Arc<CodeFunc>>>,
-    /// Single-flight wait-map, keyed like the cache.
-    inflight: Mutex<HashMap<Vec<u64>, Arc<Flight>>>,
+    /// Single-flight wait-map, keyed (and sharded) like the cache.
+    inflight: FlightMap,
     stats: ConcStats,
     /// Adaptive specialization policy, `None` in `Always` mode (the
     /// default). Consulted only on the miss path; see [`crate::policy`].
@@ -615,7 +716,7 @@ impl SpecHost for SharedSiteHost<'_> {
 
 impl SharedRuntime {
     /// Build the shared runtime for a staged program with default
-    /// options (16 shards, [`MissPolicy::Block`]).
+    /// options (auto-sized shards, [`MissPolicy::Block`]).
     pub fn new(staged: StagedProgram) -> SharedRuntime {
         SharedRuntime::with_options(staged, SharedOptions::default())
     }
@@ -647,15 +748,21 @@ impl SharedRuntime {
             site.precompute_layout();
             sites.push(Arc::new(SiteEntry::new(site, cap_growth)));
         }
+        let cache_shards = resolve_shards(opts.shards);
+        let flight_shards = if opts.flight_shards == 0 {
+            cache_shards
+        } else {
+            opts.flight_shards
+        };
         SharedRuntime {
-            cache: ShardedCache::new(opts.shards),
+            cache: ShardedCache::new(cache_shards),
             costs: DynCosts::calibrated(),
             opts,
             base_module,
             base_len,
             sites: RwLock::new(sites),
             registry: RwLock::new(Vec::new()),
-            inflight: Mutex::new(HashMap::new()),
+            inflight: FlightMap::new(flight_shards),
             stats: ConcStats::default(),
             policy,
             next_thread: AtomicU32::new(0),
@@ -685,6 +792,10 @@ impl SharedRuntime {
         } else {
             Trace::off()
         };
+        let miss_hist = shared
+            .opts
+            .latency
+            .then(|| Box::new(LatencyHistogram::new()));
         ThreadRuntime {
             shared: Arc::clone(shared),
             stats: RtStats::new(),
@@ -693,6 +804,7 @@ impl SharedRuntime {
             site_cache: Vec::new(),
             trace,
             native: NativeEngine::new(),
+            miss_hist,
         }
     }
 
@@ -722,6 +834,17 @@ impl SharedRuntime {
     /// Number of code functions published to the shared registry.
     pub fn published(&self) -> usize {
         self.registry.read().unwrap().len()
+    }
+
+    /// Resolved code-cache shard count (after auto-sizing and
+    /// power-of-two rounding).
+    pub fn n_cache_shards(&self) -> usize {
+        self.cache.n_shards()
+    }
+
+    /// Resolved single-flight wait-map shard count.
+    pub fn n_flight_shards(&self) -> usize {
+        self.inflight.n_shards()
     }
 
     /// The published code with global id `gid` (diagnostics / the stress
@@ -864,7 +987,11 @@ impl SharedRuntime {
                             .fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
-                    ev.admit(&full_key, &self.cache).0
+                    let (ci, evicted) = ev.admit(&full_key);
+                    if let Some(old) = evicted {
+                        self.cache.remove(&old);
+                    }
+                    ci
                 }
                 None => 0,
             };
@@ -891,6 +1018,7 @@ impl SharedRuntime {
             specializations: self.stats.specializations.load(Ordering::Relaxed),
             single_flight_waits: self.stats.single_flight_waits.load(Ordering::Relaxed),
             single_flight_fallbacks: self.stats.single_flight_fallbacks.load(Ordering::Relaxed),
+            single_flight_races: self.stats.single_flight_races.load(Ordering::Relaxed),
             cache_evictions: self.stats.cache_evictions.load(Ordering::Relaxed),
             cache_invalidations: self.stats.cache_invalidations.load(Ordering::Relaxed),
             generic_continuations: self.stats.generic_continuations.load(Ordering::Relaxed),
@@ -977,12 +1105,25 @@ pub struct ThreadRuntime {
     /// the thread-local [`FuncId`]s from [`ThreadRuntime::materialize`].
     /// Inert on platforms without the backend.
     native: NativeEngine,
+    /// Miss-path latency histogram, present when
+    /// [`SharedOptions::latency`] is set. Boxed so the (cold) miss
+    /// path's bookkeeping doesn't bloat the handler the hit path walks.
+    miss_hist: Option<Box<LatencyHistogram>>,
 }
 
 impl ThreadRuntime {
     /// The shared runtime this handler dispatches against.
     pub fn shared(&self) -> &Arc<SharedRuntime> {
         &self.shared
+    }
+
+    /// This thread's miss-path latency histogram, when
+    /// [`SharedOptions::latency`] was set: one sample per dispatch miss,
+    /// wall nanoseconds from miss detection to runnable code. Merge the
+    /// per-thread histograms ([`LatencyHistogram::merge`]) for whole-run
+    /// percentiles.
+    pub fn miss_latency(&self) -> Option<&LatencyHistogram> {
+        self.miss_hist.as_deref()
     }
 
     /// [`SharedRuntime::invalidate_site`], recorded in this thread's
@@ -1206,8 +1347,10 @@ impl ThreadRuntime {
                                 ev.grow_to(eng.cap_for(key[0] as u32, k.max(1) as usize));
                             }
                         }
-                        let (ci, evicted) = ev.admit(key, &self.shared.cache);
+                        let (ci, evicted) = ev.admit(key);
                         if let Some(old) = evicted {
+                            // Outside the clock mutex: see `admit` docs.
+                            self.shared.cache.remove(&old);
                             self.stats.cache_evictions += 1;
                             self.shared
                                 .stats
@@ -1239,7 +1382,7 @@ impl ThreadRuntime {
             }
             Err(e) => Err(e),
         };
-        self.shared.inflight.lock().unwrap().remove(key);
+        self.shared.inflight.shard(key).lock().unwrap().remove(key);
         flight.resolve(match &out {
             Ok(g) => Ok(*g),
             Err(e) => Err(e.to_string()),
@@ -1330,11 +1473,11 @@ impl ThreadRuntime {
             Published(u32),
         }
         let role = {
-            let mut map = self.shared.inflight.lock().unwrap();
+            let mut map = self.shared.inflight.shard(key).lock().unwrap();
             if let Some(fl) = map.get(key) {
                 Role::Racer(Arc::clone(fl))
             } else if let Some(v) = self.shared.cache.get(key).value {
-                // Published between our probe and taking the map lock.
+                // Published between our probe and taking the shard lock.
                 Role::Published(v.gid)
             } else {
                 let fl = Arc::new(Flight::new());
@@ -1343,7 +1486,13 @@ impl ThreadRuntime {
             }
         };
         match role {
-            Role::Published(gid) => Ok(MissResult::Spec(gid)),
+            Role::Published(gid) => {
+                self.shared
+                    .stats
+                    .single_flight_races
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(MissResult::Spec(gid))
+            }
             Role::Winner(fl) => {
                 vm.stats.dispatch_misses += 1;
                 self.specialize_publish(entry, key, args, &fl, module, vm)
@@ -1499,7 +1648,16 @@ impl DispatchHandler for ThreadRuntime {
                         probes,
                     );
                 }
-                match self.miss(&entry, &key, args, module, vm)? {
+                // Miss-path latency: miss detection → runnable code
+                // (specialize, wait, or continuation build), recorded in
+                // the pre-allocated per-thread histogram. Hit dispatches
+                // never reach this arm, so the warm path reads no clock.
+                let lat0 = self.miss_hist.is_some().then(now_ns);
+                let missed = self.miss(&entry, &key, args, module, vm);
+                if let (Some(t0), Some(h)) = (lat0, self.miss_hist.as_mut()) {
+                    h.record(now_ns().saturating_sub(t0));
+                }
+                match missed? {
                     MissResult::Spec(gid) => gid,
                     MissResult::Generic(gid) => {
                         // The generic continuation takes every dispatch
@@ -1822,16 +1980,17 @@ mod tests {
         // ConcSnapshot without updating the other (and `stats()`) trips
         // one of these, which forces the round-trip list below — and
         // therefore the snapshot plumbing — to stay complete.
-        assert_eq!(std::mem::size_of::<ConcStats>(), 13 * 8);
+        assert_eq!(std::mem::size_of::<ConcStats>(), 14 * 8);
         assert_eq!(
             std::mem::size_of::<ConcSnapshot>(),
-            std::mem::size_of::<Vec<ShardMeter>>() + 14 * 8
+            std::mem::size_of::<Vec<ShardMeter>>() + 15 * 8
         );
         let shared = SharedRuntime::new(staged(POWER));
-        let fields: [&AtomicU64; 13] = [
+        let fields: [&AtomicU64; 14] = [
             &shared.stats.specializations,
             &shared.stats.single_flight_waits,
             &shared.stats.single_flight_fallbacks,
+            &shared.stats.single_flight_races,
             &shared.stats.cache_evictions,
             &shared.stats.cache_invalidations,
             &shared.stats.generic_continuations,
@@ -1851,6 +2010,7 @@ mod tests {
             s.specializations,
             s.single_flight_waits,
             s.single_flight_fallbacks,
+            s.single_flight_races,
             s.cache_evictions,
             s.cache_invalidations,
             s.generic_continuations,

@@ -1,0 +1,186 @@
+//! Serving-harness regression tests: deterministic key streams, a
+//! replay validated against the single-threaded oracle with zero
+//! duplicate specializations, and an eviction hit-rate sanity bound
+//! under churn.
+//!
+//! These ride on `dyc_bench::traffic` (a dev-only dependency cycle —
+//! bench depends on workloads for its tables, workloads dev-depends on
+//! bench for the harness). `dyc_serve` replays the same streams at
+//! 10^6–10^8 dispatches; this file pins the behavior CI can afford.
+
+use dyc::{Compiler, Value};
+use dyc_bench::traffic::{
+    expected, replay, serve_source, Pattern, ServeConfig, StreamConfig, TrafficGen, ALL_PATTERNS,
+};
+use std::collections::HashSet;
+
+/// Dispatch budget for the replay tests: 10^5 in release (the scale the
+/// issue pins), scaled down in debug where the interpreter runs ~20x
+/// slower.
+fn n_dispatches() -> u64 {
+    if cfg!(debug_assertions) {
+        20_000
+    } else {
+        100_000
+    }
+}
+
+/// The streams are seeded SplitMix64: same (seed, thread) must replay
+/// the same keys forever. These prefixes are pinned so any change to
+/// the generators (CDF construction, per-thread seeding, pattern
+/// arithmetic) fails loudly instead of silently re-shaping every
+/// benchmark in EXPERIMENTS.md.
+#[test]
+fn stream_prefixes_are_pinned() {
+    let golden: [(Pattern, [u64; 8]); 4] = [
+        (Pattern::Zipfian, [0, 2, 4, 0, 727, 1, 332, 4]),
+        (Pattern::Churn, [259, 338, 404, 498, 262, 349, 420, 469]),
+        (
+            Pattern::FlashCrowd,
+            [4096, 4096, 4096, 4096, 4096, 4096, 4096, 4096],
+        ),
+        (Pattern::Stampede, [0, 0, 0, 0, 1, 1, 1, 1]),
+    ];
+    for (pattern, want) in golden {
+        let gen = TrafficGen::new(StreamConfig::of(pattern));
+        let mut s = gen.stream(42, 0);
+        let got: Vec<u64> = (0..8).map(|_| s.next_key()).collect();
+        assert_eq!(got, want, "{} stream prefix changed", pattern.name());
+    }
+}
+
+/// Same (seed, thread) replays identically; different threads diverge
+/// (except stampede, whose streams are position-driven by design so all
+/// threads hit the same key at the same position).
+#[test]
+fn streams_deterministic_per_thread() {
+    for pattern in ALL_PATTERNS {
+        let gen = TrafficGen::new(StreamConfig::of(pattern));
+        let a: Vec<u64> = {
+            let mut s = gen.stream(7, 3);
+            (0..256).map(|_| s.next_key()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = gen.stream(7, 3);
+            (0..256).map(|_| s.next_key()).collect()
+        };
+        assert_eq!(a, b, "{}: same (seed, thread) diverged", pattern.name());
+        let c: Vec<u64> = {
+            let mut s = gen.stream(7, 4);
+            (0..256).map(|_| s.next_key()).collect()
+        };
+        if pattern == Pattern::Stampede {
+            assert_eq!(a, c, "stampede threads must run in lockstep");
+        } else {
+            assert_ne!(a, c, "{}: threads 3 and 4 identical", pattern.name());
+        }
+    }
+}
+
+/// The closed-form oracle the replay validates against must itself
+/// match the interpreter running the serve region single-threaded.
+#[test]
+fn closed_form_oracle_matches_single_threaded_interpreter() {
+    let program = Compiler::new()
+        .compile(&serve_source(None))
+        .expect("serve source compiles");
+    let mut sess = program.dynamic_session();
+    for key in [0i64, 1, 7, 8, 63, 4095] {
+        for x in [0i64, 1, 4] {
+            let out = sess
+                .run("serve", &[Value::I(key), Value::I(x)])
+                .expect("serve runs");
+            assert_eq!(
+                out,
+                Some(Value::I(expected(key, x))),
+                "oracle diverges at key {key}, x {x}"
+            );
+        }
+    }
+}
+
+/// A multi-threaded zipfian replay must stay in balance and perform
+/// exactly one specialization per distinct key — the single-flight map
+/// suppresses every duplicate, so `specializations == |distinct keys|`.
+/// (Each dispatch inside `replay` is already checked against the
+/// closed-form oracle; a wrong result fails the test through `replay`.)
+#[test]
+fn replay_balances_with_zero_duplicate_specializations() {
+    let cfg = ServeConfig {
+        stream: StreamConfig::of(Pattern::Zipfian),
+        dispatches: n_dispatches(),
+        threads: 4,
+        seed: 7,
+        ..ServeConfig::default()
+    };
+    let r = replay(&cfg).expect("replay succeeds");
+    r.balance_check().expect("meters balance");
+    assert_eq!(r.dispatches, cfg.dispatches);
+
+    // Mirror replay's thread slicing to enumerate the distinct keys the
+    // run actually dispatched.
+    let gen = TrafficGen::new(cfg.stream);
+    let per = cfg.dispatches / cfg.threads as u64;
+    let extra = (cfg.dispatches % cfg.threads as u64) as usize;
+    let mut distinct: HashSet<u64> = HashSet::new();
+    for t in 0..cfg.threads {
+        let n = per + u64::from(t < extra);
+        let mut s = gen.stream(cfg.seed, t as u32);
+        for _ in 0..n {
+            distinct.insert(s.next_key());
+        }
+    }
+    assert_eq!(
+        r.snapshot.specializations,
+        distinct.len() as u64,
+        "duplicate specializations slipped past the single-flight map"
+    );
+    assert_eq!(r.hits + r.misses, r.dispatches);
+}
+
+/// Under rolling churn with a `cache_all(k)` bound smaller than the
+/// live window, the clock must evict; the bounded run's hit rate must
+/// sit strictly below the unbounded run's, and the unbounded run on the
+/// same stream must serve almost entirely from cache.
+#[test]
+fn churn_eviction_hit_rate_sanity() {
+    let base = ServeConfig {
+        stream: StreamConfig::of(Pattern::Churn),
+        dispatches: n_dispatches(),
+        threads: 2,
+        seed: 11,
+        ..ServeConfig::default()
+    };
+    let unbounded = replay(&base).expect("unbounded replay");
+    unbounded.balance_check().expect("unbounded balance");
+    let bounded = replay(&ServeConfig {
+        bound: Some(64),
+        ..base
+    })
+    .expect("bounded replay");
+    bounded.balance_check().expect("bounded balance");
+
+    assert_eq!(unbounded.snapshot.cache_evictions, 0);
+    assert!(
+        bounded.snapshot.cache_evictions > 0,
+        "cache_all(64) under churn never evicted"
+    );
+    assert!(
+        unbounded.hit_rate > 0.95,
+        "unbounded churn hit rate too low: {}",
+        unbounded.hit_rate
+    );
+    assert!(
+        bounded.hit_rate < unbounded.hit_rate,
+        "bounded hit rate {} not below unbounded {}",
+        bounded.hit_rate,
+        unbounded.hit_rate
+    );
+    // The bound still retains part of the window: the run must not
+    // degenerate to a 100%-miss stream either.
+    assert!(
+        bounded.hit_rate > 0.01,
+        "bounded churn hit rate implausibly low: {}",
+        bounded.hit_rate
+    );
+}
