@@ -29,6 +29,10 @@
 //! shared runtime, meter-balance checked, recording throughput, hit
 //! rate, and miss-path p50/p99 so serving regressions show up in the
 //! tracked JSON (the full campaign lives in `dyc_serve`).
+//! An eighth section exercises live telemetry: the zipfian stream is
+//! replayed once unsampled and once with the sampler ticking and the
+//! anomaly watchdog armed, and the two runs' code digests must match —
+//! the observer-effect-free guarantee, enforced at CI scale.
 //! The JSON is hand-rolled: the numbers are all `u64`/`f64` and a
 //! serializer dependency would be the only reason to have one.
 //!
@@ -611,6 +615,63 @@ fn main() {
             } else {
                 ","
             }
+        )
+        .unwrap();
+    }
+    json.push_str("  },\n  \"live\": {\n");
+
+    // Live telemetry: the same zipfian stream replayed with the
+    // sampler ticking and the watchdog armed must publish
+    // byte-identical code and balance the same meters as an unsampled
+    // run — the observer-effect-free gate, at CI scale.
+    {
+        use dyc_bench::live::LiveServe;
+        use dyc_bench::traffic::replay_live;
+        use dyc_obs::{SamplerConfig, WatchdogConfig};
+        let cfg = ServeConfig {
+            stream: StreamConfig::of(Pattern::Zipfian),
+            dispatches: 30_000,
+            threads: 4,
+            ..ServeConfig::default()
+        };
+        let base = replay(&cfg).expect("unsampled replay");
+        let live = LiveServe::start(
+            None,
+            SamplerConfig {
+                interval: std::time::Duration::from_millis(50),
+                watchdog: Some(WatchdogConfig::default()),
+                ..SamplerConfig::default()
+            },
+        )
+        .expect("live bundle");
+        let sampled = replay_live(&cfg, Some(&live.handles)).expect("sampled replay");
+        sampled
+            .balance_check()
+            .expect("sampled meters out of balance");
+        assert_eq!(
+            base.code_digest, sampled.code_digest,
+            "sampling changed published code"
+        );
+        let (windows, incidents) = live.finish();
+        assert!(!windows.is_empty(), "sampler produced no windows");
+        let peak = windows
+            .iter()
+            .map(dyc_obs::Window::throughput)
+            .fold(0.0f64, f64::max);
+        println!(
+            "\nlive (sampled zipfian, watchdog armed): {} windows, peak {:.0}/s, \
+             {} incident(s), code digest match",
+            windows.len(),
+            peak,
+            incidents.len()
+        );
+        writeln!(
+            json,
+            "    \"windows\": {}, \"peak_throughput_per_s\": {:.1}, \
+             \"incidents\": {}, \"code_digest_matches\": true",
+            windows.len(),
+            peak,
+            incidents.len()
         )
         .unwrap();
     }

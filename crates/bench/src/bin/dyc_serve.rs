@@ -29,13 +29,31 @@
 //!   (default 200_000)
 //! * `--zipf-s F` / `--keys N` — zipfian shape
 //! * `--out FILE` — also write the `serving` JSON section to FILE
+//!
+//! Live telemetry (all optional; any of these attaches the sampler):
+//!
+//! * `--live ADDR` — serve the Prometheus scrape at ADDR (e.g.
+//!   `127.0.0.1:9184`; port 0 auto-picks) while the replay runs; pair
+//!   with `dycstat watch ADDR`
+//! * `--sample-ms N` — sampler window interval (default 250)
+//! * `--watchdog` — arm the anomaly watchdog (default thresholds) with
+//!   a flight recorder behind it
+//! * `--incident-dir DIR` — write anomaly incident dumps (JSON record +
+//!   Chrome trace) to DIR
+//!
+//! The sampler is observer-effect-free: a sampled replay publishes
+//! byte-identical code and balances the same meters as an unsampled
+//! one (enforced by the serving regression suite).
 
+use dyc_bench::live::LiveServe;
 use dyc_bench::traffic::{
-    curve_json, hit_rate_curve, replay, CurvePoint, Pattern, ServeConfig, ServeReport,
+    curve_json, hit_rate_curve, replay_live, CurvePoint, Pattern, ServeConfig, ServeReport,
     StreamConfig, ALL_PATTERNS,
 };
+use dyc_obs::{SamplerConfig, WatchdogConfig};
 use dyc_rt::{MissPolicy, SharedOptions};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -74,6 +92,31 @@ fn main() {
         None => ALL_PATTERNS.to_vec(),
     };
 
+    // Live telemetry: any live flag attaches the sampler (and the
+    // scrape endpoint when --live gives an address).
+    let live_addr = flag(&args, "--live");
+    let watchdog = args.iter().any(|a| a == "--watchdog");
+    let incident_dir = flag(&args, "--incident-dir");
+    let sample_ms: u64 = parse(&args, "--sample-ms", 250);
+    let live_on = live_addr.is_some()
+        || watchdog
+        || incident_dir.is_some()
+        || flag(&args, "--sample-ms").is_some();
+    let live = live_on.then(|| {
+        let cfg = SamplerConfig {
+            interval: Duration::from_millis(sample_ms.max(1)),
+            watchdog: watchdog.then(WatchdogConfig::default),
+            incident_dir: incident_dir.map(Into::into),
+            ..SamplerConfig::default()
+        };
+        let serve = LiveServe::start(live_addr, cfg)
+            .unwrap_or_else(|e| panic!("--live {}: {e}", live_addr.unwrap_or("<none>")));
+        if let Some(a) = serve.local_addr() {
+            println!("live metrics at http://{a}/metrics (dycstat watch {a})");
+        }
+        serve
+    });
+
     let mut reports: Vec<ServeReport> = Vec::new();
     for &pattern in &patterns {
         let mut stream = StreamConfig::of(pattern);
@@ -87,7 +130,8 @@ fn main() {
             opts,
             bound: (bound > 0).then_some(bound),
         };
-        let r = replay(&cfg).unwrap_or_else(|e| panic!("{} replay failed: {e}", pattern.name()));
+        let r = replay_live(&cfg, live.as_ref().map(|l| &l.handles))
+            .unwrap_or_else(|e| panic!("{} replay failed: {e}", pattern.name()));
         r.balance_check()
             .unwrap_or_else(|e| panic!("{} meters out of balance: {e}", pattern.name()));
         print_report(&r);
@@ -112,7 +156,33 @@ fn main() {
         points
     });
 
-    let json = serving_json(&reports, curve.as_deref());
+    let live_summary = live.map(|l| {
+        let (windows, incidents) = l.finish();
+        let peak = windows
+            .iter()
+            .map(dyc_obs::Window::throughput)
+            .fold(0.0f64, f64::max);
+        println!(
+            "\nlive: {} windows retained, peak {:.0} disp/s, {} incident(s)",
+            windows.len(),
+            peak,
+            incidents.len()
+        );
+        for inc in &incidents {
+            println!(
+                "  incident {}: {} (window {})",
+                inc.anomaly.kind.name(),
+                inc.anomaly.detail,
+                inc.anomaly.window
+            );
+            for p in &inc.paths {
+                println!("    wrote {}", p.display());
+            }
+        }
+        (windows.len(), peak, incidents.len())
+    });
+
+    let json = serving_json(&reports, curve.as_deref(), live_summary);
     if let Some(path) = flag(&args, "--out") {
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("\nwrote {path}");
@@ -120,20 +190,33 @@ fn main() {
 }
 
 /// The `serving` JSON section: one object per pattern plus the optional
-/// hit-rate curve (same hand-rolled style as BENCH_dyncompile.json).
-fn serving_json(reports: &[ServeReport], curve: Option<&[CurvePoint]>) -> String {
+/// hit-rate curve and live-telemetry summary (same hand-rolled style as
+/// BENCH_dyncompile.json).
+fn serving_json(
+    reports: &[ServeReport],
+    curve: Option<&[CurvePoint]>,
+    live: Option<(usize, f64, usize)>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"serving\": {{");
     for (i, r) in reports.iter().enumerate() {
-        let last = i + 1 == reports.len() && curve.is_none();
+        let last = i + 1 == reports.len() && curve.is_none() && live.is_none();
         let comma = if last { "" } else { "," };
         let _ = writeln!(out, "    \"{}\":", r.pattern);
         let _ = writeln!(out, "{}{comma}", r.json(4));
     }
     if let Some(points) = curve {
+        let comma = if live.is_none() { "" } else { "," };
         let _ = writeln!(out, "    \"hit_rate_curve\":");
-        let _ = writeln!(out, "{}", curve_json(points, 4));
+        let _ = writeln!(out, "{}{comma}", curve_json(points, 4));
+    }
+    if let Some((windows, peak, incidents)) = live {
+        let _ = writeln!(
+            out,
+            "    \"live\": {{\"windows\": {windows}, \"peak_throughput_per_s\": {peak:.1}, \
+             \"incidents\": {incidents}}}"
+        );
     }
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");

@@ -13,6 +13,7 @@
 //! dycstat report <trace.json> [--require cat,cat,...]
 //! dycstat snapshot <workload> [--reps N] [--out bundle.json]
 //! dycstat warm <workload> <bundle.json> [--reps N]
+//! dycstat watch <addr> [--interval-ms N] [--count N]
 //! dycstat list
 //! ```
 //!
@@ -34,6 +35,12 @@
 //! policy columns: deferrals, threshold promotions, and throttled
 //! misses. Reports over policy-free traces stay byte-identical to
 //! before.
+//!
+//! `watch` polls a `dyc_serve --live <addr>` Prometheus endpoint and
+//! renders the windowed live view — throughput, hit rate, miss-path
+//! percentiles, eviction/wait/race rates, and the incident count — one
+//! row per scrape (`--interval-ms`, default 1000; `--count 0` = until
+//! interrupted).
 
 use dyc::obs::{
     chrome_trace, contention, merge, parse_chrome_trace, render_metrics, site_profiles, Category,
@@ -63,6 +70,7 @@ fn usage() -> ExitCode {
          [--require cat,...]\n  \
          dycstat snapshot <workload> [--reps N] [--out FILE]\n  \
          dycstat warm <workload> <bundle.json> [--reps N]\n  \
+         dycstat watch <addr> [--interval-ms N] [--count N]\n  \
          dycstat list"
     );
     ExitCode::FAILURE
@@ -75,6 +83,7 @@ fn main() -> ExitCode {
         Some("report") => cmd_report(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("warm") => cmd_warm(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("list") => {
             for w in all() {
                 let m = w.meta();
@@ -395,6 +404,73 @@ fn cmd_warm(args: &[String]) -> ExitCode {
         }
     );
     ExitCode::SUCCESS
+}
+
+/// `dycstat watch <addr>` — poll a `dyc_serve --live` endpoint and
+/// render the windowed live view, one row per scrape.
+fn cmd_watch(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    let interval: u64 =
+        flag(args, "--interval-ms").map_or(1000, |v| v.parse().expect("--interval-ms"));
+    let count: u64 = flag(args, "--count").map_or(0, |v| v.parse().expect("--count"));
+    let mut row = 0u64;
+    loop {
+        let body = match dyc_bench::live::http_get(addr, "/metrics") {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("scrape {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if row.is_multiple_of(20) {
+            println!(
+                "{} {} {} {} {} {} {} {} {}",
+                cell("window", 7),
+                cell("disp/s", 10),
+                cell("hit%", 7),
+                cell("p50us", 8),
+                cell("p95us", 8),
+                cell("p99us", 8),
+                cell("evict/s", 9),
+                cell("waits/s", 9),
+                cell("incidents", 9)
+            );
+        }
+        let v = |name: &str| scrape_sample(&body, name).unwrap_or(0.0);
+        println!(
+            "{} {} {} {} {} {} {} {} {}",
+            cell(&format!("{:.0}", v("dyc_live_windows_total")), 7),
+            cell(&format!("{:.0}", v("dyc_live_window_throughput")), 10),
+            cell(&format!("{:.2}", v("dyc_live_window_hit_rate") * 100.0), 7),
+            cell(&format!("{:.0}", v("dyc_live_window_miss_p50_ns") / 1e3), 8),
+            cell(&format!("{:.0}", v("dyc_live_window_miss_p95_ns") / 1e3), 8),
+            cell(&format!("{:.0}", v("dyc_live_window_miss_p99_ns") / 1e3), 8),
+            cell(&format!("{:.1}", v("dyc_live_window_evictions_per_s")), 9),
+            cell(&format!("{:.1}", v("dyc_live_window_waits_per_s")), 9),
+            cell(&format!("{:.0}", v("dyc_live_incidents_total")), 9)
+        );
+        row += 1;
+        if count != 0 && row >= count {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval.max(1)));
+    }
+}
+
+/// First sample of `name` in a Prometheus text body (label sets are
+/// skipped over; comment lines ignored).
+fn scrape_sample(body: &str, name: &str) -> Option<f64> {
+    body.lines().filter(|l| !l.starts_with('#')).find_map(|l| {
+        let rest = l.strip_prefix(name)?;
+        let value = match rest.as_bytes().first() {
+            Some(b' ') => &rest[1..],
+            Some(b'{') => rest.split_once("} ").map(|(_, v)| v)?,
+            _ => return None,
+        };
+        value.parse().ok()
+    })
 }
 
 fn check_required(events: &[Event], require: &[Category]) -> ExitCode {

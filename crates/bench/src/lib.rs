@@ -7,10 +7,13 @@
 //! in-tree [`timing`] harness) live under `benches/`.
 //!
 //! Shared formatting helpers live here; [`traffic`] holds the serving
-//! harness (deterministic key streams + the `dyc_serve` replay driver).
+//! harness (deterministic key streams + the `dyc_serve` replay driver)
+//! and [`live`] the live-telemetry exposition (the `--live` HTTP
+//! endpoint and the sampler bundle behind it).
 
 #![deny(missing_docs)]
 
+pub mod live;
 pub mod timing;
 pub mod traffic;
 

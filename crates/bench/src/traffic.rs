@@ -34,7 +34,7 @@
 //! is also a 10⁶-dispatch correctness oracle.
 
 use dyc::{Compiler, SharedOptions, Value};
-use dyc_obs::LatencyHistogram;
+use dyc_obs::{LatencyHistogram, LiveHandles};
 use dyc_rt::{ConcSnapshot, SharedRuntime};
 use dyc_vm::{CostModel, Vm};
 use dyc_workloads::rng::SplitMix64;
@@ -342,6 +342,14 @@ pub struct ServeReport {
     pub flight_shards: usize,
     /// The shared runtime's global meters at the end of the run.
     pub snapshot: ConcSnapshot,
+    /// Order-independent digest of the final code cache: an FNV-1a hash
+    /// per `(site, key, code)` binding — where `code` is the canonical
+    /// instruction stream plus frame shape, not install addresses or
+    /// generated names — combined with a commutative sum so publication
+    /// order (and hence global-id assignment) doesn't matter. Two
+    /// replays of the same config must agree — the serving suite's
+    /// byte-identity check for sampled vs unsampled runs.
+    pub code_digest: u64,
 }
 
 impl ServeReport {
@@ -443,6 +451,7 @@ impl ServeReport {
         let _ = writeln!(out, "{p}\"shard_imbalance\": {:.3},", self.shard_imbalance);
         let _ = writeln!(out, "{p}\"cache_shards\": {},", self.cache_shards);
         let _ = writeln!(out, "{p}\"flight_shards\": {},", self.flight_shards);
+        let _ = writeln!(out, "{p}\"code_digest\": \"{:#018x}\",", self.code_digest);
         let lookups: Vec<String> = s
             .shards
             .iter()
@@ -470,12 +479,52 @@ impl ServeReport {
 ///
 /// Panics if a serving thread panics (the panic is propagated).
 pub fn replay(cfg: &ServeConfig) -> Result<ServeReport, String> {
+    replay_live(cfg, None)
+}
+
+/// FNV-1a over one cache binding: site, key words, then the code's
+/// canonical debug rendering (instruction-exact, so any codegen
+/// divergence changes the digest).
+fn entry_digest(site: u32, key: &[u64], code: &str) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h ^= u64::from(site);
+    h = h.wrapping_mul(PRIME);
+    for w in key {
+        h ^= *w;
+        h = h.wrapping_mul(PRIME);
+    }
+    for b in code.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// [`replay`] with live telemetry attached: the handles' registry (and
+/// flight recorder, when present) are wired into the shared runtime
+/// before any serving thread is created, so every thread registers a
+/// live slot. Pass `None` for a plain replay — the two must produce
+/// identical results, meters, and code (see
+/// [`ServeReport::code_digest`]).
+///
+/// # Errors
+///
+/// Same failure modes as [`replay`].
+///
+/// # Panics
+///
+/// Panics if a serving thread panics (the panic is propagated).
+pub fn replay_live(cfg: &ServeConfig, live: Option<&LiveHandles>) -> Result<ServeReport, String> {
     let program = Compiler::new()
         .compile(&serve_source(cfg.bound))
         .map_err(|e| format!("serve source: {e}"))?;
     let mut opts = cfg.opts;
     opts.latency = true;
     let shared = program.shared_runtime_with(opts);
+    if let Some(h) = live {
+        shared.attach_live(h.clone());
+    }
     let gen = TrafficGen::new(cfg.stream);
     let threads = cfg.threads.max(1);
     let barrier = Barrier::new(threads);
@@ -550,6 +599,20 @@ pub fn replay(cfg: &ServeConfig) -> Result<ServeReport, String> {
         wall_ns = wall_ns.max(o.wall_ns);
         dispatches += o.dispatches;
     }
+    let code_digest = shared
+        .cache_snapshot()
+        .into_iter()
+        .map(|(site, key, gid)| {
+            // Canonical rendering: the instruction stream plus frame
+            // shape. `name` embeds the compiling thread's module length
+            // and `base_addr` the install order — both vary with
+            // scheduling even though the published code is semantically
+            // identical, so they stay out of the digest.
+            let f = shared.code(gid);
+            let canon = format!("{}/{}:{:?}", f.n_params, f.n_regs, f.code);
+            entry_digest(site, &key, &canon)
+        })
+        .fold(0u64, u64::wrapping_add);
     let snapshot = shared.stats();
     let misses = hist.count();
     let lookups: u64 = snapshot.shards.iter().map(|m| m.lookups).sum();
@@ -588,6 +651,7 @@ pub fn replay(cfg: &ServeConfig) -> Result<ServeReport, String> {
         cache_shards: shared.n_cache_shards(),
         flight_shards: shared.n_flight_shards(),
         snapshot,
+        code_digest,
     };
     Ok(report)
 }

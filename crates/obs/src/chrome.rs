@@ -216,6 +216,53 @@ mod tests {
         );
     }
 
+    /// Every kind added since the original exporter (warm-start loads
+    /// in PR 6, native installs/fallbacks in PR 7, the adaptive-policy
+    /// events in PR 8) must keep its exact wire name, category, and
+    /// phase — a rename or a missed `kind_for` arm would silently break
+    /// every dumped trace.
+    #[test]
+    fn recent_kinds_are_pinned_on_the_wire() {
+        use crate::event::Category;
+        let pinned: &[(EventKind, &str, Category)] = &[
+            (EventKind::CacheWarmLoad, "cache-warm-load", Category::Cache),
+            (EventKind::NativeInstall, "native-install", Category::Spec),
+            (EventKind::NativeFallback, "native-fallback", Category::Spec),
+            (EventKind::PolicyDefer, "policy-defer", Category::Policy),
+            (EventKind::PolicyPromote, "policy-promote", Category::Policy),
+            (
+                EventKind::PolicyThrottle,
+                "policy-throttle",
+                Category::Policy,
+            ),
+        ];
+        for &(kind, name, cat) in pinned {
+            assert!(ALL_KINDS.contains(&kind), "{name} missing from ALL_KINDS");
+            assert_eq!(kind.name(), name);
+            assert_eq!(kind.category(), cat);
+            assert_eq!(phase(kind), 'i', "{name} must export as an instant");
+            assert_eq!(kind_for(name, "i"), Some(kind), "{name} must parse back");
+            let ev = Event {
+                kind,
+                site: 3,
+                thread: 1,
+                key: 0xabcd,
+                seq: 9,
+                t_ns: 4_567,
+                cycle: 11,
+                a: 1,
+                b: 2,
+            };
+            let text = chrome_trace(std::slice::from_ref(&ev), &[]);
+            assert!(
+                text.contains(&format!("\"name\":\"{name}\",\"cat\":\"{}\"", cat.name())),
+                "wire form changed for {name}"
+            );
+            let back = parse_chrome_trace(&text).unwrap();
+            assert_eq!(back.events, vec![ev]);
+        }
+    }
+
     #[test]
     fn rejects_foreign_traces() {
         assert!(parse_chrome_trace("[]").is_err());

@@ -20,11 +20,38 @@
 pub const SUB_BITS: u32 = 3;
 
 const SUBS: usize = 1 << SUB_BITS;
-/// Bucket count: the exact region (`SUBS` buckets) plus `SUBS` buckets
-/// for each of the `64 - SUB_BITS` remaining octaves.
-const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+/// Bucket count: the exact region (`2^SUB_BITS` buckets) plus
+/// `2^SUB_BITS` buckets for each of the `64 - SUB_BITS` remaining
+/// octaves. Every consumer of the histogram's buckets (the live
+/// sampler's atomic mirror, `dycstat`'s reports) indexes against this
+/// same constant.
+pub const BUCKET_COUNT: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// The shared bucket-boundary table: `BUCKET_FLOORS[i]` is the lower
+/// bound of the value range bucket `i` covers, i.e.
+/// `bucket_lower_bound(i)` for every index. There is exactly one
+/// bucketing scheme in the workspace — every histogram (mutable or
+/// atomic) and every report quantizes against this table.
+pub const BUCKET_FLOORS: [u64; BUCKET_COUNT] = {
+    let mut t = [0u64; BUCKET_COUNT];
+    let mut i = 0;
+    while i < BUCKET_COUNT {
+        t[i] = bucket_lower_bound(i);
+        i += 1;
+    }
+    t
+};
 
 /// A log-linear histogram of `u64` samples (nanoseconds, by convention).
+///
+/// # Error bound
+///
+/// Reported percentiles are the lower bound of the bucket holding the
+/// ranked sample ([`BUCKET_FLOORS`]), so a reported quantile `q`
+/// satisfies `q ≤ true value < q + q/2^SUB_BITS + 1` — the relative
+/// error is below 1/2^[`SUB_BITS`] (12.5%), one-sided (never above the
+/// true value). Values below `2^SUB_BITS`, the maximum, and counts/sums
+/// are exact; only quantiles between are quantized.
 ///
 /// # Examples
 ///
@@ -45,7 +72,7 @@ const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
 /// ```
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
-    buckets: Box<[u64; BUCKETS]>,
+    buckets: Box<[u64; BUCKET_COUNT]>,
     count: u64,
     sum: u64,
     max: u64,
@@ -57,7 +84,10 @@ impl Default for LatencyHistogram {
     }
 }
 
-fn bucket_of(v: u64) -> usize {
+/// The bucket a sample lands in: values below `2^SUB_BITS` map to
+/// their own bucket (exact); above that, bucket = octave × sub-bucket.
+/// The inverse (to bucket resolution) is [`bucket_lower_bound`].
+pub const fn bucket_index(v: u64) -> usize {
     if v < SUBS as u64 {
         return v as usize;
     }
@@ -67,8 +97,9 @@ fn bucket_of(v: u64) -> usize {
 }
 
 /// Lower bound of the value range bucket `i` covers (its reported
-/// representative value).
-fn bucket_floor(i: usize) -> u64 {
+/// representative value). `BUCKET_FLOORS` tabulates this for every
+/// index.
+pub const fn bucket_lower_bound(i: usize) -> u64 {
     if i < SUBS {
         return i as u64;
     }
@@ -82,10 +113,29 @@ impl LatencyHistogram {
     /// again.
     pub fn new() -> LatencyHistogram {
         LatencyHistogram {
-            buckets: Box::new([0; BUCKETS]),
+            buckets: Box::new([0; BUCKET_COUNT]),
             count: 0,
             sum: 0,
             max: 0,
+        }
+    }
+
+    /// Rebuild a histogram from raw parts — the bridge from the live
+    /// layer's atomic bucket mirror, which shares [`BUCKET_FLOORS`].
+    /// The count is recomputed from the buckets so the
+    /// `count == Σ buckets` identity holds by construction even if the
+    /// caller read its totals racily.
+    pub(crate) fn from_parts(
+        buckets: Box<[u64; BUCKET_COUNT]>,
+        sum: u64,
+        max: u64,
+    ) -> LatencyHistogram {
+        let count = buckets.iter().sum();
+        LatencyHistogram {
+            buckets,
+            count,
+            sum,
+            max,
         }
     }
 
@@ -93,7 +143,7 @@ impl LatencyHistogram {
     /// allocation, no branches on the histogram's state.
     #[inline]
     pub fn record(&mut self, v: u64) {
-        self.buckets[bucket_of(v)] += 1;
+        self.buckets[bucket_index(v)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
@@ -108,6 +158,26 @@ impl LatencyHistogram {
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
+    }
+
+    /// The windowed delta `self − earlier`: the samples recorded between
+    /// two cumulative snapshots of the same histogram. Buckets, count,
+    /// and sum subtract (saturating, so racy snapshot pairs degrade to
+    /// empty buckets rather than wrapping); the `max` is carried over
+    /// from `self` because only the cumulative maximum is tracked —
+    /// window quantiles stay exact, the window max is an upper bound.
+    pub fn diff(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut buckets = Box::new([0u64; BUCKET_COUNT]);
+        for (i, d) in buckets.iter_mut().enumerate() {
+            *d = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        let count = buckets.iter().sum();
+        LatencyHistogram {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
     }
 
     /// Samples recorded.
@@ -160,7 +230,7 @@ impl LatencyHistogram {
             if seen >= rank {
                 // The max is tracked exactly; never report a quantile
                 // above it.
-                return bucket_floor(i).min(self.max);
+                return BUCKET_FLOORS[i].min(self.max);
             }
         }
         self.max
@@ -188,7 +258,7 @@ mod tests {
             h.record(v);
         }
         for v in 0..8u64 {
-            assert_eq!(bucket_floor(bucket_of(v)), v);
+            assert_eq!(bucket_lower_bound(bucket_index(v)), v);
         }
         assert_eq!(h.count(), 8);
         assert_eq!(h.sum(), 28);
@@ -198,7 +268,7 @@ mod tests {
     #[test]
     fn bucket_floor_inverts_bucket_of_within_resolution() {
         for v in [8u64, 100, 1000, 12_345, 1 << 20, u64::MAX / 3, u64::MAX] {
-            let f = bucket_floor(bucket_of(v));
+            let f = bucket_lower_bound(bucket_index(v));
             assert!(f <= v, "floor {f} above sample {v}");
             // Next bucket starts within 12.5% above the floor.
             assert!(
@@ -212,11 +282,59 @@ mod tests {
     fn buckets_are_monotone_and_in_range() {
         let mut last = 0;
         for v in (0..60).map(|s| 1u64 << s) {
-            let b = bucket_of(v);
-            assert!(b >= last && b < BUCKETS);
+            let b = bucket_index(v);
+            assert!(b >= last && b < BUCKET_COUNT);
             last = b;
         }
-        assert!(bucket_of(u64::MAX) < BUCKETS);
+        assert!(bucket_index(u64::MAX) < BUCKET_COUNT);
+    }
+
+    #[test]
+    fn shared_floor_table_matches_the_functions_everywhere() {
+        let mut prev = None;
+        for (i, &floor) in BUCKET_FLOORS.iter().enumerate() {
+            assert_eq!(floor, bucket_lower_bound(i), "table diverges at {i}");
+            // The table is its own inverse through bucket_index: every
+            // floor is the smallest value landing in its bucket.
+            assert_eq!(bucket_index(floor), i, "floor {floor} not in bucket {i}");
+            if let Some(p) = prev {
+                assert!(floor > p, "floors not strictly increasing at {i}");
+            }
+            prev = Some(floor);
+        }
+        assert_eq!(BUCKET_FLOORS.len(), BUCKET_COUNT);
+    }
+
+    #[test]
+    fn diff_recovers_a_window_between_snapshots() {
+        let mut cum = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            cum.record(v);
+        }
+        let earlier = cum.clone();
+        for v in [40u64, 50_000] {
+            cum.record(v);
+        }
+        let w = cum.diff(&earlier);
+        assert_eq!(w.count(), 2);
+        assert_eq!(w.sum(), 40 + 50_000);
+        // Window max is the cumulative max (upper bound, documented).
+        assert_eq!(w.max(), 50_000);
+        assert!(w.percentile(99.0) >= 40_000, "window p99 lost the spike");
+        // Degenerate (older-than) pair saturates to empty, not wraps.
+        let empty = earlier.diff(&cum);
+        assert_eq!(empty.count(), 0);
+    }
+
+    #[test]
+    fn from_parts_recomputes_count_from_buckets() {
+        let mut buckets = Box::new([0u64; BUCKET_COUNT]);
+        buckets[bucket_index(100)] = 3;
+        buckets[bucket_index(9_999)] = 1;
+        let h = LatencyHistogram::from_parts(buckets, 10_299, 9_999);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 9_999);
+        assert_eq!(h.percentile(100.0), 9_999);
     }
 
     #[test]

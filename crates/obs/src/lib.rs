@@ -28,6 +28,12 @@
 //!   metadata embedded to rebuild the profiles from the file alone.
 //! * [`render_metrics`] — Prometheus-style text exposition of any set
 //!   of named meters.
+//! * [`LiveRegistry`]/[`Sampler`]/[`Watchdog`] — the live-telemetry
+//!   layer: per-thread sharded atomic counters and histograms that can
+//!   be snapshotted while workers keep dispatching, a sampler thread
+//!   folding snapshots into a bounded ring of windowed deltas, and an
+//!   anomaly watchdog that dumps the flight recorder (every thread's
+//!   event-ring tail) as a Chrome trace + JSON incident on trigger.
 //!
 //! The crate is dependency-free in both directions (it depends on
 //! nothing and knows nothing about the runtime), so `dyc-rt` can record
@@ -36,22 +42,31 @@
 
 #![deny(missing_docs)]
 
+pub mod anomaly;
 pub mod chrome;
 pub mod event;
 pub mod hist;
 pub mod json;
+pub mod live;
 pub mod profile;
 pub mod prom;
 pub mod recorder;
+pub mod sampler;
 
+pub use anomaly::{Anomaly, AnomalyKind, Watchdog, WatchdogConfig, ALL_ANOMALIES};
 pub use chrome::{chrome_trace, parse_chrome_trace, ChromeTrace};
 pub use event::ALL_KINDS;
 pub use event::{Category, Event, EventKind};
 pub use hist::LatencyHistogram;
 pub use json::Json;
+pub use live::{
+    AtomicHistogram, FlightRecorder, FlightRing, LiveHandles, LiveMetric, LiveRegistry, LiveSlot,
+    LiveSnapshot, LiveThread, SiteCost, LIVE_METRICS, N_LIVE_METRICS,
+};
 pub use profile::{contention, miss_latency, site_profiles, SiteProfile, ThreadLoad};
 pub use prom::{render_metrics, Metric, MetricKind};
 pub use recorder::{merge, Recorder, Trace, DEFAULT_CAPACITY};
+pub use sampler::{IncidentRecord, Sampler, SamplerConfig, SamplerView, SiteWindow, Window};
 
 use std::sync::OnceLock;
 use std::time::Instant;

@@ -73,7 +73,7 @@ use crate::policy::{PolicyDecision, PolicyEngine, PolicyParams};
 use crate::runtime::{Site, Store};
 use crate::stats::RtStats;
 use dyc_bta::PolicyMode;
-use dyc_obs::{now_ns, EventKind, LatencyHistogram, Trace};
+use dyc_obs::{now_ns, EventKind, LatencyHistogram, LiveHandles, LiveMetric, LiveThread, Trace};
 use dyc_stage::{SitePolicy, StagedProgram};
 use dyc_vm::{CodeFunc, DispatchHandler, DispatchOutcome, FuncId, Module, Value, Vm, VmError};
 use std::collections::HashMap;
@@ -685,6 +685,10 @@ pub struct SharedRuntime {
     /// Trace thread-id allocator: each [`ThreadRuntime`] takes the next
     /// id so merged event streams distinguish recorders.
     next_thread: AtomicU32,
+    /// Live-telemetry handles ([`SharedRuntime::attach_live`]). `None`
+    /// (the default) costs the warm path nothing; threads created after
+    /// attachment register a per-thread slot and flight ring.
+    live: RwLock<Option<LiveHandles>>,
 }
 
 impl std::fmt::Debug for SharedRuntime {
@@ -766,8 +770,25 @@ impl SharedRuntime {
             stats: ConcStats::default(),
             policy,
             next_thread: AtomicU32::new(0),
+            live: RwLock::new(None),
             staged,
         }
+    }
+
+    /// Attach live-telemetry handles: every [`ThreadRuntime`] created
+    /// afterwards registers a sharded counter slot (and a flight ring
+    /// when the handles carry a recorder) and feeds the registry from
+    /// its meter points. Attach before spawning workers; existing
+    /// threads are unaffected. Telemetry never changes published code,
+    /// results, or [`RtStats`] — see `dyc_obs::live`'s
+    /// observer-effect-free obligations.
+    pub fn attach_live(&self, handles: LiveHandles) {
+        *self.live.write().unwrap() = Some(handles);
+    }
+
+    /// The attached live-telemetry handles, if any.
+    pub fn live_handles(&self) -> Option<LiveHandles> {
+        self.live.read().unwrap().clone()
     }
 
     /// The adaptive policy engine, when enabled (diagnostics and tests).
@@ -796,6 +817,12 @@ impl SharedRuntime {
             .opts
             .latency
             .then(|| Box::new(LatencyHistogram::new()));
+        let live = shared
+            .live
+            .read()
+            .unwrap()
+            .as_ref()
+            .map(|h| Box::new(h.thread(tid)));
         ThreadRuntime {
             shared: Arc::clone(shared),
             stats: RtStats::new(),
@@ -805,6 +832,7 @@ impl SharedRuntime {
             trace,
             native: NativeEngine::new(),
             miss_hist,
+            live,
         }
     }
 
@@ -1109,6 +1137,11 @@ pub struct ThreadRuntime {
     /// [`SharedOptions::latency`] is set. Boxed so the (cold) miss
     /// path's bookkeeping doesn't bloat the handler the hit path walks.
     miss_hist: Option<Box<LatencyHistogram>>,
+    /// This thread's live-telemetry handle, present when the shared
+    /// runtime had handles attached ([`SharedRuntime::attach_live`])
+    /// before this thread was created. The warm path pays one `None`
+    /// branch when telemetry is off and two relaxed atomic adds when on.
+    live: Option<Box<LiveThread>>,
 }
 
 impl ThreadRuntime {
@@ -1152,6 +1185,7 @@ impl ThreadRuntime {
                     .fetch_add(1, Ordering::Relaxed);
                 self.trace
                     .rec(EventKind::NativeInstall, point, 0, 0, len as u64, 0);
+                self.live_event(EventKind::NativeInstall, point, &[], 0, len as u64, 0);
             }
             None => {
                 self.stats.native_fallbacks += 1;
@@ -1160,6 +1194,7 @@ impl ThreadRuntime {
                     .native_fallbacks
                     .fetch_add(1, Ordering::Relaxed);
                 self.trace.rec(EventKind::NativeFallback, point, 0, 0, 0, 0);
+                self.live_event(EventKind::NativeFallback, point, &[], 0, 0, 0);
             }
         }
     }
@@ -1180,6 +1215,35 @@ impl ThreadRuntime {
             return Ok(DispatchOutcome::Completed { value });
         }
         Ok(DispatchOutcome::Invoke { func: fid })
+    }
+
+    /// Bump a live counter by one (no-op without attached telemetry).
+    #[inline]
+    fn live_bump(&self, m: LiveMetric) {
+        if let Some(l) = &self.live {
+            l.slot.add(m, 1);
+        }
+    }
+
+    /// Record a cold-path event into this thread's flight ring, hashing
+    /// the key words only when a ring is attached. Always additional to
+    /// (never instead of) the `Trace` recorder, so tracing semantics are
+    /// unchanged whether or not telemetry is on.
+    #[inline]
+    fn live_event(
+        &self,
+        kind: EventKind,
+        site: u32,
+        key_words: &[u64],
+        cycle: u64,
+        a: u64,
+        b: u64,
+    ) {
+        if let Some(l) = &self.live {
+            if let Some(ring) = &l.ring {
+                ring.record(kind, site, dyc_obs::key_hash(key_words), cycle, a, b);
+            }
+        }
     }
 
     fn charge(&mut self, vm: &mut Vm, cycles: u64) {
@@ -1275,6 +1339,14 @@ impl ThreadRuntime {
             0,
             0,
         );
+        self.live_event(
+            EventKind::GeExecBegin,
+            point,
+            &key[1..],
+            vm.stats.total_cycles(),
+            0,
+            0,
+        );
         let shared = Arc::clone(&self.shared);
         let mut env = SpecEnv {
             staged: &shared.staged,
@@ -1303,6 +1375,20 @@ impl ThreadRuntime {
             self.stats.dyncomp_cycles - dyn0,
             self.stats.instrs_generated - instr0,
         );
+        self.live_event(
+            EventKind::GeExecEnd,
+            point,
+            &key[1..],
+            vm.stats.total_cycles(),
+            self.stats.dyncomp_cycles - dyn0,
+            self.stats.instrs_generated - instr0,
+        );
+        if let Some(l) = &self.live {
+            // Per-site specialization economics for the sampler's
+            // break-even-drift window.
+            l.registry
+                .note_spec(point, self.stats.dyncomp_cycles - dyn0);
+        }
         if let Some(eng) = &shared.policy {
             // Feed the measured cost into the site's break-even
             // threshold estimate.
@@ -1366,6 +1452,15 @@ impl ThreadRuntime {
                                     0,
                                 );
                             }
+                            self.live_bump(LiveMetric::Evictions);
+                            self.live_event(
+                                EventKind::CacheEvict,
+                                key[0] as u32,
+                                &old[1..],
+                                vm.stats.total_cycles(),
+                                u64::from(ci),
+                                0,
+                            );
                         }
                         ci
                     }
@@ -1378,6 +1473,7 @@ impl ThreadRuntime {
                     .stats
                     .specializations
                     .fetch_add(1, Ordering::Relaxed);
+                self.live_bump(LiveMetric::Specializations);
                 Ok(gid)
             }
             Err(e) => Err(e),
@@ -1420,6 +1516,15 @@ impl ThreadRuntime {
                     if promoted {
                         self.stats.policy_promotes += 1;
                         shared.stats.policy_promotes.fetch_add(1, Ordering::Relaxed);
+                        self.live_bump(LiveMetric::PolicyPromotes);
+                        self.live_event(
+                            EventKind::PolicyPromote,
+                            point,
+                            &key[1..],
+                            vm.stats.total_cycles(),
+                            count,
+                            0,
+                        );
                         if trace_on {
                             self.trace.rec(
                                 EventKind::PolicyPromote,
@@ -1435,6 +1540,15 @@ impl ThreadRuntime {
                 PolicyDecision::Defer => {
                     self.stats.policy_defers += 1;
                     shared.stats.policy_defers.fetch_add(1, Ordering::Relaxed);
+                    self.live_bump(LiveMetric::PolicyDefers);
+                    self.live_event(
+                        EventKind::PolicyDefer,
+                        point,
+                        &key[1..],
+                        vm.stats.total_cycles(),
+                        count,
+                        0,
+                    );
                     if trace_on {
                         self.trace.rec(
                             EventKind::PolicyDefer,
@@ -1453,6 +1567,15 @@ impl ThreadRuntime {
                         .stats
                         .policy_throttled
                         .fetch_add(1, Ordering::Relaxed);
+                    self.live_bump(LiveMetric::PolicyThrottles);
+                    self.live_event(
+                        EventKind::PolicyThrottle,
+                        point,
+                        &key[1..],
+                        vm.stats.total_cycles(),
+                        count,
+                        0,
+                    );
                     if trace_on {
                         self.trace.rec(
                             EventKind::PolicyThrottle,
@@ -1491,6 +1614,7 @@ impl ThreadRuntime {
                     .stats
                     .single_flight_races
                     .fetch_add(1, Ordering::Relaxed);
+                self.live_bump(LiveMetric::FlightRaces);
                 Ok(MissResult::Spec(gid))
             }
             Role::Winner(fl) => {
@@ -1505,15 +1629,27 @@ impl ThreadRuntime {
                         .stats
                         .single_flight_waits
                         .fetch_add(1, Ordering::Relaxed);
-                    let t0 = self.trace.is_on().then(now_ns);
+                    self.live_bump(LiveMetric::FlightWaits);
+                    let t0 = (self.trace.is_on() || self.live.is_some()).then(now_ns);
                     let res = fl.wait();
                     if let Some(t0) = t0 {
-                        self.trace.rec(
+                        let waited = now_ns().saturating_sub(t0);
+                        if self.trace.is_on() {
+                            self.trace.rec(
+                                EventKind::FlightWait,
+                                key[0] as u32,
+                                dyc_obs::key_hash(&key[1..]),
+                                vm.stats.total_cycles(),
+                                waited,
+                                0,
+                            );
+                        }
+                        self.live_event(
                             EventKind::FlightWait,
                             key[0] as u32,
-                            dyc_obs::key_hash(&key[1..]),
+                            &key[1..],
                             vm.stats.total_cycles(),
-                            now_ns().saturating_sub(t0),
+                            waited,
                             0,
                         );
                     }
@@ -1528,6 +1664,7 @@ impl ThreadRuntime {
                         .stats
                         .single_flight_fallbacks
                         .fetch_add(1, Ordering::Relaxed);
+                    self.live_bump(LiveMetric::FlightFallbacks);
                     if self.trace.is_on() {
                         self.trace.rec(
                             EventKind::FlightFallback,
@@ -1538,6 +1675,14 @@ impl ThreadRuntime {
                             0,
                         );
                     }
+                    self.live_event(
+                        EventKind::FlightFallback,
+                        key[0] as u32,
+                        &key[1..],
+                        vm.stats.total_cycles(),
+                        0,
+                        0,
+                    );
                     Ok(MissResult::Generic(self.shared.generic_continuation(entry)))
                 }
             },
@@ -1620,6 +1765,10 @@ impl DispatchHandler for ThreadRuntime {
 
         let gid = match probed.value {
             Some(v) => {
+                if let Some(l) = &self.live {
+                    l.slot.add(LiveMetric::Dispatches, 1);
+                    l.slot.add(LiveMetric::Hits, 1);
+                }
                 if let Some(eng) = &self.shared.policy {
                     eng.note_hit(point);
                 }
@@ -1648,14 +1797,30 @@ impl DispatchHandler for ThreadRuntime {
                         probes,
                     );
                 }
+                self.live_bump(LiveMetric::Dispatches);
+                self.live_bump(LiveMetric::Misses);
+                self.live_event(
+                    EventKind::DispatchMiss,
+                    point,
+                    &key[1..],
+                    vm.stats.total_cycles(),
+                    cost,
+                    probes,
+                );
                 // Miss-path latency: miss detection → runnable code
                 // (specialize, wait, or continuation build), recorded in
                 // the pre-allocated per-thread histogram. Hit dispatches
                 // never reach this arm, so the warm path reads no clock.
-                let lat0 = self.miss_hist.is_some().then(now_ns);
+                let lat0 = (self.miss_hist.is_some() || self.live.is_some()).then(now_ns);
                 let missed = self.miss(&entry, &key, args, module, vm);
-                if let (Some(t0), Some(h)) = (lat0, self.miss_hist.as_mut()) {
-                    h.record(now_ns().saturating_sub(t0));
+                if let Some(t0) = lat0 {
+                    let d = now_ns().saturating_sub(t0);
+                    if let Some(h) = self.miss_hist.as_mut() {
+                        h.record(d);
+                    }
+                    if let Some(l) = &self.live {
+                        l.slot.record_miss_ns(d);
+                    }
                 }
                 match missed? {
                     MissResult::Spec(gid) => gid,

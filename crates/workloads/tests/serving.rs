@@ -8,11 +8,15 @@
 //! bench for the harness). `dyc_serve` replays the same streams at
 //! 10^6–10^8 dispatches; this file pins the behavior CI can afford.
 
+use dyc::obs::{Json, LiveHandles, LiveMetric, Sampler, SamplerConfig, WatchdogConfig};
 use dyc::{Compiler, Value};
 use dyc_bench::traffic::{
-    expected, replay, serve_source, Pattern, ServeConfig, StreamConfig, TrafficGen, ALL_PATTERNS,
+    expected, replay, replay_live, serve_source, Pattern, ServeConfig, StreamConfig, TrafficGen,
+    ALL_PATTERNS,
 };
 use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Dispatch budget for the replay tests: 10^5 in release (the scale the
 /// issue pins), scaled down in debug where the interpreter runs ~20x
@@ -183,4 +187,207 @@ fn churn_eviction_hit_rate_sanity() {
         "bounded churn hit rate implausibly low: {}",
         bounded.hit_rate
     );
+}
+
+/// The observer-effect-free guarantee, extended to the live sampler: on
+/// every stream shape, a replay with the sampler ticking and the
+/// watchdog armed must publish byte-identical specialized code, the
+/// same specialization count, and balanced meters — while the live
+/// counters themselves must agree exactly with the run's own meters.
+/// (Raw hit/wait/race splits are scheduling-dependent and deliberately
+/// NOT compared across the two runs.)
+#[test]
+fn sampled_replay_is_observer_effect_free() {
+    for pattern in ALL_PATTERNS {
+        let cfg = ServeConfig {
+            stream: StreamConfig::of(pattern),
+            dispatches: n_dispatches() / 2,
+            threads: 4,
+            seed: 13,
+            ..ServeConfig::default()
+        };
+        let base = replay(&cfg).expect("unsampled replay");
+        base.balance_check().expect("unsampled balance");
+
+        let handles = LiveHandles::with_flight(4096);
+        let sampler = Sampler::spawn(
+            Arc::clone(&handles.registry),
+            handles.flight.clone(),
+            SamplerConfig {
+                interval: Duration::from_millis(25),
+                watchdog: Some(WatchdogConfig::default()),
+                ring: 256,
+                ..SamplerConfig::default()
+            },
+        );
+        let sampled = replay_live(&cfg, Some(&handles)).expect("sampled replay");
+        sampled.balance_check().expect("sampled balance");
+        let snap = handles.registry.snapshot();
+        let (windows, incidents) = sampler.stop();
+
+        let p = pattern.name();
+        assert_eq!(base.dispatches, sampled.dispatches, "{p}: dispatches");
+        assert_eq!(
+            base.code_digest, sampled.code_digest,
+            "{p}: sampling changed the published code"
+        );
+        assert_eq!(
+            base.snapshot.specializations, sampled.snapshot.specializations,
+            "{p}: sampling changed the specialization count"
+        );
+        // The live counters are a second, independently-fed view of the
+        // sampled run's meters — they must agree exactly.
+        assert_eq!(snap.get(LiveMetric::Dispatches), sampled.dispatches, "{p}");
+        assert_eq!(snap.get(LiveMetric::Hits), sampled.hits, "{p}: hits");
+        assert_eq!(snap.get(LiveMetric::Misses), sampled.misses, "{p}: misses");
+        assert_eq!(
+            snap.get(LiveMetric::Specializations),
+            sampled.snapshot.specializations,
+            "{p}: live specializations"
+        );
+        assert_eq!(
+            snap.miss_ns.count(),
+            sampled.misses,
+            "{p}: live miss histogram count"
+        );
+        assert!(!windows.is_empty(), "{p}: sampler produced no windows");
+        assert!(
+            incidents.is_empty(),
+            "{p}: default thresholds fired on a healthy run: {:?}",
+            incidents[0].anomaly
+        );
+    }
+}
+
+/// An induced eviction storm — a tiny `cache_all(4)` bound under a
+/// rolling churn stream — must trigger exactly one incident (the
+/// watchdog latches), and the incident must carry a parseable Chrome
+/// trace of the flight-recorder capture plus a parseable JSON record,
+/// dumped to the incident directory.
+#[test]
+fn eviction_storm_triggers_one_incident() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("storm-incidents");
+    let _ = std::fs::remove_dir_all(&dir);
+    let handles = LiveHandles::with_flight(4096);
+    let sampler = Sampler::spawn(
+        Arc::clone(&handles.registry),
+        handles.flight.clone(),
+        SamplerConfig {
+            interval: Duration::from_millis(10),
+            // Eviction-storm rule only, hair trigger, latched: the
+            // sustained storm must still produce exactly one incident.
+            watchdog: Some(WatchdogConfig {
+                trigger_after: 1,
+                clear_after: 2,
+                evict_share: 0.05,
+                evict_min: 16,
+                convoy_share: 1.1,
+                break_even_factor: f64::INFINITY,
+                spike_factor: f64::INFINITY,
+                ..WatchdogConfig::default()
+            }),
+            incident_dir: Some(dir.clone()),
+            ..SamplerConfig::default()
+        },
+    );
+    let cfg = ServeConfig {
+        stream: StreamConfig::of(Pattern::Churn),
+        dispatches: n_dispatches(),
+        threads: 2,
+        seed: 17,
+        bound: Some(4),
+        ..ServeConfig::default()
+    };
+    let r = replay_live(&cfg, Some(&handles)).expect("storm replay");
+    r.balance_check().expect("storm balance");
+    assert!(
+        r.snapshot.cache_evictions > 1000,
+        "cache_all(4) under churn should evict heavily, got {}",
+        r.snapshot.cache_evictions
+    );
+    let (_, incidents) = sampler.stop();
+    assert_eq!(
+        incidents.len(),
+        1,
+        "latched watchdog must fire exactly once under a sustained storm"
+    );
+    let inc = &incidents[0];
+    assert_eq!(inc.anomaly.kind.name(), "eviction-storm");
+    let trace = dyc::obs::parse_chrome_trace(&inc.trace_json).expect("incident trace parses");
+    assert!(!trace.events.is_empty(), "flight-recorder capture is empty");
+    assert!(trace
+        .meta
+        .iter()
+        .any(|(k, v)| k == "incident" && v == "eviction-storm"));
+    let rec = Json::parse(&inc.record_json).expect("incident record parses");
+    assert_eq!(rec.get("kind").and_then(Json::str), Some("eviction-storm"));
+    assert_eq!(inc.paths.len(), 2, "record + trace files");
+    for p in &inc.paths {
+        assert!(p.exists(), "incident dump {} missing", p.display());
+    }
+}
+
+/// `dyc_serve --live`'s scrape path: while a replay runs with the
+/// sampler attached, the std-only HTTP endpoint must answer a
+/// Prometheus scrape whose counters are live (nonzero dispatches
+/// mid-run or at worst immediately after).
+#[test]
+fn live_scrape_serves_prometheus_during_replay() {
+    use dyc_bench::live::{http_get, MetricsServer};
+    let handles = LiveHandles::new();
+    let sampler = Sampler::spawn(
+        Arc::clone(&handles.registry),
+        None,
+        SamplerConfig {
+            interval: Duration::from_millis(10),
+            ..SamplerConfig::default()
+        },
+    );
+    let server = MetricsServer::start("127.0.0.1:0", sampler.view()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let cfg = ServeConfig {
+        stream: StreamConfig::of(Pattern::Zipfian),
+        dispatches: n_dispatches(),
+        threads: 4,
+        seed: 19,
+        ..ServeConfig::default()
+    };
+    let (r, scraped) = std::thread::scope(|s| {
+        let replayer = s.spawn(|| replay_live(&cfg, Some(&handles)));
+        // Poll until a scrape shows live dispatches (or the replay ends
+        // — the counters are cumulative, so the last scrape still
+        // proves the endpoint served during the session).
+        let mut scraped = String::new();
+        while !replayer.is_finished() {
+            if let Ok(body) = http_get(&addr, "/metrics") {
+                scraped = body;
+                if scrape_value(&scraped, "dyc_live_dispatches_total") > 0.0 {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let r = replayer.join().expect("replay thread").expect("replay");
+        if scrape_value(&scraped, "dyc_live_dispatches_total") == 0.0 {
+            scraped = http_get(&addr, "/metrics").expect("final scrape");
+        }
+        (r, scraped)
+    });
+    r.balance_check().expect("balance");
+    server.stop();
+    let _ = sampler.stop();
+    assert!(scraped.contains("# TYPE dyc_live_dispatches_total counter"));
+    assert!(scraped.contains("# HELP dyc_live_dispatches_total"));
+    assert!(
+        scrape_value(&scraped, "dyc_live_dispatches_total") > 0.0,
+        "scrape never showed live dispatches:\n{scraped}"
+    );
+}
+
+/// First sample value of `name` in a Prometheus text body.
+fn scrape_value(body: &str, name: &str) -> f64 {
+    body.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| l.strip_prefix(name)?.trim_start().parse().ok())
+        .unwrap_or(0.0)
 }
